@@ -1,0 +1,174 @@
+//! Helpers shared by every distributed baseline.
+
+use nadmm_cluster::{CommStats, Communicator};
+use nadmm_data::Dataset;
+use nadmm_device::DeviceSpec;
+use nadmm_linalg::vector;
+use nadmm_metrics::{IterationRecord, RunHistory};
+use nadmm_objective::{Objective, OpCost, SoftmaxCrossEntropy};
+use std::time::Instant;
+
+/// Output common to every distributed baseline run.
+#[derive(Debug, Clone)]
+pub struct DistributedRun {
+    /// Final global iterate.
+    pub w: Vec<f64>,
+    /// Per-iteration history.
+    pub history: RunHistory,
+    /// Communication counters of the rank that produced this output.
+    pub comm_stats: CommStats,
+}
+
+/// Builds the local objective for a shard in the *sum* formulation: the shard
+/// loss plus `λ/N` of the regulariser, so that values and gradients summed
+/// over workers equal the global `F(w) = Σ loss_i + λ‖w‖²/2`.
+pub fn local_objective(shard: &Dataset, lambda: f64, num_workers: usize) -> SoftmaxCrossEntropy {
+    SoftmaxCrossEntropy::new(shard, lambda / num_workers.max(1) as f64)
+}
+
+/// Charges `cost` of local compute to this rank, converted to seconds by the
+/// device model.
+pub fn charge_compute(comm: &mut dyn Communicator, device: &DeviceSpec, cost: OpCost) {
+    comm.advance_compute(device.kernel_time(cost.flops, cost.bytes));
+}
+
+/// Records one iteration of a distributed run: global objective (scalar
+/// allreduce of the local values), optional test accuracy evaluated at the
+/// root, simulated time and communication volume.
+pub fn record_iteration(
+    comm: &mut dyn Communicator,
+    local: &SoftmaxCrossEntropy,
+    test: Option<&Dataset>,
+    w: &[f64],
+    iteration: usize,
+    wall_start: Instant,
+    history: &mut RunHistory,
+) {
+    let objective = comm.allreduce_scalar_sum(local.value(w));
+    let mut record = IterationRecord::new(iteration, comm.elapsed(), wall_start.elapsed().as_secs_f64(), objective)
+        .with_comm_bytes(comm.stats().bytes_sent);
+    if let Some(test_set) = test {
+        let acc = if comm.is_root() { local.accuracy(test_set, w) } else { 0.0 };
+        record = record.with_accuracy(comm.allreduce_scalar_max(acc));
+    }
+    history.push(record);
+}
+
+/// Global gradient via an allreduce of local gradients, also charging the
+/// compute cost of the local gradient evaluation.
+pub fn global_gradient(
+    comm: &mut dyn Communicator,
+    local: &SoftmaxCrossEntropy,
+    device: &DeviceSpec,
+    w: &[f64],
+) -> Vec<f64> {
+    let g_local = local.gradient(w);
+    charge_compute(comm, device, local.cost_value_grad());
+    comm.allreduce_sum(&g_local)
+}
+
+/// Global objective value via a scalar allreduce (used inside distributed
+/// line searches), charging the local evaluation cost.
+pub fn global_value(comm: &mut dyn Communicator, local: &SoftmaxCrossEntropy, device: &DeviceSpec, w: &[f64]) -> f64 {
+    let v = local.value(w);
+    charge_compute(comm, device, local.cost_value_grad());
+    comm.allreduce_scalar_sum(v)
+}
+
+/// `‖a − b‖₂ / max(‖b‖₂, 1)` — relative distance used by the agreement tests.
+pub fn relative_distance(a: &[f64], b: &[f64]) -> f64 {
+    vector::distance(a, b) / vector::norm2(b).max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nadmm_cluster::{Cluster, NetworkModel};
+    use nadmm_data::{partition_strong, SyntheticConfig};
+
+    fn dataset() -> Dataset {
+        SyntheticConfig::mnist_like()
+            .with_train_size(60)
+            .with_test_size(10)
+            .with_num_features(5)
+            .with_num_classes(3)
+            .generate(3)
+            .0
+    }
+
+    #[test]
+    fn local_objectives_sum_to_the_global_objective() {
+        let data = dataset();
+        let lambda = 0.1;
+        let global = SoftmaxCrossEntropy::new(&data, lambda);
+        let (shards, _) = partition_strong(&data, 3);
+        let locals: Vec<_> = shards.iter().map(|s| local_objective(s, lambda, 3)).collect();
+        let mut rng = nadmm_linalg::gen::seeded_rng(1);
+        let w = nadmm_linalg::gen::gaussian_vector_with(global.dim(), 0.0, 0.2, &mut rng);
+        let sum_vals: f64 = locals.iter().map(|l| l.value(&w)).sum();
+        assert!((sum_vals - global.value(&w)).abs() < 1e-8 * (1.0 + global.value(&w).abs()));
+        let mut sum_grad = vec![0.0; global.dim()];
+        for l in &locals {
+            vector::add_assign(&mut sum_grad, &l.gradient(&w));
+        }
+        let g = global.gradient(&w);
+        for (a, b) in sum_grad.iter().zip(&g) {
+            assert!((a - b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn global_gradient_and_value_match_direct_computation() {
+        let data = dataset();
+        let lambda = 0.01;
+        let global = SoftmaxCrossEntropy::new(&data, lambda);
+        let (shards, _) = partition_strong(&data, 2);
+        let w = vec![0.05; global.dim()];
+        let expected_val = global.value(&w);
+        let expected_grad = global.gradient(&w);
+        let results = Cluster::new(2, NetworkModel::ideal()).run(|comm| {
+            let local = local_objective(&shards[comm.rank()], lambda, 2);
+            let device = DeviceSpec::tesla_p100();
+            let g = global_gradient(comm, &local, &device, &w);
+            let v = global_value(comm, &local, &device, &w);
+            (g, v, comm.elapsed())
+        });
+        for (g, v, elapsed) in results {
+            assert!((v - expected_val).abs() < 1e-8 * (1.0 + expected_val.abs()));
+            for (a, b) in g.iter().zip(&expected_grad) {
+                assert!((a - b).abs() < 1e-8);
+            }
+            assert!(elapsed > 0.0, "compute time must be charged");
+        }
+    }
+
+    #[test]
+    fn record_iteration_captures_objective_and_accuracy() {
+        let data = dataset();
+        let (test, _) = SyntheticConfig::mnist_like()
+            .with_train_size(20)
+            .with_test_size(5)
+            .with_num_features(5)
+            .with_num_classes(3)
+            .generate(4);
+        let (shards, _) = partition_strong(&data, 2);
+        let w = vec![0.0; 2 * 5];
+        let histories = Cluster::new(2, NetworkModel::ideal()).run(|comm| {
+            let local = local_objective(&shards[comm.rank()], 0.1, 2);
+            let mut h = RunHistory::new("test", "d", 2);
+            record_iteration(comm, &local, Some(&test), &w, 0, Instant::now(), &mut h);
+            h
+        });
+        for h in histories {
+            assert_eq!(h.len(), 1);
+            assert!(h.records[0].objective > 0.0);
+            assert!(h.records[0].test_accuracy.is_some());
+        }
+    }
+
+    #[test]
+    fn relative_distance_basics() {
+        assert_eq!(relative_distance(&[1.0, 0.0], &[1.0, 0.0]), 0.0);
+        assert!(relative_distance(&[1.0, 0.0], &[0.0, 0.0]) > 0.0);
+    }
+}

@@ -1,0 +1,180 @@
+//! DiSCO: distributed inexact damped Newton (Zhang & Lin 2015).
+//!
+//! Every outer iteration solves the Newton system `H(w) v = ∇F(w)` with a
+//! *distributed* CG in which each Hessian-vector product requires an
+//! allreduce across workers — so one DiSCO iteration needs as many
+//! communication rounds as CG iterations (plus one for the gradient). This
+//! is the structural contrast with Newton-ADMM (one round) and GIANT (three
+//! rounds) the paper's related-work discussion draws.
+
+use crate::common::{charge_compute, global_gradient, local_objective, record_iteration, DistributedRun};
+use nadmm_cluster::{Cluster, Communicator};
+use nadmm_data::Dataset;
+use nadmm_device::DeviceSpec;
+use nadmm_linalg::vector;
+use nadmm_metrics::RunHistory;
+use nadmm_objective::Objective;
+use std::time::Instant;
+
+/// DiSCO configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiscoConfig {
+    /// Number of outer (damped Newton) iterations.
+    pub max_iters: usize,
+    /// Global L2 regularization weight λ.
+    pub lambda: f64,
+    /// Maximum distributed-CG iterations per outer iteration.
+    pub cg_iters: usize,
+    /// Relative residual tolerance of the distributed CG.
+    pub cg_tolerance: f64,
+    /// Hardware model for local compute time.
+    pub device: DeviceSpec,
+}
+
+impl Default for DiscoConfig {
+    fn default() -> Self {
+        Self { max_iters: 50, lambda: 1e-5, cg_iters: 10, cg_tolerance: 1e-4, device: DeviceSpec::tesla_p100() }
+    }
+}
+
+/// The DiSCO solver.
+#[derive(Debug, Clone, Default)]
+pub struct Disco {
+    config: DiscoConfig,
+}
+
+impl Disco {
+    /// Creates a solver with the given configuration.
+    pub fn new(config: DiscoConfig) -> Self {
+        Self { config }
+    }
+
+    /// Runs DiSCO inside one rank of a communicator.
+    pub fn run_distributed(&self, comm: &mut dyn Communicator, shard: &Dataset, test: Option<&Dataset>) -> DistributedRun {
+        let cfg = &self.config;
+        let n_workers = comm.size();
+        let local = local_objective(shard, cfg.lambda, n_workers);
+        let dim = local.dim();
+        let mut w = vec![0.0; dim];
+        let wall_start = Instant::now();
+        let mut history = RunHistory::new("disco", shard.name(), n_workers);
+        record_iteration(comm, &local, test, &w, 0, wall_start, &mut history);
+
+        for k in 1..=cfg.max_iters {
+            // Round 1: global gradient.
+            let g = global_gradient(comm, &local, &cfg.device, &w);
+            let g_norm = vector::norm2(&g);
+            if g_norm == 0.0 {
+                break;
+            }
+
+            // Distributed CG on H v = g: every H·p is a local HVP followed by
+            // an allreduce (one communication round per CG iteration).
+            let hvp = local.hvp_operator(&w);
+            let mut v = vec![0.0; dim];
+            let mut r = g.clone();
+            let mut p = r.clone();
+            let mut rs_old = vector::norm2_sq(&r);
+            let target = cfg.cg_tolerance * g_norm;
+            let mut hv_final = vec![0.0; dim];
+            for _ in 0..cfg.cg_iters {
+                if rs_old.sqrt() <= target {
+                    break;
+                }
+                let hp_local = hvp(&p);
+                charge_compute(comm, &cfg.device, local.cost_hessian_vec());
+                let hp = comm.allreduce_sum(&hp_local);
+                let p_hp = vector::dot(&p, &hp);
+                if p_hp <= 0.0 || !p_hp.is_finite() {
+                    break;
+                }
+                let alpha = rs_old / p_hp;
+                vector::axpy(alpha, &p, &mut v);
+                vector::axpy(-alpha, &hp, &mut r);
+                hv_final = hp;
+                let rs_new = vector::norm2_sq(&r);
+                let beta = rs_new / rs_old;
+                vector::axpby(1.0, &r, beta, &mut p);
+                rs_old = rs_new;
+            }
+
+            // Damped Newton step: δ = √(vᵀHv), w ← w − v / (1 + δ).
+            let vhv = vector::dot(&v, &hv_final).max(0.0);
+            let delta = vhv.sqrt();
+            let step = 1.0 / (1.0 + delta);
+            vector::axpy(-step, &v, &mut w);
+
+            record_iteration(comm, &local, test, &w, k, wall_start, &mut history);
+        }
+
+        DistributedRun { w, history, comm_stats: comm.stats() }
+    }
+
+    /// Convenience wrapper spawning one rank per shard.
+    pub fn run_cluster(&self, cluster: &Cluster, shards: &[Dataset], test: Option<&Dataset>) -> DistributedRun {
+        assert_eq!(cluster.size(), shards.len(), "need exactly one shard per rank");
+        let mut outputs = cluster.run(|comm| {
+            let shard = &shards[comm.rank()];
+            self.run_distributed(comm, shard, test)
+        });
+        outputs.swap_remove(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nadmm_cluster::NetworkModel;
+    use nadmm_data::{partition_strong, SyntheticConfig};
+
+    fn dataset(seed: u64) -> Dataset {
+        SyntheticConfig::mnist_like()
+            .with_train_size(90)
+            .with_test_size(20)
+            .with_num_features(6)
+            .with_num_classes(3)
+            .generate(seed)
+            .0
+    }
+
+    #[test]
+    fn disco_reduces_the_objective() {
+        let train = dataset(1);
+        let (shards, _) = partition_strong(&train, 3);
+        let cluster = Cluster::new(3, NetworkModel::ideal());
+        let cfg = DiscoConfig { max_iters: 15, lambda: 1e-3, ..Default::default() };
+        let run = Disco::new(cfg).run_cluster(&cluster, &shards, None);
+        let first = run.history.records[0].objective;
+        let last = run.history.final_objective().unwrap();
+        assert!(last < 0.8 * first, "DiSCO should clearly reduce the objective: {first} -> {last}");
+    }
+
+    #[test]
+    fn disco_needs_a_round_per_cg_iteration() {
+        let train = dataset(2);
+        let (shards, _) = partition_strong(&train, 2);
+        let cluster = Cluster::new(2, NetworkModel::ideal());
+        let iters = 3;
+        let cg_iters = 5;
+        let cfg = DiscoConfig { max_iters: iters, cg_iters, lambda: 1e-3, cg_tolerance: 1e-12, ..Default::default() };
+        let run = Disco::new(cfg).run_cluster(&cluster, &shards, None);
+        // Per iteration: 1 gradient allreduce + up to cg_iters HVP allreduces
+        // + 1 instrumentation allreduce; plus 1 for iteration 0. With a tiny
+        // tolerance CG runs its full budget, so the count is exact.
+        let expected = (iters * (1 + cg_iters + 1) + 1) as u64;
+        assert_eq!(run.comm_stats.collectives, expected);
+    }
+
+    #[test]
+    fn disco_communicates_more_rounds_than_newton_admm_would() {
+        // Structural check used by the docs: with 10 CG iterations DiSCO does
+        // ~12 rounds per iteration vs Newton-ADMM's 2 (reduce + broadcast).
+        let train = dataset(3);
+        let (shards, _) = partition_strong(&train, 2);
+        let cluster = Cluster::new(2, NetworkModel::ideal());
+        let cfg = DiscoConfig { max_iters: 4, cg_iters: 10, cg_tolerance: 1e-12, lambda: 1e-3, ..Default::default() };
+        let run = Disco::new(cfg).run_cluster(&cluster, &shards, None);
+        let rounds_per_iter = (run.comm_stats.collectives - 1) as f64 / 4.0;
+        assert!(rounds_per_iter > 4.0, "DiSCO rounds/iter {rounds_per_iter} should exceed Newton-ADMM's ~4");
+    }
+}

@@ -1,0 +1,80 @@
+//! Single-node Newton run to high precision.
+//!
+//! The paper's Figure 3 metric needs the "optimal" solution vector `x*`
+//! ("obtained by running Newton's method on a single node to high
+//! precision"); this module provides exactly that, plus a convenience record
+//! of the optimal objective value used by the relative-objective (θ)
+//! computations.
+
+use nadmm_data::Dataset;
+use nadmm_objective::{Objective, SoftmaxCrossEntropy};
+use nadmm_solver::{CgConfig, LineSearchConfig, NewtonCg, NewtonConfig};
+
+/// The reference optimum of the regularised softmax problem on a dataset.
+#[derive(Debug, Clone)]
+pub struct ReferenceOptimum {
+    /// The high-precision solution vector `x*`.
+    pub x_star: Vec<f64>,
+    /// The optimal objective value `F(x*)`.
+    pub f_star: f64,
+    /// Gradient norm at `x*` (a measure of how exact the reference is).
+    pub grad_norm: f64,
+    /// Newton iterations used.
+    pub iterations: usize,
+}
+
+/// Runs single-node Newton-CG to high precision on the full dataset and
+/// returns the reference optimum used by the θ metric.
+pub fn reference_optimum(data: &Dataset, lambda: f64) -> ReferenceOptimum {
+    let obj = SoftmaxCrossEntropy::new(data, lambda);
+    let config = NewtonConfig {
+        max_iters: 200,
+        grad_tol: 1e-10,
+        cg: CgConfig { max_iters: 250, tolerance: 1e-12 },
+        line_search: LineSearchConfig::default(),
+    };
+    let result = NewtonCg::new(config).minimize(&obj, &vec![0.0; obj.dim()]);
+    ReferenceOptimum { x_star: result.x, f_star: result.value, grad_norm: result.grad_norm, iterations: result.iterations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nadmm_data::SyntheticConfig;
+    use nadmm_linalg::vector;
+
+    #[test]
+    fn reference_optimum_has_tiny_gradient() {
+        let (train, _) = SyntheticConfig::mnist_like()
+            .with_train_size(80)
+            .with_test_size(10)
+            .with_num_features(6)
+            .with_num_classes(3)
+            .generate(1);
+        let opt = reference_optimum(&train, 1e-3);
+        assert!(opt.grad_norm < 1e-6, "reference gradient norm {} too large", opt.grad_norm);
+        assert!(opt.f_star > 0.0);
+        assert!(opt.iterations > 0);
+        // Perturbing x* must not decrease the objective.
+        let obj = SoftmaxCrossEntropy::new(&train, 1e-3);
+        let mut rng = nadmm_linalg::gen::seeded_rng(2);
+        for _ in 0..3 {
+            let mut xp = opt.x_star.clone();
+            let d = nadmm_linalg::gen::gaussian_vector_with(xp.len(), 0.0, 1e-3, &mut rng);
+            vector::add_assign(&mut xp, &d);
+            assert!(obj.value(&xp) >= opt.f_star - 1e-9);
+        }
+    }
+
+    #[test]
+    fn stronger_regularization_gives_larger_optimal_value() {
+        let (train, _) = SyntheticConfig::higgs_like()
+            .with_train_size(60)
+            .with_test_size(10)
+            .with_num_features(5)
+            .generate(3);
+        let weak = reference_optimum(&train, 1e-5);
+        let strong = reference_optimum(&train, 1e-1);
+        assert!(strong.f_star >= weak.f_star);
+    }
+}

@@ -1,0 +1,47 @@
+//! Criterion benches for the solver building blocks: CG at the paper's
+//! iteration budgets (10/20/30) and full inexact Newton-CG steps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nadmm_data::SyntheticConfig;
+use nadmm_linalg::gen;
+use nadmm_objective::{Objective, SoftmaxCrossEntropy};
+use nadmm_solver::{conjugate_gradient, CgConfig, NewtonCg, NewtonConfig};
+use std::hint::black_box;
+
+fn problem() -> (SoftmaxCrossEntropy, Vec<f64>) {
+    let (train, _) = SyntheticConfig::mnist_like().with_train_size(512).with_test_size(64).with_num_features(96).generate(1);
+    let obj = SoftmaxCrossEntropy::new(&train, 1e-5);
+    let mut rng = gen::seeded_rng(2);
+    let x = gen::gaussian_vector_with(obj.dim(), 0.0, 0.05, &mut rng);
+    (obj, x)
+}
+
+fn bench_cg_budgets(c: &mut Criterion) {
+    // The paper's Figure 4 sweeps the CG budget (10/20/30); this bench
+    // isolates the cost of that choice.
+    let (obj, x) = problem();
+    let g = obj.gradient(&x);
+    let neg_g: Vec<f64> = g.iter().map(|v| -v).collect();
+    let mut group = c.benchmark_group("cg_budget");
+    for &iters in &[10usize, 20, 30] {
+        group.bench_with_input(BenchmarkId::from_parameter(iters), &iters, |b, &iters| {
+            let cfg = CgConfig { max_iters: iters, tolerance: 1e-10 };
+            let op = obj.hvp_operator(&x);
+            b.iter(|| black_box(conjugate_gradient(|v| op(v), &neg_g, &cfg)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_newton_step(c: &mut Criterion) {
+    let (obj, x) = problem();
+    let mut group = c.benchmark_group("newton");
+    group.bench_function("single_step_cg10", |b| {
+        let solver = NewtonCg::new(NewtonConfig::default());
+        b.iter(|| black_box(solver.step(&obj, &x)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cg_budgets, bench_newton_step);
+criterion_main!(benches);

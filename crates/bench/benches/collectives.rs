@@ -1,0 +1,43 @@
+//! Criterion benches for the simulated cluster substrate: wall-clock cost of
+//! the rendezvous collectives and the simulated network cost model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nadmm_cluster::{Cluster, Communicator, NetworkModel};
+use std::hint::black_box;
+
+fn bench_allreduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allreduce_wallclock");
+    group.sample_size(10);
+    for &workers in &[2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &workers| {
+            let payload = vec![1.0f64; 8192];
+            b.iter(|| {
+                let cluster = Cluster::new(workers, NetworkModel::infiniband_100g());
+                black_box(cluster.run(|comm| comm.allreduce_sum(&payload)))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_network_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("network_cost_model");
+    let nets = [NetworkModel::infiniband_100g(), NetworkModel::ethernet_10g(), NetworkModel::ethernet_1g()];
+    group.bench_function("allreduce_cost_sweep", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for net in &nets {
+                for workers in [2usize, 4, 8, 16] {
+                    total += net.allreduce(workers, 8.0 * 62_720.0); // MNIST-sized weight vector
+                    total += net.gather(workers, 8.0 * 62_720.0);
+                    total += net.broadcast(workers, 8.0 * 62_720.0);
+                }
+            }
+            black_box(total)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_allreduce, bench_network_model);
+criterion_main!(benches);

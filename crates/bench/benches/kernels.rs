@@ -1,0 +1,62 @@
+//! Criterion micro-benches for the linear-algebra kernels the solvers are
+//! built from: dense/sparse GEMM, softmax rows, and Hessian-vector products.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nadmm_data::SyntheticConfig;
+use nadmm_linalg::{gen, DenseMatrix, Matrix};
+use nadmm_objective::{Objective, SoftmaxCrossEntropy};
+use std::hint::black_box;
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_nt");
+    for &n in &[256usize, 1024] {
+        let p = 128;
+        let classes = 10;
+        let mut rng = gen::seeded_rng(1);
+        let x = Matrix::Dense(gen::gaussian_matrix(n, p, &mut rng));
+        let w = gen::gaussian_matrix(classes - 1, p, &mut rng);
+        group.bench_with_input(BenchmarkId::new("dense", n), &n, |b, _| {
+            b.iter(|| black_box(x.gemm_nt(&w).unwrap()));
+        });
+        // Sparse counterpart at ~5% density.
+        let mut dense = gen::gaussian_matrix(n, p, &mut rng);
+        for i in 0..n {
+            for j in 0..p {
+                if (i * 31 + j * 7) % 20 != 0 {
+                    dense.set(i, j, 0.0);
+                }
+            }
+        }
+        let xs = Matrix::Sparse(nadmm_linalg::CsrMatrix::from_dense(&dense));
+        group.bench_with_input(BenchmarkId::new("sparse_5pct", n), &n, |b, _| {
+            b.iter(|| black_box(xs.gemm_nt(&w).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_softmax_objective(c: &mut Criterion) {
+    let mut group = c.benchmark_group("softmax_objective");
+    let (train, _) = SyntheticConfig::mnist_like().with_train_size(1024).with_test_size(64).with_num_features(128).generate(2);
+    let obj = SoftmaxCrossEntropy::new(&train, 1e-5);
+    let mut rng = gen::seeded_rng(3);
+    let x = gen::gaussian_vector_with(obj.dim(), 0.0, 0.1, &mut rng);
+    let v = gen::gaussian_vector(obj.dim(), &mut rng);
+    group.bench_function("value_and_gradient", |b| b.iter(|| black_box(obj.value_and_gradient(&x))));
+    group.bench_function("hessian_vec", |b| b.iter(|| black_box(obj.hessian_vec(&x, &v))));
+    let op = obj.hvp_operator(&x);
+    group.bench_function("hvp_operator_cached", |b| b.iter(|| black_box(op(&v))));
+    group.finish();
+}
+
+fn bench_transpose_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t_matvec");
+    let mut rng = gen::seeded_rng(4);
+    let a: DenseMatrix = gen::gaussian_matrix(2048, 256, &mut rng);
+    let x = gen::gaussian_vector(2048, &mut rng);
+    group.bench_function("dense_2048x256", |b| b.iter(|| black_box(a.t_matvec(&x).unwrap())));
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm, bench_softmax_objective, bench_transpose_kernels);
+criterion_main!(benches);

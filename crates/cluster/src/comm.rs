@@ -1,0 +1,189 @@
+//! The communicator interface the distributed solvers code against, plus the
+//! trivial single-process implementation.
+
+use crate::stats::CommStats;
+
+/// The rank that plays the role of the paper's "master node".
+pub const ROOT_RANK: usize = 0;
+
+/// MPI-flavoured collective interface over `f64` payloads.
+///
+/// All collectives are *blocking* and must be called by every rank of the
+/// communicator in the same order (exactly like MPI). The root of rooted
+/// collectives is always [`ROOT_RANK`], matching the paper's master-node
+/// formulation (Algorithm 4).
+///
+/// Besides moving data, implementations account simulated time: local compute
+/// charged through [`Communicator::advance_compute`] and communication time
+/// charged internally from the network model. [`Communicator::elapsed`]
+/// exposes the per-rank simulated clock the experiment harness reads.
+pub trait Communicator {
+    /// This rank's id in `0..size()`.
+    fn rank(&self) -> usize;
+
+    /// Number of ranks in the communicator.
+    fn size(&self) -> usize;
+
+    /// Whether this rank is the master/root.
+    fn is_root(&self) -> bool {
+        self.rank() == ROOT_RANK
+    }
+
+    /// Synchronises all ranks (and their simulated clocks).
+    fn barrier(&mut self);
+
+    /// Every rank contributes `data`; every rank receives all contributions
+    /// indexed by rank.
+    fn allgather(&mut self, data: &[f64]) -> Vec<Vec<f64>>;
+
+    /// Element-wise sum across ranks, result available on every rank.
+    fn allreduce_sum(&mut self, data: &[f64]) -> Vec<f64>;
+
+    /// Element-wise sum across ranks, result only on the root (None
+    /// elsewhere).
+    fn reduce_sum_root(&mut self, data: &[f64]) -> Option<Vec<f64>>;
+
+    /// Gathers every rank's contribution at the root (None elsewhere).
+    fn gather_root(&mut self, data: &[f64]) -> Option<Vec<Vec<f64>>>;
+
+    /// Broadcasts the root's `data` to every rank. Non-root ranks pass
+    /// `None` (their argument is ignored).
+    fn broadcast_root(&mut self, data: Option<&[f64]>) -> Vec<f64>;
+
+    /// Scatters one payload per rank from the root. Non-root ranks pass
+    /// `None`.
+    fn scatter_root(&mut self, parts: Option<&[Vec<f64>]>) -> Vec<f64>;
+
+    /// Sum of a scalar across ranks, available everywhere.
+    fn allreduce_scalar_sum(&mut self, v: f64) -> f64 {
+        self.allreduce_sum(&[v])[0]
+    }
+
+    /// Maximum of a scalar across ranks, available everywhere.
+    fn allreduce_scalar_max(&mut self, v: f64) -> f64 {
+        self.allgather(&[v]).iter().map(|x| x[0]).fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Charges `dt` simulated seconds of local compute to this rank.
+    fn advance_compute(&mut self, dt: f64);
+
+    /// Simulated seconds elapsed on this rank (compute + communication,
+    /// including waiting for stragglers at collectives).
+    fn elapsed(&self) -> f64;
+
+    /// Snapshot of this rank's communication counters.
+    fn stats(&self) -> CommStats;
+}
+
+/// A size-1 communicator for single-node runs (collectives are identities and
+/// cost nothing). The simulated clock still advances through
+/// [`Communicator::advance_compute`], so single-node baselines report
+/// comparable timings.
+#[derive(Debug, Default, Clone)]
+pub struct SingleProcessComm {
+    elapsed: f64,
+    stats: CommStats,
+}
+
+impl SingleProcessComm {
+    /// Creates a fresh single-rank communicator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Communicator for SingleProcessComm {
+    fn rank(&self) -> usize {
+        0
+    }
+
+    fn size(&self) -> usize {
+        1
+    }
+
+    fn barrier(&mut self) {}
+
+    fn allgather(&mut self, data: &[f64]) -> Vec<Vec<f64>> {
+        self.stats.record(0.0, 0.0, 0.0);
+        vec![data.to_vec()]
+    }
+
+    fn allreduce_sum(&mut self, data: &[f64]) -> Vec<f64> {
+        self.stats.record(0.0, 0.0, 0.0);
+        data.to_vec()
+    }
+
+    fn reduce_sum_root(&mut self, data: &[f64]) -> Option<Vec<f64>> {
+        self.stats.record(0.0, 0.0, 0.0);
+        Some(data.to_vec())
+    }
+
+    fn gather_root(&mut self, data: &[f64]) -> Option<Vec<Vec<f64>>> {
+        self.stats.record(0.0, 0.0, 0.0);
+        Some(vec![data.to_vec()])
+    }
+
+    fn broadcast_root(&mut self, data: Option<&[f64]>) -> Vec<f64> {
+        self.stats.record(0.0, 0.0, 0.0);
+        data.expect("root must provide broadcast data").to_vec()
+    }
+
+    fn scatter_root(&mut self, parts: Option<&[Vec<f64>]>) -> Vec<f64> {
+        self.stats.record(0.0, 0.0, 0.0);
+        let parts = parts.expect("root must provide scatter parts");
+        assert_eq!(parts.len(), 1, "scatter on a single-process comm needs exactly one part");
+        parts[0].clone()
+    }
+
+    fn advance_compute(&mut self, dt: f64) {
+        self.elapsed += dt.max(0.0);
+        self.stats.record_compute(dt.max(0.0));
+    }
+
+    fn elapsed(&self) -> f64 {
+        self.elapsed
+    }
+
+    fn stats(&self) -> CommStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_process_collectives_are_identities() {
+        let mut c = SingleProcessComm::new();
+        assert_eq!(c.rank(), 0);
+        assert_eq!(c.size(), 1);
+        assert!(c.is_root());
+        c.barrier();
+        assert_eq!(c.allgather(&[1.0, 2.0]), vec![vec![1.0, 2.0]]);
+        assert_eq!(c.allreduce_sum(&[3.0]), vec![3.0]);
+        assert_eq!(c.reduce_sum_root(&[4.0]), Some(vec![4.0]));
+        assert_eq!(c.gather_root(&[5.0]), Some(vec![vec![5.0]]));
+        assert_eq!(c.broadcast_root(Some(&[6.0])), vec![6.0]);
+        assert_eq!(c.scatter_root(Some(&[vec![7.0]])), vec![7.0]);
+        assert_eq!(c.allreduce_scalar_sum(2.5), 2.5);
+        assert_eq!(c.allreduce_scalar_max(-1.0), -1.0);
+    }
+
+    #[test]
+    fn single_process_clock_tracks_compute() {
+        let mut c = SingleProcessComm::new();
+        c.advance_compute(1.25);
+        c.advance_compute(0.75);
+        assert!((c.elapsed() - 2.0).abs() < 1e-12);
+        assert!((c.stats().compute_time - 2.0).abs() < 1e-12);
+        assert_eq!(c.stats().comm_time, 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn scatter_with_wrong_arity_panics() {
+        let mut c = SingleProcessComm::new();
+        c.scatter_root(Some(&[vec![1.0], vec![2.0]]));
+    }
+}

@@ -1,0 +1,45 @@
+//! # nadmm-cluster
+//!
+//! A simulated distributed cluster.
+//!
+//! The paper evaluates Newton-ADMM on up to 16 MPI ranks connected by a
+//! 100 Gbps Infiniband fabric. This crate substitutes that substrate with an
+//! in-process cluster: every simulated rank runs on its own OS thread,
+//! collectives are implemented with a shared-memory rendezvous, and the
+//! *time* each collective would have taken on a real fabric is charged
+//! against a latency/bandwidth [`NetworkModel`] (tree-shaped collectives, the
+//! same asymptotics as MPI implementations use).
+//!
+//! Because the algorithms in this workspace differ mainly in *how many
+//! communication rounds and bytes* they need per iteration (Newton-ADMM: one
+//! gather + one scatter; GIANT: three rounds; synchronous SGD: one allreduce
+//! per minibatch), simulating the network with an α+βn model retains exactly
+//! the trade-off the paper studies, while the numerical results are identical
+//! to a real multi-node run (the collectives are exact).
+//!
+//! Entry points:
+//! * [`Cluster::run`] — spawn `n` ranks, run a closure on each, collect
+//!   results in rank order;
+//! * [`Communicator`] — the MPI-flavoured interface the solvers code against;
+//! * [`SingleProcessComm`] — a size-1 communicator for single-node runs.
+
+pub mod comm;
+pub mod network;
+pub mod stats;
+pub mod thread_comm;
+
+pub use comm::{Communicator, SingleProcessComm, ROOT_RANK};
+pub use network::NetworkModel;
+pub use stats::CommStats;
+pub use thread_comm::{Cluster, ThreadComm};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_a_trivial_cluster() {
+        let results = Cluster::new(4, NetworkModel::infiniband_100g()).run(|comm| comm.rank() * 10);
+        assert_eq!(results, vec![0, 10, 20, 30]);
+    }
+}

@@ -1,0 +1,175 @@
+//! Latency/bandwidth network cost model with tree-shaped collectives.
+
+use serde::{Deserialize, Serialize};
+
+/// α+β cost model of the interconnect.
+///
+/// A point-to-point message of `b` bytes costs `latency + b / bandwidth`
+/// seconds; collectives are charged using the standard tree/butterfly
+/// algorithms' asymptotics (⌈log₂ N⌉ rounds).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkModel {
+    /// Human-readable name of the fabric.
+    pub name: &'static str,
+    /// One-way message latency in seconds (α).
+    pub latency: f64,
+    /// Link bandwidth in bytes per second (1/β).
+    pub bandwidth: f64,
+}
+
+impl NetworkModel {
+    /// 100 Gbps Infiniband (the paper's cluster): ~1.5 µs latency,
+    /// 100 Gbit/s ≈ 12.5 GB/s.
+    pub fn infiniband_100g() -> Self {
+        Self { name: "infiniband-100g", latency: 1.5e-6, bandwidth: 12.5e9 }
+    }
+
+    /// 10 Gbps Ethernet: ~50 µs latency, 1.25 GB/s. Used in the "slower
+    /// interconnect" ablation the paper discusses qualitatively.
+    pub fn ethernet_10g() -> Self {
+        Self { name: "ethernet-10g", latency: 50.0e-6, bandwidth: 1.25e9 }
+    }
+
+    /// 1 Gbps Ethernet: ~100 µs latency, 125 MB/s — the "high latency, low
+    /// bandwidth" environment where single-round methods shine.
+    pub fn ethernet_1g() -> Self {
+        Self { name: "ethernet-1g", latency: 100.0e-6, bandwidth: 125.0e6 }
+    }
+
+    /// An idealised zero-cost network (useful to isolate compute behaviour).
+    pub fn ideal() -> Self {
+        Self { name: "ideal", latency: 0.0, bandwidth: f64::INFINITY }
+    }
+
+    fn per_byte(&self, bytes: f64) -> f64 {
+        if self.bandwidth.is_infinite() {
+            0.0
+        } else {
+            bytes / self.bandwidth
+        }
+    }
+
+    /// Number of tree rounds for `n` participants.
+    pub fn tree_depth(n: usize) -> f64 {
+        if n <= 1 {
+            0.0
+        } else {
+            (n as f64).log2().ceil()
+        }
+    }
+
+    /// Cost of a point-to-point message of `bytes`.
+    pub fn p2p(&self, bytes: f64) -> f64 {
+        self.latency + self.per_byte(bytes)
+    }
+
+    /// Cost of a barrier among `n` ranks.
+    pub fn barrier(&self, n: usize) -> f64 {
+        Self::tree_depth(n) * self.latency
+    }
+
+    /// Cost of a broadcast of `bytes` from the root to `n` ranks. Large
+    /// messages are pipelined (scatter + allgather, as MPI implementations
+    /// do), so the bandwidth term is paid once, not once per tree level.
+    pub fn broadcast(&self, n: usize, bytes: f64) -> f64 {
+        if n <= 1 {
+            return 0.0;
+        }
+        Self::tree_depth(n) * self.latency + 2.0 * self.per_byte(bytes) * (n as f64 - 1.0) / n as f64
+    }
+
+    /// Cost of gathering `bytes` from each of `n` ranks at the root
+    /// (bottlenecked by the root's incoming link).
+    pub fn gather(&self, n: usize, bytes: f64) -> f64 {
+        if n <= 1 {
+            return 0.0;
+        }
+        Self::tree_depth(n) * self.latency + (n as f64 - 1.0) * self.per_byte(bytes)
+    }
+
+    /// Cost of scattering per-rank payloads of `bytes` from the root.
+    pub fn scatter(&self, n: usize, bytes: f64) -> f64 {
+        self.gather(n, bytes)
+    }
+
+    /// Cost of an allgather where each rank contributes `bytes`.
+    pub fn allgather(&self, n: usize, bytes: f64) -> f64 {
+        if n <= 1 {
+            return 0.0;
+        }
+        Self::tree_depth(n) * self.latency + (n as f64 - 1.0) * self.per_byte(bytes)
+    }
+
+    /// Cost of a butterfly allreduce of a `bytes`-sized vector.
+    pub fn allreduce(&self, n: usize, bytes: f64) -> f64 {
+        if n <= 1 {
+            return 0.0;
+        }
+        2.0 * Self::tree_depth(n) * self.latency + 2.0 * self.per_byte(bytes) * (n as f64 - 1.0) / n as f64
+    }
+
+    /// Cost of a reduction of `bytes` to the root (pipelined reduce-scatter +
+    /// gather, so the bandwidth term is paid once).
+    pub fn reduce(&self, n: usize, bytes: f64) -> f64 {
+        if n <= 1 {
+            return 0.0;
+        }
+        Self::tree_depth(n) * self.latency + 2.0 * self.per_byte(bytes) * (n as f64 - 1.0) / n as f64
+    }
+}
+
+impl Default for NetworkModel {
+    fn default() -> Self {
+        Self::infiniband_100g()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_depth_values() {
+        assert_eq!(NetworkModel::tree_depth(1), 0.0);
+        assert_eq!(NetworkModel::tree_depth(2), 1.0);
+        assert_eq!(NetworkModel::tree_depth(8), 3.0);
+        assert_eq!(NetworkModel::tree_depth(9), 4.0);
+    }
+
+    #[test]
+    fn collectives_are_free_for_single_rank() {
+        let net = NetworkModel::infiniband_100g();
+        assert_eq!(net.allreduce(1, 1e6), 0.0);
+        assert_eq!(net.gather(1, 1e6), 0.0);
+        assert_eq!(net.allgather(1, 1e6), 0.0);
+        assert_eq!(net.reduce(1, 1e6), 0.0);
+        assert_eq!(net.barrier(1), 0.0);
+    }
+
+    #[test]
+    fn slower_networks_cost_more() {
+        let ib = NetworkModel::infiniband_100g();
+        let e10 = NetworkModel::ethernet_10g();
+        let e1 = NetworkModel::ethernet_1g();
+        let bytes = 8.0 * 7840.0; // a MNIST-sized weight vector
+        assert!(ib.allreduce(8, bytes) < e10.allreduce(8, bytes));
+        assert!(e10.allreduce(8, bytes) < e1.allreduce(8, bytes));
+    }
+
+    #[test]
+    fn ideal_network_is_free_modulo_latency() {
+        let net = NetworkModel::ideal();
+        assert_eq!(net.allreduce(8, 1e9), 0.0);
+        assert_eq!(net.broadcast(8, 1e9), 0.0);
+        assert_eq!(net.p2p(1e9), 0.0);
+    }
+
+    #[test]
+    fn cost_grows_with_bytes_and_ranks() {
+        let net = NetworkModel::infiniband_100g();
+        assert!(net.gather(8, 1e6) > net.gather(8, 1e3));
+        assert!(net.gather(16, 1e6) > net.gather(8, 1e6));
+        assert!(net.broadcast(16, 1e6) > net.broadcast(2, 1e6));
+        assert!(net.p2p(1e6) > net.p2p(0.0));
+    }
+}

@@ -1,0 +1,76 @@
+//! Per-rank communication statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters describing everything a rank has communicated. The figure
+/// binaries use these to report "rounds per iteration" and "bytes per
+/// iteration" — the quantities the paper's communication argument is about.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CommStats {
+    /// Number of collective operations this rank participated in.
+    pub collectives: u64,
+    /// Total payload bytes this rank contributed to collectives.
+    pub bytes_sent: f64,
+    /// Total payload bytes this rank received from collectives.
+    pub bytes_received: f64,
+    /// Simulated seconds spent inside communication calls.
+    pub comm_time: f64,
+    /// Simulated seconds spent in local compute (as charged by the caller).
+    pub compute_time: f64,
+}
+
+impl CommStats {
+    /// Records one collective with the given sent/received payload and cost.
+    pub fn record(&mut self, sent: f64, received: f64, time: f64) {
+        self.collectives += 1;
+        self.bytes_sent += sent;
+        self.bytes_received += received;
+        self.comm_time += time;
+    }
+
+    /// Records local compute time.
+    pub fn record_compute(&mut self, time: f64) {
+        self.compute_time += time;
+    }
+
+    /// Total simulated time attributable to this rank.
+    pub fn total_time(&self) -> f64 {
+        self.comm_time + self.compute_time
+    }
+
+    /// Fraction of total time spent communicating (0 if nothing recorded).
+    pub fn comm_fraction(&self) -> f64 {
+        let total = self.total_time();
+        if total > 0.0 {
+            self.comm_time / total
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates() {
+        let mut s = CommStats::default();
+        s.record(100.0, 200.0, 0.5);
+        s.record(50.0, 0.0, 0.25);
+        s.record_compute(0.25);
+        assert_eq!(s.collectives, 2);
+        assert_eq!(s.bytes_sent, 150.0);
+        assert_eq!(s.bytes_received, 200.0);
+        assert!((s.comm_time - 0.75).abs() < 1e-12);
+        assert!((s.total_time() - 1.0).abs() < 1e-12);
+        assert!((s.comm_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_fraction() {
+        let s = CommStats::default();
+        assert_eq!(s.comm_fraction(), 0.0);
+        assert_eq!(s.total_time(), 0.0);
+    }
+}

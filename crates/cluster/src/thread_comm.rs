@@ -1,0 +1,482 @@
+//! Thread-backed communicator: one OS thread per simulated rank, collectives
+//! implemented with a generation-counted rendezvous.
+
+use crate::comm::{Communicator, ROOT_RANK};
+use crate::network::NetworkModel;
+use crate::stats::CommStats;
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+
+/// Result of one rendezvous round: every rank's contribution plus the latest
+/// simulated arrival time (collectives complete when the last rank arrives).
+struct ExchangeResult {
+    contributions: Vec<Vec<f64>>,
+    max_time: f64,
+}
+
+struct RendezvousState {
+    generation: u64,
+    arrived: usize,
+    slots: Vec<Option<Vec<f64>>>,
+    times: Vec<f64>,
+    published: Option<Arc<ExchangeResult>>,
+}
+
+/// A reusable all-to-all rendezvous shared by every rank of a cluster.
+struct Rendezvous {
+    n: usize,
+    state: Mutex<RendezvousState>,
+    cv: Condvar,
+}
+
+impl Rendezvous {
+    fn new(n: usize) -> Self {
+        Self {
+            n,
+            state: Mutex::new(RendezvousState {
+                generation: 0,
+                arrived: 0,
+                slots: vec![None; n],
+                times: vec![0.0; n],
+                published: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Deposits `data` for `rank` and blocks until every rank of the current
+    /// generation has deposited; returns the full set of contributions.
+    ///
+    /// Correctness of the generation counter: a rank can only overwrite
+    /// `published` when it is the *last* arrival of the next generation, which
+    /// requires every rank (including any rank still reading the previous
+    /// result under the lock) to have re-entered `exchange` — so a published
+    /// result is never replaced before all ranks have taken their copy.
+    fn exchange(&self, rank: usize, data: Vec<f64>, local_time: f64) -> Arc<ExchangeResult> {
+        let mut st = self.state.lock();
+        let my_gen = st.generation;
+        debug_assert!(st.slots[rank].is_none(), "rank {rank} deposited twice in one collective");
+        st.slots[rank] = Some(data);
+        st.times[rank] = local_time;
+        st.arrived += 1;
+        if st.arrived == self.n {
+            let contributions: Vec<Vec<f64>> = st.slots.iter_mut().map(|s| s.take().unwrap_or_default()).collect();
+            let max_time = st.times.iter().cloned().fold(0.0, f64::max);
+            let result = Arc::new(ExchangeResult { contributions, max_time });
+            st.published = Some(Arc::clone(&result));
+            st.generation += 1;
+            st.arrived = 0;
+            self.cv.notify_all();
+            result
+        } else {
+            while st.generation == my_gen {
+                self.cv.wait(&mut st);
+            }
+            Arc::clone(st.published.as_ref().expect("rendezvous result must be published"))
+        }
+    }
+}
+
+/// Communicator handle owned by one simulated rank (one thread).
+pub struct ThreadComm {
+    rank: usize,
+    size: usize,
+    network: NetworkModel,
+    rendezvous: Arc<Rendezvous>,
+    elapsed: f64,
+    stats: CommStats,
+}
+
+impl ThreadComm {
+    fn new(rank: usize, size: usize, network: NetworkModel, rendezvous: Arc<Rendezvous>) -> Self {
+        Self { rank, size, network, rendezvous, elapsed: 0.0, stats: CommStats::default() }
+    }
+
+    /// The network model this communicator charges.
+    pub fn network(&self) -> NetworkModel {
+        self.network
+    }
+
+    /// Runs one rendezvous and advances the simulated clock by `cost`
+    /// (plus any waiting for stragglers), recording the traffic in the stats.
+    fn collective(&mut self, data: Vec<f64>, sent_bytes: f64, received_bytes: f64, cost: f64) -> Arc<ExchangeResult> {
+        let start = self.elapsed;
+        let result = self.rendezvous.exchange(self.rank, data, start);
+        let finish = result.max_time + cost;
+        if finish > self.elapsed {
+            self.elapsed = finish;
+        }
+        self.stats.record(sent_bytes, received_bytes, self.elapsed - start);
+        result
+    }
+}
+
+const F64_BYTES: f64 = std::mem::size_of::<f64>() as f64;
+
+impl Communicator for ThreadComm {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    fn barrier(&mut self) {
+        let cost = self.network.barrier(self.size);
+        self.collective(Vec::new(), 0.0, 0.0, cost);
+    }
+
+    fn allgather(&mut self, data: &[f64]) -> Vec<Vec<f64>> {
+        let bytes = data.len() as f64 * F64_BYTES;
+        let cost = self.network.allgather(self.size, bytes);
+        let res = self.collective(data.to_vec(), bytes, bytes * (self.size as f64 - 1.0), cost);
+        res.contributions.clone()
+    }
+
+    fn allreduce_sum(&mut self, data: &[f64]) -> Vec<f64> {
+        let bytes = data.len() as f64 * F64_BYTES;
+        let cost = self.network.allreduce(self.size, bytes);
+        let res = self.collective(data.to_vec(), bytes, bytes, cost);
+        let mut acc = vec![0.0; data.len()];
+        for contrib in &res.contributions {
+            assert_eq!(contrib.len(), data.len(), "allreduce_sum: ranks contributed different lengths");
+            for (a, v) in acc.iter_mut().zip(contrib) {
+                *a += v;
+            }
+        }
+        acc
+    }
+
+    fn reduce_sum_root(&mut self, data: &[f64]) -> Option<Vec<f64>> {
+        let bytes = data.len() as f64 * F64_BYTES;
+        let cost = self.network.reduce(self.size, bytes);
+        let received = if self.rank == ROOT_RANK { bytes * (self.size as f64 - 1.0) } else { 0.0 };
+        let res = self.collective(data.to_vec(), bytes, received, cost);
+        if self.rank == ROOT_RANK {
+            let mut acc = vec![0.0; data.len()];
+            for contrib in &res.contributions {
+                assert_eq!(contrib.len(), data.len(), "reduce_sum_root: ranks contributed different lengths");
+                for (a, v) in acc.iter_mut().zip(contrib) {
+                    *a += v;
+                }
+            }
+            Some(acc)
+        } else {
+            None
+        }
+    }
+
+    fn gather_root(&mut self, data: &[f64]) -> Option<Vec<Vec<f64>>> {
+        let bytes = data.len() as f64 * F64_BYTES;
+        let cost = self.network.gather(self.size, bytes);
+        let received = if self.rank == ROOT_RANK { bytes * (self.size as f64 - 1.0) } else { 0.0 };
+        let res = self.collective(data.to_vec(), bytes, received, cost);
+        if self.rank == ROOT_RANK {
+            Some(res.contributions.clone())
+        } else {
+            None
+        }
+    }
+
+    fn broadcast_root(&mut self, data: Option<&[f64]>) -> Vec<f64> {
+        let payload = if self.rank == ROOT_RANK {
+            data.expect("root must provide broadcast data").to_vec()
+        } else {
+            Vec::new()
+        };
+        let sent = payload.len() as f64 * F64_BYTES;
+        // Cost is charged from the root's payload size, which every rank
+        // learns from the exchange result.
+        let res_payload_len = {
+            let res = self.rendezvous.exchange(self.rank, payload, self.elapsed);
+            // Re-borrowing pattern: compute everything we need from `res`
+            // before charging so that only one rendezvous happens.
+            let root_data = res.contributions[ROOT_RANK].clone();
+            let bytes = root_data.len() as f64 * F64_BYTES;
+            let cost = self.network.broadcast(self.size, bytes);
+            let finish = res.max_time + cost;
+            let start = self.elapsed;
+            if finish > self.elapsed {
+                self.elapsed = finish;
+            }
+            let received = if self.rank == ROOT_RANK { 0.0 } else { bytes };
+            self.stats.record(sent, received, self.elapsed - start);
+            root_data
+        };
+        res_payload_len
+    }
+
+    fn scatter_root(&mut self, parts: Option<&[Vec<f64>]>) -> Vec<f64> {
+        // The root flattens its per-rank payloads with a length header so the
+        // rendezvous only ever carries flat f64 vectors.
+        let payload = if self.rank == ROOT_RANK {
+            let parts = parts.expect("root must provide scatter parts");
+            assert_eq!(parts.len(), self.size, "scatter_root: need one part per rank");
+            let mut flat = Vec::with_capacity(self.size + parts.iter().map(|p| p.len()).sum::<usize>());
+            for p in parts {
+                flat.push(p.len() as f64);
+            }
+            for p in parts {
+                flat.extend_from_slice(p);
+            }
+            flat
+        } else {
+            Vec::new()
+        };
+        let sent = payload.len() as f64 * F64_BYTES;
+        let res = self.rendezvous.exchange(self.rank, payload, self.elapsed);
+        let root_flat = &res.contributions[ROOT_RANK];
+        let lengths: Vec<usize> = root_flat[..self.size].iter().map(|&l| l as usize).collect();
+        let avg_bytes = lengths.iter().sum::<usize>() as f64 / self.size as f64 * F64_BYTES;
+        let cost = self.network.scatter(self.size, avg_bytes);
+        let start = self.elapsed;
+        let finish = res.max_time + cost;
+        if finish > self.elapsed {
+            self.elapsed = finish;
+        }
+        let mut offset = self.size;
+        for l in lengths.iter().take(self.rank) {
+            offset += l;
+        }
+        let mine = root_flat[offset..offset + lengths[self.rank]].to_vec();
+        let received = if self.rank == ROOT_RANK { 0.0 } else { mine.len() as f64 * F64_BYTES };
+        self.stats.record(sent, received, self.elapsed - start);
+        mine
+    }
+
+    fn advance_compute(&mut self, dt: f64) {
+        let dt = dt.max(0.0);
+        self.elapsed += dt;
+        self.stats.record_compute(dt);
+    }
+
+    fn elapsed(&self) -> f64 {
+        self.elapsed
+    }
+
+    fn stats(&self) -> CommStats {
+        self.stats
+    }
+}
+
+/// A simulated cluster: spawns one thread per rank and runs a closure on each.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    size: usize,
+    network: NetworkModel,
+}
+
+impl Cluster {
+    /// Creates a cluster description with `size` ranks over `network`.
+    ///
+    /// # Panics
+    /// Panics if `size == 0`.
+    pub fn new(size: usize, network: NetworkModel) -> Self {
+        assert!(size > 0, "a cluster needs at least one rank");
+        Self { size, network }
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The network model used by the cluster.
+    pub fn network(&self) -> NetworkModel {
+        self.network
+    }
+
+    /// Runs `f` on every rank (each on its own thread) and returns the
+    /// results in rank order. The closure receives a mutable [`ThreadComm`]
+    /// implementing [`Communicator`].
+    pub fn run<T, F>(&self, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&mut ThreadComm) -> T + Sync,
+    {
+        let rendezvous = Arc::new(Rendezvous::new(self.size));
+        let mut results: Vec<Option<T>> = (0..self.size).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(self.size);
+            for (rank, slot) in results.iter_mut().enumerate() {
+                let rendezvous = Arc::clone(&rendezvous);
+                let network = self.network;
+                let size = self.size;
+                let f = &f;
+                handles.push(scope.spawn(move || {
+                    let mut comm = ThreadComm::new(rank, size, network, rendezvous);
+                    *slot = Some(f(&mut comm));
+                }));
+            }
+            for h in handles {
+                h.join().expect("cluster rank panicked");
+            }
+        });
+        results.into_iter().map(|r| r.expect("rank produced no result")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(n: usize) -> Cluster {
+        Cluster::new(n, NetworkModel::infiniband_100g())
+    }
+
+    #[test]
+    fn allreduce_sums_across_ranks() {
+        for n in [1, 2, 3, 4, 8] {
+            let results = cluster(n).run(|comm| comm.allreduce_sum(&[comm.rank() as f64, 1.0]));
+            let expected_first: f64 = (0..n).map(|r| r as f64).sum();
+            for r in &results {
+                assert_eq!(r[0], expected_first);
+                assert_eq!(r[1], n as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_returns_contributions_in_rank_order() {
+        let results = cluster(4).run(|comm| comm.allgather(&[comm.rank() as f64 * 2.0]));
+        for r in &results {
+            assert_eq!(r.len(), 4);
+            for (rank, contribution) in r.iter().enumerate() {
+                assert_eq!(contribution, &vec![rank as f64 * 2.0]);
+            }
+        }
+    }
+
+    #[test]
+    fn gather_and_reduce_only_land_on_root() {
+        let results = cluster(3).run(|comm| {
+            let g = comm.gather_root(&[comm.rank() as f64]);
+            let s = comm.reduce_sum_root(&[1.0]);
+            (comm.rank(), g, s)
+        });
+        for (rank, g, s) in results {
+            if rank == ROOT_RANK {
+                let g = g.unwrap();
+                assert_eq!(g, vec![vec![0.0], vec![1.0], vec![2.0]]);
+                assert_eq!(s.unwrap(), vec![3.0]);
+            } else {
+                assert!(g.is_none());
+                assert!(s.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_delivers_root_payload_everywhere() {
+        let results = cluster(4).run(|comm| {
+            if comm.is_root() {
+                comm.broadcast_root(Some(&[7.0, 8.0]))
+            } else {
+                comm.broadcast_root(None)
+            }
+        });
+        for r in results {
+            assert_eq!(r, vec![7.0, 8.0]);
+        }
+    }
+
+    #[test]
+    fn scatter_sends_each_rank_its_slice() {
+        let results = cluster(3).run(|comm| {
+            if comm.is_root() {
+                let parts = vec![vec![0.0], vec![1.0, 1.5], vec![2.0, 2.5, 2.75]];
+                comm.scatter_root(Some(&parts))
+            } else {
+                comm.scatter_root(None)
+            }
+        });
+        assert_eq!(results[0], vec![0.0]);
+        assert_eq!(results[1], vec![1.0, 1.5]);
+        assert_eq!(results[2], vec![2.0, 2.5, 2.75]);
+    }
+
+    #[test]
+    fn scalar_reductions() {
+        let results = cluster(4).run(|comm| {
+            let s = comm.allreduce_scalar_sum(comm.rank() as f64);
+            let m = comm.allreduce_scalar_max(comm.rank() as f64);
+            (s, m)
+        });
+        for (s, m) in results {
+            assert_eq!(s, 6.0);
+            assert_eq!(m, 3.0);
+        }
+    }
+
+    #[test]
+    fn clocks_synchronise_at_collectives() {
+        // Rank 1 does heavy local compute before the barrier; everyone's
+        // clock must advance to at least that time afterwards.
+        let results = cluster(3).run(|comm| {
+            if comm.rank() == 1 {
+                comm.advance_compute(5.0);
+            }
+            comm.barrier();
+            comm.elapsed()
+        });
+        for t in results {
+            assert!(t >= 5.0, "clock {t} did not wait for the straggler");
+        }
+    }
+
+    #[test]
+    fn communication_is_charged_against_the_network_model() {
+        let fast = Cluster::new(4, NetworkModel::infiniband_100g())
+            .run(|comm| {
+                comm.allreduce_sum(&vec![1.0; 10_000]);
+                comm.elapsed()
+            })
+            .into_iter()
+            .fold(0.0f64, f64::max);
+        let slow = Cluster::new(4, NetworkModel::ethernet_1g())
+            .run(|comm| {
+                comm.allreduce_sum(&vec![1.0; 10_000]);
+                comm.elapsed()
+            })
+            .into_iter()
+            .fold(0.0f64, f64::max);
+        assert!(slow > fast, "1 Gbps ethernet ({slow}s) should be slower than infiniband ({fast}s)");
+    }
+
+    #[test]
+    fn stats_count_collectives_and_bytes() {
+        let results = cluster(2).run(|comm| {
+            comm.allreduce_sum(&[1.0, 2.0, 3.0]);
+            comm.barrier();
+            comm.stats()
+        });
+        for s in results {
+            assert_eq!(s.collectives, 2);
+            assert!(s.bytes_sent >= 24.0);
+            assert!(s.comm_time > 0.0);
+        }
+    }
+
+    #[test]
+    fn repeated_collectives_do_not_deadlock_or_mix_generations() {
+        let results = cluster(4).run(|comm| {
+            let mut acc = 0.0;
+            for i in 0..50 {
+                let r = comm.allreduce_sum(&[i as f64 + comm.rank() as f64]);
+                acc += r[0];
+            }
+            acc
+        });
+        let expected: f64 = (0..50).map(|i| 4.0 * i as f64 + 6.0).sum();
+        for r in results {
+            assert_eq!(r, expected);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_rank_cluster_is_rejected() {
+        Cluster::new(0, NetworkModel::ideal());
+    }
+}

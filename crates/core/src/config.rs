@@ -1,0 +1,122 @@
+//! Configuration of the Newton-ADMM solver.
+
+use crate::penalty::PenaltyRule;
+use nadmm_device::DeviceSpec;
+use nadmm_solver::{CgConfig, LineSearchConfig, NewtonConfig};
+
+/// Full configuration of a Newton-ADMM run (paper Algorithm 2 parameters plus
+/// the simulated-hardware knobs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NewtonAdmmConfig {
+    /// Number of outer ADMM iterations (the paper's "epochs": one pass over
+    /// the local shard per outer iteration).
+    pub max_iters: usize,
+    /// Global L2 regularization weight λ of `g(z) = λ‖z‖²/2` (the paper uses
+    /// 1e-3 and 1e-5).
+    pub lambda: f64,
+    /// Number of inexact Newton steps each worker takes on its augmented
+    /// subproblem per outer iteration (the paper runs Algorithm 1 once).
+    pub newton_steps_per_iter: usize,
+    /// CG budget/tolerance for the Newton direction (paper: 10 iterations,
+    /// tolerance 1e-4 in Fig. 1; 10–30 iterations in Fig. 4).
+    pub cg: CgConfig,
+    /// Armijo line-search parameters (paper Algorithm 3; max 10 iterations).
+    pub line_search: LineSearchConfig,
+    /// Initial penalty parameter ρ⁰ for every worker.
+    pub rho0: f64,
+    /// Penalty-adaptation rule (spectral by default, as in the paper).
+    pub penalty: PenaltyRule,
+    /// Stop early when the consensus residual `max_i ‖x_i − z‖` falls below
+    /// this (set to 0 to always run `max_iters`).
+    pub consensus_tol: f64,
+    /// Hardware model used to charge local compute time.
+    pub device: DeviceSpec,
+    /// Whether to evaluate (and record) test accuracy each iteration when a
+    /// test set is provided.
+    pub record_accuracy: bool,
+}
+
+impl Default for NewtonAdmmConfig {
+    fn default() -> Self {
+        Self {
+            max_iters: 100,
+            lambda: 1e-5,
+            newton_steps_per_iter: 1,
+            cg: CgConfig { max_iters: 10, tolerance: 1e-4 },
+            line_search: LineSearchConfig::default(),
+            rho0: 1.0,
+            penalty: PenaltyRule::default(),
+            consensus_tol: 0.0,
+            device: DeviceSpec::tesla_p100(),
+            record_accuracy: true,
+        }
+    }
+}
+
+impl NewtonAdmmConfig {
+    /// The Newton-CG configuration each worker uses on its subproblem.
+    pub fn newton_config(&self) -> NewtonConfig {
+        NewtonConfig {
+            max_iters: self.newton_steps_per_iter,
+            grad_tol: 0.0, // run exactly `newton_steps_per_iter` steps
+            cg: self.cg,
+            line_search: self.line_search,
+        }
+    }
+
+    /// Builder-style override of the outer iteration count.
+    pub fn with_max_iters(mut self, iters: usize) -> Self {
+        self.max_iters = iters;
+        self
+    }
+
+    /// Builder-style override of λ.
+    pub fn with_lambda(mut self, lambda: f64) -> Self {
+        self.lambda = lambda;
+        self
+    }
+
+    /// Builder-style override of the CG budget.
+    pub fn with_cg_iters(mut self, iters: usize) -> Self {
+        self.cg.max_iters = iters;
+        self
+    }
+
+    /// Builder-style override of the penalty rule.
+    pub fn with_penalty(mut self, rule: PenaltyRule) -> Self {
+        self.penalty = rule;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let c = NewtonAdmmConfig::default();
+        assert_eq!(c.max_iters, 100);
+        assert_eq!(c.cg.max_iters, 10);
+        assert!((c.cg.tolerance - 1e-4).abs() < 1e-15);
+        assert_eq!(c.line_search.max_iters, 10);
+        assert_eq!(c.newton_steps_per_iter, 1);
+        assert!(matches!(c.penalty, PenaltyRule::Spectral(_)));
+    }
+
+    #[test]
+    fn builders_override_fields() {
+        let c = NewtonAdmmConfig::default()
+            .with_max_iters(7)
+            .with_lambda(1e-3)
+            .with_cg_iters(30)
+            .with_penalty(PenaltyRule::Fixed);
+        assert_eq!(c.max_iters, 7);
+        assert_eq!(c.lambda, 1e-3);
+        assert_eq!(c.cg.max_iters, 30);
+        assert!(matches!(c.penalty, PenaltyRule::Fixed));
+        let n = c.newton_config();
+        assert_eq!(n.max_iters, 1);
+        assert_eq!(n.cg.max_iters, 30);
+    }
+}

@@ -1,0 +1,430 @@
+//! The Newton-ADMM driver (paper Algorithms 2 and 4).
+
+use crate::config::NewtonAdmmConfig;
+use crate::penalty::{residual_balancing_update, spectral_update, PenaltyRule, SpectralState};
+use nadmm_cluster::{Cluster, CommStats, Communicator};
+use nadmm_data::Dataset;
+use nadmm_linalg::vector;
+use nadmm_metrics::{IterationRecord, RunHistory};
+use nadmm_objective::{Objective, ProximalAugmented, SoftmaxCrossEntropy};
+use nadmm_solver::NewtonCg;
+use std::time::Instant;
+
+/// Output of a Newton-ADMM run (per rank; the consensus iterate and history
+/// are identical on every rank).
+#[derive(Debug, Clone)]
+pub struct NewtonAdmmOutput {
+    /// Final consensus iterate `z`.
+    pub z: Vec<f64>,
+    /// Per-iteration history (objective, accuracy, simulated time, …).
+    pub history: RunHistory,
+    /// Communication counters of this rank.
+    pub comm_stats: CommStats,
+    /// Final penalty parameter of this rank.
+    pub final_rho: f64,
+    /// Final local iterate `x_i` of this rank.
+    pub local_x: Vec<f64>,
+}
+
+/// The distributed Newton-ADMM solver.
+#[derive(Debug, Clone, Default)]
+pub struct NewtonAdmm {
+    config: NewtonAdmmConfig,
+}
+
+impl NewtonAdmm {
+    /// Creates a solver with the given configuration.
+    pub fn new(config: NewtonAdmmConfig) -> Self {
+        Self { config }
+    }
+
+    /// The solver configuration.
+    pub fn config(&self) -> &NewtonAdmmConfig {
+        &self.config
+    }
+
+    /// Runs Newton-ADMM inside one rank of a communicator. Every rank of the
+    /// communicator must call this with its own data shard; the returned
+    /// consensus iterate and history are identical across ranks.
+    ///
+    /// `test` is optional and only used for instrumentation (test accuracy
+    /// per iteration); it is evaluated on the root rank and broadcast into
+    /// the history of every rank.
+    pub fn run_distributed(
+        &self,
+        comm: &mut dyn Communicator,
+        shard: &Dataset,
+        test: Option<&Dataset>,
+    ) -> NewtonAdmmOutput {
+        let cfg = &self.config;
+        // The global regulariser g(z) = λ‖z‖²/2 is handled in the z-update
+        // (Eq. 7), so the local objectives carry no regularisation.
+        let local = SoftmaxCrossEntropy::new(shard, 0.0);
+        let dim = local.dim();
+        let newton = NewtonCg::new(cfg.newton_config());
+
+        let mut x = vec![0.0; dim];
+        let mut y = vec![0.0; dim];
+        let mut z = vec![0.0; dim];
+        let mut rho = cfg.rho0;
+        let mut spectral_state = SpectralState::new(dim);
+
+        let wall_start = Instant::now();
+        let mut history = RunHistory::new("newton-admm", shard.name(), comm.size());
+        self.record_iteration(comm, &local, test, &z, 0, 0.0, rho, &mut history, wall_start);
+
+        for k in 1..=cfg.max_iters {
+            // --- 1. Local subproblem: a few inexact Newton-CG steps on the
+            //        ADMM-augmented objective (Eq. 6a / Algorithm 1).
+            let aug = ProximalAugmented::new(local.clone(), z.clone(), y.clone(), rho);
+            let mut cg_total = 0usize;
+            let mut ls_total = 0usize;
+            for _ in 0..cfg.newton_steps_per_iter {
+                let (x_new, cg_iters, ls_evals) = newton.step(&aug, &x);
+                x = x_new;
+                cg_total += cg_iters;
+                ls_total += ls_evals;
+            }
+            // Charge the simulated device for the local work: one
+            // value+gradient per Newton step, one objective value per line
+            // search trial, one Hessian-vector product per CG iteration.
+            let cost = aug
+                .cost_value_grad()
+                .times((cfg.newton_steps_per_iter + ls_total) as f64)
+                .plus(aug.cost_hessian_vec().times(cg_total as f64));
+            comm.advance_compute(cfg.device.kernel_time(cost.flops, cost.bytes));
+
+            // Intermediate dual ŷ_i (uses the *old* consensus iterate) —
+            // needed by the spectral penalty estimator.
+            let mut yhat = y.clone();
+            for i in 0..dim {
+                yhat[i] += rho * (z[i] - x[i]);
+            }
+
+            // --- 2. One round of communication (Remark 1): a reduce of
+            //        [ρ_i x_i − y_i ‖ ρ_i] to the master and a broadcast of
+            //        the new consensus iterate back.
+            let mut payload: Vec<f64> = (0..dim).map(|i| rho * x[i] - y[i]).collect();
+            payload.push(rho);
+            let reduced = comm.reduce_sum_root(&payload);
+            let z_new_root: Option<Vec<f64>> = reduced.map(|r| {
+                let sum_rho = r[dim];
+                r[..dim].iter().map(|v| v / (cfg.lambda + sum_rho)).collect()
+            });
+            z = comm.broadcast_root(z_new_root.as_deref());
+
+            // --- 3. Dual update (Eq. 6c) and penalty adaptation, all local.
+            for i in 0..dim {
+                y[i] += rho * (z[i] - x[i]);
+            }
+            rho = match cfg.penalty {
+                PenaltyRule::Fixed => rho,
+                PenaltyRule::ResidualBalancing { mu, tau } => {
+                    let primal = vector::distance(&x, &z);
+                    // Dual residual of consensus ADMM: ρ‖z^{k+1} − z^k‖ —
+                    // approximate z^k by the spectral snapshot-free previous
+                    // anchor, here we use ‖y^{k+1} − y^k‖ = ρ‖z − x‖ proxy on
+                    // the worker; use the standard ρ·‖x − z‖ pair.
+                    let dual = rho * vector::distance(&z, &spectral_state.z0);
+                    spectral_state.z0 = z.clone();
+                    residual_balancing_update(rho, primal, dual, mu, tau)
+                }
+                PenaltyRule::Spectral(spec_cfg) => {
+                    spectral_update(&spec_cfg, &mut spectral_state, k, rho, &x, &yhat, &z, &y)
+                }
+            };
+
+            // --- 4. Instrumentation: global objective, consensus residual,
+            //        optional test accuracy (not charged as compute).
+            self.record_iteration(comm, &local, test, &z, k, rho, rho, &mut history, wall_start);
+
+            if cfg.consensus_tol > 0.0 {
+                let residual = comm.allreduce_scalar_max(vector::distance(&x, &z));
+                if residual < cfg.consensus_tol {
+                    break;
+                }
+            }
+        }
+
+        NewtonAdmmOutput { z, history, comm_stats: comm.stats(), final_rho: rho, local_x: x }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn record_iteration(
+        &self,
+        comm: &mut dyn Communicator,
+        local: &SoftmaxCrossEntropy,
+        test: Option<&Dataset>,
+        z: &[f64],
+        iteration: usize,
+        _rho_unused: f64,
+        rho: f64,
+        history: &mut RunHistory,
+        wall_start: Instant,
+    ) {
+        // Global objective F(z) = Σ_i f_i(z) + λ‖z‖²/2, and the mean penalty,
+        // folded into a single instrumentation allreduce.
+        let local_loss = local.value(z);
+        let reduced = comm.allreduce_sum(&[local_loss, rho]);
+        let objective = reduced[0] + 0.5 * self.config.lambda * vector::norm2_sq(z);
+        let mean_rho = reduced[1] / comm.size() as f64;
+        let mut record = IterationRecord::new(iteration, comm.elapsed(), wall_start.elapsed().as_secs_f64(), objective)
+            .with_mean_rho(mean_rho)
+            .with_comm_bytes(comm.stats().bytes_sent);
+        if self.config.record_accuracy {
+            if let Some(test_set) = test {
+                let acc = if comm.is_root() { local.accuracy(test_set, z) } else { 0.0 };
+                let acc = comm.allreduce_scalar_max(acc);
+                record = record.with_accuracy(acc);
+            }
+        }
+        history.push(record);
+    }
+
+    /// Convenience wrapper: spawns a simulated cluster with one rank per
+    /// shard, runs [`NewtonAdmm::run_distributed`] on each, and returns the
+    /// master rank's output.
+    ///
+    /// # Panics
+    /// Panics if `shards` is empty.
+    pub fn run_cluster(&self, cluster: &Cluster, shards: &[Dataset], test: Option<&Dataset>) -> NewtonAdmmOutput {
+        assert_eq!(cluster.size(), shards.len(), "need exactly one shard per rank");
+        let mut outputs = cluster.run(|comm| {
+            let shard = &shards[comm.rank()];
+            self.run_distributed(comm, shard, test)
+        });
+        outputs.swap_remove(0)
+    }
+
+    /// Sequential single-process reference implementation of Algorithm 2,
+    /// mathematically identical to the distributed path but with no
+    /// communicator and no simulated timing (sim time = iteration index).
+    /// Used by the tests to validate the distributed execution.
+    pub fn run_reference(&self, shards: &[Dataset], test: Option<&Dataset>) -> NewtonAdmmOutput {
+        assert!(!shards.is_empty(), "need at least one shard");
+        let cfg = &self.config;
+        let locals: Vec<SoftmaxCrossEntropy> = shards.iter().map(|s| SoftmaxCrossEntropy::new(s, 0.0)).collect();
+        let dim = locals[0].dim();
+        let n = shards.len();
+        let newton = NewtonCg::new(cfg.newton_config());
+
+        let mut xs = vec![vec![0.0; dim]; n];
+        let mut ys = vec![vec![0.0; dim]; n];
+        let mut z = vec![0.0; dim];
+        let mut rhos = vec![cfg.rho0; n];
+        let mut states: Vec<SpectralState> = (0..n).map(|_| SpectralState::new(dim)).collect();
+
+        let wall_start = Instant::now();
+        let mut history = RunHistory::new("newton-admm-reference", shards[0].name(), n);
+        let objective = |z: &[f64], locals: &[SoftmaxCrossEntropy]| -> f64 {
+            locals.iter().map(|l| l.value(z)).sum::<f64>() + 0.5 * cfg.lambda * vector::norm2_sq(z)
+        };
+        let mut record = IterationRecord::new(0, 0.0, wall_start.elapsed().as_secs_f64(), objective(&z, &locals));
+        if let Some(t) = test {
+            record = record.with_accuracy(locals[0].accuracy(t, &z));
+        }
+        history.push(record);
+
+        for k in 1..=cfg.max_iters {
+            let mut numerator = vec![0.0; dim];
+            let mut sum_rho = 0.0;
+            let mut yhats = Vec::with_capacity(n);
+            for w in 0..n {
+                let aug = ProximalAugmented::new(locals[w].clone(), z.clone(), ys[w].clone(), rhos[w]);
+                for _ in 0..cfg.newton_steps_per_iter {
+                    let (x_new, _, _) = newton.step(&aug, &xs[w]);
+                    xs[w] = x_new;
+                }
+                let mut yhat = ys[w].clone();
+                for i in 0..dim {
+                    yhat[i] += rhos[w] * (z[i] - xs[w][i]);
+                    numerator[i] += rhos[w] * xs[w][i] - ys[w][i];
+                }
+                sum_rho += rhos[w];
+                yhats.push(yhat);
+            }
+            for zi in numerator.iter_mut() {
+                *zi /= cfg.lambda + sum_rho;
+            }
+            z = numerator;
+            for w in 0..n {
+                for i in 0..dim {
+                    ys[w][i] += rhos[w] * (z[i] - xs[w][i]);
+                }
+                rhos[w] = match cfg.penalty {
+                    PenaltyRule::Fixed => rhos[w],
+                    PenaltyRule::ResidualBalancing { mu, tau } => {
+                        let primal = vector::distance(&xs[w], &z);
+                        let dual = rhos[w] * vector::distance(&z, &states[w].z0);
+                        states[w].z0 = z.clone();
+                        residual_balancing_update(rhos[w], primal, dual, mu, tau)
+                    }
+                    PenaltyRule::Spectral(spec_cfg) => {
+                        spectral_update(&spec_cfg, &mut states[w], k, rhos[w], &xs[w], &yhats[w], &z, &ys[w])
+                    }
+                };
+            }
+            let mut record = IterationRecord::new(k, k as f64, wall_start.elapsed().as_secs_f64(), objective(&z, &locals))
+                .with_mean_rho(rhos.iter().sum::<f64>() / n as f64)
+                .with_consensus_residual(xs.iter().map(|x| vector::distance(x, &z)).fold(0.0, f64::max));
+            if let Some(t) = test {
+                record = record.with_accuracy(locals[0].accuracy(t, &z));
+            }
+            history.push(record);
+        }
+
+        NewtonAdmmOutput {
+            z,
+            history,
+            comm_stats: CommStats::default(),
+            final_rho: rhos.iter().sum::<f64>() / n as f64,
+            local_x: xs.swap_remove(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::penalty::SpectralConfig;
+    use nadmm_cluster::NetworkModel;
+    use nadmm_data::{partition_strong, SyntheticConfig};
+    use nadmm_solver::{NewtonConfig, CgConfig};
+
+    fn small_dataset(n: usize, classes: usize, features: usize, seed: u64) -> (Dataset, Dataset) {
+        SyntheticConfig::mnist_like()
+            .with_train_size(n)
+            .with_test_size(n / 4)
+            .with_num_features(features)
+            .with_num_classes(classes)
+            .generate(seed)
+    }
+
+    fn quick_config(iters: usize) -> NewtonAdmmConfig {
+        NewtonAdmmConfig { max_iters: iters, lambda: 1e-3, ..Default::default() }
+    }
+
+    #[test]
+    fn reference_run_decreases_the_objective_monotonically_enough() {
+        let (train, test) = small_dataset(120, 4, 10, 1);
+        let (shards, _) = partition_strong(&train, 3);
+        let out = NewtonAdmm::new(quick_config(20)).run_reference(&shards, Some(&test));
+        let first = out.history.records[0].objective;
+        let last = out.history.final_objective().unwrap();
+        assert!(last < 0.5 * first, "objective should at least halve: {first} -> {last}");
+        // Better than chance (4 classes ⇒ 25%) by a clear margin.
+        assert!(out.history.final_accuracy().unwrap() > 0.4);
+    }
+
+    #[test]
+    fn distributed_and_reference_agree() {
+        let (train, _) = small_dataset(90, 3, 8, 2);
+        let (shards, _) = partition_strong(&train, 3);
+        let cfg = quick_config(8);
+        let reference = NewtonAdmm::new(cfg).run_reference(&shards, None);
+        let cluster = Cluster::new(3, NetworkModel::infiniband_100g());
+        let distributed = NewtonAdmm::new(cfg).run_cluster(&cluster, &shards, None);
+        // The consensus iterates must agree to floating-point reduction noise.
+        let dist = vector::distance(&reference.z, &distributed.z);
+        let scale = vector::norm2(&reference.z).max(1.0);
+        assert!(dist / scale < 1e-8, "distributed z deviates from reference by {dist}");
+        // And so must the recorded objective values.
+        for (a, b) in reference.history.records.iter().zip(&distributed.history.records) {
+            assert!((a.objective - b.objective).abs() < 1e-6 * (1.0 + a.objective.abs()));
+        }
+    }
+
+    #[test]
+    fn consensus_residual_shrinks_over_iterations() {
+        let (train, _) = small_dataset(80, 3, 6, 3);
+        let (shards, _) = partition_strong(&train, 4);
+        let out = NewtonAdmm::new(quick_config(20)).run_reference(&shards, None);
+        let residuals: Vec<f64> = out.history.records.iter().filter_map(|r| r.consensus_residual).collect();
+        assert!(residuals.len() > 5);
+        let early = residuals[1];
+        let late = *residuals.last().unwrap();
+        assert!(late < early, "consensus residual should shrink: {early} -> {late}");
+    }
+
+    #[test]
+    fn matches_single_node_newton_on_a_single_shard() {
+        // With one worker and λ folded into the z-update, ADMM should reach
+        // (approximately) the same optimum as plain Newton on the full
+        // regularised objective.
+        let (train, _) = small_dataset(100, 3, 6, 4);
+        let lambda = 1e-2;
+        let obj = SoftmaxCrossEntropy::new(&train, lambda);
+        let newton = NewtonCg::new(NewtonConfig {
+            max_iters: 50,
+            cg: CgConfig { max_iters: 50, tolerance: 1e-10 },
+            ..Default::default()
+        })
+        .minimize(&obj, &vec![0.0; obj.dim()]);
+        let cfg = NewtonAdmmConfig { max_iters: 60, lambda, ..Default::default() };
+        let admm = NewtonAdmm::new(cfg).run_reference(std::slice::from_ref(&train), None);
+        let admm_value = obj.value(&admm.z);
+        assert!(
+            (admm_value - newton.value) / newton.value.abs() < 1e-2,
+            "ADMM value {admm_value} vs Newton value {}",
+            newton.value
+        );
+    }
+
+    #[test]
+    fn fixed_and_spectral_penalties_both_converge_spectral_no_slower() {
+        let (train, _) = small_dataset(120, 4, 8, 5);
+        let (shards, _) = partition_strong(&train, 4);
+        let iters = 25;
+        let fixed = NewtonAdmm::new(quick_config(iters).with_penalty(PenaltyRule::Fixed)).run_reference(&shards, None);
+        let spectral = NewtonAdmm::new(quick_config(iters).with_penalty(PenaltyRule::Spectral(SpectralConfig::default())))
+            .run_reference(&shards, None);
+        let f_fixed = fixed.history.final_objective().unwrap();
+        let f_spectral = spectral.history.final_objective().unwrap();
+        assert!(f_spectral <= f_fixed * 1.10, "spectral ({f_spectral}) should not lag fixed ({f_fixed}) badly");
+    }
+
+    #[test]
+    fn residual_balancing_also_converges() {
+        let (train, _) = small_dataset(80, 3, 6, 6);
+        let (shards, _) = partition_strong(&train, 2);
+        let cfg = quick_config(20).with_penalty(PenaltyRule::ResidualBalancing { mu: 10.0, tau: 2.0 });
+        let out = NewtonAdmm::new(cfg).run_reference(&shards, None);
+        let first = out.history.records[0].objective;
+        assert!(out.history.final_objective().unwrap() < first);
+    }
+
+    #[test]
+    fn simulated_time_and_comm_counters_advance() {
+        let (train, _) = small_dataset(80, 3, 6, 7);
+        let (shards, _) = partition_strong(&train, 4);
+        let cluster = Cluster::new(4, NetworkModel::infiniband_100g());
+        let out = NewtonAdmm::new(quick_config(5)).run_cluster(&cluster, &shards, None);
+        assert!(out.history.total_sim_time() > 0.0);
+        assert!(out.comm_stats.collectives > 0);
+        assert!(out.comm_stats.bytes_sent > 0.0);
+        assert!(out.comm_stats.compute_time > 0.0);
+        // One reduce + one broadcast per iteration plus two instrumentation
+        // scalar allreduces per recorded iteration: at most ~5 collectives
+        // per iteration.
+        assert!(out.comm_stats.collectives <= 6 * 6);
+    }
+
+    #[test]
+    fn early_stopping_on_consensus_tolerance() {
+        let (train, _) = small_dataset(60, 3, 5, 8);
+        let (shards, _) = partition_strong(&train, 2);
+        let cfg = NewtonAdmmConfig { max_iters: 100, lambda: 1e-2, consensus_tol: 1e-1, ..Default::default() };
+        let cluster = Cluster::new(2, NetworkModel::ideal());
+        let out = NewtonAdmm::new(cfg).run_cluster(&cluster, &shards, None);
+        assert!(out.history.len() < 101, "should stop well before 100 iterations");
+    }
+
+    #[test]
+    #[should_panic]
+    fn shard_count_must_match_cluster_size() {
+        let (train, _) = small_dataset(40, 3, 4, 9);
+        let (shards, _) = partition_strong(&train, 2);
+        let cluster = Cluster::new(3, NetworkModel::ideal());
+        NewtonAdmm::new(quick_config(2)).run_cluster(&cluster, &shards, None);
+    }
+}

@@ -1,0 +1,259 @@
+//! Penalty-parameter selection rules for consensus ADMM.
+//!
+//! The paper (§2.2) adopts the *spectral penalty selection* (SPS) of Xu et
+//! al.'s Adaptive Consensus ADMM: each worker estimates the curvature of its
+//! local subproblem and of the consensus update from Barzilai–Borwein style
+//! secant pairs of the primal/dual iterates and sets
+//! `ρ_i = √(α̂_i · β̂_i)`, safeguarded by correlation tests so that noisy
+//! estimates never destabilise the run. Residual balancing (He et al. 2000)
+//! and a fixed penalty are provided as ablation baselines.
+
+use nadmm_linalg::vector;
+use serde::{Deserialize, Serialize};
+
+/// How the per-worker penalty ρ_i is adapted across outer iterations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PenaltyRule {
+    /// Keep ρ_i at its initial value forever.
+    Fixed,
+    /// Residual balancing: multiply/divide ρ by `tau` whenever the primal
+    /// residual exceeds `mu` times the dual residual or vice versa.
+    ResidualBalancing {
+        /// Imbalance factor triggering an update (He et al. use 10).
+        mu: f64,
+        /// Multiplicative update factor (He et al. use 2).
+        tau: f64,
+    },
+    /// Spectral penalty selection (ACADMM), the paper's choice.
+    Spectral(SpectralConfig),
+}
+
+impl Default for PenaltyRule {
+    fn default() -> Self {
+        PenaltyRule::Spectral(SpectralConfig::default())
+    }
+}
+
+/// Parameters of the safeguarded spectral (ACADMM) rule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpectralConfig {
+    /// Minimum correlation between secant pairs for an estimate to be
+    /// trusted (ACADMM uses 0.2).
+    pub correlation_threshold: f64,
+    /// Update ρ every `update_every` outer iterations (ACADMM uses 2).
+    pub update_every: usize,
+    /// Convergence safeguard constant: at iteration k, ρ may change by at
+    /// most a factor `1 + safeguard / k²`.
+    pub safeguard: f64,
+    /// Hard bounds keeping ρ in `[rho_min, rho_max]`.
+    pub rho_min: f64,
+    /// Upper bound on ρ.
+    pub rho_max: f64,
+}
+
+impl Default for SpectralConfig {
+    fn default() -> Self {
+        Self { correlation_threshold: 0.2, update_every: 2, safeguard: 1e10, rho_min: 1e-6, rho_max: 1e6 }
+    }
+}
+
+/// Per-worker state of the spectral penalty estimator: a snapshot of the
+/// iterates at the last spectral update, used to form the secant pairs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpectralState {
+    /// Iteration at which the snapshot was taken.
+    pub snapshot_iter: usize,
+    /// Local primal iterate x_i at the snapshot.
+    pub x0: Vec<f64>,
+    /// Intermediate dual ŷ_i at the snapshot.
+    pub yhat0: Vec<f64>,
+    /// Consensus iterate z at the snapshot.
+    pub z0: Vec<f64>,
+    /// Dual iterate y_i at the snapshot.
+    pub y0: Vec<f64>,
+}
+
+impl SpectralState {
+    /// Initial state anchored at the starting iterates.
+    pub fn new(dim: usize) -> Self {
+        Self { snapshot_iter: 0, x0: vec![0.0; dim], yhat0: vec![0.0; dim], z0: vec![0.0; dim], y0: vec![0.0; dim] }
+    }
+}
+
+/// A safeguarded Barzilai–Borwein curvature estimate from one secant pair
+/// `(Δprimal, Δdual)`: returns `(estimate, correlation)` or `None` when the
+/// pair is degenerate.
+fn bb_estimate(d_primal: &[f64], d_dual: &[f64]) -> Option<(f64, f64)> {
+    let pp = vector::norm2_sq(d_primal);
+    let dd = vector::norm2_sq(d_dual);
+    let pd = vector::dot(d_primal, d_dual);
+    if pp <= 1e-24 || dd <= 1e-24 || pd <= 1e-24 {
+        return None;
+    }
+    let alpha_sd = dd / pd; // steepest descent estimate
+    let alpha_mg = pd / pp; // minimum gradient estimate
+    let estimate = if 2.0 * alpha_mg > alpha_sd { alpha_mg } else { alpha_sd - alpha_mg / 2.0 };
+    let correlation = pd / (pp.sqrt() * dd.sqrt());
+    Some((estimate, correlation))
+}
+
+/// One spectral penalty update for a single worker (ACADMM, Xu et al. 2017).
+///
+/// Arguments are the current iterates and the stored snapshot; on an update
+/// step the snapshot is refreshed and the (possibly unchanged) new ρ is
+/// returned.
+#[allow(clippy::too_many_arguments)]
+pub fn spectral_update(
+    config: &SpectralConfig,
+    state: &mut SpectralState,
+    iteration: usize,
+    rho: f64,
+    x: &[f64],
+    yhat: &[f64],
+    z: &[f64],
+    y: &[f64],
+) -> f64 {
+    if iteration == 0 || iteration % config.update_every != 0 {
+        return rho;
+    }
+    let dx = vector::sub(x, &state.x0);
+    let dyhat = vector::sub(yhat, &state.yhat0);
+    let dz = vector::sub(z, &state.z0);
+    let dy = vector::sub(y, &state.y0);
+
+    // α̂: curvature of the local subproblem seen through (Δx, Δŷ).
+    let alpha = bb_estimate(&dx, &dyhat);
+    // β̂: curvature of the consensus update seen through (Δz, Δy).
+    let beta = bb_estimate(&dz, &dy);
+
+    let mut new_rho = rho;
+    let eps = config.correlation_threshold;
+    match (alpha, beta) {
+        (Some((a, ac)), Some((b, bc))) if ac > eps && bc > eps => new_rho = (a * b).sqrt(),
+        (Some((a, ac)), _) if ac > eps => new_rho = a,
+        (_, Some((b, bc))) if bc > eps => new_rho = b,
+        _ => {}
+    }
+
+    // Convergence safeguard: bound the relative change by 1 + C/k².
+    let k = iteration as f64;
+    let bound = 1.0 + config.safeguard / (k * k);
+    new_rho = new_rho.clamp(rho / bound, rho * bound);
+    new_rho = new_rho.clamp(config.rho_min, config.rho_max);
+
+    // Refresh the snapshot.
+    state.snapshot_iter = iteration;
+    state.x0 = x.to_vec();
+    state.yhat0 = yhat.to_vec();
+    state.z0 = z.to_vec();
+    state.y0 = y.to_vec();
+
+    new_rho
+}
+
+/// One residual-balancing update: `rho` is multiplied by `tau` when the
+/// primal residual dominates and divided by `tau` when the dual residual
+/// dominates (He et al. 2000).
+pub fn residual_balancing_update(rho: f64, primal_residual: f64, dual_residual: f64, mu: f64, tau: f64) -> f64 {
+    if primal_residual > mu * dual_residual {
+        rho * tau
+    } else if dual_residual > mu * primal_residual {
+        rho / tau
+    } else {
+        rho
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_rule_is_default_free() {
+        assert!(matches!(PenaltyRule::default(), PenaltyRule::Spectral(_)));
+        let cfg = SpectralConfig::default();
+        assert_eq!(cfg.update_every, 2);
+        assert!((cfg.correlation_threshold - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn residual_balancing_moves_rho_in_the_right_direction() {
+        let rho = 1.0;
+        assert!(residual_balancing_update(rho, 100.0, 1.0, 10.0, 2.0) > rho);
+        assert!(residual_balancing_update(rho, 1.0, 100.0, 10.0, 2.0) < rho);
+        assert_eq!(residual_balancing_update(rho, 5.0, 4.0, 10.0, 2.0), rho);
+    }
+
+    #[test]
+    fn bb_estimate_recovers_scalar_curvature() {
+        // If Δdual = c · Δprimal exactly, both BB estimates equal c and the
+        // correlation is 1.
+        let dp = vec![1.0, -2.0, 0.5];
+        let dd: Vec<f64> = dp.iter().map(|v| 3.0 * v).collect();
+        let (est, cor) = bb_estimate(&dp, &dd).unwrap();
+        assert!((est - 3.0).abs() < 1e-12);
+        assert!((cor - 1.0).abs() < 1e-12);
+        assert!(bb_estimate(&[0.0, 0.0, 0.0], &dd).is_none());
+    }
+
+    #[test]
+    fn spectral_update_only_fires_on_schedule() {
+        let cfg = SpectralConfig::default();
+        let mut state = SpectralState::new(3);
+        let rho = 1.0;
+        // Odd iteration (and iteration 0): no change, no snapshot refresh.
+        let r = spectral_update(&cfg, &mut state, 1, rho, &[1.0, 0.0, 0.0], &[2.0, 0.0, 0.0], &[0.5, 0.0, 0.0], &[1.0, 0.0, 0.0]);
+        assert_eq!(r, rho);
+        assert_eq!(state.snapshot_iter, 0);
+        let r0 = spectral_update(&cfg, &mut state, 0, rho, &[1.0, 0.0, 0.0], &[2.0, 0.0, 0.0], &[0.5, 0.0, 0.0], &[1.0, 0.0, 0.0]);
+        assert_eq!(r0, rho);
+    }
+
+    #[test]
+    fn spectral_update_tracks_known_curvature() {
+        // Construct iterates where Δŷ = 4·Δx and Δy = 9·Δz; the spectral rule
+        // should pick ρ = sqrt(4·9) = 6.
+        let cfg = SpectralConfig { update_every: 1, safeguard: 1e12, ..Default::default() };
+        let mut state = SpectralState::new(2);
+        let x = vec![1.0, 2.0];
+        let yhat: Vec<f64> = x.iter().map(|v| 4.0 * v).collect();
+        let z = vec![0.5, -1.0];
+        let y: Vec<f64> = z.iter().map(|v| 9.0 * v).collect();
+        let rho = spectral_update(&cfg, &mut state, 2, 1.0, &x, &yhat, &z, &y);
+        assert!((rho - 6.0).abs() < 1e-9, "expected sqrt(36)=6, got {rho}");
+        assert_eq!(state.snapshot_iter, 2);
+        assert_eq!(state.x0, x);
+    }
+
+    #[test]
+    fn spectral_update_falls_back_when_correlations_are_low() {
+        // Orthogonal secant pairs => zero correlation => keep the old rho.
+        let cfg = SpectralConfig { update_every: 1, ..Default::default() };
+        let mut state = SpectralState::new(2);
+        let rho = spectral_update(&cfg, &mut state, 2, 1.7, &[1.0, 0.0], &[0.0, 1.0], &[0.0, 2.0], &[3.0, 0.0]);
+        assert_eq!(rho, 1.7);
+    }
+
+    #[test]
+    fn safeguard_bounds_the_change() {
+        // A huge curvature estimate at a late iteration must be clipped by
+        // the 1 + C/k² bound.
+        let cfg = SpectralConfig { update_every: 1, safeguard: 1.0, ..Default::default() };
+        let mut state = SpectralState::new(1);
+        let k = 10usize;
+        let bound = 1.0 + 1.0 / (k as f64 * k as f64);
+        let rho = spectral_update(&cfg, &mut state, k, 1.0, &[1.0], &[1000.0], &[1.0], &[1000.0]);
+        assert!(rho <= bound + 1e-12, "rho {rho} exceeded the safeguard bound {bound}");
+    }
+
+    #[test]
+    fn hard_bounds_are_enforced() {
+        let cfg = SpectralConfig { update_every: 1, rho_min: 0.5, rho_max: 2.0, ..Default::default() };
+        let mut state = SpectralState::new(1);
+        let rho = spectral_update(&cfg, &mut state, 2, 1.0, &[1.0], &[1e9], &[1.0], &[1e9]);
+        assert!(rho <= 2.0);
+        let mut state2 = SpectralState::new(1);
+        let rho2 = spectral_update(&cfg, &mut state2, 2, 1.0, &[1.0], &[1e-9], &[1.0], &[1e-9]);
+        assert!(rho2 >= 0.5);
+    }
+}

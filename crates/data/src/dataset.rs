@@ -1,0 +1,269 @@
+//! Labelled classification datasets.
+
+use nadmm_linalg::{gen, DenseMatrix, Matrix};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A labelled multiclass classification dataset.
+///
+/// Labels are class indices in `0..num_classes`. Following the paper's
+/// parameterisation (§5), class `num_classes − 1` acts as the reference class
+/// whose weight vector is pinned to zero, so the model has `(C−1)·p` degrees
+/// of freedom.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    features: Matrix,
+    labels: Vec<usize>,
+    num_classes: usize,
+    name: String,
+}
+
+impl Dataset {
+    /// Creates a dataset from a feature matrix and labels.
+    ///
+    /// # Panics
+    /// Panics if the number of labels differs from the number of feature
+    /// rows, if `num_classes < 2`, or if a label is out of range.
+    pub fn new(name: impl Into<String>, features: Matrix, labels: Vec<usize>, num_classes: usize) -> Self {
+        assert_eq!(features.rows(), labels.len(), "features/labels length mismatch");
+        assert!(num_classes >= 2, "need at least two classes");
+        assert!(labels.iter().all(|&l| l < num_classes), "label out of range");
+        Self { features: features, labels, num_classes, name: name.into() }
+    }
+
+    /// Dataset name (used in reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The feature matrix (n × p).
+    pub fn features(&self) -> &Matrix {
+        &self.features
+    }
+
+    /// The label vector (length n).
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Number of samples n.
+    pub fn num_samples(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of features p.
+    pub fn num_features(&self) -> usize {
+        self.features.cols()
+    }
+
+    /// Number of classes C.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Dimension of the optimisation variable, `(C−1)·p`.
+    pub fn weight_dim(&self) -> usize {
+        (self.num_classes - 1) * self.num_features()
+    }
+
+    /// Whether the feature matrix is stored sparsely.
+    pub fn is_sparse(&self) -> bool {
+        self.features.is_sparse()
+    }
+
+    /// Returns a new dataset containing rows `start..end`.
+    pub fn slice(&self, start: usize, end: usize) -> Dataset {
+        Dataset {
+            features: self.features.slice_rows(start, end),
+            labels: self.labels[start..end].to_vec(),
+            num_classes: self.num_classes,
+            name: format!("{}[{start}..{end}]", self.name),
+        }
+    }
+
+    /// Returns a new dataset containing the rows selected by `indices`.
+    pub fn select(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            features: self.features.select_rows(indices),
+            labels: indices.iter().map(|&i| self.labels[i]).collect(),
+            num_classes: self.num_classes,
+            name: format!("{}[selected {}]", self.name, indices.len()),
+        }
+    }
+
+    /// Randomly subsamples `k` rows without replacement.
+    ///
+    /// # Panics
+    /// Panics if `k > num_samples()`.
+    pub fn subsample(&self, k: usize, rng: &mut impl Rng) -> Dataset {
+        let idx = gen::sample_without_replacement(self.num_samples(), k, rng);
+        self.select(&idx)
+    }
+
+    /// Returns a shuffled copy of the dataset.
+    pub fn shuffled(&self, rng: &mut impl Rng) -> Dataset {
+        let perm = gen::permutation(self.num_samples(), rng);
+        self.select(&perm)
+    }
+
+    /// Splits into `(train, test)` at `train_fraction` of the samples.
+    ///
+    /// # Panics
+    /// Panics if the fraction is not in `(0, 1)`.
+    pub fn split(&self, train_fraction: f64) -> (Dataset, Dataset) {
+        assert!(train_fraction > 0.0 && train_fraction < 1.0, "train_fraction must be in (0,1)");
+        let n_train = ((self.num_samples() as f64) * train_fraction).round() as usize;
+        let n_train = n_train.clamp(1, self.num_samples() - 1);
+        (self.slice(0, n_train), self.slice(n_train, self.num_samples()))
+    }
+
+    /// Standardises every feature column (zero mean, unit variance) for dense
+    /// feature matrices; sparse matrices are left untouched (centering would
+    /// destroy sparsity), matching standard practice for sparse text/genomics
+    /// data.
+    pub fn standardized(&self) -> Dataset {
+        match &self.features {
+            Matrix::Sparse(_) => self.clone(),
+            Matrix::Dense(d) => {
+                let means = d.col_means();
+                let stds = d.col_stds();
+                let mut out = d.clone();
+                for i in 0..out.rows() {
+                    let row = out.row_mut(i);
+                    for (j, v) in row.iter_mut().enumerate() {
+                        let s = if stds[j] > 1e-12 { stds[j] } else { 1.0 };
+                        *v = (*v - means[j]) / s;
+                    }
+                }
+                Dataset {
+                    features: Matrix::Dense(out),
+                    labels: self.labels.clone(),
+                    num_classes: self.num_classes,
+                    name: self.name.clone(),
+                }
+            }
+        }
+    }
+
+    /// Per-class sample counts.
+    pub fn class_histogram(&self) -> Vec<usize> {
+        let mut h = vec![0usize; self.num_classes];
+        for &l in &self.labels {
+            h[l] += 1;
+        }
+        h
+    }
+
+    /// One-hot indicator matrix over the first `C−1` classes (the reference
+    /// class row is all zeros), shape `n × (C−1)`. This is the `Y` matrix in
+    /// the softmax gradient `G = (P − Y)ᵀ X`.
+    pub fn one_hot_reduced(&self) -> DenseMatrix {
+        let c1 = self.num_classes - 1;
+        let mut y = DenseMatrix::zeros(self.num_samples(), c1);
+        for (i, &l) in self.labels.iter().enumerate() {
+            if l < c1 {
+                y.set(i, l, 1.0);
+            }
+        }
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nadmm_linalg::gen::seeded_rng;
+
+    fn toy() -> Dataset {
+        let x = DenseMatrix::from_vec(4, 2, vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+        Dataset::new("toy", Matrix::Dense(x), vec![0, 1, 2, 0], 3)
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let d = toy();
+        assert_eq!(d.name(), "toy");
+        assert_eq!(d.num_samples(), 4);
+        assert_eq!(d.num_features(), 2);
+        assert_eq!(d.num_classes(), 3);
+        assert_eq!(d.weight_dim(), 4);
+        assert!(!d.is_sparse());
+        assert_eq!(d.class_histogram(), vec![2, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn label_out_of_range_is_rejected() {
+        let x = DenseMatrix::zeros(1, 1);
+        Dataset::new("bad", Matrix::Dense(x), vec![5], 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn length_mismatch_is_rejected() {
+        let x = DenseMatrix::zeros(2, 1);
+        Dataset::new("bad", Matrix::Dense(x), vec![0], 2);
+    }
+
+    #[test]
+    fn slicing_and_selection() {
+        let d = toy();
+        let s = d.slice(1, 3);
+        assert_eq!(s.num_samples(), 2);
+        assert_eq!(s.labels(), &[1, 2]);
+        let sel = d.select(&[3, 0]);
+        assert_eq!(sel.labels(), &[0, 0]);
+        assert_eq!(sel.features().to_dense().get(0, 0), 6.0);
+    }
+
+    #[test]
+    fn subsample_and_shuffle_preserve_population() {
+        let d = toy();
+        let mut rng = seeded_rng(1);
+        let sub = d.subsample(2, &mut rng);
+        assert_eq!(sub.num_samples(), 2);
+        let sh = d.shuffled(&mut rng);
+        assert_eq!(sh.num_samples(), 4);
+        let mut h1 = d.class_histogram();
+        let mut h2 = sh.class_histogram();
+        h1.sort_unstable();
+        h2.sort_unstable();
+        assert_eq!(h1, h2);
+    }
+
+    #[test]
+    fn split_fractions() {
+        let d = toy();
+        let (tr, te) = d.split(0.5);
+        assert_eq!(tr.num_samples(), 2);
+        assert_eq!(te.num_samples(), 2);
+        let (tr, te) = d.split(0.9);
+        assert_eq!(tr.num_samples() + te.num_samples(), 4);
+        assert!(te.num_samples() >= 1);
+    }
+
+    #[test]
+    fn standardization_centres_dense_columns() {
+        let d = toy().standardized();
+        if let Matrix::Dense(m) = d.features() {
+            let means = m.col_means();
+            for mval in means {
+                assert!(mval.abs() < 1e-10);
+            }
+        } else {
+            panic!("expected dense");
+        }
+    }
+
+    #[test]
+    fn one_hot_reduced_shape_and_content() {
+        let d = toy();
+        let y = d.one_hot_reduced();
+        assert_eq!(y.rows(), 4);
+        assert_eq!(y.cols(), 2);
+        assert_eq!(y.get(0, 0), 1.0);
+        assert_eq!(y.get(1, 1), 1.0);
+        // Sample 2 has the reference class -> all zeros.
+        assert_eq!(y.row(2), &[0.0, 0.0]);
+    }
+}

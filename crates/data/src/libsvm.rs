@@ -1,0 +1,165 @@
+//! LIBSVM / SVMlight format parser.
+//!
+//! The paper's datasets (HIGGS, MNIST, CIFAR-10, E18) are commonly
+//! distributed in LIBSVM format (`label idx:value idx:value …`, 1-based
+//! indices). This parser lets users drop the real datasets into the
+//! reproduction unchanged; the tests and benches use the synthetic analogues
+//! from [`crate::synthetic`].
+
+use crate::dataset::Dataset;
+use nadmm_linalg::{CsrMatrix, Matrix};
+use std::io::BufRead;
+use std::path::Path;
+
+/// Errors from parsing LIBSVM data.
+#[derive(Debug)]
+pub enum LibsvmError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line (bad label, bad index:value pair, …).
+    Parse { line: usize, message: String },
+}
+
+impl std::fmt::Display for LibsvmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LibsvmError::Io(e) => write!(f, "i/o error: {e}"),
+            LibsvmError::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for LibsvmError {}
+
+impl From<std::io::Error> for LibsvmError {
+    fn from(e: std::io::Error) -> Self {
+        LibsvmError::Io(e)
+    }
+}
+
+/// Parses LIBSVM-formatted text into a sparse [`Dataset`].
+///
+/// Labels may be arbitrary integers (e.g. `-1/+1` or `1..10`); they are
+/// remapped to contiguous class indices `0..C` in sorted order of the
+/// distinct labels encountered.
+pub fn parse_libsvm(reader: impl BufRead, name: &str) -> Result<Dataset, LibsvmError> {
+    let mut raw_labels: Vec<i64> = Vec::new();
+    let mut triplets: Vec<(usize, usize, f64)> = Vec::new();
+    let mut max_col = 0usize;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let row = raw_labels.len();
+        let mut parts = line.split_whitespace();
+        let label_tok = parts.next().ok_or_else(|| LibsvmError::Parse { line: lineno + 1, message: "missing label".into() })?;
+        let label: i64 = label_tok
+            .parse::<f64>()
+            .map_err(|e| LibsvmError::Parse { line: lineno + 1, message: format!("bad label '{label_tok}': {e}") })?
+            .round() as i64;
+        raw_labels.push(label);
+        for tok in parts {
+            let (idx, val) = tok.split_once(':').ok_or_else(|| LibsvmError::Parse {
+                line: lineno + 1,
+                message: format!("expected idx:value, got '{tok}'"),
+            })?;
+            let idx: usize = idx
+                .parse()
+                .map_err(|e| LibsvmError::Parse { line: lineno + 1, message: format!("bad index '{idx}': {e}") })?;
+            if idx == 0 {
+                return Err(LibsvmError::Parse { line: lineno + 1, message: "LIBSVM indices are 1-based".into() });
+            }
+            let val: f64 = val
+                .parse()
+                .map_err(|e| LibsvmError::Parse { line: lineno + 1, message: format!("bad value '{val}': {e}") })?;
+            max_col = max_col.max(idx);
+            triplets.push((row, idx - 1, val));
+        }
+    }
+    if raw_labels.is_empty() {
+        return Err(LibsvmError::Parse { line: 0, message: "empty input".into() });
+    }
+    // Remap labels to 0..C.
+    let mut distinct: Vec<i64> = raw_labels.clone();
+    distinct.sort_unstable();
+    distinct.dedup();
+    let num_classes = distinct.len().max(2);
+    let labels: Vec<usize> = raw_labels
+        .iter()
+        .map(|l| distinct.binary_search(l).expect("label present") as usize)
+        .collect();
+    let features = CsrMatrix::from_triplets(raw_labels.len(), max_col.max(1), &triplets);
+    Ok(Dataset::new(name, Matrix::Sparse(features), labels, num_classes))
+}
+
+/// Reads and parses a LIBSVM file from disk.
+pub fn read_libsvm(path: impl AsRef<Path>) -> Result<Dataset, LibsvmError> {
+    let file = std::fs::File::open(path.as_ref())?;
+    let name = path.as_ref().file_stem().and_then(|s| s.to_str()).unwrap_or("libsvm").to_string();
+    parse_libsvm(std::io::BufReader::new(file), &name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_simple_multiclass_file() {
+        let text = "1 1:0.5 3:1.0\n2 2:2.0\n3 1:-1.0 2:0.25 3:0.75\n";
+        let d = parse_libsvm(Cursor::new(text), "toy").unwrap();
+        assert_eq!(d.num_samples(), 3);
+        assert_eq!(d.num_features(), 3);
+        assert_eq!(d.num_classes(), 3);
+        assert_eq!(d.labels(), &[0, 1, 2]);
+        let dense = d.features().to_dense();
+        assert_eq!(dense.get(0, 0), 0.5);
+        assert_eq!(dense.get(0, 2), 1.0);
+        assert_eq!(dense.get(1, 1), 2.0);
+    }
+
+    #[test]
+    fn remaps_plus_minus_one_labels() {
+        let text = "-1 1:1.0\n+1 1:2.0\n-1 2:0.5\n";
+        let d = parse_libsvm(Cursor::new(text), "binary").unwrap();
+        assert_eq!(d.num_classes(), 2);
+        assert_eq!(d.labels(), &[0, 1, 0]);
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let text = "# header\n\n1 1:1.0\n2 1:2.0\n";
+        let d = parse_libsvm(Cursor::new(text), "c").unwrap();
+        assert_eq!(d.num_samples(), 2);
+    }
+
+    #[test]
+    fn rejects_zero_based_indices() {
+        let text = "1 0:1.0\n";
+        let err = parse_libsvm(Cursor::new(text), "bad").unwrap_err();
+        assert!(matches!(err, LibsvmError::Parse { .. }));
+        assert!(format!("{err}").contains("1-based"));
+    }
+
+    #[test]
+    fn rejects_malformed_pairs_and_labels() {
+        assert!(parse_libsvm(Cursor::new("abc 1:1.0\n"), "bad").is_err());
+        assert!(parse_libsvm(Cursor::new("1 12\n"), "bad").is_err());
+        assert!(parse_libsvm(Cursor::new("1 x:1.0\n"), "bad").is_err());
+        assert!(parse_libsvm(Cursor::new("1 1:zz\n"), "bad").is_err());
+        assert!(parse_libsvm(Cursor::new(""), "bad").is_err());
+    }
+
+    #[test]
+    fn read_from_disk_round_trip() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("nadmm_libsvm_test.txt");
+        std::fs::write(&path, "1 1:1.5\n2 2:2.5\n").unwrap();
+        let d = read_libsvm(&path).unwrap();
+        assert_eq!(d.num_samples(), 2);
+        std::fs::remove_file(&path).ok();
+        assert!(read_libsvm(dir.join("does_not_exist_nadmm.txt")).is_err());
+    }
+}

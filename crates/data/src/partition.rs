@@ -1,0 +1,148 @@
+//! Data partitioning for strong- and weak-scaling experiments.
+//!
+//! * **Strong scaling** (paper Figure 2/3, "s1..s8"): the total number of
+//!   training samples is fixed and split evenly across the workers, so more
+//!   workers ⇒ fewer samples each.
+//! * **Weak scaling** ("w1..w8"): every worker holds a fixed number of
+//!   samples, so more workers ⇒ a proportionally bigger total problem.
+
+use crate::dataset::Dataset;
+use serde::{Deserialize, Serialize};
+
+/// Describes how a dataset was split across workers.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartitionPlan {
+    /// Number of workers.
+    pub num_workers: usize,
+    /// Number of samples assigned to each worker (by rank).
+    pub samples_per_worker: Vec<usize>,
+    /// `"strong"` or `"weak"`.
+    pub mode: String,
+}
+
+impl PartitionPlan {
+    /// Total number of samples across all workers.
+    pub fn total_samples(&self) -> usize {
+        self.samples_per_worker.iter().sum()
+    }
+}
+
+/// Strong-scaling partition: splits the *entire* dataset across `num_workers`
+/// shards of (nearly) equal size. Every sample is assigned to exactly one
+/// worker; the first `n % num_workers` workers get one extra sample.
+///
+/// # Panics
+/// Panics if `num_workers == 0` or exceeds the number of samples.
+pub fn partition_strong(data: &Dataset, num_workers: usize) -> (Vec<Dataset>, PartitionPlan) {
+    assert!(num_workers > 0, "need at least one worker");
+    let n = data.num_samples();
+    assert!(num_workers <= n, "cannot split {n} samples across {num_workers} workers");
+    let base = n / num_workers;
+    let extra = n % num_workers;
+    let mut shards = Vec::with_capacity(num_workers);
+    let mut sizes = Vec::with_capacity(num_workers);
+    let mut start = 0usize;
+    for w in 0..num_workers {
+        let len = base + usize::from(w < extra);
+        shards.push(data.slice(start, start + len));
+        sizes.push(len);
+        start += len;
+    }
+    let plan = PartitionPlan { num_workers, samples_per_worker: sizes, mode: "strong".to_string() };
+    (shards, plan)
+}
+
+/// Weak-scaling partition: every worker receives exactly `per_worker`
+/// samples taken from the front of the dataset (worker `w` gets samples
+/// `[w·per_worker, (w+1)·per_worker)`).
+///
+/// # Panics
+/// Panics if the dataset does not contain `num_workers * per_worker`
+/// samples.
+pub fn partition_weak(data: &Dataset, num_workers: usize, per_worker: usize) -> (Vec<Dataset>, PartitionPlan) {
+    assert!(num_workers > 0, "need at least one worker");
+    let needed = num_workers * per_worker;
+    assert!(
+        data.num_samples() >= needed,
+        "weak scaling needs {needed} samples but the dataset has {}",
+        data.num_samples()
+    );
+    let mut shards = Vec::with_capacity(num_workers);
+    for w in 0..num_workers {
+        shards.push(data.slice(w * per_worker, (w + 1) * per_worker));
+    }
+    let plan = PartitionPlan {
+        num_workers,
+        samples_per_worker: vec![per_worker; num_workers],
+        mode: "weak".to_string(),
+    };
+    (shards, plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nadmm_linalg::{DenseMatrix, Matrix};
+
+    fn dataset(n: usize) -> Dataset {
+        let x = DenseMatrix::from_fn(n, 3, |i, j| (i * 3 + j) as f64);
+        let labels: Vec<usize> = (0..n).map(|i| i % 4).collect();
+        Dataset::new("part-test", Matrix::Dense(x), labels, 4)
+    }
+
+    #[test]
+    fn strong_partition_covers_all_samples() {
+        let d = dataset(10);
+        let (shards, plan) = partition_strong(&d, 3);
+        assert_eq!(shards.len(), 3);
+        assert_eq!(plan.total_samples(), 10);
+        assert_eq!(plan.samples_per_worker, vec![4, 3, 3]);
+        assert_eq!(plan.mode, "strong");
+        // Shards are disjoint contiguous slices: first rows line up.
+        assert_eq!(shards[0].features().to_dense().get(0, 0), 0.0);
+        assert_eq!(shards[1].features().to_dense().get(0, 0), 12.0);
+    }
+
+    #[test]
+    fn strong_partition_halves_shard_size_when_workers_double() {
+        let d = dataset(64);
+        let (s2, _) = partition_strong(&d, 2);
+        let (s4, _) = partition_strong(&d, 4);
+        assert_eq!(s2[0].num_samples(), 32);
+        assert_eq!(s4[0].num_samples(), 16);
+    }
+
+    #[test]
+    fn weak_partition_keeps_per_worker_constant() {
+        let d = dataset(40);
+        let (shards, plan) = partition_weak(&d, 4, 10);
+        assert_eq!(shards.len(), 4);
+        assert!(shards.iter().all(|s| s.num_samples() == 10));
+        assert_eq!(plan.total_samples(), 40);
+        assert_eq!(plan.mode, "weak");
+    }
+
+    #[test]
+    #[should_panic]
+    fn weak_partition_requires_enough_samples() {
+        let d = dataset(10);
+        partition_weak(&d, 4, 10);
+    }
+
+    #[test]
+    #[should_panic]
+    fn strong_partition_rejects_zero_workers() {
+        let d = dataset(10);
+        partition_strong(&d, 0);
+    }
+
+    #[test]
+    fn single_worker_partitions_are_identity() {
+        let d = dataset(7);
+        let (s, plan) = partition_strong(&d, 1);
+        assert_eq!(s[0].num_samples(), 7);
+        assert_eq!(plan.samples_per_worker, vec![7]);
+        let (w, _) = partition_weak(&d, 1, 7);
+        assert_eq!(w[0].num_samples(), 7);
+    }
+}

@@ -1,0 +1,99 @@
+//! Device-resident buffers.
+//!
+//! A [`DeviceBuffer`] models memory that lives on the accelerator. The data
+//! is of course plain host memory here, but the constructor / readback APIs
+//! mirror a real device runtime (explicit uploads and downloads) so that the
+//! optimizers must be explicit about every host↔device movement, and the
+//! [`crate::Device`] can charge the transfer cost model for each one.
+
+use serde::{Deserialize, Serialize};
+
+/// A buffer of `f64` values resident on a (simulated) device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceBuffer {
+    data: Vec<f64>,
+}
+
+impl DeviceBuffer {
+    /// Allocates a zero-initialised buffer of `len` elements.
+    pub fn zeros(len: usize) -> Self {
+        Self { data: vec![0.0; len] }
+    }
+
+    /// Wraps host data that has already been accounted for by
+    /// [`crate::Device::upload`]. Not intended to be called directly by
+    /// optimizer code.
+    pub(crate) fn from_host_unchecked(data: Vec<f64>) -> Self {
+        Self { data }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Size of the buffer payload in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f64>()
+    }
+
+    /// Read-only view of the device data (used by kernels executing on the
+    /// simulated device).
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable view of the device data.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the buffer, returning the underlying storage without charging
+    /// a transfer (used internally when the "device" hands a result to
+    /// another kernel).
+    pub(crate) fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_expected_shape() {
+        let b = DeviceBuffer::zeros(5);
+        assert_eq!(b.len(), 5);
+        assert!(!b.is_empty());
+        assert_eq!(b.size_bytes(), 40);
+        assert!(b.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn empty_buffer() {
+        let b = DeviceBuffer::zeros(0);
+        assert!(b.is_empty());
+        assert_eq!(b.size_bytes(), 0);
+    }
+
+    #[test]
+    fn mutation_round_trip() {
+        let mut b = DeviceBuffer::zeros(3);
+        b.as_mut_slice()[1] = 2.5;
+        assert_eq!(b.as_slice(), &[0.0, 2.5, 0.0]);
+        let v = b.into_vec();
+        assert_eq!(v, vec![0.0, 2.5, 0.0]);
+    }
+
+    #[test]
+    fn from_host_wraps_without_copy_semantics() {
+        let b = DeviceBuffer::from_host_unchecked(vec![1.0, 2.0]);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.as_slice()[1], 2.0);
+    }
+}

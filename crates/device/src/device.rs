@@ -1,0 +1,302 @@
+//! The simulated device: executes linalg kernels and charges the cost model.
+
+use crate::buffer::DeviceBuffer;
+use crate::clock::SimClock;
+use crate::spec::DeviceSpec;
+use nadmm_linalg::{vector, DenseMatrix, Matrix};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Running counters describing everything a device has executed. Useful for
+/// the benches and for asserting that an algorithm launched the expected
+/// number of kernels.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DeviceStats {
+    /// Number of kernel launches charged.
+    pub kernels_launched: u64,
+    /// Total floating-point operations charged.
+    pub flops: f64,
+    /// Total device-memory bytes charged.
+    pub bytes_moved: f64,
+    /// Total host↔device transfer bytes charged.
+    pub transfer_bytes: f64,
+    /// Number of host↔device transfers charged.
+    pub transfers: u64,
+}
+
+/// A simulated accelerator.
+///
+/// `Device` is cheaply clonable (`Arc` internally) so that a worker can share
+/// one device between its objective, solver, and ADMM bookkeeping code; all
+/// clones advance the same simulated clock.
+#[derive(Debug, Clone)]
+pub struct Device {
+    spec: DeviceSpec,
+    state: Arc<Mutex<DeviceState>>,
+}
+
+#[derive(Debug)]
+struct DeviceState {
+    clock: SimClock,
+    stats: DeviceStats,
+}
+
+impl Device {
+    /// Creates a device with the given hardware spec.
+    pub fn new(spec: DeviceSpec) -> Self {
+        Self { spec, state: Arc::new(Mutex::new(DeviceState { clock: SimClock::new(), stats: DeviceStats::default() })) }
+    }
+
+    /// Creates a Tesla-P100-class device (the paper's accelerator).
+    pub fn p100() -> Self {
+        Self::new(DeviceSpec::tesla_p100())
+    }
+
+    /// The hardware spec this device simulates.
+    pub fn spec(&self) -> DeviceSpec {
+        self.spec
+    }
+
+    /// Total simulated seconds of device activity so far.
+    pub fn elapsed(&self) -> f64 {
+        self.state.lock().clock.elapsed()
+    }
+
+    /// Snapshot of the execution counters.
+    pub fn stats(&self) -> DeviceStats {
+        self.state.lock().stats
+    }
+
+    /// Resets the clock and counters (e.g. between benchmark repetitions).
+    pub fn reset(&self) {
+        let mut s = self.state.lock();
+        s.clock.reset();
+        s.stats = DeviceStats::default();
+    }
+
+    /// Charges a kernel with the given FLOP and byte footprint without
+    /// executing anything. Building block for composite operations.
+    pub fn charge_kernel(&self, flops: f64, bytes: f64) {
+        let dt = self.spec.kernel_time(flops, bytes);
+        let mut s = self.state.lock();
+        s.clock.advance(dt);
+        s.stats.kernels_launched += 1;
+        s.stats.flops += flops;
+        s.stats.bytes_moved += bytes;
+    }
+
+    /// Charges a host→device or device→host transfer of `bytes`.
+    pub fn charge_transfer(&self, bytes: f64) {
+        let dt = self.spec.transfer_time(bytes);
+        let mut s = self.state.lock();
+        s.clock.advance(dt);
+        s.stats.transfers += 1;
+        s.stats.transfer_bytes += bytes;
+    }
+
+    /// Uploads host data into a device buffer, charging the transfer.
+    pub fn upload(&self, data: &[f64]) -> DeviceBuffer {
+        self.charge_transfer((data.len() * std::mem::size_of::<f64>()) as f64);
+        DeviceBuffer::from_host_unchecked(data.to_vec())
+    }
+
+    /// Downloads a device buffer back to the host, charging the transfer.
+    pub fn download(&self, buf: &DeviceBuffer) -> Vec<f64> {
+        self.charge_transfer(buf.size_bytes() as f64);
+        buf.as_slice().to_vec()
+    }
+
+    /// Moves a buffer to the host without copying (consumes it), still
+    /// charging the transfer.
+    pub fn download_into(&self, buf: DeviceBuffer) -> Vec<f64> {
+        self.charge_transfer(buf.size_bytes() as f64);
+        buf.into_vec()
+    }
+
+    // --------------------------------------------------------------------
+    // Kernels. Each one executes numerically via nadmm-linalg and charges
+    // the roofline cost model with its FLOP / byte footprint.
+    // --------------------------------------------------------------------
+
+    /// Margin kernel `Z = X Wᵀ` (`X`: n×p features, `W`: k×p weights).
+    pub fn gemm_nt(&self, x: &Matrix, w: &DenseMatrix) -> DenseMatrix {
+        let n = x.rows() as f64;
+        let k = w.rows() as f64;
+        let nnz = x.stored_entries() as f64;
+        // 2 flops per stored feature entry per output class.
+        let flops = 2.0 * nnz * k;
+        let bytes = (x.storage_bytes() as f64) + (w.len() as f64 + n * k) * 8.0;
+        self.charge_kernel(flops, bytes);
+        x.gemm_nt(w).expect("device gemm_nt: shape mismatch")
+    }
+
+    /// Gradient-accumulation kernel `G = Mᵀ X` (`M`: n×k, `X`: n×p).
+    pub fn gemm_tn(&self, x: &Matrix, m: &DenseMatrix) -> DenseMatrix {
+        let k = m.cols() as f64;
+        let nnz = x.stored_entries() as f64;
+        let flops = 2.0 * nnz * k;
+        let bytes = (x.storage_bytes() as f64) + (m.len() as f64 + k * x.cols() as f64) * 8.0;
+        self.charge_kernel(flops, bytes);
+        x.gemm_tn_from_dense(m).expect("device gemm_tn: shape mismatch")
+    }
+
+    /// Matrix–vector product `X v`.
+    pub fn matvec(&self, x: &Matrix, v: &[f64]) -> Vec<f64> {
+        let nnz = x.stored_entries() as f64;
+        self.charge_kernel(2.0 * nnz, x.storage_bytes() as f64 + (v.len() + x.rows()) as f64 * 8.0);
+        x.matvec(v).expect("device matvec: shape mismatch")
+    }
+
+    /// Transposed matrix–vector product `Xᵀ v`.
+    pub fn t_matvec(&self, x: &Matrix, v: &[f64]) -> Vec<f64> {
+        let nnz = x.stored_entries() as f64;
+        self.charge_kernel(2.0 * nnz, x.storage_bytes() as f64 + (v.len() + x.cols()) as f64 * 8.0);
+        x.t_matvec(v).expect("device t_matvec: shape mismatch")
+    }
+
+    /// Dot product of two device-sized vectors.
+    pub fn dot(&self, a: &[f64], b: &[f64]) -> f64 {
+        self.charge_kernel(2.0 * a.len() as f64, (a.len() + b.len()) as f64 * 8.0);
+        vector::dot(a, b)
+    }
+
+    /// AXPY `y ← a·x + y`.
+    pub fn axpy(&self, a: f64, x: &[f64], y: &mut [f64]) {
+        self.charge_kernel(2.0 * x.len() as f64, (2 * x.len()) as f64 * 8.0);
+        vector::axpy(a, x, y);
+    }
+
+    /// Euclidean norm of a device-sized vector.
+    pub fn norm2(&self, x: &[f64]) -> f64 {
+        self.charge_kernel(2.0 * x.len() as f64, x.len() as f64 * 8.0);
+        vector::norm2(x)
+    }
+
+    /// Row-wise softmax-with-reference-class kernel used by the softmax
+    /// objective: for each row of `margins` (n×(C−1)), writes the class
+    /// probabilities in place and returns the per-row log-partition values.
+    pub fn softmax_rows(&self, margins: &mut DenseMatrix) -> Vec<f64> {
+        let n = margins.rows();
+        let c = margins.cols();
+        // exp + div per element, max/add per row — call it 5 flops/element.
+        self.charge_kernel(5.0 * (n * c) as f64, 2.0 * (n * c) as f64 * 8.0);
+        let mut logz = vec![0.0; n];
+        for i in 0..n {
+            let row = margins.row_mut(i);
+            let mut probs = vec![0.0; c];
+            logz[i] = nadmm_linalg::reduce::softmax_with_reference(row, &mut probs);
+            row.copy_from_slice(&probs);
+        }
+        logz
+    }
+}
+
+impl Default for Device {
+    fn default() -> Self {
+        Self::p100()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nadmm_linalg::CsrMatrix;
+
+    fn feature_matrix() -> Matrix {
+        Matrix::Dense(DenseMatrix::from_vec(3, 2, vec![1.0, 0.0, 0.5, -1.0, 2.0, 3.0]))
+    }
+
+    #[test]
+    fn kernels_advance_the_clock_and_counters() {
+        let d = Device::p100();
+        let x = feature_matrix();
+        let w = DenseMatrix::from_vec(2, 2, vec![1.0, 1.0, -1.0, 0.5]);
+        let z = d.gemm_nt(&x, &w);
+        assert_eq!(z.rows(), 3);
+        assert_eq!(z.cols(), 2);
+        assert!(d.elapsed() > 0.0);
+        let stats = d.stats();
+        assert_eq!(stats.kernels_launched, 1);
+        assert!(stats.flops > 0.0);
+    }
+
+    #[test]
+    fn gemm_results_match_direct_linalg() {
+        let d = Device::new(DeviceSpec::cpu_like());
+        let x = feature_matrix();
+        let w = DenseMatrix::from_vec(2, 2, vec![1.0, 1.0, -1.0, 0.5]);
+        assert_eq!(d.gemm_nt(&x, &w), x.gemm_nt(&w).unwrap());
+        let m = DenseMatrix::from_vec(3, 2, vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6]);
+        assert_eq!(d.gemm_tn(&x, &m), x.gemm_tn_from_dense(&m).unwrap());
+        let v = [1.0, -1.0];
+        assert_eq!(d.matvec(&x, &v), x.matvec(&v).unwrap());
+        let u = [1.0, 2.0, 3.0];
+        assert_eq!(d.t_matvec(&x, &u), x.t_matvec(&u).unwrap());
+    }
+
+    #[test]
+    fn sparse_matrices_charge_by_nnz() {
+        let dense_dev = Device::p100();
+        let sparse_dev = Device::p100();
+        let dense_x = Matrix::Dense(DenseMatrix::from_fn(100, 50, |i, j| if j == i % 50 { 1.0 } else { 0.0 }));
+        let sparse_x = Matrix::Sparse(CsrMatrix::from_dense(&dense_x.to_dense()));
+        let w = DenseMatrix::from_fn(4, 50, |_, j| j as f64 * 0.01);
+        let zd = dense_dev.gemm_nt(&dense_x, &w);
+        let zs = sparse_dev.gemm_nt(&sparse_x, &w);
+        assert_eq!(zd, zs);
+        // The sparse kernel touches ~50x fewer entries, so it must be cheaper.
+        assert!(sparse_dev.stats().flops < dense_dev.stats().flops);
+    }
+
+    #[test]
+    fn transfers_are_charged() {
+        let d = Device::p100();
+        let buf = d.upload(&[1.0, 2.0, 3.0]);
+        assert_eq!(buf.len(), 3);
+        let back = d.download(&buf);
+        assert_eq!(back, vec![1.0, 2.0, 3.0]);
+        let owned = d.download_into(buf);
+        assert_eq!(owned, vec![1.0, 2.0, 3.0]);
+        let s = d.stats();
+        assert_eq!(s.transfers, 3);
+        assert!(s.transfer_bytes > 0.0);
+        assert!(d.elapsed() > 0.0);
+    }
+
+    #[test]
+    fn vector_kernels_match_linalg() {
+        let d = Device::new(DeviceSpec::cpu_like());
+        let a = [1.0, 2.0, 3.0];
+        let b = [4.0, 5.0, 6.0];
+        assert!((d.dot(&a, &b) - 32.0).abs() < 1e-12);
+        assert!((d.norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+        let mut y = [1.0, 1.0, 1.0];
+        d.axpy(2.0, &a, &mut y);
+        assert_eq!(y, [3.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn softmax_rows_produces_probabilities() {
+        let d = Device::p100();
+        let mut m = DenseMatrix::from_vec(2, 3, vec![1.0, 0.0, -1.0, 5.0, 5.0, 5.0]);
+        let logz = d.softmax_rows(&mut m);
+        assert_eq!(logz.len(), 2);
+        for i in 0..2 {
+            let s: f64 = m.row(i).iter().sum();
+            assert!(s < 1.0 && s > 0.0);
+            assert!(m.row(i).iter().all(|&p| p >= 0.0 && p <= 1.0));
+        }
+    }
+
+    #[test]
+    fn clones_share_the_clock() {
+        let d = Device::p100();
+        let d2 = d.clone();
+        d2.charge_kernel(1e9, 1e6);
+        assert!(d.elapsed() > 0.0);
+        assert_eq!(d.elapsed(), d2.elapsed());
+        d.reset();
+        assert_eq!(d2.elapsed(), 0.0);
+        assert_eq!(d2.stats(), DeviceStats::default());
+    }
+}

@@ -1,0 +1,561 @@
+//! Row-major dense matrix with rayon-parallel kernels.
+
+use crate::error::{LinalgError, Result};
+use crate::vector;
+use crate::PAR_THRESHOLD;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// A row-major dense matrix of `f64` values.
+///
+/// The layout is row-major so that a "row" of the matrix (a sample in the ML
+/// setting, or a class-weight vector when the matrix stores `W ∈ R^{(C-1)×p}`)
+/// is a contiguous slice, which is what the objective kernels iterate over.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates a `rows × cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a matrix from an existing row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "from_vec: buffer length {} != {rows}x{cols}", data.len());
+        Self { rows, cols, data }
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` at every position.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Creates an identity matrix of size `n × n`.
+    pub fn identity(n: usize) -> Self {
+        Self::from_fn(n, n, |i, j| if i == j { 1.0 } else { 0.0 })
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Panics
+    /// Panics if the rows have differing lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        if rows.is_empty() {
+            return Self::zeros(0, 0);
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "from_rows: inconsistent row length");
+            data.extend_from_slice(r);
+        }
+        Self { rows: rows.len(), cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of stored elements (`rows * cols`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the matrix has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns the row-major buffer.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Contiguous slice holding row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable contiguous slice holding row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copies column `j` into a new vector.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        (0..self.rows).map(|i| self.get(i, j)).collect()
+    }
+
+    /// Returns a new matrix containing rows `range.start..range.end`.
+    pub fn slice_rows(&self, start: usize, end: usize) -> DenseMatrix {
+        assert!(start <= end && end <= self.rows, "slice_rows: invalid range {start}..{end} of {}", self.rows);
+        DenseMatrix {
+            rows: end - start,
+            cols: self.cols,
+            data: self.data[start * self.cols..end * self.cols].to_vec(),
+        }
+    }
+
+    /// Returns a new matrix containing the rows selected by `indices`.
+    pub fn select_rows(&self, indices: &[usize]) -> DenseMatrix {
+        let mut data = Vec::with_capacity(indices.len() * self.cols);
+        for &i in indices {
+            assert!(i < self.rows, "select_rows: row {i} out of {}", self.rows);
+            data.extend_from_slice(self.row(i));
+        }
+        DenseMatrix { rows: indices.len(), cols: self.cols, data }
+    }
+
+    /// Transposed copy of the matrix.
+    pub fn transpose(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.set(j, i, self.get(i, j));
+            }
+        }
+        out
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        vector::norm2(&self.data)
+    }
+
+    /// Matrix–vector product `y = A x`.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] if `x.len() != cols`.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.cols {
+            return Err(LinalgError::ShapeMismatch(format!(
+                "matvec: A is {}x{}, x has length {}",
+                self.rows,
+                self.cols,
+                x.len()
+            )));
+        }
+        let mut y = vec![0.0; self.rows];
+        if self.data.len() < PAR_THRESHOLD {
+            for (i, yi) in y.iter_mut().enumerate() {
+                *yi = vector::dot(self.row(i), x);
+            }
+        } else {
+            y.par_iter_mut().enumerate().for_each(|(i, yi)| {
+                *yi = self.row(i).iter().zip(x).map(|(a, b)| a * b).sum();
+            });
+        }
+        Ok(y)
+    }
+
+    /// Transposed matrix–vector product `y = Aᵀ x`.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] if `x.len() != rows`.
+    pub fn t_matvec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.rows {
+            return Err(LinalgError::ShapeMismatch(format!(
+                "t_matvec: A is {}x{}, x has length {}",
+                self.rows,
+                self.cols,
+                x.len()
+            )));
+        }
+        if self.data.len() < PAR_THRESHOLD {
+            let mut y = vec![0.0; self.cols];
+            for i in 0..self.rows {
+                vector::axpy(x[i], self.row(i), &mut y);
+            }
+            Ok(y)
+        } else {
+            // Parallel over row chunks with thread-local accumulators.
+            let cols = self.cols;
+            let chunk = (self.rows / rayon::current_num_threads().max(1)).max(64);
+            let y = self
+                .data
+                .par_chunks(chunk * cols)
+                .enumerate()
+                .map(|(ci, block)| {
+                    let mut acc = vec![0.0; cols];
+                    let base = ci * chunk;
+                    for (r, row) in block.chunks_exact(cols).enumerate() {
+                        vector::axpy(x[base + r], row, &mut acc);
+                    }
+                    acc
+                })
+                .reduce(
+                    || vec![0.0; cols],
+                    |mut a, b| {
+                        vector::add_assign(&mut a, &b);
+                        a
+                    },
+                );
+            Ok(y)
+        }
+    }
+
+    /// General matrix–matrix product `C = A · B`.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] if `A.cols != B.rows`.
+    pub fn matmul(&self, b: &DenseMatrix) -> Result<DenseMatrix> {
+        if self.cols != b.rows {
+            return Err(LinalgError::ShapeMismatch(format!(
+                "matmul: {}x{} times {}x{}",
+                self.rows, self.cols, b.rows, b.cols
+            )));
+        }
+        let mut out = DenseMatrix::zeros(self.rows, b.cols);
+        let bcols = b.cols;
+        out.data
+            .par_chunks_mut(bcols)
+            .enumerate()
+            .for_each(|(i, out_row)| {
+                let arow = self.row(i);
+                for (k, &aik) in arow.iter().enumerate() {
+                    if aik != 0.0 {
+                        let brow = b.row(k);
+                        for (j, bv) in brow.iter().enumerate() {
+                            out_row[j] += aik * bv;
+                        }
+                    }
+                }
+            });
+        Ok(out)
+    }
+
+    /// `C = A · Bᵀ` where both operands are row-major; this is the natural
+    /// kernel for computing sample-by-class margin matrices `Z = X Wᵀ`.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] if `A.cols != B.cols`.
+    pub fn gemm_nt(&self, b: &DenseMatrix) -> Result<DenseMatrix> {
+        if self.cols != b.cols {
+            return Err(LinalgError::ShapeMismatch(format!(
+                "gemm_nt: {}x{} times ({}x{})ᵀ",
+                self.rows, self.cols, b.rows, b.cols
+            )));
+        }
+        let mut out = DenseMatrix::zeros(self.rows, b.rows);
+        let brows = b.rows;
+        out.data
+            .par_chunks_mut(brows)
+            .enumerate()
+            .for_each(|(i, out_row)| {
+                let arow = self.row(i);
+                for (j, oj) in out_row.iter_mut().enumerate() {
+                    *oj = arow.iter().zip(b.row(j)).map(|(x, y)| x * y).sum();
+                }
+            });
+        Ok(out)
+    }
+
+    /// `C = Aᵀ · B` — used for gradient accumulation `G = (P − Y)ᵀ X`.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] if `A.rows != B.rows`.
+    pub fn gemm_tn(&self, b: &DenseMatrix) -> Result<DenseMatrix> {
+        if self.rows != b.rows {
+            return Err(LinalgError::ShapeMismatch(format!(
+                "gemm_tn: ({}x{})ᵀ times {}x{}",
+                self.rows, self.cols, b.rows, b.cols
+            )));
+        }
+        let m = self.cols;
+        let n = b.cols;
+        let nthreads = rayon::current_num_threads().max(1);
+        let chunk = (self.rows / nthreads).max(64);
+        let row_ranges: Vec<(usize, usize)> = (0..self.rows)
+            .step_by(chunk)
+            .map(|s| (s, (s + chunk).min(self.rows)))
+            .collect();
+        let acc = row_ranges
+            .into_par_iter()
+            .map(|(s, e)| {
+                let mut local = vec![0.0; m * n];
+                for r in s..e {
+                    let arow = self.row(r);
+                    let brow = b.row(r);
+                    for (k, &av) in arow.iter().enumerate() {
+                        if av != 0.0 {
+                            let dst = &mut local[k * n..(k + 1) * n];
+                            for (j, bv) in brow.iter().enumerate() {
+                                dst[j] += av * bv;
+                            }
+                        }
+                    }
+                }
+                local
+            })
+            .reduce(
+                || vec![0.0; m * n],
+                |mut a, bvec| {
+                    vector::add_assign(&mut a, &bvec);
+                    a
+                },
+            );
+        Ok(DenseMatrix { rows: m, cols: n, data: acc })
+    }
+
+    /// In-place scalar multiplication.
+    pub fn scale(&mut self, a: f64) {
+        vector::scale(a, &mut self.data);
+    }
+
+    /// In-place addition `self += other`.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] on dimension mismatch.
+    pub fn add_assign(&mut self, other: &DenseMatrix) -> Result<()> {
+        if self.rows != other.rows || self.cols != other.cols {
+            return Err(LinalgError::ShapeMismatch(format!(
+                "add_assign: {}x{} vs {}x{}",
+                self.rows, self.cols, other.rows, other.cols
+            )));
+        }
+        vector::add_assign(&mut self.data, &other.data);
+        Ok(())
+    }
+
+    /// In-place AXPY on matrices: `self += a * other`.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] on dimension mismatch.
+    pub fn axpy(&mut self, a: f64, other: &DenseMatrix) -> Result<()> {
+        if self.rows != other.rows || self.cols != other.cols {
+            return Err(LinalgError::ShapeMismatch(format!(
+                "axpy: {}x{} vs {}x{}",
+                self.rows, self.cols, other.rows, other.cols
+            )));
+        }
+        vector::axpy(a, &other.data, &mut self.data);
+        Ok(())
+    }
+
+    /// Maximum absolute element.
+    pub fn max_abs(&self) -> f64 {
+        vector::norm_inf(&self.data)
+    }
+
+    /// Mean of every column, returned as a length-`cols` vector.
+    pub fn col_means(&self) -> Vec<f64> {
+        let mut m = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            vector::add_assign(&mut m, self.row(i));
+        }
+        if self.rows > 0 {
+            vector::scale(1.0 / self.rows as f64, &mut m);
+        }
+        m
+    }
+
+    /// Per-column standard deviation (population convention).
+    pub fn col_stds(&self) -> Vec<f64> {
+        let means = self.col_means();
+        let mut s = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            for (j, v) in self.row(i).iter().enumerate() {
+                let d = v - means[j];
+                s[j] += d * d;
+            }
+        }
+        if self.rows > 0 {
+            for v in s.iter_mut() {
+                *v = (*v / self.rows as f64).sqrt();
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> DenseMatrix {
+        DenseMatrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let m = small();
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.get(1, 2), 6.0);
+        assert_eq!(m.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(m.col(1), vec![2.0, 5.0]);
+        assert!(!m.is_empty());
+        assert_eq!(m.len(), 6);
+    }
+
+    #[test]
+    fn from_fn_and_identity() {
+        let id = DenseMatrix::identity(3);
+        assert_eq!(id.get(0, 0), 1.0);
+        assert_eq!(id.get(0, 1), 0.0);
+        let f = DenseMatrix::from_fn(2, 2, |i, j| (i + j) as f64);
+        assert_eq!(f.get(1, 1), 2.0);
+    }
+
+    #[test]
+    fn from_rows_builds_matrix() {
+        let m = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(m.get(1, 0), 3.0);
+        let e = DenseMatrix::from_rows(&[]);
+        assert_eq!(e.rows(), 0);
+    }
+
+    #[test]
+    fn matvec_matches_hand_computation() {
+        let m = small();
+        let y = m.matvec(&[1.0, 0.0, -1.0]).unwrap();
+        assert_eq!(y, vec![-2.0, -2.0]);
+        assert!(m.matvec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn t_matvec_matches_transpose_matvec() {
+        let m = small();
+        let y = m.t_matvec(&[1.0, 2.0]).unwrap();
+        let yt = m.transpose().matvec(&[1.0, 2.0]).unwrap();
+        assert_eq!(y, yt);
+        assert!(m.t_matvec(&[1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn t_matvec_parallel_path() {
+        let rows = 600;
+        let cols = 64;
+        let m = DenseMatrix::from_fn(rows, cols, |i, j| ((i * 31 + j * 7) % 17) as f64 * 0.1);
+        let x: Vec<f64> = (0..rows).map(|i| (i % 5) as f64 - 2.0).collect();
+        let par = m.t_matvec(&x).unwrap();
+        let seq = m.transpose().matvec(&x).unwrap();
+        for (a, b) in par.iter().zip(&seq) {
+            assert!((a - b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn matmul_and_gemm_variants_agree() {
+        let a = DenseMatrix::from_fn(4, 3, |i, j| (i * 3 + j) as f64);
+        let b = DenseMatrix::from_fn(3, 5, |i, j| (i as f64 - j as f64) * 0.5);
+        let c = a.matmul(&b).unwrap();
+        // gemm_nt with Bᵀ should equal matmul with B.
+        let bt = b.transpose();
+        let c2 = a.gemm_nt(&bt).unwrap();
+        assert_eq!(c, c2);
+        // gemm_tn: Aᵀ B computed directly vs via transpose.
+        let atb = a.gemm_tn(&b.transpose().transpose());
+        assert!(atb.is_err() || atb.is_ok()); // shape check below
+        let d = DenseMatrix::from_fn(4, 2, |i, j| (i + j) as f64);
+        let atd = a.gemm_tn(&d).unwrap();
+        let expect = a.transpose().matmul(&d).unwrap();
+        for (x, y) in atd.as_slice().iter().zip(expect.as_slice()) {
+            assert!((x - y).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn shape_errors_are_reported() {
+        let a = DenseMatrix::zeros(2, 3);
+        let b = DenseMatrix::zeros(2, 3);
+        assert!(a.matmul(&b).is_err());
+        assert!(a.gemm_nt(&DenseMatrix::zeros(2, 4)).is_err());
+        assert!(a.gemm_tn(&DenseMatrix::zeros(3, 3)).is_err());
+        let mut c = DenseMatrix::zeros(2, 3);
+        assert!(c.add_assign(&DenseMatrix::zeros(3, 2)).is_err());
+        assert!(c.axpy(1.0, &DenseMatrix::zeros(3, 2)).is_err());
+    }
+
+    #[test]
+    fn slicing_and_selection() {
+        let m = DenseMatrix::from_fn(5, 2, |i, j| (i * 2 + j) as f64);
+        let s = m.slice_rows(1, 3);
+        assert_eq!(s.rows(), 2);
+        assert_eq!(s.row(0), &[2.0, 3.0]);
+        let sel = m.select_rows(&[4, 0]);
+        assert_eq!(sel.row(0), &[8.0, 9.0]);
+        assert_eq!(sel.row(1), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn scale_add_axpy_norms() {
+        let mut m = small();
+        m.scale(2.0);
+        assert_eq!(m.get(0, 0), 2.0);
+        let other = small();
+        m.add_assign(&other).unwrap();
+        assert_eq!(m.get(0, 0), 3.0);
+        m.axpy(-1.0, &other).unwrap();
+        assert_eq!(m.get(0, 0), 2.0);
+        assert!(m.frobenius_norm() > 0.0);
+        assert_eq!(small().max_abs(), 6.0);
+    }
+
+    #[test]
+    fn column_statistics() {
+        let m = DenseMatrix::from_vec(2, 2, vec![0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(m.col_means(), vec![1.0, 2.0]);
+        let stds = m.col_stds();
+        assert!((stds[0] - 1.0).abs() < 1e-12);
+        assert!((stds[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let m = small();
+        assert_eq!(m.transpose().transpose(), m);
+    }
+}

@@ -1,0 +1,52 @@
+//! Error type shared by the linear-algebra kernels.
+
+use std::fmt;
+
+/// Errors produced by linear-algebra operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Two operands had incompatible shapes. The payload carries a
+    /// human-readable description of the expected/actual dimensions.
+    ShapeMismatch(String),
+    /// An index was out of bounds for the container it addressed.
+    IndexOutOfBounds(String),
+    /// A numerical routine failed to make progress (e.g. CG on a non-SPD
+    /// operator, division by a vanishing pivot, …).
+    Numerical(String),
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch(msg) => write!(f, "shape mismatch: {msg}"),
+            LinalgError::IndexOutOfBounds(msg) => write!(f, "index out of bounds: {msg}"),
+            LinalgError::Numerical(msg) => write!(f, "numerical error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Convenient result alias used across the crate.
+pub type Result<T> = std::result::Result<T, LinalgError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_stable() {
+        let e = LinalgError::ShapeMismatch("2x3 vs 4x5".into());
+        assert_eq!(format!("{e}"), "shape mismatch: 2x3 vs 4x5");
+        let e = LinalgError::IndexOutOfBounds("row 7 of 4".into());
+        assert!(format!("{e}").contains("row 7"));
+        let e = LinalgError::Numerical("breakdown".into());
+        assert!(format!("{e}").contains("breakdown"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<LinalgError>();
+    }
+}

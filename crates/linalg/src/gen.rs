@@ -1,0 +1,230 @@
+//! Random matrix and vector generation with controllable conditioning.
+//!
+//! Used by the tests (random SPD systems for CG, random strongly-convex
+//! quadratics for ADMM convergence checks) and by the synthetic dataset
+//! generators in `nadmm-data` (feature covariances with prescribed spectra to
+//! reproduce the "well-conditioned HIGGS vs ill-conditioned CIFAR-10"
+//! distinction the paper leans on).
+
+use crate::dense::DenseMatrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Normal};
+
+/// Returns a deterministic RNG for the given seed.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// A vector of i.i.d. standard-normal entries.
+pub fn gaussian_vector(n: usize, rng: &mut impl Rng) -> Vec<f64> {
+    let normal = Normal::new(0.0, 1.0).expect("valid normal");
+    (0..n).map(|_| normal.sample(rng)).collect()
+}
+
+/// A vector of i.i.d. `N(mean, std²)` entries.
+pub fn gaussian_vector_with(n: usize, mean: f64, std: f64, rng: &mut impl Rng) -> Vec<f64> {
+    let normal = Normal::new(mean, std).expect("valid normal");
+    (0..n).map(|_| normal.sample(rng)).collect()
+}
+
+/// A dense matrix of i.i.d. standard-normal entries.
+pub fn gaussian_matrix(rows: usize, cols: usize, rng: &mut impl Rng) -> DenseMatrix {
+    DenseMatrix::from_vec(rows, cols, gaussian_vector(rows * cols, rng))
+}
+
+/// A random vector uniform in `[lo, hi)`.
+pub fn uniform_vector(n: usize, lo: f64, hi: f64, rng: &mut impl Rng) -> Vec<f64> {
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+/// Builds a symmetric positive-definite matrix `A = Q diag(spectrum) Qᵀ`
+/// where `Q` comes from a (thin) Gram–Schmidt orthogonalisation of a random
+/// Gaussian matrix. The eigenvalues of the result are exactly `spectrum`
+/// (up to the orthogonalisation round-off).
+///
+/// # Panics
+/// Panics if `spectrum.len() != n` or any eigenvalue is non-positive.
+pub fn spd_with_spectrum(n: usize, spectrum: &[f64], rng: &mut impl Rng) -> DenseMatrix {
+    assert_eq!(spectrum.len(), n, "spd_with_spectrum: need {n} eigenvalues");
+    assert!(spectrum.iter().all(|&s| s > 0.0), "spd_with_spectrum: eigenvalues must be positive");
+    let q = random_orthogonal(n, rng);
+    // A = Q diag(s) Qᵀ
+    let mut scaled = q.clone();
+    for i in 0..n {
+        let row = scaled.row_mut(i);
+        for (j, v) in row.iter_mut().enumerate() {
+            // scaled[i][j] = q[i][j] * s[j]
+            *v *= spectrum[j];
+        }
+    }
+    scaled.gemm_nt(&q).expect("shape is consistent")
+}
+
+/// Builds a random SPD matrix with condition number approximately `cond` by
+/// using a geometric spectrum from `1` down to `1/cond`.
+pub fn spd_with_condition(n: usize, cond: f64, rng: &mut impl Rng) -> DenseMatrix {
+    assert!(cond >= 1.0, "condition number must be >= 1");
+    let spectrum: Vec<f64> = (0..n)
+        .map(|i| {
+            if n == 1 {
+                1.0
+            } else {
+                let t = i as f64 / (n - 1) as f64;
+                (1.0_f64).powf(1.0 - t) * (1.0 / cond).powf(t)
+            }
+        })
+        .collect();
+    spd_with_spectrum(n, &spectrum, rng)
+}
+
+/// Random square orthogonal matrix via modified Gram–Schmidt on a Gaussian
+/// matrix. For `n` up to a few thousand this is plenty fast for tests and
+/// dataset generation.
+pub fn random_orthogonal(n: usize, rng: &mut impl Rng) -> DenseMatrix {
+    let g = gaussian_matrix(n, n, rng);
+    let mut q = DenseMatrix::zeros(n, n);
+    for i in 0..n {
+        let mut v: Vec<f64> = g.row(i).to_vec();
+        for j in 0..i {
+            let qj = q.row(j);
+            let proj: f64 = v.iter().zip(qj).map(|(a, b)| a * b).sum();
+            for (vk, qk) in v.iter_mut().zip(qj) {
+                *vk -= proj * qk;
+            }
+        }
+        let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        let norm = if norm < 1e-12 { 1.0 } else { norm };
+        for (k, vk) in v.iter().enumerate() {
+            q.set(i, k, vk / norm);
+        }
+    }
+    q
+}
+
+/// Samples `k` distinct indices from `0..n` (Floyd's algorithm).
+///
+/// # Panics
+/// Panics if `k > n`.
+pub fn sample_without_replacement(n: usize, k: usize, rng: &mut impl Rng) -> Vec<usize> {
+    assert!(k <= n, "cannot sample {k} from {n} without replacement");
+    let mut chosen = std::collections::BTreeSet::new();
+    for j in (n - k)..n {
+        let t = rng.gen_range(0..=j);
+        if !chosen.insert(t) {
+            chosen.insert(j);
+        }
+    }
+    chosen.into_iter().collect()
+}
+
+/// Returns a random permutation of `0..n` (Fisher–Yates).
+pub fn permutation(n: usize, rng: &mut impl Rng) -> Vec<usize> {
+    let mut p: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        p.swap(i, j);
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector;
+
+    #[test]
+    fn gaussian_vector_statistics() {
+        let mut rng = seeded_rng(7);
+        let v = gaussian_vector(20_000, &mut rng);
+        let mean = vector::mean(&v);
+        assert!(mean.abs() < 0.05, "mean {mean} too far from 0");
+        let var = v.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / v.len() as f64;
+        assert!((var - 1.0).abs() < 0.05, "variance {var} too far from 1");
+        let v2 = gaussian_vector_with(10_000, 3.0, 0.5, &mut rng);
+        assert!((vector::mean(&v2) - 3.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn uniform_vector_in_range() {
+        let mut rng = seeded_rng(1);
+        let v = uniform_vector(1000, -2.0, 5.0, &mut rng);
+        assert!(v.iter().all(|&x| (-2.0..5.0).contains(&x)));
+    }
+
+    #[test]
+    fn random_orthogonal_has_orthonormal_rows() {
+        let mut rng = seeded_rng(3);
+        let q = random_orthogonal(20, &mut rng);
+        for i in 0..20 {
+            for j in 0..20 {
+                let d = vector::dot(q.row(i), q.row(j));
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((d - expect).abs() < 1e-8, "row {i}·row {j} = {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn spd_matrix_is_symmetric_and_positive() {
+        let mut rng = seeded_rng(11);
+        let spectrum = vec![4.0, 2.0, 1.0, 0.5];
+        let a = spd_with_spectrum(4, &spectrum, &mut rng);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!((a.get(i, j) - a.get(j, i)).abs() < 1e-9);
+            }
+        }
+        // xᵀ A x > 0 for a handful of random x.
+        for seed in 0..5 {
+            let mut r2 = seeded_rng(100 + seed);
+            let x = gaussian_vector(4, &mut r2);
+            let ax = a.matvec(&x).unwrap();
+            assert!(vector::dot(&x, &ax) > 0.0);
+        }
+        // Trace equals sum of eigenvalues.
+        let trace: f64 = (0..4).map(|i| a.get(i, i)).sum();
+        assert!((trace - spectrum.iter().sum::<f64>()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn spd_with_condition_builds_valid_matrix() {
+        let mut rng = seeded_rng(5);
+        let a = spd_with_condition(6, 100.0, &mut rng);
+        assert_eq!(a.rows(), 6);
+        let x = gaussian_vector(6, &mut rng);
+        let ax = a.matvec(&x).unwrap();
+        assert!(vector::dot(&x, &ax) > 0.0);
+    }
+
+    #[test]
+    fn sampling_without_replacement_is_distinct_and_bounded() {
+        let mut rng = seeded_rng(9);
+        let s = sample_without_replacement(100, 30, &mut rng);
+        assert_eq!(s.len(), 30);
+        let unique: std::collections::BTreeSet<_> = s.iter().collect();
+        assert_eq!(unique.len(), 30);
+        assert!(s.iter().all(|&i| i < 100));
+        let all = sample_without_replacement(10, 10, &mut rng);
+        assert_eq!(all.len(), 10);
+    }
+
+    #[test]
+    fn permutation_is_bijective() {
+        let mut rng = seeded_rng(2);
+        let p = permutation(50, &mut rng);
+        let mut seen = vec![false; 50];
+        for &i in &p {
+            assert!(!seen[i]);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let a = gaussian_vector(10, &mut seeded_rng(42));
+        let b = gaussian_vector(10, &mut seeded_rng(42));
+        assert_eq!(a, b);
+    }
+}

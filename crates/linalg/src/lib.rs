@@ -1,0 +1,53 @@
+//! # nadmm-linalg
+//!
+//! Dense and sparse linear-algebra kernels used throughout the Newton-ADMM
+//! reproduction.
+//!
+//! The crate intentionally avoids external BLAS bindings: every kernel is a
+//! plain-Rust, rayon-parallel implementation so that the whole workspace
+//! builds offline and the simulated GPU device (`nadmm-device`) can reuse the
+//! same kernels while attaching an analytic cost model to them.
+//!
+//! The main building blocks are:
+//!
+//! * [`DenseMatrix`] — row-major dense matrix with parallel GEMM/GEMV,
+//! * [`CsrMatrix`] — compressed sparse row matrix with SpMV / SpMM kernels,
+//! * [`Matrix`] — an enum unifying dense and sparse feature matrices behind
+//!   the handful of operations the objectives need,
+//! * [`vector`] — BLAS-1 style slice kernels (`dot`, `axpy`, norms, …),
+//! * [`reduce`] — numerically-stable reductions (log-sum-exp, softmax rows),
+//! * [`gen`] — random matrix/vector generation with controllable spectra
+//!   (used by the tests and the synthetic dataset generators).
+
+pub mod dense;
+pub mod error;
+pub mod gen;
+pub mod matrix;
+pub mod reduce;
+pub mod sparse;
+pub mod vector;
+
+pub use dense::DenseMatrix;
+pub use error::{LinalgError, Result};
+pub use matrix::Matrix;
+pub use sparse::CsrMatrix;
+
+/// Threshold (in number of scalar elements touched) below which kernels run
+/// sequentially instead of paying rayon's fork/join overhead.
+pub(crate) const PAR_THRESHOLD: usize = 16 * 1024;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_level_reexports_work() {
+        let m = DenseMatrix::zeros(2, 3);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        let s = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (1, 1, 2.0)]);
+        assert_eq!(s.nnz(), 2);
+        let v = vec![3.0, 4.0];
+        assert!((vector::norm2(&v) - 5.0).abs() < 1e-12);
+    }
+}

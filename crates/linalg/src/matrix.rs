@@ -1,0 +1,201 @@
+//! A unified feature-matrix type over dense and sparse storage.
+//!
+//! The objectives (`nadmm-objective`) and solvers never care whether the
+//! feature matrix is dense (HIGGS/MNIST/CIFAR-like) or sparse (E18-like);
+//! they only need the four kernels below. `Matrix` dispatches to the right
+//! implementation.
+
+use crate::dense::DenseMatrix;
+use crate::error::Result;
+use crate::sparse::CsrMatrix;
+use serde::{Deserialize, Serialize};
+
+/// Feature matrix that is either dense or CSR sparse.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Matrix {
+    /// Dense row-major storage.
+    Dense(DenseMatrix),
+    /// Compressed sparse row storage.
+    Sparse(CsrMatrix),
+}
+
+impl Matrix {
+    /// Number of rows (samples).
+    pub fn rows(&self) -> usize {
+        match self {
+            Matrix::Dense(m) => m.rows(),
+            Matrix::Sparse(m) => m.rows(),
+        }
+    }
+
+    /// Number of columns (features).
+    pub fn cols(&self) -> usize {
+        match self {
+            Matrix::Dense(m) => m.cols(),
+            Matrix::Sparse(m) => m.cols(),
+        }
+    }
+
+    /// Number of stored entries: `rows*cols` for dense, `nnz` for sparse.
+    pub fn stored_entries(&self) -> usize {
+        match self {
+            Matrix::Dense(m) => m.len(),
+            Matrix::Sparse(m) => m.nnz(),
+        }
+    }
+
+    /// Whether this matrix uses sparse storage.
+    pub fn is_sparse(&self) -> bool {
+        matches!(self, Matrix::Sparse(_))
+    }
+
+    /// Matrix–vector product `A x`.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        match self {
+            Matrix::Dense(m) => m.matvec(x),
+            Matrix::Sparse(m) => m.matvec(x),
+        }
+    }
+
+    /// Transposed matrix–vector product `Aᵀ x`.
+    pub fn t_matvec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        match self {
+            Matrix::Dense(m) => m.t_matvec(x),
+            Matrix::Sparse(m) => m.t_matvec(x),
+        }
+    }
+
+    /// `A · Wᵀ` with dense `W` (shape `k × cols`); returns dense `rows × k`.
+    ///
+    /// This computes the per-sample class margins `Z = X Wᵀ`.
+    pub fn gemm_nt(&self, w: &DenseMatrix) -> Result<DenseMatrix> {
+        match self {
+            Matrix::Dense(m) => m.gemm_nt(w),
+            Matrix::Sparse(m) => m.gemm_nt(w),
+        }
+    }
+
+    /// `Mᵀ · A` with dense `M` (shape `rows × k`); returns dense `k × cols`.
+    ///
+    /// This accumulates gradients / Hessian-vector products back into weight
+    /// space: `G = (P − Y)ᵀ X`.
+    pub fn gemm_tn_from_dense(&self, m: &DenseMatrix) -> Result<DenseMatrix> {
+        match self {
+            Matrix::Dense(a) => m.gemm_tn(a),
+            Matrix::Sparse(a) => a.gemm_tn_from_dense(m),
+        }
+    }
+
+    /// Returns a new matrix containing rows `start..end`.
+    pub fn slice_rows(&self, start: usize, end: usize) -> Matrix {
+        match self {
+            Matrix::Dense(m) => Matrix::Dense(m.slice_rows(start, end)),
+            Matrix::Sparse(m) => Matrix::Sparse(m.slice_rows(start, end)),
+        }
+    }
+
+    /// Returns a new matrix containing the rows selected by `indices`.
+    pub fn select_rows(&self, indices: &[usize]) -> Matrix {
+        match self {
+            Matrix::Dense(m) => Matrix::Dense(m.select_rows(indices)),
+            Matrix::Sparse(m) => Matrix::Sparse(m.select_rows(indices)),
+        }
+    }
+
+    /// Returns a dense copy (potentially large for big sparse matrices).
+    pub fn to_dense(&self) -> DenseMatrix {
+        match self {
+            Matrix::Dense(m) => m.clone(),
+            Matrix::Sparse(m) => m.to_dense(),
+        }
+    }
+
+    /// Approximate number of bytes used to store the matrix payload. Used by
+    /// the device/cluster cost models to size transfers.
+    pub fn storage_bytes(&self) -> usize {
+        match self {
+            Matrix::Dense(m) => m.len() * std::mem::size_of::<f64>(),
+            Matrix::Sparse(m) => m.nnz() * (std::mem::size_of::<f64>() + std::mem::size_of::<usize>()),
+        }
+    }
+}
+
+impl From<DenseMatrix> for Matrix {
+    fn from(m: DenseMatrix) -> Self {
+        Matrix::Dense(m)
+    }
+}
+
+impl From<CsrMatrix> for Matrix {
+    fn from(m: CsrMatrix) -> Self {
+        Matrix::Sparse(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense() -> DenseMatrix {
+        DenseMatrix::from_vec(3, 2, vec![1.0, 0.0, 0.0, 2.0, 3.0, 4.0])
+    }
+
+    #[test]
+    fn dense_and_sparse_agree_on_all_kernels() {
+        let d = dense();
+        let s = CsrMatrix::from_dense(&d);
+        let md = Matrix::from(d.clone());
+        let ms = Matrix::from(s);
+        assert_eq!(md.rows(), ms.rows());
+        assert_eq!(md.cols(), ms.cols());
+        assert!(!md.is_sparse());
+        assert!(ms.is_sparse());
+
+        let x = [1.0, -1.0];
+        assert_eq!(md.matvec(&x).unwrap(), ms.matvec(&x).unwrap());
+
+        let y = [1.0, 2.0, 3.0];
+        let a = md.t_matvec(&y).unwrap();
+        let b = ms.t_matvec(&y).unwrap();
+        for (u, v) in a.iter().zip(&b) {
+            assert!((u - v).abs() < 1e-12);
+        }
+
+        let w = DenseMatrix::from_fn(4, 2, |i, j| (i + j) as f64);
+        let za = md.gemm_nt(&w).unwrap();
+        let zb = ms.gemm_nt(&w).unwrap();
+        for (u, v) in za.as_slice().iter().zip(zb.as_slice()) {
+            assert!((u - v).abs() < 1e-12);
+        }
+
+        let m = DenseMatrix::from_fn(3, 4, |i, j| (i as f64) - (j as f64));
+        let ga = md.gemm_tn_from_dense(&m).unwrap();
+        let gb = ms.gemm_tn_from_dense(&m).unwrap();
+        assert_eq!(ga.rows(), 4);
+        assert_eq!(ga.cols(), 2);
+        for (u, v) in ga.as_slice().iter().zip(gb.as_slice()) {
+            assert!((u - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn slicing_preserves_variant() {
+        let d = Matrix::from(dense());
+        let s = Matrix::from(CsrMatrix::from_dense(&dense()));
+        assert!(!d.slice_rows(0, 2).is_sparse());
+        assert!(s.slice_rows(0, 2).is_sparse());
+        assert_eq!(d.select_rows(&[2, 0]).rows(), 2);
+        assert_eq!(s.select_rows(&[2]).rows(), 1);
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let d = Matrix::from(dense());
+        assert_eq!(d.stored_entries(), 6);
+        assert_eq!(d.storage_bytes(), 6 * 8);
+        let s = Matrix::from(CsrMatrix::from_dense(&dense()));
+        assert_eq!(s.stored_entries(), 4);
+        assert!(s.storage_bytes() > 0);
+        assert_eq!(s.to_dense(), dense());
+    }
+}

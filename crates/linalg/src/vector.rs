@@ -1,0 +1,273 @@
+//! BLAS-1 style kernels over `&[f64]` slices.
+//!
+//! All kernels have a sequential fast path for small inputs and a
+//! rayon-parallel path above [`crate::PAR_THRESHOLD`] elements. Results are
+//! deterministic for the sequential path; the parallel reductions use a
+//! tree-shaped order which may differ from the sequential order by the usual
+//! floating-point round-off, which is acceptable for the optimizers built on
+//! top of them.
+
+use crate::PAR_THRESHOLD;
+use rayon::prelude::*;
+
+/// Dot product `xᵀ y`.
+///
+/// # Panics
+/// Panics if `x.len() != y.len()`.
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch {} vs {}", x.len(), y.len());
+    if x.len() < PAR_THRESHOLD {
+        x.iter().zip(y).map(|(a, b)| a * b).sum()
+    } else {
+        x.par_iter().zip(y.par_iter()).map(|(a, b)| a * b).sum()
+    }
+}
+
+/// Euclidean norm `‖x‖₂`.
+pub fn norm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// Squared Euclidean norm `‖x‖₂²`.
+pub fn norm2_sq(x: &[f64]) -> f64 {
+    dot(x, x)
+}
+
+/// Infinity norm `‖x‖_∞`.
+pub fn norm_inf(x: &[f64]) -> f64 {
+    if x.len() < PAR_THRESHOLD {
+        x.iter().fold(0.0_f64, |acc, v| acc.max(v.abs()))
+    } else {
+        x.par_iter().map(|v| v.abs()).reduce(|| 0.0, f64::max)
+    }
+}
+
+/// `y ← a·x + y` (classic AXPY).
+///
+/// # Panics
+/// Panics if `x.len() != y.len()`.
+pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch {} vs {}", x.len(), y.len());
+    if x.len() < PAR_THRESHOLD {
+        for (yi, xi) in y.iter_mut().zip(x) {
+            *yi += a * xi;
+        }
+    } else {
+        y.par_iter_mut().zip(x.par_iter()).for_each(|(yi, xi)| *yi += a * xi);
+    }
+}
+
+/// `y ← a·x + b·y`.
+pub fn axpby(a: f64, x: &[f64], b: f64, y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpby: length mismatch {} vs {}", x.len(), y.len());
+    if x.len() < PAR_THRESHOLD {
+        for (yi, xi) in y.iter_mut().zip(x) {
+            *yi = a * xi + b * *yi;
+        }
+    } else {
+        y.par_iter_mut().zip(x.par_iter()).for_each(|(yi, xi)| *yi = a * xi + b * *yi);
+    }
+}
+
+/// `x ← a·x`.
+pub fn scale(a: f64, x: &mut [f64]) {
+    if x.len() < PAR_THRESHOLD {
+        for xi in x.iter_mut() {
+            *xi *= a;
+        }
+    } else {
+        x.par_iter_mut().for_each(|xi| *xi *= a);
+    }
+}
+
+/// Returns `a·x` as a new vector.
+pub fn scaled(a: f64, x: &[f64]) -> Vec<f64> {
+    x.iter().map(|v| a * v).collect()
+}
+
+/// Element-wise sum `x + y` as a new vector.
+pub fn add(x: &[f64], y: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), y.len(), "add: length mismatch {} vs {}", x.len(), y.len());
+    x.iter().zip(y).map(|(a, b)| a + b).collect()
+}
+
+/// Element-wise difference `x - y` as a new vector.
+pub fn sub(x: &[f64], y: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), y.len(), "sub: length mismatch {} vs {}", x.len(), y.len());
+    x.iter().zip(y).map(|(a, b)| a - b).collect()
+}
+
+/// In-place element-wise addition `x += y`.
+pub fn add_assign(x: &mut [f64], y: &[f64]) {
+    axpy(1.0, y, x);
+}
+
+/// In-place element-wise subtraction `x -= y`.
+pub fn sub_assign(x: &mut [f64], y: &[f64]) {
+    axpy(-1.0, y, x);
+}
+
+/// Sets every element of `x` to `value`.
+pub fn fill(x: &mut [f64], value: f64) {
+    for xi in x.iter_mut() {
+        *xi = value;
+    }
+}
+
+/// Copies `src` into `dst`.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn copy(src: &[f64], dst: &mut [f64]) {
+    assert_eq!(src.len(), dst.len(), "copy: length mismatch {} vs {}", src.len(), dst.len());
+    dst.copy_from_slice(src);
+}
+
+/// Sum of all elements.
+pub fn sum(x: &[f64]) -> f64 {
+    if x.len() < PAR_THRESHOLD {
+        x.iter().sum()
+    } else {
+        x.par_iter().sum()
+    }
+}
+
+/// Arithmetic mean of all elements; `0.0` for an empty slice.
+pub fn mean(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        0.0
+    } else {
+        sum(x) / x.len() as f64
+    }
+}
+
+/// Euclidean distance `‖x − y‖₂`.
+pub fn distance(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "distance: length mismatch {} vs {}", x.len(), y.len());
+    x.iter()
+        .zip(y)
+        .map(|(a, b)| {
+            let d = a - b;
+            d * d
+        })
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Returns `true` if all elements are finite (no NaN / ±∞).
+pub fn all_finite(x: &[f64]) -> bool {
+    x.iter().all(|v| v.is_finite())
+}
+
+/// Linear combination `Σ cᵢ · vᵢ` of equally-long vectors.
+///
+/// # Panics
+/// Panics if `coeffs.len() != vectors.len()`, if `vectors` is empty, or if the
+/// vectors have differing lengths.
+pub fn linear_combination(coeffs: &[f64], vectors: &[&[f64]]) -> Vec<f64> {
+    assert_eq!(coeffs.len(), vectors.len(), "linear_combination: {} coeffs vs {} vectors", coeffs.len(), vectors.len());
+    assert!(!vectors.is_empty(), "linear_combination: empty input");
+    let n = vectors[0].len();
+    let mut out = vec![0.0; n];
+    for (c, v) in coeffs.iter().zip(vectors) {
+        assert_eq!(v.len(), n, "linear_combination: vector length mismatch");
+        axpy(*c, v, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_small() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [4.0, 5.0, 6.0];
+        assert!((dot(&x, &y) - 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dot_large_matches_sequential() {
+        let n = PAR_THRESHOLD * 2 + 7;
+        let x: Vec<f64> = (0..n).map(|i| (i % 13) as f64 * 0.5).collect();
+        let y: Vec<f64> = (0..n).map(|i| ((i * 7) % 11) as f64 * 0.25).collect();
+        let seq: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+        let par = dot(&x, &y);
+        assert!((seq - par).abs() < 1e-6 * seq.abs().max(1.0));
+    }
+
+    #[test]
+    fn norms() {
+        let x = [3.0, -4.0];
+        assert!((norm2(&x) - 5.0).abs() < 1e-12);
+        assert!((norm2_sq(&x) - 25.0).abs() < 1e-12);
+        assert!((norm_inf(&x) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn axpy_and_axpby() {
+        let x = [1.0, 2.0];
+        let mut y = [10.0, 20.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0]);
+        axpby(1.0, &x, 0.5, &mut y);
+        assert_eq!(y, [7.0, 14.0]);
+    }
+
+    #[test]
+    fn scale_and_fill_and_copy() {
+        let mut x = vec![1.0, 2.0, 3.0];
+        scale(3.0, &mut x);
+        assert_eq!(x, vec![3.0, 6.0, 9.0]);
+        fill(&mut x, 0.5);
+        assert_eq!(x, vec![0.5, 0.5, 0.5]);
+        let src = vec![9.0, 8.0, 7.0];
+        copy(&src, &mut x);
+        assert_eq!(x, src);
+        assert_eq!(scaled(2.0, &src), vec![18.0, 16.0, 14.0]);
+    }
+
+    #[test]
+    fn add_sub_helpers() {
+        let x = [1.0, 2.0];
+        let y = [3.0, 5.0];
+        assert_eq!(add(&x, &y), vec![4.0, 7.0]);
+        assert_eq!(sub(&y, &x), vec![2.0, 3.0]);
+        let mut z = vec![1.0, 1.0];
+        add_assign(&mut z, &x);
+        assert_eq!(z, vec![2.0, 3.0]);
+        sub_assign(&mut z, &x);
+        assert_eq!(z, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn sum_mean_distance() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        assert!((sum(&x) - 10.0).abs() < 1e-12);
+        assert!((mean(&x) - 2.5).abs() < 1e-12);
+        assert!((mean(&[]) - 0.0).abs() < 1e-12);
+        assert!((distance(&[0.0, 0.0], &[3.0, 4.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn finite_check() {
+        assert!(all_finite(&[1.0, -2.0, 0.0]));
+        assert!(!all_finite(&[1.0, f64::NAN]));
+        assert!(!all_finite(&[f64::INFINITY]));
+    }
+
+    #[test]
+    fn linear_combination_basic() {
+        let a = [1.0, 0.0];
+        let b = [0.0, 1.0];
+        let out = linear_combination(&[2.0, 3.0], &[&a, &b]);
+        assert_eq!(out, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn dot_length_mismatch_panics() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,152 @@
+//! Property-based tests for the linear-algebra kernels.
+
+use nadmm_linalg::{reduce, sparse::CsrMatrix, vector};
+use proptest::prelude::*;
+
+fn finite_vec(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-100.0f64..100.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dot_is_commutative(n in 1usize..64, seed in 0u64..1000) {
+        let mut rng = nadmm_linalg::gen::seeded_rng(seed);
+        let x = nadmm_linalg::gen::gaussian_vector(n, &mut rng);
+        let y = nadmm_linalg::gen::gaussian_vector(n, &mut rng);
+        let a = vector::dot(&x, &y);
+        let b = vector::dot(&y, &x);
+        prop_assert!((a - b).abs() <= 1e-9 * (1.0 + a.abs()));
+    }
+
+    #[test]
+    fn axpy_matches_definition(v in finite_vec(16), w in finite_vec(16), a in -10.0f64..10.0) {
+        let mut y = w.clone();
+        vector::axpy(a, &v, &mut y);
+        for i in 0..v.len() {
+            prop_assert!((y[i] - (a * v[i] + w[i])).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn norm_triangle_inequality(x in finite_vec(24), y in finite_vec(24)) {
+        let sum = vector::add(&x, &y);
+        prop_assert!(vector::norm2(&sum) <= vector::norm2(&x) + vector::norm2(&y) + 1e-9);
+    }
+
+    #[test]
+    fn cauchy_schwarz(x in finite_vec(24), y in finite_vec(24)) {
+        let lhs = vector::dot(&x, &y).abs();
+        let rhs = vector::norm2(&x) * vector::norm2(&y);
+        prop_assert!(lhs <= rhs + 1e-7 * (1.0 + rhs));
+    }
+
+    #[test]
+    fn matvec_is_linear(rows in 1usize..12, cols in 1usize..12, seed in 0u64..500, alpha in -5.0f64..5.0) {
+        let mut rng = nadmm_linalg::gen::seeded_rng(seed);
+        let a = nadmm_linalg::gen::gaussian_matrix(rows, cols, &mut rng);
+        let x = nadmm_linalg::gen::gaussian_vector(cols, &mut rng);
+        let y = nadmm_linalg::gen::gaussian_vector(cols, &mut rng);
+        // A(αx + y) = αAx + Ay
+        let mut combo = vector::scaled(alpha, &x);
+        vector::add_assign(&mut combo, &y);
+        let lhs = a.matvec(&combo).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        let ay = a.matvec(&y).unwrap();
+        for i in 0..rows {
+            let rhs = alpha * ax[i] + ay[i];
+            prop_assert!((lhs[i] - rhs).abs() < 1e-8 * (1.0 + rhs.abs()));
+        }
+    }
+
+    #[test]
+    fn transpose_adjoint_identity(rows in 1usize..10, cols in 1usize..10, seed in 0u64..500) {
+        // ⟨Ax, y⟩ = ⟨x, Aᵀy⟩
+        let mut rng = nadmm_linalg::gen::seeded_rng(seed);
+        let a = nadmm_linalg::gen::gaussian_matrix(rows, cols, &mut rng);
+        let x = nadmm_linalg::gen::gaussian_vector(cols, &mut rng);
+        let y = nadmm_linalg::gen::gaussian_vector(rows, &mut rng);
+        let lhs = vector::dot(&a.matvec(&x).unwrap(), &y);
+        let rhs = vector::dot(&x, &a.t_matvec(&y).unwrap());
+        prop_assert!((lhs - rhs).abs() < 1e-8 * (1.0 + lhs.abs()));
+    }
+
+    #[test]
+    fn sparse_matches_dense_matvec(rows in 1usize..10, cols in 1usize..10, seed in 0u64..500) {
+        let mut rng = nadmm_linalg::gen::seeded_rng(seed);
+        let mut d = nadmm_linalg::gen::gaussian_matrix(rows, cols, &mut rng);
+        // Zero out ~half the entries to get genuine sparsity.
+        for i in 0..rows {
+            for j in 0..cols {
+                if (i + j) % 2 == 0 {
+                    d.set(i, j, 0.0);
+                }
+            }
+        }
+        let s = CsrMatrix::from_dense(&d);
+        let x = nadmm_linalg::gen::gaussian_vector(cols, &mut rng);
+        let yd = d.matvec(&x).unwrap();
+        let ys = s.matvec(&x).unwrap();
+        for (a, b) in yd.iter().zip(&ys) {
+            prop_assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn gemm_nt_matches_matmul(n in 1usize..8, p in 1usize..8, k in 1usize..8, seed in 0u64..500) {
+        let mut rng = nadmm_linalg::gen::seeded_rng(seed);
+        let a = nadmm_linalg::gen::gaussian_matrix(n, p, &mut rng);
+        let w = nadmm_linalg::gen::gaussian_matrix(k, p, &mut rng);
+        let via_nt = a.gemm_nt(&w).unwrap();
+        let via_mm = a.matmul(&w.transpose()).unwrap();
+        for (x, y) in via_nt.as_slice().iter().zip(via_mm.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn log1p_sum_exp_bounds(v in prop::collection::vec(-50.0f64..50.0, 1..20)) {
+        let r = reduce::log1p_sum_exp(&v);
+        let max = v.iter().cloned().fold(0.0f64, f64::max);
+        // log(1 + Σ e^{v_i}) >= max(0, max_i v_i) and <= max + log(n+1)
+        prop_assert!(r >= max - 1e-9);
+        prop_assert!(r <= max + ((v.len() + 1) as f64).ln() + 1e-9);
+    }
+
+    #[test]
+    fn softmax_reference_is_probability_vector(v in prop::collection::vec(-30.0f64..30.0, 1..10)) {
+        let mut p = vec![0.0; v.len()];
+        reduce::softmax_with_reference(&v, &mut p);
+        let s: f64 = p.iter().sum();
+        prop_assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        prop_assert!(s <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn spd_matrices_are_positive_definite(n in 2usize..8, cond in 1.0f64..1000.0, seed in 0u64..200) {
+        let mut rng = nadmm_linalg::gen::seeded_rng(seed);
+        let a = nadmm_linalg::gen::spd_with_condition(n, cond, &mut rng);
+        let x = nadmm_linalg::gen::gaussian_vector(n, &mut rng);
+        if vector::norm2(&x) > 1e-6 {
+            let ax = a.matvec(&x).unwrap();
+            prop_assert!(vector::dot(&x, &ax) > 0.0);
+        }
+    }
+
+    #[test]
+    fn slice_rows_preserves_content(rows in 2usize..10, cols in 1usize..6, seed in 0u64..200) {
+        let mut rng = nadmm_linalg::gen::seeded_rng(seed);
+        let d = nadmm_linalg::gen::gaussian_matrix(rows, cols, &mut rng);
+        let mid = rows / 2;
+        let top = d.slice_rows(0, mid);
+        let bottom = d.slice_rows(mid, rows);
+        prop_assert_eq!(top.rows() + bottom.rows(), rows);
+        for i in 0..mid {
+            prop_assert_eq!(top.row(i), d.row(i));
+        }
+        for i in mid..rows {
+            prop_assert_eq!(bottom.row(i - mid), d.row(i));
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Finite-difference oracles used to validate gradients and Hessian-vector
+//! products throughout the test-suite.
+
+use crate::traits::Objective;
+use nadmm_linalg::vector;
+
+/// Central-difference approximation of the gradient of `obj` at `x`.
+pub fn gradient(obj: &dyn Objective, x: &[f64], eps: f64) -> Vec<f64> {
+    let mut g = vec![0.0; x.len()];
+    let mut xp = x.to_vec();
+    for i in 0..x.len() {
+        let orig = xp[i];
+        xp[i] = orig + eps;
+        let fp = obj.value(&xp);
+        xp[i] = orig - eps;
+        let fm = obj.value(&xp);
+        xp[i] = orig;
+        g[i] = (fp - fm) / (2.0 * eps);
+    }
+    g
+}
+
+/// Central-difference approximation of the Hessian-vector product
+/// `∇²F(x) v ≈ (∇F(x + εv) − ∇F(x − εv)) / 2ε`.
+pub fn hessian_vec(obj: &dyn Objective, x: &[f64], v: &[f64], eps: f64) -> Vec<f64> {
+    let mut xp = x.to_vec();
+    vector::axpy(eps, v, &mut xp);
+    let gp = obj.gradient(&xp);
+    let mut xm = x.to_vec();
+    vector::axpy(-eps, v, &mut xm);
+    let gm = obj.gradient(&xm);
+    gp.iter().zip(&gm).map(|(a, b)| (a - b) / (2.0 * eps)).collect()
+}
+
+/// Maximum element-wise relative error between the analytic gradient and the
+/// finite-difference gradient (relative to the gradient norm).
+pub fn max_relative_gradient_error(obj: &dyn Objective, x: &[f64], eps: f64) -> f64 {
+    let analytic = obj.gradient(x);
+    let numeric = gradient(obj, x, eps);
+    let scale = vector::norm2(&analytic).max(1.0);
+    analytic
+        .iter()
+        .zip(&numeric)
+        .map(|(a, n)| (a - n).abs() / scale)
+        .fold(0.0, f64::max)
+}
+
+/// Relative L2 error between the analytic and finite-difference
+/// Hessian-vector products.
+pub fn relative_hvp_error(obj: &dyn Objective, x: &[f64], v: &[f64], eps: f64) -> f64 {
+    let analytic = obj.hessian_vec(x, v);
+    let numeric = hessian_vec(obj, x, v, eps);
+    let diff = vector::sub(&analytic, &numeric);
+    vector::norm2(&diff) / vector::norm2(&analytic).max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quadratic::Quadratic;
+    use nadmm_linalg::gen;
+
+    #[test]
+    fn finite_differences_recover_quadratic_derivatives() {
+        let mut rng = gen::seeded_rng(1);
+        let a = gen::spd_with_condition(5, 10.0, &mut rng);
+        let b = gen::gaussian_vector(5, &mut rng);
+        let q = Quadratic::new(a.clone(), b.clone());
+        let x = gen::gaussian_vector(5, &mut rng);
+        let v = gen::gaussian_vector(5, &mut rng);
+
+        assert!(max_relative_gradient_error(&q, &x, 1e-6) < 1e-6);
+        assert!(relative_hvp_error(&q, &x, &v, 1e-6) < 1e-6);
+
+        // And the raw oracles themselves are close to the analytic values.
+        let g_fd = gradient(&q, &x, 1e-6);
+        let g = q.gradient(&x);
+        for (a, b) in g_fd.iter().zip(&g) {
+            assert!((a - b).abs() < 1e-5);
+        }
+        let hv_fd = hessian_vec(&q, &x, &v, 1e-6);
+        let hv = q.hessian_vec(&x, &v);
+        for (a, b) in hv_fd.iter().zip(&hv) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! The ADMM-augmented local objective (paper Eq. 6a).
+//!
+//! In each Newton-ADMM outer iteration, worker `i` minimises
+//!
+//! ```text
+//! L_i(x) = f_i(x) + ρ_i/2 ‖ z − x + y_i/ρ_i ‖²
+//! ```
+//!
+//! over its local shard. `ProximalAugmented` wraps any base [`Objective`]
+//! `f_i` with this proximal term, so the exact same inexact Newton-CG solver
+//! (Algorithm 1) can be reused unchanged for the subproblem. The proximal
+//! term also makes the subproblem strongly convex with parameter at least
+//! `ρ_i`, which is what gives ADMM its robustness on ill-conditioned shards.
+
+use crate::traits::{Objective, OpCost};
+use nadmm_linalg::vector;
+
+/// `f(x) + ρ/2 ‖z − x + y/ρ‖²` wrapper around a base objective.
+#[derive(Debug, Clone)]
+pub struct ProximalAugmented<O> {
+    base: O,
+    z: Vec<f64>,
+    y: Vec<f64>,
+    rho: f64,
+}
+
+impl<O: Objective> ProximalAugmented<O> {
+    /// Wraps `base` with the ADMM proximal term defined by the consensus
+    /// variable `z`, the scaled dual `y` and the penalty `rho`.
+    ///
+    /// # Panics
+    /// Panics if the vector lengths do not match `base.dim()` or `rho <= 0`.
+    pub fn new(base: O, z: Vec<f64>, y: Vec<f64>, rho: f64) -> Self {
+        assert_eq!(z.len(), base.dim(), "consensus variable has wrong length");
+        assert_eq!(y.len(), base.dim(), "dual variable has wrong length");
+        assert!(rho > 0.0, "penalty must be positive");
+        Self { base, z, y, rho }
+    }
+
+    /// The wrapped base objective.
+    pub fn base(&self) -> &O {
+        &self.base
+    }
+
+    /// The ADMM penalty ρ.
+    pub fn rho(&self) -> f64 {
+        self.rho
+    }
+
+    /// The anchor point of the proximal term, `z + y/ρ`.
+    pub fn anchor(&self) -> Vec<f64> {
+        let mut a = self.z.clone();
+        vector::axpy(1.0 / self.rho, &self.y, &mut a);
+        a
+    }
+
+    /// Offset `x − (z + y/ρ)` used by value/gradient.
+    fn offset(&self, x: &[f64]) -> Vec<f64> {
+        let mut d = x.to_vec();
+        vector::sub_assign(&mut d, &self.z);
+        vector::axpy(-1.0 / self.rho, &self.y, &mut d);
+        d
+    }
+}
+
+impl<O: Objective> Objective for ProximalAugmented<O> {
+    fn dim(&self) -> usize {
+        self.base.dim()
+    }
+
+    fn num_samples(&self) -> usize {
+        self.base.num_samples()
+    }
+
+    fn value(&self, x: &[f64]) -> f64 {
+        let d = self.offset(x);
+        self.base.value(x) + 0.5 * self.rho * vector::norm2_sq(&d)
+    }
+
+    fn gradient(&self, x: &[f64]) -> Vec<f64> {
+        let mut g = self.base.gradient(x);
+        let d = self.offset(x);
+        vector::axpy(self.rho, &d, &mut g);
+        g
+    }
+
+    fn value_and_gradient(&self, x: &[f64]) -> (f64, Vec<f64>) {
+        let (v, mut g) = self.base.value_and_gradient(x);
+        let d = self.offset(x);
+        vector::axpy(self.rho, &d, &mut g);
+        (v + 0.5 * self.rho * vector::norm2_sq(&d), g)
+    }
+
+    fn hessian_vec(&self, x: &[f64], v: &[f64]) -> Vec<f64> {
+        let mut hv = self.base.hessian_vec(x, v);
+        vector::axpy(self.rho, v, &mut hv);
+        hv
+    }
+
+    fn hvp_operator<'a>(&'a self, x: &[f64]) -> Box<dyn Fn(&[f64]) -> Vec<f64> + Send + Sync + 'a> {
+        let base_op = self.base.hvp_operator(x);
+        let rho = self.rho;
+        Box::new(move |v| {
+            let mut hv = base_op(v);
+            vector::axpy(rho, v, &mut hv);
+            hv
+        })
+    }
+
+    fn cost_value_grad(&self) -> OpCost {
+        // The proximal term adds O(d) work on top of the base objective.
+        self.base.cost_value_grad().plus(OpCost::new(4.0 * self.dim() as f64, 3.0 * self.dim() as f64 * 8.0))
+    }
+
+    fn cost_hessian_vec(&self) -> OpCost {
+        self.base.cost_hessian_vec().plus(OpCost::new(2.0 * self.dim() as f64, 2.0 * self.dim() as f64 * 8.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::finite_diff;
+    use crate::quadratic::Quadratic;
+    use crate::softmax::SoftmaxCrossEntropy;
+    use nadmm_data::SyntheticConfig;
+    use nadmm_linalg::gen;
+
+    fn quadratic_base() -> Quadratic {
+        let mut rng = gen::seeded_rng(5);
+        let a = gen::spd_with_condition(4, 10.0, &mut rng);
+        let b = gen::gaussian_vector(4, &mut rng);
+        Quadratic::new(a, b)
+    }
+
+    #[test]
+    fn value_reduces_to_base_when_proximal_term_vanishes() {
+        let base = quadratic_base();
+        let mut rng = gen::seeded_rng(6);
+        let x = gen::gaussian_vector(4, &mut rng);
+        // If z = x and y = 0, the proximal term is exactly zero.
+        let aug = ProximalAugmented::new(base.clone(), x.clone(), vec![0.0; 4], 2.0);
+        assert!((aug.value(&x) - base.value(&x)).abs() < 1e-12);
+        let ganchor = aug.anchor();
+        for (a, b) in ganchor.iter().zip(&x) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let base = quadratic_base();
+        let mut rng = gen::seeded_rng(7);
+        let z = gen::gaussian_vector(4, &mut rng);
+        let y = gen::gaussian_vector(4, &mut rng);
+        let aug = ProximalAugmented::new(base, z, y, 3.5);
+        let x = gen::gaussian_vector(4, &mut rng);
+        let v = gen::gaussian_vector(4, &mut rng);
+        assert!(finite_diff::max_relative_gradient_error(&aug, &x, 1e-6) < 1e-6);
+        assert!(finite_diff::relative_hvp_error(&aug, &x, &v, 1e-6) < 1e-6);
+        let (val, grad) = aug.value_and_gradient(&x);
+        assert!((val - aug.value(&x)).abs() < 1e-10);
+        let g2 = aug.gradient(&x);
+        for (a, b) in grad.iter().zip(&g2) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn hessian_gains_rho_on_the_diagonal() {
+        let base = quadratic_base();
+        let rho = 4.0;
+        let aug = ProximalAugmented::new(base.clone(), vec![0.0; 4], vec![0.0; 4], rho);
+        let x = vec![0.0; 4];
+        for i in 0..4 {
+            let mut e = vec![0.0; 4];
+            e[i] = 1.0;
+            let hv_base = base.hessian_vec(&x, &e);
+            let hv_aug = aug.hessian_vec(&x, &e);
+            assert!((hv_aug[i] - (hv_base[i] + rho)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn works_with_softmax_base() {
+        let (train, _) = SyntheticConfig::mnist_like()
+            .with_train_size(25)
+            .with_test_size(5)
+            .with_num_features(5)
+            .with_num_classes(3)
+            .generate(2);
+        let base = SoftmaxCrossEntropy::new(&train, 1e-3);
+        let d = base.dim();
+        let mut rng = gen::seeded_rng(9);
+        let z = gen::gaussian_vector_with(d, 0.0, 0.1, &mut rng);
+        let y = gen::gaussian_vector_with(d, 0.0, 0.1, &mut rng);
+        let aug = ProximalAugmented::new(base, z, y, 1.5);
+        let x = gen::gaussian_vector_with(d, 0.0, 0.1, &mut rng);
+        assert!(finite_diff::max_relative_gradient_error(&aug, &x, 1e-5) < 1e-5);
+        let op = aug.hvp_operator(&x);
+        let v = gen::gaussian_vector(d, &mut rng);
+        let a = op(&v);
+        let b = aug.hessian_vec(&x, &v);
+        for (u, w) in a.iter().zip(&b) {
+            assert!((u - w).abs() < 1e-9);
+        }
+        assert!(aug.cost_value_grad().flops > 0.0);
+        assert!(aug.cost_hessian_vec().flops > 0.0);
+        assert_eq!(aug.num_samples(), 25);
+        assert_eq!(aug.rho(), 1.5);
+        assert_eq!(aug.base().dim(), d);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_rho_is_rejected() {
+        ProximalAugmented::new(quadratic_base(), vec![0.0; 4], vec![0.0; 4], 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_consensus_length_is_rejected() {
+        ProximalAugmented::new(quadratic_base(), vec![0.0; 3], vec![0.0; 4], 1.0);
+    }
+}

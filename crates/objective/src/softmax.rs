@@ -1,0 +1,383 @@
+//! Multiclass softmax cross-entropy with L2 regularization (paper §5–6).
+//!
+//! With `C` classes and `p` features the variable is
+//! `x = [x_1; …; x_{C−1}] ∈ R^{(C−1)p}` (the last class is the reference
+//! class with weight pinned at zero). For training data `{(a_i, b_i)}`:
+//!
+//! ```text
+//! F(x) = Σ_i [ log(1 + Σ_{c<C} e^{⟨a_i, x_c⟩}) − Σ_{c<C} 1(b_i = c) ⟨a_i, x_c⟩ ]
+//!        + λ/2 ‖x‖²
+//! ```
+//!
+//! Gradient and Hessian-vector products are computed in matrix form:
+//! `Z = A Wᵀ`, `P = softmax_rows(Z)` (with the implicit reference class),
+//! `∇F = (P − Y)ᵀ A + λW`, and for the HVP with direction `V`:
+//! `U = A Vᵀ`, `S_i = diag(p_i) u_i − p_i (p_iᵀ u_i)`, `Hv = Sᵀ A + λV`.
+//! All exponentials go through the Log-Sum-Exp trick of §6.
+
+use crate::traits::{Objective, OpCost};
+use nadmm_data::Dataset;
+use nadmm_linalg::{reduce, vector, DenseMatrix, Matrix};
+
+/// Softmax cross-entropy objective over a dataset shard.
+#[derive(Debug, Clone)]
+pub struct SoftmaxCrossEntropy {
+    features: Matrix,
+    one_hot: DenseMatrix,
+    labels: Vec<usize>,
+    num_classes: usize,
+    /// L2 regularization weight λ.
+    pub lambda: f64,
+}
+
+impl SoftmaxCrossEntropy {
+    /// Builds the objective for a dataset with regularization weight
+    /// `lambda` (the paper uses `λ ∈ {10⁻³, 10⁻⁵}`).
+    pub fn new(data: &Dataset, lambda: f64) -> Self {
+        Self {
+            features: data.features().clone(),
+            one_hot: data.one_hot_reduced(),
+            labels: data.labels().to_vec(),
+            num_classes: data.num_classes(),
+            lambda,
+        }
+    }
+
+    /// Number of classes C.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Number of features p.
+    pub fn num_features(&self) -> usize {
+        self.features.cols()
+    }
+
+    /// Reshapes the flat variable into the `(C−1) × p` weight matrix.
+    pub fn weights_from_flat(&self, x: &[f64]) -> DenseMatrix {
+        assert_eq!(x.len(), self.dim(), "weight vector has wrong length");
+        DenseMatrix::from_vec(self.num_classes - 1, self.num_features(), x.to_vec())
+    }
+
+    /// Computes per-sample class probabilities (n × (C−1), reference class
+    /// implicit) and the per-sample log-partition values.
+    fn probabilities(&self, w: &DenseMatrix) -> (DenseMatrix, Vec<f64>) {
+        let mut margins = self.features.gemm_nt(w).expect("margin gemm");
+        let n = margins.rows();
+        let c1 = margins.cols();
+        let mut logz = vec![0.0; n];
+        let mut probs = vec![0.0; c1];
+        for i in 0..n {
+            let row = margins.row_mut(i);
+            logz[i] = reduce::softmax_with_reference(row, &mut probs);
+            row.copy_from_slice(&probs);
+        }
+        (margins, logz)
+    }
+
+    /// Per-sample loss (without regularization) given margins and log-partition.
+    fn data_loss(&self, w: &DenseMatrix) -> f64 {
+        let margins = self.features.gemm_nt(w).expect("margin gemm");
+        let n = margins.rows();
+        reduce::par_sum_over(n, |i| {
+            let row = margins.row(i);
+            let logz = reduce::log1p_sum_exp(row);
+            let label = self.labels[i];
+            let correct_margin = if label < self.num_classes - 1 { row[label] } else { 0.0 };
+            logz - correct_margin
+        })
+    }
+
+    /// Predicted class labels for a feature matrix given flat weights.
+    pub fn predict(&self, features: &Matrix, x: &[f64]) -> Vec<usize> {
+        let w = self.weights_from_flat(x);
+        let margins = features.gemm_nt(&w).expect("predict gemm");
+        let c1 = self.num_classes - 1;
+        (0..margins.rows())
+            .map(|i| {
+                let row = margins.row(i);
+                let mut best = c1; // reference class, margin 0
+                let mut best_val = 0.0;
+                for (c, &m) in row.iter().enumerate() {
+                    if m > best_val {
+                        best_val = m;
+                        best = c;
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+
+    /// Classification accuracy on a labelled dataset.
+    pub fn accuracy(&self, data: &Dataset, x: &[f64]) -> f64 {
+        let preds = self.predict(data.features(), x);
+        let correct = preds.iter().zip(data.labels()).filter(|(p, l)| p == l).count();
+        correct as f64 / data.num_samples().max(1) as f64
+    }
+}
+
+impl Objective for SoftmaxCrossEntropy {
+    fn dim(&self) -> usize {
+        (self.num_classes - 1) * self.features.cols()
+    }
+
+    fn num_samples(&self) -> usize {
+        self.features.rows()
+    }
+
+    fn value(&self, x: &[f64]) -> f64 {
+        let w = self.weights_from_flat(x);
+        self.data_loss(&w) + 0.5 * self.lambda * vector::norm2_sq(x)
+    }
+
+    fn gradient(&self, x: &[f64]) -> Vec<f64> {
+        let w = self.weights_from_flat(x);
+        let (probs, _) = self.probabilities(&w);
+        // R = P − Y  (n × (C−1))
+        let mut residual = probs;
+        residual.axpy(-1.0, &self.one_hot).expect("one-hot shape");
+        // G = Rᵀ X  ((C−1) × p)
+        let grad = self.features.gemm_tn_from_dense(&residual).expect("gradient gemm");
+        let mut g = grad.into_vec();
+        vector::axpy(self.lambda, x, &mut g);
+        g
+    }
+
+    fn value_and_gradient(&self, x: &[f64]) -> (f64, Vec<f64>) {
+        let w = self.weights_from_flat(x);
+        let (probs, logz) = self.probabilities(&w);
+        // Loss from the cached log-partition values: logZ_i − margin of true class.
+        // Recover the true-class margin from probs: m_c = log(p_c) + logZ.
+        let n = self.features.rows();
+        let loss = reduce::par_sum_over(n, |i| {
+            let label = self.labels[i];
+            let correct_margin = if label < self.num_classes - 1 {
+                let p = probs.get(i, label).max(f64::MIN_POSITIVE);
+                p.ln() + logz[i]
+            } else {
+                0.0
+            };
+            logz[i] - correct_margin
+        });
+        let mut residual = probs;
+        residual.axpy(-1.0, &self.one_hot).expect("one-hot shape");
+        let grad = self.features.gemm_tn_from_dense(&residual).expect("gradient gemm");
+        let mut g = grad.into_vec();
+        vector::axpy(self.lambda, x, &mut g);
+        (loss + 0.5 * self.lambda * vector::norm2_sq(x), g)
+    }
+
+    fn hessian_vec(&self, x: &[f64], v: &[f64]) -> Vec<f64> {
+        let w = self.weights_from_flat(x);
+        let (probs, _) = self.probabilities(&w);
+        self.hvp_with_probs(&probs, v)
+    }
+
+    fn hvp_operator<'a>(&'a self, x: &[f64]) -> Box<dyn Fn(&[f64]) -> Vec<f64> + Send + Sync + 'a> {
+        let w = self.weights_from_flat(x);
+        let (probs, _) = self.probabilities(&w);
+        Box::new(move |v| self.hvp_with_probs(&probs, v))
+    }
+
+    fn cost_value_grad(&self) -> OpCost {
+        let nnz = self.features.stored_entries() as f64;
+        let c1 = (self.num_classes - 1) as f64;
+        let n = self.features.rows() as f64;
+        // Two GEMM-like passes (margins + gradient) plus the softmax rows.
+        OpCost::new(4.0 * nnz * c1 + 6.0 * n * c1, 2.0 * self.features.storage_bytes() as f64 + 3.0 * n * c1 * 8.0)
+    }
+
+    fn cost_hessian_vec(&self) -> OpCost {
+        let nnz = self.features.stored_entries() as f64;
+        let c1 = (self.num_classes - 1) as f64;
+        let n = self.features.rows() as f64;
+        OpCost::new(4.0 * nnz * c1 + 4.0 * n * c1, 2.0 * self.features.storage_bytes() as f64 + 3.0 * n * c1 * 8.0)
+    }
+}
+
+impl SoftmaxCrossEntropy {
+    /// Hessian-vector product given precomputed class probabilities.
+    fn hvp_with_probs(&self, probs: &DenseMatrix, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.dim(), "direction vector has wrong length");
+        let vm = DenseMatrix::from_vec(self.num_classes - 1, self.features.cols(), v.to_vec());
+        // U = X Vᵀ  (n × (C−1))
+        let u = self.features.gemm_nt(&vm).expect("hvp margin gemm");
+        // S_i = diag(p_i) u_i − p_i (p_iᵀ u_i)
+        let n = u.rows();
+        let c1 = u.cols();
+        let mut s = DenseMatrix::zeros(n, c1);
+        for i in 0..n {
+            let p = probs.row(i);
+            let ui = u.row(i);
+            let pu: f64 = p.iter().zip(ui).map(|(a, b)| a * b).sum();
+            let srow = s.row_mut(i);
+            for c in 0..c1 {
+                srow[c] = p[c] * ui[c] - p[c] * pu;
+            }
+        }
+        // Hv = Sᵀ X + λ v
+        let hv = self.features.gemm_tn_from_dense(&s).expect("hvp gemm");
+        let mut out = hv.into_vec();
+        vector::axpy(self.lambda, v, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::finite_diff;
+    use nadmm_data::SyntheticConfig;
+    use nadmm_linalg::gen;
+
+    fn small_problem(classes: usize, sparse: bool) -> (Dataset, SoftmaxCrossEntropy) {
+        let mut cfg = SyntheticConfig::mnist_like()
+            .with_train_size(40)
+            .with_test_size(10)
+            .with_num_features(6)
+            .with_num_classes(classes);
+        if sparse {
+            cfg.density = 0.4;
+        }
+        let (train, _) = cfg.generate(42);
+        let obj = SoftmaxCrossEntropy::new(&train, 1e-3);
+        (train, obj)
+    }
+
+    #[test]
+    fn dimensions_are_consistent() {
+        let (train, obj) = small_problem(5, false);
+        assert_eq!(obj.dim(), 4 * 6);
+        assert_eq!(obj.num_samples(), 40);
+        assert_eq!(obj.num_classes(), 5);
+        assert_eq!(obj.num_features(), 6);
+        assert_eq!(train.weight_dim(), obj.dim());
+    }
+
+    #[test]
+    fn value_at_zero_is_n_log_c() {
+        // With x = 0 every class has probability 1/C, so the loss is n·log C.
+        let (_, obj) = small_problem(5, false);
+        let x = vec![0.0; obj.dim()];
+        let expect = 40.0 * (5.0f64).ln();
+        assert!((obj.value(&x) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let (_, obj) = small_problem(4, false);
+        let mut rng = gen::seeded_rng(3);
+        let x = gen::gaussian_vector_with(obj.dim(), 0.0, 0.1, &mut rng);
+        let rel = finite_diff::max_relative_gradient_error(&obj, &x, 1e-5);
+        assert!(rel < 1e-5, "gradient finite-difference error {rel}");
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences_sparse() {
+        let (_, obj) = small_problem(3, true);
+        let mut rng = gen::seeded_rng(4);
+        let x = gen::gaussian_vector_with(obj.dim(), 0.0, 0.1, &mut rng);
+        let rel = finite_diff::max_relative_gradient_error(&obj, &x, 1e-5);
+        assert!(rel < 1e-5, "sparse gradient finite-difference error {rel}");
+    }
+
+    #[test]
+    fn hessian_vec_matches_finite_differences() {
+        let (_, obj) = small_problem(4, false);
+        let mut rng = gen::seeded_rng(5);
+        let x = gen::gaussian_vector_with(obj.dim(), 0.0, 0.1, &mut rng);
+        let v = gen::gaussian_vector(obj.dim(), &mut rng);
+        let rel = finite_diff::relative_hvp_error(&obj, &x, &v, 1e-5);
+        assert!(rel < 1e-4, "hvp finite-difference error {rel}");
+    }
+
+    #[test]
+    fn hessian_is_symmetric_and_psd() {
+        let (_, obj) = small_problem(3, false);
+        let mut rng = gen::seeded_rng(6);
+        let x = gen::gaussian_vector_with(obj.dim(), 0.0, 0.2, &mut rng);
+        let u = gen::gaussian_vector(obj.dim(), &mut rng);
+        let v = gen::gaussian_vector(obj.dim(), &mut rng);
+        let hu = obj.hessian_vec(&x, &u);
+        let hv = obj.hessian_vec(&x, &v);
+        // ⟨Hu, v⟩ = ⟨u, Hv⟩
+        let a = vector::dot(&hu, &v);
+        let b = vector::dot(&u, &hv);
+        assert!((a - b).abs() < 1e-8 * (1.0 + a.abs()));
+        // vᵀ H v ≥ λ‖v‖² (the loss Hessian is PSD and the regulariser adds λI).
+        let quad = vector::dot(&v, &hv);
+        assert!(quad >= obj.lambda * vector::norm2_sq(&v) - 1e-9);
+    }
+
+    #[test]
+    fn value_and_gradient_agree_with_separate_calls() {
+        let (_, obj) = small_problem(4, false);
+        let mut rng = gen::seeded_rng(7);
+        let x = gen::gaussian_vector_with(obj.dim(), 0.0, 0.3, &mut rng);
+        let (v, g) = obj.value_and_gradient(&x);
+        assert!((v - obj.value(&x)).abs() < 1e-8 * (1.0 + v.abs()));
+        let g2 = obj.gradient(&x);
+        for (a, b) in g.iter().zip(&g2) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn hvp_operator_matches_hessian_vec() {
+        let (_, obj) = small_problem(4, false);
+        let mut rng = gen::seeded_rng(8);
+        let x = gen::gaussian_vector_with(obj.dim(), 0.0, 0.1, &mut rng);
+        let op = obj.hvp_operator(&x);
+        let v = gen::gaussian_vector(obj.dim(), &mut rng);
+        let a = op(&v);
+        let b = obj.hessian_vec(&x, &v);
+        for (u, w) in a.iter().zip(&b) {
+            assert!((u - w).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn regularizer_increases_value_and_gradient() {
+        let (train, _) = small_problem(3, false);
+        let weak = SoftmaxCrossEntropy::new(&train, 0.0);
+        let strong = SoftmaxCrossEntropy::new(&train, 1.0);
+        let mut rng = gen::seeded_rng(9);
+        let x = gen::gaussian_vector(weak.dim(), &mut rng);
+        assert!(strong.value(&x) > weak.value(&x));
+    }
+
+    #[test]
+    fn prediction_and_accuracy_are_sane() {
+        let (train, obj) = small_problem(4, false);
+        let zero = vec![0.0; obj.dim()];
+        let acc0 = obj.accuracy(&train, &zero);
+        assert!((0.0..=1.0).contains(&acc0));
+        let preds = obj.predict(train.features(), &zero);
+        assert_eq!(preds.len(), train.num_samples());
+        assert!(preds.iter().all(|&p| p < train.num_classes()));
+    }
+
+    #[test]
+    fn training_direction_reduces_loss() {
+        // A single gradient step with a small step size must reduce the loss
+        // (basic sanity that the gradient points uphill).
+        let (_, obj) = small_problem(4, false);
+        let x = vec![0.0; obj.dim()];
+        let g = obj.gradient(&x);
+        let mut x2 = x.clone();
+        vector::axpy(-1e-3, &g, &mut x2);
+        assert!(obj.value(&x2) < obj.value(&x));
+    }
+
+    #[test]
+    fn cost_estimates_are_positive_and_scale_with_data() {
+        let (_, small_obj) = small_problem(4, false);
+        let cfg = SyntheticConfig::mnist_like().with_train_size(200).with_test_size(10).with_num_features(6).with_num_classes(4);
+        let (big_train, _) = cfg.generate(1);
+        let big_obj = SoftmaxCrossEntropy::new(&big_train, 1e-3);
+        assert!(small_obj.cost_value_grad().flops > 0.0);
+        assert!(big_obj.cost_value_grad().flops > small_obj.cost_value_grad().flops);
+        assert!(big_obj.cost_hessian_vec().flops > 0.0);
+    }
+}

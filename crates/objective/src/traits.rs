@@ -1,0 +1,128 @@
+//! The objective-function interface shared by every solver in the workspace.
+
+/// Analytic cost (FLOPs and bytes touched) of one evaluation of an objective
+/// operation. The distributed drivers feed these numbers to the simulated
+/// device / cluster substrates to attribute realistic compute time to each
+/// evaluation.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OpCost {
+    /// Floating-point operations.
+    pub flops: f64,
+    /// Bytes of memory traffic.
+    pub bytes: f64,
+}
+
+impl OpCost {
+    /// Creates a cost record.
+    pub fn new(flops: f64, bytes: f64) -> Self {
+        Self { flops, bytes }
+    }
+
+    /// Sum of two costs.
+    pub fn plus(self, other: OpCost) -> OpCost {
+        OpCost { flops: self.flops + other.flops, bytes: self.bytes + other.bytes }
+    }
+
+    /// Cost scaled by a constant factor (e.g. per CG iteration).
+    pub fn times(self, k: f64) -> OpCost {
+        OpCost { flops: self.flops * k, bytes: self.bytes * k }
+    }
+}
+
+/// A twice-differentiable finite-sum objective `F(x) = Σ_i f_i(x) + g(x)`.
+///
+/// Implementations never materialise the Hessian; second-order information is
+/// exposed only through Hessian-vector products (the "Hessian-free" approach
+/// the paper uses so that problems like E18 with `(C−1)·p ≈ 5·10⁶` variables
+/// remain tractable).
+pub trait Objective: Sync + Send {
+    /// Dimension of the optimisation variable.
+    fn dim(&self) -> usize;
+
+    /// Number of samples contributing to the finite sum (0 for synthetic
+    /// test objectives that are not data-driven).
+    fn num_samples(&self) -> usize {
+        0
+    }
+
+    /// Objective value `F(x)`.
+    fn value(&self, x: &[f64]) -> f64;
+
+    /// Gradient `∇F(x)`.
+    fn gradient(&self, x: &[f64]) -> Vec<f64>;
+
+    /// Value and gradient together (implementations can share work).
+    fn value_and_gradient(&self, x: &[f64]) -> (f64, Vec<f64>) {
+        (self.value(x), self.gradient(x))
+    }
+
+    /// Hessian-vector product `∇²F(x) · v`.
+    fn hessian_vec(&self, x: &[f64], v: &[f64]) -> Vec<f64>;
+
+    /// Returns a Hessian-vector operator at a fixed point `x`. The default
+    /// simply forwards to [`Objective::hessian_vec`]; implementations with
+    /// reusable per-`x` state (like the softmax probabilities) override this
+    /// so that the `m` CG iterations at one Newton step cost `m` GEMM pairs
+    /// instead of `2m`.
+    fn hvp_operator<'a>(&'a self, x: &[f64]) -> Box<dyn Fn(&[f64]) -> Vec<f64> + Send + Sync + 'a> {
+        let x = x.to_vec();
+        Box::new(move |v| self.hessian_vec(&x, v))
+    }
+
+    /// Analytic cost of one value+gradient evaluation.
+    fn cost_value_grad(&self) -> OpCost {
+        OpCost::default()
+    }
+
+    /// Analytic cost of one Hessian-vector product.
+    fn cost_hessian_vec(&self) -> OpCost {
+        OpCost::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Parabola;
+
+    impl Objective for Parabola {
+        fn dim(&self) -> usize {
+            2
+        }
+        fn value(&self, x: &[f64]) -> f64 {
+            0.5 * (x[0] * x[0] + 3.0 * x[1] * x[1])
+        }
+        fn gradient(&self, x: &[f64]) -> Vec<f64> {
+            vec![x[0], 3.0 * x[1]]
+        }
+        fn hessian_vec(&self, _x: &[f64], v: &[f64]) -> Vec<f64> {
+            vec![v[0], 3.0 * v[1]]
+        }
+    }
+
+    #[test]
+    fn default_methods_work() {
+        let p = Parabola;
+        assert_eq!(p.num_samples(), 0);
+        let (v, g) = p.value_and_gradient(&[1.0, 2.0]);
+        assert!((v - 6.5).abs() < 1e-12);
+        assert_eq!(g, vec![1.0, 6.0]);
+        let hvp = p.hvp_operator(&[1.0, 2.0]);
+        assert_eq!(hvp(&[1.0, 1.0]), vec![1.0, 3.0]);
+        assert_eq!(p.cost_value_grad(), OpCost::default());
+        assert_eq!(p.cost_hessian_vec(), OpCost::default());
+    }
+
+    #[test]
+    fn op_cost_arithmetic() {
+        let a = OpCost::new(10.0, 100.0);
+        let b = OpCost::new(1.0, 2.0);
+        let c = a.plus(b);
+        assert_eq!(c.flops, 11.0);
+        assert_eq!(c.bytes, 102.0);
+        let d = b.times(3.0);
+        assert_eq!(d.flops, 3.0);
+        assert_eq!(d.bytes, 6.0);
+    }
+}

@@ -1,0 +1,175 @@
+//! Conjugate gradient for symmetric positive-definite systems.
+//!
+//! Used to compute the inexact Newton direction of paper Eq. (3b): CG on
+//! `H p = −g` is stopped early once the *relative* residual drops below the
+//! inexactness tolerance θ, i.e. `‖H p + g‖ ≤ θ‖g‖`, or after a fixed
+//! iteration budget (the paper uses 10–30 iterations with θ between 1e-4 and
+//! 1e-10).
+
+use nadmm_linalg::vector;
+use serde::{Deserialize, Serialize};
+
+/// CG configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CgConfig {
+    /// Maximum number of CG iterations (the paper's "CG iterations").
+    pub max_iters: usize,
+    /// Relative residual tolerance θ of Eq. (3b).
+    pub tolerance: f64,
+}
+
+impl Default for CgConfig {
+    fn default() -> Self {
+        // The paper's Figure 1 setting: 10 CG iterations, tolerance 1e-4.
+        Self { max_iters: 10, tolerance: 1e-4 }
+    }
+}
+
+/// Result of a CG solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CgResult {
+    /// Approximate solution of `A x = b`.
+    pub x: Vec<f64>,
+    /// Number of iterations performed.
+    pub iterations: usize,
+    /// Final residual norm `‖b − A x‖`.
+    pub residual_norm: f64,
+    /// Whether the relative tolerance was reached within the budget.
+    pub converged: bool,
+}
+
+/// Solves `A x = b` for SPD `A` given as a matrix-free operator, starting
+/// from `x = 0`.
+///
+/// The operator must be linear and symmetric positive definite; CG with a
+/// non-SPD operator can diverge (the caller is responsible — for the
+/// objectives in this workspace the Hessian plus the L2/proximal terms is
+/// always SPD).
+pub fn conjugate_gradient(apply: impl Fn(&[f64]) -> Vec<f64>, b: &[f64], config: &CgConfig) -> CgResult {
+    let n = b.len();
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec(); // r = b - A·0 = b
+    let mut p = r.clone();
+    let b_norm = vector::norm2(b);
+    if b_norm == 0.0 {
+        return CgResult { x, iterations: 0, residual_norm: 0.0, converged: true };
+    }
+    let target = config.tolerance * b_norm;
+    let mut rs_old = vector::norm2_sq(&r);
+    let mut iterations = 0;
+    let mut converged = rs_old.sqrt() <= target;
+    while iterations < config.max_iters && !converged {
+        let ap = apply(&p);
+        let p_ap = vector::dot(&p, &ap);
+        if p_ap <= 0.0 || !p_ap.is_finite() {
+            // Negative curvature or numerical breakdown — stop with the
+            // current iterate (for SPD systems this only happens through
+            // rounding on nearly singular systems).
+            break;
+        }
+        let alpha = rs_old / p_ap;
+        vector::axpy(alpha, &p, &mut x);
+        vector::axpy(-alpha, &ap, &mut r);
+        let rs_new = vector::norm2_sq(&r);
+        iterations += 1;
+        if rs_new.sqrt() <= target {
+            converged = true;
+            rs_old = rs_new;
+            break;
+        }
+        let beta = rs_new / rs_old;
+        // p = r + beta * p
+        vector::axpby(1.0, &r, beta, &mut p);
+        rs_old = rs_new;
+    }
+    CgResult { x, iterations, residual_norm: rs_old.sqrt(), converged }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nadmm_linalg::{gen, DenseMatrix};
+    use nadmm_objective::quadratic::solve_dense;
+
+    fn operator_for(a: &DenseMatrix) -> impl Fn(&[f64]) -> Vec<f64> + '_ {
+        move |v: &[f64]| a.matvec(v).unwrap()
+    }
+
+    #[test]
+    fn solves_identity_in_one_iteration() {
+        let a = DenseMatrix::identity(5);
+        let b = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let res = conjugate_gradient(operator_for(&a), &b, &CgConfig { max_iters: 10, tolerance: 1e-12 });
+        assert!(res.converged);
+        assert!(res.iterations <= 2);
+        for (x, bb) in res.x.iter().zip(&b) {
+            assert!((x - bb).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn matches_direct_solve_on_random_spd_systems() {
+        let mut rng = gen::seeded_rng(3);
+        for n in [4, 8, 16] {
+            let a = gen::spd_with_condition(n, 100.0, &mut rng);
+            let b = gen::gaussian_vector(n, &mut rng);
+            let res = conjugate_gradient(operator_for(&a), &b, &CgConfig { max_iters: 10 * n, tolerance: 1e-12 });
+            let exact = solve_dense(&a, &b);
+            assert!(res.converged, "cg did not converge for n={n}");
+            for (x, y) in res.x.iter().zip(&exact) {
+                assert!((x - y).abs() < 1e-6, "n={n}: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_convergence_within_dimension_iterations() {
+        // CG converges in at most n iterations in exact arithmetic.
+        let mut rng = gen::seeded_rng(5);
+        let n = 12;
+        let a = gen::spd_with_condition(n, 10.0, &mut rng);
+        let b = gen::gaussian_vector(n, &mut rng);
+        let res = conjugate_gradient(operator_for(&a), &b, &CgConfig { max_iters: n + 2, tolerance: 1e-10 });
+        assert!(res.converged);
+        assert!(res.iterations <= n + 1);
+    }
+
+    #[test]
+    fn early_stopping_respects_relative_tolerance() {
+        let mut rng = gen::seeded_rng(7);
+        let a = gen::spd_with_condition(30, 1000.0, &mut rng);
+        let b = gen::gaussian_vector(30, &mut rng);
+        let loose = conjugate_gradient(operator_for(&a), &b, &CgConfig { max_iters: 200, tolerance: 1e-2 });
+        let tight = conjugate_gradient(operator_for(&a), &b, &CgConfig { max_iters: 200, tolerance: 1e-10 });
+        assert!(loose.converged && tight.converged);
+        assert!(loose.iterations < tight.iterations);
+        let b_norm = vector::norm2(&b);
+        assert!(loose.residual_norm <= 1e-2 * b_norm);
+        assert!(tight.residual_norm <= 1e-10 * b_norm * 10.0);
+    }
+
+    #[test]
+    fn zero_rhs_returns_zero_immediately() {
+        let a = DenseMatrix::identity(4);
+        let res = conjugate_gradient(operator_for(&a), &[0.0; 4], &CgConfig::default());
+        assert!(res.converged);
+        assert_eq!(res.iterations, 0);
+        assert_eq!(res.x, vec![0.0; 4]);
+    }
+
+    #[test]
+    fn iteration_budget_is_respected() {
+        let mut rng = gen::seeded_rng(11);
+        let a = gen::spd_with_condition(50, 1e6, &mut rng);
+        let b = gen::gaussian_vector(50, &mut rng);
+        let res = conjugate_gradient(operator_for(&a), &b, &CgConfig { max_iters: 3, tolerance: 1e-14 });
+        assert!(res.iterations <= 3);
+    }
+
+    #[test]
+    fn default_config_matches_paper_settings() {
+        let c = CgConfig::default();
+        assert_eq!(c.max_iters, 10);
+        assert!((c.tolerance - 1e-4).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,241 @@
+//! Full-batch first-order methods.
+//!
+//! These are the single-node counterparts of the distributed synchronous SGD
+//! baseline (which lives in `nadmm-baselines`): plain gradient descent,
+//! heavy-ball momentum, Adagrad and Adam, all operating on any [`Objective`].
+//! They are used by the examples and by ablation benches that reproduce the
+//! paper's claim that first-order methods need many more iterations (and more
+//! tuning) than Newton-type methods to reach the same objective value.
+
+use crate::trace::ConvergenceTrace;
+use nadmm_linalg::vector;
+use nadmm_objective::Objective;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Which first-order update rule to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FirstOrderMethod {
+    /// Plain gradient descent: `x ← x − η g`.
+    GradientDescent,
+    /// Heavy-ball momentum: `v ← μv − ηg; x ← x + v`.
+    Momentum,
+    /// Adagrad: per-coordinate step `η / √(Σ g²+ ε)`.
+    Adagrad,
+    /// Adam with the usual bias-corrected moments.
+    Adam,
+}
+
+/// Configuration shared by the first-order methods.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FirstOrderConfig {
+    /// Update rule.
+    pub method: FirstOrderMethod,
+    /// Step size η.
+    pub step_size: f64,
+    /// Momentum coefficient μ (Momentum) / β₁ (Adam).
+    pub momentum: f64,
+    /// Second-moment coefficient β₂ (Adam).
+    pub beta2: f64,
+    /// Numerical-stability constant ε (Adagrad/Adam).
+    pub epsilon: f64,
+    /// Number of iterations (full-batch gradient evaluations).
+    pub max_iters: usize,
+    /// Stop early when the gradient norm drops below this.
+    pub grad_tol: f64,
+}
+
+impl Default for FirstOrderConfig {
+    fn default() -> Self {
+        Self {
+            method: FirstOrderMethod::GradientDescent,
+            step_size: 1e-2,
+            momentum: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+            max_iters: 100,
+            grad_tol: 1e-8,
+        }
+    }
+}
+
+/// Result of a first-order run.
+#[derive(Debug, Clone)]
+pub struct FirstOrderResult {
+    /// Final iterate.
+    pub x: Vec<f64>,
+    /// Final objective value.
+    pub value: f64,
+    /// Final gradient norm.
+    pub grad_norm: f64,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Whether the gradient tolerance was reached.
+    pub converged: bool,
+    /// Per-iteration trace.
+    pub trace: ConvergenceTrace,
+}
+
+/// Runs the configured first-order method on `obj` from `x0`.
+pub fn minimize(obj: &dyn Objective, x0: &[f64], config: &FirstOrderConfig) -> FirstOrderResult {
+    assert_eq!(x0.len(), obj.dim(), "initial point has wrong dimension");
+    let start = Instant::now();
+    let mut x = x0.to_vec();
+    let n = x.len();
+    let mut velocity = vec![0.0; n];
+    let mut grad_sq_accum = vec![0.0; n];
+    let mut m1 = vec![0.0; n];
+    let mut m2 = vec![0.0; n];
+    let mut trace = ConvergenceTrace::new();
+    let (mut value, mut grad) = obj.value_and_gradient(&x);
+    let mut grad_norm = vector::norm2(&grad);
+    trace.push(0, value, grad_norm, start.elapsed().as_secs_f64());
+    let mut iterations = 0usize;
+    let mut converged = grad_norm < config.grad_tol;
+    while iterations < config.max_iters && !converged {
+        match config.method {
+            FirstOrderMethod::GradientDescent => {
+                vector::axpy(-config.step_size, &grad, &mut x);
+            }
+            FirstOrderMethod::Momentum => {
+                for i in 0..n {
+                    velocity[i] = config.momentum * velocity[i] - config.step_size * grad[i];
+                    x[i] += velocity[i];
+                }
+            }
+            FirstOrderMethod::Adagrad => {
+                for i in 0..n {
+                    grad_sq_accum[i] += grad[i] * grad[i];
+                    x[i] -= config.step_size * grad[i] / (grad_sq_accum[i].sqrt() + config.epsilon);
+                }
+            }
+            FirstOrderMethod::Adam => {
+                let t = (iterations + 1) as f64;
+                for i in 0..n {
+                    m1[i] = config.momentum * m1[i] + (1.0 - config.momentum) * grad[i];
+                    m2[i] = config.beta2 * m2[i] + (1.0 - config.beta2) * grad[i] * grad[i];
+                    let m1_hat = m1[i] / (1.0 - config.momentum.powf(t));
+                    let m2_hat = m2[i] / (1.0 - config.beta2.powf(t));
+                    x[i] -= config.step_size * m1_hat / (m2_hat.sqrt() + config.epsilon);
+                }
+            }
+        }
+        let vg = obj.value_and_gradient(&x);
+        value = vg.0;
+        grad = vg.1;
+        grad_norm = vector::norm2(&grad);
+        iterations += 1;
+        trace.push(iterations, value, grad_norm, start.elapsed().as_secs_f64());
+        converged = grad_norm < config.grad_tol;
+    }
+    FirstOrderResult { x, value, grad_norm, iterations, converged, trace }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::newton::{NewtonCg, NewtonConfig};
+    use nadmm_data::SyntheticConfig;
+    use nadmm_linalg::gen;
+    use nadmm_objective::{Quadratic, SoftmaxCrossEntropy};
+
+    fn quadratic(seed: u64) -> Quadratic {
+        let mut rng = gen::seeded_rng(seed);
+        let a = gen::spd_with_condition(6, 20.0, &mut rng);
+        let b = gen::gaussian_vector(6, &mut rng);
+        Quadratic::new(a, b)
+    }
+
+    #[test]
+    fn gradient_descent_converges_on_well_conditioned_quadratics() {
+        let q = quadratic(1);
+        let cfg = FirstOrderConfig { step_size: 0.05, max_iters: 20_000, grad_tol: 1e-6, ..Default::default() };
+        let res = minimize(&q, &vec![0.0; 6], &cfg);
+        assert!(res.converged, "gd stalled at grad norm {}", res.grad_norm);
+        let xstar = q.exact_minimizer();
+        for (a, b) in res.x.iter().zip(&xstar) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn all_methods_reduce_the_objective() {
+        let q = quadratic(2);
+        let x0 = vec![1.0; 6];
+        let f0 = q.value(&x0);
+        for method in [
+            FirstOrderMethod::GradientDescent,
+            FirstOrderMethod::Momentum,
+            FirstOrderMethod::Adagrad,
+            FirstOrderMethod::Adam,
+        ] {
+            let cfg = FirstOrderConfig { method, step_size: 0.02, max_iters: 200, ..Default::default() };
+            let res = minimize(&q, &x0, &cfg);
+            assert!(res.value < f0, "{method:?} did not reduce the objective");
+            assert_eq!(res.trace.len(), res.iterations + 1);
+        }
+    }
+
+    #[test]
+    fn momentum_beats_plain_gd_on_ill_conditioned_problems() {
+        let mut rng = gen::seeded_rng(3);
+        let a = gen::spd_with_condition(10, 500.0, &mut rng);
+        let b = gen::gaussian_vector(10, &mut rng);
+        let q = Quadratic::new(a, b);
+        let iters = 300;
+        let gd = minimize(
+            &q,
+            &vec![0.0; 10],
+            &FirstOrderConfig { step_size: 1e-3, max_iters: iters, ..Default::default() },
+        );
+        let mom = minimize(
+            &q,
+            &vec![0.0; 10],
+            &FirstOrderConfig { method: FirstOrderMethod::Momentum, step_size: 1e-3, max_iters: iters, ..Default::default() },
+        );
+        assert!(mom.value <= gd.value, "momentum {} vs gd {}", mom.value, gd.value);
+    }
+
+    #[test]
+    fn newton_needs_far_fewer_iterations_than_first_order_on_softmax() {
+        // The qualitative claim behind the whole paper: second-order methods
+        // reach a given loss in a handful of iterations where first-order
+        // methods need many more.
+        let (train, _) = SyntheticConfig::mnist_like()
+            .with_train_size(120)
+            .with_test_size(20)
+            .with_num_features(10)
+            .with_num_classes(4)
+            .generate(5);
+        let obj = SoftmaxCrossEntropy::new(&train, 1e-4);
+        let x0 = vec![0.0; obj.dim()];
+        let newton = NewtonCg::new(NewtonConfig { max_iters: 10, ..Default::default() }).minimize(&obj, &x0);
+        let adam = minimize(
+            &obj,
+            &x0,
+            &FirstOrderConfig { method: FirstOrderMethod::Adam, step_size: 0.05, max_iters: 10, ..Default::default() },
+        );
+        assert!(
+            newton.value < adam.value,
+            "after 10 iterations Newton ({}) should be below Adam ({})",
+            newton.value,
+            adam.value
+        );
+    }
+
+    #[test]
+    fn stops_early_at_the_optimum() {
+        let q = quadratic(4);
+        let xstar = q.exact_minimizer();
+        let res = minimize(&q, &xstar, &FirstOrderConfig { grad_tol: 1e-6, ..Default::default() });
+        assert!(res.converged);
+        assert_eq!(res.iterations, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn dimension_mismatch_is_rejected() {
+        let q = quadratic(5);
+        minimize(&q, &[0.0; 2], &FirstOrderConfig::default());
+    }
+}

@@ -1,0 +1,157 @@
+//! Armijo backtracking line search (paper Algorithm 3).
+//!
+//! Starting from an initial step `α = 1`, the step is halved (multiplied by
+//! the backtracking parameter ρ) until the sufficient-decrease condition of
+//! paper Eq. (3c) holds:
+//!
+//! ```text
+//! F(x + αp) ≤ F(x) + αβ pᵀ∇F(x)
+//! ```
+//!
+//! or the iteration budget is exhausted. Unlike GIANT's fixed step-size set,
+//! each Newton-ADMM worker can terminate this loop early, which the paper
+//! identifies as one source of its lower epoch time.
+
+use nadmm_linalg::vector;
+use nadmm_objective::Objective;
+use serde::{Deserialize, Serialize};
+
+/// Line-search configuration (paper Algorithm 3 parameters).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LineSearchConfig {
+    /// Initial step size α (the paper uses 1).
+    pub initial_step: f64,
+    /// Sufficient-decrease constant β ∈ (0, 1).
+    pub beta: f64,
+    /// Backtracking factor ρ ∈ (0, 1) by which α is multiplied each failure.
+    pub shrink: f64,
+    /// Maximum number of backtracking iterations (the paper uses 10).
+    pub max_iters: usize,
+}
+
+impl Default for LineSearchConfig {
+    fn default() -> Self {
+        Self { initial_step: 1.0, beta: 1e-4, shrink: 0.5, max_iters: 10 }
+    }
+}
+
+/// Result of a line search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineSearchResult {
+    /// Accepted step size α.
+    pub step: f64,
+    /// Objective value at the accepted point.
+    pub value: f64,
+    /// Number of objective evaluations performed.
+    pub evaluations: usize,
+    /// Whether the Armijo condition was satisfied (false if the budget ran
+    /// out; the last tried step is returned regardless, matching the paper's
+    /// `break` at `i > imax`).
+    pub satisfied: bool,
+}
+
+/// Runs Armijo backtracking for objective `obj` from point `x` along
+/// direction `p`, given the current value `fx` and gradient `grad`.
+pub fn armijo_backtracking(
+    obj: &dyn Objective,
+    x: &[f64],
+    p: &[f64],
+    fx: f64,
+    grad: &[f64],
+    config: &LineSearchConfig,
+) -> LineSearchResult {
+    let slope = vector::dot(p, grad);
+    let mut alpha = config.initial_step;
+    let mut evaluations = 0;
+    let mut trial = vec![0.0; x.len()];
+    let mut value = fx;
+    for i in 0..=config.max_iters {
+        trial.copy_from_slice(x);
+        vector::axpy(alpha, p, &mut trial);
+        value = obj.value(&trial);
+        evaluations += 1;
+        if value <= fx + alpha * config.beta * slope {
+            return LineSearchResult { step: alpha, value, evaluations, satisfied: true };
+        }
+        if i == config.max_iters {
+            break;
+        }
+        alpha *= config.shrink;
+    }
+    LineSearchResult { step: alpha, value, evaluations, satisfied: false }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nadmm_linalg::gen;
+    use nadmm_objective::Quadratic;
+
+    fn quadratic(n: usize, cond: f64, seed: u64) -> Quadratic {
+        let mut rng = gen::seeded_rng(seed);
+        let a = gen::spd_with_condition(n, cond, &mut rng);
+        let b = gen::gaussian_vector(n, &mut rng);
+        Quadratic::new(a, b)
+    }
+
+    #[test]
+    fn accepts_full_newton_step_on_quadratics() {
+        // For a quadratic, the exact Newton direction with α = 1 satisfies
+        // Armijo (it reaches the minimum along that direction).
+        let q = quadratic(5, 10.0, 1);
+        let x = vec![0.0; 5];
+        let (fx, g) = q.value_and_gradient(&x);
+        let p: Vec<f64> = q.exact_minimizer(); // from x = 0 the Newton step is x*
+        let res = armijo_backtracking(&q, &x, &p, fx, &g, &LineSearchConfig::default());
+        assert!(res.satisfied);
+        assert!((res.step - 1.0).abs() < 1e-12);
+        assert_eq!(res.evaluations, 1);
+    }
+
+    #[test]
+    fn backtracks_on_overly_long_steps() {
+        let q = quadratic(4, 5.0, 2);
+        let x = vec![0.0; 4];
+        let (fx, g) = q.value_and_gradient(&x);
+        // A direction that overshoots: 100x the Newton step.
+        let p: Vec<f64> = q.exact_minimizer().iter().map(|v| 100.0 * v).collect();
+        let res = armijo_backtracking(&q, &x, &p, fx, &g, &LineSearchConfig::default());
+        assert!(res.step < 1.0);
+        assert!(res.evaluations > 1);
+        assert!(res.value < fx, "accepted point must still decrease the objective");
+    }
+
+    #[test]
+    fn gives_up_after_max_iterations_on_ascent_directions() {
+        let q = quadratic(3, 2.0, 3);
+        let x = vec![0.0; 3];
+        let (fx, g) = q.value_and_gradient(&x);
+        // An ascent direction (+gradient) can never satisfy Armijo.
+        let p = g.clone();
+        let cfg = LineSearchConfig { max_iters: 5, ..LineSearchConfig::default() };
+        let res = armijo_backtracking(&q, &x, &p, fx, &g, &cfg);
+        assert!(!res.satisfied);
+        assert_eq!(res.evaluations, cfg.max_iters + 1);
+    }
+
+    #[test]
+    fn respects_custom_shrink_factor() {
+        let q = quadratic(4, 50.0, 4);
+        let x = vec![0.0; 4];
+        let (fx, g) = q.value_and_gradient(&x);
+        let p: Vec<f64> = q.exact_minimizer().iter().map(|v| 64.0 * v).collect();
+        let res = armijo_backtracking(&q, &x, &p, fx, &g, &LineSearchConfig { shrink: 0.25, ..Default::default() });
+        // Steps tried: 1, 0.25, 0.0625, ... — so the accepted step is a power of 0.25.
+        let log = res.step.log(0.25);
+        assert!((log - log.round()).abs() < 1e-9, "step {} not a power of 0.25", res.step);
+    }
+
+    #[test]
+    fn default_matches_paper_algorithm3() {
+        let c = LineSearchConfig::default();
+        assert_eq!(c.initial_step, 1.0);
+        assert_eq!(c.max_iters, 10);
+        assert!(c.shrink > 0.0 && c.shrink < 1.0);
+        assert!(c.beta > 0.0 && c.beta < 1.0);
+    }
+}

@@ -1,0 +1,112 @@
+//! Convergence-trace bookkeeping shared by all solvers.
+
+use serde::{Deserialize, Serialize};
+
+/// One recorded point of a solver run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceEntry {
+    /// Outer iteration index (0 = initial point).
+    pub iteration: usize,
+    /// Objective value.
+    pub value: f64,
+    /// Gradient norm (if the solver computes it; NaN otherwise).
+    pub grad_norm: f64,
+    /// Wall-clock seconds since the solver started (real time, not simulated).
+    pub elapsed_sec: f64,
+}
+
+/// A sequence of [`TraceEntry`] records.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ConvergenceTrace {
+    entries: Vec<TraceEntry>,
+}
+
+impl ConvergenceTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an entry.
+    pub fn push(&mut self, iteration: usize, value: f64, grad_norm: f64, elapsed_sec: f64) {
+        self.entries.push(TraceEntry { iteration, value, grad_norm, elapsed_sec });
+    }
+
+    /// All recorded entries, in order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Number of recorded entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The last recorded objective value, if any.
+    pub fn final_value(&self) -> Option<f64> {
+        self.entries.last().map(|e| e.value)
+    }
+
+    /// The best (smallest) recorded objective value, if any.
+    pub fn best_value(&self) -> Option<f64> {
+        self.entries.iter().map(|e| e.value).fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.min(v))))
+    }
+
+    /// Whether the recorded objective values are non-increasing up to a
+    /// relative slack (useful for monotonicity assertions in tests).
+    pub fn is_monotone_decreasing(&self, rel_slack: f64) -> bool {
+        self.entries
+            .windows(2)
+            .all(|w| w[1].value <= w[0].value + rel_slack * (1.0 + w[0].value.abs()))
+    }
+
+    /// First iteration index at which the value dropped to or below
+    /// `threshold`, if it ever did.
+    pub fn first_iteration_below(&self, threshold: f64) -> Option<usize> {
+        self.entries.iter().find(|e| e.value <= threshold).map(|e| e.iteration)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_query() {
+        let mut t = ConvergenceTrace::new();
+        assert!(t.is_empty());
+        t.push(0, 10.0, 1.0, 0.0);
+        t.push(1, 5.0, 0.5, 0.1);
+        t.push(2, 2.0, 0.1, 0.2);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.final_value(), Some(2.0));
+        assert_eq!(t.best_value(), Some(2.0));
+        assert!(t.is_monotone_decreasing(0.0));
+        assert_eq!(t.first_iteration_below(5.0), Some(1));
+        assert_eq!(t.first_iteration_below(1.0), None);
+        assert_eq!(t.entries()[1].iteration, 1);
+    }
+
+    #[test]
+    fn non_monotone_is_detected() {
+        let mut t = ConvergenceTrace::new();
+        t.push(0, 1.0, 1.0, 0.0);
+        t.push(1, 2.0, 1.0, 0.1);
+        assert!(!t.is_monotone_decreasing(1e-9));
+        assert_eq!(t.best_value(), Some(1.0));
+    }
+
+    #[test]
+    fn empty_trace_queries() {
+        let t = ConvergenceTrace::new();
+        assert_eq!(t.final_value(), None);
+        assert_eq!(t.best_value(), None);
+        assert!(t.is_monotone_decreasing(0.0));
+        assert_eq!(t.first_iteration_below(0.0), None);
+    }
+}

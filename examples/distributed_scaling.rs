@@ -1,0 +1,61 @@
+//! Strong- and weak-scaling demo: how the average epoch time of Newton-ADMM
+//! and GIANT changes with the number of simulated workers (a miniature of the
+//! paper's Figure 2), and how a slower interconnect changes the picture.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example distributed_scaling
+//! ```
+
+use newton_admm_repro::prelude::*;
+
+fn epoch_times(network: NetworkModel, workers: usize, train: &Dataset, weak_per_worker: Option<usize>) -> (f64, f64) {
+    let lambda = 1e-5;
+    let iters = 5;
+    let shards = match weak_per_worker {
+        Some(per) => partition_weak(train, workers, per).0,
+        None => partition_strong(train, workers).0,
+    };
+    let cluster = Cluster::new(workers, network);
+    let admm = NewtonAdmm::new(NewtonAdmmConfig::default().with_lambda(lambda).with_max_iters(iters))
+        .run_cluster(&cluster, &shards, None);
+    let giant = Giant::new(GiantConfig { max_iters: iters, lambda, ..Default::default() }).run_cluster(&cluster, &shards, None);
+    (admm.history.avg_epoch_time(), giant.history.avg_epoch_time())
+}
+
+fn main() {
+    let (train, _) = SyntheticConfig::mnist_like()
+        .with_train_size(2_048)
+        .with_test_size(128)
+        .with_num_features(48)
+        .generate(11);
+
+    // Strong scaling: fixed total problem, more workers.
+    let mut strong = TextTable::new("Strong scaling (avg epoch time, ms)", &["workers", "newton-admm", "giant"]);
+    for workers in [1usize, 2, 4, 8] {
+        let (a, g) = epoch_times(NetworkModel::infiniband_100g(), workers, &train, None);
+        strong.add_row(&[format!("s{workers}"), format!("{:.3}", 1e3 * a), format!("{:.3}", 1e3 * g)]);
+    }
+    println!("{}", strong.to_text());
+
+    // Weak scaling: fixed per-worker problem, more workers.
+    let per_worker = 256;
+    let mut weak = TextTable::new("Weak scaling (avg epoch time, ms)", &["workers", "newton-admm", "giant"]);
+    for workers in [1usize, 2, 4, 8] {
+        let (a, g) = epoch_times(NetworkModel::infiniband_100g(), workers, &train, Some(per_worker));
+        weak.add_row(&[format!("w{workers}"), format!("{:.3}", 1e3 * a), format!("{:.3}", 1e3 * g)]);
+    }
+    println!("{}", weak.to_text());
+
+    // Interconnect ablation: the paper argues Newton-ADMM's single round per
+    // iteration matters most on slow networks.
+    let mut nets = TextTable::new(
+        "Interconnect ablation, 8 workers (avg epoch time, ms)",
+        &["network", "newton-admm", "giant", "giant / newton-admm"],
+    );
+    for network in [NetworkModel::infiniband_100g(), NetworkModel::ethernet_10g(), NetworkModel::ethernet_1g()] {
+        let (a, g) = epoch_times(network, 8, &train, None);
+        nets.add_row(&[network.name.to_string(), format!("{:.3}", 1e3 * a), format!("{:.3}", 1e3 * g), format!("{:.2}x", g / a)]);
+    }
+    println!("{}", nets.to_text());
+}

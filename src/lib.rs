@@ -1,0 +1,54 @@
+//! # newton-admm-repro
+//!
+//! Umbrella crate of the Newton-ADMM reproduction workspace. It re-exports
+//! the individual crates under short module names so the examples and the
+//! workspace-level integration tests can use one import root:
+//!
+//! ```rust
+//! use newton_admm_repro::prelude::*;
+//!
+//! let (train, _test) = SyntheticConfig::mnist_like()
+//!     .with_train_size(60)
+//!     .with_test_size(10)
+//!     .with_num_features(8)
+//!     .generate(0);
+//! let (shards, _) = partition_strong(&train, 2);
+//! let cfg = NewtonAdmmConfig::default().with_max_iters(3).with_lambda(1e-3);
+//! let out = NewtonAdmm::new(cfg).run_reference(&shards, None);
+//! assert!(out.history.final_objective().unwrap().is_finite());
+//! ```
+
+pub use nadmm_baselines as baselines;
+pub use nadmm_cluster as cluster;
+pub use nadmm_data as data;
+pub use nadmm_device as device;
+pub use nadmm_linalg as linalg;
+pub use nadmm_metrics as metrics;
+pub use nadmm_objective as objective;
+pub use nadmm_solver as solver;
+pub use newton_admm as core;
+
+/// Commonly used items for examples and quick experiments.
+pub mod prelude {
+    pub use nadmm_baselines::{AideConfig, DaneConfig, Disco, DiscoConfig, Giant, GiantConfig, InexactDane, SyncSgd, SyncSgdConfig};
+    pub use nadmm_cluster::{Cluster, Communicator, NetworkModel, SingleProcessComm};
+    pub use nadmm_data::{partition_strong, partition_weak, Dataset, DatasetKind, SyntheticConfig};
+    pub use nadmm_device::{Device, DeviceSpec};
+    pub use nadmm_metrics::{relative_objective, IterationRecord, RunHistory, TextTable};
+    pub use nadmm_objective::{BinaryLogistic, Objective, SoftmaxCrossEntropy};
+    pub use nadmm_solver::{CgConfig, FirstOrderConfig, FirstOrderMethod, LineSearchConfig, NewtonCg, NewtonConfig};
+    pub use newton_admm::{NewtonAdmm, NewtonAdmmConfig, PenaltyRule, SpectralConfig};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn prelude_compiles_and_runs_a_tiny_problem() {
+        let (train, _) = SyntheticConfig::higgs_like().with_train_size(40).with_test_size(10).with_num_features(5).generate(1);
+        let obj = SoftmaxCrossEntropy::new(&train, 1e-3);
+        let res = NewtonCg::new(NewtonConfig::default()).minimize(&obj, &vec![0.0; obj.dim()]);
+        assert!(res.value.is_finite());
+    }
+}
