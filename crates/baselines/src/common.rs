@@ -2,7 +2,7 @@
 
 use nadmm_cluster::{CommStats, Communicator};
 use nadmm_data::Dataset;
-use nadmm_device::DeviceSpec;
+use nadmm_device::{Device, DeviceSpec, Workspace};
 use nadmm_linalg::vector;
 use nadmm_metrics::{IterationRecord, RunHistory};
 use nadmm_objective::{Objective, OpCost, SoftmaxCrossEntropy};
@@ -26,25 +26,75 @@ pub fn local_objective(shard: &Dataset, lambda: f64, num_workers: usize) -> Soft
     SoftmaxCrossEntropy::new(shard, lambda / num_workers.max(1) as f64)
 }
 
+/// [`local_objective`] bound to an execution engine, so every kernel the
+/// objective launches charges that device's simulated clock.
+pub fn local_objective_on(shard: &Dataset, lambda: f64, num_workers: usize, device: &Device) -> SoftmaxCrossEntropy {
+    local_objective(shard, lambda, num_workers).with_device(device.clone())
+}
+
 /// Charges `cost` of local compute to this rank, converted to seconds by the
-/// device model.
+/// device model. Legacy estimate-based charging — the solver hot paths now
+/// charge per actual kernel launch via [`EngineSync`] instead.
 pub fn charge_compute(comm: &mut dyn Communicator, device: &DeviceSpec, cost: OpCost) {
     comm.advance_compute(device.kernel_time(cost.flops, cost.bytes));
 }
 
+/// Bridges a rank's [`Device`] clock into its communicator clock.
+///
+/// The device accumulates simulated seconds as the objectives launch kernels;
+/// [`EngineSync::sync`] advances the communicator by the time accrued since
+/// the previous sync (so compute is charged from *actual* kernel launches,
+/// not hand-written estimates), while [`EngineSync::skip`] discards accrued
+/// time — used after instrumentation-only evaluations, which the experiment
+/// protocol does not bill.
+#[derive(Debug, Default)]
+pub struct EngineSync {
+    last: f64,
+}
+
+impl EngineSync {
+    /// Starts tracking from the device's current clock.
+    pub fn new(device: &Device) -> Self {
+        Self { last: device.elapsed() }
+    }
+
+    /// Advances `comm`'s simulated clock by the device time accrued since the
+    /// last sync/skip.
+    pub fn sync(&mut self, comm: &mut dyn Communicator, device: &Device) {
+        let now = device.elapsed();
+        if now > self.last {
+            comm.advance_compute(now - self.last);
+        }
+        self.last = now;
+    }
+
+    /// Discards device time accrued since the last sync/skip (instrumentation
+    /// is not billed as solver compute).
+    pub fn skip(&mut self, device: &Device) {
+        self.last = device.elapsed();
+    }
+}
+
 /// Records one iteration of a distributed run: global objective (scalar
 /// allreduce of the local values), optional test accuracy evaluated at the
-/// root, simulated time and communication volume.
+/// root, simulated time and communication volume. The evaluation is
+/// instrumentation: device time it accrues is discarded via `engine`.
+#[allow(clippy::too_many_arguments)]
 pub fn record_iteration(
     comm: &mut dyn Communicator,
     local: &SoftmaxCrossEntropy,
+    engine: &mut EngineSync,
     test: Option<&Dataset>,
     w: &[f64],
     iteration: usize,
     wall_start: Instant,
     history: &mut RunHistory,
 ) {
-    let objective = comm.allreduce_scalar_sum(local.value(w));
+    let local_value = local.value(w);
+    if let Some(device) = local.device() {
+        engine.skip(device);
+    }
+    let objective = comm.allreduce_scalar_sum(local_value);
     let mut record = IterationRecord::new(iteration, comm.elapsed(), wall_start.elapsed().as_secs_f64(), objective)
         .with_comm_bytes(comm.stats().bytes_sent);
     if let Some(test_set) = test {
@@ -54,24 +104,39 @@ pub fn record_iteration(
     history.push(record);
 }
 
-/// Global gradient via an allreduce of local gradients, also charging the
-/// compute cost of the local gradient evaluation.
+/// Global gradient via an allreduce of local gradients. The local evaluation
+/// launches through the objective's device; `engine` bills the accrued
+/// simulated time to this rank.
 pub fn global_gradient(
     comm: &mut dyn Communicator,
     local: &SoftmaxCrossEntropy,
-    device: &DeviceSpec,
+    engine: &mut EngineSync,
+    ws: &mut Workspace,
     w: &[f64],
 ) -> Vec<f64> {
-    let g_local = local.gradient(w);
-    charge_compute(comm, device, local.cost_value_grad());
-    comm.allreduce_sum(&g_local)
+    let mut g_local = ws.acquire(local.dim());
+    local.gradient_into(w, &mut g_local, ws);
+    if let Some(device) = local.device() {
+        engine.sync(comm, device);
+    }
+    let g = comm.allreduce_sum(&g_local);
+    ws.release(g_local);
+    g
 }
 
 /// Global objective value via a scalar allreduce (used inside distributed
-/// line searches), charging the local evaluation cost.
-pub fn global_value(comm: &mut dyn Communicator, local: &SoftmaxCrossEntropy, device: &DeviceSpec, w: &[f64]) -> f64 {
-    let v = local.value(w);
-    charge_compute(comm, device, local.cost_value_grad());
+/// line searches), billing the local evaluation through `engine`.
+pub fn global_value(
+    comm: &mut dyn Communicator,
+    local: &SoftmaxCrossEntropy,
+    engine: &mut EngineSync,
+    ws: &mut Workspace,
+    w: &[f64],
+) -> f64 {
+    let v = local.value_ws(w, ws);
+    if let Some(device) = local.device() {
+        engine.sync(comm, device);
+    }
     comm.allreduce_scalar_sum(v)
 }
 
@@ -127,10 +192,12 @@ mod tests {
         let expected_val = global.value(&w);
         let expected_grad = global.gradient(&w);
         let results = Cluster::new(2, NetworkModel::ideal()).run(|comm| {
-            let local = local_objective(&shards[comm.rank()], lambda, 2);
-            let device = DeviceSpec::tesla_p100();
-            let g = global_gradient(comm, &local, &device, &w);
-            let v = global_value(comm, &local, &device, &w);
+            let device = Device::new(DeviceSpec::tesla_p100());
+            let local = local_objective_on(&shards[comm.rank()], lambda, 2, &device);
+            let mut engine = EngineSync::new(&device);
+            let mut ws = Workspace::new();
+            let g = global_gradient(comm, &local, &mut engine, &mut ws, &w);
+            let v = global_value(comm, &local, &mut engine, &mut ws, &w);
             (g, v, comm.elapsed())
         });
         for (g, v, elapsed) in results {
@@ -154,9 +221,11 @@ mod tests {
         let (shards, _) = partition_strong(&data, 2);
         let w = vec![0.0; 2 * 5];
         let histories = Cluster::new(2, NetworkModel::ideal()).run(|comm| {
-            let local = local_objective(&shards[comm.rank()], 0.1, 2);
+            let device = Device::default();
+            let local = local_objective_on(&shards[comm.rank()], 0.1, 2, &device);
+            let mut engine = EngineSync::new(&device);
             let mut h = RunHistory::new("test", "d", 2);
-            record_iteration(comm, &local, Some(&test), &w, 0, Instant::now(), &mut h);
+            record_iteration(comm, &local, &mut engine, Some(&test), &w, 0, Instant::now(), &mut h);
             h
         });
         for h in histories {

@@ -14,10 +14,10 @@
 //! AIDE wraps InexactDANE in catalyst-style acceleration: it repeatedly
 //! solves a `τ`-regularised problem centred at an extrapolated point.
 
-use crate::common::{charge_compute, global_gradient, local_objective, record_iteration, DistributedRun};
+use crate::common::{global_gradient, local_objective_on, record_iteration, DistributedRun, EngineSync};
 use nadmm_cluster::{Cluster, Communicator};
 use nadmm_data::Dataset;
-use nadmm_device::DeviceSpec;
+use nadmm_device::{Device, DeviceSpec};
 use nadmm_linalg::{gen, vector};
 use nadmm_metrics::RunHistory;
 use nadmm_objective::{Objective, SoftmaxCrossEntropy};
@@ -77,7 +77,11 @@ pub struct AideConfig {
 
 impl Default for AideConfig {
     fn default() -> Self {
-        Self { dane: DaneConfig::default(), tau: 1.0, zeta: 0.5 }
+        Self {
+            dane: DaneConfig::default(),
+            tau: 1.0,
+            zeta: 0.5,
+        }
     }
 }
 
@@ -134,6 +138,8 @@ impl InexactDane {
         comm: &mut dyn Communicator,
         shard: &Dataset,
         local: &SoftmaxCrossEntropy,
+        device: &Device,
+        engine: &mut EngineSync,
         w_t: &[f64],
         global_grad: &[f64],
         catalyst_center: Option<&[f64]>,
@@ -145,7 +151,7 @@ impl InexactDane {
         let n_local = shard.num_samples();
         // Fixed DANE correction vector: ∇φ_i(w_t) − η ∇F(w_t).
         let local_grad_at_anchor = local.gradient(w_t);
-        charge_compute(comm, &cfg.device, local.cost_value_grad());
+        engine.sync(comm, device);
         let mut correction = local_grad_at_anchor;
         vector::axpy(-cfg.eta, global_grad, &mut correction);
 
@@ -163,22 +169,26 @@ impl InexactDane {
         let mut w = w_t.to_vec();
         let mut snapshot = w.clone();
         let mut full_grad_snapshot = sub.eval(&snapshot);
-        charge_compute(comm, &cfg.device, local.cost_value_grad());
+        engine.sync(comm, device);
         let batch = cfg.svrg_batch.min(n_local.max(1));
         let scale = n_local as f64 / batch as f64;
         for it in 0..cfg.svrg_iters {
             if it == cfg.svrg_iters / 2 {
                 snapshot = w.clone();
                 full_grad_snapshot = sub.eval(&snapshot);
-                charge_compute(comm, &cfg.device, local.cost_value_grad());
+                engine.sync(comm, device);
             }
             let idx = gen::sample_without_replacement(n_local, batch, rng);
             let mini = shard.select(&idx);
-            let mini_obj = SoftmaxCrossEntropy::new(&mini, cfg.lambda * batch as f64 / (n_local.max(1) as f64 * comm.size() as f64));
+            let mini_obj = SoftmaxCrossEntropy::new(
+                &mini,
+                cfg.lambda * batch as f64 / (n_local.max(1) as f64 * comm.size() as f64),
+            )
+            .with_device(device.clone());
             // Stochastic estimate of ∇φ_i: scaled minibatch gradient.
             let gw = vector::scaled(scale, &mini_obj.gradient(&w));
             let gs = vector::scaled(scale, &mini_obj.gradient(&snapshot));
-            charge_compute(comm, &cfg.device, mini_obj.cost_value_grad().times(2.0));
+            engine.sync(comm, device);
             // SVRG direction on the subproblem: replace the φ_i part of the
             // gradient with its variance-reduced estimate.
             let gw_sub = sub.eval_with(&gw, &w);
@@ -212,7 +222,10 @@ impl InexactDane {
     ) -> DistributedRun {
         let cfg = &self.config;
         let n_workers = comm.size();
-        let local = local_objective(shard, cfg.lambda, n_workers);
+        let device = Device::new(cfg.device);
+        let local = local_objective_on(shard, cfg.lambda, n_workers, &device);
+        let mut engine = EngineSync::new(&device);
+        let mut ws = nadmm_device::Workspace::new();
         let dim = local.dim();
         let mut rng = gen::seeded_rng(cfg.seed.wrapping_add(comm.rank() as u64 * 7919));
         let mut w = vec![0.0; dim];
@@ -221,20 +234,20 @@ impl InexactDane {
         let solver_name = if aide.is_some() { "aide" } else { "inexact-dane" };
         let wall_start = Instant::now();
         let mut history = RunHistory::new(solver_name, shard.name(), n_workers);
-        record_iteration(comm, &local, test, &w, 0, wall_start, &mut history);
+        record_iteration(comm, &local, &mut engine, test, &w, 0, wall_start, &mut history);
 
         for k in 1..=cfg.max_iters {
             // Round 1: global gradient at the current iterate (or the
             // extrapolated point for AIDE).
             let anchor = if aide.is_some() { catalyst_y.clone() } else { w.clone() };
-            let g = global_gradient(comm, &local, &cfg.device, &anchor);
+            let g = global_gradient(comm, &local, &mut engine, &mut ws, &anchor);
 
             // Local subproblem via SVRG.
             let (center, tau) = match aide {
                 Some(a) => (Some(anchor.as_slice()), a.tau),
                 None => (None, 0.0),
             };
-            let w_local = self.solve_subproblem(comm, shard, &local, &anchor, &g, center, tau, &mut rng);
+            let w_local = self.solve_subproblem(comm, shard, &local, &device, &mut engine, &anchor, &g, center, tau, &mut rng);
 
             // Round 2: average the local solutions.
             let sum = comm.allreduce_sum(&w_local);
@@ -250,10 +263,14 @@ impl InexactDane {
             w_prev = w.clone();
             w = w_new;
 
-            record_iteration(comm, &local, test, &w, k, wall_start, &mut history);
+            record_iteration(comm, &local, &mut engine, test, &w, k, wall_start, &mut history);
         }
 
-        DistributedRun { w, history, comm_stats: comm.stats() }
+        DistributedRun {
+            w,
+            history,
+            comm_stats: comm.stats(),
+        }
     }
 
     /// Convenience wrapper spawning one rank per shard (InexactDANE).
@@ -267,7 +284,13 @@ impl InexactDane {
     }
 
     /// Runs AIDE (accelerated InexactDANE) on a cluster.
-    pub fn run_cluster_aide(&self, cluster: &Cluster, shards: &[Dataset], test: Option<&Dataset>, aide: &AideConfig) -> DistributedRun {
+    pub fn run_cluster_aide(
+        &self,
+        cluster: &Cluster,
+        shards: &[Dataset],
+        test: Option<&Dataset>,
+        aide: &AideConfig,
+    ) -> DistributedRun {
         assert_eq!(cluster.size(), shards.len(), "need exactly one shard per rank");
         let mut outputs = cluster.run(|comm| {
             let shard = &shards[comm.rank()];
@@ -280,6 +303,7 @@ impl InexactDane {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::common::local_objective;
     use nadmm_cluster::NetworkModel;
     use nadmm_data::{partition_strong, SyntheticConfig};
 
@@ -294,7 +318,14 @@ mod tests {
     }
 
     fn quick_config() -> DaneConfig {
-        DaneConfig { max_iters: 5, lambda: 1e-3, svrg_iters: 40, svrg_batch: 8, svrg_step: 5e-3, ..Default::default() }
+        DaneConfig {
+            max_iters: 5,
+            lambda: 1e-3,
+            svrg_iters: 40,
+            svrg_batch: 8,
+            svrg_step: 5e-3,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -313,7 +344,11 @@ mod tests {
         let train = dataset(2);
         let (shards, _) = partition_strong(&train, 2);
         let cluster = Cluster::new(2, NetworkModel::ideal());
-        let aide = AideConfig { dane: quick_config(), tau: 0.5, zeta: 0.5 };
+        let aide = AideConfig {
+            dane: quick_config(),
+            tau: 0.5,
+            zeta: 0.5,
+        };
         let run = InexactDane::new(quick_config()).run_cluster_aide(&cluster, &shards, None, &aide);
         assert_eq!(run.history.solver, "aide");
         let first = run.history.records[0].objective;
@@ -346,7 +381,12 @@ mod tests {
         let train = dataset(4);
         let (shards, _) = partition_strong(&train, 2);
         let cluster = Cluster::new(2, NetworkModel::ideal());
-        let cfg = DaneConfig { svrg_step: 1e6, max_iters: 2, svrg_iters: 20, ..quick_config() };
+        let cfg = DaneConfig {
+            svrg_step: 1e6,
+            max_iters: 2,
+            svrg_iters: 20,
+            ..quick_config()
+        };
         let run = InexactDane::new(cfg).run_cluster(&cluster, &shards, None);
         assert!(run.history.final_objective().unwrap().is_finite());
         assert!(run.w.iter().all(|v| v.is_finite()));

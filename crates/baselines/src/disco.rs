@@ -7,10 +7,10 @@
 //! is the structural contrast with Newton-ADMM (one round) and GIANT (three
 //! rounds) the paper's related-work discussion draws.
 
-use crate::common::{charge_compute, global_gradient, local_objective, record_iteration, DistributedRun};
+use crate::common::{global_gradient, local_objective_on, record_iteration, DistributedRun, EngineSync};
 use nadmm_cluster::{Cluster, Communicator};
 use nadmm_data::Dataset;
-use nadmm_device::DeviceSpec;
+use nadmm_device::{Device, DeviceSpec, Workspace};
 use nadmm_linalg::vector;
 use nadmm_metrics::RunHistory;
 use nadmm_objective::Objective;
@@ -33,7 +33,13 @@ pub struct DiscoConfig {
 
 impl Default for DiscoConfig {
     fn default() -> Self {
-        Self { max_iters: 50, lambda: 1e-5, cg_iters: 10, cg_tolerance: 1e-4, device: DeviceSpec::tesla_p100() }
+        Self {
+            max_iters: 50,
+            lambda: 1e-5,
+            cg_iters: 10,
+            cg_tolerance: 1e-4,
+            device: DeviceSpec::tesla_p100(),
+        }
     }
 }
 
@@ -53,24 +59,30 @@ impl Disco {
     pub fn run_distributed(&self, comm: &mut dyn Communicator, shard: &Dataset, test: Option<&Dataset>) -> DistributedRun {
         let cfg = &self.config;
         let n_workers = comm.size();
-        let local = local_objective(shard, cfg.lambda, n_workers);
+        let device = Device::new(cfg.device);
+        let local = local_objective_on(shard, cfg.lambda, n_workers, &device);
+        let mut engine = EngineSync::new(&device);
+        let mut ws = Workspace::new();
         let dim = local.dim();
         let mut w = vec![0.0; dim];
         let wall_start = Instant::now();
         let mut history = RunHistory::new("disco", shard.name(), n_workers);
-        record_iteration(comm, &local, test, &w, 0, wall_start, &mut history);
+        record_iteration(comm, &local, &mut engine, test, &w, 0, wall_start, &mut history);
 
         for k in 1..=cfg.max_iters {
             // Round 1: global gradient.
-            let g = global_gradient(comm, &local, &cfg.device, &w);
+            let g = global_gradient(comm, &local, &mut engine, &mut ws, &w);
             let g_norm = vector::norm2(&g);
             if g_norm == 0.0 {
                 break;
             }
 
             // Distributed CG on H v = g: every H·p is a local HVP followed by
-            // an allreduce (one communication round per CG iteration).
-            let hvp = local.hvp_operator(&w);
+            // an allreduce (one communication round per CG iteration). The
+            // local HVPs launch through the device engine with pooled
+            // scratch.
+            let hvp_state = local.prepare_hvp(&w, &mut ws);
+            let mut hp_local = ws.acquire(dim);
             let mut v = vec![0.0; dim];
             let mut r = g.clone();
             let mut p = r.clone();
@@ -81,8 +93,8 @@ impl Disco {
                 if rs_old.sqrt() <= target {
                     break;
                 }
-                let hp_local = hvp(&p);
-                charge_compute(comm, &cfg.device, local.cost_hessian_vec());
+                local.hvp_prepared_into(&hvp_state, &p, &mut hp_local, &mut ws);
+                engine.sync(comm, &device);
                 let hp = comm.allreduce_sum(&hp_local);
                 let p_hp = vector::dot(&p, &hp);
                 if p_hp <= 0.0 || !p_hp.is_finite() {
@@ -97,6 +109,8 @@ impl Disco {
                 vector::axpby(1.0, &r, beta, &mut p);
                 rs_old = rs_new;
             }
+            ws.release(hp_local);
+            local.release_hvp(hvp_state, &mut ws);
 
             // Damped Newton step: δ = √(vᵀHv), w ← w − v / (1 + δ).
             let vhv = vector::dot(&v, &hv_final).max(0.0);
@@ -104,10 +118,14 @@ impl Disco {
             let step = 1.0 / (1.0 + delta);
             vector::axpy(-step, &v, &mut w);
 
-            record_iteration(comm, &local, test, &w, k, wall_start, &mut history);
+            record_iteration(comm, &local, &mut engine, test, &w, k, wall_start, &mut history);
         }
 
-        DistributedRun { w, history, comm_stats: comm.stats() }
+        DistributedRun {
+            w,
+            history,
+            comm_stats: comm.stats(),
+        }
     }
 
     /// Convenience wrapper spawning one rank per shard.
@@ -142,11 +160,18 @@ mod tests {
         let train = dataset(1);
         let (shards, _) = partition_strong(&train, 3);
         let cluster = Cluster::new(3, NetworkModel::ideal());
-        let cfg = DiscoConfig { max_iters: 15, lambda: 1e-3, ..Default::default() };
+        let cfg = DiscoConfig {
+            max_iters: 15,
+            lambda: 1e-3,
+            ..Default::default()
+        };
         let run = Disco::new(cfg).run_cluster(&cluster, &shards, None);
         let first = run.history.records[0].objective;
         let last = run.history.final_objective().unwrap();
-        assert!(last < 0.8 * first, "DiSCO should clearly reduce the objective: {first} -> {last}");
+        assert!(
+            last < 0.8 * first,
+            "DiSCO should clearly reduce the objective: {first} -> {last}"
+        );
     }
 
     #[test]
@@ -156,7 +181,13 @@ mod tests {
         let cluster = Cluster::new(2, NetworkModel::ideal());
         let iters = 3;
         let cg_iters = 5;
-        let cfg = DiscoConfig { max_iters: iters, cg_iters, lambda: 1e-3, cg_tolerance: 1e-12, ..Default::default() };
+        let cfg = DiscoConfig {
+            max_iters: iters,
+            cg_iters,
+            lambda: 1e-3,
+            cg_tolerance: 1e-12,
+            ..Default::default()
+        };
         let run = Disco::new(cfg).run_cluster(&cluster, &shards, None);
         // Per iteration: 1 gradient allreduce + up to cg_iters HVP allreduces
         // + 1 instrumentation allreduce; plus 1 for iteration 0. With a tiny
@@ -172,9 +203,18 @@ mod tests {
         let train = dataset(3);
         let (shards, _) = partition_strong(&train, 2);
         let cluster = Cluster::new(2, NetworkModel::ideal());
-        let cfg = DiscoConfig { max_iters: 4, cg_iters: 10, cg_tolerance: 1e-12, lambda: 1e-3, ..Default::default() };
+        let cfg = DiscoConfig {
+            max_iters: 4,
+            cg_iters: 10,
+            cg_tolerance: 1e-12,
+            lambda: 1e-3,
+            ..Default::default()
+        };
         let run = Disco::new(cfg).run_cluster(&cluster, &shards, None);
         let rounds_per_iter = (run.comm_stats.collectives - 1) as f64 / 4.0;
-        assert!(rounds_per_iter > 4.0, "DiSCO rounds/iter {rounds_per_iter} should exceed Newton-ADMM's ~4");
+        assert!(
+            rounds_per_iter > 4.0,
+            "DiSCO rounds/iter {rounds_per_iter} should exceed Newton-ADMM's ~4"
+        );
     }
 }

@@ -12,14 +12,14 @@
 //!    (each worker must evaluate the whole set — the redundant work the paper
 //!    contrasts with Newton-ADMM's locally-terminated backtracking).
 
-use crate::common::{charge_compute, global_gradient, local_objective, record_iteration, DistributedRun};
+use crate::common::{global_gradient, local_objective_on, record_iteration, DistributedRun, EngineSync};
 use nadmm_cluster::{Cluster, Communicator};
 use nadmm_data::Dataset;
-use nadmm_device::DeviceSpec;
+use nadmm_device::{Device, DeviceSpec, Workspace};
 use nadmm_linalg::vector;
 use nadmm_metrics::RunHistory;
 use nadmm_objective::Objective;
-use nadmm_solver::{conjugate_gradient, CgConfig};
+use nadmm_solver::{conjugate_gradient_into, CgConfig};
 use std::time::Instant;
 
 /// GIANT configuration.
@@ -49,7 +49,10 @@ impl Default for GiantConfig {
         Self {
             max_iters: 100,
             lambda: 1e-5,
-            cg: CgConfig { max_iters: 10, tolerance: 1e-4 },
+            cg: CgConfig {
+                max_iters: 10,
+                tolerance: 1e-4,
+            },
             line_search_steps: 10,
             armijo_beta: 1e-4,
             device: DeviceSpec::tesla_p100(),
@@ -75,43 +78,59 @@ impl Giant {
     pub fn run_distributed(&self, comm: &mut dyn Communicator, shard: &Dataset, test: Option<&Dataset>) -> DistributedRun {
         let cfg = &self.config;
         let n_workers = comm.size();
-        let local = local_objective(shard, cfg.lambda, n_workers);
+        let device = Device::new(cfg.device);
+        let local = local_objective_on(shard, cfg.lambda, n_workers, &device);
+        let mut engine = EngineSync::new(&device);
+        let mut ws = Workspace::new();
         let dim = local.dim();
         let mut w = vec![0.0; dim];
+        let mut p_local = vec![0.0; dim];
         let wall_start = Instant::now();
         let mut history = RunHistory::new("giant", shard.name(), n_workers);
-        record_iteration(comm, &local, test, &w, 0, wall_start, &mut history);
+        record_iteration(comm, &local, &mut engine, test, &w, 0, wall_start, &mut history);
 
         for k in 1..=cfg.max_iters {
             // Round 1: global gradient.
-            let g = global_gradient(comm, &local, &cfg.device, &w);
+            let g = global_gradient(comm, &local, &mut engine, &mut ws, &w);
             if cfg.grad_tol > 0.0 && vector::norm2(&g) < cfg.grad_tol {
                 break;
             }
 
             // Local Hessian solve: (N·H_i) p_i = g  (H_i is the local shard
             // Hessian; N·H_i approximates the global Hessian under an i.i.d.
-            // partition). CG cost charged per iteration.
-            let hvp = local.hvp_operator(&w);
+            // partition). Every HVP launches through the device engine with
+            // pooled scratch, so the CG loop is allocation-free once warm.
+            let hvp_state = local.prepare_hvp(&w, &mut ws);
             let scale = n_workers as f64;
-            let cg_res = conjugate_gradient(|v| vector::scaled(scale, &hvp(v)), &g, &cfg.cg);
-            charge_compute(comm, &cfg.device, local.cost_hessian_vec().times(cg_res.iterations.max(1) as f64));
+            conjugate_gradient_into(
+                |v, out, ws| {
+                    local.hvp_prepared_into(&hvp_state, v, out, ws);
+                    vector::scale(scale, out);
+                },
+                &g,
+                &mut p_local,
+                &cfg.cg,
+                &mut ws,
+            );
+            local.release_hvp(hvp_state, &mut ws);
+            engine.sync(comm, &device);
 
             // Round 2: average the local Newton directions.
-            let p_sum = comm.allreduce_sum(&cg_res.x);
+            let p_sum = comm.allreduce_sum(&p_local);
             let p: Vec<f64> = p_sum.iter().map(|v| v / n_workers as f64).collect();
 
             // Round 3: distributed line search over the fixed step-size set.
             // Every worker evaluates *all* candidate steps (paper §3).
             let steps: Vec<f64> = (0..cfg.line_search_steps).map(|i| 0.5_f64.powi(i as i32)).collect();
             let mut local_values = Vec::with_capacity(steps.len());
-            let mut trial = vec![0.0; dim];
+            let mut trial = ws.acquire(dim);
             for &alpha in &steps {
                 trial.copy_from_slice(&w);
                 vector::axpy(-alpha, &p, &mut trial);
-                local_values.push(local.value(&trial));
+                local_values.push(local.value_ws(&trial, &mut ws));
             }
-            charge_compute(comm, &cfg.device, local.cost_value_grad().times(steps.len() as f64));
+            ws.release(trial);
+            engine.sync(comm, &device);
             let global_values = comm.allreduce_sum(&local_values);
 
             // Pick the largest step satisfying Armijo on the global
@@ -135,10 +154,14 @@ impl Giant {
             });
             vector::axpy(-steps[best], &p, &mut w);
 
-            record_iteration(comm, &local, test, &w, k, wall_start, &mut history);
+            record_iteration(comm, &local, &mut engine, test, &w, k, wall_start, &mut history);
         }
 
-        DistributedRun { w, history, comm_stats: comm.stats() }
+        DistributedRun {
+            w,
+            history,
+            comm_stats: comm.stats(),
+        }
     }
 
     /// Convenience wrapper spawning one rank per shard and returning the
@@ -177,13 +200,20 @@ mod tests {
         let global = SoftmaxCrossEntropy::new(&train, lambda);
         let newton = NewtonCg::new(NewtonConfig {
             max_iters: 50,
-            cg: CgConfig { max_iters: 60, tolerance: 1e-10 },
+            cg: CgConfig {
+                max_iters: 60,
+                tolerance: 1e-10,
+            },
             ..Default::default()
         })
         .minimize(&global, &vec![0.0; global.dim()]);
         let (shards, _) = partition_strong(&train, 4);
         let cluster = Cluster::new(4, NetworkModel::infiniband_100g());
-        let cfg = GiantConfig { max_iters: 30, lambda, ..Default::default() };
+        let cfg = GiantConfig {
+            max_iters: 30,
+            lambda,
+            ..Default::default()
+        };
         let run = Giant::new(cfg).run_cluster(&cluster, &shards, None);
         let final_value = run.history.final_objective().unwrap();
         assert!(
@@ -199,7 +229,11 @@ mod tests {
         let (shards, _) = partition_strong(&train, 2);
         let cluster = Cluster::new(2, NetworkModel::ideal());
         let iters = 4;
-        let cfg = GiantConfig { max_iters: iters, lambda: 1e-3, ..Default::default() };
+        let cfg = GiantConfig {
+            max_iters: iters,
+            lambda: 1e-3,
+            ..Default::default()
+        };
         let run = Giant::new(cfg).run_cluster(&cluster, &shards, None);
         // Per iteration: 3 algorithmic collectives + 1 instrumentation
         // allreduce; plus 1 instrumentation collective for iteration 0.
@@ -212,7 +246,11 @@ mod tests {
         let (train, test) = dataset(3);
         let (shards, _) = partition_strong(&train, 2);
         let cluster = Cluster::new(2, NetworkModel::infiniband_100g());
-        let cfg = GiantConfig { max_iters: 15, lambda: 1e-3, ..Default::default() };
+        let cfg = GiantConfig {
+            max_iters: 15,
+            lambda: 1e-3,
+            ..Default::default()
+        };
         let run = Giant::new(cfg).run_cluster(&cluster, &shards, Some(&test));
         let first_acc = run.history.records[0].test_accuracy.unwrap();
         let last_acc = run.history.final_accuracy().unwrap();
@@ -224,7 +262,12 @@ mod tests {
         let (train, _) = dataset(4);
         let (shards, _) = partition_strong(&train, 2);
         let cluster = Cluster::new(2, NetworkModel::ideal());
-        let cfg = GiantConfig { max_iters: 100, lambda: 1e-2, grad_tol: 1e3, ..Default::default() };
+        let cfg = GiantConfig {
+            max_iters: 100,
+            lambda: 1e-2,
+            grad_tol: 1e3,
+            ..Default::default()
+        };
         let run = Giant::new(cfg).run_cluster(&cluster, &shards, None);
         assert!(run.history.len() <= 2, "a huge grad_tol must stop the run immediately");
     }

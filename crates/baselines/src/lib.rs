@@ -51,7 +51,11 @@ mod tests {
             .generate(1);
         let (shards, _) = partition_strong(&train, 2);
         let cluster = Cluster::new(2, NetworkModel::ideal());
-        let cfg = GiantConfig { max_iters: 3, lambda: 1e-3, ..Default::default() };
+        let cfg = GiantConfig {
+            max_iters: 3,
+            lambda: 1e-3,
+            ..Default::default()
+        };
         let run = Giant::new(cfg).run_cluster(&cluster, &shards, None);
         assert!(run.history.final_objective().unwrap() < run.history.records[0].objective);
     }

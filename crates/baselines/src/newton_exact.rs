@@ -30,11 +30,19 @@ pub fn reference_optimum(data: &Dataset, lambda: f64) -> ReferenceOptimum {
     let config = NewtonConfig {
         max_iters: 200,
         grad_tol: 1e-10,
-        cg: CgConfig { max_iters: 250, tolerance: 1e-12 },
+        cg: CgConfig {
+            max_iters: 250,
+            tolerance: 1e-12,
+        },
         line_search: LineSearchConfig::default(),
     };
     let result = NewtonCg::new(config).minimize(&obj, &vec![0.0; obj.dim()]);
-    ReferenceOptimum { x_star: result.x, f_star: result.value, grad_norm: result.grad_norm, iterations: result.iterations }
+    ReferenceOptimum {
+        x_star: result.x,
+        f_star: result.value,
+        grad_norm: result.grad_norm,
+        iterations: result.iterations,
+    }
 }
 
 #[cfg(test)]

@@ -7,10 +7,10 @@
 //! communication rounds per epoch is large — exactly the overhead the paper
 //! contrasts with Newton-ADMM's single round.
 
-use crate::common::{charge_compute, local_objective, record_iteration, DistributedRun};
+use crate::common::{local_objective_on, record_iteration, DistributedRun, EngineSync};
 use nadmm_cluster::{Cluster, Communicator};
 use nadmm_data::Dataset;
-use nadmm_device::DeviceSpec;
+use nadmm_device::{Device, DeviceSpec};
 use nadmm_linalg::{gen, vector};
 use nadmm_metrics::RunHistory;
 use nadmm_objective::{Objective, SoftmaxCrossEntropy};
@@ -66,7 +66,9 @@ impl SyncSgd {
     pub fn run_distributed(&self, comm: &mut dyn Communicator, shard: &Dataset, test: Option<&Dataset>) -> DistributedRun {
         let cfg = &self.config;
         let n_workers = comm.size();
-        let local = local_objective(shard, cfg.lambda, n_workers);
+        let device = Device::new(cfg.device);
+        let local = local_objective_on(shard, cfg.lambda, n_workers, &device);
+        let mut engine = EngineSync::new(&device);
         let dim = local.dim();
         let n_local = shard.num_samples();
         let batch = cfg.batch_size.min(n_local.max(1));
@@ -77,7 +79,7 @@ impl SyncSgd {
         let mut velocity = vec![0.0; dim];
         let wall_start = Instant::now();
         let mut history = RunHistory::new("sync-sgd", shard.name(), n_workers);
-        record_iteration(comm, &local, test, &w, 0, wall_start, &mut history);
+        record_iteration(comm, &local, &mut engine, test, &w, 0, wall_start, &mut history);
 
         for epoch in 1..=cfg.epochs {
             for _ in 0..batches_per_epoch {
@@ -85,11 +87,12 @@ impl SyncSgd {
                 let mini = shard.select(&idx);
                 // Minibatch objective scaled so that it estimates the *local*
                 // sum objective (loss scaled up by n_local/batch, plus this
-                // worker's regulariser share).
-                let mini_obj = SoftmaxCrossEntropy::new(&mini, 0.0);
+                // worker's regulariser share). The minibatch kernels launch
+                // on the rank's shared device engine.
+                let mini_obj = SoftmaxCrossEntropy::new(&mini, 0.0).with_device(device.clone());
                 let mut g_local = vector::scaled(n_local as f64 / batch as f64, &mini_obj.gradient(&w));
                 vector::axpy(cfg.lambda / n_workers as f64, &w, &mut g_local);
-                charge_compute(comm, &cfg.device, mini_obj.cost_value_grad());
+                engine.sync(comm, &device);
                 // Synchronous allreduce per minibatch (this is the expensive
                 // part the paper points at).
                 let g = comm.allreduce_sum(&g_local);
@@ -105,10 +108,14 @@ impl SyncSgd {
                     vector::axpy(-cfg.step_size / total_samples, &g, &mut w);
                 }
             }
-            record_iteration(comm, &local, test, &w, epoch, wall_start, &mut history);
+            record_iteration(comm, &local, &mut engine, test, &w, epoch, wall_start, &mut history);
         }
 
-        DistributedRun { w, history, comm_stats: comm.stats() }
+        DistributedRun {
+            w,
+            history,
+            comm_stats: comm.stats(),
+        }
     }
 
     /// Convenience wrapper spawning one rank per shard.
@@ -134,7 +141,10 @@ impl SyncSgd {
         assert!(!grid.is_empty(), "step-size grid must not be empty");
         let mut best: Option<DistributedRun> = None;
         for &step in grid {
-            let cfg = SyncSgdConfig { step_size: step, ..self.config };
+            let cfg = SyncSgdConfig {
+                step_size: step,
+                ..self.config
+            };
             let run = SyncSgd::new(cfg).run_cluster(cluster, shards, test);
             let candidate_obj = run.history.final_objective().unwrap_or(f64::INFINITY);
             let is_better = best
@@ -170,7 +180,13 @@ mod tests {
         let (train, test) = dataset(120, 1);
         let (shards, _) = partition_weak(&train, 2, 60);
         let cluster = Cluster::new(2, NetworkModel::ideal());
-        let cfg = SyncSgdConfig { epochs: 10, lambda: 1e-3, batch_size: 16, step_size: 0.5, ..Default::default() };
+        let cfg = SyncSgdConfig {
+            epochs: 10,
+            lambda: 1e-3,
+            batch_size: 16,
+            step_size: 0.5,
+            ..Default::default()
+        };
         let run = SyncSgd::new(cfg).run_cluster(&cluster, &shards, Some(&test));
         let first = run.history.records[0].objective;
         let last = run.history.final_objective().unwrap();
@@ -183,7 +199,13 @@ mod tests {
         let (train, _) = dataset(64, 2);
         let (shards, _) = partition_weak(&train, 2, 32);
         let cluster = Cluster::new(2, NetworkModel::ideal());
-        let cfg = SyncSgdConfig { epochs: 2, batch_size: 8, lambda: 1e-3, step_size: 0.1, ..Default::default() };
+        let cfg = SyncSgdConfig {
+            epochs: 2,
+            batch_size: 8,
+            lambda: 1e-3,
+            step_size: 0.1,
+            ..Default::default()
+        };
         let run = SyncSgd::new(cfg).run_cluster(&cluster, &shards, None);
         // 32/8 = 4 minibatches per epoch, each with 2 collectives (gradient +
         // sample count), plus 1 instrumentation allreduce per epoch and one
@@ -197,7 +219,12 @@ mod tests {
         let (train, _) = dataset(60, 3);
         let (shards, _) = partition_weak(&train, 2, 30);
         let cluster = Cluster::new(2, NetworkModel::ideal());
-        let cfg = SyncSgdConfig { epochs: 5, batch_size: 10, lambda: 1e-3, ..Default::default() };
+        let cfg = SyncSgdConfig {
+            epochs: 5,
+            batch_size: 10,
+            lambda: 1e-3,
+            ..Default::default()
+        };
         let run = SyncSgd::new(cfg).run_cluster_best_of_grid(&cluster, &shards, None, &[1e-6, 0.5, 1e3]);
         // The middle step size should win; a tiny step barely moves and a
         // huge step diverges (non-finite objectives are rejected).

@@ -22,7 +22,11 @@ fn bench_allreduce(c: &mut Criterion) {
 
 fn bench_network_model(c: &mut Criterion) {
     let mut group = c.benchmark_group("network_cost_model");
-    let nets = [NetworkModel::infiniband_100g(), NetworkModel::ethernet_10g(), NetworkModel::ethernet_1g()];
+    let nets = [
+        NetworkModel::infiniband_100g(),
+        NetworkModel::ethernet_10g(),
+        NetworkModel::ethernet_1g(),
+    ];
     group.bench_function("allreduce_cost_sweep", |b| {
         b.iter(|| {
             let mut total = 0.0;

@@ -10,7 +10,11 @@ use newton_admm::{NewtonAdmm, NewtonAdmmConfig};
 use std::hint::black_box;
 
 fn bench_epoch(c: &mut Criterion) {
-    let (train, _) = SyntheticConfig::mnist_like().with_train_size(512).with_test_size(64).with_num_features(64).generate(1);
+    let (train, _) = SyntheticConfig::mnist_like()
+        .with_train_size(512)
+        .with_test_size(64)
+        .with_num_features(64)
+        .generate(1);
     let mut group = c.benchmark_group("one_epoch_wallclock");
     group.sample_size(10);
     for &workers in &[2usize, 4] {
@@ -25,7 +29,11 @@ fn bench_epoch(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("giant", workers), &workers, |b, &workers| {
             b.iter(|| {
                 let cluster = Cluster::new(workers, NetworkModel::infiniband_100g());
-                let cfg = GiantConfig { max_iters: 1, lambda: 1e-5, ..Default::default() };
+                let cfg = GiantConfig {
+                    max_iters: 1,
+                    lambda: 1e-5,
+                    ..Default::default()
+                };
                 black_box(Giant::new(cfg).run_cluster(&cluster, &shards, None))
             });
         });

@@ -1,11 +1,21 @@
 //! Criterion micro-benches for the linear-algebra kernels the solvers are
-//! built from: dense/sparse GEMM, softmax rows, and Hessian-vector products.
+//! built from: dense/sparse GEMM (allocating vs in-place), softmax rows, and
+//! Hessian-vector products through the execution engine.
+//!
+//! The final "bench" merges every measurement — plus allocation counts for
+//! the gradient paths — into `BENCH_kernels.json`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nadmm_bench::alloc_counter::{count_allocations, CountingAllocator};
+use nadmm_bench::report::{criterion_entries, merge_bench_json, report_path, BenchEntry};
 use nadmm_data::SyntheticConfig;
+use nadmm_device::Workspace;
 use nadmm_linalg::{gen, DenseMatrix, Matrix};
 use nadmm_objective::{Objective, SoftmaxCrossEntropy};
 use std::hint::black_box;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
 
 fn bench_gemm(c: &mut Criterion) {
     let mut group = c.benchmark_group("gemm_nt");
@@ -17,6 +27,13 @@ fn bench_gemm(c: &mut Criterion) {
         let w = gen::gaussian_matrix(classes - 1, p, &mut rng);
         group.bench_with_input(BenchmarkId::new("dense", n), &n, |b, _| {
             b.iter(|| black_box(x.gemm_nt(&w).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("dense_into", n), &n, |b, _| {
+            let mut out = DenseMatrix::zeros(n, classes - 1);
+            b.iter(|| {
+                x.gemm_nt_into(&w, &mut out).unwrap();
+                black_box(out.as_slice()[0])
+            });
         });
         // Sparse counterpart at ~5% density.
         let mut dense = gen::gaussian_matrix(n, p, &mut rng);
@@ -31,21 +48,51 @@ fn bench_gemm(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("sparse_5pct", n), &n, |b, _| {
             b.iter(|| black_box(xs.gemm_nt(&w).unwrap()));
         });
+        group.bench_with_input(BenchmarkId::new("sparse_5pct_into", n), &n, |b, _| {
+            let mut out = DenseMatrix::zeros(n, classes - 1);
+            b.iter(|| {
+                xs.gemm_nt_into(&w, &mut out).unwrap();
+                black_box(out.as_slice()[0])
+            });
+        });
     }
     group.finish();
 }
 
-fn bench_softmax_objective(c: &mut Criterion) {
-    let mut group = c.benchmark_group("softmax_objective");
-    let (train, _) = SyntheticConfig::mnist_like().with_train_size(1024).with_test_size(64).with_num_features(128).generate(2);
+fn softmax_problem() -> (SoftmaxCrossEntropy, Vec<f64>, Vec<f64>) {
+    let (train, _) = SyntheticConfig::mnist_like()
+        .with_train_size(1024)
+        .with_test_size(64)
+        .with_num_features(128)
+        .generate(2);
     let obj = SoftmaxCrossEntropy::new(&train, 1e-5);
     let mut rng = gen::seeded_rng(3);
     let x = gen::gaussian_vector_with(obj.dim(), 0.0, 0.1, &mut rng);
     let v = gen::gaussian_vector(obj.dim(), &mut rng);
+    (obj, x, v)
+}
+
+fn bench_softmax_objective(c: &mut Criterion) {
+    let mut group = c.benchmark_group("softmax_objective");
+    let (obj, x, v) = softmax_problem();
     group.bench_function("value_and_gradient", |b| b.iter(|| black_box(obj.value_and_gradient(&x))));
+    group.bench_function("value_and_gradient_into", |b| {
+        let mut ws = Workspace::new();
+        let mut g = vec![0.0; obj.dim()];
+        b.iter(|| black_box(obj.value_and_gradient_into(&x, &mut g, &mut ws)));
+    });
     group.bench_function("hessian_vec", |b| b.iter(|| black_box(obj.hessian_vec(&x, &v))));
     let op = obj.hvp_operator(&x);
     group.bench_function("hvp_operator_cached", |b| b.iter(|| black_box(op(&v))));
+    group.bench_function("hvp_prepared_into", |b| {
+        let mut ws = Workspace::new();
+        let state = obj.prepare_hvp(&x, &mut ws);
+        let mut out = vec![0.0; obj.dim()];
+        b.iter(|| {
+            obj.hvp_prepared_into(&state, &v, &mut out, &mut ws);
+            black_box(out[0])
+        });
+    });
     group.finish();
 }
 
@@ -55,8 +102,56 @@ fn bench_transpose_kernels(c: &mut Criterion) {
     let a: DenseMatrix = gen::gaussian_matrix(2048, 256, &mut rng);
     let x = gen::gaussian_vector(2048, &mut rng);
     group.bench_function("dense_2048x256", |b| b.iter(|| black_box(a.t_matvec(&x).unwrap())));
+    group.bench_function("dense_2048x256_into", |b| {
+        let mut y = vec![0.0; 256];
+        b.iter(|| {
+            a.t_matvec_into(&x, &mut y).unwrap();
+            black_box(y[0])
+        });
+    });
     group.finish();
 }
 
-criterion_group!(benches, bench_gemm, bench_softmax_objective, bench_transpose_kernels);
+/// Measures allocations per gradient/HVP evaluation for both paths and
+/// merges everything into the machine-readable report. Runs last.
+fn emit_report(_c: &mut Criterion) {
+    let (obj, x, v) = softmax_problem();
+    let (grad_allocs, _) = count_allocations(|| black_box(obj.gradient(&x)));
+    let mut ws = Workspace::new();
+    let mut g = vec![0.0; obj.dim()];
+    obj.gradient_into(&x, &mut g, &mut ws); // warm the pool
+    let (grad_into_allocs, _) = count_allocations(|| obj.gradient_into(&x, &mut g, &mut ws));
+    let state = obj.prepare_hvp(&x, &mut ws);
+    obj.hvp_prepared_into(&state, &v, &mut g, &mut ws); // warm
+    let (hvp_allocs, _) = count_allocations(|| obj.hvp_prepared_into(&state, &v, &mut g, &mut ws));
+
+    let mut entries = criterion_entries();
+    for (id, allocs) in [
+        ("gradient_alloc", grad_allocs),
+        ("gradient_into_warm", grad_into_allocs),
+        ("hvp_prepared_into_warm", hvp_allocs),
+    ] {
+        entries.push(BenchEntry {
+            group: "softmax_allocations_per_eval".into(),
+            id: id.into(),
+            ns_per_iter: 0.0,
+            ops_per_sec: 0.0,
+            allocs_per_iter: Some(allocs as f64),
+        });
+    }
+    let path = report_path();
+    merge_bench_json(&path, &entries).expect("write BENCH_kernels.json");
+    println!(
+        "softmax allocations/eval: gradient={grad_allocs} gradient_into_warm={grad_into_allocs} hvp_prepared_warm={hvp_allocs}"
+    );
+    println!("merged report into {path}");
+}
+
+criterion_group!(
+    benches,
+    bench_gemm,
+    bench_softmax_objective,
+    bench_transpose_kernels,
+    emit_report
+);
 criterion_main!(benches);

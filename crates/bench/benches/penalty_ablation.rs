@@ -8,7 +8,11 @@ use newton_admm::{NewtonAdmm, NewtonAdmmConfig, PenaltyRule, SpectralConfig};
 use std::hint::black_box;
 
 fn bench_penalty_rules(c: &mut Criterion) {
-    let (train, _) = SyntheticConfig::cifar10_like().with_train_size(384).with_test_size(64).with_num_features(48).generate(1);
+    let (train, _) = SyntheticConfig::cifar10_like()
+        .with_train_size(384)
+        .with_test_size(64)
+        .with_num_features(48)
+        .generate(1);
     let (shards, _) = partition_strong(&train, 4);
     let rules: [(&str, PenaltyRule); 3] = [
         ("fixed", PenaltyRule::Fixed),
@@ -20,7 +24,10 @@ fn bench_penalty_rules(c: &mut Criterion) {
     for (name, rule) in rules {
         group.bench_with_input(BenchmarkId::from_parameter(name), &rule, |b, rule| {
             b.iter(|| {
-                let cfg = NewtonAdmmConfig::default().with_lambda(1e-5).with_max_iters(10).with_penalty(*rule);
+                let cfg = NewtonAdmmConfig::default()
+                    .with_lambda(1e-5)
+                    .with_max_iters(10)
+                    .with_penalty(*rule);
                 black_box(NewtonAdmm::new(cfg).run_reference(&shards, None))
             });
         });

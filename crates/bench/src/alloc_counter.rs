@@ -1,0 +1,52 @@
+//! A counting global allocator for allocation-profiling benches and tests.
+//!
+//! The execution-engine refactor promises zero heap allocations per solver
+//! inner-loop iteration once the workspace pool is warm; this module makes
+//! that claim *measurable*. Opt in per binary with:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: nadmm_bench::alloc_counter::CountingAllocator =
+//!     nadmm_bench::alloc_counter::CountingAllocator;
+//! ```
+//!
+//! Counters are per-thread, so parallel test threads do not pollute each
+//! other's measurements.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    static THREAD_ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Pass-through system allocator that counts allocation calls per thread.
+pub struct CountingAllocator;
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let _ = THREAD_ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let _ = THREAD_ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+/// Number of heap allocations made by the current thread so far.
+pub fn thread_allocations() -> u64 {
+    THREAD_ALLOCATIONS.try_with(Cell::get).unwrap_or(0)
+}
+
+/// Runs `f` and returns how many allocations the current thread made inside.
+pub fn count_allocations<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = thread_allocations();
+    let result = f();
+    (thread_allocations() - before, result)
+}

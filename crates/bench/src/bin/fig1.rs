@@ -22,10 +22,18 @@ fn print_series(history: &RunHistory) {
     );
     let stride = (history.records.len() / 12).max(1);
     for r in history.records.iter().step_by(stride) {
-        table.add_row(&[r.iteration.to_string(), format!("{:.5}", r.sim_time_sec), format!("{:.4}", r.objective)]);
+        table.add_row(&[
+            r.iteration.to_string(),
+            format!("{:.5}", r.sim_time_sec),
+            format!("{:.4}", r.objective),
+        ]);
     }
     if let Some(last) = history.records.last() {
-        table.add_row(&[last.iteration.to_string(), format!("{:.5}", last.sim_time_sec), format!("{:.4}", last.objective)]);
+        table.add_row(&[
+            last.iteration.to_string(),
+            format!("{:.5}", last.sim_time_sec),
+            format!("{:.4}", last.objective),
+        ]);
     }
     println!("{}", table.to_text());
 }
@@ -42,13 +50,36 @@ fn main() {
     let second_order_epochs = 100;
     let dane_epochs = 10;
 
-    let admm = NewtonAdmm::new(NewtonAdmmConfig::default().with_lambda(lambda).with_max_iters(second_order_epochs))
-        .run_cluster(&cluster, &shards, None);
-    let giant = Giant::new(GiantConfig { max_iters: second_order_epochs, lambda, ..Default::default() })
-        .run_cluster(&cluster, &shards, None);
-    let dane_cfg = DaneConfig { max_iters: dane_epochs, lambda, svrg_iters: 100, svrg_step: 3e-4, ..Default::default() };
+    let admm = NewtonAdmm::new(
+        NewtonAdmmConfig::default()
+            .with_lambda(lambda)
+            .with_max_iters(second_order_epochs),
+    )
+    .run_cluster(&cluster, &shards, None);
+    let giant = Giant::new(GiantConfig {
+        max_iters: second_order_epochs,
+        lambda,
+        ..Default::default()
+    })
+    .run_cluster(&cluster, &shards, None);
+    let dane_cfg = DaneConfig {
+        max_iters: dane_epochs,
+        lambda,
+        svrg_iters: 100,
+        svrg_step: 3e-4,
+        ..Default::default()
+    };
     let dane = InexactDane::new(dane_cfg).run_cluster(&cluster, &shards, None);
-    let aide = InexactDane::new(dane_cfg).run_cluster_aide(&cluster, &shards, None, &AideConfig { dane: dane_cfg, tau: 10.0, zeta: 0.3 });
+    let aide = InexactDane::new(dane_cfg).run_cluster_aide(
+        &cluster,
+        &shards,
+        None,
+        &AideConfig {
+            dane: dane_cfg,
+            tau: 10.0,
+            zeta: 0.3,
+        },
+    );
 
     for history in [&admm.history, &giant.history, &dane.history, &aide.history] {
         print_series(history);
@@ -56,7 +87,13 @@ fn main() {
 
     let mut summary = TextTable::new(
         "Figure 1 summary (MNIST-like, λ=1e-5, 8 workers)",
-        &["solver", "epochs", "avg epoch time (s)", "final objective", "time to objective < 0.45·F(0) (s)"],
+        &[
+            "solver",
+            "epochs",
+            "avg epoch time (s)",
+            "final objective",
+            "time to objective < 0.45·F(0) (s)",
+        ],
     );
     let f0 = admm.history.records[0].objective;
     let target = 0.45 * f0;
@@ -66,7 +103,10 @@ fn main() {
             (history.records.len() - 1).to_string(),
             format!("{:.5}", history.avg_epoch_time()),
             format!("{:.4}", history.final_objective().unwrap()),
-            history.time_to_objective(target).map(|t| format!("{t:.4}")).unwrap_or_else(|| "never".to_string()),
+            history
+                .time_to_objective(target)
+                .map(|t| format!("{t:.4}"))
+                .unwrap_or_else(|| "never".to_string()),
         ]);
     }
     println!("{}", summary.to_text());

@@ -18,7 +18,12 @@ fn epoch_times(shards: &[Dataset], workers: usize) -> (f64, f64) {
     let cluster = paper_cluster(workers);
     let admm = NewtonAdmm::new(NewtonAdmmConfig::default().with_lambda(LAMBDA).with_max_iters(EPOCHS))
         .run_cluster(&cluster, shards, None);
-    let giant = Giant::new(GiantConfig { max_iters: EPOCHS, lambda: LAMBDA, ..Default::default() }).run_cluster(&cluster, shards, None);
+    let giant = Giant::new(GiantConfig {
+        max_iters: EPOCHS,
+        lambda: LAMBDA,
+        ..Default::default()
+    })
+    .run_cluster(&cluster, shards, None);
     (admm.history.avg_epoch_time(), giant.history.avg_epoch_time())
 }
 

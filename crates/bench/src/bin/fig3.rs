@@ -26,7 +26,12 @@ fn run_pair(shards: &[Dataset], workers: usize) -> (nadmm_metrics::RunHistory, n
     let cluster = paper_cluster(workers);
     let admm = NewtonAdmm::new(NewtonAdmmConfig::default().with_lambda(LAMBDA).with_max_iters(MAX_EPOCHS))
         .run_cluster(&cluster, shards, None);
-    let giant = Giant::new(GiantConfig { max_iters: MAX_EPOCHS, lambda: LAMBDA, ..Default::default() }).run_cluster(&cluster, shards, None);
+    let giant = Giant::new(GiantConfig {
+        max_iters: MAX_EPOCHS,
+        lambda: LAMBDA,
+        ..Default::default()
+    })
+    .run_cluster(&cluster, shards, None);
     (admm.history, giant.history)
 }
 
@@ -53,8 +58,12 @@ fn main() {
                 format!("{}-like", kind.paper_name().to_lowercase()),
                 format!("s{workers}"),
                 ratio.map(|r| format!("{r:.2}x")).unwrap_or_else(|| "n/a".to_string()),
-                iterations_to_relative_objective(&admm, reference.f_star, THETA).map(|i| i.to_string()).unwrap_or_else(|| "-".into()),
-                iterations_to_relative_objective(&giant, reference.f_star, THETA).map(|i| i.to_string()).unwrap_or_else(|| "-".into()),
+                iterations_to_relative_objective(&admm, reference.f_star, THETA)
+                    .map(|i| i.to_string())
+                    .unwrap_or_else(|| "-".into()),
+                iterations_to_relative_objective(&giant, reference.f_star, THETA)
+                    .map(|i| i.to_string())
+                    .unwrap_or_else(|| "-".into()),
             ]);
         }
         // Weak scaling: skip E18 (no single-node reference), as in the paper.
@@ -75,13 +84,19 @@ fn main() {
                 format!("{}-like", kind.paper_name().to_lowercase()),
                 format!("w{workers}"),
                 ratio.map(|r| format!("{r:.2}x")).unwrap_or_else(|| "n/a".to_string()),
-                iterations_to_relative_objective(&admm, weak_ref.f_star, THETA).map(|i| i.to_string()).unwrap_or_else(|| "-".into()),
-                iterations_to_relative_objective(&giant, weak_ref.f_star, THETA).map(|i| i.to_string()).unwrap_or_else(|| "-".into()),
+                iterations_to_relative_objective(&admm, weak_ref.f_star, THETA)
+                    .map(|i| i.to_string())
+                    .unwrap_or_else(|| "-".into()),
+                iterations_to_relative_objective(&giant, weak_ref.f_star, THETA)
+                    .map(|i| i.to_string())
+                    .unwrap_or_else(|| "-".into()),
             ]);
         }
     }
 
     println!("{}", strong.to_text());
     println!("{}", weak.to_text());
-    println!("Paper shape check: ratios should be ≥ 1 (Newton-ADMM no slower), largest on the ill-conditioned CIFAR-10-like dataset.");
+    println!(
+        "Paper shape check: ratios should be ≥ 1 (Newton-ADMM no slower), largest on the ill-conditioned CIFAR-10-like dataset."
+    );
 }

@@ -38,7 +38,15 @@ fn print_series(dataset: &str, history: &RunHistory) {
 fn main() {
     let mut summary = TextTable::new(
         "Figure 4 summary (weak scaling, λ=1e-5)",
-        &["dataset", "workers", "solver", "total sim time (s)", "final objective", "final acc", "speedup (sgd/admm time)"],
+        &[
+            "dataset",
+            "workers",
+            "solver",
+            "total sim time (s)",
+            "final objective",
+            "final acc",
+            "speedup (sgd/admm time)",
+        ],
     );
 
     for kind in [DatasetKind::Mnist, DatasetKind::Cifar10, DatasetKind::Higgs, DatasetKind::E18] {
@@ -51,7 +59,10 @@ fn main() {
         // Newton-ADMM: best of CG ∈ {10, 20, 30}, as in the paper.
         let mut best_admm: Option<newton_admm::NewtonAdmmOutput> = None;
         for cg in [10usize, 20, 30] {
-            let cfg = NewtonAdmmConfig::default().with_lambda(LAMBDA).with_max_iters(EPOCHS).with_cg_iters(cg);
+            let cfg = NewtonAdmmConfig::default()
+                .with_lambda(LAMBDA)
+                .with_max_iters(EPOCHS)
+                .with_cg_iters(cg);
             let run = NewtonAdmm::new(cfg).run_cluster(&cluster, &shards, Some(&test));
             let better = best_admm
                 .as_ref()
@@ -64,7 +75,12 @@ fn main() {
         let admm = best_admm.expect("at least one Newton-ADMM run");
 
         // Synchronous SGD: batch 128, best step size from a small grid.
-        let sgd_cfg = SyncSgdConfig { epochs: EPOCHS, lambda: LAMBDA, batch_size: 128, ..Default::default() };
+        let sgd_cfg = SyncSgdConfig {
+            epochs: EPOCHS,
+            lambda: LAMBDA,
+            batch_size: 128,
+            ..Default::default()
+        };
         let sgd = SyncSgd::new(sgd_cfg).run_cluster_best_of_grid(&cluster, &shards, Some(&test), &[1e-2, 1e-1, 1.0, 10.0]);
 
         let name = format!("{}-like", kind.paper_name().to_lowercase());
@@ -72,14 +88,20 @@ fn main() {
         print_series(&name, &sgd.history);
 
         let speedup = sgd.history.total_sim_time() / admm.history.total_sim_time().max(1e-12);
-        for (solver_history, total) in [(&admm.history, admm.history.total_sim_time()), (&sgd.history, sgd.history.total_sim_time())] {
+        for (solver_history, total) in [
+            (&admm.history, admm.history.total_sim_time()),
+            (&sgd.history, sgd.history.total_sim_time()),
+        ] {
             summary.add_row(&[
                 name.clone(),
                 workers.to_string(),
                 solver_history.solver.clone(),
                 format!("{total:.4}"),
                 format!("{:.4}", solver_history.final_objective().unwrap()),
-                solver_history.final_accuracy().map(|a| format!("{:.1}%", 100.0 * a)).unwrap_or_default(),
+                solver_history
+                    .final_accuracy()
+                    .map(|a| format!("{:.1}%", 100.0 * a))
+                    .unwrap_or_default(),
                 format!("{speedup:.2}x"),
             ]);
         }

@@ -16,10 +16,17 @@ const EPOCHS: usize = 100;
 const WORKERS: usize = 16;
 
 fn print_series(label: &str, history: &RunHistory) {
-    let mut t = TextTable::new(format!("{label} — {}", history.solver), &["iter", "sim time (s)", "objective"]);
+    let mut t = TextTable::new(
+        format!("{label} — {}", history.solver),
+        &["iter", "sim time (s)", "objective"],
+    );
     let stride = (history.records.len() / 10).max(1);
     for r in history.records.iter().step_by(stride) {
-        t.add_row(&[r.iteration.to_string(), format!("{:.5}", r.sim_time_sec), format!("{:.4}", r.objective)]);
+        t.add_row(&[
+            r.iteration.to_string(),
+            format!("{:.5}", r.sim_time_sec),
+            format!("{:.4}", r.objective),
+        ]);
     }
     println!("{}", t.to_text());
 }
@@ -36,9 +43,17 @@ fn main() {
     );
 
     for lambda in [1e-3, 1e-5] {
-        let admm = NewtonAdmm::new(NewtonAdmmConfig::default().with_lambda(lambda).with_max_iters(EPOCHS))
-            .run_cluster(&cluster, &shards, Some(&test));
-        let giant = Giant::new(GiantConfig { max_iters: EPOCHS, lambda, ..Default::default() }).run_cluster(&cluster, &shards, Some(&test));
+        let admm = NewtonAdmm::new(NewtonAdmmConfig::default().with_lambda(lambda).with_max_iters(EPOCHS)).run_cluster(
+            &cluster,
+            &shards,
+            Some(&test),
+        );
+        let giant = Giant::new(GiantConfig {
+            max_iters: EPOCHS,
+            lambda,
+            ..Default::default()
+        })
+        .run_cluster(&cluster, &shards, Some(&test));
 
         let label = format!("λ = {lambda:.0e}");
         print_series(&label, &admm.history);
@@ -50,7 +65,10 @@ fn main() {
                 history.solver.clone(),
                 format!("{:.5}", history.avg_epoch_time()),
                 format!("{:.4}", history.final_objective().unwrap()),
-                history.final_accuracy().map(|a| format!("{:.1}%", 100.0 * a)).unwrap_or_default(),
+                history
+                    .final_accuracy()
+                    .map(|a| format!("{:.1}%", 100.0 * a))
+                    .unwrap_or_default(),
             ]);
         }
     }

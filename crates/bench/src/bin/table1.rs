@@ -20,13 +20,28 @@ fn main() {
     );
     for kind in kinds {
         let (c, n, t, p) = kind.paper_table1();
-        paper.add_row(&[c.to_string(), kind.paper_name().to_string(), n.to_string(), t.to_string(), p.to_string()]);
+        paper.add_row(&[
+            c.to_string(),
+            kind.paper_name().to_string(),
+            n.to_string(),
+            t.to_string(),
+            p.to_string(),
+        ]);
     }
     println!("{}", paper.to_text());
 
     let mut ours = TextTable::new(
         "Table 1 (reproduction): synthetic analogues at bench scale",
-        &["classes", "dataset", "samples", "test size", "features", "storage", "density", "scale vs paper"],
+        &[
+            "classes",
+            "dataset",
+            "samples",
+            "test size",
+            "features",
+            "storage",
+            "density",
+            "scale vs paper",
+        ],
     );
     for kind in kinds {
         let cfg = bench_config(kind);
@@ -38,7 +53,11 @@ fn main() {
             train.num_samples().to_string(),
             test.num_samples().to_string(),
             train.num_features().to_string(),
-            if train.is_sparse() { "CSR".to_string() } else { "dense".to_string() },
+            if train.is_sparse() {
+                "CSR".to_string()
+            } else {
+                "dense".to_string()
+            },
             format!("{:.2}", density),
             format!("{:.5}", cfg.scale_factor()),
         ]);

@@ -1,0 +1,124 @@
+//! Proof that the execution-engine hot paths are allocation-free once warm.
+//!
+//! Uses the counting global allocator to assert that, after one warm-up
+//! solve populates the workspace pool, a full CG solve (including every
+//! Hessian-vector product through the softmax objective and the Device
+//! kernels) performs **zero** heap allocations, and that the workspace pool
+//! reports zero misses.
+
+use nadmm_bench::alloc_counter::{count_allocations, CountingAllocator};
+use nadmm_data::SyntheticConfig;
+use nadmm_device::Workspace;
+use nadmm_linalg::gen;
+use nadmm_objective::{Objective, ProximalAugmented, SoftmaxCrossEntropy};
+use nadmm_solver::{conjugate_gradient_into, CgConfig, NewtonCg, NewtonConfig};
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn problem() -> (SoftmaxCrossEntropy, Vec<f64>) {
+    let (train, _) = SyntheticConfig::mnist_like()
+        .with_train_size(96)
+        .with_test_size(16)
+        .with_num_features(24)
+        .with_num_classes(4)
+        .generate(7);
+    let obj = SoftmaxCrossEntropy::new(&train, 1e-4);
+    let mut rng = gen::seeded_rng(11);
+    let x = gen::gaussian_vector_with(obj.dim(), 0.0, 0.1, &mut rng);
+    (obj, x)
+}
+
+#[test]
+fn warm_cg_solve_performs_zero_heap_allocations() {
+    let (obj, x) = problem();
+    let mut ws = Workspace::new();
+    let mut grad = vec![0.0; obj.dim()];
+    obj.gradient_into(&x, &mut grad, &mut ws);
+    let neg_g: Vec<f64> = grad.iter().map(|v| -v).collect();
+    let cfg = CgConfig {
+        max_iters: 10,
+        tolerance: 1e-12,
+    };
+    let mut solution = vec![0.0; obj.dim()];
+
+    // Warm-up solve populates the pool (this one may allocate).
+    let state = obj.prepare_hvp(&x, &mut ws);
+    conjugate_gradient_into(
+        |v, out, ws| obj.hvp_prepared_into(&state, v, out, ws),
+        &neg_g,
+        &mut solution,
+        &cfg,
+        &mut ws,
+    );
+    obj.release_hvp(state, &mut ws);
+
+    // Steady state: prepare + full CG solve + release, zero allocations.
+    ws.reset_stats();
+    let (allocs, stats) = count_allocations(|| {
+        let state = obj.prepare_hvp(&x, &mut ws);
+        let stats = conjugate_gradient_into(
+            |v, out, ws| obj.hvp_prepared_into(&state, v, out, ws),
+            &neg_g,
+            &mut solution,
+            &cfg,
+            &mut ws,
+        );
+        obj.release_hvp(state, &mut ws);
+        stats
+    });
+    assert!(stats.iterations > 1, "CG must actually iterate (ran {})", stats.iterations);
+    // prepare_hvp wraps its pooled buffer in a one-element Vec (one
+    // allocation per Newton step, not per CG iteration); nothing else in the
+    // solve may allocate.
+    assert!(
+        allocs <= 1,
+        "warm CG solve made {allocs} heap allocations (expected <= 1 for the HvpState shell)"
+    );
+    let pool = ws.stats();
+    assert_eq!(pool.pool_misses, 0, "warm CG solve missed the pool: {pool:?}");
+    assert!(pool.pool_hits > 0, "the solve must actually draw from the pool");
+}
+
+#[test]
+fn warm_newton_step_allocates_only_the_hvp_state_shell() {
+    let (obj, x) = problem();
+    let aug = ProximalAugmented::new(obj.clone(), x.clone(), vec![0.0; x.len()], 1.5);
+    let solver = NewtonCg::new(NewtonConfig::default());
+    let mut ws = Workspace::new();
+    let mut iterate = x.clone();
+    solver.step_ws(&aug, &mut iterate, &mut ws); // warm-up
+
+    iterate.copy_from_slice(&x);
+    ws.reset_stats();
+    let (allocs, _) = count_allocations(|| solver.step_ws(&aug, &mut iterate, &mut ws));
+    // One full Newton step = value+gradient, prepare_hvp, 10 CG iterations
+    // (each an HVP through the Device engine), and an Armijo line search.
+    // Only the HvpState's one-element Vec shell may allocate.
+    assert!(allocs <= 1, "warm Newton step made {allocs} heap allocations");
+    assert_eq!(
+        ws.stats().pool_misses,
+        0,
+        "warm Newton step missed the pool: {:?}",
+        ws.stats()
+    );
+}
+
+#[test]
+fn workspace_pool_hits_after_warmup_in_minimize() {
+    let (obj, x0) = problem();
+    let solver = NewtonCg::new(NewtonConfig {
+        max_iters: 3,
+        ..Default::default()
+    });
+    let mut ws = Workspace::new();
+    let first = solver.minimize_ws(&obj, &x0, &mut ws);
+    ws.reset_stats();
+    let second = solver.minimize_ws(&obj, &x0, &mut ws);
+    assert_eq!(first.value, second.value, "repeated runs must be deterministic");
+    assert_eq!(
+        ws.stats().pool_misses,
+        0,
+        "second minimize run must be served entirely from the pool"
+    );
+}

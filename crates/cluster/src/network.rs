@@ -21,24 +21,40 @@ impl NetworkModel {
     /// 100 Gbps Infiniband (the paper's cluster): ~1.5 µs latency,
     /// 100 Gbit/s ≈ 12.5 GB/s.
     pub fn infiniband_100g() -> Self {
-        Self { name: "infiniband-100g", latency: 1.5e-6, bandwidth: 12.5e9 }
+        Self {
+            name: "infiniband-100g",
+            latency: 1.5e-6,
+            bandwidth: 12.5e9,
+        }
     }
 
     /// 10 Gbps Ethernet: ~50 µs latency, 1.25 GB/s. Used in the "slower
     /// interconnect" ablation the paper discusses qualitatively.
     pub fn ethernet_10g() -> Self {
-        Self { name: "ethernet-10g", latency: 50.0e-6, bandwidth: 1.25e9 }
+        Self {
+            name: "ethernet-10g",
+            latency: 50.0e-6,
+            bandwidth: 1.25e9,
+        }
     }
 
     /// 1 Gbps Ethernet: ~100 µs latency, 125 MB/s — the "high latency, low
     /// bandwidth" environment where single-round methods shine.
     pub fn ethernet_1g() -> Self {
-        Self { name: "ethernet-1g", latency: 100.0e-6, bandwidth: 125.0e6 }
+        Self {
+            name: "ethernet-1g",
+            latency: 100.0e-6,
+            bandwidth: 125.0e6,
+        }
     }
 
     /// An idealised zero-cost network (useful to isolate compute behaviour).
     pub fn ideal() -> Self {
-        Self { name: "ideal", latency: 0.0, bandwidth: f64::INFINITY }
+        Self {
+            name: "ideal",
+            latency: 0.0,
+            bandwidth: f64::INFINITY,
+        }
     }
 
     fn per_byte(&self, bytes: f64) -> f64 {

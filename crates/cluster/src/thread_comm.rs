@@ -89,7 +89,14 @@ pub struct ThreadComm {
 
 impl ThreadComm {
     fn new(rank: usize, size: usize, network: NetworkModel, rendezvous: Arc<Rendezvous>) -> Self {
-        Self { rank, size, network, rendezvous, elapsed: 0.0, stats: CommStats::default() }
+        Self {
+            rank,
+            size,
+            network,
+            rendezvous,
+            elapsed: 0.0,
+            stats: CommStats::default(),
+        }
     }
 
     /// The network model this communicator charges.
@@ -140,7 +147,11 @@ impl Communicator for ThreadComm {
         let res = self.collective(data.to_vec(), bytes, bytes, cost);
         let mut acc = vec![0.0; data.len()];
         for contrib in &res.contributions {
-            assert_eq!(contrib.len(), data.len(), "allreduce_sum: ranks contributed different lengths");
+            assert_eq!(
+                contrib.len(),
+                data.len(),
+                "allreduce_sum: ranks contributed different lengths"
+            );
             for (a, v) in acc.iter_mut().zip(contrib) {
                 *a += v;
             }
@@ -151,12 +162,20 @@ impl Communicator for ThreadComm {
     fn reduce_sum_root(&mut self, data: &[f64]) -> Option<Vec<f64>> {
         let bytes = data.len() as f64 * F64_BYTES;
         let cost = self.network.reduce(self.size, bytes);
-        let received = if self.rank == ROOT_RANK { bytes * (self.size as f64 - 1.0) } else { 0.0 };
+        let received = if self.rank == ROOT_RANK {
+            bytes * (self.size as f64 - 1.0)
+        } else {
+            0.0
+        };
         let res = self.collective(data.to_vec(), bytes, received, cost);
         if self.rank == ROOT_RANK {
             let mut acc = vec![0.0; data.len()];
             for contrib in &res.contributions {
-                assert_eq!(contrib.len(), data.len(), "reduce_sum_root: ranks contributed different lengths");
+                assert_eq!(
+                    contrib.len(),
+                    data.len(),
+                    "reduce_sum_root: ranks contributed different lengths"
+                );
                 for (a, v) in acc.iter_mut().zip(contrib) {
                     *a += v;
                 }
@@ -170,7 +189,11 @@ impl Communicator for ThreadComm {
     fn gather_root(&mut self, data: &[f64]) -> Option<Vec<Vec<f64>>> {
         let bytes = data.len() as f64 * F64_BYTES;
         let cost = self.network.gather(self.size, bytes);
-        let received = if self.rank == ROOT_RANK { bytes * (self.size as f64 - 1.0) } else { 0.0 };
+        let received = if self.rank == ROOT_RANK {
+            bytes * (self.size as f64 - 1.0)
+        } else {
+            0.0
+        };
         let res = self.collective(data.to_vec(), bytes, received, cost);
         if self.rank == ROOT_RANK {
             Some(res.contributions.clone())
@@ -188,7 +211,8 @@ impl Communicator for ThreadComm {
         let sent = payload.len() as f64 * F64_BYTES;
         // Cost is charged from the root's payload size, which every rank
         // learns from the exchange result.
-        let res_payload_len = {
+
+        {
             let res = self.rendezvous.exchange(self.rank, payload, self.elapsed);
             // Re-borrowing pattern: compute everything we need from `res`
             // before charging so that only one rendezvous happens.
@@ -203,8 +227,7 @@ impl Communicator for ThreadComm {
             let received = if self.rank == ROOT_RANK { 0.0 } else { bytes };
             self.stats.record(sent, received, self.elapsed - start);
             root_data
-        };
-        res_payload_len
+        }
     }
 
     fn scatter_root(&mut self, parts: Option<&[Vec<f64>]>) -> Vec<f64> {
@@ -240,7 +263,11 @@ impl Communicator for ThreadComm {
             offset += l;
         }
         let mine = root_flat[offset..offset + lengths[self.rank]].to_vec();
-        let received = if self.rank == ROOT_RANK { 0.0 } else { mine.len() as f64 * F64_BYTES };
+        let received = if self.rank == ROOT_RANK {
+            0.0
+        } else {
+            mine.len() as f64 * F64_BYTES
+        };
         self.stats.record(sent, received, self.elapsed - start);
         mine
     }
@@ -441,7 +468,10 @@ mod tests {
             })
             .into_iter()
             .fold(0.0f64, f64::max);
-        assert!(slow > fast, "1 Gbps ethernet ({slow}s) should be slower than infiniband ({fast}s)");
+        assert!(
+            slow > fast,
+            "1 Gbps ethernet ({slow}s) should be slower than infiniband ({fast}s)"
+        );
     }
 
     #[test]

@@ -42,7 +42,10 @@ impl Default for NewtonAdmmConfig {
             max_iters: 100,
             lambda: 1e-5,
             newton_steps_per_iter: 1,
-            cg: CgConfig { max_iters: 10, tolerance: 1e-4 },
+            cg: CgConfig {
+                max_iters: 10,
+                tolerance: 1e-4,
+            },
             line_search: LineSearchConfig::default(),
             rho0: 1.0,
             penalty: PenaltyRule::default(),

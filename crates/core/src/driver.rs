@@ -4,6 +4,7 @@ use crate::config::NewtonAdmmConfig;
 use crate::penalty::{residual_balancing_update, spectral_update, PenaltyRule, SpectralState};
 use nadmm_cluster::{Cluster, CommStats, Communicator};
 use nadmm_data::Dataset;
+use nadmm_device::{Device, Workspace};
 use nadmm_linalg::vector;
 use nadmm_metrics::{IterationRecord, RunHistory};
 use nadmm_objective::{Objective, ProximalAugmented, SoftmaxCrossEntropy};
@@ -50,16 +51,18 @@ impl NewtonAdmm {
     /// `test` is optional and only used for instrumentation (test accuracy
     /// per iteration); it is evaluated on the root rank and broadcast into
     /// the history of every rank.
-    pub fn run_distributed(
-        &self,
-        comm: &mut dyn Communicator,
-        shard: &Dataset,
-        test: Option<&Dataset>,
-    ) -> NewtonAdmmOutput {
+    pub fn run_distributed(&self, comm: &mut dyn Communicator, shard: &Dataset, test: Option<&Dataset>) -> NewtonAdmmOutput {
         let cfg = &self.config;
+        // Per-rank execution engine: every kernel the local objective (and
+        // its ADMM-augmented wrapper) launches charges this device's
+        // simulated clock, and the accrued time is billed to the
+        // communicator after each subproblem solve. The workspace pool makes
+        // the Newton-CG inner loops allocation-free across outer iterations.
+        let device = Device::new(cfg.device);
+        let mut ws = Workspace::new();
         // The global regulariser g(z) = λ‖z‖²/2 is handled in the z-update
         // (Eq. 7), so the local objectives carry no regularisation.
-        let local = SoftmaxCrossEntropy::new(shard, 0.0);
+        let local = SoftmaxCrossEntropy::new(shard, 0.0).with_device(device.clone());
         let dim = local.dim();
         let newton = NewtonCg::new(cfg.newton_config());
 
@@ -73,26 +76,22 @@ impl NewtonAdmm {
         let mut history = RunHistory::new("newton-admm", shard.name(), comm.size());
         self.record_iteration(comm, &local, test, &z, 0, 0.0, rho, &mut history, wall_start);
 
+        // The augmented objective wraps the shard data exactly once; each
+        // outer iteration only re-anchors it in place (no reallocation).
+        let mut aug = ProximalAugmented::new(local.clone(), z.clone(), y.clone(), rho);
+
         for k in 1..=cfg.max_iters {
             // --- 1. Local subproblem: a few inexact Newton-CG steps on the
-            //        ADMM-augmented objective (Eq. 6a / Algorithm 1).
-            let aug = ProximalAugmented::new(local.clone(), z.clone(), y.clone(), rho);
-            let mut cg_total = 0usize;
-            let mut ls_total = 0usize;
+            //        ADMM-augmented objective (Eq. 6a / Algorithm 1). The
+            //        simulated time of the actual kernel launches (GEMMs,
+            //        softmax rows, HVPs, line-search values) is billed to
+            //        this rank's clock.
+            aug.set_anchor(&z, &y, rho);
+            let compute_start = device.elapsed();
             for _ in 0..cfg.newton_steps_per_iter {
-                let (x_new, cg_iters, ls_evals) = newton.step(&aug, &x);
-                x = x_new;
-                cg_total += cg_iters;
-                ls_total += ls_evals;
+                newton.step_ws(&aug, &mut x, &mut ws);
             }
-            // Charge the simulated device for the local work: one
-            // value+gradient per Newton step, one objective value per line
-            // search trial, one Hessian-vector product per CG iteration.
-            let cost = aug
-                .cost_value_grad()
-                .times((cfg.newton_steps_per_iter + ls_total) as f64)
-                .plus(aug.cost_hessian_vec().times(cg_total as f64));
-            comm.advance_compute(cfg.device.kernel_time(cost.flops, cost.bytes));
+            comm.advance_compute(device.elapsed() - compute_start);
 
             // Intermediate dual ŷ_i (uses the *old* consensus iterate) —
             // needed by the spectral penalty estimator.
@@ -129,9 +128,7 @@ impl NewtonAdmm {
                     spectral_state.z0 = z.clone();
                     residual_balancing_update(rho, primal, dual, mu, tau)
                 }
-                PenaltyRule::Spectral(spec_cfg) => {
-                    spectral_update(&spec_cfg, &mut spectral_state, k, rho, &x, &yhat, &z, &y)
-                }
+                PenaltyRule::Spectral(spec_cfg) => spectral_update(&spec_cfg, &mut spectral_state, k, rho, &x, &yhat, &z, &y),
             };
 
             // --- 4. Instrumentation: global objective, consensus residual,
@@ -146,7 +143,13 @@ impl NewtonAdmm {
             }
         }
 
-        NewtonAdmmOutput { z, history, comm_stats: comm.stats(), final_rho: rho, local_x: x }
+        NewtonAdmmOutput {
+            z,
+            history,
+            comm_stats: comm.stats(),
+            final_rho: rho,
+            local_x: x,
+        }
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -213,6 +216,14 @@ impl NewtonAdmm {
         let mut z = vec![0.0; dim];
         let mut rhos = vec![cfg.rho0; n];
         let mut states: Vec<SpectralState> = (0..n).map(|_| SpectralState::new(dim)).collect();
+        let mut workspaces: Vec<Workspace> = (0..n).map(|_| Workspace::new()).collect();
+        // One augmented wrapper per worker, re-anchored in place each outer
+        // iteration (cloning the shard-holding objective every iteration
+        // would dominate the hot loop).
+        let mut augs: Vec<ProximalAugmented<SoftmaxCrossEntropy>> = locals
+            .iter()
+            .map(|l| ProximalAugmented::new(l.clone(), z.clone(), z.clone(), cfg.rho0))
+            .collect();
 
         let wall_start = Instant::now();
         let mut history = RunHistory::new("newton-admm-reference", shards[0].name(), n);
@@ -230,10 +241,9 @@ impl NewtonAdmm {
             let mut sum_rho = 0.0;
             let mut yhats = Vec::with_capacity(n);
             for w in 0..n {
-                let aug = ProximalAugmented::new(locals[w].clone(), z.clone(), ys[w].clone(), rhos[w]);
+                augs[w].set_anchor(&z, &ys[w], rhos[w]);
                 for _ in 0..cfg.newton_steps_per_iter {
-                    let (x_new, _, _) = newton.step(&aug, &xs[w]);
-                    xs[w] = x_new;
+                    newton.step_ws(&augs[w], &mut xs[w], &mut workspaces[w]);
                 }
                 let mut yhat = ys[w].clone();
                 for i in 0..dim {
@@ -289,7 +299,7 @@ mod tests {
     use crate::penalty::SpectralConfig;
     use nadmm_cluster::NetworkModel;
     use nadmm_data::{partition_strong, SyntheticConfig};
-    use nadmm_solver::{NewtonConfig, CgConfig};
+    use nadmm_solver::{CgConfig, NewtonConfig};
 
     fn small_dataset(n: usize, classes: usize, features: usize, seed: u64) -> (Dataset, Dataset) {
         SyntheticConfig::mnist_like()
@@ -301,7 +311,11 @@ mod tests {
     }
 
     fn quick_config(iters: usize) -> NewtonAdmmConfig {
-        NewtonAdmmConfig { max_iters: iters, lambda: 1e-3, ..Default::default() }
+        NewtonAdmmConfig {
+            max_iters: iters,
+            lambda: 1e-3,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -356,11 +370,18 @@ mod tests {
         let obj = SoftmaxCrossEntropy::new(&train, lambda);
         let newton = NewtonCg::new(NewtonConfig {
             max_iters: 50,
-            cg: CgConfig { max_iters: 50, tolerance: 1e-10 },
+            cg: CgConfig {
+                max_iters: 50,
+                tolerance: 1e-10,
+            },
             ..Default::default()
         })
         .minimize(&obj, &vec![0.0; obj.dim()]);
-        let cfg = NewtonAdmmConfig { max_iters: 60, lambda, ..Default::default() };
+        let cfg = NewtonAdmmConfig {
+            max_iters: 60,
+            lambda,
+            ..Default::default()
+        };
         let admm = NewtonAdmm::new(cfg).run_reference(std::slice::from_ref(&train), None);
         let admm_value = obj.value(&admm.z);
         assert!(
@@ -380,7 +401,10 @@ mod tests {
             .run_reference(&shards, None);
         let f_fixed = fixed.history.final_objective().unwrap();
         let f_spectral = spectral.history.final_objective().unwrap();
-        assert!(f_spectral <= f_fixed * 1.10, "spectral ({f_spectral}) should not lag fixed ({f_fixed}) badly");
+        assert!(
+            f_spectral <= f_fixed * 1.10,
+            "spectral ({f_spectral}) should not lag fixed ({f_fixed}) badly"
+        );
     }
 
     #[test]
@@ -413,7 +437,12 @@ mod tests {
     fn early_stopping_on_consensus_tolerance() {
         let (train, _) = small_dataset(60, 3, 5, 8);
         let (shards, _) = partition_strong(&train, 2);
-        let cfg = NewtonAdmmConfig { max_iters: 100, lambda: 1e-2, consensus_tol: 1e-1, ..Default::default() };
+        let cfg = NewtonAdmmConfig {
+            max_iters: 100,
+            lambda: 1e-2,
+            consensus_tol: 1e-1,
+            ..Default::default()
+        };
         let cluster = Cluster::new(2, NetworkModel::ideal());
         let out = NewtonAdmm::new(cfg).run_cluster(&cluster, &shards, None);
         assert!(out.history.len() < 101, "should stop well before 100 iterations");

@@ -49,7 +49,11 @@ mod tests {
             .with_num_classes(4)
             .generate(1);
         let (shards, _) = partition_strong(&train, 2);
-        let cfg = NewtonAdmmConfig { max_iters: 5, lambda: 1e-3, ..Default::default() };
+        let cfg = NewtonAdmmConfig {
+            max_iters: 5,
+            lambda: 1e-3,
+            ..Default::default()
+        };
         let out = NewtonAdmm::new(cfg).run_reference(&shards, None);
         assert!(out.history.final_objective().unwrap() < out.history.records[0].objective);
     }

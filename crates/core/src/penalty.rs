@@ -53,7 +53,13 @@ pub struct SpectralConfig {
 
 impl Default for SpectralConfig {
     fn default() -> Self {
-        Self { correlation_threshold: 0.2, update_every: 2, safeguard: 1e10, rho_min: 1e-6, rho_max: 1e6 }
+        Self {
+            correlation_threshold: 0.2,
+            update_every: 2,
+            safeguard: 1e10,
+            rho_min: 1e-6,
+            rho_max: 1e6,
+        }
     }
 }
 
@@ -76,7 +82,13 @@ pub struct SpectralState {
 impl SpectralState {
     /// Initial state anchored at the starting iterates.
     pub fn new(dim: usize) -> Self {
-        Self { snapshot_iter: 0, x0: vec![0.0; dim], yhat0: vec![0.0; dim], z0: vec![0.0; dim], y0: vec![0.0; dim] }
+        Self {
+            snapshot_iter: 0,
+            x0: vec![0.0; dim],
+            yhat0: vec![0.0; dim],
+            z0: vec![0.0; dim],
+            y0: vec![0.0; dim],
+        }
     }
 }
 
@@ -92,7 +104,11 @@ fn bb_estimate(d_primal: &[f64], d_dual: &[f64]) -> Option<(f64, f64)> {
     }
     let alpha_sd = dd / pd; // steepest descent estimate
     let alpha_mg = pd / pp; // minimum gradient estimate
-    let estimate = if 2.0 * alpha_mg > alpha_sd { alpha_mg } else { alpha_sd - alpha_mg / 2.0 };
+    let estimate = if 2.0 * alpha_mg > alpha_sd {
+        alpha_mg
+    } else {
+        alpha_sd - alpha_mg / 2.0
+    };
     let correlation = pd / (pp.sqrt() * dd.sqrt());
     Some((estimate, correlation))
 }
@@ -113,7 +129,7 @@ pub fn spectral_update(
     z: &[f64],
     y: &[f64],
 ) -> f64 {
-    if iteration == 0 || iteration % config.update_every != 0 {
+    if iteration == 0 || !iteration.is_multiple_of(config.update_every) {
         return rho;
     }
     let dx = vector::sub(x, &state.x0);
@@ -202,10 +218,28 @@ mod tests {
         let mut state = SpectralState::new(3);
         let rho = 1.0;
         // Odd iteration (and iteration 0): no change, no snapshot refresh.
-        let r = spectral_update(&cfg, &mut state, 1, rho, &[1.0, 0.0, 0.0], &[2.0, 0.0, 0.0], &[0.5, 0.0, 0.0], &[1.0, 0.0, 0.0]);
+        let r = spectral_update(
+            &cfg,
+            &mut state,
+            1,
+            rho,
+            &[1.0, 0.0, 0.0],
+            &[2.0, 0.0, 0.0],
+            &[0.5, 0.0, 0.0],
+            &[1.0, 0.0, 0.0],
+        );
         assert_eq!(r, rho);
         assert_eq!(state.snapshot_iter, 0);
-        let r0 = spectral_update(&cfg, &mut state, 0, rho, &[1.0, 0.0, 0.0], &[2.0, 0.0, 0.0], &[0.5, 0.0, 0.0], &[1.0, 0.0, 0.0]);
+        let r0 = spectral_update(
+            &cfg,
+            &mut state,
+            0,
+            rho,
+            &[1.0, 0.0, 0.0],
+            &[2.0, 0.0, 0.0],
+            &[0.5, 0.0, 0.0],
+            &[1.0, 0.0, 0.0],
+        );
         assert_eq!(r0, rho);
     }
 
@@ -213,7 +247,11 @@ mod tests {
     fn spectral_update_tracks_known_curvature() {
         // Construct iterates where Δŷ = 4·Δx and Δy = 9·Δz; the spectral rule
         // should pick ρ = sqrt(4·9) = 6.
-        let cfg = SpectralConfig { update_every: 1, safeguard: 1e12, ..Default::default() };
+        let cfg = SpectralConfig {
+            update_every: 1,
+            safeguard: 1e12,
+            ..Default::default()
+        };
         let mut state = SpectralState::new(2);
         let x = vec![1.0, 2.0];
         let yhat: Vec<f64> = x.iter().map(|v| 4.0 * v).collect();
@@ -228,7 +266,10 @@ mod tests {
     #[test]
     fn spectral_update_falls_back_when_correlations_are_low() {
         // Orthogonal secant pairs => zero correlation => keep the old rho.
-        let cfg = SpectralConfig { update_every: 1, ..Default::default() };
+        let cfg = SpectralConfig {
+            update_every: 1,
+            ..Default::default()
+        };
         let mut state = SpectralState::new(2);
         let rho = spectral_update(&cfg, &mut state, 2, 1.7, &[1.0, 0.0], &[0.0, 1.0], &[0.0, 2.0], &[3.0, 0.0]);
         assert_eq!(rho, 1.7);
@@ -238,7 +279,11 @@ mod tests {
     fn safeguard_bounds_the_change() {
         // A huge curvature estimate at a late iteration must be clipped by
         // the 1 + C/k² bound.
-        let cfg = SpectralConfig { update_every: 1, safeguard: 1.0, ..Default::default() };
+        let cfg = SpectralConfig {
+            update_every: 1,
+            safeguard: 1.0,
+            ..Default::default()
+        };
         let mut state = SpectralState::new(1);
         let k = 10usize;
         let bound = 1.0 + 1.0 / (k as f64 * k as f64);
@@ -248,7 +293,12 @@ mod tests {
 
     #[test]
     fn hard_bounds_are_enforced() {
-        let cfg = SpectralConfig { update_every: 1, rho_min: 0.5, rho_max: 2.0, ..Default::default() };
+        let cfg = SpectralConfig {
+            update_every: 1,
+            rho_min: 0.5,
+            rho_max: 2.0,
+            ..Default::default()
+        };
         let mut state = SpectralState::new(1);
         let rho = spectral_update(&cfg, &mut state, 2, 1.0, &[1.0], &[1e9], &[1.0], &[1e9]);
         assert!(rho <= 2.0);

@@ -28,7 +28,12 @@ impl Dataset {
         assert_eq!(features.rows(), labels.len(), "features/labels length mismatch");
         assert!(num_classes >= 2, "need at least two classes");
         assert!(labels.iter().all(|&l| l < num_classes), "label out of range");
-        Self { features: features, labels, num_classes, name: name.into() }
+        Self {
+            features,
+            labels,
+            num_classes,
+            name: name.into(),
+        }
     }
 
     /// Dataset name (used in reports).
@@ -111,7 +116,10 @@ impl Dataset {
     /// # Panics
     /// Panics if the fraction is not in `(0, 1)`.
     pub fn split(&self, train_fraction: f64) -> (Dataset, Dataset) {
-        assert!(train_fraction > 0.0 && train_fraction < 1.0, "train_fraction must be in (0,1)");
+        assert!(
+            train_fraction > 0.0 && train_fraction < 1.0,
+            "train_fraction must be in (0,1)"
+        );
         let n_train = ((self.num_samples() as f64) * train_fraction).round() as usize;
         let n_train = n_train.clamp(1, self.num_samples() - 1);
         (self.slice(0, n_train), self.slice(n_train, self.num_samples()))

@@ -54,10 +54,16 @@ pub fn parse_libsvm(reader: impl BufRead, name: &str) -> Result<Dataset, LibsvmE
         }
         let row = raw_labels.len();
         let mut parts = line.split_whitespace();
-        let label_tok = parts.next().ok_or_else(|| LibsvmError::Parse { line: lineno + 1, message: "missing label".into() })?;
+        let label_tok = parts.next().ok_or_else(|| LibsvmError::Parse {
+            line: lineno + 1,
+            message: "missing label".into(),
+        })?;
         let label: i64 = label_tok
             .parse::<f64>()
-            .map_err(|e| LibsvmError::Parse { line: lineno + 1, message: format!("bad label '{label_tok}': {e}") })?
+            .map_err(|e| LibsvmError::Parse {
+                line: lineno + 1,
+                message: format!("bad label '{label_tok}': {e}"),
+            })?
             .round() as i64;
         raw_labels.push(label);
         for tok in parts {
@@ -65,21 +71,29 @@ pub fn parse_libsvm(reader: impl BufRead, name: &str) -> Result<Dataset, LibsvmE
                 line: lineno + 1,
                 message: format!("expected idx:value, got '{tok}'"),
             })?;
-            let idx: usize = idx
-                .parse()
-                .map_err(|e| LibsvmError::Parse { line: lineno + 1, message: format!("bad index '{idx}': {e}") })?;
+            let idx: usize = idx.parse().map_err(|e| LibsvmError::Parse {
+                line: lineno + 1,
+                message: format!("bad index '{idx}': {e}"),
+            })?;
             if idx == 0 {
-                return Err(LibsvmError::Parse { line: lineno + 1, message: "LIBSVM indices are 1-based".into() });
+                return Err(LibsvmError::Parse {
+                    line: lineno + 1,
+                    message: "LIBSVM indices are 1-based".into(),
+                });
             }
-            let val: f64 = val
-                .parse()
-                .map_err(|e| LibsvmError::Parse { line: lineno + 1, message: format!("bad value '{val}': {e}") })?;
+            let val: f64 = val.parse().map_err(|e| LibsvmError::Parse {
+                line: lineno + 1,
+                message: format!("bad value '{val}': {e}"),
+            })?;
             max_col = max_col.max(idx);
             triplets.push((row, idx - 1, val));
         }
     }
     if raw_labels.is_empty() {
-        return Err(LibsvmError::Parse { line: 0, message: "empty input".into() });
+        return Err(LibsvmError::Parse {
+            line: 0,
+            message: "empty input".into(),
+        });
     }
     // Remap labels to 0..C.
     let mut distinct: Vec<i64> = raw_labels.clone();
@@ -88,7 +102,7 @@ pub fn parse_libsvm(reader: impl BufRead, name: &str) -> Result<Dataset, LibsvmE
     let num_classes = distinct.len().max(2);
     let labels: Vec<usize> = raw_labels
         .iter()
-        .map(|l| distinct.binary_search(l).expect("label present") as usize)
+        .map(|l| distinct.binary_search(l).expect("label present"))
         .collect();
     let features = CsrMatrix::from_triplets(raw_labels.len(), max_col.max(1), &triplets);
     Ok(Dataset::new(name, Matrix::Sparse(features), labels, num_classes))
@@ -97,7 +111,12 @@ pub fn parse_libsvm(reader: impl BufRead, name: &str) -> Result<Dataset, LibsvmE
 /// Reads and parses a LIBSVM file from disk.
 pub fn read_libsvm(path: impl AsRef<Path>) -> Result<Dataset, LibsvmError> {
     let file = std::fs::File::open(path.as_ref())?;
-    let name = path.as_ref().file_stem().and_then(|s| s.to_str()).unwrap_or("libsvm").to_string();
+    let name = path
+        .as_ref()
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("libsvm")
+        .to_string();
     parse_libsvm(std::io::BufReader::new(file), &name)
 }
 

@@ -48,7 +48,11 @@ pub fn partition_strong(data: &Dataset, num_workers: usize) -> (Vec<Dataset>, Pa
         sizes.push(len);
         start += len;
     }
-    let plan = PartitionPlan { num_workers, samples_per_worker: sizes, mode: "strong".to_string() };
+    let plan = PartitionPlan {
+        num_workers,
+        samples_per_worker: sizes,
+        mode: "strong".to_string(),
+    };
     (shards, plan)
 }
 

@@ -281,7 +281,10 @@ mod tests {
 
     #[test]
     fn generators_produce_requested_shapes() {
-        let cfg = SyntheticConfig::mnist_like().with_train_size(120).with_test_size(30).with_num_features(20);
+        let cfg = SyntheticConfig::mnist_like()
+            .with_train_size(120)
+            .with_test_size(30)
+            .with_num_features(20);
         let (train, test) = cfg.generate(7);
         assert_eq!(train.num_samples(), 120);
         assert_eq!(test.num_samples(), 30);
@@ -300,7 +303,10 @@ mod tests {
 
     #[test]
     fn e18_like_is_sparse() {
-        let cfg = SyntheticConfig::e18_like().with_train_size(80).with_test_size(20).with_num_features(200);
+        let cfg = SyntheticConfig::e18_like()
+            .with_train_size(80)
+            .with_test_size(20)
+            .with_num_features(200);
         let (train, _) = cfg.generate(11);
         assert!(train.is_sparse());
         assert_eq!(train.num_classes(), 20);
@@ -311,7 +317,10 @@ mod tests {
 
     #[test]
     fn all_classes_are_represented_for_reasonable_sizes() {
-        let cfg = SyntheticConfig::mnist_like().with_train_size(500).with_test_size(50).with_num_features(10);
+        let cfg = SyntheticConfig::mnist_like()
+            .with_train_size(500)
+            .with_test_size(50)
+            .with_num_features(10);
         let (train, _) = cfg.generate(5);
         let hist = train.class_histogram();
         assert!(hist.iter().all(|&h| h > 0), "every class should appear: {hist:?}");
@@ -319,7 +328,10 @@ mod tests {
 
     #[test]
     fn seeds_are_deterministic_and_distinct() {
-        let cfg = SyntheticConfig::higgs_like().with_train_size(50).with_test_size(10).with_num_features(5);
+        let cfg = SyntheticConfig::higgs_like()
+            .with_train_size(50)
+            .with_test_size(10)
+            .with_num_features(5);
         let (a, _) = cfg.generate(1);
         let (b, _) = cfg.generate(1);
         let (c, _) = cfg.generate(2);
@@ -353,7 +365,13 @@ mod tests {
         let (train, test) = cfg.generate(13);
         for class in 0..3 {
             let mean_of = |d: &crate::dataset::Dataset| {
-                let idx: Vec<usize> = d.labels().iter().enumerate().filter(|(_, &l)| l == class).map(|(i, _)| i).collect();
+                let idx: Vec<usize> = d
+                    .labels()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &l)| l == class)
+                    .map(|(i, _)| i)
+                    .collect();
                 let sel = d.select(&idx).features().to_dense();
                 sel.col_means()
             };
@@ -369,7 +387,11 @@ mod tests {
 
     #[test]
     fn builder_overrides_apply() {
-        let cfg = SyntheticConfig::cifar10_like().with_num_classes(4).with_num_features(16).with_train_size(40).with_test_size(8);
+        let cfg = SyntheticConfig::cifar10_like()
+            .with_num_classes(4)
+            .with_num_features(16)
+            .with_train_size(40)
+            .with_test_size(8);
         let (train, test) = cfg.generate(9);
         assert_eq!(train.num_classes(), 4);
         assert_eq!(train.num_features(), 16);

@@ -44,7 +44,13 @@ struct DeviceState {
 impl Device {
     /// Creates a device with the given hardware spec.
     pub fn new(spec: DeviceSpec) -> Self {
-        Self { spec, state: Arc::new(Mutex::new(DeviceState { clock: SimClock::new(), stats: DeviceStats::default() })) }
+        Self {
+            spec,
+            state: Arc::new(Mutex::new(DeviceState {
+                clock: SimClock::new(),
+                stats: DeviceStats::default(),
+            })),
+        }
     }
 
     /// Creates a Tesla-P100-class device (the paper's accelerator).
@@ -96,7 +102,7 @@ impl Device {
 
     /// Uploads host data into a device buffer, charging the transfer.
     pub fn upload(&self, data: &[f64]) -> DeviceBuffer {
-        self.charge_transfer((data.len() * std::mem::size_of::<f64>()) as f64);
+        self.charge_transfer(std::mem::size_of_val(data) as f64);
         DeviceBuffer::from_host_unchecked(data.to_vec())
     }
 
@@ -120,6 +126,13 @@ impl Device {
 
     /// Margin kernel `Z = X Wᵀ` (`X`: n×p features, `W`: k×p weights).
     pub fn gemm_nt(&self, x: &Matrix, w: &DenseMatrix) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(x.rows(), w.rows());
+        self.gemm_nt_into(x, w, &mut out);
+        out
+    }
+
+    /// In-place margin kernel `out = X Wᵀ` (`out` pre-sized to n×k).
+    pub fn gemm_nt_into(&self, x: &Matrix, w: &DenseMatrix, out: &mut DenseMatrix) {
         let n = x.rows() as f64;
         let k = w.rows() as f64;
         let nnz = x.stored_entries() as f64;
@@ -127,31 +140,53 @@ impl Device {
         let flops = 2.0 * nnz * k;
         let bytes = (x.storage_bytes() as f64) + (w.len() as f64 + n * k) * 8.0;
         self.charge_kernel(flops, bytes);
-        x.gemm_nt(w).expect("device gemm_nt: shape mismatch")
+        x.gemm_nt_into(w, out).expect("device gemm_nt: shape mismatch");
     }
 
     /// Gradient-accumulation kernel `G = Mᵀ X` (`M`: n×k, `X`: n×p).
     pub fn gemm_tn(&self, x: &Matrix, m: &DenseMatrix) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(m.cols(), x.cols());
+        self.gemm_tn_into(x, m, &mut out);
+        out
+    }
+
+    /// In-place gradient-accumulation kernel `out = Mᵀ X` (`out` pre-sized to
+    /// k×p).
+    pub fn gemm_tn_into(&self, x: &Matrix, m: &DenseMatrix, out: &mut DenseMatrix) {
         let k = m.cols() as f64;
         let nnz = x.stored_entries() as f64;
         let flops = 2.0 * nnz * k;
         let bytes = (x.storage_bytes() as f64) + (m.len() as f64 + k * x.cols() as f64) * 8.0;
         self.charge_kernel(flops, bytes);
-        x.gemm_tn_from_dense(m).expect("device gemm_tn: shape mismatch")
+        x.gemm_tn_from_dense_into(m, out).expect("device gemm_tn: shape mismatch");
     }
 
     /// Matrix–vector product `X v`.
     pub fn matvec(&self, x: &Matrix, v: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; x.rows()];
+        self.matvec_into(x, v, &mut out);
+        out
+    }
+
+    /// In-place matrix–vector product `out = X v`.
+    pub fn matvec_into(&self, x: &Matrix, v: &[f64], out: &mut [f64]) {
         let nnz = x.stored_entries() as f64;
         self.charge_kernel(2.0 * nnz, x.storage_bytes() as f64 + (v.len() + x.rows()) as f64 * 8.0);
-        x.matvec(v).expect("device matvec: shape mismatch")
+        x.matvec_into(v, out).expect("device matvec: shape mismatch");
     }
 
     /// Transposed matrix–vector product `Xᵀ v`.
     pub fn t_matvec(&self, x: &Matrix, v: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; x.cols()];
+        self.t_matvec_into(x, v, &mut out);
+        out
+    }
+
+    /// In-place transposed matrix–vector product `out = Xᵀ v`.
+    pub fn t_matvec_into(&self, x: &Matrix, v: &[f64], out: &mut [f64]) {
         let nnz = x.stored_entries() as f64;
         self.charge_kernel(2.0 * nnz, x.storage_bytes() as f64 + (v.len() + x.cols()) as f64 * 8.0);
-        x.t_matvec(v).expect("device t_matvec: shape mismatch")
+        x.t_matvec_into(v, out).expect("device t_matvec: shape mismatch");
     }
 
     /// Dot product of two device-sized vectors.
@@ -166,28 +201,60 @@ impl Device {
         vector::axpy(a, x, y);
     }
 
+    /// Fused AXPY + squared norm: `y ← a·x + y`, returning `‖y‖₂²` of the
+    /// updated vector. One kernel launch (and one pass over `y`) instead of
+    /// the separate [`Device::axpy`] + [`Device::norm2`] pair — this is the
+    /// CG residual-update kernel.
+    pub fn axpy_dot(&self, a: f64, x: &[f64], y: &mut [f64]) -> f64 {
+        self.charge_kernel(4.0 * x.len() as f64, (2 * x.len()) as f64 * 8.0);
+        vector::axpy_dot(a, x, y)
+    }
+
     /// Euclidean norm of a device-sized vector.
     pub fn norm2(&self, x: &[f64]) -> f64 {
         self.charge_kernel(2.0 * x.len() as f64, x.len() as f64 * 8.0);
         vector::norm2(x)
     }
 
+    /// Scale `x ← a·x`.
+    pub fn scale(&self, a: f64, x: &mut [f64]) {
+        self.charge_kernel(x.len() as f64, (2 * x.len()) as f64 * 8.0);
+        vector::scale(a, x);
+    }
+
+    /// Copy kernel `dst ← src`.
+    pub fn copy(&self, src: &[f64], dst: &mut [f64]) {
+        self.charge_kernel(0.0, (2 * src.len()) as f64 * 8.0);
+        vector::copy(src, dst);
+    }
+
     /// Row-wise softmax-with-reference-class kernel used by the softmax
     /// objective: for each row of `margins` (n×(C−1)), writes the class
     /// probabilities in place and returns the per-row log-partition values.
     pub fn softmax_rows(&self, margins: &mut DenseMatrix) -> Vec<f64> {
+        let mut logz = vec![0.0; margins.rows()];
+        let mut scratch = vec![0.0; margins.cols()];
+        self.softmax_rows_into(margins, &mut scratch, &mut logz);
+        logz
+    }
+
+    /// In-place row-wise softmax kernel: overwrites each row of `margins`
+    /// with its class probabilities and writes the per-row log-partition
+    /// values into `logz`. `row_scratch` must have `margins.cols()` elements;
+    /// it is the only working storage, so repeated launches with pooled
+    /// buffers allocate nothing.
+    pub fn softmax_rows_into(&self, margins: &mut DenseMatrix, row_scratch: &mut [f64], logz: &mut [f64]) {
         let n = margins.rows();
         let c = margins.cols();
+        assert_eq!(row_scratch.len(), c, "softmax_rows_into: scratch must hold one row");
+        assert_eq!(logz.len(), n, "softmax_rows_into: logz must hold one value per row");
         // exp + div per element, max/add per row — call it 5 flops/element.
         self.charge_kernel(5.0 * (n * c) as f64, 2.0 * (n * c) as f64 * 8.0);
-        let mut logz = vec![0.0; n];
-        for i in 0..n {
+        for (i, lz) in logz.iter_mut().enumerate() {
             let row = margins.row_mut(i);
-            let mut probs = vec![0.0; c];
-            logz[i] = nadmm_linalg::reduce::softmax_with_reference(row, &mut probs);
-            row.copy_from_slice(&probs);
+            *lz = nadmm_linalg::reduce::softmax_with_reference(row, row_scratch);
+            row.copy_from_slice(row_scratch);
         }
-        logz
     }
 }
 
@@ -284,7 +351,7 @@ mod tests {
         for i in 0..2 {
             let s: f64 = m.row(i).iter().sum();
             assert!(s < 1.0 && s > 0.0);
-            assert!(m.row(i).iter().all(|&p| p >= 0.0 && p <= 1.0));
+            assert!(m.row(i).iter().all(|&p| (0.0..=1.0).contains(&p)));
         }
     }
 

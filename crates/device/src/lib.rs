@@ -20,16 +20,27 @@
 //! experiment harness reports as "GPU time", which preserves the *relative*
 //! per-epoch behaviour the paper relies on (compute-bound GEMMs vs
 //! latency-bound small kernels) without the hardware.
+//!
+//! This crate is the workspace's **execution engine**: every hot-path kernel
+//! of the objectives and solvers launches through [`Device`] (in-place
+//! variants — `gemm_nt_into`, `gemm_tn_into`, `matvec_into`,
+//! `t_matvec_into`, `softmax_rows_into`, the fused `axpy_dot`), with scratch
+//! storage pooled in a [`Workspace`] so steady-state solver loops allocate
+//! nothing. See the workspace README's "Execution engine" section for the
+//! full Device → Workspace → Objective → Solver layering and how to add a
+//! real GPU or `f32` backend behind this seam.
 
 pub mod buffer;
 pub mod clock;
 pub mod device;
 pub mod spec;
+pub mod workspace;
 
 pub use buffer::DeviceBuffer;
 pub use clock::SimClock;
-pub use device::Device;
+pub use device::{Device, DeviceStats};
 pub use spec::DeviceSpec;
+pub use workspace::{Workspace, WorkspaceStats};
 
 #[cfg(test)]
 mod tests {

@@ -68,8 +68,16 @@ impl DeviceSpec {
     /// `bytes` of device memory: launch latency plus the roofline maximum of
     /// the compute and memory terms.
     pub fn kernel_time(&self, flops: f64, bytes: f64) -> f64 {
-        let compute = if self.flops_per_sec > 0.0 { flops / self.flops_per_sec } else { 0.0 };
-        let memory = if self.mem_bandwidth > 0.0 { bytes / self.mem_bandwidth } else { 0.0 };
+        let compute = if self.flops_per_sec > 0.0 {
+            flops / self.flops_per_sec
+        } else {
+            0.0
+        };
+        let memory = if self.mem_bandwidth > 0.0 {
+            bytes / self.mem_bandwidth
+        } else {
+            0.0
+        };
         self.launch_latency + compute.max(memory)
     }
 

@@ -2,7 +2,7 @@
 
 use crate::error::{LinalgError, Result};
 use crate::vector;
-use crate::PAR_THRESHOLD;
+
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -21,7 +21,11 @@ pub struct DenseMatrix {
 impl DenseMatrix {
     /// Creates a `rows × cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a matrix from an existing row-major buffer.
@@ -29,7 +33,12 @@ impl DenseMatrix {
     /// # Panics
     /// Panics if `data.len() != rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
-        assert_eq!(data.len(), rows * cols, "from_vec: buffer length {} != {rows}x{cols}", data.len());
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "from_vec: buffer length {} != {rows}x{cols}",
+            data.len()
+        );
         Self { rows, cols, data }
     }
 
@@ -63,7 +72,11 @@ impl DenseMatrix {
             assert_eq!(r.len(), cols, "from_rows: inconsistent row length");
             data.extend_from_slice(r);
         }
-        Self { rows: rows.len(), cols, data }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// Number of rows.
@@ -140,7 +153,11 @@ impl DenseMatrix {
 
     /// Returns a new matrix containing rows `range.start..range.end`.
     pub fn slice_rows(&self, start: usize, end: usize) -> DenseMatrix {
-        assert!(start <= end && end <= self.rows, "slice_rows: invalid range {start}..{end} of {}", self.rows);
+        assert!(
+            start <= end && end <= self.rows,
+            "slice_rows: invalid range {start}..{end} of {}",
+            self.rows
+        );
         DenseMatrix {
             rows: end - start,
             cols: self.cols,
@@ -155,7 +172,11 @@ impl DenseMatrix {
             assert!(i < self.rows, "select_rows: row {i} out of {}", self.rows);
             data.extend_from_slice(self.row(i));
         }
-        DenseMatrix { rows: indices.len(), cols: self.cols, data }
+        DenseMatrix {
+            rows: indices.len(),
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Transposed copy of the matrix.
@@ -179,25 +200,37 @@ impl DenseMatrix {
     /// # Errors
     /// Returns [`LinalgError::ShapeMismatch`] if `x.len() != cols`.
     pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>> {
-        if x.len() != self.cols {
+        let mut y = vec![0.0; self.rows];
+        self.matvec_into(x, &mut y)?;
+        Ok(y)
+    }
+
+    /// In-place matrix–vector product `y = A x` writing into `y` (the
+    /// allocation-free core that [`DenseMatrix::matvec`] wraps).
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] if `x.len() != cols` or
+    /// `y.len() != rows`.
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) -> Result<()> {
+        if x.len() != self.cols || y.len() != self.rows {
             return Err(LinalgError::ShapeMismatch(format!(
-                "matvec: A is {}x{}, x has length {}",
+                "matvec_into: A is {}x{}, x has length {}, y has length {}",
                 self.rows,
                 self.cols,
-                x.len()
+                x.len(),
+                y.len()
             )));
         }
-        let mut y = vec![0.0; self.rows];
-        if self.data.len() < PAR_THRESHOLD {
+        if self.data.len() < crate::par_threshold() {
             for (i, yi) in y.iter_mut().enumerate() {
                 *yi = vector::dot(self.row(i), x);
             }
         } else {
             y.par_iter_mut().enumerate().for_each(|(i, yi)| {
-                *yi = self.row(i).iter().zip(x).map(|(a, b)| a * b).sum();
+                *yi = vector::dot_kernel(self.row(i), x);
             });
         }
-        Ok(y)
+        Ok(())
     }
 
     /// Transposed matrix–vector product `y = Aᵀ x`.
@@ -205,25 +238,39 @@ impl DenseMatrix {
     /// # Errors
     /// Returns [`LinalgError::ShapeMismatch`] if `x.len() != rows`.
     pub fn t_matvec(&self, x: &[f64]) -> Result<Vec<f64>> {
-        if x.len() != self.rows {
+        let mut y = vec![0.0; self.cols];
+        self.t_matvec_into(x, &mut y)?;
+        Ok(y)
+    }
+
+    /// In-place transposed matrix–vector product `y = Aᵀ x` (the core that
+    /// [`DenseMatrix::t_matvec`] wraps). The sequential path below the
+    /// parallel threshold accumulates directly into `y` with no scratch.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] if `x.len() != rows` or
+    /// `y.len() != cols`.
+    pub fn t_matvec_into(&self, x: &[f64], y: &mut [f64]) -> Result<()> {
+        if x.len() != self.rows || y.len() != self.cols {
             return Err(LinalgError::ShapeMismatch(format!(
-                "t_matvec: A is {}x{}, x has length {}",
+                "t_matvec_into: A is {}x{}, x has length {}, y has length {}",
                 self.rows,
                 self.cols,
-                x.len()
+                x.len(),
+                y.len()
             )));
         }
-        if self.data.len() < PAR_THRESHOLD {
-            let mut y = vec![0.0; self.cols];
-            for i in 0..self.rows {
-                vector::axpy(x[i], self.row(i), &mut y);
+        if self.data.len() < crate::par_threshold() {
+            vector::fill(y, 0.0);
+            for (i, &xi) in x.iter().enumerate() {
+                vector::axpy(xi, self.row(i), y);
             }
-            Ok(y)
+            Ok(())
         } else {
             // Parallel over row chunks with thread-local accumulators.
             let cols = self.cols;
             let chunk = (self.rows / rayon::current_num_threads().max(1)).max(64);
-            let y = self
+            let acc = self
                 .data
                 .par_chunks(chunk * cols)
                 .enumerate()
@@ -242,7 +289,8 @@ impl DenseMatrix {
                         a
                     },
                 );
-            Ok(y)
+            y.copy_from_slice(&acc);
+            Ok(())
         }
     }
 
@@ -259,20 +307,17 @@ impl DenseMatrix {
         }
         let mut out = DenseMatrix::zeros(self.rows, b.cols);
         let bcols = b.cols;
-        out.data
-            .par_chunks_mut(bcols)
-            .enumerate()
-            .for_each(|(i, out_row)| {
-                let arow = self.row(i);
-                for (k, &aik) in arow.iter().enumerate() {
-                    if aik != 0.0 {
-                        let brow = b.row(k);
-                        for (j, bv) in brow.iter().enumerate() {
-                            out_row[j] += aik * bv;
-                        }
+        out.data.par_chunks_mut(bcols).enumerate().for_each(|(i, out_row)| {
+            let arow = self.row(i);
+            for (k, &aik) in arow.iter().enumerate() {
+                if aik != 0.0 {
+                    let brow = b.row(k);
+                    for (j, bv) in brow.iter().enumerate() {
+                        out_row[j] += aik * bv;
                     }
                 }
-            });
+            }
+        });
         Ok(out)
     }
 
@@ -282,24 +327,32 @@ impl DenseMatrix {
     /// # Errors
     /// Returns [`LinalgError::ShapeMismatch`] if `A.cols != B.cols`.
     pub fn gemm_nt(&self, b: &DenseMatrix) -> Result<DenseMatrix> {
-        if self.cols != b.cols {
+        let mut out = DenseMatrix::zeros(self.rows, b.rows);
+        self.gemm_nt_into(b, &mut out)?;
+        Ok(out)
+    }
+
+    /// In-place `C = A · Bᵀ` writing into a pre-sized `out` (the core that
+    /// [`DenseMatrix::gemm_nt`] wraps).
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] if `A.cols != B.cols` or `out`
+    /// is not `A.rows × B.rows`.
+    pub fn gemm_nt_into(&self, b: &DenseMatrix, out: &mut DenseMatrix) -> Result<()> {
+        if self.cols != b.cols || out.rows != self.rows || out.cols != b.rows {
             return Err(LinalgError::ShapeMismatch(format!(
-                "gemm_nt: {}x{} times ({}x{})ᵀ",
-                self.rows, self.cols, b.rows, b.cols
+                "gemm_nt_into: {}x{} times ({}x{})ᵀ into {}x{}",
+                self.rows, self.cols, b.rows, b.cols, out.rows, out.cols
             )));
         }
-        let mut out = DenseMatrix::zeros(self.rows, b.rows);
         let brows = b.rows;
-        out.data
-            .par_chunks_mut(brows)
-            .enumerate()
-            .for_each(|(i, out_row)| {
-                let arow = self.row(i);
-                for (j, oj) in out_row.iter_mut().enumerate() {
-                    *oj = arow.iter().zip(b.row(j)).map(|(x, y)| x * y).sum();
-                }
-            });
-        Ok(out)
+        out.data.par_chunks_mut(brows).enumerate().for_each(|(i, out_row)| {
+            let arow = self.row(i);
+            for (j, oj) in out_row.iter_mut().enumerate() {
+                *oj = vector::dot_kernel(arow, b.row(j));
+            }
+        });
+        Ok(())
     }
 
     /// `C = Aᵀ · B` — used for gradient accumulation `G = (P − Y)ᵀ X`.
@@ -307,20 +360,47 @@ impl DenseMatrix {
     /// # Errors
     /// Returns [`LinalgError::ShapeMismatch`] if `A.rows != B.rows`.
     pub fn gemm_tn(&self, b: &DenseMatrix) -> Result<DenseMatrix> {
-        if self.rows != b.rows {
+        let mut out = DenseMatrix::zeros(self.cols, b.cols);
+        self.gemm_tn_into(b, &mut out)?;
+        Ok(out)
+    }
+
+    /// In-place `C = Aᵀ · B` writing into a pre-sized `out` (the core that
+    /// [`DenseMatrix::gemm_tn`] wraps). Below the parallel threshold the
+    /// accumulation runs directly into `out` with no scratch allocations —
+    /// this is the gradient/HVP reduction kernel of the solver hot loop.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] if `A.rows != B.rows` or `out`
+    /// is not `A.cols × B.cols`.
+    pub fn gemm_tn_into(&self, b: &DenseMatrix, out: &mut DenseMatrix) -> Result<()> {
+        if self.rows != b.rows || out.rows != self.cols || out.cols != b.cols {
             return Err(LinalgError::ShapeMismatch(format!(
-                "gemm_tn: ({}x{})ᵀ times {}x{}",
-                self.rows, self.cols, b.rows, b.cols
+                "gemm_tn_into: ({}x{})ᵀ times {}x{} into {}x{}",
+                self.rows, self.cols, b.rows, b.cols, out.rows, out.cols
             )));
         }
         let m = self.cols;
         let n = b.cols;
+        if self.data.len().max(b.data.len()) < crate::par_threshold() {
+            vector::fill(&mut out.data, 0.0);
+            for r in 0..self.rows {
+                let arow = self.row(r);
+                let brow = b.row(r);
+                for (k, &av) in arow.iter().enumerate() {
+                    if av != 0.0 {
+                        let dst = &mut out.data[k * n..(k + 1) * n];
+                        for (j, bv) in brow.iter().enumerate() {
+                            dst[j] += av * bv;
+                        }
+                    }
+                }
+            }
+            return Ok(());
+        }
         let nthreads = rayon::current_num_threads().max(1);
         let chunk = (self.rows / nthreads).max(64);
-        let row_ranges: Vec<(usize, usize)> = (0..self.rows)
-            .step_by(chunk)
-            .map(|s| (s, (s + chunk).min(self.rows)))
-            .collect();
+        let row_ranges: Vec<(usize, usize)> = (0..self.rows).step_by(chunk).map(|s| (s, (s + chunk).min(self.rows))).collect();
         let acc = row_ranges
             .into_par_iter()
             .map(|(s, e)| {
@@ -346,7 +426,8 @@ impl DenseMatrix {
                     a
                 },
             );
-        Ok(DenseMatrix { rows: m, cols: n, data: acc })
+        out.data.copy_from_slice(&acc);
+        Ok(())
     }
 
     /// In-place scalar multiplication.

@@ -47,7 +47,10 @@ pub fn uniform_vector(n: usize, lo: f64, hi: f64, rng: &mut impl Rng) -> Vec<f64
 /// Panics if `spectrum.len() != n` or any eigenvalue is non-positive.
 pub fn spd_with_spectrum(n: usize, spectrum: &[f64], rng: &mut impl Rng) -> DenseMatrix {
     assert_eq!(spectrum.len(), n, "spd_with_spectrum: need {n} eigenvalues");
-    assert!(spectrum.iter().all(|&s| s > 0.0), "spd_with_spectrum: eigenvalues must be positive");
+    assert!(
+        spectrum.iter().all(|&s| s > 0.0),
+        "spd_with_spectrum: eigenvalues must be positive"
+    );
     let q = random_orthogonal(n, rng);
     // A = Q diag(s) Qᵀ
     let mut scaled = q.clone();
@@ -213,7 +216,7 @@ mod tests {
     fn permutation_is_bijective() {
         let mut rng = seeded_rng(2);
         let p = permutation(50, &mut rng);
-        let mut seen = vec![false; 50];
+        let mut seen = [false; 50];
         for &i in &p {
             assert!(!seen[i]);
             seen[i] = true;

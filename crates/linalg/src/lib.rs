@@ -32,13 +32,73 @@ pub use error::{LinalgError, Result};
 pub use matrix::Matrix;
 pub use sparse::CsrMatrix;
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Default rayon cutover threshold when neither the environment variable nor
+/// [`set_par_threshold`] overrides it.
+pub const DEFAULT_PAR_THRESHOLD: usize = 16 * 1024;
+
+static PAR_THRESHOLD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+static PAR_THRESHOLD_OVERRIDDEN: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+static PAR_THRESHOLD_ENV: OnceLock<usize> = OnceLock::new();
+
 /// Threshold (in number of scalar elements touched) below which kernels run
 /// sequentially instead of paying rayon's fork/join overhead.
-pub(crate) const PAR_THRESHOLD: usize = 16 * 1024;
+///
+/// Resolution order: the last value passed to [`set_par_threshold`], then the
+/// `NADMM_PAR_THRESHOLD` environment variable (read once), then
+/// [`DEFAULT_PAR_THRESHOLD`]. Small-problem test suites can force the
+/// sequential path (`NADMM_PAR_THRESHOLD=18446744073709551615`) and large
+/// benches can force the parallel one (`NADMM_PAR_THRESHOLD=0`) without
+/// recompiling.
+#[inline]
+pub fn par_threshold() -> usize {
+    if PAR_THRESHOLD_OVERRIDDEN.load(Ordering::Relaxed) {
+        return PAR_THRESHOLD_OVERRIDE.load(Ordering::Relaxed);
+    }
+    *PAR_THRESHOLD_ENV.get_or_init(|| {
+        std::env::var("NADMM_PAR_THRESHOLD")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(DEFAULT_PAR_THRESHOLD)
+    })
+}
+
+/// Overrides the rayon cutover threshold at runtime (process-wide). Passing
+/// `usize::MAX` disables parallel kernels entirely; passing `0` forces them.
+pub fn set_par_threshold(threshold: usize) {
+    PAR_THRESHOLD_OVERRIDE.store(threshold, Ordering::Relaxed);
+    PAR_THRESHOLD_OVERRIDDEN.store(true, Ordering::Relaxed);
+}
+
+/// Clears any [`set_par_threshold`] override, returning to the environment /
+/// default resolution.
+pub fn reset_par_threshold() {
+    PAR_THRESHOLD_OVERRIDDEN.store(false, Ordering::Relaxed);
+}
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn par_threshold_override_round_trips() {
+        let before = par_threshold();
+        set_par_threshold(42);
+        assert_eq!(par_threshold(), 42);
+        set_par_threshold(0);
+        assert_eq!(par_threshold(), 0);
+        // Kernels must still be correct when forced onto the parallel path.
+        let x: Vec<f64> = (0..100).map(|i| i as f64 * 0.25).collect();
+        let y: Vec<f64> = (0..100).map(|i| (i % 7) as f64).collect();
+        let forced_par = vector::dot(&x, &y);
+        set_par_threshold(usize::MAX);
+        let forced_seq = vector::dot(&x, &y);
+        assert!((forced_par - forced_seq).abs() < 1e-9 * forced_seq.abs().max(1.0));
+        reset_par_threshold();
+        assert_eq!(par_threshold(), before);
+    }
 
     #[test]
     fn crate_level_reexports_work() {

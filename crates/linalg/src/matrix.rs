@@ -65,6 +65,22 @@ impl Matrix {
         }
     }
 
+    /// In-place matrix–vector product `y = A x`.
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) -> Result<()> {
+        match self {
+            Matrix::Dense(m) => m.matvec_into(x, y),
+            Matrix::Sparse(m) => m.matvec_into(x, y),
+        }
+    }
+
+    /// In-place transposed matrix–vector product `y = Aᵀ x`.
+    pub fn t_matvec_into(&self, x: &[f64], y: &mut [f64]) -> Result<()> {
+        match self {
+            Matrix::Dense(m) => m.t_matvec_into(x, y),
+            Matrix::Sparse(m) => m.t_matvec_into(x, y),
+        }
+    }
+
     /// `A · Wᵀ` with dense `W` (shape `k × cols`); returns dense `rows × k`.
     ///
     /// This computes the per-sample class margins `Z = X Wᵀ`.
@@ -83,6 +99,22 @@ impl Matrix {
         match self {
             Matrix::Dense(a) => m.gemm_tn(a),
             Matrix::Sparse(a) => a.gemm_tn_from_dense(m),
+        }
+    }
+
+    /// In-place `A · Wᵀ` into a pre-sized dense `out` (`rows × W.rows`).
+    pub fn gemm_nt_into(&self, w: &DenseMatrix, out: &mut DenseMatrix) -> Result<()> {
+        match self {
+            Matrix::Dense(m) => m.gemm_nt_into(w, out),
+            Matrix::Sparse(m) => m.gemm_nt_into(w, out),
+        }
+    }
+
+    /// In-place `Mᵀ · A` into a pre-sized dense `out` (`M.cols × cols`).
+    pub fn gemm_tn_from_dense_into(&self, m: &DenseMatrix, out: &mut DenseMatrix) -> Result<()> {
+        match self {
+            Matrix::Dense(a) => m.gemm_tn_into(a, out),
+            Matrix::Sparse(a) => a.gemm_tn_from_dense_into(m, out),
         }
     }
 

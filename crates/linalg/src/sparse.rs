@@ -56,7 +56,13 @@ impl CsrMatrix {
             }
             indptr.push(indices.len());
         }
-        Self { rows, cols, indptr, indices, values }
+        Self {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        }
     }
 
     /// Builds a CSR matrix directly from raw CSR arrays.
@@ -71,7 +77,13 @@ impl CsrMatrix {
             assert!(w[0] <= w[1], "indptr must be non-decreasing");
         }
         assert!(indices.iter().all(|&c| c < cols), "column index out of bounds");
-        Self { rows, cols, indptr, indices, values }
+        Self {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        }
     }
 
     /// Converts a dense matrix to CSR, dropping exact zeros.
@@ -139,20 +151,32 @@ impl CsrMatrix {
     /// # Errors
     /// Returns [`LinalgError::ShapeMismatch`] if `x.len() != cols`.
     pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>> {
-        if x.len() != self.cols {
+        let mut y = vec![0.0; self.rows];
+        self.matvec_into(x, &mut y)?;
+        Ok(y)
+    }
+
+    /// In-place sparse matrix–vector product `y = A x` (the core that
+    /// [`CsrMatrix::matvec`] wraps).
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] if `x.len() != cols` or
+    /// `y.len() != rows`.
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) -> Result<()> {
+        if x.len() != self.cols || y.len() != self.rows {
             return Err(LinalgError::ShapeMismatch(format!(
-                "csr matvec: A is {}x{}, x has length {}",
+                "csr matvec_into: A is {}x{}, x has length {}, y has length {}",
                 self.rows,
                 self.cols,
-                x.len()
+                x.len(),
+                y.len()
             )));
         }
-        let mut y = vec![0.0; self.rows];
         y.par_iter_mut().enumerate().for_each(|(i, yi)| {
             let (cols, vals) = self.row(i);
-            *yi = cols.iter().zip(vals).map(|(&c, &v)| v * x[c]).sum();
+            *yi = vector::gather_dot(cols, vals, x);
         });
-        Ok(y)
+        Ok(())
     }
 
     /// Transposed sparse matrix–vector product `y = Aᵀ x`.
@@ -160,27 +184,49 @@ impl CsrMatrix {
     /// # Errors
     /// Returns [`LinalgError::ShapeMismatch`] if `x.len() != rows`.
     pub fn t_matvec(&self, x: &[f64]) -> Result<Vec<f64>> {
-        if x.len() != self.rows {
+        let mut y = vec![0.0; self.cols];
+        self.t_matvec_into(x, &mut y)?;
+        Ok(y)
+    }
+
+    /// In-place transposed sparse matrix–vector product `y = Aᵀ x` (the core
+    /// that [`CsrMatrix::t_matvec`] wraps). Below the parallel threshold the
+    /// scatter runs directly into `y` with no scratch allocations.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] if `x.len() != rows` or
+    /// `y.len() != cols`.
+    pub fn t_matvec_into(&self, x: &[f64], y: &mut [f64]) -> Result<()> {
+        if x.len() != self.rows || y.len() != self.cols {
             return Err(LinalgError::ShapeMismatch(format!(
-                "csr t_matvec: A is {}x{}, x has length {}",
+                "csr t_matvec_into: A is {}x{}, x has length {}, y has length {}",
                 self.rows,
                 self.cols,
-                x.len()
+                x.len(),
+                y.len()
             )));
+        }
+        if self.nnz() < crate::par_threshold() {
+            vector::fill(y, 0.0);
+            for (i, &xi) in x.iter().enumerate() {
+                let (cols, vals) = self.row(i);
+                if xi != 0.0 {
+                    for (&c, &v) in cols.iter().zip(vals) {
+                        y[c] += v * xi;
+                    }
+                }
+            }
+            return Ok(());
         }
         let nthreads = rayon::current_num_threads().max(1);
         let chunk = (self.rows / nthreads).max(256);
-        let ranges: Vec<(usize, usize)> = (0..self.rows)
-            .step_by(chunk)
-            .map(|s| (s, (s + chunk).min(self.rows)))
-            .collect();
-        let y = ranges
+        let ranges: Vec<(usize, usize)> = (0..self.rows).step_by(chunk).map(|s| (s, (s + chunk).min(self.rows))).collect();
+        let acc = ranges
             .into_par_iter()
             .map(|(s, e)| {
                 let mut acc = vec![0.0; self.cols];
-                for i in s..e {
+                for (i, &xi) in x.iter().enumerate().take(e).skip(s) {
                     let (cols, vals) = self.row(i);
-                    let xi = x[i];
                     if xi != 0.0 {
                         for (&c, &v) in cols.iter().zip(vals) {
                             acc[c] += v * xi;
@@ -196,7 +242,8 @@ impl CsrMatrix {
                     a
                 },
             );
-        Ok(y)
+        y.copy_from_slice(&acc);
+        Ok(())
     }
 
     /// `C = A · Bᵀ` with a dense `B` (rows of `B` are the class-weight
@@ -205,28 +252,37 @@ impl CsrMatrix {
     /// # Errors
     /// Returns [`LinalgError::ShapeMismatch`] if `A.cols != B.cols`.
     pub fn gemm_nt(&self, b: &DenseMatrix) -> Result<DenseMatrix> {
-        if self.cols != b.cols() {
+        let mut out = DenseMatrix::zeros(self.rows, b.rows());
+        self.gemm_nt_into(b, &mut out)?;
+        Ok(out)
+    }
+
+    /// In-place `C = A · Bᵀ` with dense `B`, writing into a pre-sized dense
+    /// `out` (the core that [`CsrMatrix::gemm_nt`] wraps).
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] if `A.cols != B.cols` or `out`
+    /// is not `A.rows × B.rows`.
+    pub fn gemm_nt_into(&self, b: &DenseMatrix, out: &mut DenseMatrix) -> Result<()> {
+        if self.cols != b.cols() || out.rows() != self.rows || out.cols() != b.rows() {
             return Err(LinalgError::ShapeMismatch(format!(
-                "csr gemm_nt: {}x{} times ({}x{})ᵀ",
+                "csr gemm_nt_into: {}x{} times ({}x{})ᵀ into {}x{}",
                 self.rows,
                 self.cols,
                 b.rows(),
-                b.cols()
+                b.cols(),
+                out.rows(),
+                out.cols()
             )));
         }
         let brows = b.rows();
-        let mut out = DenseMatrix::zeros(self.rows, brows);
-        out.as_mut_slice()
-            .par_chunks_mut(brows)
-            .enumerate()
-            .for_each(|(i, out_row)| {
-                let (cols, vals) = self.row(i);
-                for (j, oj) in out_row.iter_mut().enumerate() {
-                    let brow = b.row(j);
-                    *oj = cols.iter().zip(vals).map(|(&c, &v)| v * brow[c]).sum();
-                }
-            });
-        Ok(out)
+        out.as_mut_slice().par_chunks_mut(brows).enumerate().for_each(|(i, out_row)| {
+            let (cols, vals) = self.row(i);
+            for (j, oj) in out_row.iter_mut().enumerate() {
+                *oj = vector::gather_dot(cols, vals, b.row(j));
+            }
+        });
+        Ok(())
     }
 
     /// `C = Mᵀ · A` with dense `M` of shape `A.rows × k`; the result is dense
@@ -236,22 +292,50 @@ impl CsrMatrix {
     /// # Errors
     /// Returns [`LinalgError::ShapeMismatch`] if `M.rows != A.rows`.
     pub fn gemm_tn_from_dense(&self, m: &DenseMatrix) -> Result<DenseMatrix> {
-        if m.rows() != self.rows {
+        let mut out = DenseMatrix::zeros(m.cols(), self.cols);
+        self.gemm_tn_from_dense_into(m, &mut out)?;
+        Ok(out)
+    }
+
+    /// In-place `C = Mᵀ · A`, writing into a pre-sized dense `out` (the core
+    /// that [`CsrMatrix::gemm_tn_from_dense`] wraps). Below the parallel
+    /// threshold the scatter runs directly into `out` with no scratch.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] if `M.rows != A.rows` or `out`
+    /// is not `M.cols × A.cols`.
+    pub fn gemm_tn_from_dense_into(&self, m: &DenseMatrix, out: &mut DenseMatrix) -> Result<()> {
+        if m.rows() != self.rows || out.rows() != m.cols() || out.cols() != self.cols {
             return Err(LinalgError::ShapeMismatch(format!(
-                "csr gemm_tn_from_dense: M is {}x{}, A is {}x{}",
+                "csr gemm_tn_from_dense_into: M is {}x{}, A is {}x{}, out is {}x{}",
                 m.rows(),
                 m.cols(),
                 self.rows,
-                self.cols
+                self.cols,
+                out.rows(),
+                out.cols()
             )));
         }
         let k = m.cols();
+        if self.nnz().max(m.len()) < crate::par_threshold() {
+            vector::fill(out.as_mut_slice(), 0.0);
+            for i in 0..self.rows {
+                let (cols, vals) = self.row(i);
+                let mrow = m.row(i);
+                for (c_idx, &mv) in mrow.iter().enumerate() {
+                    if mv != 0.0 {
+                        let dst = &mut out.as_mut_slice()[c_idx * self.cols..(c_idx + 1) * self.cols];
+                        for (&c, &v) in cols.iter().zip(vals) {
+                            dst[c] += mv * v;
+                        }
+                    }
+                }
+            }
+            return Ok(());
+        }
         let nthreads = rayon::current_num_threads().max(1);
         let chunk = (self.rows / nthreads).max(256);
-        let ranges: Vec<(usize, usize)> = (0..self.rows)
-            .step_by(chunk)
-            .map(|s| (s, (s + chunk).min(self.rows)))
-            .collect();
+        let ranges: Vec<(usize, usize)> = (0..self.rows).step_by(chunk).map(|s| (s, (s + chunk).min(self.rows))).collect();
         let acc = ranges
             .into_par_iter()
             .map(|(s, e)| {
@@ -277,12 +361,17 @@ impl CsrMatrix {
                     a
                 },
             );
-        Ok(DenseMatrix::from_vec(k, self.cols, acc))
+        out.as_mut_slice().copy_from_slice(&acc);
+        Ok(())
     }
 
     /// Returns a new CSR matrix containing rows `start..end`.
     pub fn slice_rows(&self, start: usize, end: usize) -> CsrMatrix {
-        assert!(start <= end && end <= self.rows, "slice_rows: invalid range {start}..{end} of {}", self.rows);
+        assert!(
+            start <= end && end <= self.rows,
+            "slice_rows: invalid range {start}..{end} of {}",
+            self.rows
+        );
         let vs = self.indptr[start];
         let ve = self.indptr[end];
         let indptr: Vec<usize> = self.indptr[start..=end].iter().map(|p| p - vs).collect();
@@ -308,7 +397,13 @@ impl CsrMatrix {
             vals.extend_from_slice(vs);
             indptr.push(idx.len());
         }
-        CsrMatrix { rows: rows.len(), cols: self.cols, indptr, indices: idx, values: vals }
+        CsrMatrix {
+            rows: rows.len(),
+            cols: self.cols,
+            indptr,
+            indices: idx,
+            values: vals,
+        }
     }
 }
 

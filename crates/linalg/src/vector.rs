@@ -1,14 +1,41 @@
 //! BLAS-1 style kernels over `&[f64]` slices.
 //!
 //! All kernels have a sequential fast path for small inputs and a
-//! rayon-parallel path above [`crate::PAR_THRESHOLD`] elements. Results are
+//! rayon-parallel path above [`crate::par_threshold()`] elements (runtime-configurable via `NADMM_PAR_THRESHOLD` or [`crate::set_par_threshold`]). Results are
 //! deterministic for the sequential path; the parallel reductions use a
 //! tree-shaped order which may differ from the sequential order by the usual
 //! floating-point round-off, which is acceptable for the optimizers built on
 //! top of them.
 
-use crate::PAR_THRESHOLD;
 use rayon::prelude::*;
+
+/// Unrolled sequential dot kernel: eight independent accumulators break the
+/// floating-point add dependency chain, which is the difference between
+/// ~1 add per FP latency (the naive `zip().map().sum()` loop — the compiler
+/// may not reassociate float sums) and one per issue slot. All dot-shaped
+/// reductions in the workspace route through this kernel, so the allocating
+/// and in-place code paths stay bit-identical.
+#[inline]
+pub(crate) fn dot_kernel(x: &[f64], y: &[f64]) -> f64 {
+    let mut acc = [0.0f64; 8];
+    let mut xc = x.chunks_exact(8);
+    let mut yc = y.chunks_exact(8);
+    for (cx, cy) in (&mut xc).zip(&mut yc) {
+        acc[0] += cx[0] * cy[0];
+        acc[1] += cx[1] * cy[1];
+        acc[2] += cx[2] * cy[2];
+        acc[3] += cx[3] * cy[3];
+        acc[4] += cx[4] * cy[4];
+        acc[5] += cx[5] * cy[5];
+        acc[6] += cx[6] * cy[6];
+        acc[7] += cx[7] * cy[7];
+    }
+    let mut tail = 0.0;
+    for (a, b) in xc.remainder().iter().zip(yc.remainder()) {
+        tail += a * b;
+    }
+    ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7])) + tail
+}
 
 /// Dot product `xᵀ y`.
 ///
@@ -16,11 +43,34 @@ use rayon::prelude::*;
 /// Panics if `x.len() != y.len()`.
 pub fn dot(x: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.len(), y.len(), "dot: length mismatch {} vs {}", x.len(), y.len());
-    if x.len() < PAR_THRESHOLD {
-        x.iter().zip(y).map(|(a, b)| a * b).sum()
+    if x.len() < crate::par_threshold() {
+        dot_kernel(x, y)
     } else {
-        x.par_iter().zip(y.par_iter()).map(|(a, b)| a * b).sum()
+        x.par_chunks(4096)
+            .zip(y.par_chunks(4096))
+            .map(|(cx, cy)| dot_kernel(cx, cy))
+            .sum()
     }
+}
+
+/// Unrolled gather-dot for sparse rows: `Σ values[i] · x[indices[i]]`.
+#[inline]
+pub fn gather_dot(indices: &[usize], values: &[f64], x: &[f64]) -> f64 {
+    debug_assert_eq!(indices.len(), values.len());
+    let mut acc = [0.0f64; 4];
+    let mut ic = indices.chunks_exact(4);
+    let mut vc = values.chunks_exact(4);
+    for (ci, cv) in (&mut ic).zip(&mut vc) {
+        acc[0] += cv[0] * x[ci[0]];
+        acc[1] += cv[1] * x[ci[1]];
+        acc[2] += cv[2] * x[ci[2]];
+        acc[3] += cv[3] * x[ci[3]];
+    }
+    let mut tail = 0.0;
+    for (&c, &v) in ic.remainder().iter().zip(vc.remainder()) {
+        tail += v * x[c];
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
 }
 
 /// Euclidean norm `‖x‖₂`.
@@ -35,7 +85,7 @@ pub fn norm2_sq(x: &[f64]) -> f64 {
 
 /// Infinity norm `‖x‖_∞`.
 pub fn norm_inf(x: &[f64]) -> f64 {
-    if x.len() < PAR_THRESHOLD {
+    if x.len() < crate::par_threshold() {
         x.iter().fold(0.0_f64, |acc, v| acc.max(v.abs()))
     } else {
         x.par_iter().map(|v| v.abs()).reduce(|| 0.0, f64::max)
@@ -48,7 +98,7 @@ pub fn norm_inf(x: &[f64]) -> f64 {
 /// Panics if `x.len() != y.len()`.
 pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), y.len(), "axpy: length mismatch {} vs {}", x.len(), y.len());
-    if x.len() < PAR_THRESHOLD {
+    if x.len() < crate::par_threshold() {
         for (yi, xi) in y.iter_mut().zip(x) {
             *yi += a * xi;
         }
@@ -57,10 +107,49 @@ pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
     }
 }
 
+/// Fused AXPY + squared norm: `y ← a·x + y`, returning `‖y‖₂²` of the
+/// updated `y` in the same pass. This is the CG residual-update kernel
+/// (`r ← r − α·Ap; ‖r‖²`) fused so the hot loop touches `r` once instead of
+/// twice. The sum uses four unrolled accumulators, so its rounding differs
+/// from the unfused [`axpy`] + [`norm2_sq`] pair by the usual reassociation
+/// noise; every CG path in the workspace routes through this one kernel, so
+/// solver results stay bit-identical across the allocating and in-place
+/// entry points.
+///
+/// # Panics
+/// Panics if `x.len() != y.len()`.
+pub fn axpy_dot(a: f64, x: &[f64], y: &mut [f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "axpy_dot: length mismatch {} vs {}", x.len(), y.len());
+    if x.len() < crate::par_threshold() {
+        let mut acc = [0.0f64; 4];
+        let mut yc = y.chunks_exact_mut(4);
+        let mut xc = x.chunks_exact(4);
+        for (cy, cx) in (&mut yc).zip(&mut xc) {
+            cy[0] += a * cx[0];
+            cy[1] += a * cx[1];
+            cy[2] += a * cx[2];
+            cy[3] += a * cx[3];
+            acc[0] += cy[0] * cy[0];
+            acc[1] += cy[1] * cy[1];
+            acc[2] += cy[2] * cy[2];
+            acc[3] += cy[3] * cy[3];
+        }
+        let mut tail = 0.0;
+        for (yi, xi) in yc.into_remainder().iter_mut().zip(xc.remainder()) {
+            *yi += a * xi;
+            tail += *yi * *yi;
+        }
+        (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+    } else {
+        axpy(a, x, y);
+        norm2_sq(y)
+    }
+}
+
 /// `y ← a·x + b·y`.
 pub fn axpby(a: f64, x: &[f64], b: f64, y: &mut [f64]) {
     assert_eq!(x.len(), y.len(), "axpby: length mismatch {} vs {}", x.len(), y.len());
-    if x.len() < PAR_THRESHOLD {
+    if x.len() < crate::par_threshold() {
         for (yi, xi) in y.iter_mut().zip(x) {
             *yi = a * xi + b * *yi;
         }
@@ -71,7 +160,7 @@ pub fn axpby(a: f64, x: &[f64], b: f64, y: &mut [f64]) {
 
 /// `x ← a·x`.
 pub fn scale(a: f64, x: &mut [f64]) {
-    if x.len() < PAR_THRESHOLD {
+    if x.len() < crate::par_threshold() {
         for xi in x.iter_mut() {
             *xi *= a;
         }
@@ -125,7 +214,7 @@ pub fn copy(src: &[f64], dst: &mut [f64]) {
 
 /// Sum of all elements.
 pub fn sum(x: &[f64]) -> f64 {
-    if x.len() < PAR_THRESHOLD {
+    if x.len() < crate::par_threshold() {
         x.iter().sum()
     } else {
         x.par_iter().sum()
@@ -165,7 +254,13 @@ pub fn all_finite(x: &[f64]) -> bool {
 /// Panics if `coeffs.len() != vectors.len()`, if `vectors` is empty, or if the
 /// vectors have differing lengths.
 pub fn linear_combination(coeffs: &[f64], vectors: &[&[f64]]) -> Vec<f64> {
-    assert_eq!(coeffs.len(), vectors.len(), "linear_combination: {} coeffs vs {} vectors", coeffs.len(), vectors.len());
+    assert_eq!(
+        coeffs.len(),
+        vectors.len(),
+        "linear_combination: {} coeffs vs {} vectors",
+        coeffs.len(),
+        vectors.len()
+    );
     assert!(!vectors.is_empty(), "linear_combination: empty input");
     let n = vectors[0].len();
     let mut out = vec![0.0; n];
@@ -189,7 +284,7 @@ mod tests {
 
     #[test]
     fn dot_large_matches_sequential() {
-        let n = PAR_THRESHOLD * 2 + 7;
+        let n = crate::DEFAULT_PAR_THRESHOLD * 2 + 7;
         let x: Vec<f64> = (0..n).map(|i| (i % 13) as f64 * 0.5).collect();
         let y: Vec<f64> = (0..n).map(|i| ((i * 7) % 11) as f64 * 0.25).collect();
         let seq: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
@@ -203,6 +298,37 @@ mod tests {
         assert!((norm2(&x) - 5.0).abs() < 1e-12);
         assert!((norm2_sq(&x) - 25.0).abs() < 1e-12);
         assert!((norm_inf(&x) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn axpy_dot_matches_unfused_pair() {
+        for n in [0usize, 1, 3, 4, 7, 8, 19, 64, 257] {
+            let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+            let y0: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).cos()).collect();
+            let a = -0.625;
+            let mut fused = y0.clone();
+            let rs = axpy_dot(a, &x, &mut fused);
+            let mut unfused = y0.clone();
+            axpy(a, &x, &mut unfused);
+            assert_eq!(fused, unfused, "n={n}: updated vectors must be identical");
+            let expect = norm2_sq(&unfused);
+            assert!((rs - expect).abs() <= 1e-12 * expect.max(1.0), "n={n}: {rs} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn gather_dot_matches_dense_dot() {
+        let x: Vec<f64> = (0..50).map(|i| i as f64 * 0.1).collect();
+        for nnz in [0usize, 1, 3, 4, 5, 9, 31] {
+            let indices: Vec<usize> = (0..nnz).map(|i| (i * 7) % 50).collect();
+            let values: Vec<f64> = (0..nnz).map(|i| (i as f64 * 0.3).cos()).collect();
+            let expect: f64 = indices.iter().zip(&values).map(|(&c, &v)| v * x[c]).sum();
+            let got = gather_dot(&indices, &values, &x);
+            assert!(
+                (got - expect).abs() < 1e-12 * expect.abs().max(1.0),
+                "nnz={nnz}: {got} vs {expect}"
+            );
+        }
     }
 
     #[test]

@@ -90,7 +90,12 @@ pub struct RunHistory {
 impl RunHistory {
     /// Creates an empty history.
     pub fn new(solver: impl Into<String>, dataset: impl Into<String>, num_workers: usize) -> Self {
-        Self { solver: solver.into(), dataset: dataset.into(), num_workers, records: Vec::new() }
+        Self {
+            solver: solver.into(),
+            dataset: dataset.into(),
+            num_workers,
+            records: Vec::new(),
+        }
     }
 
     /// Appends a record.
@@ -115,7 +120,10 @@ impl RunHistory {
 
     /// Best (lowest) objective value seen.
     pub fn best_objective(&self) -> Option<f64> {
-        self.records.iter().map(|r| r.objective).fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.min(v))))
+        self.records
+            .iter()
+            .map(|r| r.objective)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.min(v))))
     }
 
     /// Final test accuracy, if recorded.

@@ -11,7 +11,11 @@ pub struct TextTable {
 impl TextTable {
     /// Creates a table with a title and column headers.
     pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
-        Self { title: title.into(), headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row of already-formatted cells.
@@ -19,7 +23,13 @@ impl TextTable {
     /// # Panics
     /// Panics if the number of cells differs from the number of headers.
     pub fn add_row(&mut self, cells: &[String]) {
-        assert_eq!(cells.len(), self.headers.len(), "row has {} cells, table has {} columns", cells.len(), self.headers.len());
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row has {} cells, table has {} columns",
+            cells.len(),
+            self.headers.len()
+        );
         self.rows.push(cells.to_vec());
     }
 

@@ -12,7 +12,8 @@
 //! term also makes the subproblem strongly convex with parameter at least
 //! `ρ_i`, which is what gives ADMM its robustness on ill-conditioned shards.
 
-use crate::traits::{Objective, OpCost};
+use crate::traits::{HvpOperator, HvpState, Objective, OpCost};
+use nadmm_device::{Device, Workspace};
 use nadmm_linalg::vector;
 
 /// `f(x) + ρ/2 ‖z − x + y/ρ‖²` wrapper around a base objective.
@@ -42,6 +43,22 @@ impl<O: Objective> ProximalAugmented<O> {
         &self.base
     }
 
+    /// Re-anchors the proximal term in place (no reallocation): copies the
+    /// new consensus/dual vectors into the existing buffers and updates ρ.
+    /// This is what the ADMM drivers call every outer iteration so the base
+    /// objective (and its feature matrices) is wrapped exactly once.
+    ///
+    /// # Panics
+    /// Panics if the vector lengths do not match `base.dim()` or `rho <= 0`.
+    pub fn set_anchor(&mut self, z: &[f64], y: &[f64], rho: f64) {
+        assert_eq!(z.len(), self.base.dim(), "consensus variable has wrong length");
+        assert_eq!(y.len(), self.base.dim(), "dual variable has wrong length");
+        assert!(rho > 0.0, "penalty must be positive");
+        self.z.copy_from_slice(z);
+        self.y.copy_from_slice(y);
+        self.rho = rho;
+    }
+
     /// The ADMM penalty ρ.
     pub fn rho(&self) -> f64 {
         self.rho
@@ -60,6 +77,40 @@ impl<O: Objective> ProximalAugmented<O> {
         vector::sub_assign(&mut d, &self.z);
         vector::axpy(-1.0 / self.rho, &self.y, &mut d);
         d
+    }
+
+    /// Offset `x − (z + y/ρ)` into pooled storage, charged on the base
+    /// objective's device when one is attached.
+    fn offset_into(&self, x: &[f64], ws: &mut Workspace) -> Vec<f64> {
+        let mut d = ws.acquire(x.len());
+        d.copy_from_slice(x);
+        match self.base.device() {
+            Some(dev) => {
+                dev.axpy(-1.0, &self.z, &mut d);
+                dev.axpy(-1.0 / self.rho, &self.y, &mut d);
+            }
+            None => {
+                vector::sub_assign(&mut d, &self.z);
+                vector::axpy(-1.0 / self.rho, &self.y, &mut d);
+            }
+        }
+        d
+    }
+
+    /// Adds the proximal gradient term `ρ·(x − anchor)` to `g`.
+    fn add_proximal_gradient(&self, d: &[f64], g: &mut [f64]) {
+        match self.base.device() {
+            Some(dev) => dev.axpy(self.rho, d, g),
+            None => vector::axpy(self.rho, d, g),
+        }
+    }
+
+    /// `‖d‖²` through the device when available.
+    fn norm2_sq_dev(&self, d: &[f64]) -> f64 {
+        match self.base.device() {
+            Some(dev) => dev.dot(d, d),
+            None => vector::norm2_sq(d),
+        }
     }
 }
 
@@ -97,7 +148,7 @@ impl<O: Objective> Objective for ProximalAugmented<O> {
         hv
     }
 
-    fn hvp_operator<'a>(&'a self, x: &[f64]) -> Box<dyn Fn(&[f64]) -> Vec<f64> + Send + Sync + 'a> {
+    fn hvp_operator<'a>(&'a self, x: &[f64]) -> HvpOperator<'a> {
         let base_op = self.base.hvp_operator(x);
         let rho = self.rho;
         Box::new(move |v| {
@@ -107,13 +158,63 @@ impl<O: Objective> Objective for ProximalAugmented<O> {
         })
     }
 
+    fn device(&self) -> Option<&Device> {
+        self.base.device()
+    }
+
+    fn value_ws(&self, x: &[f64], ws: &mut Workspace) -> f64 {
+        let base_value = self.base.value_ws(x, ws);
+        let d = self.offset_into(x, ws);
+        let value = base_value + 0.5 * self.rho * self.norm2_sq_dev(&d);
+        ws.release(d);
+        value
+    }
+
+    fn gradient_into(&self, x: &[f64], out: &mut [f64], ws: &mut Workspace) {
+        self.base.gradient_into(x, out, ws);
+        let d = self.offset_into(x, ws);
+        self.add_proximal_gradient(&d, out);
+        ws.release(d);
+    }
+
+    fn value_and_gradient_into(&self, x: &[f64], out: &mut [f64], ws: &mut Workspace) -> f64 {
+        let base_value = self.base.value_and_gradient_into(x, out, ws);
+        let d = self.offset_into(x, ws);
+        self.add_proximal_gradient(&d, out);
+        let value = base_value + 0.5 * self.rho * self.norm2_sq_dev(&d);
+        ws.release(d);
+        value
+    }
+
+    fn hessian_vec_into(&self, x: &[f64], v: &[f64], out: &mut [f64], ws: &mut Workspace) {
+        self.base.hessian_vec_into(x, v, out, ws);
+        self.add_proximal_gradient(v, out);
+    }
+
+    fn prepare_hvp(&self, x: &[f64], ws: &mut Workspace) -> HvpState {
+        self.base.prepare_hvp(x, ws)
+    }
+
+    fn hvp_prepared_into(&self, state: &HvpState, v: &[f64], out: &mut [f64], ws: &mut Workspace) {
+        self.base.hvp_prepared_into(state, v, out, ws);
+        self.add_proximal_gradient(v, out);
+    }
+
+    fn release_hvp(&self, state: HvpState, ws: &mut Workspace) {
+        self.base.release_hvp(state, ws);
+    }
+
     fn cost_value_grad(&self) -> OpCost {
         // The proximal term adds O(d) work on top of the base objective.
-        self.base.cost_value_grad().plus(OpCost::new(4.0 * self.dim() as f64, 3.0 * self.dim() as f64 * 8.0))
+        self.base
+            .cost_value_grad()
+            .plus(OpCost::new(4.0 * self.dim() as f64, 3.0 * self.dim() as f64 * 8.0))
     }
 
     fn cost_hessian_vec(&self) -> OpCost {
-        self.base.cost_hessian_vec().plus(OpCost::new(2.0 * self.dim() as f64, 2.0 * self.dim() as f64 * 8.0))
+        self.base
+            .cost_hessian_vec()
+            .plus(OpCost::new(2.0 * self.dim() as f64, 2.0 * self.dim() as f64 * 8.0))
     }
 }
 

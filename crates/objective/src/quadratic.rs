@@ -5,13 +5,16 @@
 //! must converge to the known minimiser `x* = A⁻¹ b`.
 
 use crate::traits::{Objective, OpCost};
-use nadmm_linalg::{vector, DenseMatrix};
+use nadmm_device::{Device, Workspace};
+use nadmm_linalg::{DenseMatrix, Matrix};
 
-/// `f(x) = ½ xᵀ A x − bᵀ x` with symmetric positive-definite `A`.
+/// `f(x) = ½ xᵀ A x − bᵀ x` with symmetric positive-definite `A`, executing
+/// its matrix–vector kernels through the [`Device`] engine.
 #[derive(Debug, Clone)]
 pub struct Quadratic {
-    a: DenseMatrix,
+    a: Matrix,
     b: Vec<f64>,
+    device: Device,
 }
 
 impl Quadratic {
@@ -22,12 +25,25 @@ impl Quadratic {
     pub fn new(a: DenseMatrix, b: Vec<f64>) -> Self {
         assert_eq!(a.rows(), a.cols(), "A must be square");
         assert_eq!(a.rows(), b.len(), "b must match A");
-        Self { a, b }
+        Self {
+            a: Matrix::Dense(a),
+            b,
+            device: Device::default(),
+        }
+    }
+
+    /// Attaches the execution engine all kernels launch on.
+    pub fn with_device(mut self, device: Device) -> Self {
+        self.device = device;
+        self
     }
 
     /// The system matrix.
     pub fn matrix(&self) -> &DenseMatrix {
-        &self.a
+        match &self.a {
+            Matrix::Dense(d) => d,
+            Matrix::Sparse(_) => unreachable!("Quadratic is always dense"),
+        }
     }
 
     /// The linear term.
@@ -38,7 +54,7 @@ impl Quadratic {
     /// The exact minimiser `x* = A⁻¹ b`, computed by (dense) Gaussian
     /// elimination with partial pivoting — only used for test-sized systems.
     pub fn exact_minimizer(&self) -> Vec<f64> {
-        solve_dense(&self.a, &self.b)
+        solve_dense(self.matrix(), &self.b)
     }
 }
 
@@ -46,6 +62,7 @@ impl Quadratic {
 ///
 /// # Panics
 /// Panics if the matrix is singular to working precision.
+#[allow(clippy::needless_range_loop)] // textbook triangular-solve indexing
 pub fn solve_dense(a: &DenseMatrix, b: &[f64]) -> Vec<f64> {
     let n = a.rows();
     assert_eq!(a.cols(), n);
@@ -98,18 +115,62 @@ impl Objective for Quadratic {
     }
 
     fn value(&self, x: &[f64]) -> f64 {
-        let ax = self.a.matvec(x).expect("quadratic matvec");
-        0.5 * vector::dot(x, &ax) - vector::dot(&self.b, x)
+        self.value_ws(x, &mut Workspace::new())
     }
 
     fn gradient(&self, x: &[f64]) -> Vec<f64> {
-        let mut g = self.a.matvec(x).expect("quadratic matvec");
-        vector::axpy(-1.0, &self.b, &mut g);
+        let mut g = vec![0.0; self.dim()];
+        self.gradient_into(x, &mut g, &mut Workspace::new());
         g
     }
 
-    fn hessian_vec(&self, _x: &[f64], v: &[f64]) -> Vec<f64> {
-        self.a.matvec(v).expect("quadratic hvp")
+    fn hessian_vec(&self, x: &[f64], v: &[f64]) -> Vec<f64> {
+        let mut hv = vec![0.0; self.dim()];
+        self.hessian_vec_into(x, v, &mut hv, &mut Workspace::new());
+        hv
+    }
+
+    fn device(&self) -> Option<&Device> {
+        Some(&self.device)
+    }
+
+    fn value_ws(&self, x: &[f64], ws: &mut Workspace) -> f64 {
+        let mut ax = ws.acquire(self.dim());
+        self.device.matvec_into(&self.a, x, &mut ax);
+        let value = 0.5 * self.device.dot(x, &ax) - self.device.dot(&self.b, x);
+        ws.release(ax);
+        value
+    }
+
+    fn gradient_into(&self, x: &[f64], out: &mut [f64], ws: &mut Workspace) {
+        let _ = ws;
+        self.device.matvec_into(&self.a, x, out);
+        self.device.axpy(-1.0, &self.b, out);
+    }
+
+    fn value_and_gradient_into(&self, x: &[f64], out: &mut [f64], _ws: &mut Workspace) -> f64 {
+        // One matvec serves both: out = Ax, value from dots, then out -= b.
+        self.device.matvec_into(&self.a, x, out);
+        let value = 0.5 * self.device.dot(x, out) - self.device.dot(&self.b, x);
+        self.device.axpy(-1.0, &self.b, out);
+        value
+    }
+
+    fn hessian_vec_into(&self, _x: &[f64], v: &[f64], out: &mut [f64], ws: &mut Workspace) {
+        let _ = ws;
+        self.device.matvec_into(&self.a, v, out);
+    }
+
+    fn prepare_hvp(&self, _x: &[f64], _ws: &mut Workspace) -> crate::traits::HvpState {
+        // The Hessian is constant: no per-x state needed.
+        crate::traits::HvpState {
+            bufs: Vec::new(),
+            dims: (self.dim(), 0),
+        }
+    }
+
+    fn hvp_prepared_into(&self, _state: &crate::traits::HvpState, v: &[f64], out: &mut [f64], ws: &mut Workspace) {
+        self.hessian_vec_into(&[], v, out, ws);
     }
 
     fn cost_value_grad(&self) -> OpCost {
@@ -126,7 +187,7 @@ impl Objective for Quadratic {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nadmm_linalg::gen;
+    use nadmm_linalg::{gen, vector};
 
     #[test]
     fn value_gradient_hessian_are_consistent() {
@@ -153,7 +214,10 @@ mod tests {
             let b = gen::gaussian_vector(n, &mut rng);
             let q = Quadratic::new(a, b);
             let x = q.exact_minimizer();
-            assert!(vector::norm2(&q.gradient(&x)) < 1e-7, "gradient not zero at minimiser (n={n})");
+            assert!(
+                vector::norm2(&q.gradient(&x)) < 1e-7,
+                "gradient not zero at minimiser (n={n})"
+            );
         }
     }
 

@@ -6,14 +6,17 @@
 //! same point.
 
 use crate::quadratic::solve_dense;
-use crate::traits::{Objective, OpCost};
+use crate::traits::{HvpState, Objective, OpCost};
+use nadmm_device::{Device, Workspace};
 use nadmm_linalg::{vector, Matrix};
 
-/// Ridge-regression objective.
+/// Ridge-regression objective, executing its matrix–vector kernels through
+/// the [`Device`] engine.
 #[derive(Debug, Clone)]
 pub struct RidgeRegression {
     features: Matrix,
     targets: Vec<f64>,
+    device: Device,
     /// L2 regularization weight λ.
     pub lambda: f64,
 }
@@ -25,7 +28,18 @@ impl RidgeRegression {
     /// Panics if `targets.len() != features.rows()`.
     pub fn new(features: Matrix, targets: Vec<f64>, lambda: f64) -> Self {
         assert_eq!(features.rows(), targets.len(), "targets must match feature rows");
-        Self { features, targets, lambda }
+        Self {
+            features,
+            targets,
+            device: Device::default(),
+            lambda,
+        }
+    }
+
+    /// Attaches the execution engine all kernels launch on.
+    pub fn with_device(mut self, device: Device) -> Self {
+        self.device = device;
+        self
     }
 
     /// Closed-form minimiser `x* = (AᵀA + λI)⁻¹ Aᵀ b` (dense solve — only for
@@ -41,10 +55,11 @@ impl RidgeRegression {
         solve_dense(&ata, &atb)
     }
 
-    /// Residual vector `A x − b`.
-    fn residual(&self, x: &[f64]) -> Vec<f64> {
-        let mut r = self.features.matvec(x).expect("ridge matvec");
-        vector::sub_assign(&mut r, &self.targets);
+    /// Residual `A x − b` into pooled storage.
+    fn residual_into(&self, x: &[f64], ws: &mut Workspace) -> Vec<f64> {
+        let mut r = ws.acquire(self.features.rows());
+        self.device.matvec_into(&self.features, x, &mut r);
+        self.device.axpy(-1.0, &self.targets, &mut r);
         r
     }
 }
@@ -59,22 +74,66 @@ impl Objective for RidgeRegression {
     }
 
     fn value(&self, x: &[f64]) -> f64 {
-        let r = self.residual(x);
-        0.5 * vector::norm2_sq(&r) + 0.5 * self.lambda * vector::norm2_sq(x)
+        self.value_ws(x, &mut Workspace::new())
     }
 
     fn gradient(&self, x: &[f64]) -> Vec<f64> {
-        let r = self.residual(x);
-        let mut g = self.features.t_matvec(&r).expect("ridge t_matvec");
-        vector::axpy(self.lambda, x, &mut g);
+        let mut g = vec![0.0; self.dim()];
+        self.gradient_into(x, &mut g, &mut Workspace::new());
         g
     }
 
-    fn hessian_vec(&self, _x: &[f64], v: &[f64]) -> Vec<f64> {
-        let av = self.features.matvec(v).expect("ridge matvec");
-        let mut hv = self.features.t_matvec(&av).expect("ridge t_matvec");
-        vector::axpy(self.lambda, v, &mut hv);
+    fn hessian_vec(&self, x: &[f64], v: &[f64]) -> Vec<f64> {
+        let mut hv = vec![0.0; self.dim()];
+        self.hessian_vec_into(x, v, &mut hv, &mut Workspace::new());
         hv
+    }
+
+    fn device(&self) -> Option<&Device> {
+        Some(&self.device)
+    }
+
+    fn value_ws(&self, x: &[f64], ws: &mut Workspace) -> f64 {
+        let r = self.residual_into(x, ws);
+        let value = 0.5 * self.device.dot(&r, &r) + 0.5 * self.lambda * self.device.dot(x, x);
+        ws.release(r);
+        value
+    }
+
+    fn gradient_into(&self, x: &[f64], out: &mut [f64], ws: &mut Workspace) {
+        let r = self.residual_into(x, ws);
+        self.device.t_matvec_into(&self.features, &r, out);
+        ws.release(r);
+        self.device.axpy(self.lambda, x, out);
+    }
+
+    fn value_and_gradient_into(&self, x: &[f64], out: &mut [f64], ws: &mut Workspace) -> f64 {
+        let r = self.residual_into(x, ws);
+        let value = 0.5 * self.device.dot(&r, &r) + 0.5 * self.lambda * self.device.dot(x, x);
+        self.device.t_matvec_into(&self.features, &r, out);
+        ws.release(r);
+        self.device.axpy(self.lambda, x, out);
+        value
+    }
+
+    fn hessian_vec_into(&self, _x: &[f64], v: &[f64], out: &mut [f64], ws: &mut Workspace) {
+        let mut av = ws.acquire(self.features.rows());
+        self.device.matvec_into(&self.features, v, &mut av);
+        self.device.t_matvec_into(&self.features, &av, out);
+        ws.release(av);
+        self.device.axpy(self.lambda, v, out);
+    }
+
+    fn prepare_hvp(&self, _x: &[f64], _ws: &mut Workspace) -> HvpState {
+        // The Gauss-Newton Hessian AᵀA + λI is constant in x.
+        HvpState {
+            bufs: Vec::new(),
+            dims: (self.dim(), 0),
+        }
+    }
+
+    fn hvp_prepared_into(&self, _state: &HvpState, v: &[f64], out: &mut [f64], ws: &mut Workspace) {
+        self.hessian_vec_into(&[], v, out, ws);
     }
 
     fn cost_value_grad(&self) -> OpCost {

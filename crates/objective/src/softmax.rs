@@ -15,32 +15,50 @@
 //! `U = A Vᵀ`, `S_i = diag(p_i) u_i − p_i (p_iᵀ u_i)`, `Hv = Sᵀ A + λV`.
 //! All exponentials go through the Log-Sum-Exp trick of §6.
 
-use crate::traits::{Objective, OpCost};
+use crate::traits::{HvpOperator, HvpState, Objective, OpCost};
 use nadmm_data::Dataset;
-use nadmm_linalg::{reduce, vector, DenseMatrix, Matrix};
+use nadmm_device::{Device, Workspace};
+use nadmm_linalg::{reduce, DenseMatrix, Matrix};
 
 /// Softmax cross-entropy objective over a dataset shard.
+///
+/// All dense kernel work (margins GEMM, row softmax, gradient/HVP reductions)
+/// executes through the attached [`Device`] engine, which charges the
+/// simulated-GPU cost model per launch. The workspace-aware methods
+/// (`value_ws`, `gradient_into`, `prepare_hvp` + `hvp_prepared_into`) reuse
+/// pooled buffers and perform zero heap allocations once warm; the
+/// allocating `Objective` methods are thin wrappers over the same code path.
 #[derive(Debug, Clone)]
 pub struct SoftmaxCrossEntropy {
     features: Matrix,
     one_hot: DenseMatrix,
     labels: Vec<usize>,
     num_classes: usize,
+    device: Device,
     /// L2 regularization weight λ.
     pub lambda: f64,
 }
 
 impl SoftmaxCrossEntropy {
     /// Builds the objective for a dataset with regularization weight
-    /// `lambda` (the paper uses `λ ∈ {10⁻³, 10⁻⁵}`).
+    /// `lambda` (the paper uses `λ ∈ {10⁻³, 10⁻⁵}`), executing on a default
+    /// P100-class device. Use [`SoftmaxCrossEntropy::with_device`] to share
+    /// one device (one simulated clock) across a worker's objectives.
     pub fn new(data: &Dataset, lambda: f64) -> Self {
         Self {
             features: data.features().clone(),
             one_hot: data.one_hot_reduced(),
             labels: data.labels().to_vec(),
             num_classes: data.num_classes(),
+            device: Device::default(),
             lambda,
         }
+    }
+
+    /// Attaches the execution engine all kernels launch on.
+    pub fn with_device(mut self, device: Device) -> Self {
+        self.device = device;
+        self
     }
 
     /// Number of classes C.
@@ -59,33 +77,38 @@ impl SoftmaxCrossEntropy {
         DenseMatrix::from_vec(self.num_classes - 1, self.num_features(), x.to_vec())
     }
 
-    /// Computes per-sample class probabilities (n × (C−1), reference class
-    /// implicit) and the per-sample log-partition values.
-    fn probabilities(&self, w: &DenseMatrix) -> (DenseMatrix, Vec<f64>) {
-        let mut margins = self.features.gemm_nt(w).expect("margin gemm");
-        let n = margins.rows();
-        let c1 = margins.cols();
-        let mut logz = vec![0.0; n];
-        let mut probs = vec![0.0; c1];
-        for i in 0..n {
-            let row = margins.row_mut(i);
-            logz[i] = reduce::softmax_with_reference(row, &mut probs);
-            row.copy_from_slice(&probs);
-        }
-        (margins, logz)
+    /// Wraps the flat variable `x` in a pooled `(C−1) × p` weight matrix
+    /// (copy into pooled storage; no allocation once the pool is warm).
+    fn pooled_weights(&self, x: &[f64], ws: &mut Workspace) -> DenseMatrix {
+        assert_eq!(x.len(), self.dim(), "weight vector has wrong length");
+        let mut buf = ws.acquire(self.dim());
+        buf.copy_from_slice(x);
+        DenseMatrix::from_vec(self.num_classes - 1, self.num_features(), buf)
     }
 
-    /// Per-sample loss (without regularization) given margins and log-partition.
-    fn data_loss(&self, w: &DenseMatrix) -> f64 {
-        let margins = self.features.gemm_nt(w).expect("margin gemm");
-        let n = margins.rows();
-        reduce::par_sum_over(n, |i| {
-            let row = margins.row(i);
-            let logz = reduce::log1p_sum_exp(row);
-            let label = self.labels[i];
-            let correct_margin = if label < self.num_classes - 1 { row[label] } else { 0.0 };
-            logz - correct_margin
-        })
+    /// Margin kernel into pooled storage: returns `Z = X Wᵀ` (n × (C−1)).
+    fn pooled_margins(&self, x: &[f64], ws: &mut Workspace) -> DenseMatrix {
+        let w = self.pooled_weights(x, ws);
+        let n = self.features.rows();
+        let c1 = self.num_classes - 1;
+        let mut margins = DenseMatrix::from_vec(n, c1, ws.acquire(n * c1));
+        self.device.gemm_nt_into(&self.features, &w, &mut margins);
+        ws.release(w.into_vec());
+        margins
+    }
+
+    /// Computes per-sample class probabilities (n × (C−1), reference class
+    /// implicit) and the per-sample log-partition values, all in pooled
+    /// storage. Callers release both returned buffers.
+    fn probabilities_into(&self, x: &[f64], ws: &mut Workspace) -> (DenseMatrix, Vec<f64>) {
+        let mut probs = self.pooled_margins(x, ws);
+        let n = probs.rows();
+        let c1 = probs.cols();
+        let mut logz = ws.acquire(n);
+        let mut row_scratch = ws.acquire(c1);
+        self.device.softmax_rows_into(&mut probs, &mut row_scratch, &mut logz);
+        ws.release(row_scratch);
+        (probs, logz)
     }
 
     /// Predicted class labels for a feature matrix given flat weights.
@@ -127,29 +150,71 @@ impl Objective for SoftmaxCrossEntropy {
     }
 
     fn value(&self, x: &[f64]) -> f64 {
-        let w = self.weights_from_flat(x);
-        self.data_loss(&w) + 0.5 * self.lambda * vector::norm2_sq(x)
+        self.value_ws(x, &mut Workspace::new())
     }
 
     fn gradient(&self, x: &[f64]) -> Vec<f64> {
-        let w = self.weights_from_flat(x);
-        let (probs, _) = self.probabilities(&w);
-        // R = P − Y  (n × (C−1))
-        let mut residual = probs;
-        residual.axpy(-1.0, &self.one_hot).expect("one-hot shape");
-        // G = Rᵀ X  ((C−1) × p)
-        let grad = self.features.gemm_tn_from_dense(&residual).expect("gradient gemm");
-        let mut g = grad.into_vec();
-        vector::axpy(self.lambda, x, &mut g);
+        let mut g = vec![0.0; self.dim()];
+        self.gradient_into(x, &mut g, &mut Workspace::new());
         g
     }
 
     fn value_and_gradient(&self, x: &[f64]) -> (f64, Vec<f64>) {
-        let w = self.weights_from_flat(x);
-        let (probs, logz) = self.probabilities(&w);
-        // Loss from the cached log-partition values: logZ_i − margin of true class.
-        // Recover the true-class margin from probs: m_c = log(p_c) + logZ.
+        let mut g = vec![0.0; self.dim()];
+        let v = self.value_and_gradient_into(x, &mut g, &mut Workspace::new());
+        (v, g)
+    }
+
+    fn hessian_vec(&self, x: &[f64], v: &[f64]) -> Vec<f64> {
+        let mut hv = vec![0.0; self.dim()];
+        self.hessian_vec_into(x, v, &mut hv, &mut Workspace::new());
+        hv
+    }
+
+    fn hvp_operator<'a>(&'a self, x: &[f64]) -> HvpOperator<'a> {
+        let mut ws = Workspace::new();
+        let (probs, logz) = self.probabilities_into(x, &mut ws);
+        ws.release(logz);
+        Box::new(move |v| {
+            let mut out = vec![0.0; self.dim()];
+            self.hvp_core(probs.as_slice(), v, &mut out, &mut Workspace::new());
+            out
+        })
+    }
+
+    fn device(&self) -> Option<&Device> {
+        Some(&self.device)
+    }
+
+    fn value_ws(&self, x: &[f64], ws: &mut Workspace) -> f64 {
+        let margins = self.pooled_margins(x, ws);
+        let n = margins.rows();
+        let c1 = margins.cols();
+        // Row-wise log-sum-exp + label lookup: one memory-bound pass.
+        self.device.charge_kernel(5.0 * (n * c1) as f64, (n * c1) as f64 * 8.0);
+        let loss = reduce::par_sum_over(n, |i| {
+            let row = margins.row(i);
+            let logz = reduce::log1p_sum_exp(row);
+            let label = self.labels[i];
+            let correct_margin = if label < self.num_classes - 1 { row[label] } else { 0.0 };
+            logz - correct_margin
+        });
+        ws.release(margins.into_vec());
+        loss + 0.5 * self.lambda * self.device.dot(x, x)
+    }
+
+    fn gradient_into(&self, x: &[f64], out: &mut [f64], ws: &mut Workspace) {
+        let (probs, logz) = self.probabilities_into(x, ws);
+        ws.release(logz);
+        self.residual_gradient_into(probs, x, out, ws);
+    }
+
+    fn value_and_gradient_into(&self, x: &[f64], out: &mut [f64], ws: &mut Workspace) -> f64 {
+        let (probs, logz) = self.probabilities_into(x, ws);
+        // Loss from the cached log-partition values: logZ_i − margin of true
+        // class, recovering the margin from probs: m_c = log(p_c) + logZ.
         let n = self.features.rows();
+        self.device.charge_kernel(3.0 * n as f64, 2.0 * n as f64 * 8.0);
         let loss = reduce::par_sum_over(n, |i| {
             let label = self.labels[i];
             let correct_margin = if label < self.num_classes - 1 {
@@ -160,24 +225,30 @@ impl Objective for SoftmaxCrossEntropy {
             };
             logz[i] - correct_margin
         });
-        let mut residual = probs;
-        residual.axpy(-1.0, &self.one_hot).expect("one-hot shape");
-        let grad = self.features.gemm_tn_from_dense(&residual).expect("gradient gemm");
-        let mut g = grad.into_vec();
-        vector::axpy(self.lambda, x, &mut g);
-        (loss + 0.5 * self.lambda * vector::norm2_sq(x), g)
+        ws.release(logz);
+        self.residual_gradient_into(probs, x, out, ws);
+        loss + 0.5 * self.lambda * self.device.dot(x, x)
     }
 
-    fn hessian_vec(&self, x: &[f64], v: &[f64]) -> Vec<f64> {
-        let w = self.weights_from_flat(x);
-        let (probs, _) = self.probabilities(&w);
-        self.hvp_with_probs(&probs, v)
+    fn hessian_vec_into(&self, x: &[f64], v: &[f64], out: &mut [f64], ws: &mut Workspace) {
+        let state = self.prepare_hvp(x, ws);
+        self.hvp_prepared_into(&state, v, out, ws);
+        self.release_hvp(state, ws);
     }
 
-    fn hvp_operator<'a>(&'a self, x: &[f64]) -> Box<dyn Fn(&[f64]) -> Vec<f64> + Send + Sync + 'a> {
-        let w = self.weights_from_flat(x);
-        let (probs, _) = self.probabilities(&w);
-        Box::new(move |v| self.hvp_with_probs(&probs, v))
+    fn prepare_hvp(&self, x: &[f64], ws: &mut Workspace) -> HvpState {
+        let (probs, logz) = self.probabilities_into(x, ws);
+        ws.release(logz);
+        let n = probs.rows();
+        let c1 = probs.cols();
+        HvpState {
+            bufs: vec![probs.into_vec()],
+            dims: (n, c1),
+        }
+    }
+
+    fn hvp_prepared_into(&self, state: &HvpState, v: &[f64], out: &mut [f64], ws: &mut Workspace) {
+        self.hvp_core(&state.bufs[0], v, out, ws);
     }
 
     fn cost_value_grad(&self) -> OpCost {
@@ -185,42 +256,69 @@ impl Objective for SoftmaxCrossEntropy {
         let c1 = (self.num_classes - 1) as f64;
         let n = self.features.rows() as f64;
         // Two GEMM-like passes (margins + gradient) plus the softmax rows.
-        OpCost::new(4.0 * nnz * c1 + 6.0 * n * c1, 2.0 * self.features.storage_bytes() as f64 + 3.0 * n * c1 * 8.0)
+        OpCost::new(
+            4.0 * nnz * c1 + 6.0 * n * c1,
+            2.0 * self.features.storage_bytes() as f64 + 3.0 * n * c1 * 8.0,
+        )
     }
 
     fn cost_hessian_vec(&self) -> OpCost {
         let nnz = self.features.stored_entries() as f64;
         let c1 = (self.num_classes - 1) as f64;
         let n = self.features.rows() as f64;
-        OpCost::new(4.0 * nnz * c1 + 4.0 * n * c1, 2.0 * self.features.storage_bytes() as f64 + 3.0 * n * c1 * 8.0)
+        OpCost::new(
+            4.0 * nnz * c1 + 4.0 * n * c1,
+            2.0 * self.features.storage_bytes() as f64 + 3.0 * n * c1 * 8.0,
+        )
     }
 }
 
 impl SoftmaxCrossEntropy {
-    /// Hessian-vector product given precomputed class probabilities.
-    fn hvp_with_probs(&self, probs: &DenseMatrix, v: &[f64]) -> Vec<f64> {
+    /// Gradient tail shared by `gradient_into` and `value_and_gradient_into`:
+    /// consumes the pooled `probs` matrix, computes `∇F = (P − Y)ᵀ X + λx`
+    /// into `out`, and returns the scratch to the pool.
+    fn residual_gradient_into(&self, mut probs: DenseMatrix, x: &[f64], out: &mut [f64], ws: &mut Workspace) {
+        // R = P − Y  (n × (C−1))
+        self.device.axpy(-1.0, self.one_hot.as_slice(), probs.as_mut_slice());
+        // G = Rᵀ X  ((C−1) × p)
+        let mut grad = DenseMatrix::from_vec(self.num_classes - 1, self.num_features(), ws.acquire(self.dim()));
+        self.device.gemm_tn_into(&self.features, &probs, &mut grad);
+        out.copy_from_slice(grad.as_slice());
+        ws.release(grad.into_vec());
+        ws.release(probs.into_vec());
+        self.device.axpy(self.lambda, x, out);
+    }
+
+    /// Hessian-vector product given precomputed class probabilities (row-major
+    /// n × (C−1) slice): `Hv = Sᵀ X + λv` with
+    /// `S_i = diag(p_i) u_i − p_i (p_iᵀ u_i)`, `U = X Vᵀ`. All scratch is
+    /// pooled; this is the kernel CG launches every inner iteration.
+    fn hvp_core(&self, probs: &[f64], v: &[f64], out: &mut [f64], ws: &mut Workspace) {
         assert_eq!(v.len(), self.dim(), "direction vector has wrong length");
-        let vm = DenseMatrix::from_vec(self.num_classes - 1, self.features.cols(), v.to_vec());
+        let vm = self.pooled_weights(v, ws);
         // U = X Vᵀ  (n × (C−1))
-        let u = self.features.gemm_nt(&vm).expect("hvp margin gemm");
-        // S_i = diag(p_i) u_i − p_i (p_iᵀ u_i)
-        let n = u.rows();
-        let c1 = u.cols();
-        let mut s = DenseMatrix::zeros(n, c1);
+        let n = self.features.rows();
+        let c1 = self.num_classes - 1;
+        let mut u = DenseMatrix::from_vec(n, c1, ws.acquire(n * c1));
+        self.device.gemm_nt_into(&self.features, &vm, &mut u);
+        ws.release(vm.into_vec());
+        // S_i = diag(p_i) u_i − p_i (p_iᵀ u_i), overwriting U row by row.
+        self.device.charge_kernel(4.0 * (n * c1) as f64, 3.0 * (n * c1) as f64 * 8.0);
         for i in 0..n {
-            let p = probs.row(i);
-            let ui = u.row(i);
-            let pu: f64 = p.iter().zip(ui).map(|(a, b)| a * b).sum();
-            let srow = s.row_mut(i);
+            let p = &probs[i * c1..(i + 1) * c1];
+            let urow = u.row_mut(i);
+            let pu: f64 = p.iter().zip(urow.iter()).map(|(a, b)| a * b).sum();
             for c in 0..c1 {
-                srow[c] = p[c] * ui[c] - p[c] * pu;
+                urow[c] = p[c] * urow[c] - p[c] * pu;
             }
         }
         // Hv = Sᵀ X + λ v
-        let hv = self.features.gemm_tn_from_dense(&s).expect("hvp gemm");
-        let mut out = hv.into_vec();
-        vector::axpy(self.lambda, v, &mut out);
-        out
+        let mut hv = DenseMatrix::from_vec(c1, self.num_features(), ws.acquire(self.dim()));
+        self.device.gemm_tn_into(&self.features, &u, &mut hv);
+        out.copy_from_slice(hv.as_slice());
+        ws.release(hv.into_vec());
+        ws.release(u.into_vec());
+        self.device.axpy(self.lambda, v, out);
     }
 }
 
@@ -229,7 +327,7 @@ mod tests {
     use super::*;
     use crate::finite_diff;
     use nadmm_data::SyntheticConfig;
-    use nadmm_linalg::gen;
+    use nadmm_linalg::{gen, vector};
 
     fn small_problem(classes: usize, sparse: bool) -> (Dataset, SoftmaxCrossEntropy) {
         let mut cfg = SyntheticConfig::mnist_like()
@@ -373,7 +471,11 @@ mod tests {
     #[test]
     fn cost_estimates_are_positive_and_scale_with_data() {
         let (_, small_obj) = small_problem(4, false);
-        let cfg = SyntheticConfig::mnist_like().with_train_size(200).with_test_size(10).with_num_features(6).with_num_classes(4);
+        let cfg = SyntheticConfig::mnist_like()
+            .with_train_size(200)
+            .with_test_size(10)
+            .with_num_features(6)
+            .with_num_classes(4);
         let (big_train, _) = cfg.generate(1);
         let big_obj = SoftmaxCrossEntropy::new(&big_train, 1e-3);
         assert!(small_obj.cost_value_grad().flops > 0.0);

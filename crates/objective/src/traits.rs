@@ -1,4 +1,22 @@
 //! The objective-function interface shared by every solver in the workspace.
+//!
+//! Two families of methods coexist:
+//!
+//! * **Allocating** (`value`, `gradient`, `hessian_vec`, …) — the ergonomic
+//!   API used by tests and one-shot callers; every call returns fresh
+//!   storage.
+//! * **In-place / workspace** (`value_ws`, `gradient_into`,
+//!   `hessian_vec_into`, `prepare_hvp` + `hvp_prepared_into`) — the hot-path
+//!   API: results are written into caller-provided slices and all scratch is
+//!   acquired from a [`Workspace`] pool, so steady-state solver loops
+//!   allocate nothing. Default implementations delegate to the allocating
+//!   methods, so existing `Objective` impls keep working; the workspace-aware
+//!   objectives (`SoftmaxCrossEntropy`, `Quadratic`, `RidgeRegression`,
+//!   `ProximalAugmented`) override them to execute through the
+//!   [`nadmm_device::Device`] engine, which also charges the simulated-GPU
+//!   cost model per actual kernel launch.
+
+use nadmm_device::{Device, Workspace};
 
 /// Analytic cost (FLOPs and bytes touched) of one evaluation of an objective
 /// operation. The distributed drivers feed these numbers to the simulated
@@ -20,13 +38,38 @@ impl OpCost {
 
     /// Sum of two costs.
     pub fn plus(self, other: OpCost) -> OpCost {
-        OpCost { flops: self.flops + other.flops, bytes: self.bytes + other.bytes }
+        OpCost {
+            flops: self.flops + other.flops,
+            bytes: self.bytes + other.bytes,
+        }
     }
 
     /// Cost scaled by a constant factor (e.g. per CG iteration).
     pub fn times(self, k: f64) -> OpCost {
-        OpCost { flops: self.flops * k, bytes: self.bytes * k }
+        OpCost {
+            flops: self.flops * k,
+            bytes: self.bytes * k,
+        }
     }
+}
+
+/// Boxed Hessian-vector operator returned by [`Objective::hvp_operator`].
+pub type HvpOperator<'a> = Box<dyn Fn(&[f64]) -> Vec<f64> + Send + Sync + 'a>;
+
+/// Opaque per-`x` state for repeated Hessian-vector products, produced by
+/// [`Objective::prepare_hvp`] and consumed by [`Objective::hvp_prepared_into`].
+///
+/// The buffers come from (and return to) a [`Workspace`], so one Newton step
+/// costs one `prepare_hvp` and `m` allocation-free products for its `m` CG
+/// iterations. The interpretation of `bufs`/`dims` is private to the
+/// objective that created the state.
+#[derive(Debug)]
+pub struct HvpState {
+    /// Pooled buffers owned by this state (returned via
+    /// [`Objective::release_hvp`]).
+    pub bufs: Vec<Vec<f64>>,
+    /// Implementation-defined shape information.
+    pub dims: (usize, usize),
 }
 
 /// A twice-differentiable finite-sum objective `F(x) = Σ_i f_i(x) + g(x)`.
@@ -64,17 +107,87 @@ pub trait Objective: Sync + Send {
     /// reusable per-`x` state (like the softmax probabilities) override this
     /// so that the `m` CG iterations at one Newton step cost `m` GEMM pairs
     /// instead of `2m`.
-    fn hvp_operator<'a>(&'a self, x: &[f64]) -> Box<dyn Fn(&[f64]) -> Vec<f64> + Send + Sync + 'a> {
+    fn hvp_operator<'a>(&'a self, x: &[f64]) -> HvpOperator<'a> {
         let x = x.to_vec();
         Box::new(move |v| self.hessian_vec(&x, v))
     }
 
+    // ------------------------------------------------------------------
+    // Workspace / in-place API (the solver hot path). Defaults delegate to
+    // the allocating methods so third-party objectives keep working.
+    // ------------------------------------------------------------------
+
+    /// The execution engine this objective launches kernels on, when it has
+    /// been threaded through one. Wrappers ([`crate::ProximalAugmented`])
+    /// forward their base objective's device so composite terms charge the
+    /// same simulated clock.
+    fn device(&self) -> Option<&Device> {
+        None
+    }
+
+    /// Objective value with pooled scratch.
+    fn value_ws(&self, x: &[f64], ws: &mut Workspace) -> f64 {
+        let _ = ws;
+        self.value(x)
+    }
+
+    /// Gradient written into `out` (length [`Objective::dim`]).
+    fn gradient_into(&self, x: &[f64], out: &mut [f64], ws: &mut Workspace) {
+        let _ = ws;
+        out.copy_from_slice(&self.gradient(x));
+    }
+
+    /// Value and gradient together; the gradient is written into `out` and
+    /// the value returned.
+    fn value_and_gradient_into(&self, x: &[f64], out: &mut [f64], ws: &mut Workspace) -> f64 {
+        let _ = ws;
+        let (v, g) = self.value_and_gradient(x);
+        out.copy_from_slice(&g);
+        v
+    }
+
+    /// Hessian-vector product written into `out`.
+    fn hessian_vec_into(&self, x: &[f64], v: &[f64], out: &mut [f64], ws: &mut Workspace) {
+        let _ = ws;
+        out.copy_from_slice(&self.hessian_vec(x, v));
+    }
+
+    /// Captures the per-`x` state needed for repeated Hessian-vector
+    /// products (e.g. the softmax probabilities), using pooled buffers.
+    /// Callers must hand the state back via [`Objective::release_hvp`].
+    fn prepare_hvp(&self, x: &[f64], ws: &mut Workspace) -> HvpState {
+        let mut snapshot = ws.acquire(x.len());
+        snapshot.copy_from_slice(x);
+        HvpState {
+            bufs: vec![snapshot],
+            dims: (x.len(), 0),
+        }
+    }
+
+    /// Allocation-free Hessian-vector product at the point captured by
+    /// `state`.
+    fn hvp_prepared_into(&self, state: &HvpState, v: &[f64], out: &mut [f64], ws: &mut Workspace) {
+        self.hessian_vec_into(&state.bufs[0], v, out, ws);
+    }
+
+    /// Returns a prepared-HVP state's buffers to the workspace pool.
+    fn release_hvp(&self, state: HvpState, ws: &mut Workspace) {
+        for buf in state.bufs {
+            ws.release(buf);
+        }
+    }
+
     /// Analytic cost of one value+gradient evaluation.
+    ///
+    /// Retained as an *estimate* for planning/reporting; the execution-engine
+    /// objectives charge the simulated device per actual kernel launch
+    /// instead of through this.
     fn cost_value_grad(&self) -> OpCost {
         OpCost::default()
     }
 
-    /// Analytic cost of one Hessian-vector product.
+    /// Analytic cost of one Hessian-vector product (estimate; see
+    /// [`Objective::cost_value_grad`]).
     fn cost_hessian_vec(&self) -> OpCost {
         OpCost::default()
     }

@@ -6,6 +6,7 @@
 //! iteration budget (the paper uses 10–30 iterations with θ between 1e-4 and
 //! 1e-10).
 
+use nadmm_device::Workspace;
 use nadmm_linalg::vector;
 use serde::{Deserialize, Serialize};
 
@@ -21,7 +22,10 @@ pub struct CgConfig {
 impl Default for CgConfig {
     fn default() -> Self {
         // The paper's Figure 1 setting: 10 CG iterations, tolerance 1e-4.
-        Self { max_iters: 10, tolerance: 1e-4 }
+        Self {
+            max_iters: 10,
+            tolerance: 1e-4,
+        }
     }
 }
 
@@ -38,6 +42,18 @@ pub struct CgResult {
     pub converged: bool,
 }
 
+/// Iteration statistics of an in-place CG solve (the solution itself is
+/// written into the caller's buffer).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CgStats {
+    /// Number of iterations performed.
+    pub iterations: usize,
+    /// Final residual norm `‖b − A x‖`.
+    pub residual_norm: f64,
+    /// Whether the relative tolerance was reached within the budget.
+    pub converged: bool,
+}
+
 /// Solves `A x = b` for SPD `A` given as a matrix-free operator, starting
 /// from `x = 0`.
 ///
@@ -45,21 +61,57 @@ pub struct CgResult {
 /// non-SPD operator can diverge (the caller is responsible — for the
 /// objectives in this workspace the Hessian plus the L2/proximal terms is
 /// always SPD).
+///
+/// Allocating convenience wrapper over [`conjugate_gradient_into`]; hot
+/// loops should call the in-place version with a shared [`Workspace`].
 pub fn conjugate_gradient(apply: impl Fn(&[f64]) -> Vec<f64>, b: &[f64], config: &CgConfig) -> CgResult {
+    let mut ws = Workspace::new();
+    let mut x = vec![0.0; b.len()];
+    let stats = conjugate_gradient_into(|v, out, _ws| out.copy_from_slice(&apply(v)), b, &mut x, config, &mut ws);
+    CgResult {
+        x,
+        iterations: stats.iterations,
+        residual_norm: stats.residual_norm,
+        converged: stats.converged,
+    }
+}
+
+/// In-place CG core: solves `A x = b` into the caller's `x` buffer, drawing
+/// every scratch vector (`r`, `p`, `Ap`) from the workspace pool. Once the
+/// pool is warm the loop performs **zero heap allocations per iteration**:
+/// the residual update and its norm are fused into one
+/// [`vector::axpy_dot`] pass, and the operator writes into a pooled buffer.
+///
+/// The operator receives `(v, out, ws)` and must write `A·v` into `out`.
+///
+/// # Panics
+/// Panics if `x.len() != b.len()`.
+pub fn conjugate_gradient_into<F>(mut apply: F, b: &[f64], x: &mut [f64], config: &CgConfig, ws: &mut Workspace) -> CgStats
+where
+    F: FnMut(&[f64], &mut [f64], &mut Workspace),
+{
     let n = b.len();
-    let mut x = vec![0.0; n];
-    let mut r = b.to_vec(); // r = b - A·0 = b
-    let mut p = r.clone();
+    assert_eq!(x.len(), n, "cg: solution buffer has wrong length");
+    vector::fill(x, 0.0);
     let b_norm = vector::norm2(b);
     if b_norm == 0.0 {
-        return CgResult { x, iterations: 0, residual_norm: 0.0, converged: true };
+        return CgStats {
+            iterations: 0,
+            residual_norm: 0.0,
+            converged: true,
+        };
     }
+    let mut r = ws.acquire(n); // r = b - A·0 = b
+    r.copy_from_slice(b);
+    let mut p = ws.acquire(n);
+    p.copy_from_slice(b);
+    let mut ap = ws.acquire(n);
     let target = config.tolerance * b_norm;
     let mut rs_old = vector::norm2_sq(&r);
     let mut iterations = 0;
     let mut converged = rs_old.sqrt() <= target;
     while iterations < config.max_iters && !converged {
-        let ap = apply(&p);
+        apply(&p, &mut ap, ws);
         let p_ap = vector::dot(&p, &ap);
         if p_ap <= 0.0 || !p_ap.is_finite() {
             // Negative curvature or numerical breakdown — stop with the
@@ -68,9 +120,9 @@ pub fn conjugate_gradient(apply: impl Fn(&[f64]) -> Vec<f64>, b: &[f64], config:
             break;
         }
         let alpha = rs_old / p_ap;
-        vector::axpy(alpha, &p, &mut x);
-        vector::axpy(-alpha, &ap, &mut r);
-        let rs_new = vector::norm2_sq(&r);
+        vector::axpy(alpha, &p, x);
+        // Fused r ← r − α·Ap and ‖r‖² in one pass.
+        let rs_new = vector::axpy_dot(-alpha, &ap, &mut r);
         iterations += 1;
         if rs_new.sqrt() <= target {
             converged = true;
@@ -82,7 +134,14 @@ pub fn conjugate_gradient(apply: impl Fn(&[f64]) -> Vec<f64>, b: &[f64], config:
         vector::axpby(1.0, &r, beta, &mut p);
         rs_old = rs_new;
     }
-    CgResult { x, iterations, residual_norm: rs_old.sqrt(), converged }
+    ws.release(r);
+    ws.release(p);
+    ws.release(ap);
+    CgStats {
+        iterations,
+        residual_norm: rs_old.sqrt(),
+        converged,
+    }
 }
 
 #[cfg(test)]
@@ -99,7 +158,14 @@ mod tests {
     fn solves_identity_in_one_iteration() {
         let a = DenseMatrix::identity(5);
         let b = vec![1.0, 2.0, 3.0, 4.0, 5.0];
-        let res = conjugate_gradient(operator_for(&a), &b, &CgConfig { max_iters: 10, tolerance: 1e-12 });
+        let res = conjugate_gradient(
+            operator_for(&a),
+            &b,
+            &CgConfig {
+                max_iters: 10,
+                tolerance: 1e-12,
+            },
+        );
         assert!(res.converged);
         assert!(res.iterations <= 2);
         for (x, bb) in res.x.iter().zip(&b) {
@@ -113,7 +179,14 @@ mod tests {
         for n in [4, 8, 16] {
             let a = gen::spd_with_condition(n, 100.0, &mut rng);
             let b = gen::gaussian_vector(n, &mut rng);
-            let res = conjugate_gradient(operator_for(&a), &b, &CgConfig { max_iters: 10 * n, tolerance: 1e-12 });
+            let res = conjugate_gradient(
+                operator_for(&a),
+                &b,
+                &CgConfig {
+                    max_iters: 10 * n,
+                    tolerance: 1e-12,
+                },
+            );
             let exact = solve_dense(&a, &b);
             assert!(res.converged, "cg did not converge for n={n}");
             for (x, y) in res.x.iter().zip(&exact) {
@@ -129,7 +202,14 @@ mod tests {
         let n = 12;
         let a = gen::spd_with_condition(n, 10.0, &mut rng);
         let b = gen::gaussian_vector(n, &mut rng);
-        let res = conjugate_gradient(operator_for(&a), &b, &CgConfig { max_iters: n + 2, tolerance: 1e-10 });
+        let res = conjugate_gradient(
+            operator_for(&a),
+            &b,
+            &CgConfig {
+                max_iters: n + 2,
+                tolerance: 1e-10,
+            },
+        );
         assert!(res.converged);
         assert!(res.iterations <= n + 1);
     }
@@ -139,8 +219,22 @@ mod tests {
         let mut rng = gen::seeded_rng(7);
         let a = gen::spd_with_condition(30, 1000.0, &mut rng);
         let b = gen::gaussian_vector(30, &mut rng);
-        let loose = conjugate_gradient(operator_for(&a), &b, &CgConfig { max_iters: 200, tolerance: 1e-2 });
-        let tight = conjugate_gradient(operator_for(&a), &b, &CgConfig { max_iters: 200, tolerance: 1e-10 });
+        let loose = conjugate_gradient(
+            operator_for(&a),
+            &b,
+            &CgConfig {
+                max_iters: 200,
+                tolerance: 1e-2,
+            },
+        );
+        let tight = conjugate_gradient(
+            operator_for(&a),
+            &b,
+            &CgConfig {
+                max_iters: 200,
+                tolerance: 1e-10,
+            },
+        );
         assert!(loose.converged && tight.converged);
         assert!(loose.iterations < tight.iterations);
         let b_norm = vector::norm2(&b);
@@ -162,7 +256,14 @@ mod tests {
         let mut rng = gen::seeded_rng(11);
         let a = gen::spd_with_condition(50, 1e6, &mut rng);
         let b = gen::gaussian_vector(50, &mut rng);
-        let res = conjugate_gradient(operator_for(&a), &b, &CgConfig { max_iters: 3, tolerance: 1e-14 });
+        let res = conjugate_gradient(
+            operator_for(&a),
+            &b,
+            &CgConfig {
+                max_iters: 3,
+                tolerance: 1e-14,
+            },
+        );
         assert!(res.iterations <= 3);
     }
 

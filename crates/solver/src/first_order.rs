@@ -128,7 +128,14 @@ pub fn minimize(obj: &dyn Objective, x0: &[f64], config: &FirstOrderConfig) -> F
         trace.push(iterations, value, grad_norm, start.elapsed().as_secs_f64());
         converged = grad_norm < config.grad_tol;
     }
-    FirstOrderResult { x, value, grad_norm, iterations, converged, trace }
+    FirstOrderResult {
+        x,
+        value,
+        grad_norm,
+        iterations,
+        converged,
+        trace,
+    }
 }
 
 #[cfg(test)]
@@ -149,8 +156,13 @@ mod tests {
     #[test]
     fn gradient_descent_converges_on_well_conditioned_quadratics() {
         let q = quadratic(1);
-        let cfg = FirstOrderConfig { step_size: 0.05, max_iters: 20_000, grad_tol: 1e-6, ..Default::default() };
-        let res = minimize(&q, &vec![0.0; 6], &cfg);
+        let cfg = FirstOrderConfig {
+            step_size: 0.05,
+            max_iters: 20_000,
+            grad_tol: 1e-6,
+            ..Default::default()
+        };
+        let res = minimize(&q, &[0.0; 6], &cfg);
         assert!(res.converged, "gd stalled at grad norm {}", res.grad_norm);
         let xstar = q.exact_minimizer();
         for (a, b) in res.x.iter().zip(&xstar) {
@@ -169,7 +181,12 @@ mod tests {
             FirstOrderMethod::Adagrad,
             FirstOrderMethod::Adam,
         ] {
-            let cfg = FirstOrderConfig { method, step_size: 0.02, max_iters: 200, ..Default::default() };
+            let cfg = FirstOrderConfig {
+                method,
+                step_size: 0.02,
+                max_iters: 200,
+                ..Default::default()
+            };
             let res = minimize(&q, &x0, &cfg);
             assert!(res.value < f0, "{method:?} did not reduce the objective");
             assert_eq!(res.trace.len(), res.iterations + 1);
@@ -185,13 +202,22 @@ mod tests {
         let iters = 300;
         let gd = minimize(
             &q,
-            &vec![0.0; 10],
-            &FirstOrderConfig { step_size: 1e-3, max_iters: iters, ..Default::default() },
+            &[0.0; 10],
+            &FirstOrderConfig {
+                step_size: 1e-3,
+                max_iters: iters,
+                ..Default::default()
+            },
         );
         let mom = minimize(
             &q,
-            &vec![0.0; 10],
-            &FirstOrderConfig { method: FirstOrderMethod::Momentum, step_size: 1e-3, max_iters: iters, ..Default::default() },
+            &[0.0; 10],
+            &FirstOrderConfig {
+                method: FirstOrderMethod::Momentum,
+                step_size: 1e-3,
+                max_iters: iters,
+                ..Default::default()
+            },
         );
         assert!(mom.value <= gd.value, "momentum {} vs gd {}", mom.value, gd.value);
     }
@@ -209,11 +235,20 @@ mod tests {
             .generate(5);
         let obj = SoftmaxCrossEntropy::new(&train, 1e-4);
         let x0 = vec![0.0; obj.dim()];
-        let newton = NewtonCg::new(NewtonConfig { max_iters: 10, ..Default::default() }).minimize(&obj, &x0);
+        let newton = NewtonCg::new(NewtonConfig {
+            max_iters: 10,
+            ..Default::default()
+        })
+        .minimize(&obj, &x0);
         let adam = minimize(
             &obj,
             &x0,
-            &FirstOrderConfig { method: FirstOrderMethod::Adam, step_size: 0.05, max_iters: 10, ..Default::default() },
+            &FirstOrderConfig {
+                method: FirstOrderMethod::Adam,
+                step_size: 0.05,
+                max_iters: 10,
+                ..Default::default()
+            },
         );
         assert!(
             newton.value < adam.value,
@@ -227,7 +262,14 @@ mod tests {
     fn stops_early_at_the_optimum() {
         let q = quadratic(4);
         let xstar = q.exact_minimizer();
-        let res = minimize(&q, &xstar, &FirstOrderConfig { grad_tol: 1e-6, ..Default::default() });
+        let res = minimize(
+            &q,
+            &xstar,
+            &FirstOrderConfig {
+                grad_tol: 1e-6,
+                ..Default::default()
+            },
+        );
         assert!(res.converged);
         assert_eq!(res.iterations, 0);
     }

@@ -18,10 +18,10 @@ pub mod linesearch;
 pub mod newton;
 pub mod trace;
 
-pub use cg::{conjugate_gradient, CgConfig, CgResult};
+pub use cg::{conjugate_gradient, conjugate_gradient_into, CgConfig, CgResult, CgStats};
 pub use first_order::{FirstOrderConfig, FirstOrderMethod, FirstOrderResult};
-pub use linesearch::{armijo_backtracking, LineSearchConfig, LineSearchResult};
-pub use newton::{NewtonCg, NewtonConfig, NewtonResult};
+pub use linesearch::{armijo_backtracking, armijo_backtracking_ws, LineSearchConfig, LineSearchResult};
+pub use newton::{NewtonCg, NewtonConfig, NewtonResult, NewtonStepStats};
 pub use trace::{ConvergenceTrace, TraceEntry};
 
 #[cfg(test)]
@@ -34,13 +34,7 @@ mod tests {
         let (obj, _) = nadmm_objective::ridge::random_ridge_problem(60, 6, 0.5, 0.05, 1);
         let result = NewtonCg::new(NewtonConfig::default()).minimize(&obj, &vec![0.0; obj.dim()]);
         let xstar = obj.exact_minimizer();
-        let err: f64 = result
-            .x
-            .iter()
-            .zip(&xstar)
-            .map(|(a, b)| (a - b) * (a - b))
-            .sum::<f64>()
-            .sqrt();
+        let err: f64 = result.x.iter().zip(&xstar).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
         assert!(err < 1e-4, "newton solution off by {err}");
     }
 }

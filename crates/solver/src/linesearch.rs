@@ -12,6 +12,7 @@
 //! each Newton-ADMM worker can terminate this loop early, which the paper
 //! identifies as one source of its lower epoch time.
 
+use nadmm_device::Workspace;
 use nadmm_linalg::vector;
 use nadmm_objective::Objective;
 use serde::{Deserialize, Serialize};
@@ -31,7 +32,12 @@ pub struct LineSearchConfig {
 
 impl Default for LineSearchConfig {
     fn default() -> Self {
-        Self { initial_step: 1.0, beta: 1e-4, shrink: 0.5, max_iters: 10 }
+        Self {
+            initial_step: 1.0,
+            beta: 1e-4,
+            shrink: 0.5,
+            max_iters: 10,
+        }
     }
 }
 
@@ -52,6 +58,8 @@ pub struct LineSearchResult {
 
 /// Runs Armijo backtracking for objective `obj` from point `x` along
 /// direction `p`, given the current value `fx` and gradient `grad`.
+///
+/// Allocating convenience wrapper over [`armijo_backtracking_ws`].
 pub fn armijo_backtracking(
     obj: &dyn Objective,
     x: &[f64],
@@ -60,25 +68,48 @@ pub fn armijo_backtracking(
     grad: &[f64],
     config: &LineSearchConfig,
 ) -> LineSearchResult {
+    armijo_backtracking_ws(obj, x, p, fx, grad, config, &mut Workspace::new())
+}
+
+/// Workspace-backed Armijo backtracking: the trial point and every objective
+/// evaluation draw scratch from the pool, so repeated line searches allocate
+/// nothing once warm.
+pub fn armijo_backtracking_ws(
+    obj: &dyn Objective,
+    x: &[f64],
+    p: &[f64],
+    fx: f64,
+    grad: &[f64],
+    config: &LineSearchConfig,
+    ws: &mut Workspace,
+) -> LineSearchResult {
     let slope = vector::dot(p, grad);
     let mut alpha = config.initial_step;
     let mut evaluations = 0;
-    let mut trial = vec![0.0; x.len()];
+    let mut trial = ws.acquire(x.len());
     let mut value = fx;
+    let mut satisfied = false;
     for i in 0..=config.max_iters {
         trial.copy_from_slice(x);
         vector::axpy(alpha, p, &mut trial);
-        value = obj.value(&trial);
+        value = obj.value_ws(&trial, ws);
         evaluations += 1;
         if value <= fx + alpha * config.beta * slope {
-            return LineSearchResult { step: alpha, value, evaluations, satisfied: true };
+            satisfied = true;
+            break;
         }
         if i == config.max_iters {
             break;
         }
         alpha *= config.shrink;
     }
-    LineSearchResult { step: alpha, value, evaluations, satisfied: false }
+    ws.release(trial);
+    LineSearchResult {
+        step: alpha,
+        value,
+        evaluations,
+        satisfied,
+    }
 }
 
 #[cfg(test)]
@@ -128,7 +159,10 @@ mod tests {
         let (fx, g) = q.value_and_gradient(&x);
         // An ascent direction (+gradient) can never satisfy Armijo.
         let p = g.clone();
-        let cfg = LineSearchConfig { max_iters: 5, ..LineSearchConfig::default() };
+        let cfg = LineSearchConfig {
+            max_iters: 5,
+            ..LineSearchConfig::default()
+        };
         let res = armijo_backtracking(&q, &x, &p, fx, &g, &cfg);
         assert!(!res.satisfied);
         assert_eq!(res.evaluations, cfg.max_iters + 1);
@@ -140,7 +174,17 @@ mod tests {
         let x = vec![0.0; 4];
         let (fx, g) = q.value_and_gradient(&x);
         let p: Vec<f64> = q.exact_minimizer().iter().map(|v| 64.0 * v).collect();
-        let res = armijo_backtracking(&q, &x, &p, fx, &g, &LineSearchConfig { shrink: 0.25, ..Default::default() });
+        let res = armijo_backtracking(
+            &q,
+            &x,
+            &p,
+            fx,
+            &g,
+            &LineSearchConfig {
+                shrink: 0.25,
+                ..Default::default()
+            },
+        );
         // Steps tried: 1, 0.25, 0.0625, ... — so the accepted step is a power of 0.25.
         let log = res.step.log(0.25);
         assert!((log - log.round()).abs() < 1e-9, "step {} not a power of 0.25", res.step);

@@ -6,9 +6,10 @@
 //! linearly convergent for the strongly-convex objectives used here
 //! (Roosta-Khorasani & Mahoney 2016), with a problem-independent local rate.
 
-use crate::cg::{conjugate_gradient, CgConfig};
-use crate::linesearch::{armijo_backtracking, LineSearchConfig};
+use crate::cg::{conjugate_gradient_into, CgConfig};
+use crate::linesearch::{armijo_backtracking_ws, LineSearchConfig};
 use crate::trace::ConvergenceTrace;
+use nadmm_device::Workspace;
 use nadmm_linalg::vector;
 use nadmm_objective::Objective;
 use serde::{Deserialize, Serialize};
@@ -29,7 +30,12 @@ pub struct NewtonConfig {
 
 impl Default for NewtonConfig {
     fn default() -> Self {
-        Self { max_iters: 100, grad_tol: 1e-8, cg: CgConfig::default(), line_search: LineSearchConfig::default() }
+        Self {
+            max_iters: 100,
+            grad_tol: 1e-8,
+            cg: CgConfig::default(),
+            line_search: LineSearchConfig::default(),
+        }
     }
 }
 
@@ -74,46 +80,96 @@ impl NewtonCg {
     /// Performs a single Newton step from `x`: returns the new iterate along
     /// with `(cg_iterations, line_search_evaluations)`. This is the primitive
     /// each ADMM worker calls on its augmented local objective.
+    ///
+    /// Allocating convenience wrapper over [`NewtonCg::step_ws`].
     pub fn step(&self, obj: &dyn Objective, x: &[f64]) -> (Vec<f64>, usize, usize) {
-        let (fx, grad) = obj.value_and_gradient(x);
-        let hvp = obj.hvp_operator(x);
-        let neg_grad: Vec<f64> = grad.iter().map(|g| -g).collect();
-        let cg_res = conjugate_gradient(|v| hvp(v), &neg_grad, &self.config.cg);
-        let ls = armijo_backtracking(obj, x, &cg_res.x, fx, &grad, &self.config.line_search);
         let mut x_new = x.to_vec();
-        vector::axpy(ls.step, &cg_res.x, &mut x_new);
-        (x_new, cg_res.iterations, ls.evaluations)
+        let stats = self.step_ws(obj, &mut x_new, &mut Workspace::new());
+        (x_new, stats.cg_iterations, stats.line_search_evals)
+    }
+
+    /// In-place Newton step: advances `x` by one inexact Newton-CG step,
+    /// drawing every scratch vector from the workspace pool. With a warm
+    /// pool, one step's inner CG loop performs zero heap allocations per
+    /// iteration — the per-`x` Hessian state (`prepare_hvp`) is captured
+    /// once and reused across all CG iterations of the step.
+    pub fn step_ws(&self, obj: &dyn Objective, x: &mut [f64], ws: &mut Workspace) -> NewtonStepStats {
+        let n = x.len();
+        let mut grad = ws.acquire(n);
+        let fx = obj.value_and_gradient_into(x, &mut grad, ws);
+        let stats = self.step_with_gradient(obj, x, fx, &grad, ws);
+        ws.release(grad);
+        stats
+    }
+
+    /// Step core shared by [`NewtonCg::step_ws`] and [`NewtonCg::minimize`]:
+    /// runs CG on `H p = −g` and applies the Armijo step to `x` in place.
+    fn step_with_gradient(
+        &self,
+        obj: &dyn Objective,
+        x: &mut [f64],
+        fx: f64,
+        grad: &[f64],
+        ws: &mut Workspace,
+    ) -> NewtonStepStats {
+        let n = x.len();
+        let hvp_state = obj.prepare_hvp(x, ws);
+        let mut neg_grad = ws.acquire(n);
+        for (ng, g) in neg_grad.iter_mut().zip(grad) {
+            *ng = -g;
+        }
+        let mut direction = ws.acquire(n);
+        let cg = conjugate_gradient_into(
+            |v, out, ws| obj.hvp_prepared_into(&hvp_state, v, out, ws),
+            &neg_grad,
+            &mut direction,
+            &self.config.cg,
+            ws,
+        );
+        obj.release_hvp(hvp_state, ws);
+        ws.release(neg_grad);
+        let ls = armijo_backtracking_ws(obj, x, &direction, fx, grad, &self.config.line_search, ws);
+        vector::axpy(ls.step, &direction, x);
+        ws.release(direction);
+        NewtonStepStats {
+            cg_iterations: cg.iterations,
+            line_search_evals: ls.evaluations,
+            value: ls.value,
+        }
     }
 
     /// Minimises `obj` starting from `x0`.
     pub fn minimize(&self, obj: &dyn Objective, x0: &[f64]) -> NewtonResult {
+        self.minimize_ws(obj, x0, &mut Workspace::new())
+    }
+
+    /// Minimises `obj` starting from `x0`, reusing the caller's workspace
+    /// pool across all Newton iterations (and across calls).
+    pub fn minimize_ws(&self, obj: &dyn Objective, x0: &[f64], ws: &mut Workspace) -> NewtonResult {
         assert_eq!(x0.len(), obj.dim(), "initial point has wrong dimension");
         let start = Instant::now();
+        let n = x0.len();
         let mut x = x0.to_vec();
         let mut trace = ConvergenceTrace::new();
         let mut total_cg = 0usize;
         let mut total_ls = 0usize;
-        let (mut value, mut grad) = obj.value_and_gradient(&x);
+        let mut grad = ws.acquire(n);
+        let mut value = obj.value_and_gradient_into(&x, &mut grad, ws);
         let mut grad_norm = vector::norm2(&grad);
         trace.push(0, value, grad_norm, start.elapsed().as_secs_f64());
         let mut iterations = 0usize;
         let mut converged = grad_norm < self.config.grad_tol;
         while iterations < self.config.max_iters && !converged {
-            let hvp = obj.hvp_operator(&x);
-            let neg_grad: Vec<f64> = grad.iter().map(|g| -g).collect();
-            let cg_res = conjugate_gradient(|v| hvp(v), &neg_grad, &self.config.cg);
-            total_cg += cg_res.iterations;
-            let ls = armijo_backtracking(obj, &x, &cg_res.x, value, &grad, &self.config.line_search);
-            total_ls += ls.evaluations;
-            vector::axpy(ls.step, &cg_res.x, &mut x);
-            let vg = obj.value_and_gradient(&x);
-            value = vg.0;
-            grad = vg.1;
+            let stats = self.step_with_gradient(obj, &mut x, value, &grad, ws);
+            total_cg += stats.cg_iterations;
+            total_ls += stats.line_search_evals;
+            value = obj.value_and_gradient_into(&x, &mut grad, ws);
             grad_norm = vector::norm2(&grad);
             iterations += 1;
             trace.push(iterations, value, grad_norm, start.elapsed().as_secs_f64());
             converged = grad_norm < self.config.grad_tol;
         }
+        ws.release(grad);
         NewtonResult {
             x,
             value,
@@ -125,6 +181,17 @@ impl NewtonCg {
             trace,
         }
     }
+}
+
+/// Statistics of one in-place Newton step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NewtonStepStats {
+    /// CG iterations spent on the direction solve.
+    pub cg_iterations: usize,
+    /// Objective evaluations spent in the line search.
+    pub line_search_evals: usize,
+    /// Objective value at the accepted line-search point.
+    pub value: f64,
 }
 
 #[cfg(test)]
@@ -145,12 +212,19 @@ mod tests {
     fn one_exact_step_solves_a_quadratic() {
         let q = quadratic(8, 100.0, 1);
         let cfg = NewtonConfig {
-            cg: CgConfig { max_iters: 100, tolerance: 1e-14 },
+            cg: CgConfig {
+                max_iters: 100,
+                tolerance: 1e-14,
+            },
             ..Default::default()
         };
-        let res = NewtonCg::new(cfg).minimize(&q, &vec![0.0; 8]);
+        let res = NewtonCg::new(cfg).minimize(&q, &[0.0; 8]);
         assert!(res.converged);
-        assert!(res.iterations <= 2, "exact Newton should converge in one step, took {}", res.iterations);
+        assert!(
+            res.iterations <= 2,
+            "exact Newton should converge in one step, took {}",
+            res.iterations
+        );
         let xstar = q.exact_minimizer();
         for (a, b) in res.x.iter().zip(&xstar) {
             assert!((a - b).abs() < 1e-6);
@@ -163,10 +237,13 @@ mod tests {
         let cfg = NewtonConfig {
             max_iters: 200,
             grad_tol: 1e-7,
-            cg: CgConfig { max_iters: 10, tolerance: 1e-4 },
+            cg: CgConfig {
+                max_iters: 10,
+                tolerance: 1e-4,
+            },
             ..Default::default()
         };
-        let res = NewtonCg::new(cfg).minimize(&q, &vec![0.0; 20]);
+        let res = NewtonCg::new(cfg).minimize(&q, &[0.0; 20]);
         assert!(res.converged, "grad norm stalled at {}", res.grad_norm);
         assert!(res.trace.is_monotone_decreasing(1e-9));
     }
@@ -175,7 +252,10 @@ mod tests {
     fn solves_ridge_regression_to_the_closed_form() {
         let (obj, _) = nadmm_objective::ridge::random_ridge_problem(80, 10, 1.0, 0.1, 5);
         let res = NewtonCg::new(NewtonConfig {
-            cg: CgConfig { max_iters: 50, tolerance: 1e-12 },
+            cg: CgConfig {
+                max_iters: 50,
+                tolerance: 1e-12,
+            },
             ..Default::default()
         })
         .minimize(&obj, &vec![0.0; obj.dim()]);
@@ -196,11 +276,18 @@ mod tests {
         let obj = SoftmaxCrossEntropy::new(&train, 1e-4);
         let x0 = vec![0.0; obj.dim()];
         let acc_before = obj.accuracy(&train, &x0);
-        let res = NewtonCg::new(NewtonConfig { max_iters: 20, ..Default::default() }).minimize(&obj, &x0);
+        let res = NewtonCg::new(NewtonConfig {
+            max_iters: 20,
+            ..Default::default()
+        })
+        .minimize(&obj, &x0);
         let acc_after = obj.accuracy(&train, &res.x);
         assert!(res.value < obj.value(&x0), "loss must decrease");
         assert!(acc_after > acc_before, "accuracy should improve: {acc_before} -> {acc_after}");
-        assert!(res.trace.is_monotone_decreasing(1e-9), "Newton with line search must be monotone");
+        assert!(
+            res.trace.is_monotone_decreasing(1e-9),
+            "Newton with line search must be monotone"
+        );
         assert!(res.total_cg_iterations > 0);
         assert!(res.total_line_search_evals >= res.iterations);
     }

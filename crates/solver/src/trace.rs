@@ -29,7 +29,12 @@ impl ConvergenceTrace {
 
     /// Appends an entry.
     pub fn push(&mut self, iteration: usize, value: f64, grad_norm: f64, elapsed_sec: f64) {
-        self.entries.push(TraceEntry { iteration, value, grad_norm, elapsed_sec });
+        self.entries.push(TraceEntry {
+            iteration,
+            value,
+            grad_norm,
+            elapsed_sec,
+        });
     }
 
     /// All recorded entries, in order.
@@ -54,7 +59,10 @@ impl ConvergenceTrace {
 
     /// The best (smallest) recorded objective value, if any.
     pub fn best_value(&self) -> Option<f64> {
-        self.entries.iter().map(|e| e.value).fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.min(v))))
+        self.entries
+            .iter()
+            .map(|e| e.value)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.min(v))))
     }
 
     /// Whether the recorded objective values are non-increasing up to a

@@ -19,7 +19,12 @@ fn epoch_times(network: NetworkModel, workers: usize, train: &Dataset, weak_per_
     let cluster = Cluster::new(workers, network);
     let admm = NewtonAdmm::new(NewtonAdmmConfig::default().with_lambda(lambda).with_max_iters(iters))
         .run_cluster(&cluster, &shards, None);
-    let giant = Giant::new(GiantConfig { max_iters: iters, lambda, ..Default::default() }).run_cluster(&cluster, &shards, None);
+    let giant = Giant::new(GiantConfig {
+        max_iters: iters,
+        lambda,
+        ..Default::default()
+    })
+    .run_cluster(&cluster, &shards, None);
     (admm.history.avg_epoch_time(), giant.history.avg_epoch_time())
 }
 
@@ -53,9 +58,18 @@ fn main() {
         "Interconnect ablation, 8 workers (avg epoch time, ms)",
         &["network", "newton-admm", "giant", "giant / newton-admm"],
     );
-    for network in [NetworkModel::infiniband_100g(), NetworkModel::ethernet_10g(), NetworkModel::ethernet_1g()] {
+    for network in [
+        NetworkModel::infiniband_100g(),
+        NetworkModel::ethernet_10g(),
+        NetworkModel::ethernet_1g(),
+    ] {
         let (a, g) = epoch_times(network, 8, &train, None);
-        nets.add_row(&[network.name.to_string(), format!("{:.3}", 1e3 * a), format!("{:.3}", 1e3 * g), format!("{:.2}x", g / a)]);
+        nets.add_row(&[
+            network.name.to_string(),
+            format!("{:.3}", 1e3 * a),
+            format!("{:.3}", 1e3 * g),
+            format!("{:.2}x", g / a),
+        ]);
     }
     println!("{}", nets.to_text());
 }

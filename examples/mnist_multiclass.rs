@@ -22,23 +22,49 @@ fn main() {
     let iters = 20;
 
     // Newton-ADMM (the paper's method).
-    let admm = NewtonAdmm::new(NewtonAdmmConfig::default().with_lambda(lambda).with_max_iters(iters))
-        .run_cluster(&cluster, &shards, Some(&test));
+    let admm = NewtonAdmm::new(NewtonAdmmConfig::default().with_lambda(lambda).with_max_iters(iters)).run_cluster(
+        &cluster,
+        &shards,
+        Some(&test),
+    );
 
     // GIANT with the same CG budget and line-search length.
-    let giant = Giant::new(GiantConfig { max_iters: iters, lambda, ..Default::default() }).run_cluster(&cluster, &shards, Some(&test));
+    let giant = Giant::new(GiantConfig {
+        max_iters: iters,
+        lambda,
+        ..Default::default()
+    })
+    .run_cluster(&cluster, &shards, Some(&test));
 
     // InexactDANE (few iterations — its epoch time is the point).
-    let dane = InexactDane::new(DaneConfig { max_iters: 5, lambda, svrg_iters: 60, svrg_step: 1e-3, ..Default::default() })
-        .run_cluster(&cluster, &shards, Some(&test));
+    let dane = InexactDane::new(DaneConfig {
+        max_iters: 5,
+        lambda,
+        svrg_iters: 60,
+        svrg_step: 1e-3,
+        ..Default::default()
+    })
+    .run_cluster(&cluster, &shards, Some(&test));
 
     // Synchronous SGD, batch size 128, best step size from a small grid.
-    let sgd = SyncSgd::new(SyncSgdConfig { epochs: iters, lambda, batch_size: 128, ..Default::default() })
-        .run_cluster_best_of_grid(&cluster, &shards, Some(&test), &[1e-2, 1e-1, 1.0, 10.0]);
+    let sgd = SyncSgd::new(SyncSgdConfig {
+        epochs: iters,
+        lambda,
+        batch_size: 128,
+        ..Default::default()
+    })
+    .run_cluster_best_of_grid(&cluster, &shards, Some(&test), &[1e-2, 1e-1, 1.0, 10.0]);
 
     let mut table = TextTable::new(
         "MNIST-like, 4 workers: objective / accuracy / time",
-        &["solver", "final objective", "test acc", "avg epoch (ms)", "total sim time (s)", "bytes/worker"],
+        &[
+            "solver",
+            "final objective",
+            "test acc",
+            "avg epoch (ms)",
+            "total sim time (s)",
+            "bytes/worker",
+        ],
     );
     let rows: Vec<(&RunHistory, f64)> = vec![
         (&admm.history, admm.comm_stats.bytes_sent),

@@ -29,13 +29,22 @@ fn main() {
 
     let mut table = TextTable::new(
         format!("Penalty-rule ablation on cifar10-like ({workers} workers, {iters} iterations)"),
-        &["rule", "final objective", "test acc", "mean rho (final)", "iters to 90% of best drop"],
+        &[
+            "rule",
+            "final objective",
+            "test acc",
+            "mean rho (final)",
+            "iters to 90% of best drop",
+        ],
     );
 
     let mut best_drop = f64::MAX;
     let mut runs = Vec::new();
     for (name, rule) in &rules {
-        let cfg = NewtonAdmmConfig::default().with_lambda(lambda).with_max_iters(iters).with_penalty(*rule);
+        let cfg = NewtonAdmmConfig::default()
+            .with_lambda(lambda)
+            .with_max_iters(iters)
+            .with_penalty(*rule);
         let out = NewtonAdmm::new(cfg).run_cluster(&cluster, &shards, Some(&test));
         best_drop = best_drop.min(out.history.final_objective().unwrap());
         runs.push((name.to_string(), out));
@@ -52,7 +61,10 @@ fn main() {
         table.add_row(&[
             name.clone(),
             format!("{:.4}", out.history.final_objective().unwrap()),
-            out.history.final_accuracy().map(|a| format!("{:.1}%", 100.0 * a)).unwrap_or_default(),
+            out.history
+                .final_accuracy()
+                .map(|a| format!("{:.1}%", 100.0 * a))
+                .unwrap_or_default(),
             out.history
                 .records
                 .last()

@@ -16,7 +16,12 @@ fn main() {
         .with_test_size(400)
         .with_num_features(64)
         .generate(42);
-    println!("dataset: {} train samples, {} features, {} classes", train.num_samples(), train.num_features(), train.num_classes());
+    println!(
+        "dataset: {} train samples, {} features, {} classes",
+        train.num_samples(),
+        train.num_features(),
+        train.num_classes()
+    );
 
     // 2. Split the data across 4 simulated workers (strong scaling).
     let workers = 4;
@@ -34,7 +39,10 @@ fn main() {
     let out = solver.run_cluster(&cluster, &shards, Some(&test));
 
     // 5. Report the convergence history.
-    let mut table = TextTable::new("Newton-ADMM on mnist-like (4 workers)", &["iter", "objective", "test acc", "sim time (s)"]);
+    let mut table = TextTable::new(
+        "Newton-ADMM on mnist-like (4 workers)",
+        &["iter", "objective", "test acc", "sim time (s)"],
+    );
     for r in &out.history.records {
         if r.iteration % 5 == 0 || r.iteration == out.history.records.len() - 1 {
             table.add_row(&[

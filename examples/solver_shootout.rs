@@ -12,10 +12,22 @@ use newton_admm_repro::prelude::*;
 
 fn main() {
     let configs = [
-        SyntheticConfig::higgs_like().with_train_size(1_000).with_test_size(200).with_num_features(28),
-        SyntheticConfig::mnist_like().with_train_size(800).with_test_size(200).with_num_features(64),
-        SyntheticConfig::cifar10_like().with_train_size(600).with_test_size(150).with_num_features(96),
-        SyntheticConfig::e18_like().with_train_size(600).with_test_size(150).with_num_features(256),
+        SyntheticConfig::higgs_like()
+            .with_train_size(1_000)
+            .with_test_size(200)
+            .with_num_features(28),
+        SyntheticConfig::mnist_like()
+            .with_train_size(800)
+            .with_test_size(200)
+            .with_num_features(64),
+        SyntheticConfig::cifar10_like()
+            .with_train_size(600)
+            .with_test_size(150)
+            .with_num_features(96),
+        SyntheticConfig::e18_like()
+            .with_train_size(600)
+            .with_test_size(150)
+            .with_num_features(256),
     ];
     let iterations = 15;
     let lambda = 1e-4;
@@ -30,16 +42,30 @@ fn main() {
         let obj = SoftmaxCrossEntropy::new(&train, lambda);
         let x0 = vec![0.0; obj.dim()];
 
-        let newton = NewtonCg::new(NewtonConfig { max_iters: iterations, ..Default::default() }).minimize(&obj, &x0);
+        let newton = NewtonCg::new(NewtonConfig {
+            max_iters: iterations,
+            ..Default::default()
+        })
+        .minimize(&obj, &x0);
         let gd = nadmm_solver::first_order::minimize(
             &obj,
             &x0,
-            &FirstOrderConfig { method: FirstOrderMethod::GradientDescent, step_size: 1e-4, max_iters: iterations, ..Default::default() },
+            &FirstOrderConfig {
+                method: FirstOrderMethod::GradientDescent,
+                step_size: 1e-4,
+                max_iters: iterations,
+                ..Default::default()
+            },
         );
         let adam = nadmm_solver::first_order::minimize(
             &obj,
             &x0,
-            &FirstOrderConfig { method: FirstOrderMethod::Adam, step_size: 0.05, max_iters: iterations, ..Default::default() },
+            &FirstOrderConfig {
+                method: FirstOrderMethod::Adam,
+                step_size: 0.05,
+                max_iters: iterations,
+                ..Default::default()
+            },
         );
 
         let fmt = |value: f64, x: &[f64]| format!("{:.3} | {:.1}%", value, 100.0 * obj.accuracy(&test, x));
@@ -51,5 +77,7 @@ fn main() {
         ]);
     }
     println!("{}", table.to_text());
-    println!("Newton-CG dominates at equal iteration counts — the motivation for making second-order methods cheap per iteration.");
+    println!(
+        "Newton-CG dominates at equal iteration counts — the motivation for making second-order methods cheap per iteration."
+    );
 }

@@ -1,0 +1,265 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the measurement surface the workspace's benches use
+//! (`benchmark_group`, `bench_function`, `bench_with_input`, `Bencher::iter`,
+//! `BenchmarkId`, the `criterion_group!`/`criterion_main!` macros) with a
+//! simple calibrated timing loop: a warm-up to size the batch, then repeated
+//! timed batches keeping the fastest median. Results are printed in
+//! criterion's familiar `group/id  time: [..]` style, and every measurement
+//! is recorded in a process-wide registry that [`emit_json`] can dump as a
+//! machine-readable report (used by the workspace's `BENCH_*.json` outputs).
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// One recorded measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Group name (empty for top-level `bench_function`).
+    pub group: String,
+    /// Benchmark id within the group.
+    pub id: String,
+    /// Best observed nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Iterations per timed batch.
+    pub batch_iters: u64,
+}
+
+impl Measurement {
+    /// Iterations per second implied by the timing.
+    pub fn ops_per_sec(&self) -> f64 {
+        if self.ns_per_iter > 0.0 {
+            1.0e9 / self.ns_per_iter
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+static REGISTRY: Mutex<Vec<Measurement>> = Mutex::new(Vec::new());
+
+/// All measurements recorded so far in this process.
+pub fn measurements() -> Vec<Measurement> {
+    REGISTRY.lock().unwrap().clone()
+}
+
+/// Serialises the recorded measurements as a JSON array (ops/sec included).
+pub fn emit_json() -> String {
+    let measurements = measurements();
+    let mut out = String::from("[\n");
+    for (i, m) in measurements.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "  {{\"group\": \"{}\", \"id\": \"{}\", \"ns_per_iter\": {:.3}, \"ops_per_sec\": {:.3}}}",
+            m.group,
+            m.id,
+            m.ns_per_iter,
+            m.ops_per_sec()
+        ));
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// Re-export of the standard black box.
+pub use std::hint::black_box;
+
+/// Measurement driver handed to bench closures.
+pub struct Bencher {
+    group: String,
+    id: String,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `f`, recording the best ns/iter across samples.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up: find an iteration count that takes ~10ms per batch.
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(10) || batch >= 1 << 20 {
+                break;
+            }
+            batch = (batch * 4).min(1 << 20);
+        }
+        let samples = self.sample_size.max(3);
+        let mut best = f64::INFINITY;
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let ns = start.elapsed().as_secs_f64() * 1.0e9 / batch as f64;
+            if ns < best {
+                best = ns;
+            }
+        }
+        let label = if self.group.is_empty() {
+            self.id.clone()
+        } else {
+            format!("{}/{}", self.group, self.id)
+        };
+        println!(
+            "{label:<50} time: [{:.2} ns {:.2} ns]  ({:.0} ops/s)",
+            best,
+            best,
+            1.0e9 / best.max(1e-9)
+        );
+        REGISTRY.lock().unwrap().push(Measurement {
+            group: self.group.clone(),
+            id: self.id.clone(),
+            ns_per_iter: best,
+            batch_iters: batch,
+        });
+    }
+}
+
+/// Identifier of a parameterised benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            label: format!("{parameter}"),
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            group: self.name.clone(),
+            id: format!("{id}"),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            group: self.name.clone(),
+            id: id.label,
+            sample_size: self.sample_size,
+        };
+        f(&mut b, input);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            group: String::new(),
+            id: format!("{id}"),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        self
+    }
+
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+}
+
+/// Declares a group-runner function from bench functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups. After all groups complete, if
+/// the `CRITERION_JSON_OUT` environment variable is set, the recorded
+/// measurements are written there as JSON.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+            if let Ok(path) = std::env::var("CRITERION_JSON_OUT") {
+                std::fs::write(&path, $crate::emit_json()).expect("write criterion json report");
+                println!("wrote benchmark report to {path}");
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim_smoke");
+        group.sample_size(3);
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::new("param", 4), &4usize, |b, &n| {
+            b.iter(|| black_box(n * 2));
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn measurements_are_recorded_and_emitted() {
+        let mut c = Criterion::default();
+        trivial_bench(&mut c);
+        let all = measurements();
+        assert!(all.iter().any(|m| m.group == "shim_smoke" && m.id == "noop"));
+        assert!(all.iter().any(|m| m.id == "param/4"));
+        let json = emit_json();
+        assert!(json.contains("ops_per_sec"));
+    }
+}

@@ -1,0 +1,108 @@
+//! Offline stand-in for `rand_distr`: the `Normal` distribution via the
+//! Box–Muller transform (one fresh pair per sample, no caching, so sampling
+//! stays deterministic under any call interleaving).
+
+use rand::Rng;
+
+/// Distributions that can be sampled with any [`Rng`].
+pub trait Distribution<T> {
+    fn sample<R: Rng>(&self, rng: &mut R) -> T;
+}
+
+/// Error from invalid `Normal` parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NormalError {
+    /// The standard deviation was not finite and non-negative.
+    BadVariance,
+}
+
+impl std::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid normal distribution parameters")
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// The normal distribution `N(mean, std_dev²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, NormalError> {
+        if !std_dev.is_finite() || std_dev < 0.0 || !mean.is_finite() {
+            return Err(NormalError::BadVariance);
+        }
+        Ok(Self { mean, std_dev })
+    }
+
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        // Box-Muller: u1 in (0, 1] so the log is finite.
+        let u1: f64 = 1.0 - rng.gen::<f64>();
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        self.mean + self.std_dev * z
+    }
+}
+
+/// The standard normal distribution `N(0, 1)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StandardNormal;
+
+impl Distribution<f64> for StandardNormal {
+    fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        Normal { mean: 0.0, std_dev: 1.0 }.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{SeedableRng, StdRng};
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(3.0, 0.5).is_ok());
+    }
+
+    #[test]
+    fn sample_statistics() {
+        let normal = Normal::new(2.0, 3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.2, "variance {var}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let normal = Normal::new(0.0, 1.0).unwrap();
+        let a: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(5);
+            (0..10).map(|_| normal.sample(&mut rng)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(5);
+            (0..10).map(|_| normal.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

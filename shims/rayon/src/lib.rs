@@ -1,0 +1,161 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build environment has no access to crates.io, so this shim provides
+//! the exact parallel-iterator API surface the workspace uses, executed
+//! *sequentially*. The kernels in `nadmm-linalg` keep their
+//! threshold-dispatch structure, so swapping the real rayon back in is a
+//! one-line change in the workspace manifest; until then, determinism is
+//! total (the "parallel" reduction order equals the sequential order).
+
+/// Number of worker threads the pool would use (the machine's parallelism).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Sequential iterator wrapper exposing the rayon combinator names.
+pub struct SeqIter<I>(pub I);
+
+impl<I: Iterator> SeqIter<I> {
+    pub fn map<B, F: FnMut(I::Item) -> B>(self, f: F) -> SeqIter<std::iter::Map<I, F>> {
+        SeqIter(self.0.map(f))
+    }
+
+    pub fn enumerate(self) -> SeqIter<std::iter::Enumerate<I>> {
+        SeqIter(self.0.enumerate())
+    }
+
+    pub fn zip<J: Iterator>(self, other: SeqIter<J>) -> SeqIter<std::iter::Zip<I, J>> {
+        SeqIter(self.0.zip(other.0))
+    }
+
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    /// Rayon-style reduce with an identity constructor.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: Fn(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    pub fn filter<P: FnMut(&I::Item) -> bool>(self, p: P) -> SeqIter<std::iter::Filter<I, P>> {
+        SeqIter(self.0.filter(p))
+    }
+
+    pub fn with_min_len(self, _len: usize) -> Self {
+        self
+    }
+
+    pub fn max_by<F: FnMut(&I::Item, &I::Item) -> std::cmp::Ordering>(self, f: F) -> Option<I::Item> {
+        self.0.max_by(f)
+    }
+
+    pub fn fold_with<T: Clone, F: FnMut(T, I::Item) -> T>(self, init: T, f: F) -> SeqIter<std::iter::Once<T>> {
+        SeqIter(std::iter::once(self.0.fold(init, f)))
+    }
+}
+
+/// `.par_iter()` / `.par_iter_mut()` on slices.
+pub trait ParallelSliceRef<T> {
+    fn par_iter(&self) -> SeqIter<std::slice::Iter<'_, T>>;
+    fn par_chunks(&self, chunk: usize) -> SeqIter<std::slice::Chunks<'_, T>>;
+}
+
+pub trait ParallelSliceMutRef<T> {
+    fn par_iter_mut(&mut self) -> SeqIter<std::slice::IterMut<'_, T>>;
+    fn par_chunks_mut(&mut self, chunk: usize) -> SeqIter<std::slice::ChunksMut<'_, T>>;
+}
+
+impl<T> ParallelSliceRef<T> for [T] {
+    fn par_iter(&self) -> SeqIter<std::slice::Iter<'_, T>> {
+        SeqIter(self.iter())
+    }
+    fn par_chunks(&self, chunk: usize) -> SeqIter<std::slice::Chunks<'_, T>> {
+        SeqIter(self.chunks(chunk))
+    }
+}
+
+impl<T> ParallelSliceMutRef<T> for [T] {
+    fn par_iter_mut(&mut self) -> SeqIter<std::slice::IterMut<'_, T>> {
+        SeqIter(self.iter_mut())
+    }
+    fn par_chunks_mut(&mut self, chunk: usize) -> SeqIter<std::slice::ChunksMut<'_, T>> {
+        SeqIter(self.chunks_mut(chunk))
+    }
+}
+
+/// `.into_par_iter()` on anything iterable (ranges, vectors, ...).
+pub trait IntoParallelIterator {
+    type Item;
+    type Iter: Iterator<Item = Self::Item>;
+    fn into_par_iter(self) -> SeqIter<Self::Iter>;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Item = I::Item;
+    type Iter = I::IntoIter;
+    fn into_par_iter(self) -> SeqIter<Self::Iter> {
+        SeqIter(self.into_iter())
+    }
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSliceMutRef, ParallelSliceRef};
+}
+
+/// Runs the two closures (sequentially here) and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_combinators_match_sequential() {
+        let v = [1.0f64, 2.0, 3.0, 4.0];
+        let s: f64 = v.par_iter().map(|x| x * 2.0).sum();
+        assert_eq!(s, 20.0);
+        let m = v.par_iter().map(|x| x.abs()).reduce(|| 0.0, f64::max);
+        assert_eq!(m, 4.0);
+    }
+
+    #[test]
+    fn par_iter_mut_and_chunks() {
+        let mut v = [0.0f64; 6];
+        v.par_iter_mut().enumerate().for_each(|(i, x)| *x = i as f64);
+        assert_eq!(v[5], 5.0);
+        let total: f64 = v.par_chunks(2).map(|c| c.iter().sum::<f64>()).sum();
+        assert_eq!(total, 15.0);
+        v.par_chunks_mut(3).for_each(|c| c[0] = -1.0);
+        assert_eq!(v[0], -1.0);
+        assert_eq!(v[3], -1.0);
+    }
+
+    #[test]
+    fn into_par_iter_on_ranges() {
+        let s: usize = (0..10usize).into_par_iter().map(|i| i).sum();
+        assert_eq!(s, 45);
+    }
+
+    #[test]
+    fn thread_count_positive() {
+        assert!(super::current_num_threads() >= 1);
+    }
+}

@@ -1,0 +1,243 @@
+//! Offline stand-in for `serde`.
+//!
+//! The real serde's visitor machinery is far more than this workspace needs:
+//! every type here either derives both traits or round-trips through
+//! `serde_json`. This shim models serialization as conversion to/from a
+//! JSON-like [`Value`] tree, and the companion `serde_derive` proc-macro
+//! generates the field-by-field conversions with serde's external
+//! representation conventions (structs as maps, enum variants externally
+//! tagged, `Option` as nullable).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-like value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// All numbers are carried as `f64`; integers up to 2^53 are exact,
+    /// which covers every counter and index in this workspace.
+    Num(f64),
+    Str(String),
+    Seq(Vec<Value>),
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in a map value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization error: what was expected and what was found.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError(pub String);
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+impl DeError {
+    pub fn expected(what: &str, got: &Value) -> DeError {
+        let kind = match got {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Num(_) => "number",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        };
+        DeError(format!("expected {what}, found {kind}"))
+    }
+}
+
+/// Serialization into the value tree.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialization from the value tree.
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_num {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Num(n) => Ok(*n as $t),
+                    other => Err(DeError::expected(stringify!($t), other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_num!(f64, f32, u64, u32, u16, u8, usize, i64, i32, i16, i8, isize);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for &'static str {
+    /// Deserialises into a leaked static string. Only `Copy` config structs
+    /// with name tags use `&'static str` fields in this workspace; the leak
+    /// is bounded by the number of distinct names ever parsed.
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(intern(s)),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+/// Returns a `'static` copy of `s`, reusing earlier copies of equal strings.
+fn intern(s: &str) -> &'static str {
+    use std::sync::{Mutex, OnceLock};
+    static INTERNED: OnceLock<Mutex<Vec<&'static str>>> = OnceLock::new();
+    let pool = INTERNED.get_or_init(|| Mutex::new(Vec::new()));
+    let mut pool = pool.lock().unwrap();
+    if let Some(existing) = pool.iter().find(|e| **e == s) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+    pool.push(leaked);
+    leaked
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(v) => v.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::expected("sequence", other)),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Helpers used by the derive-generated code
+// ---------------------------------------------------------------------------
+
+/// Extracts field `name` from a struct map; a missing field is treated as
+/// `Null` so that `Option` fields default to `None` (serde's behaviour).
+pub fn field<T: Deserialize>(v: &Value, name: &str) -> Result<T, DeError> {
+    match v {
+        Value::Map(_) => {
+            T::from_value(v.get(name).unwrap_or(&Value::Null)).map_err(|e| DeError(format!("field `{name}`: {}", e.0)))
+        }
+        other => Err(DeError::expected("map", other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(f64::from_value(&3.5f64.to_value()).unwrap(), 3.5);
+        assert_eq!(usize::from_value(&7usize.to_value()).unwrap(), 7);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(String::from_value(&"hi".to_string().to_value()).unwrap(), "hi");
+        assert_eq!(Option::<f64>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<f64>::from_value(&Value::Num(1.0)).unwrap(), Some(1.0));
+        let v = vec![1.0, 2.0];
+        assert_eq!(Vec::<f64>::from_value(&v.to_value()).unwrap(), v);
+    }
+
+    #[test]
+    fn type_errors_are_reported() {
+        assert!(f64::from_value(&Value::Str("x".into())).is_err());
+        assert!(Vec::<f64>::from_value(&Value::Num(1.0)).is_err());
+        let map = Value::Map(vec![("a".into(), Value::Num(1.0))]);
+        assert_eq!(field::<f64>(&map, "a").unwrap(), 1.0);
+        assert!(field::<f64>(&map, "missing").is_err());
+        assert_eq!(field::<Option<f64>>(&map, "missing").unwrap(), None);
+    }
+}

@@ -1,0 +1,314 @@
+//! Derive macros for the offline `serde` shim.
+//!
+//! Parses the item's token stream directly (no `syn`/`quote` available
+//! offline) and emits `Serialize`/`Deserialize` impls against the shim's
+//! value-tree model. Supported shapes — everything this workspace derives:
+//!
+//! * structs with named fields (maps),
+//! * unit enum variants (`"Name"`),
+//! * newtype enum variants (`{"Name": value}`),
+//! * tuple enum variants (`{"Name": [values...]}`),
+//! * struct enum variants (`{"Name": {fields...}}`).
+//!
+//! Generics and `#[serde(...)]` attributes are not supported (none are used
+//! in this workspace); deriving on such an item is a compile error here.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    Struct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+enum Variant {
+    Unit(String),
+    Tuple(String, usize),
+    Struct(String, Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    // Skip attributes and visibility.
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected type name, got {other:?}"),
+    };
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive: generic types are not supported (derived on `{name}`)");
+    }
+    let body = match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!("serde shim derive: expected braced body for `{name}`, got {other:?}"),
+    };
+    let shape = match kind.as_str() {
+        "struct" => Shape::Struct(parse_named_fields(body)),
+        "enum" => Shape::Enum(parse_variants(body)),
+        other => panic!("serde shim derive: unsupported item kind `{other}`"),
+    };
+    Item { name, shape }
+}
+
+/// Parses `vis? name: Type, ...` returning the field names.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Skip attributes / visibility before the field name.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde shim derive: expected field name, got {other:?}"),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde shim derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        // Skip the type: consume until a top-level `,` (angle-bracket aware;
+        // parens/brackets/braces arrive as single groups so only `<>` nest).
+        let mut angle_depth = 0i32;
+        loop {
+            match tokens.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                    angle_depth += 1;
+                    tokens.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    angle_depth -= 1;
+                    tokens.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => {
+                    tokens.next();
+                    break;
+                }
+                _ => {
+                    tokens.next();
+                }
+            }
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next();
+                }
+                _ => break,
+            }
+        }
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde shim derive: expected variant name, got {other:?}"),
+        };
+        let variant = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner = g.stream();
+                tokens.next();
+                Variant::Tuple(name, count_tuple_fields(inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner = g.stream();
+                tokens.next();
+                Variant::Struct(name, parse_named_fields(inner))
+            }
+            _ => Variant::Unit(name),
+        };
+        variants.push(variant);
+        // Skip to the next `,` (covers discriminants, which we don't support
+        // semantically but tolerate syntactically).
+        for tt in tokens.by_ref() {
+            if matches!(&tt, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+    }
+    variants
+}
+
+/// Counts top-level comma-separated entries of a tuple-variant body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut saw_any = false;
+    let mut angle_depth = 0i32;
+    for tt in body {
+        saw_any = true;
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => count += 1,
+                _ => {}
+            }
+        }
+    }
+    if saw_any {
+        count + 1
+    } else {
+        0
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("serde::Value::Map(vec![{}])", entries.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| match v {
+                    Variant::Unit(vn) => {
+                        format!("{name}::{vn} => serde::Value::Str(\"{vn}\".to_string()),")
+                    }
+                    Variant::Tuple(vn, 1) => format!(
+                        "{name}::{vn}(f0) => serde::Value::Map(vec![(\"{vn}\".to_string(), serde::Serialize::to_value(f0))]),"
+                    ),
+                    Variant::Tuple(vn, n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let items: Vec<String> =
+                            (0..*n).map(|i| format!("serde::Serialize::to_value(f{i})")).collect();
+                        format!(
+                            "{name}::{vn}({}) => serde::Value::Map(vec![(\"{vn}\".to_string(), serde::Value::Seq(vec![{}]))]),",
+                            binds.join(", "),
+                            items.join(", ")
+                        )
+                    }
+                    Variant::Struct(vn, fields) => {
+                        let binds = fields.join(", ");
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("(\"{f}\".to_string(), serde::Serialize::to_value({f}))"))
+                            .collect();
+                        format!(
+                            "{name}::{vn} {{ {binds} }} => serde::Value::Map(vec![(\"{vn}\".to_string(), serde::Value::Map(vec![{}]))]),",
+                            entries.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join("\n"))
+        }
+    };
+    format!("impl ::serde::Serialize for {name} {{\n    fn to_value(&self) -> serde::Value {{\n        {body}\n    }}\n}}")
+        .parse()
+        .expect("serde shim derive: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let inits: Vec<String> = fields.iter().map(|f| format!("{f}: serde::field(v, \"{f}\")?")).collect();
+            format!("Ok({name} {{ {} }})", inits.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut map_arms = String::new();
+            for v in variants {
+                match v {
+                    Variant::Unit(vn) => {
+                        unit_arms.push_str(&format!("\"{vn}\" => return Ok({name}::{vn}),\n"));
+                    }
+                    Variant::Tuple(vn, 1) => {
+                        map_arms.push_str(&format!(
+                            "\"{vn}\" => return Ok({name}::{vn}(serde::Deserialize::from_value(inner)?)),\n"
+                        ));
+                    }
+                    Variant::Tuple(vn, n) => {
+                        let fields: Vec<String> = (0..*n)
+                            .map(|i| format!("serde::Deserialize::from_value(items.get({i}).unwrap_or(&serde::Value::Null))?"))
+                            .collect();
+                        map_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n    let items = match inner {{ serde::Value::Seq(s) => s, other => return Err(serde::DeError::expected(\"sequence\", other)) }};\n    return Ok({name}::{vn}({}));\n}}\n",
+                            fields.join(", ")
+                        ));
+                    }
+                    Variant::Struct(vn, fields) => {
+                        let inits: Vec<String> = fields.iter().map(|f| format!("{f}: serde::field(inner, \"{f}\")?")).collect();
+                        map_arms.push_str(&format!("\"{vn}\" => return Ok({name}::{vn} {{ {} }}),\n", inits.join(", ")));
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                     serde::Value::Str(s) => {{ match s.as_str() {{ {unit_arms} _ => {{}} }} \
+                       Err(serde::DeError(format!(\"unknown variant `{{s}}` of {name}\")))\n}}\n\
+                     serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                         let (tag, inner) = &entries[0];\n\
+                         match tag.as_str() {{ {map_arms} _ => {{}} }}\n\
+                         Err(serde::DeError(format!(\"unknown variant `{{tag}}` of {name}\")))\n\
+                     }}\n\
+                     other => Err(serde::DeError::expected(\"enum representation\", other)),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n    fn from_value(v: &serde::Value) -> ::std::result::Result<Self, serde::DeError> {{\n        {body}\n    }}\n}}"
+    )
+    .parse()
+    .expect("serde shim derive: generated Deserialize impl must parse")
+}

@@ -30,10 +30,12 @@ pub use newton_admm as core;
 
 /// Commonly used items for examples and quick experiments.
 pub mod prelude {
-    pub use nadmm_baselines::{AideConfig, DaneConfig, Disco, DiscoConfig, Giant, GiantConfig, InexactDane, SyncSgd, SyncSgdConfig};
+    pub use nadmm_baselines::{
+        AideConfig, DaneConfig, Disco, DiscoConfig, Giant, GiantConfig, InexactDane, SyncSgd, SyncSgdConfig,
+    };
     pub use nadmm_cluster::{Cluster, Communicator, NetworkModel, SingleProcessComm};
     pub use nadmm_data::{partition_strong, partition_weak, Dataset, DatasetKind, SyntheticConfig};
-    pub use nadmm_device::{Device, DeviceSpec};
+    pub use nadmm_device::{Device, DeviceSpec, Workspace};
     pub use nadmm_metrics::{relative_objective, IterationRecord, RunHistory, TextTable};
     pub use nadmm_objective::{BinaryLogistic, Objective, SoftmaxCrossEntropy};
     pub use nadmm_solver::{CgConfig, FirstOrderConfig, FirstOrderMethod, LineSearchConfig, NewtonCg, NewtonConfig};
@@ -46,7 +48,11 @@ mod tests {
 
     #[test]
     fn prelude_compiles_and_runs_a_tiny_problem() {
-        let (train, _) = SyntheticConfig::higgs_like().with_train_size(40).with_test_size(10).with_num_features(5).generate(1);
+        let (train, _) = SyntheticConfig::higgs_like()
+            .with_train_size(40)
+            .with_test_size(10)
+            .with_num_features(5)
+            .generate(1);
         let obj = SoftmaxCrossEntropy::new(&train, 1e-3);
         let res = NewtonCg::new(NewtonConfig::default()).minimize(&obj, &vec![0.0; obj.dim()]);
         assert!(res.value.is_finite());

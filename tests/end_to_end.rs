@@ -22,9 +22,14 @@ fn newton_admm_and_giant_converge_to_the_same_optimum() {
     let (shards, _) = partition_strong(&train, workers);
     let cluster = Cluster::new(workers, NetworkModel::infiniband_100g());
 
-    let admm = NewtonAdmm::new(NewtonAdmmConfig::default().with_lambda(lambda).with_max_iters(40))
-        .run_cluster(&cluster, &shards, None);
-    let giant = Giant::new(GiantConfig { max_iters: 40, lambda, ..Default::default() }).run_cluster(&cluster, &shards, None);
+    let admm =
+        NewtonAdmm::new(NewtonAdmmConfig::default().with_lambda(lambda).with_max_iters(40)).run_cluster(&cluster, &shards, None);
+    let giant = Giant::new(GiantConfig {
+        max_iters: 40,
+        lambda,
+        ..Default::default()
+    })
+    .run_cluster(&cluster, &shards, None);
 
     let theta_admm = relative_objective(admm.history.final_objective().unwrap(), reference.f_star);
     let theta_giant = relative_objective(giant.history.final_objective().unwrap(), reference.f_star);
@@ -39,9 +44,14 @@ fn newton_admm_uses_fewer_communication_rounds_than_giant() {
     let (shards, _) = partition_strong(&train, workers);
     let cluster = Cluster::new(workers, NetworkModel::infiniband_100g());
     let iters = 10;
-    let admm = NewtonAdmm::new(NewtonAdmmConfig::default().with_lambda(1e-3).with_max_iters(iters))
-        .run_cluster(&cluster, &shards, None);
-    let giant = Giant::new(GiantConfig { max_iters: iters, lambda: 1e-3, ..Default::default() }).run_cluster(&cluster, &shards, None);
+    let admm =
+        NewtonAdmm::new(NewtonAdmmConfig::default().with_lambda(1e-3).with_max_iters(iters)).run_cluster(&cluster, &shards, None);
+    let giant = Giant::new(GiantConfig {
+        max_iters: iters,
+        lambda: 1e-3,
+        ..Default::default()
+    })
+    .run_cluster(&cluster, &shards, None);
     // Per iteration Newton-ADMM needs 2 algorithmic collectives (reduce +
     // broadcast) vs GIANT's 3; both add the same instrumentation overhead, so
     // the total count must be strictly smaller.
@@ -63,10 +73,19 @@ fn newton_admm_beats_sync_sgd_in_time_to_objective() {
     let (shards, _) = partition_weak(&train, workers, 60);
     let cluster = Cluster::new(workers, NetworkModel::infiniband_100g());
 
-    let admm = NewtonAdmm::new(NewtonAdmmConfig::default().with_lambda(lambda).with_max_iters(25))
-        .run_cluster(&cluster, &shards, Some(&test));
-    let sgd = SyncSgd::new(SyncSgdConfig { epochs: 25, lambda, batch_size: 16, step_size: 1.0, ..Default::default() })
-        .run_cluster(&cluster, &shards, Some(&test));
+    let admm = NewtonAdmm::new(NewtonAdmmConfig::default().with_lambda(lambda).with_max_iters(25)).run_cluster(
+        &cluster,
+        &shards,
+        Some(&test),
+    );
+    let sgd = SyncSgd::new(SyncSgdConfig {
+        epochs: 25,
+        lambda,
+        batch_size: 16,
+        step_size: 1.0,
+        ..Default::default()
+    })
+    .run_cluster(&cluster, &shards, Some(&test));
 
     let target = sgd.history.final_objective().unwrap();
     let t_admm = admm.history.time_to_objective(target);
@@ -90,11 +109,17 @@ fn sparse_e18_like_problems_run_through_the_full_stack() {
     let workers = 4;
     let (shards, _) = partition_strong(&train, workers);
     let cluster = Cluster::new(workers, NetworkModel::infiniband_100g());
-    let out = NewtonAdmm::new(NewtonAdmmConfig::default().with_lambda(1e-3).with_max_iters(10))
-        .run_cluster(&cluster, &shards, Some(&test));
+    let out = NewtonAdmm::new(NewtonAdmmConfig::default().with_lambda(1e-3).with_max_iters(10)).run_cluster(
+        &cluster,
+        &shards,
+        Some(&test),
+    );
     let first = out.history.records[0].objective;
     let last = out.history.final_objective().unwrap();
-    assert!(last < 0.8 * first, "objective must clearly decrease on the sparse problem: {first} -> {last}");
+    assert!(
+        last < 0.8 * first,
+        "objective must clearly decrease on the sparse problem: {first} -> {last}"
+    );
     // With only 160 heavily-sparsified samples for a 20-class model the test
     // accuracy is near chance; just require it to be a valid, not-degenerate
     // probability (the convergence assertions above carry the real check).
@@ -107,13 +132,16 @@ fn binary_higgs_like_problems_converge_in_very_few_iterations() {
     // The paper notes HIGGS is well-conditioned and both second-order methods
     // reach θ<0.05 in one iteration; at our scale a handful suffices.
     let lambda = 1e-5;
-    let (train, _) = SyntheticConfig::higgs_like().with_train_size(400).with_test_size(100).generate(5);
+    let (train, _) = SyntheticConfig::higgs_like()
+        .with_train_size(400)
+        .with_test_size(100)
+        .generate(5);
     let reference = newton_admm_repro::baselines::reference_optimum(&train, lambda);
     let workers = 4;
     let (shards, _) = partition_strong(&train, workers);
     let cluster = Cluster::new(workers, NetworkModel::infiniband_100g());
-    let admm = NewtonAdmm::new(NewtonAdmmConfig::default().with_lambda(lambda).with_max_iters(10))
-        .run_cluster(&cluster, &shards, None);
+    let admm =
+        NewtonAdmm::new(NewtonAdmmConfig::default().with_lambda(lambda).with_max_iters(10)).run_cluster(&cluster, &shards, None);
     let theta = nadmm_metrics::relative::iterations_to_relative_objective(&admm.history, reference.f_star, 0.05);
     assert!(theta.is_some(), "never reached θ<0.05 on the well-conditioned binary problem");
     assert!(theta.unwrap() <= 6, "took {} iterations, expected only a few", theta.unwrap());
@@ -133,12 +161,20 @@ fn slower_interconnects_hurt_giant_more_than_newton_admm() {
         let cluster = Cluster::new(workers, net);
         let admm = NewtonAdmm::new(NewtonAdmmConfig::default().with_lambda(1e-3).with_max_iters(iters))
             .run_cluster(&cluster, &shards, None);
-        let giant = Giant::new(GiantConfig { max_iters: iters, lambda: 1e-3, ..Default::default() }).run_cluster(&cluster, &shards, None);
+        let giant = Giant::new(GiantConfig {
+            max_iters: iters,
+            lambda: 1e-3,
+            ..Default::default()
+        })
+        .run_cluster(&cluster, &shards, None);
         (admm.history.avg_epoch_time(), giant.history.avg_epoch_time())
     };
     let (admm_fast, giant_fast) = epoch_times(NetworkModel::infiniband_100g());
     let (admm_slow, giant_slow) = epoch_times(NetworkModel::ethernet_1g());
-    assert!(admm_slow < giant_slow, "Newton-ADMM ({admm_slow}s) should stay below GIANT ({giant_slow}s) on a slow network");
+    assert!(
+        admm_slow < giant_slow,
+        "Newton-ADMM ({admm_slow}s) should stay below GIANT ({giant_slow}s) on a slow network"
+    );
     let admm_penalty = admm_slow - admm_fast;
     let giant_penalty = giant_slow - giant_fast;
     assert!(

@@ -1,0 +1,163 @@
+//! Property tests for the execution engine's in-place hot paths.
+//!
+//! The zero-allocation workspace methods (`gradient_into`,
+//! `hessian_vec_into`, `value_ws`, CG-with-workspace) must be **bit
+//! identical** to the allocating reference API — they are thin wrappers over
+//! one shared kernel path, and these tests pin that property down so the two
+//! families can never silently diverge. Buffer reuse is exercised explicitly:
+//! every workspace is used twice, so reused (dirty) pooled buffers that are
+//! not fully overwritten would show up as exact-equality failures.
+
+use nadmm_objective::{ProximalAugmented, Quadratic, RidgeRegression};
+use nadmm_solver::conjugate_gradient_into;
+use newton_admm_repro::prelude::*;
+use proptest::prelude::*;
+
+fn softmax_problem(samples: usize, features: usize, classes: usize, seed: u64) -> SoftmaxCrossEntropy {
+    let (train, _) = SyntheticConfig::mnist_like()
+        .with_train_size(samples)
+        .with_test_size(4)
+        .with_num_features(features)
+        .with_num_classes(classes)
+        .generate(seed);
+    SoftmaxCrossEntropy::new(&train, 1e-3)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `gradient_into` / `value_ws` / `value_and_gradient_into` must equal
+    /// the allocating API bit-for-bit, including on a reused dirty pool.
+    #[test]
+    fn softmax_in_place_matches_allocating(samples in 8usize..40, features in 2usize..8, classes in 2usize..5, seed in 0u64..500) {
+        let obj = softmax_problem(samples, features, classes, seed);
+        let mut rng = nadmm_linalg::gen::seeded_rng(seed ^ 0xABCD);
+        let mut ws = Workspace::new();
+        for trial in 0..2 {
+            let x = nadmm_linalg::gen::gaussian_vector_with(obj.dim(), 0.0, 0.3, &mut rng);
+            let (value_ref, grad_ref) = (obj.value(&x), obj.gradient(&x));
+            prop_assert!(value_ref.is_finite());
+            let mut grad = vec![f64::NAN; obj.dim()];
+            obj.gradient_into(&x, &mut grad, &mut ws);
+            prop_assert_eq!(&grad, &grad_ref, "gradient_into diverged on trial {}", trial);
+            prop_assert_eq!(obj.value_ws(&x, &mut ws), value_ref);
+            let mut grad2 = vec![f64::NAN; obj.dim()];
+            let value2 = obj.value_and_gradient_into(&x, &mut grad2, &mut ws);
+            let (value_vg, grad_vg) = obj.value_and_gradient(&x);
+            prop_assert_eq!(value2, value_vg);
+            prop_assert_eq!(&grad2, &grad_vg);
+        }
+    }
+
+    /// `hessian_vec_into` and the prepared-HVP operator must equal the
+    /// allocating `hessian_vec` bit-for-bit across repeated products.
+    #[test]
+    fn softmax_hvp_in_place_matches_allocating(samples in 8usize..40, features in 2usize..8, classes in 2usize..5, seed in 0u64..500) {
+        let obj = softmax_problem(samples, features, classes, seed);
+        let mut rng = nadmm_linalg::gen::seeded_rng(seed ^ 0x1234);
+        let x = nadmm_linalg::gen::gaussian_vector_with(obj.dim(), 0.0, 0.2, &mut rng);
+        let mut ws = Workspace::new();
+        let state = obj.prepare_hvp(&x, &mut ws);
+        for _ in 0..3 {
+            let v = nadmm_linalg::gen::gaussian_vector(obj.dim(), &mut rng);
+            let hv_ref = obj.hessian_vec(&x, &v);
+            let mut hv = vec![f64::NAN; obj.dim()];
+            obj.hvp_prepared_into(&state, &v, &mut hv, &mut ws);
+            prop_assert_eq!(&hv, &hv_ref);
+            let mut hv2 = vec![f64::NAN; obj.dim()];
+            obj.hessian_vec_into(&x, &v, &mut hv2, &mut ws);
+            prop_assert_eq!(&hv2, &hv_ref);
+        }
+        obj.release_hvp(state, &mut ws);
+    }
+
+    /// The proximal wrapper (the objective every ADMM worker actually
+    /// minimises) must preserve the same parity on top of any base.
+    #[test]
+    fn proximal_in_place_matches_allocating(samples in 8usize..30, features in 2usize..6, seed in 0u64..300, rho in 0.1f64..5.0) {
+        let base = softmax_problem(samples, features, 3, seed);
+        let dim = base.dim();
+        let mut rng = nadmm_linalg::gen::seeded_rng(seed ^ 0x55AA);
+        let z = nadmm_linalg::gen::gaussian_vector_with(dim, 0.0, 0.2, &mut rng);
+        let y = nadmm_linalg::gen::gaussian_vector_with(dim, 0.0, 0.2, &mut rng);
+        let aug = ProximalAugmented::new(base, z, y, rho);
+        let x = nadmm_linalg::gen::gaussian_vector_with(dim, 0.0, 0.2, &mut rng);
+        let v = nadmm_linalg::gen::gaussian_vector(dim, &mut rng);
+        let mut ws = Workspace::new();
+        for _ in 0..2 {
+            let mut grad = vec![f64::NAN; dim];
+            let value = aug.value_and_gradient_into(&x, &mut grad, &mut ws);
+            let (value_ref, grad_ref) = aug.value_and_gradient(&x);
+            prop_assert_eq!(value, value_ref);
+            prop_assert_eq!(&grad, &grad_ref);
+            let mut hv = vec![f64::NAN; dim];
+            aug.hessian_vec_into(&x, &v, &mut hv, &mut ws);
+            prop_assert_eq!(&hv, &aug.hessian_vec(&x, &v));
+        }
+    }
+
+    /// CG with a workspace must produce the same iterates, iteration count
+    /// and residual as the allocating reference CG, bit for bit.
+    #[test]
+    fn cg_with_workspace_matches_allocating(n in 2usize..24, cond in 1.0f64..500.0, seed in 0u64..300, budget in 2usize..40) {
+        let mut rng = nadmm_linalg::gen::seeded_rng(seed);
+        let a = nadmm_linalg::gen::spd_with_condition(n, cond, &mut rng);
+        let b = nadmm_linalg::gen::gaussian_vector(n, &mut rng);
+        let q = Quadratic::new(a, b.clone());
+        let cfg = CgConfig { max_iters: budget, tolerance: 1e-10 };
+        let reference = nadmm_solver::conjugate_gradient(|v| q.hessian_vec(&[], v), &b, &cfg);
+        let mut ws = Workspace::new();
+        let mut x = vec![f64::NAN; n];
+        for _ in 0..2 {
+            let stats = conjugate_gradient_into(
+                |v, out, ws| q.hessian_vec_into(&[], v, out, ws),
+                &b,
+                &mut x,
+                &cfg,
+                &mut ws,
+            );
+            prop_assert_eq!(&x, &reference.x);
+            prop_assert_eq!(stats.iterations, reference.iterations);
+            prop_assert_eq!(stats.residual_norm, reference.residual_norm);
+            prop_assert_eq!(stats.converged, reference.converged);
+        }
+    }
+
+    /// Ridge regression: same parity through its Gauss-Newton HVP.
+    #[test]
+    fn ridge_in_place_matches_allocating(n in 4usize..40, p in 2usize..8, seed in 0u64..300) {
+        let (obj, _) = nadmm_objective::ridge::random_ridge_problem(n, p, 0.3, 0.1, seed);
+        let mut rng = nadmm_linalg::gen::seeded_rng(seed ^ 0x77);
+        let x = nadmm_linalg::gen::gaussian_vector(p, &mut rng);
+        let v = nadmm_linalg::gen::gaussian_vector(p, &mut rng);
+        let mut ws = Workspace::new();
+        for _ in 0..2 {
+            let mut g = vec![f64::NAN; p];
+            obj.gradient_into(&x, &mut g, &mut ws);
+            prop_assert_eq!(&g, &obj.gradient(&x));
+            prop_assert_eq!(obj.value_ws(&x, &mut ws), obj.value(&x));
+            let mut hv = vec![f64::NAN; p];
+            obj.hessian_vec_into(&x, &v, &mut hv, &mut ws);
+            prop_assert_eq!(&hv, &obj.hessian_vec(&x, &v));
+        }
+        let _ = RidgeRegression::exact_minimizer(&obj);
+    }
+
+    /// A full Newton minimisation with a shared workspace must reproduce the
+    /// allocating run exactly (trace values included).
+    #[test]
+    fn newton_minimize_ws_matches_allocating(samples in 10usize..30, features in 2usize..6, seed in 0u64..100) {
+        let obj = softmax_problem(samples, features, 3, seed);
+        let x0 = vec![0.0; obj.dim()];
+        let cfg = NewtonConfig { max_iters: 4, ..Default::default() };
+        let reference = NewtonCg::new(cfg).minimize(&obj, &x0);
+        let mut ws = Workspace::new();
+        let repeat = NewtonCg::new(cfg).minimize_ws(&obj, &x0, &mut ws);
+        prop_assert_eq!(&repeat.x, &reference.x);
+        prop_assert_eq!(repeat.value, reference.value);
+        prop_assert_eq!(repeat.total_cg_iterations, reference.total_cg_iterations);
+        // And again on the now-warm pool.
+        let warm = NewtonCg::new(cfg).minimize_ws(&obj, &x0, &mut ws);
+        prop_assert_eq!(&warm.x, &reference.x);
+    }
+}
