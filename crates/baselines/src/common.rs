@@ -104,9 +104,27 @@ pub fn record_iteration(
     history.push(record);
 }
 
-/// Global gradient via an allreduce of local gradients. The local evaluation
+/// Global gradient via an *in-place* allreduce of local gradients: the local
+/// gradient is evaluated into `out` and summed across ranks in place — no
+/// heap allocation once the caller's buffers are warm. The local evaluation
 /// launches through the objective's device; `engine` bills the accrued
 /// simulated time to this rank.
+pub fn global_gradient_into(
+    comm: &mut dyn Communicator,
+    local: &SoftmaxCrossEntropy,
+    engine: &mut EngineSync,
+    ws: &mut Workspace,
+    w: &[f64],
+    out: &mut [f64],
+) {
+    local.gradient_into(w, out, ws);
+    if let Some(device) = local.device() {
+        engine.sync(comm, device);
+    }
+    comm.allreduce_sum_into(out);
+}
+
+/// Allocating convenience wrapper around [`global_gradient_into`].
 pub fn global_gradient(
     comm: &mut dyn Communicator,
     local: &SoftmaxCrossEntropy,
@@ -114,13 +132,8 @@ pub fn global_gradient(
     ws: &mut Workspace,
     w: &[f64],
 ) -> Vec<f64> {
-    let mut g_local = ws.acquire(local.dim());
-    local.gradient_into(w, &mut g_local, ws);
-    if let Some(device) = local.device() {
-        engine.sync(comm, device);
-    }
-    let g = comm.allreduce_sum(&g_local);
-    ws.release(g_local);
+    let mut g = vec![0.0; local.dim()];
+    global_gradient_into(comm, local, engine, ws, w, &mut g);
     g
 }
 

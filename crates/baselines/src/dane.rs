@@ -247,21 +247,25 @@ impl InexactDane {
                 Some(a) => (Some(anchor.as_slice()), a.tau),
                 None => (None, 0.0),
             };
-            let w_local = self.solve_subproblem(comm, shard, &local, &device, &mut engine, &anchor, &g, center, tau, &mut rng);
+            let mut w_local =
+                self.solve_subproblem(comm, shard, &local, &device, &mut engine, &anchor, &g, center, tau, &mut rng);
 
-            // Round 2: average the local solutions.
-            let sum = comm.allreduce_sum(&w_local);
-            let w_new: Vec<f64> = sum.iter().map(|v| v / n_workers as f64).collect();
+            // Round 2: average the local solutions with an in-place
+            // allreduce (the local solution buffer becomes the new iterate).
+            comm.allreduce_sum_into(&mut w_local);
+            for v in w_local.iter_mut() {
+                *v /= n_workers as f64;
+            }
+            let w_new = w_local;
 
             if let Some(a) = aide {
                 // Catalyst extrapolation.
-                catalyst_y = w_new.clone();
+                catalyst_y.copy_from_slice(&w_new);
                 for i in 0..dim {
                     catalyst_y[i] += a.zeta * (w_new[i] - w_prev[i]);
                 }
             }
-            w_prev = w.clone();
-            w = w_new;
+            w_prev = std::mem::replace(&mut w, w_new);
 
             record_iteration(comm, &local, &mut engine, test, &w, k, wall_start, &mut history);
         }

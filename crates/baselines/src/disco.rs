@@ -7,7 +7,7 @@
 //! is the structural contrast with Newton-ADMM (one round) and GIANT (three
 //! rounds) the paper's related-work discussion draws.
 
-use crate::common::{global_gradient, local_objective_on, record_iteration, DistributedRun, EngineSync};
+use crate::common::{global_gradient_into, local_objective_on, record_iteration, DistributedRun, EngineSync};
 use nadmm_cluster::{Cluster, Communicator};
 use nadmm_data::Dataset;
 use nadmm_device::{Device, DeviceSpec, Workspace};
@@ -65,37 +65,43 @@ impl Disco {
         let mut ws = Workspace::new();
         let dim = local.dim();
         let mut w = vec![0.0; dim];
+        let mut g = vec![0.0; dim];
+        let mut v = vec![0.0; dim];
+        let mut r = vec![0.0; dim];
+        let mut p = vec![0.0; dim];
+        let mut hv_final = vec![0.0; dim];
         let wall_start = Instant::now();
         let mut history = RunHistory::new("disco", shard.name(), n_workers);
         record_iteration(comm, &local, &mut engine, test, &w, 0, wall_start, &mut history);
 
         for k in 1..=cfg.max_iters {
-            // Round 1: global gradient.
-            let g = global_gradient(comm, &local, &mut engine, &mut ws, &w);
+            // Round 1: global gradient (in-place allreduce).
+            global_gradient_into(comm, &local, &mut engine, &mut ws, &w, &mut g);
             let g_norm = vector::norm2(&g);
             if g_norm == 0.0 {
                 break;
             }
 
             // Distributed CG on H v = g: every H·p is a local HVP followed by
-            // an allreduce (one communication round per CG iteration). The
-            // local HVPs launch through the device engine with pooled
-            // scratch.
+            // an *in-place* allreduce (one communication round per CG
+            // iteration — DiSCO's structural cost — but zero allocations per
+            // round). The local HVPs launch through the device engine with
+            // pooled scratch.
             let hvp_state = local.prepare_hvp(&w, &mut ws);
-            let mut hp_local = ws.acquire(dim);
-            let mut v = vec![0.0; dim];
-            let mut r = g.clone();
-            let mut p = r.clone();
+            let mut hp = ws.acquire(dim);
+            vector::fill(&mut v, 0.0);
+            r.copy_from_slice(&g);
+            p.copy_from_slice(&g);
+            vector::fill(&mut hv_final, 0.0);
             let mut rs_old = vector::norm2_sq(&r);
             let target = cfg.cg_tolerance * g_norm;
-            let mut hv_final = vec![0.0; dim];
             for _ in 0..cfg.cg_iters {
                 if rs_old.sqrt() <= target {
                     break;
                 }
-                local.hvp_prepared_into(&hvp_state, &p, &mut hp_local, &mut ws);
+                local.hvp_prepared_into(&hvp_state, &p, &mut hp, &mut ws);
                 engine.sync(comm, &device);
-                let hp = comm.allreduce_sum(&hp_local);
+                comm.allreduce_sum_into(&mut hp);
                 let p_hp = vector::dot(&p, &hp);
                 if p_hp <= 0.0 || !p_hp.is_finite() {
                     break;
@@ -103,13 +109,13 @@ impl Disco {
                 let alpha = rs_old / p_hp;
                 vector::axpy(alpha, &p, &mut v);
                 vector::axpy(-alpha, &hp, &mut r);
-                hv_final = hp;
+                hv_final.copy_from_slice(&hp);
                 let rs_new = vector::norm2_sq(&r);
                 let beta = rs_new / rs_old;
                 vector::axpby(1.0, &r, beta, &mut p);
                 rs_old = rs_new;
             }
-            ws.release(hp_local);
+            ws.release(hp);
             local.release_hvp(hvp_state, &mut ws);
 
             // Damped Newton step: δ = √(vᵀHv), w ← w − v / (1 + δ).

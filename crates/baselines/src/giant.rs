@@ -12,7 +12,7 @@
 //!    (each worker must evaluate the whole set — the redundant work the paper
 //!    contrasts with Newton-ADMM's locally-terminated backtracking).
 
-use crate::common::{global_gradient, local_objective_on, record_iteration, DistributedRun, EngineSync};
+use crate::common::{global_gradient_into, local_objective_on, record_iteration, DistributedRun, EngineSync};
 use nadmm_cluster::{Cluster, Communicator};
 use nadmm_data::Dataset;
 use nadmm_device::{Device, DeviceSpec, Workspace};
@@ -85,13 +85,16 @@ impl Giant {
         let dim = local.dim();
         let mut w = vec![0.0; dim];
         let mut p_local = vec![0.0; dim];
+        let mut g = vec![0.0; dim];
+        let steps: Vec<f64> = (0..cfg.line_search_steps).map(|i| 0.5_f64.powi(i as i32)).collect();
+        let mut step_values = vec![0.0; steps.len()];
         let wall_start = Instant::now();
         let mut history = RunHistory::new("giant", shard.name(), n_workers);
         record_iteration(comm, &local, &mut engine, test, &w, 0, wall_start, &mut history);
 
         for k in 1..=cfg.max_iters {
-            // Round 1: global gradient.
-            let g = global_gradient(comm, &local, &mut engine, &mut ws, &w);
+            // Round 1: global gradient (in-place allreduce).
+            global_gradient_into(comm, &local, &mut engine, &mut ws, &w, &mut g);
             if cfg.grad_tol > 0.0 && vector::norm2(&g) < cfg.grad_tol {
                 break;
             }
@@ -115,44 +118,47 @@ impl Giant {
             local.release_hvp(hvp_state, &mut ws);
             engine.sync(comm, &device);
 
-            // Round 2: average the local Newton directions.
-            let p_sum = comm.allreduce_sum(&p_local);
-            let p: Vec<f64> = p_sum.iter().map(|v| v / n_workers as f64).collect();
+            // Round 2: average the local Newton directions, in place (CG
+            // rewrites `p_local` from scratch next iteration, so the sum can
+            // land where the local direction was).
+            comm.allreduce_sum_into(&mut p_local);
+            for v in p_local.iter_mut() {
+                *v /= n_workers as f64;
+            }
+            let p = &p_local;
 
             // Round 3: distributed line search over the fixed step-size set.
             // Every worker evaluates *all* candidate steps (paper §3).
-            let steps: Vec<f64> = (0..cfg.line_search_steps).map(|i| 0.5_f64.powi(i as i32)).collect();
-            let mut local_values = Vec::with_capacity(steps.len());
             let mut trial = ws.acquire(dim);
-            for &alpha in &steps {
+            for (slot, &alpha) in step_values.iter_mut().zip(&steps) {
                 trial.copy_from_slice(&w);
-                vector::axpy(-alpha, &p, &mut trial);
-                local_values.push(local.value_ws(&trial, &mut ws));
+                vector::axpy(-alpha, p, &mut trial);
+                *slot = local.value_ws(&trial, &mut ws);
             }
             ws.release(trial);
             engine.sync(comm, &device);
-            let global_values = comm.allreduce_sum(&local_values);
+            comm.allreduce_sum_into(&mut step_values);
 
             // Pick the largest step satisfying Armijo on the global
             // objective; fall back to the best value if none does.
-            let f0 = history.records.last().map(|r| r.objective).unwrap_or_else(|| global_values[0]);
-            let slope = -vector::dot(&p, &g); // direction is −p
+            let f0 = history.records.last().map(|r| r.objective).unwrap_or_else(|| step_values[0]);
+            let slope = -vector::dot(p, &g); // direction is −p
             let mut chosen = None;
             for (i, &alpha) in steps.iter().enumerate() {
-                if global_values[i] <= f0 + cfg.armijo_beta * alpha * slope {
+                if step_values[i] <= f0 + cfg.armijo_beta * alpha * slope {
                     chosen = Some(i);
                     break;
                 }
             }
             let best = chosen.unwrap_or_else(|| {
-                global_values
+                step_values
                     .iter()
                     .enumerate()
                     .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
                     .map(|(i, _)| i)
                     .unwrap_or(0)
             });
-            vector::axpy(-steps[best], &p, &mut w);
+            vector::axpy(-steps[best], p, &mut w);
 
             record_iteration(comm, &local, &mut engine, test, &w, k, wall_start, &mut history);
         }

@@ -77,6 +77,8 @@ impl SyncSgd {
 
         let mut w = vec![0.0; dim];
         let mut velocity = vec![0.0; dim];
+        let mut g = vec![0.0; dim];
+        let mut ws = nadmm_device::Workspace::new();
         let wall_start = Instant::now();
         let mut history = RunHistory::new("sync-sgd", shard.name(), n_workers);
         record_iteration(comm, &local, &mut engine, test, &w, 0, wall_start, &mut history);
@@ -90,12 +92,13 @@ impl SyncSgd {
                 // worker's regulariser share). The minibatch kernels launch
                 // on the rank's shared device engine.
                 let mini_obj = SoftmaxCrossEntropy::new(&mini, 0.0).with_device(device.clone());
-                let mut g_local = vector::scaled(n_local as f64 / batch as f64, &mini_obj.gradient(&w));
-                vector::axpy(cfg.lambda / n_workers as f64, &w, &mut g_local);
+                mini_obj.gradient_into(&w, &mut g, &mut ws);
+                vector::scale(n_local as f64 / batch as f64, &mut g);
+                vector::axpy(cfg.lambda / n_workers as f64, &w, &mut g);
                 engine.sync(comm, &device);
-                // Synchronous allreduce per minibatch (this is the expensive
-                // part the paper points at).
-                let g = comm.allreduce_sum(&g_local);
+                // Synchronous in-place allreduce per minibatch (this is the
+                // expensive part the paper points at).
+                comm.allreduce_sum_into(&mut g);
                 // Normalise by the total sample count so the step size has a
                 // per-sample scale (standard minibatch SGD convention).
                 let total_samples = comm.allreduce_scalar_sum(n_local as f64).max(1.0);

@@ -1,0 +1,119 @@
+//! CI gate for the collectives bench: asserts that `BENCH_kernels.json`
+//! contains the `collectives` section and that the recorded model costs show
+//! ring allreduce beating the binomial tree above the modeled crossover
+//! payload (and the tree winning below it) — the property the automatic
+//! algorithm selection relies on. Also verifies the warm-path allocation
+//! counters recorded by the bench are zero.
+//!
+//! ```text
+//! NADMM_BENCH_SMOKE=1 cargo bench -p nadmm-bench --bench collectives
+//! cargo run --release -p nadmm-bench --bin check_collectives_report
+//! ```
+
+use nadmm_bench::report::report_path;
+use serde::Value;
+use serde_json::parse_value;
+
+fn num(v: &Value, key: &str) -> Option<f64> {
+    match v.get(key) {
+        Some(Value::Num(n)) => Some(*n),
+        _ => None,
+    }
+}
+
+fn str_field<'a>(v: &'a Value, key: &str) -> Option<&'a str> {
+    match v.get(key) {
+        Some(Value::Str(s)) => Some(s),
+        _ => None,
+    }
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("check_collectives_report: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let path = report_path();
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e} (run the collectives bench first)")));
+    let rows = match parse_value(&text) {
+        Ok(Value::Seq(rows)) => rows,
+        other => fail(&format!("{path} is not a JSON array: {other:?}")),
+    };
+
+    let collectives: Vec<&Value> = rows.iter().filter(|r| str_field(r, "group") == Some("collectives")).collect();
+    if collectives.is_empty() {
+        fail("no `collectives` section in the report");
+    }
+
+    // Index the modeled allreduce costs: (algo, n, bytes) -> ns.
+    let mut model: Vec<(String, usize, f64, f64)> = Vec::new();
+    let mut crossovers: Vec<(usize, f64)> = Vec::new();
+    for row in &collectives {
+        let id = str_field(row, "id").unwrap_or("");
+        if let Some(rest) = id.strip_prefix("allreduce_model/") {
+            let parts: Vec<&str> = rest.split('/').collect();
+            if parts.len() == 3 {
+                let algo = parts[0].to_string();
+                let n: usize = parts[1].trim_start_matches('n').parse().unwrap_or(0);
+                let bytes: f64 = parts[2].trim_end_matches('B').parse().unwrap_or(0.0);
+                let ns = num(row, "ns_per_iter").unwrap_or(f64::NAN);
+                model.push((algo, n, bytes, ns));
+            }
+        } else if let Some(rest) = id.strip_prefix("allreduce_crossover_bytes_tree_to_ring/n") {
+            let n: usize = rest.parse().unwrap_or(0);
+            crossovers.push((n, num(row, "ns_per_iter").unwrap_or(f64::NAN)));
+        } else if id.ends_with("_warm_allocs") {
+            let allocs = num(row, "allocs_per_iter").unwrap_or(f64::NAN);
+            if allocs != 0.0 {
+                fail(&format!("{id} recorded {allocs} allocations (expected 0)"));
+            }
+        }
+    }
+    if crossovers.is_empty() {
+        fail("no modeled tree→ring crossover recorded");
+    }
+
+    let cost = |algo: &str, n: usize, bytes: f64| -> Option<f64> {
+        model
+            .iter()
+            .find(|(a, an, ab, _)| a == algo && *an == n && (*ab - bytes).abs() < 0.5)
+            .map(|(_, _, _, ns)| *ns)
+    };
+
+    let mut checked = 0;
+    for &(n, crossover) in &crossovers {
+        let sizes: Vec<f64> = model
+            .iter()
+            .filter(|(a, an, _, _)| a == "ring" && *an == n)
+            .map(|(_, _, b, _)| *b)
+            .collect();
+        for bytes in sizes {
+            let (Some(ring), Some(tree)) = (cost("ring", n, bytes), cost("tree", n, bytes)) else {
+                continue;
+            };
+            if bytes > crossover && ring >= tree {
+                fail(&format!(
+                    "n={n}, payload {bytes}B is above the crossover ({crossover:.0}B) \
+                     but ring ({ring:.1}ns) does not beat tree ({tree:.1}ns)"
+                ));
+            }
+            if bytes < crossover && tree > ring {
+                fail(&format!(
+                    "n={n}, payload {bytes}B is below the crossover ({crossover:.0}B) \
+                     but tree ({tree:.1}ns) loses to ring ({ring:.1}ns)"
+                ));
+            }
+            checked += 1;
+        }
+        println!("n={n}: tree→ring crossover at {crossover:.0} bytes — model rows consistent");
+    }
+    if checked == 0 {
+        fail("no (ring, tree) cost pairs found to check against the crossover");
+    }
+    println!(
+        "check_collectives_report: OK ({} collectives rows, {checked} pairs checked)",
+        collectives.len()
+    );
+}

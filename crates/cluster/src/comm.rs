@@ -1,17 +1,107 @@
 //! The communicator interface the distributed solvers code against, plus the
 //! trivial single-process implementation.
+//!
+//! Three API tiers, all part of the same [`Communicator`] trait:
+//!
+//! 1. **Allocating collectives** (`allreduce_sum`, `broadcast_root`, …) — the
+//!    seed API, convenient for cold paths and tests.
+//! 2. **In-place collectives** (`allreduce_sum_into`, `broadcast_root_into`,
+//!    …) — the hot-path API: the caller's buffer is both input and output and
+//!    implementations stage through a pooled [`crate::CommWorkspace`], so a
+//!    warm outer iteration allocates nothing.
+//! 3. **Split-phase collectives** (`start_allreduce_sum` →
+//!    [`Communicator::wait_into`]) — nonblocking: the result materialises in
+//!    a [`CollectiveHandle`] whose completion *time* is fixed at start, and
+//!    local compute issued between `start` and `wait` overlaps with the
+//!    collective on the simulated clocks (only the non-overlapped tail is
+//!    billed).
+//!
+//! Default implementations let tiers 2 and 3 fall back to tier 1, so custom
+//! communicators only need the allocating core.
 
+use crate::network::{CollectiveAlgorithm, CollectiveKind};
 use crate::stats::CommStats;
 
 /// The rank that plays the role of the paper's "master node".
 pub const ROOT_RANK: usize = 0;
 
+/// An in-flight split-phase collective: the exchanged result plus the
+/// simulated time at which the collective completes cluster-wide.
+///
+/// Produced by the `start_*` methods of [`Communicator`] and consumed by
+/// [`Communicator::wait_into`] / [`Communicator::wait`] **on the same
+/// communicator that created it**. Handles must be waited in the order they
+/// were started.
+#[derive(Debug)]
+pub struct CollectiveHandle {
+    pub(crate) result: Vec<f64>,
+    pub(crate) complete_at: f64,
+    pub(crate) kind: CollectiveKind,
+    pub(crate) algo: CollectiveAlgorithm,
+    pub(crate) sent_bytes: f64,
+    pub(crate) recv_bytes: f64,
+    /// Whether the starting call already billed clock/stats (true for the
+    /// blocking fallback; the real split-phase engine bills at `wait`).
+    pub(crate) billed: bool,
+}
+
+impl CollectiveHandle {
+    /// Builds a handle around an already-exchanged result (used by the
+    /// default blocking fallback and custom communicator implementations).
+    pub fn new(
+        result: Vec<f64>,
+        complete_at: f64,
+        kind: CollectiveKind,
+        algo: CollectiveAlgorithm,
+        sent_bytes: f64,
+        recv_bytes: f64,
+        billed: bool,
+    ) -> Self {
+        Self {
+            result,
+            complete_at,
+            kind,
+            algo,
+            sent_bytes,
+            recv_bytes,
+            billed,
+        }
+    }
+
+    /// Number of elements of the eventual result.
+    pub fn len(&self) -> usize {
+        self.result.len()
+    }
+
+    /// Whether the eventual result is empty.
+    pub fn is_empty(&self) -> bool {
+        self.result.is_empty()
+    }
+
+    /// Simulated time at which this collective completes on every rank
+    /// (latest start across ranks plus the modeled cost). A rank's own clock
+    /// only advances to this at `wait`.
+    pub fn complete_at(&self) -> f64 {
+        self.complete_at
+    }
+
+    /// The collective kind this handle belongs to.
+    pub fn kind(&self) -> CollectiveKind {
+        self.kind
+    }
+
+    /// The algorithm the selector chose for it.
+    pub fn algorithm(&self) -> CollectiveAlgorithm {
+        self.algo
+    }
+}
+
 /// MPI-flavoured collective interface over `f64` payloads.
 ///
-/// All collectives are *blocking* and must be called by every rank of the
-/// communicator in the same order (exactly like MPI). The root of rooted
-/// collectives is always [`ROOT_RANK`], matching the paper's master-node
-/// formulation (Algorithm 4).
+/// All collectives must be called by every rank of the communicator in the
+/// same order (exactly like MPI); implementations detect and loudly reject
+/// mismatched calls. The root of rooted collectives is always [`ROOT_RANK`],
+/// matching the paper's master-node formulation (Algorithm 4).
 ///
 /// Besides moving data, implementations account simulated time: local compute
 /// charged through [`Communicator::advance_compute`] and communication time
@@ -54,14 +144,175 @@ pub trait Communicator {
     /// `None`.
     fn scatter_root(&mut self, parts: Option<&[Vec<f64>]>) -> Vec<f64>;
 
+    // ------------------------------------------------------------------
+    // In-place collectives (the hot-path API). Defaults delegate to the
+    // allocating methods; the thread-backed communicator overrides them
+    // with zero-allocation implementations.
+    // ------------------------------------------------------------------
+
+    /// Element-wise sum across ranks, in place: `buf` is this rank's
+    /// contribution on entry and the global sum on exit. Every rank must
+    /// supply the same length.
+    fn allreduce_sum_into(&mut self, buf: &mut [f64]) {
+        let out = self.allreduce_sum(buf);
+        buf.copy_from_slice(&out);
+    }
+
+    /// Element-wise max across ranks, in place.
+    fn allreduce_max_into(&mut self, buf: &mut [f64]) {
+        let all = self.allgather(buf);
+        for (i, slot) in buf.iter_mut().enumerate() {
+            *slot = all.iter().map(|c| c[i]).fold(f64::NEG_INFINITY, f64::max);
+        }
+    }
+
+    /// Element-wise sum to the root, in place: on the root `buf` holds the
+    /// global sum on exit (returns `true`); elsewhere the contents of `buf`
+    /// are unspecified afterwards (returns `false`).
+    fn reduce_sum_root_into(&mut self, buf: &mut [f64]) -> bool {
+        if let Some(out) = self.reduce_sum_root(buf) {
+            buf.copy_from_slice(&out);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Broadcast from the root, in place: the root's `buf` is the payload,
+    /// every other rank's same-length `buf` is overwritten with it.
+    fn broadcast_root_into(&mut self, buf: &mut [f64]) {
+        let out = if self.is_root() {
+            self.broadcast_root(Some(&*buf))
+        } else {
+            self.broadcast_root(None)
+        };
+        buf.copy_from_slice(&out);
+    }
+
+    /// Allgather into a caller buffer: `out` (length `size() * data.len()`)
+    /// receives every rank's contribution concatenated in rank order.
+    fn allgather_into(&mut self, data: &[f64], out: &mut [f64]) {
+        assert_eq!(
+            out.len(),
+            data.len() * self.size(),
+            "allgather_into: output buffer must hold size() * data.len() elements"
+        );
+        let all = self.allgather(data);
+        for (chunk, contrib) in out.chunks_mut(data.len()).zip(&all) {
+            chunk.copy_from_slice(contrib);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Split-phase (nonblocking) collectives. The default implementations
+    // complete eagerly — correct, but with no overlap credit; the
+    // thread-backed communicator overrides them with true split-phase
+    // billing.
+    // ------------------------------------------------------------------
+
+    /// Starts a nonblocking element-wise sum allreduce of `data`. The result
+    /// becomes visible (and the clock charged) at
+    /// [`Communicator::wait_into`].
+    fn start_allreduce_sum(&mut self, data: &[f64]) -> CollectiveHandle {
+        let result = self.allreduce_sum(data);
+        CollectiveHandle::new(
+            result,
+            self.elapsed(),
+            CollectiveKind::Allreduce,
+            CollectiveAlgorithm::Naive,
+            0.0,
+            0.0,
+            true,
+        )
+    }
+
+    /// Starts a nonblocking element-wise max allreduce of `data`.
+    fn start_allreduce_max(&mut self, data: &[f64]) -> CollectiveHandle {
+        let mut buf = data.to_vec();
+        self.allreduce_max_into(&mut buf);
+        CollectiveHandle::new(
+            buf,
+            self.elapsed(),
+            CollectiveKind::Allreduce,
+            CollectiveAlgorithm::Naive,
+            0.0,
+            0.0,
+            true,
+        )
+    }
+
+    /// Starts a nonblocking mixed allreduce of `data`: the first `sum_len`
+    /// elements are reduced by sum, the rest by max — one collective instead
+    /// of two, the way MPI codes pack instrumentation reductions into a
+    /// single user-defined-op allreduce. The default falls back to two
+    /// blocking collectives.
+    fn start_allreduce_sum_max(&mut self, data: &[f64], sum_len: usize) -> CollectiveHandle {
+        assert!(
+            sum_len <= data.len(),
+            "start_allreduce_sum_max: sum_len {sum_len} exceeds payload length {}",
+            data.len()
+        );
+        let mut buf = data.to_vec();
+        let sums = self.allreduce_sum(&data[..sum_len]);
+        buf[..sum_len].copy_from_slice(&sums);
+        self.allreduce_max_into(&mut buf[sum_len..]);
+        CollectiveHandle::new(
+            buf,
+            self.elapsed(),
+            CollectiveKind::Allreduce,
+            CollectiveAlgorithm::Naive,
+            0.0,
+            0.0,
+            true,
+        )
+    }
+
+    /// Completes a split-phase collective: copies the result into `out`
+    /// (same length). Implementations with true split-phase billing (like
+    /// the thread-backed communicator) advance this rank's clock to the
+    /// collective's completion time if it has not naturally passed it (the
+    /// overlap credit) and bill the non-overlapped tail.
+    ///
+    /// This default only handles *already-billed* handles (the blocking
+    /// `start_*` fallbacks above bill at start). An implementation that
+    /// overrides a `start_*` method to defer billing (`billed = false`) must
+    /// override `wait_into` as well — the default panics on such a handle
+    /// rather than silently dropping its time and stats.
+    fn wait_into(&mut self, handle: CollectiveHandle, out: &mut [f64]) {
+        assert!(
+            handle.billed,
+            "wait_into: the default implementation received an unbilled split-phase handle; \
+             a communicator that defers billing to wait must override wait_into"
+        );
+        assert_eq!(
+            out.len(),
+            handle.result.len(),
+            "wait_into: output buffer length {} != collective result length {}",
+            out.len(),
+            handle.result.len()
+        );
+        out.copy_from_slice(&handle.result);
+    }
+
+    /// Completes a split-phase collective, returning the result by value.
+    fn wait(&mut self, handle: CollectiveHandle) -> Vec<f64> {
+        let mut out = vec![0.0; handle.result.len()];
+        self.wait_into(handle, &mut out);
+        out
+    }
+
     /// Sum of a scalar across ranks, available everywhere.
     fn allreduce_scalar_sum(&mut self, v: f64) -> f64 {
-        self.allreduce_sum(&[v])[0]
+        let mut buf = [v];
+        self.allreduce_sum_into(&mut buf);
+        buf[0]
     }
 
     /// Maximum of a scalar across ranks, available everywhere.
     fn allreduce_scalar_max(&mut self, v: f64) -> f64 {
-        self.allgather(&[v]).iter().map(|x| x[0]).fold(f64::NEG_INFINITY, f64::max)
+        let mut buf = [v];
+        self.allreduce_max_into(&mut buf);
+        buf[0]
     }
 
     /// Charges `dt` simulated seconds of local compute to this rank.
@@ -90,6 +341,10 @@ impl SingleProcessComm {
     pub fn new() -> Self {
         Self::default()
     }
+
+    fn note(&mut self, kind: CollectiveKind) {
+        self.stats.record_collective(kind, CollectiveAlgorithm::Naive, 0.0, 0.0, 0.0);
+    }
 }
 
 impl Communicator for SingleProcessComm {
@@ -104,35 +359,74 @@ impl Communicator for SingleProcessComm {
     fn barrier(&mut self) {}
 
     fn allgather(&mut self, data: &[f64]) -> Vec<Vec<f64>> {
-        self.stats.record(0.0, 0.0, 0.0);
+        self.note(CollectiveKind::Allgather);
         vec![data.to_vec()]
     }
 
     fn allreduce_sum(&mut self, data: &[f64]) -> Vec<f64> {
-        self.stats.record(0.0, 0.0, 0.0);
+        self.note(CollectiveKind::Allreduce);
         data.to_vec()
     }
 
     fn reduce_sum_root(&mut self, data: &[f64]) -> Option<Vec<f64>> {
-        self.stats.record(0.0, 0.0, 0.0);
+        self.note(CollectiveKind::Reduce);
         Some(data.to_vec())
     }
 
     fn gather_root(&mut self, data: &[f64]) -> Option<Vec<Vec<f64>>> {
-        self.stats.record(0.0, 0.0, 0.0);
+        self.note(CollectiveKind::Gather);
         Some(vec![data.to_vec()])
     }
 
     fn broadcast_root(&mut self, data: Option<&[f64]>) -> Vec<f64> {
-        self.stats.record(0.0, 0.0, 0.0);
+        self.note(CollectiveKind::Broadcast);
         data.expect("root must provide broadcast data").to_vec()
     }
 
     fn scatter_root(&mut self, parts: Option<&[Vec<f64>]>) -> Vec<f64> {
-        self.stats.record(0.0, 0.0, 0.0);
+        self.note(CollectiveKind::Scatter);
         let parts = parts.expect("root must provide scatter parts");
         assert_eq!(parts.len(), 1, "scatter on a single-process comm needs exactly one part");
         parts[0].clone()
+    }
+
+    // In-place collectives are identities on one rank: no copies, no
+    // allocations.
+    fn allreduce_sum_into(&mut self, _buf: &mut [f64]) {
+        self.note(CollectiveKind::Allreduce);
+    }
+
+    fn allreduce_max_into(&mut self, _buf: &mut [f64]) {
+        self.note(CollectiveKind::Allreduce);
+    }
+
+    fn reduce_sum_root_into(&mut self, _buf: &mut [f64]) -> bool {
+        self.note(CollectiveKind::Reduce);
+        true
+    }
+
+    fn broadcast_root_into(&mut self, _buf: &mut [f64]) {
+        self.note(CollectiveKind::Broadcast);
+    }
+
+    fn allgather_into(&mut self, data: &[f64], out: &mut [f64]) {
+        self.note(CollectiveKind::Allgather);
+        assert_eq!(out.len(), data.len(), "allgather_into on one rank copies the contribution");
+        out.copy_from_slice(data);
+    }
+
+    fn start_allreduce_sum_max(&mut self, data: &[f64], sum_len: usize) -> CollectiveHandle {
+        assert!(sum_len <= data.len());
+        self.note(CollectiveKind::Allreduce);
+        CollectiveHandle::new(
+            data.to_vec(),
+            self.elapsed,
+            CollectiveKind::Allreduce,
+            CollectiveAlgorithm::Naive,
+            0.0,
+            0.0,
+            true,
+        )
     }
 
     fn advance_compute(&mut self, dt: f64) {
@@ -168,6 +462,34 @@ mod tests {
         assert_eq!(c.scatter_root(Some(&[vec![7.0]])), vec![7.0]);
         assert_eq!(c.allreduce_scalar_sum(2.5), 2.5);
         assert_eq!(c.allreduce_scalar_max(-1.0), -1.0);
+    }
+
+    #[test]
+    fn single_process_in_place_collectives_are_identities() {
+        let mut c = SingleProcessComm::new();
+        let mut buf = [1.0, 2.0];
+        c.allreduce_sum_into(&mut buf);
+        assert_eq!(buf, [1.0, 2.0]);
+        assert!(c.reduce_sum_root_into(&mut buf));
+        c.broadcast_root_into(&mut buf);
+        assert_eq!(buf, [1.0, 2.0]);
+        let mut out = [0.0, 0.0];
+        c.allgather_into(&[3.0, 4.0], &mut out);
+        assert_eq!(out, [3.0, 4.0]);
+        assert_eq!(c.stats().kind(crate::network::CollectiveKind::Allreduce).count, 1);
+    }
+
+    #[test]
+    fn single_process_split_phase_completes_eagerly() {
+        let mut c = SingleProcessComm::new();
+        let h = c.start_allreduce_sum(&[5.0, 6.0]);
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.kind(), CollectiveKind::Allreduce);
+        let mut out = [0.0, 0.0];
+        c.wait_into(h, &mut out);
+        assert_eq!(out, [5.0, 6.0]);
+        let h = c.start_allreduce_max(&[-3.0]);
+        assert_eq!(c.wait(h), vec![-3.0]);
     }
 
     #[test]

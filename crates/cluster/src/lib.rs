@@ -1,37 +1,49 @@
 //! # nadmm-cluster
 //!
-//! A simulated distributed cluster.
+//! A simulated distributed cluster with a pluggable collective engine.
 //!
 //! The paper evaluates Newton-ADMM on up to 16 MPI ranks connected by a
 //! 100 Gbps Infiniband fabric. This crate substitutes that substrate with an
 //! in-process cluster: every simulated rank runs on its own OS thread,
 //! collectives are implemented with a shared-memory rendezvous, and the
 //! *time* each collective would have taken on a real fabric is charged
-//! against a latency/bandwidth [`NetworkModel`] (tree-shaped collectives, the
-//! same asymptotics as MPI implementations use).
+//! against a latency/bandwidth [`NetworkModel`].
+//!
+//! Unlike the seed's single ⌈log₂N⌉-tree asymptotic, each collective is
+//! costed per [`CollectiveAlgorithm`] (naive star, binomial tree, ring,
+//! recursive halving-doubling) with automatic payload-size crossover
+//! selection — ring allreduce wins the large d×k parameter reductions of the
+//! ADMM outer loop, trees win the scalar instrumentation reductions — and
+//! the choice is recorded per collective kind in [`CommStats`].
 //!
 //! Because the algorithms in this workspace differ mainly in *how many
 //! communication rounds and bytes* they need per iteration (Newton-ADMM: one
-//! gather + one scatter; GIANT: three rounds; synchronous SGD: one allreduce
-//! per minibatch), simulating the network with an α+βn model retains exactly
-//! the trade-off the paper studies, while the numerical results are identical
-//! to a real multi-node run (the collectives are exact).
+//! reduce + one broadcast; GIANT: three rounds; synchronous SGD: one
+//! allreduce per minibatch), simulating the network with per-algorithm α+β
+//! models retains exactly the trade-off the paper studies, while the
+//! numerical results are identical to a real multi-node run (the collectives
+//! are exact, and bit-identical across algorithm choices by construction).
 //!
 //! Entry points:
 //! * [`Cluster::run`] — spawn `n` ranks, run a closure on each, collect
 //!   results in rank order;
-//! * [`Communicator`] — the MPI-flavoured interface the solvers code against;
+//! * [`Communicator`] — the MPI-flavoured interface the solvers code
+//!   against: allocating, in-place (`*_into`, zero-alloc once warm) and
+//!   split-phase (`start_*` → `wait_into`, overlapping compute with
+//!   communication on the simulated clocks);
 //! * [`SingleProcessComm`] — a size-1 communicator for single-node runs.
 
 pub mod comm;
 pub mod network;
 pub mod stats;
 pub mod thread_comm;
+pub mod workspace;
 
-pub use comm::{Communicator, SingleProcessComm, ROOT_RANK};
-pub use network::NetworkModel;
-pub use stats::CommStats;
+pub use comm::{CollectiveHandle, Communicator, SingleProcessComm, ROOT_RANK};
+pub use network::{CollectiveAlgorithm, CollectiveKind, CollectiveSelector, NetworkModel, COLLECTIVE_ALGO_ENV};
+pub use stats::{CommStats, KindStats};
 pub use thread_comm::{Cluster, ThreadComm};
+pub use workspace::{CommWorkspace, CommWorkspaceStats};
 
 #[cfg(test)]
 mod tests {

@@ -1,12 +1,185 @@
-//! Latency/bandwidth network cost model with tree-shaped collectives.
+//! Latency/bandwidth network cost model with a pluggable collective-algorithm
+//! layer.
+//!
+//! Every collective can be executed by several classical algorithms whose
+//! α+β costs differ in how they trade *latency rounds* against *bandwidth
+//! volume*: a binomial tree finishes in ⌈log₂N⌉ rounds but re-sends the whole
+//! payload at every level, while a ring allreduce needs 2(N−1) rounds but
+//! moves only 2(N−1)/N of the payload per rank — bandwidth-optimal, and the
+//! winner for the large d×k parameter vectors the Newton-ADMM outer loop
+//! reduces. [`NetworkModel::select`] picks the cheapest algorithm for a given
+//! payload size (the *crossover* rule), unless a [`CollectiveSelector`]
+//! forces one (configurable per [`crate::Cluster`] or via the
+//! `NADMM_COLLECTIVE_ALGO` environment variable).
+//!
+//! The algorithm choice only affects *simulated cost*: the data path of the
+//! in-process rendezvous is shared, so every algorithm is bit-identical by
+//! construction (and the cluster test-suite asserts it).
 
 use serde::{Deserialize, Serialize};
+
+/// Environment variable overriding the collective-algorithm selection
+/// (`naive`, `tree`, `ring`, `rhd`, or `auto`).
+pub const COLLECTIVE_ALGO_ENV: &str = "NADMM_COLLECTIVE_ALGO";
+
+/// The collective operations the communicator layer charges for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CollectiveKind {
+    /// Synchronisation only, no payload.
+    Barrier,
+    /// Root's payload delivered to every rank.
+    Broadcast,
+    /// Element-wise reduction landing on the root.
+    Reduce,
+    /// Element-wise reduction available on every rank.
+    Allreduce,
+    /// Per-rank payloads collected at the root.
+    Gather,
+    /// Per-rank payloads distributed from the root.
+    Scatter,
+    /// Per-rank payloads collected on every rank.
+    Allgather,
+}
+
+impl CollectiveKind {
+    /// Number of collective kinds (size of per-kind stat arrays).
+    pub const COUNT: usize = 7;
+
+    /// All kinds, in [`CollectiveKind::index`] order.
+    pub const ALL: [CollectiveKind; Self::COUNT] = [
+        CollectiveKind::Barrier,
+        CollectiveKind::Broadcast,
+        CollectiveKind::Reduce,
+        CollectiveKind::Allreduce,
+        CollectiveKind::Gather,
+        CollectiveKind::Scatter,
+        CollectiveKind::Allgather,
+    ];
+
+    /// Stable index into per-kind arrays.
+    pub fn index(self) -> usize {
+        match self {
+            CollectiveKind::Barrier => 0,
+            CollectiveKind::Broadcast => 1,
+            CollectiveKind::Reduce => 2,
+            CollectiveKind::Allreduce => 3,
+            CollectiveKind::Gather => 4,
+            CollectiveKind::Scatter => 5,
+            CollectiveKind::Allgather => 6,
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CollectiveKind::Barrier => "barrier",
+            CollectiveKind::Broadcast => "broadcast",
+            CollectiveKind::Reduce => "reduce",
+            CollectiveKind::Allreduce => "allreduce",
+            CollectiveKind::Gather => "gather",
+            CollectiveKind::Scatter => "scatter",
+            CollectiveKind::Allgather => "allgather",
+        }
+    }
+}
+
+/// The algorithm executing a collective (cost-model level; the simulated data
+/// path is identical for all of them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CollectiveAlgorithm {
+    /// Star topology through the root: `N−1` sequential point-to-points.
+    Naive,
+    /// Binomial tree: `⌈log₂N⌉` rounds, full payload per round.
+    BinomialTree,
+    /// Ring (reduce-scatter + allgather): `2(N−1)` rounds, bandwidth-optimal
+    /// `2(N−1)/N` payload fractions.
+    Ring,
+    /// Recursive halving-doubling (butterfly): `2⌈log₂N⌉` rounds at the
+    /// bandwidth-optimal volume; non-power-of-two rank counts pay one extra
+    /// full exchange to fold the remainder ranks in.
+    RecursiveHalvingDoubling,
+}
+
+impl CollectiveAlgorithm {
+    /// Number of algorithms (size of per-algorithm stat arrays).
+    pub const COUNT: usize = 4;
+
+    /// All algorithms, in [`CollectiveAlgorithm::index`] order. Ties in the
+    /// automatic selection resolve to the earliest entry.
+    pub const ALL: [CollectiveAlgorithm; Self::COUNT] = [
+        CollectiveAlgorithm::Naive,
+        CollectiveAlgorithm::BinomialTree,
+        CollectiveAlgorithm::Ring,
+        CollectiveAlgorithm::RecursiveHalvingDoubling,
+    ];
+
+    /// Stable index into per-algorithm arrays.
+    pub fn index(self) -> usize {
+        match self {
+            CollectiveAlgorithm::Naive => 0,
+            CollectiveAlgorithm::BinomialTree => 1,
+            CollectiveAlgorithm::Ring => 2,
+            CollectiveAlgorithm::RecursiveHalvingDoubling => 3,
+        }
+    }
+
+    /// Short name used in reports and the env override.
+    pub fn name(self) -> &'static str {
+        match self {
+            CollectiveAlgorithm::Naive => "naive",
+            CollectiveAlgorithm::BinomialTree => "tree",
+            CollectiveAlgorithm::Ring => "ring",
+            CollectiveAlgorithm::RecursiveHalvingDoubling => "rhd",
+        }
+    }
+
+    /// Parses a [`CollectiveAlgorithm::name`] (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "naive" | "star" => Some(CollectiveAlgorithm::Naive),
+            "tree" | "binomial" => Some(CollectiveAlgorithm::BinomialTree),
+            "ring" => Some(CollectiveAlgorithm::Ring),
+            "rhd" | "halving-doubling" | "butterfly" => Some(CollectiveAlgorithm::RecursiveHalvingDoubling),
+            _ => None,
+        }
+    }
+}
+
+/// How a communicator picks the algorithm for each collective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CollectiveSelector {
+    /// Pick the cheapest algorithm for the payload size (crossover rule).
+    #[default]
+    Auto,
+    /// Always use one algorithm (ablations / the bit-identity tests).
+    Force(CollectiveAlgorithm),
+}
+
+impl CollectiveSelector {
+    /// Parses `auto` or a [`CollectiveAlgorithm::parse`] name.
+    pub fn parse(s: &str) -> Option<Self> {
+        if s.trim().eq_ignore_ascii_case("auto") {
+            Some(CollectiveSelector::Auto)
+        } else {
+            CollectiveAlgorithm::parse(s).map(CollectiveSelector::Force)
+        }
+    }
+
+    /// Reads the [`COLLECTIVE_ALGO_ENV`] override, defaulting to `Auto` when
+    /// unset or unparseable.
+    pub fn from_env() -> Self {
+        std::env::var(COLLECTIVE_ALGO_ENV)
+            .ok()
+            .and_then(|v| Self::parse(&v))
+            .unwrap_or_default()
+    }
+}
 
 /// α+β cost model of the interconnect.
 ///
 /// A point-to-point message of `b` bytes costs `latency + b / bandwidth`
-/// seconds; collectives are charged using the standard tree/butterfly
-/// algorithms' asymptotics (⌈log₂ N⌉ rounds).
+/// seconds; collectives are charged per algorithm through
+/// [`NetworkModel::collective_cost`] / [`NetworkModel::select`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct NetworkModel {
     /// Human-readable name of the fabric.
@@ -74,63 +247,157 @@ impl NetworkModel {
         }
     }
 
+    /// The `(latency_multiplier, bandwidth_multiplier)` of one collective:
+    /// `cost = lm·α + bm·(bytes/B)`. Both terms are affine in the payload,
+    /// which is what makes the crossover payload size between two algorithms
+    /// solvable in closed form ([`NetworkModel::crossover_bytes`]).
+    ///
+    /// With `L = ⌈log₂N⌉`, `m = N−1`, `r = (N−1)/N`:
+    ///
+    /// | kind       | naive      | tree       | ring            | rhd            |
+    /// |------------|------------|------------|-----------------|----------------|
+    /// | barrier    | (2m, 0)    | (2L, 0)    | (N, 0)          | (L, 0)         |
+    /// | broadcast  | (m, m)     | (L, L)     | (L+m, 2r)       | (2L, 2r)       |
+    /// | reduce     | (m, m)     | (L, L)     | (L+m, 2r)       | (2L, 2r)       |
+    /// | allreduce  | (2m, 2m)   | (2L, 2L)   | (2m, 2r)        | (2L, 2r) [^p2] |
+    /// | gather     | (m, m)     | (L, m)     | (m, m)          | (L, m)         |
+    /// | scatter    | (m, m)     | (L, m)     | (m, m)          | (L, m)         |
+    /// | allgather  | (m, m)     | (2L, m+Ln) | (m, m)          | (L, m)         |
+    ///
+    /// [^p2]: non-power-of-two rank counts add one full exchange `(2, 2)`.
+    pub fn collective_terms(kind: CollectiveKind, algo: CollectiveAlgorithm, n: usize) -> (f64, f64) {
+        if n <= 1 {
+            return (0.0, 0.0);
+        }
+        let l = Self::tree_depth(n);
+        let m = n as f64 - 1.0;
+        let r = m / n as f64;
+        use CollectiveAlgorithm::*;
+        use CollectiveKind::*;
+        match (kind, algo) {
+            (Barrier, Naive) => (2.0 * m, 0.0),
+            (Barrier, BinomialTree) => (2.0 * l, 0.0),
+            (Barrier, Ring) => (n as f64, 0.0),
+            (Barrier, RecursiveHalvingDoubling) => (l, 0.0),
+
+            (Broadcast | Reduce, Naive) => (m, m),
+            (Broadcast | Reduce, BinomialTree) => (l, l),
+            (Broadcast | Reduce, Ring) => (l + m, 2.0 * r),
+            (Broadcast | Reduce, RecursiveHalvingDoubling) => (2.0 * l, 2.0 * r),
+
+            (Allreduce, Naive) => (2.0 * m, 2.0 * m),
+            (Allreduce, BinomialTree) => (2.0 * l, 2.0 * l),
+            (Allreduce, Ring) => (2.0 * m, 2.0 * r),
+            (Allreduce, RecursiveHalvingDoubling) => {
+                if n.is_power_of_two() {
+                    (2.0 * l, 2.0 * r)
+                } else {
+                    // Remainder ranks fold in/out with one extra exchange.
+                    (2.0 * l + 2.0, 2.0 * r + 2.0)
+                }
+            }
+
+            (Gather | Scatter, Naive | Ring) => (m, m),
+            (Gather | Scatter, BinomialTree | RecursiveHalvingDoubling) => (l, m),
+
+            (Allgather, Naive | Ring) => (m, m),
+            (Allgather, BinomialTree) => (2.0 * l, m + l * n as f64),
+            (Allgather, RecursiveHalvingDoubling) => (l, m),
+        }
+    }
+
+    /// Cost in seconds of one collective of `bytes` payload per rank over `n`
+    /// ranks with a fixed algorithm.
+    pub fn collective_cost(&self, kind: CollectiveKind, algo: CollectiveAlgorithm, n: usize, bytes: f64) -> f64 {
+        let (lm, bm) = Self::collective_terms(kind, algo, n);
+        lm * self.latency + bm * self.per_byte(bytes)
+    }
+
+    /// Picks the algorithm for one collective: the forced one under
+    /// [`CollectiveSelector::Force`], otherwise the cheapest for this payload
+    /// (ties resolve to the earliest entry of [`CollectiveAlgorithm::ALL`]).
+    /// Returns the algorithm and its cost in seconds.
+    pub fn select(&self, kind: CollectiveKind, n: usize, bytes: f64, selector: CollectiveSelector) -> (CollectiveAlgorithm, f64) {
+        match selector {
+            CollectiveSelector::Force(algo) => (algo, self.collective_cost(kind, algo, n, bytes)),
+            CollectiveSelector::Auto => {
+                let mut best = (CollectiveAlgorithm::Naive, f64::INFINITY);
+                for algo in CollectiveAlgorithm::ALL {
+                    let cost = self.collective_cost(kind, algo, n, bytes);
+                    if cost < best.1 {
+                        best = (algo, cost);
+                    }
+                }
+                best
+            }
+        }
+    }
+
+    /// The payload size (bytes) above which `challenger` becomes cheaper than
+    /// `incumbent` for this collective, if the two cost lines cross at a
+    /// positive payload. `None` when they never cross (one dominates).
+    pub fn crossover_bytes(
+        &self,
+        kind: CollectiveKind,
+        incumbent: CollectiveAlgorithm,
+        challenger: CollectiveAlgorithm,
+        n: usize,
+    ) -> Option<f64> {
+        if self.bandwidth.is_infinite() {
+            return None;
+        }
+        let (la, ba) = Self::collective_terms(kind, incumbent, n);
+        let (lb, bb) = Self::collective_terms(kind, challenger, n);
+        // la·α + ba·x/B = lb·α + bb·x/B  ⇒  x = α·B·(lb − la)/(ba − bb).
+        if ba <= bb || lb <= la {
+            return None; // challenger never strictly wins on bandwidth
+        }
+        Some(self.latency * self.bandwidth * (lb - la) / (ba - bb))
+    }
+
     /// Cost of a point-to-point message of `bytes`.
     pub fn p2p(&self, bytes: f64) -> f64 {
         self.latency + self.per_byte(bytes)
     }
 
-    /// Cost of a barrier among `n` ranks.
+    /// Cost of a barrier among `n` ranks (auto-selected algorithm).
     pub fn barrier(&self, n: usize) -> f64 {
-        Self::tree_depth(n) * self.latency
+        self.select(CollectiveKind::Barrier, n, 0.0, CollectiveSelector::Auto).1
     }
 
-    /// Cost of a broadcast of `bytes` from the root to `n` ranks. Large
-    /// messages are pipelined (scatter + allgather, as MPI implementations
-    /// do), so the bandwidth term is paid once, not once per tree level.
+    /// Cost of a broadcast of `bytes` from the root to `n` ranks
+    /// (auto-selected algorithm).
     pub fn broadcast(&self, n: usize, bytes: f64) -> f64 {
-        if n <= 1 {
-            return 0.0;
-        }
-        Self::tree_depth(n) * self.latency + 2.0 * self.per_byte(bytes) * (n as f64 - 1.0) / n as f64
+        self.select(CollectiveKind::Broadcast, n, bytes, CollectiveSelector::Auto).1
     }
 
     /// Cost of gathering `bytes` from each of `n` ranks at the root
-    /// (bottlenecked by the root's incoming link).
+    /// (bottlenecked by the root's incoming link; auto-selected algorithm).
     pub fn gather(&self, n: usize, bytes: f64) -> f64 {
-        if n <= 1 {
-            return 0.0;
-        }
-        Self::tree_depth(n) * self.latency + (n as f64 - 1.0) * self.per_byte(bytes)
+        self.select(CollectiveKind::Gather, n, bytes, CollectiveSelector::Auto).1
     }
 
-    /// Cost of scattering per-rank payloads of `bytes` from the root.
+    /// Cost of scattering per-rank payloads of `bytes` from the root
+    /// (auto-selected algorithm).
     pub fn scatter(&self, n: usize, bytes: f64) -> f64 {
-        self.gather(n, bytes)
+        self.select(CollectiveKind::Scatter, n, bytes, CollectiveSelector::Auto).1
     }
 
-    /// Cost of an allgather where each rank contributes `bytes`.
+    /// Cost of an allgather where each rank contributes `bytes`
+    /// (auto-selected algorithm).
     pub fn allgather(&self, n: usize, bytes: f64) -> f64 {
-        if n <= 1 {
-            return 0.0;
-        }
-        Self::tree_depth(n) * self.latency + (n as f64 - 1.0) * self.per_byte(bytes)
+        self.select(CollectiveKind::Allgather, n, bytes, CollectiveSelector::Auto).1
     }
 
-    /// Cost of a butterfly allreduce of a `bytes`-sized vector.
+    /// Cost of an allreduce of a `bytes`-sized vector (auto-selected
+    /// algorithm).
     pub fn allreduce(&self, n: usize, bytes: f64) -> f64 {
-        if n <= 1 {
-            return 0.0;
-        }
-        2.0 * Self::tree_depth(n) * self.latency + 2.0 * self.per_byte(bytes) * (n as f64 - 1.0) / n as f64
+        self.select(CollectiveKind::Allreduce, n, bytes, CollectiveSelector::Auto).1
     }
 
-    /// Cost of a reduction of `bytes` to the root (pipelined reduce-scatter +
-    /// gather, so the bandwidth term is paid once).
+    /// Cost of a reduction of `bytes` to the root (auto-selected algorithm).
     pub fn reduce(&self, n: usize, bytes: f64) -> f64 {
-        if n <= 1 {
-            return 0.0;
-        }
-        Self::tree_depth(n) * self.latency + 2.0 * self.per_byte(bytes) * (n as f64 - 1.0) / n as f64
+        self.select(CollectiveKind::Reduce, n, bytes, CollectiveSelector::Auto).1
     }
 }
 
@@ -160,6 +427,11 @@ mod tests {
         assert_eq!(net.allgather(1, 1e6), 0.0);
         assert_eq!(net.reduce(1, 1e6), 0.0);
         assert_eq!(net.barrier(1), 0.0);
+        for kind in CollectiveKind::ALL {
+            for algo in CollectiveAlgorithm::ALL {
+                assert_eq!(net.collective_cost(kind, algo, 1, 1e6), 0.0);
+            }
+        }
     }
 
     #[test]
@@ -187,5 +459,86 @@ mod tests {
         assert!(net.gather(16, 1e6) > net.gather(8, 1e6));
         assert!(net.broadcast(16, 1e6) > net.broadcast(2, 1e6));
         assert!(net.p2p(1e6) > net.p2p(0.0));
+    }
+
+    #[test]
+    fn ring_beats_tree_above_the_crossover_payload() {
+        let net = NetworkModel::infiniband_100g();
+        let n = 8;
+        let crossover = net
+            .crossover_bytes(
+                CollectiveKind::Allreduce,
+                CollectiveAlgorithm::BinomialTree,
+                CollectiveAlgorithm::Ring,
+                n,
+            )
+            .expect("ring and tree allreduce cost lines must cross");
+        assert!(crossover > 0.0);
+        let small = crossover / 4.0;
+        let large = crossover * 4.0;
+        let cost = |algo, b| net.collective_cost(CollectiveKind::Allreduce, algo, n, b);
+        assert!(
+            cost(CollectiveAlgorithm::BinomialTree, small) < cost(CollectiveAlgorithm::Ring, small),
+            "tree should win small payloads"
+        );
+        assert!(
+            cost(CollectiveAlgorithm::Ring, large) < cost(CollectiveAlgorithm::BinomialTree, large),
+            "ring should win large payloads"
+        );
+    }
+
+    #[test]
+    fn auto_selection_is_never_worse_than_any_fixed_algorithm() {
+        let net = NetworkModel::ethernet_10g();
+        for kind in CollectiveKind::ALL {
+            for n in [2usize, 3, 4, 7, 8, 9, 16] {
+                for bytes in [0.0, 64.0, 8192.0, 8.0e6] {
+                    let (_, auto) = net.select(kind, n, bytes, CollectiveSelector::Auto);
+                    for algo in CollectiveAlgorithm::ALL {
+                        assert!(auto <= net.collective_cost(kind, algo, n, bytes) + 1e-18);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forced_selection_is_honoured() {
+        let net = NetworkModel::infiniband_100g();
+        let (algo, cost) = net.select(
+            CollectiveKind::Allreduce,
+            8,
+            1e7,
+            CollectiveSelector::Force(CollectiveAlgorithm::Naive),
+        );
+        assert_eq!(algo, CollectiveAlgorithm::Naive);
+        assert!(cost >= net.select(CollectiveKind::Allreduce, 8, 1e7, CollectiveSelector::Auto).1);
+    }
+
+    #[test]
+    fn selector_parsing() {
+        assert_eq!(CollectiveSelector::parse("auto"), Some(CollectiveSelector::Auto));
+        assert_eq!(
+            CollectiveSelector::parse("ring"),
+            Some(CollectiveSelector::Force(CollectiveAlgorithm::Ring))
+        );
+        assert_eq!(
+            CollectiveSelector::parse("RHD"),
+            Some(CollectiveSelector::Force(CollectiveAlgorithm::RecursiveHalvingDoubling))
+        );
+        assert_eq!(CollectiveSelector::parse("bogus"), None);
+        for algo in CollectiveAlgorithm::ALL {
+            assert_eq!(CollectiveAlgorithm::parse(algo.name()), Some(algo));
+        }
+    }
+
+    #[test]
+    fn power_of_two_ranks_prefer_halving_doubling_large_ranks_prefer_ring_when_odd() {
+        let net = NetworkModel::infiniband_100g();
+        let big = 8.0e6;
+        let (algo_pow2, _) = net.select(CollectiveKind::Allreduce, 8, big, CollectiveSelector::Auto);
+        assert_eq!(algo_pow2, CollectiveAlgorithm::RecursiveHalvingDoubling);
+        let (algo_odd, _) = net.select(CollectiveKind::Allreduce, 9, big, CollectiveSelector::Auto);
+        assert_eq!(algo_odd, CollectiveAlgorithm::Ring, "non-power-of-two large payloads go ring");
     }
 }

@@ -1,10 +1,41 @@
-//! Per-rank communication statistics.
+//! Per-rank communication statistics, with a per-collective-kind breakdown.
 
+use crate::network::{CollectiveAlgorithm, CollectiveKind};
 use serde::{Deserialize, Serialize};
+
+/// Counters for one collective kind (allreduce, broadcast, …): how often it
+/// ran, how much it moved, how long it took, and which algorithms the
+/// selector chose for it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct KindStats {
+    /// Number of collectives of this kind.
+    pub count: u64,
+    /// Payload bytes this rank contributed.
+    pub bytes_sent: f64,
+    /// Payload bytes this rank received.
+    pub bytes_received: f64,
+    /// Simulated seconds spent (for split-phase collectives: only the
+    /// non-overlapped tail billed at `wait`).
+    pub seconds: f64,
+    /// How often each [`CollectiveAlgorithm`] was chosen, indexed by
+    /// [`CollectiveAlgorithm::index`].
+    pub algo_counts: [u64; CollectiveAlgorithm::COUNT],
+}
+
+impl KindStats {
+    /// The most frequently chosen algorithm for this kind, if any ran.
+    pub fn dominant_algorithm(&self) -> Option<CollectiveAlgorithm> {
+        CollectiveAlgorithm::ALL
+            .into_iter()
+            .max_by_key(|a| self.algo_counts[a.index()])
+            .filter(|a| self.algo_counts[a.index()] > 0)
+    }
+}
 
 /// Counters describing everything a rank has communicated. The figure
 /// binaries use these to report "rounds per iteration" and "bytes per
-/// iteration" — the quantities the paper's communication argument is about.
+/// iteration" — the quantities the paper's communication argument is about —
+/// and the per-kind breakdown shows *where* the communication time goes.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct CommStats {
     /// Number of collective operations this rank participated in.
@@ -17,15 +48,35 @@ pub struct CommStats {
     pub comm_time: f64,
     /// Simulated seconds spent in local compute (as charged by the caller).
     pub compute_time: f64,
+    /// Per-collective-kind breakdown, indexed by [`CollectiveKind::index`].
+    pub per_kind: [KindStats; CollectiveKind::COUNT],
 }
 
 impl CommStats {
-    /// Records one collective with the given sent/received payload and cost.
+    /// Records one collective with the given sent/received payload and cost,
+    /// without a kind attribution (legacy callers; prefer
+    /// [`CommStats::record_collective`]).
     pub fn record(&mut self, sent: f64, received: f64, time: f64) {
         self.collectives += 1;
         self.bytes_sent += sent;
         self.bytes_received += received;
         self.comm_time += time;
+    }
+
+    /// Records one collective of a known kind executed by a known algorithm.
+    pub fn record_collective(&mut self, kind: CollectiveKind, algo: CollectiveAlgorithm, sent: f64, received: f64, time: f64) {
+        self.record(sent, received, time);
+        let k = &mut self.per_kind[kind.index()];
+        k.count += 1;
+        k.bytes_sent += sent;
+        k.bytes_received += received;
+        k.seconds += time;
+        k.algo_counts[algo.index()] += 1;
+    }
+
+    /// The breakdown entry for one collective kind.
+    pub fn kind(&self, kind: CollectiveKind) -> &KindStats {
+        &self.per_kind[kind.index()]
     }
 
     /// Records local compute time.
@@ -46,6 +97,26 @@ impl CommStats {
         } else {
             0.0
         }
+    }
+
+    /// Pre-formatted rows for a "where does communication time go" table:
+    /// `[kind, count, bytes sent, seconds, dominant algorithm]` for every
+    /// kind that ran at least once.
+    pub fn breakdown_rows(&self) -> Vec<[String; 5]> {
+        CollectiveKind::ALL
+            .into_iter()
+            .filter(|k| self.kind(*k).count > 0)
+            .map(|k| {
+                let s = self.kind(k);
+                [
+                    k.name().to_string(),
+                    s.count.to_string(),
+                    format!("{:.0}", s.bytes_sent),
+                    format!("{:.6}", s.seconds),
+                    s.dominant_algorithm().map(|a| a.name()).unwrap_or("-").to_string(),
+                ]
+            })
+            .collect()
     }
 }
 
@@ -72,5 +143,34 @@ mod tests {
         let s = CommStats::default();
         assert_eq!(s.comm_fraction(), 0.0);
         assert_eq!(s.total_time(), 0.0);
+        assert!(s.breakdown_rows().is_empty());
+    }
+
+    #[test]
+    fn per_kind_breakdown_attributes_collectives() {
+        let mut s = CommStats::default();
+        s.record_collective(CollectiveKind::Allreduce, CollectiveAlgorithm::Ring, 80.0, 80.0, 1e-4);
+        s.record_collective(CollectiveKind::Allreduce, CollectiveAlgorithm::Ring, 80.0, 80.0, 1e-4);
+        s.record_collective(CollectiveKind::Allreduce, CollectiveAlgorithm::BinomialTree, 8.0, 8.0, 1e-6);
+        s.record_collective(CollectiveKind::Broadcast, CollectiveAlgorithm::BinomialTree, 0.0, 40.0, 2e-5);
+        assert_eq!(s.collectives, 4);
+        let ar = s.kind(CollectiveKind::Allreduce);
+        assert_eq!(ar.count, 3);
+        assert_eq!(ar.bytes_sent, 168.0);
+        assert_eq!(ar.algo_counts[CollectiveAlgorithm::Ring.index()], 2);
+        assert_eq!(ar.algo_counts[CollectiveAlgorithm::BinomialTree.index()], 1);
+        assert_eq!(ar.dominant_algorithm(), Some(CollectiveAlgorithm::Ring));
+        assert_eq!(s.kind(CollectiveKind::Broadcast).count, 1);
+        assert_eq!(s.kind(CollectiveKind::Gather).count, 0);
+        let rows = s.breakdown_rows();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1][0], "allreduce");
+        assert_eq!(rows[1][4], "ring");
+    }
+
+    #[test]
+    fn dominant_algorithm_is_none_when_kind_never_ran() {
+        let s = KindStats::default();
+        assert_eq!(s.dominant_algorithm(), None);
     }
 }

@@ -1,31 +1,79 @@
 //! Thread-backed communicator: one OS thread per simulated rank, collectives
-//! implemented with a generation-counted rendezvous.
+//! implemented over a generation-counted, buffer-reusing rendezvous.
+//!
+//! The rendezvous is the *data path* shared by every collective algorithm:
+//! ranks deposit their contribution into per-rank slots, the last arrival
+//! reduces/concatenates them into a shared result buffer (in fixed rank
+//! order, so results are bit-identical regardless of which cost-model
+//! algorithm is selected), and every rank copies out what it needs. All
+//! staging buffers are reused across rounds, so a warm collective performs
+//! zero heap allocations.
+//!
+//! Collective-order violations (mismatched operation or payload length
+//! across ranks) poison the rendezvous and panic **loudly**, naming the
+//! offending rank and the expected payload — a silent wrong answer is the
+//! one failure mode a consensus solver cannot afford.
 
-use crate::comm::{Communicator, ROOT_RANK};
-use crate::network::NetworkModel;
+use crate::comm::{CollectiveHandle, Communicator, ROOT_RANK};
+use crate::network::{CollectiveKind, CollectiveSelector, NetworkModel};
 use crate::stats::CommStats;
+use crate::workspace::{CommWorkspace, CommWorkspaceStats};
 use parking_lot::{Condvar, Mutex};
 use std::sync::Arc;
 
-/// Result of one rendezvous round: every rank's contribution plus the latest
-/// simulated arrival time (collectives complete when the last rank arrives).
-struct ExchangeResult {
-    contributions: Vec<Vec<f64>>,
-    max_time: f64,
+/// What the last arrival computes into the shared result buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RoundOp {
+    /// No payload; synchronisation only.
+    Barrier,
+    /// Element-wise sum of all contributions (uniform length).
+    Sum,
+    /// Element-wise max of all contributions (uniform length).
+    Max,
+    /// Mixed reduction (uniform length): element-wise sum over the first
+    /// `sum_len` elements, element-wise max over the rest — the classic
+    /// "user-defined MPI op" trick that packs several instrumentation
+    /// reductions into one collective.
+    SumMax {
+        /// Number of leading elements reduced by sum.
+        sum_len: usize,
+    },
+    /// The root's contribution verbatim (broadcast/scatter source).
+    CopyRoot,
+    /// All contributions concatenated in rank order (lengths may differ).
+    Concat,
 }
 
-struct RendezvousState {
-    generation: u64,
+const POISONED: &str = "collective rendezvous poisoned: a peer rank violated the collective order (see its panic message)";
+
+/// Shared state of the current rendezvous round.
+struct RoundState {
+    /// Completed-round counter; a rank may only enter round `k` once every
+    /// rank has departed round `k−1`.
+    round: u64,
     arrived: usize,
-    slots: Vec<Option<Vec<f64>>>,
+    departed: usize,
+    complete: bool,
+    poisoned: bool,
+    op: RoundOp,
+    first_rank: usize,
+    expected_len: usize,
+    /// Per-rank contributions (cleared and refilled each round; capacity is
+    /// kept, so warm rounds never allocate).
+    slots: Vec<Vec<f64>>,
+    /// Per-rank contribution lengths of the current round.
+    lens: Vec<usize>,
+    /// Per-rank simulated arrival times.
     times: Vec<f64>,
-    published: Option<Arc<ExchangeResult>>,
+    max_time: f64,
+    /// The finalized output (reduction / root payload / concatenation).
+    result: Vec<f64>,
 }
 
 /// A reusable all-to-all rendezvous shared by every rank of a cluster.
 struct Rendezvous {
     n: usize,
-    state: Mutex<RendezvousState>,
+    state: Mutex<RoundState>,
     cv: Condvar,
 }
 
@@ -33,47 +81,161 @@ impl Rendezvous {
     fn new(n: usize) -> Self {
         Self {
             n,
-            state: Mutex::new(RendezvousState {
-                generation: 0,
+            state: Mutex::new(RoundState {
+                round: 0,
                 arrived: 0,
-                slots: vec![None; n],
+                departed: 0,
+                complete: false,
+                poisoned: false,
+                op: RoundOp::Barrier,
+                first_rank: 0,
+                expected_len: 0,
+                slots: (0..n).map(|_| Vec::new()).collect(),
+                lens: vec![0; n],
                 times: vec![0.0; n],
-                published: None,
+                max_time: 0.0,
+                result: Vec::new(),
             }),
             cv: Condvar::new(),
         }
     }
 
-    /// Deposits `data` for `rank` and blocks until every rank of the current
-    /// generation has deposited; returns the full set of contributions.
+    /// Deposits `contribution` for `rank` into round `my_round` and returns
+    /// immediately (the caller must follow up with [`Rendezvous::collect`]).
+    /// Blocks only until the previous round has fully drained.
     ///
-    /// Correctness of the generation counter: a rank can only overwrite
-    /// `published` when it is the *last* arrival of the next generation, which
-    /// requires every rank (including any rank still reading the previous
-    /// result under the lock) to have re-entered `exchange` — so a published
-    /// result is never replaced before all ranks have taken their copy.
-    fn exchange(&self, rank: usize, data: Vec<f64>, local_time: f64) -> Arc<ExchangeResult> {
+    /// # Panics
+    /// Panics (and poisons the rendezvous, so every other rank panics too
+    /// instead of deadlocking) when this rank's operation or payload length
+    /// disagrees with what the first arrival of the round established.
+    fn deposit(&self, rank: usize, my_round: u64, op: RoundOp, contribution: &[f64], time: f64) {
         let mut st = self.state.lock();
-        let my_gen = st.generation;
-        debug_assert!(st.slots[rank].is_none(), "rank {rank} deposited twice in one collective");
-        st.slots[rank] = Some(data);
-        st.times[rank] = local_time;
+        while st.round != my_round && !st.poisoned {
+            self.cv.wait(&mut st);
+        }
+        if st.poisoned {
+            panic!("{POISONED}");
+        }
+        if st.arrived == 0 {
+            st.op = op;
+            st.first_rank = rank;
+            st.expected_len = contribution.len();
+        } else {
+            if st.op != op {
+                let (first, first_op) = (st.first_rank, st.op);
+                st.poisoned = true;
+                self.cv.notify_all();
+                panic!("collective-order violation: rank {rank} entered {op:?} while rank {first} is executing {first_op:?}");
+            }
+            if matches!(op, RoundOp::Sum | RoundOp::Max | RoundOp::SumMax { .. }) && contribution.len() != st.expected_len {
+                let (first, expected) = (st.first_rank, st.expected_len);
+                st.poisoned = true;
+                self.cv.notify_all();
+                panic!(
+                    "collective-order violation: rank {rank} contributed {} elements to {op:?}, \
+                     expected {expected} (as contributed by rank {first})",
+                    contribution.len()
+                );
+            }
+        }
+        let slot = &mut st.slots[rank];
+        slot.clear();
+        slot.extend_from_slice(contribution);
+        st.lens[rank] = contribution.len();
+        st.times[rank] = time;
         st.arrived += 1;
         if st.arrived == self.n {
-            let contributions: Vec<Vec<f64>> = st.slots.iter_mut().map(|s| s.take().unwrap_or_default()).collect();
-            let max_time = st.times.iter().cloned().fold(0.0, f64::max);
-            let result = Arc::new(ExchangeResult { contributions, max_time });
-            st.published = Some(Arc::clone(&result));
-            st.generation += 1;
-            st.arrived = 0;
+            Self::finalize(&mut st, self.n);
             self.cv.notify_all();
-            result
-        } else {
-            while st.generation == my_gen {
-                self.cv.wait(&mut st);
-            }
-            Arc::clone(st.published.as_ref().expect("rendezvous result must be published"))
         }
+    }
+
+    /// Reduces/concatenates the deposited slots into the shared result, in
+    /// fixed rank order — which is what makes every cost-model algorithm
+    /// bit-identical by construction.
+    fn finalize(st: &mut RoundState, n: usize) {
+        st.max_time = st.times.iter().fold(0.0, |a, &b| a.max(b));
+        let RoundState {
+            ref mut result,
+            ref slots,
+            op,
+            ..
+        } = *st;
+        result.clear();
+        match op {
+            RoundOp::Barrier => {}
+            RoundOp::Sum => {
+                result.extend_from_slice(&slots[0]);
+                for slot in &slots[1..n] {
+                    for (acc, v) in result.iter_mut().zip(slot) {
+                        *acc += v;
+                    }
+                }
+            }
+            RoundOp::Max => {
+                result.extend_from_slice(&slots[0]);
+                for slot in &slots[1..n] {
+                    for (acc, v) in result.iter_mut().zip(slot) {
+                        *acc = acc.max(*v);
+                    }
+                }
+            }
+            RoundOp::SumMax { sum_len } => {
+                result.extend_from_slice(&slots[0]);
+                for slot in &slots[1..n] {
+                    for (i, (acc, v)) in result.iter_mut().zip(slot).enumerate() {
+                        if i < sum_len {
+                            *acc += v;
+                        } else {
+                            *acc = acc.max(*v);
+                        }
+                    }
+                }
+            }
+            RoundOp::CopyRoot => result.extend_from_slice(&slots[ROOT_RANK]),
+            RoundOp::Concat => {
+                for slot in &slots[..n] {
+                    result.extend_from_slice(slot);
+                }
+            }
+        }
+        st.complete = true;
+    }
+
+    /// Blocks until the round is complete, hands the state to `read`, and
+    /// departs; the last rank to depart opens the next round. Returns the
+    /// read result and the latest simulated arrival time of the round.
+    ///
+    /// A `read` that detects a collective-order violation returns `Err`; the
+    /// rendezvous is then poisoned (so every other rank panics instead of
+    /// deadlocking in a round that can never drain) before this rank panics
+    /// with the violation message.
+    fn collect<R>(&self, _rank: usize, _my_round: u64, read: impl FnOnce(&RoundState) -> Result<R, String>) -> (R, f64) {
+        let mut st = self.state.lock();
+        while !st.complete && !st.poisoned {
+            self.cv.wait(&mut st);
+        }
+        if st.poisoned {
+            panic!("{POISONED}");
+        }
+        let out = match read(&st) {
+            Ok(out) => out,
+            Err(violation) => {
+                st.poisoned = true;
+                self.cv.notify_all();
+                panic!("{violation}");
+            }
+        };
+        let max_time = st.max_time;
+        st.departed += 1;
+        if st.departed == self.n {
+            st.arrived = 0;
+            st.departed = 0;
+            st.complete = false;
+            st.round += 1;
+            self.cv.notify_all();
+        }
+        (out, max_time)
     }
 }
 
@@ -82,20 +244,29 @@ pub struct ThreadComm {
     rank: usize,
     size: usize,
     network: NetworkModel,
+    selector: CollectiveSelector,
     rendezvous: Arc<Rendezvous>,
+    /// Number of rendezvous rounds this rank has entered.
+    rounds: u64,
     elapsed: f64,
     stats: CommStats,
+    pool: CommWorkspace,
 }
 
+const F64_BYTES: f64 = std::mem::size_of::<f64>() as f64;
+
 impl ThreadComm {
-    fn new(rank: usize, size: usize, network: NetworkModel, rendezvous: Arc<Rendezvous>) -> Self {
+    fn new(rank: usize, size: usize, network: NetworkModel, selector: CollectiveSelector, rendezvous: Arc<Rendezvous>) -> Self {
         Self {
             rank,
             size,
             network,
+            selector,
             rendezvous,
+            rounds: 0,
             elapsed: 0.0,
             stats: CommStats::default(),
+            pool: CommWorkspace::new(),
         }
     }
 
@@ -104,21 +275,55 @@ impl ThreadComm {
         self.network
     }
 
-    /// Runs one rendezvous and advances the simulated clock by `cost`
-    /// (plus any waiting for stragglers), recording the traffic in the stats.
-    fn collective(&mut self, data: Vec<f64>, sent_bytes: f64, received_bytes: f64, cost: f64) -> Arc<ExchangeResult> {
+    /// The collective-algorithm selection rule in effect.
+    pub fn selector(&self) -> CollectiveSelector {
+        self.selector
+    }
+
+    /// Pool counters of the communication workspace (staging buffers for the
+    /// split-phase handles). Used by the zero-allocation proofs.
+    pub fn comm_pool_stats(&self) -> CommWorkspaceStats {
+        self.pool.stats()
+    }
+
+    /// Resets the communication-workspace counters (buffers are kept).
+    pub fn reset_comm_pool_stats(&mut self) {
+        self.pool.reset_stats();
+    }
+
+    fn begin_round(&mut self) -> u64 {
+        let r = self.rounds;
+        self.rounds += 1;
+        r
+    }
+
+    /// Charges one completed blocking collective: the rank's clock advances
+    /// to `max(arrivals) + cost`, and the elapsed wall (including straggler
+    /// wait) is recorded against `kind`.
+    fn bill_blocking(&mut self, kind: CollectiveKind, cost_bytes: f64, sent: f64, received: f64, max_time: f64) {
+        let (algo, cost) = self.network.select(kind, self.size, cost_bytes, self.selector);
         let start = self.elapsed;
-        let result = self.rendezvous.exchange(self.rank, data, start);
-        let finish = result.max_time + cost;
+        let finish = max_time + cost;
         if finish > self.elapsed {
             self.elapsed = finish;
         }
-        self.stats.record(sent_bytes, received_bytes, self.elapsed - start);
-        result
+        self.stats.record_collective(kind, algo, sent, received, self.elapsed - start);
+    }
+
+    /// Shared implementation of the split-phase element-wise allreduces.
+    fn start_elementwise(&mut self, op: RoundOp, data: &[f64]) -> CollectiveHandle {
+        let bytes = data.len() as f64 * F64_BYTES;
+        let (algo, cost) = self.network.select(CollectiveKind::Allreduce, self.size, bytes, self.selector);
+        let my_round = self.begin_round();
+        self.rendezvous.deposit(self.rank, my_round, op, data, self.elapsed);
+        let mut result = self.pool.acquire(data.len());
+        let ((), max_time) = self.rendezvous.collect(self.rank, my_round, |st| {
+            result.copy_from_slice(&st.result);
+            Ok(())
+        });
+        CollectiveHandle::new(result, max_time + cost, CollectiveKind::Allreduce, algo, bytes, bytes, false)
     }
 }
-
-const F64_BYTES: f64 = std::mem::size_of::<f64>() as f64;
 
 impl Communicator for ThreadComm {
     fn rank(&self) -> usize {
@@ -130,57 +335,39 @@ impl Communicator for ThreadComm {
     }
 
     fn barrier(&mut self) {
-        let cost = self.network.barrier(self.size);
-        self.collective(Vec::new(), 0.0, 0.0, cost);
+        let my_round = self.begin_round();
+        self.rendezvous
+            .deposit(self.rank, my_round, RoundOp::Barrier, &[], self.elapsed);
+        let ((), max_time) = self.rendezvous.collect(self.rank, my_round, |_| Ok(()));
+        self.bill_blocking(CollectiveKind::Barrier, 0.0, 0.0, 0.0, max_time);
     }
 
     fn allgather(&mut self, data: &[f64]) -> Vec<Vec<f64>> {
         let bytes = data.len() as f64 * F64_BYTES;
-        let cost = self.network.allgather(self.size, bytes);
-        let res = self.collective(data.to_vec(), bytes, bytes * (self.size as f64 - 1.0), cost);
-        res.contributions.clone()
+        let my_round = self.begin_round();
+        self.rendezvous
+            .deposit(self.rank, my_round, RoundOp::Concat, data, self.elapsed);
+        let (contributions, max_time) = self.rendezvous.collect(self.rank, my_round, |st| Ok(st.slots.to_vec()));
+        self.bill_blocking(
+            CollectiveKind::Allgather,
+            bytes,
+            bytes,
+            bytes * (self.size as f64 - 1.0),
+            max_time,
+        );
+        contributions
     }
 
     fn allreduce_sum(&mut self, data: &[f64]) -> Vec<f64> {
-        let bytes = data.len() as f64 * F64_BYTES;
-        let cost = self.network.allreduce(self.size, bytes);
-        let res = self.collective(data.to_vec(), bytes, bytes, cost);
-        let mut acc = vec![0.0; data.len()];
-        for contrib in &res.contributions {
-            assert_eq!(
-                contrib.len(),
-                data.len(),
-                "allreduce_sum: ranks contributed different lengths"
-            );
-            for (a, v) in acc.iter_mut().zip(contrib) {
-                *a += v;
-            }
-        }
-        acc
+        let mut out = data.to_vec();
+        self.allreduce_sum_into(&mut out);
+        out
     }
 
     fn reduce_sum_root(&mut self, data: &[f64]) -> Option<Vec<f64>> {
-        let bytes = data.len() as f64 * F64_BYTES;
-        let cost = self.network.reduce(self.size, bytes);
-        let received = if self.rank == ROOT_RANK {
-            bytes * (self.size as f64 - 1.0)
-        } else {
-            0.0
-        };
-        let res = self.collective(data.to_vec(), bytes, received, cost);
-        if self.rank == ROOT_RANK {
-            let mut acc = vec![0.0; data.len()];
-            for contrib in &res.contributions {
-                assert_eq!(
-                    contrib.len(),
-                    data.len(),
-                    "reduce_sum_root: ranks contributed different lengths"
-                );
-                for (a, v) in acc.iter_mut().zip(contrib) {
-                    *a += v;
-                }
-            }
-            Some(acc)
+        let mut buf = data.to_vec();
+        if self.reduce_sum_root_into(&mut buf) {
+            Some(buf)
         } else {
             None
         }
@@ -188,52 +375,39 @@ impl Communicator for ThreadComm {
 
     fn gather_root(&mut self, data: &[f64]) -> Option<Vec<Vec<f64>>> {
         let bytes = data.len() as f64 * F64_BYTES;
-        let cost = self.network.gather(self.size, bytes);
-        let received = if self.rank == ROOT_RANK {
-            bytes * (self.size as f64 - 1.0)
-        } else {
-            0.0
-        };
-        let res = self.collective(data.to_vec(), bytes, received, cost);
-        if self.rank == ROOT_RANK {
-            Some(res.contributions.clone())
-        } else {
-            None
-        }
+        let is_root = self.rank == ROOT_RANK;
+        let my_round = self.begin_round();
+        self.rendezvous
+            .deposit(self.rank, my_round, RoundOp::Concat, data, self.elapsed);
+        let (contributions, max_time) = self.rendezvous.collect(self.rank, my_round, |st| {
+            Ok(if is_root { Some(st.slots.to_vec()) } else { None })
+        });
+        let received = if is_root { bytes * (self.size as f64 - 1.0) } else { 0.0 };
+        self.bill_blocking(CollectiveKind::Gather, bytes, bytes, received, max_time);
+        contributions
     }
 
     fn broadcast_root(&mut self, data: Option<&[f64]>) -> Vec<f64> {
-        let payload = if self.rank == ROOT_RANK {
-            data.expect("root must provide broadcast data").to_vec()
+        let payload: &[f64] = if self.rank == ROOT_RANK {
+            data.expect("root must provide broadcast data")
         } else {
-            Vec::new()
+            &[]
         };
         let sent = payload.len() as f64 * F64_BYTES;
-        // Cost is charged from the root's payload size, which every rank
-        // learns from the exchange result.
-
-        {
-            let res = self.rendezvous.exchange(self.rank, payload, self.elapsed);
-            // Re-borrowing pattern: compute everything we need from `res`
-            // before charging so that only one rendezvous happens.
-            let root_data = res.contributions[ROOT_RANK].clone();
-            let bytes = root_data.len() as f64 * F64_BYTES;
-            let cost = self.network.broadcast(self.size, bytes);
-            let finish = res.max_time + cost;
-            let start = self.elapsed;
-            if finish > self.elapsed {
-                self.elapsed = finish;
-            }
-            let received = if self.rank == ROOT_RANK { 0.0 } else { bytes };
-            self.stats.record(sent, received, self.elapsed - start);
-            root_data
-        }
+        let my_round = self.begin_round();
+        self.rendezvous
+            .deposit(self.rank, my_round, RoundOp::CopyRoot, payload, self.elapsed);
+        let (root_data, max_time) = self.rendezvous.collect(self.rank, my_round, |st| Ok(st.result.to_vec()));
+        let bytes = root_data.len() as f64 * F64_BYTES;
+        let received = if self.rank == ROOT_RANK { 0.0 } else { bytes };
+        self.bill_blocking(CollectiveKind::Broadcast, bytes, sent, received, max_time);
+        root_data
     }
 
     fn scatter_root(&mut self, parts: Option<&[Vec<f64>]>) -> Vec<f64> {
         // The root flattens its per-rank payloads with a length header so the
         // rendezvous only ever carries flat f64 vectors.
-        let payload = if self.rank == ROOT_RANK {
+        let flat = if self.rank == ROOT_RANK {
             let parts = parts.expect("root must provide scatter parts");
             assert_eq!(parts.len(), self.size, "scatter_root: need one part per rank");
             let mut flat = Vec::with_capacity(self.size + parts.iter().map(|p| p.len()).sum::<usize>());
@@ -247,29 +421,180 @@ impl Communicator for ThreadComm {
         } else {
             Vec::new()
         };
-        let sent = payload.len() as f64 * F64_BYTES;
-        let res = self.rendezvous.exchange(self.rank, payload, self.elapsed);
-        let root_flat = &res.contributions[ROOT_RANK];
-        let lengths: Vec<usize> = root_flat[..self.size].iter().map(|&l| l as usize).collect();
-        let avg_bytes = lengths.iter().sum::<usize>() as f64 / self.size as f64 * F64_BYTES;
-        let cost = self.network.scatter(self.size, avg_bytes);
-        let start = self.elapsed;
-        let finish = res.max_time + cost;
-        if finish > self.elapsed {
-            self.elapsed = finish;
-        }
-        let mut offset = self.size;
-        for l in lengths.iter().take(self.rank) {
-            offset += l;
-        }
-        let mine = root_flat[offset..offset + lengths[self.rank]].to_vec();
+        let sent = flat.len() as f64 * F64_BYTES;
+        let size = self.size;
+        let rank = self.rank;
+        let my_round = self.begin_round();
+        self.rendezvous
+            .deposit(self.rank, my_round, RoundOp::CopyRoot, &flat, self.elapsed);
+        let ((mine, avg_bytes), max_time) = self.rendezvous.collect(self.rank, my_round, |st| {
+            let root_flat = &st.result;
+            let lengths: Vec<usize> = root_flat[..size].iter().map(|&l| l as usize).collect();
+            let avg_bytes = lengths.iter().sum::<usize>() as f64 / size as f64 * F64_BYTES;
+            let mut offset = size;
+            for l in lengths.iter().take(rank) {
+                offset += l;
+            }
+            Ok((root_flat[offset..offset + lengths[rank]].to_vec(), avg_bytes))
+        });
         let received = if self.rank == ROOT_RANK {
             0.0
         } else {
             mine.len() as f64 * F64_BYTES
         };
-        self.stats.record(sent, received, self.elapsed - start);
+        self.bill_blocking(CollectiveKind::Scatter, avg_bytes, sent, received, max_time);
         mine
+    }
+
+    // ------------------------------------------------------------------
+    // In-place hot-path collectives: zero heap allocations once the
+    // rendezvous buffers are warm.
+    // ------------------------------------------------------------------
+
+    fn allreduce_sum_into(&mut self, buf: &mut [f64]) {
+        let bytes = buf.len() as f64 * F64_BYTES;
+        let my_round = self.begin_round();
+        self.rendezvous.deposit(self.rank, my_round, RoundOp::Sum, buf, self.elapsed);
+        let ((), max_time) = self.rendezvous.collect(self.rank, my_round, |st| {
+            buf.copy_from_slice(&st.result);
+            Ok(())
+        });
+        self.bill_blocking(CollectiveKind::Allreduce, bytes, bytes, bytes, max_time);
+    }
+
+    fn allreduce_max_into(&mut self, buf: &mut [f64]) {
+        let bytes = buf.len() as f64 * F64_BYTES;
+        let my_round = self.begin_round();
+        self.rendezvous.deposit(self.rank, my_round, RoundOp::Max, buf, self.elapsed);
+        let ((), max_time) = self.rendezvous.collect(self.rank, my_round, |st| {
+            buf.copy_from_slice(&st.result);
+            Ok(())
+        });
+        self.bill_blocking(CollectiveKind::Allreduce, bytes, bytes, bytes, max_time);
+    }
+
+    fn reduce_sum_root_into(&mut self, buf: &mut [f64]) -> bool {
+        let bytes = buf.len() as f64 * F64_BYTES;
+        let is_root = self.rank == ROOT_RANK;
+        let my_round = self.begin_round();
+        self.rendezvous.deposit(self.rank, my_round, RoundOp::Sum, buf, self.elapsed);
+        let ((), max_time) = self.rendezvous.collect(self.rank, my_round, |st| {
+            if is_root {
+                buf.copy_from_slice(&st.result);
+            }
+            Ok(())
+        });
+        let received = if is_root { bytes * (self.size as f64 - 1.0) } else { 0.0 };
+        self.bill_blocking(CollectiveKind::Reduce, bytes, bytes, received, max_time);
+        is_root
+    }
+
+    fn broadcast_root_into(&mut self, buf: &mut [f64]) {
+        let rank = self.rank;
+        let payload: &[f64] = if rank == ROOT_RANK { buf } else { &[] };
+        let sent = payload.len() as f64 * F64_BYTES;
+        let my_round = self.begin_round();
+        self.rendezvous
+            .deposit(self.rank, my_round, RoundOp::CopyRoot, payload, self.elapsed);
+        let (bytes, max_time) = self.rendezvous.collect(self.rank, my_round, |st| {
+            if st.result.len() != buf.len() {
+                // Returning Err poisons the rendezvous so the other ranks
+                // panic too instead of deadlocking in an undrainable round.
+                return Err(format!(
+                    "collective-order violation: rank {rank} supplied a broadcast buffer of {} elements \
+                     but the root broadcast {}",
+                    buf.len(),
+                    st.result.len()
+                ));
+            }
+            if rank != ROOT_RANK {
+                buf.copy_from_slice(&st.result);
+            }
+            Ok(st.result.len() as f64 * F64_BYTES)
+        });
+        let received = if rank == ROOT_RANK { 0.0 } else { bytes };
+        self.bill_blocking(CollectiveKind::Broadcast, bytes, sent, received, max_time);
+    }
+
+    fn allgather_into(&mut self, data: &[f64], out: &mut [f64]) {
+        assert_eq!(
+            out.len(),
+            data.len() * self.size,
+            "allgather_into: output buffer must hold size() * data.len() elements"
+        );
+        let bytes = data.len() as f64 * F64_BYTES;
+        let rank = self.rank;
+        let expected = data.len();
+        let my_round = self.begin_round();
+        self.rendezvous
+            .deposit(self.rank, my_round, RoundOp::Concat, data, self.elapsed);
+        let ((), max_time) = self.rendezvous.collect(self.rank, my_round, |st| {
+            if let Some(bad) = (0..st.lens.len()).find(|&r| st.lens[r] != expected) {
+                return Err(format!(
+                    "collective-order violation: rank {bad} contributed {} elements to allgather_into, \
+                     expected {expected} (as supplied by rank {rank})",
+                    st.lens[bad]
+                ));
+            }
+            out.copy_from_slice(&st.result);
+            Ok(())
+        });
+        self.bill_blocking(
+            CollectiveKind::Allgather,
+            bytes,
+            bytes,
+            bytes * (self.size as f64 - 1.0),
+            max_time,
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Split-phase collectives: the data exchange happens at `start` (the
+    // rendezvous synchronises the threads), but the *simulated clock* is
+    // only advanced at `wait`, so compute issued in between overlaps with
+    // the collective and only the non-overlapped tail is billed.
+    // ------------------------------------------------------------------
+
+    fn start_allreduce_sum(&mut self, data: &[f64]) -> CollectiveHandle {
+        self.start_elementwise(RoundOp::Sum, data)
+    }
+
+    fn start_allreduce_max(&mut self, data: &[f64]) -> CollectiveHandle {
+        self.start_elementwise(RoundOp::Max, data)
+    }
+
+    fn start_allreduce_sum_max(&mut self, data: &[f64], sum_len: usize) -> CollectiveHandle {
+        assert!(
+            sum_len <= data.len(),
+            "start_allreduce_sum_max: sum_len {sum_len} exceeds payload length {}",
+            data.len()
+        );
+        self.start_elementwise(RoundOp::SumMax { sum_len }, data)
+    }
+
+    fn wait_into(&mut self, handle: CollectiveHandle, out: &mut [f64]) {
+        assert_eq!(
+            out.len(),
+            handle.result.len(),
+            "wait_into: output buffer length {} != collective result length {}",
+            out.len(),
+            handle.result.len()
+        );
+        out.copy_from_slice(&handle.result);
+        let start = self.elapsed;
+        if handle.complete_at > self.elapsed {
+            self.elapsed = handle.complete_at;
+        }
+        if !handle.billed {
+            self.stats.record_collective(
+                handle.kind,
+                handle.algo,
+                handle.sent_bytes,
+                handle.recv_bytes,
+                self.elapsed - start,
+            );
+        }
+        self.pool.release(handle.result);
     }
 
     fn advance_compute(&mut self, dt: f64) {
@@ -292,16 +617,30 @@ impl Communicator for ThreadComm {
 pub struct Cluster {
     size: usize,
     network: NetworkModel,
+    selector: CollectiveSelector,
 }
 
 impl Cluster {
-    /// Creates a cluster description with `size` ranks over `network`.
+    /// Creates a cluster description with `size` ranks over `network`. The
+    /// collective-algorithm selection defaults to the `NADMM_COLLECTIVE_ALGO`
+    /// environment override, falling back to automatic payload-size
+    /// crossover selection.
     ///
     /// # Panics
     /// Panics if `size == 0`.
     pub fn new(size: usize, network: NetworkModel) -> Self {
         assert!(size > 0, "a cluster needs at least one rank");
-        Self { size, network }
+        Self {
+            size,
+            network,
+            selector: CollectiveSelector::from_env(),
+        }
+    }
+
+    /// Overrides the collective-algorithm selection rule.
+    pub fn with_collectives(mut self, selector: CollectiveSelector) -> Self {
+        self.selector = selector;
+        self
     }
 
     /// Number of ranks.
@@ -312,6 +651,11 @@ impl Cluster {
     /// The network model used by the cluster.
     pub fn network(&self) -> NetworkModel {
         self.network
+    }
+
+    /// The collective-algorithm selection rule ranks will use.
+    pub fn selector(&self) -> CollectiveSelector {
+        self.selector
     }
 
     /// Runs `f` on every rank (each on its own thread) and returns the
@@ -329,10 +673,11 @@ impl Cluster {
             for (rank, slot) in results.iter_mut().enumerate() {
                 let rendezvous = Arc::clone(&rendezvous);
                 let network = self.network;
+                let selector = self.selector;
                 let size = self.size;
                 let f = &f;
                 handles.push(scope.spawn(move || {
-                    let mut comm = ThreadComm::new(rank, size, network, rendezvous);
+                    let mut comm = ThreadComm::new(rank, size, network, selector, rendezvous);
                     *slot = Some(f(&mut comm));
                 }));
             }
@@ -347,6 +692,7 @@ impl Cluster {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::network::CollectiveAlgorithm;
 
     fn cluster(n: usize) -> Cluster {
         Cluster::new(n, NetworkModel::infiniband_100g())
@@ -365,6 +711,30 @@ mod tests {
     }
 
     #[test]
+    fn in_place_allreduce_matches_allocating() {
+        let results = cluster(4).run(|comm| {
+            let mut buf = [comm.rank() as f64, 2.0, -1.0];
+            comm.allreduce_sum_into(&mut buf);
+            buf
+        });
+        for r in results {
+            assert_eq!(r, [6.0, 8.0, -4.0]);
+        }
+    }
+
+    #[test]
+    fn in_place_allreduce_max() {
+        let results = cluster(3).run(|comm| {
+            let mut buf = [comm.rank() as f64, -(comm.rank() as f64)];
+            comm.allreduce_max_into(&mut buf);
+            buf
+        });
+        for r in results {
+            assert_eq!(r, [2.0, 0.0]);
+        }
+    }
+
+    #[test]
     fn allgather_returns_contributions_in_rank_order() {
         let results = cluster(4).run(|comm| comm.allgather(&[comm.rank() as f64 * 2.0]));
         for r in &results {
@@ -372,6 +742,19 @@ mod tests {
             for (rank, contribution) in r.iter().enumerate() {
                 assert_eq!(contribution, &vec![rank as f64 * 2.0]);
             }
+        }
+    }
+
+    #[test]
+    fn allgather_into_concatenates_in_rank_order() {
+        let results = cluster(3).run(|comm| {
+            let data = [comm.rank() as f64, 10.0 + comm.rank() as f64];
+            let mut out = [0.0; 6];
+            comm.allgather_into(&data, &mut out);
+            out
+        });
+        for r in results {
+            assert_eq!(r, [0.0, 10.0, 1.0, 11.0, 2.0, 12.0]);
         }
     }
 
@@ -391,6 +774,24 @@ mod tests {
                 assert!(g.is_none());
                 assert!(s.is_none());
             }
+        }
+    }
+
+    #[test]
+    fn in_place_reduce_and_broadcast_round_trip() {
+        let results = cluster(4).run(|comm| {
+            let mut buf = [comm.rank() as f64 + 1.0, 1.0];
+            let is_root = comm.reduce_sum_root_into(&mut buf);
+            if is_root {
+                buf[0] *= 10.0; // transform on the root, as the z-update does
+                buf[1] *= 10.0;
+            }
+            comm.broadcast_root_into(&mut buf);
+            (is_root, buf)
+        });
+        for (rank, (is_root, buf)) in results.into_iter().enumerate() {
+            assert_eq!(is_root, rank == ROOT_RANK);
+            assert_eq!(buf, [100.0, 40.0]);
         }
     }
 
@@ -475,6 +876,108 @@ mod tests {
     }
 
     #[test]
+    fn forced_algorithms_are_bit_identical_and_cost_differently() {
+        let payload: Vec<f64> = (0..4096).map(|i| (i as f64 * 0.37).sin()).collect();
+        let mut outcomes = Vec::new();
+        for algo in CollectiveAlgorithm::ALL {
+            let results = Cluster::new(5, NetworkModel::ethernet_10g())
+                .with_collectives(CollectiveSelector::Force(algo))
+                .run(|comm| {
+                    let mut buf = payload.clone();
+                    for v in buf.iter_mut() {
+                        *v += comm.rank() as f64;
+                    }
+                    comm.allreduce_sum_into(&mut buf);
+                    (buf, comm.elapsed())
+                });
+            outcomes.push(results);
+        }
+        let reference = &outcomes[0][0].0;
+        for (i, results) in outcomes.iter().enumerate() {
+            for (buf, _) in results {
+                assert_eq!(buf, reference, "algorithm {i} deviated bit-wise");
+            }
+        }
+        // Tree and ring charge different costs for this payload.
+        let tree_t = outcomes[CollectiveAlgorithm::BinomialTree.index()][0].1;
+        let ring_t = outcomes[CollectiveAlgorithm::Ring.index()][0].1;
+        assert_ne!(tree_t, ring_t, "forced algorithms must charge their own cost model");
+    }
+
+    #[test]
+    fn split_phase_allreduce_overlaps_compute() {
+        // A large allreduce started before heavy local compute should be
+        // fully hidden: elapsed == compute time, and the recorded comm time
+        // for it is (close to) zero.
+        let results = cluster(4).run(|comm| {
+            let data = vec![1.0; 100_000];
+            let handle = comm.start_allreduce_sum(&data);
+            comm.advance_compute(1.0); // far longer than the collective
+            let mut out = vec![0.0; 100_000];
+            comm.wait_into(handle, &mut out);
+            (out[0], comm.elapsed(), comm.stats().kind(CollectiveKind::Allreduce).seconds)
+        });
+        for (v, elapsed, ar_secs) in results {
+            assert_eq!(v, 4.0);
+            assert!(
+                (elapsed - 1.0).abs() < 1e-9,
+                "overlapped collective should be free: elapsed {elapsed}"
+            );
+            assert!(ar_secs < 1e-9, "overlapped allreduce billed {ar_secs}s");
+        }
+    }
+
+    #[test]
+    fn split_phase_allreduce_bills_the_tail_without_overlap() {
+        let results = cluster(4).run(|comm| {
+            let data = vec![1.0; 100_000];
+            let handle = comm.start_allreduce_sum(&data);
+            let mut out = vec![0.0; 100_000];
+            comm.wait_into(handle, &mut out); // no compute in between
+            comm.elapsed()
+        });
+        let expected = NetworkModel::infiniband_100g().allreduce(4, 100_000.0 * 8.0);
+        for elapsed in results {
+            assert!(
+                (elapsed - expected).abs() < 1e-12,
+                "un-overlapped split-phase must cost the full collective: {elapsed} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_sum_max_allreduce_reduces_both_sections() {
+        let results = cluster(3).run(|comm| {
+            let r = comm.rank() as f64;
+            let h = comm.start_allreduce_sum_max(&[r, 1.0, -r], 2);
+            let mut out = [0.0; 3];
+            comm.wait_into(h, &mut out);
+            out
+        });
+        for r in results {
+            assert_eq!(r, [3.0, 3.0, 0.0], "sum over the first two, max over the rest");
+        }
+    }
+
+    #[test]
+    fn split_phase_handles_reuse_pooled_buffers() {
+        let results = cluster(2).run(|comm| {
+            let data = [1.0, 2.0, 3.0];
+            let mut out = [0.0; 3];
+            for _ in 0..5 {
+                let h = comm.start_allreduce_sum(&data);
+                comm.wait_into(h, &mut out);
+            }
+            comm.comm_pool_stats()
+        });
+        for stats in results {
+            assert_eq!(stats.acquires, 5);
+            assert_eq!(stats.pool_misses, 1, "only the first handle may allocate");
+            assert_eq!(stats.outstanding, 0);
+        }
+    }
+
+    #[test]
     fn stats_count_collectives_and_bytes() {
         let results = cluster(2).run(|comm| {
             comm.allreduce_sum(&[1.0, 2.0, 3.0]);
@@ -485,6 +988,9 @@ mod tests {
             assert_eq!(s.collectives, 2);
             assert!(s.bytes_sent >= 24.0);
             assert!(s.comm_time > 0.0);
+            assert_eq!(s.kind(CollectiveKind::Allreduce).count, 1);
+            assert_eq!(s.kind(CollectiveKind::Barrier).count, 1);
+            assert!(s.kind(CollectiveKind::Allreduce).dominant_algorithm().is_some());
         }
     }
 
@@ -502,6 +1008,55 @@ mod tests {
         for r in results {
             assert_eq!(r, expected);
         }
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_payload_lengths_panic_loudly() {
+        cluster(2).run(|comm| {
+            if comm.rank() == 0 {
+                comm.allreduce_sum(&[1.0, 2.0])
+            } else {
+                comm.allreduce_sum(&[1.0, 2.0, 3.0])
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_broadcast_buffer_panics_on_every_rank_instead_of_deadlocking() {
+        // The length check happens at the *collect* phase (only the root's
+        // payload length defines the round); the violating rank must poison
+        // the rendezvous so the surviving ranks panic instead of blocking
+        // forever in the next round.
+        cluster(3).run(|comm| {
+            let mut buf = if comm.rank() == 1 { vec![0.0; 2] } else { vec![1.0; 4] };
+            comm.broadcast_root_into(&mut buf);
+            comm.barrier(); // must never be reached by any rank
+        });
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_allgather_into_lengths_panic_instead_of_deadlocking() {
+        cluster(2).run(|comm| {
+            let data = vec![0.0; 2 + comm.rank()];
+            let mut out = vec![0.0; data.len() * 2];
+            comm.allgather_into(&data, &mut out);
+            comm.barrier();
+        });
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_collective_kinds_panic_loudly() {
+        cluster(2).run(|comm| {
+            if comm.rank() == 0 {
+                comm.allreduce_sum(&[1.0]);
+            } else {
+                comm.barrier();
+            }
+        });
     }
 
     #[test]

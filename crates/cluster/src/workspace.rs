@@ -1,0 +1,107 @@
+//! Reusable communication-buffer workspace.
+//!
+//! Mirrors the device-side `Workspace` discipline for the cluster layer:
+//! staging buffers for collectives (and the result buffers carried by
+//! split-phase [`crate::comm::CollectiveHandle`]s) come from a size-keyed
+//! free list, so a warm outer iteration performs zero heap allocations in
+//! the communication path too. [`CommWorkspaceStats`] exposes hit/miss
+//! counters the tests use to prove exactly that.
+
+use std::collections::HashMap;
+
+/// Counters describing pool behaviour since the last reset.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommWorkspaceStats {
+    /// Buffers handed out in total.
+    pub acquires: u64,
+    /// Acquires served from the free list (no heap allocation).
+    pub pool_hits: u64,
+    /// Acquires that had to allocate fresh storage.
+    pub pool_misses: u64,
+    /// Buffers currently held by callers (acquired, not yet released).
+    pub outstanding: u64,
+}
+
+/// A size-keyed free list of communication staging buffers.
+#[derive(Debug, Default)]
+pub struct CommWorkspace {
+    free: HashMap<usize, Vec<Vec<f64>>>,
+    stats: CommWorkspaceStats,
+}
+
+impl CommWorkspace {
+    /// Creates an empty workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Hands out a buffer of exactly `len` elements with **unspecified
+    /// contents**. Reuses a pooled buffer when one of the right size is
+    /// available, otherwise allocates.
+    pub fn acquire(&mut self, len: usize) -> Vec<f64> {
+        self.stats.acquires += 1;
+        self.stats.outstanding += 1;
+        if let Some(buf) = self.free.get_mut(&len).and_then(Vec::pop) {
+            self.stats.pool_hits += 1;
+            buf
+        } else {
+            self.stats.pool_misses += 1;
+            vec![0.0; len]
+        }
+    }
+
+    /// Returns a buffer to the pool for later reuse.
+    pub fn release(&mut self, buf: Vec<f64>) {
+        self.stats.outstanding = self.stats.outstanding.saturating_sub(1);
+        self.free.entry(buf.len()).or_default().push(buf);
+    }
+
+    /// Pool behaviour counters since the last [`CommWorkspace::reset_stats`].
+    pub fn stats(&self) -> CommWorkspaceStats {
+        self.stats
+    }
+
+    /// Resets the counters (the pooled buffers are kept).
+    pub fn reset_stats(&mut self) {
+        let outstanding = self.stats.outstanding;
+        self.stats = CommWorkspaceStats {
+            outstanding,
+            ..CommWorkspaceStats::default()
+        };
+    }
+
+    /// Number of buffers currently parked in the free list.
+    pub fn pooled_buffers(&self) -> usize {
+        self.free.values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_release_reuses_storage() {
+        let mut ws = CommWorkspace::new();
+        let a = ws.acquire(16);
+        let ptr = a.as_ptr();
+        ws.release(a);
+        let b = ws.acquire(16);
+        assert_eq!(b.as_ptr(), ptr, "same-size acquire must reuse the pooled buffer");
+        let stats = ws.stats();
+        assert_eq!(stats.acquires, 2);
+        assert_eq!(stats.pool_hits, 1);
+        assert_eq!(stats.pool_misses, 1);
+        assert_eq!(stats.outstanding, 1);
+    }
+
+    #[test]
+    fn reset_keeps_buffers() {
+        let mut ws = CommWorkspace::new();
+        let a = ws.acquire(8);
+        ws.release(a);
+        ws.reset_stats();
+        assert_eq!(ws.stats(), CommWorkspaceStats::default());
+        assert_eq!(ws.pooled_buffers(), 1);
+    }
+}

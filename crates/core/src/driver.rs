@@ -1,8 +1,19 @@
 //! The Newton-ADMM driver (paper Algorithms 2 and 4).
+//!
+//! The distributed path is built around [`AdmmWorker`], a per-rank state
+//! machine whose warm outer iteration — local Newton-CG solve, in-place
+//! reduce of `[ρ_i x_i − y_i ‖ ρ_i]`, in-place broadcast of `z`, dual and
+//! penalty updates — performs **zero heap allocations** (proven by the
+//! counting-allocator test in the bench crate). Instrumentation (global
+//! objective, mean penalty, consensus residual, test accuracy) runs as
+//! *split-phase* allreduces started at the end of each iteration and waited
+//! after the *next* iteration's local solve, so its communication time
+//! overlaps with compute and only the non-overlapped tail is billed on the
+//! simulated clocks.
 
 use crate::config::NewtonAdmmConfig;
 use crate::penalty::{residual_balancing_update, spectral_update, PenaltyRule, SpectralState};
-use nadmm_cluster::{Cluster, CommStats, Communicator};
+use nadmm_cluster::{Cluster, CollectiveHandle, CommStats, Communicator};
 use nadmm_data::Dataset;
 use nadmm_device::{Device, Workspace};
 use nadmm_linalg::vector;
@@ -27,6 +38,213 @@ pub struct NewtonAdmmOutput {
     pub local_x: Vec<f64>,
 }
 
+/// In-flight split-phase instrumentation of one outer iteration: a single
+/// mixed allreduce of `[local loss, ρ_i, root-only accuracy | ‖x_i − z‖]`
+/// (sum over the first three, max over the residual).
+#[derive(Debug)]
+pub struct InstrumentationHandles {
+    handle: CollectiveHandle,
+    has_accuracy: bool,
+}
+
+/// Per-rank state of the distributed Newton-ADMM solver.
+///
+/// All iteration-to-iteration buffers (`x`, `y`, `z`, `ŷ`, the reduce
+/// payload) are allocated once at construction and updated in place; the
+/// collectives go through the communicator's in-place/split-phase API. One
+/// warm call of [`AdmmWorker::outer_iteration`] followed by
+/// [`AdmmWorker::start_instrumentation`]/[`AdmmWorker::finish_instrumentation`]
+/// allocates nothing.
+pub struct AdmmWorker {
+    cfg: NewtonAdmmConfig,
+    device: Device,
+    ws: Workspace,
+    local: SoftmaxCrossEntropy,
+    aug: ProximalAugmented<SoftmaxCrossEntropy>,
+    newton: NewtonCg,
+    dim: usize,
+    x: Vec<f64>,
+    y: Vec<f64>,
+    z: Vec<f64>,
+    yhat: Vec<f64>,
+    /// Reduce payload `[ρ x − y ‖ ρ]` (dim + 1 elements).
+    payload: Vec<f64>,
+    rho: f64,
+    spectral: SpectralState,
+}
+
+impl AdmmWorker {
+    /// Builds the per-rank state for one shard. The execution engine
+    /// ([`Device`]) bills every kernel the local objective launches; the
+    /// accrued time is charged to the communicator per local solve.
+    pub fn new(config: &NewtonAdmmConfig, shard: &Dataset) -> Self {
+        let device = Device::new(config.device);
+        // The global regulariser g(z) = λ‖z‖²/2 is handled in the z-update
+        // (Eq. 7), so the local objectives carry no regularisation.
+        let local = SoftmaxCrossEntropy::new(shard, 0.0).with_device(device.clone());
+        let dim = local.dim();
+        let z = vec![0.0; dim];
+        let y = vec![0.0; dim];
+        // The augmented objective wraps the shard data exactly once; each
+        // outer iteration only re-anchors it in place (no reallocation).
+        let aug = ProximalAugmented::new(local.clone(), z.clone(), y.clone(), config.rho0);
+        Self {
+            cfg: *config,
+            device,
+            ws: Workspace::new(),
+            local,
+            aug,
+            newton: NewtonCg::new(config.newton_config()),
+            dim,
+            x: vec![0.0; dim],
+            y,
+            z,
+            yhat: vec![0.0; dim],
+            payload: vec![0.0; dim + 1],
+            rho: config.rho0,
+            spectral: SpectralState::new(dim),
+        }
+    }
+
+    /// The consensus iterate `z`.
+    pub fn z(&self) -> &[f64] {
+        &self.z
+    }
+
+    /// This rank's local iterate `x_i`.
+    pub fn x(&self) -> &[f64] {
+        &self.x
+    }
+
+    /// This rank's current penalty ρ_i.
+    pub fn rho(&self) -> f64 {
+        self.rho
+    }
+
+    /// Pool counters of the device workspace (for the zero-allocation
+    /// proofs).
+    pub fn workspace_stats(&self) -> nadmm_device::WorkspaceStats {
+        self.ws.stats()
+    }
+
+    /// Resets the device-workspace counters.
+    pub fn reset_workspace_stats(&mut self) {
+        self.ws.reset_stats();
+    }
+
+    /// Step 1 of the outer iteration: a few inexact Newton-CG steps on the
+    /// ADMM-augmented local objective (Eq. 6a / Algorithm 1). The simulated
+    /// time of the actual kernel launches (GEMMs, softmax rows, HVPs,
+    /// line-search values) is billed to this rank's clock.
+    pub fn local_solve(&mut self, comm: &mut dyn Communicator) {
+        self.aug.set_anchor(&self.z, &self.y, self.rho);
+        let compute_start = self.device.elapsed();
+        for _ in 0..self.cfg.newton_steps_per_iter {
+            self.newton.step_ws(&self.aug, &mut self.x, &mut self.ws);
+        }
+        comm.advance_compute(self.device.elapsed() - compute_start);
+    }
+
+    /// Steps 2–3 of outer iteration `k`: one round of communication
+    /// (Remark 1) — an in-place reduce of `[ρ_i x_i − y_i ‖ ρ_i]` to the
+    /// master and an in-place broadcast of the new consensus iterate back —
+    /// followed by the local dual update (Eq. 6c) and penalty adaptation.
+    pub fn consensus_update(&mut self, comm: &mut dyn Communicator, k: usize) {
+        let dim = self.dim;
+        // Intermediate dual ŷ_i (uses the *old* consensus iterate) — needed
+        // by the spectral penalty estimator.
+        for i in 0..dim {
+            self.yhat[i] = self.y[i] + self.rho * (self.z[i] - self.x[i]);
+            self.payload[i] = self.rho * self.x[i] - self.y[i];
+        }
+        self.payload[dim] = self.rho;
+        if comm.reduce_sum_root_into(&mut self.payload) {
+            let sum_rho = self.payload[dim];
+            for i in 0..dim {
+                self.z[i] = self.payload[i] / (self.cfg.lambda + sum_rho);
+            }
+        }
+        comm.broadcast_root_into(&mut self.z);
+
+        for i in 0..dim {
+            self.y[i] += self.rho * (self.z[i] - self.x[i]);
+        }
+        self.rho = match self.cfg.penalty {
+            PenaltyRule::Fixed => self.rho,
+            PenaltyRule::ResidualBalancing { mu, tau } => {
+                let primal = vector::distance(&self.x, &self.z);
+                // Dual residual of consensus ADMM, approximated by the
+                // standard ρ·‖z^{k+1} − z^k‖ pair against the stored
+                // snapshot.
+                let dual = self.rho * vector::distance(&self.z, &self.spectral.z0);
+                self.spectral.z0.copy_from_slice(&self.z);
+                residual_balancing_update(self.rho, primal, dual, mu, tau)
+            }
+            PenaltyRule::Spectral(spec_cfg) => spectral_update(
+                &spec_cfg,
+                &mut self.spectral,
+                k,
+                self.rho,
+                &self.x,
+                &self.yhat,
+                &self.z,
+                &self.y,
+            ),
+        };
+    }
+
+    /// One full outer iteration (local solve + consensus round), without
+    /// instrumentation. Zero heap allocations once warm.
+    pub fn outer_iteration(&mut self, comm: &mut dyn Communicator, k: usize) {
+        self.local_solve(comm);
+        self.consensus_update(comm, k);
+    }
+
+    /// Starts the split-phase instrumentation allreduce for the current
+    /// iterate: one mixed collective carrying the global objective, mean
+    /// penalty and root-evaluated accuracy (sum) plus the consensus residual
+    /// (max). The local evaluations are instrumentation and not billed as
+    /// solver compute.
+    pub fn start_instrumentation(&mut self, comm: &mut dyn Communicator, test: Option<&Dataset>) -> InstrumentationHandles {
+        let loss = self.local.value_ws(&self.z, &mut self.ws);
+        let has_accuracy = self.cfg.record_accuracy && test.is_some();
+        // Only the root contributes a non-zero accuracy, so the *sum* equals
+        // the root's measurement — no extra collective needed.
+        let acc = match test {
+            Some(t) if self.cfg.record_accuracy && comm.is_root() => self.local.accuracy(t, &self.z),
+            _ => 0.0,
+        };
+        let residual = vector::distance(&self.x, &self.z);
+        let handle = comm.start_allreduce_sum_max(&[loss, self.rho, acc, residual], 3);
+        InstrumentationHandles { handle, has_accuracy }
+    }
+
+    /// Completes the instrumentation allreduces and assembles the iteration
+    /// record. The record's simulated time is the cluster-wide completion
+    /// time of the collectives — independent of how much of the *next*
+    /// iteration's solve this rank overlapped with them.
+    pub fn finish_instrumentation(
+        &mut self,
+        comm: &mut dyn Communicator,
+        handles: InstrumentationHandles,
+        iteration: usize,
+        wall_start: Instant,
+    ) -> IterationRecord {
+        let sim_time = handles.handle.complete_at();
+        let mut reduced = [0.0; 4];
+        comm.wait_into(handles.handle, &mut reduced);
+        let objective = reduced[0] + 0.5 * self.cfg.lambda * vector::norm2_sq(&self.z);
+        let mut record = IterationRecord::new(iteration, sim_time, wall_start.elapsed().as_secs_f64(), objective)
+            .with_mean_rho(reduced[1] / comm.size() as f64)
+            .with_comm_bytes(comm.stats().bytes_sent)
+            .with_consensus_residual(reduced[3]);
+        if handles.has_accuracy {
+            record = record.with_accuracy(reduced[2]);
+        }
+        record
+    }
+}
+
 /// The distributed Newton-ADMM solver.
 #[derive(Debug, Clone, Default)]
 pub struct NewtonAdmm {
@@ -49,139 +267,59 @@ impl NewtonAdmm {
     /// consensus iterate and history are identical across ranks.
     ///
     /// `test` is optional and only used for instrumentation (test accuracy
-    /// per iteration); it is evaluated on the root rank and broadcast into
-    /// the history of every rank.
+    /// per iteration); it is evaluated on the root rank and its measurement
+    /// reaches every rank's history through the instrumentation allreduce.
+    ///
+    /// Iteration `k`'s instrumentation allreduces overlap with iteration
+    /// `k+1`'s local Newton solve, except when `consensus_tol > 0` forces a
+    /// blocking wait (early stopping needs the residual before deciding to
+    /// continue).
     pub fn run_distributed(&self, comm: &mut dyn Communicator, shard: &Dataset, test: Option<&Dataset>) -> NewtonAdmmOutput {
         let cfg = &self.config;
-        // Per-rank execution engine: every kernel the local objective (and
-        // its ADMM-augmented wrapper) launches charges this device's
-        // simulated clock, and the accrued time is billed to the
-        // communicator after each subproblem solve. The workspace pool makes
-        // the Newton-CG inner loops allocation-free across outer iterations.
-        let device = Device::new(cfg.device);
-        let mut ws = Workspace::new();
-        // The global regulariser g(z) = λ‖z‖²/2 is handled in the z-update
-        // (Eq. 7), so the local objectives carry no regularisation.
-        let local = SoftmaxCrossEntropy::new(shard, 0.0).with_device(device.clone());
-        let dim = local.dim();
-        let newton = NewtonCg::new(cfg.newton_config());
-
-        let mut x = vec![0.0; dim];
-        let mut y = vec![0.0; dim];
-        let mut z = vec![0.0; dim];
-        let mut rho = cfg.rho0;
-        let mut spectral_state = SpectralState::new(dim);
-
+        let mut worker = AdmmWorker::new(cfg, shard);
         let wall_start = Instant::now();
         let mut history = RunHistory::new("newton-admm", shard.name(), comm.size());
-        self.record_iteration(comm, &local, test, &z, 0, 0.0, rho, &mut history, wall_start);
 
-        // The augmented objective wraps the shard data exactly once; each
-        // outer iteration only re-anchors it in place (no reallocation).
-        let mut aug = ProximalAugmented::new(local.clone(), z.clone(), y.clone(), rho);
+        let h0 = worker.start_instrumentation(comm, test);
+        let r0 = worker.finish_instrumentation(comm, h0, 0, wall_start);
+        history.push(r0);
 
+        let mut pending: Option<(usize, InstrumentationHandles)> = None;
         for k in 1..=cfg.max_iters {
-            // --- 1. Local subproblem: a few inexact Newton-CG steps on the
-            //        ADMM-augmented objective (Eq. 6a / Algorithm 1). The
-            //        simulated time of the actual kernel launches (GEMMs,
-            //        softmax rows, HVPs, line-search values) is billed to
-            //        this rank's clock.
-            aug.set_anchor(&z, &y, rho);
-            let compute_start = device.elapsed();
-            for _ in 0..cfg.newton_steps_per_iter {
-                newton.step_ws(&aug, &mut x, &mut ws);
+            worker.local_solve(comm);
+            // The previous iteration's instrumentation has been in flight
+            // during the solve above; settle it now.
+            if let Some((kp, h)) = pending.take() {
+                let record = worker.finish_instrumentation(comm, h, kp, wall_start);
+                history.push(record);
             }
-            comm.advance_compute(device.elapsed() - compute_start);
-
-            // Intermediate dual ŷ_i (uses the *old* consensus iterate) —
-            // needed by the spectral penalty estimator.
-            let mut yhat = y.clone();
-            for i in 0..dim {
-                yhat[i] += rho * (z[i] - x[i]);
-            }
-
-            // --- 2. One round of communication (Remark 1): a reduce of
-            //        [ρ_i x_i − y_i ‖ ρ_i] to the master and a broadcast of
-            //        the new consensus iterate back.
-            let mut payload: Vec<f64> = (0..dim).map(|i| rho * x[i] - y[i]).collect();
-            payload.push(rho);
-            let reduced = comm.reduce_sum_root(&payload);
-            let z_new_root: Option<Vec<f64>> = reduced.map(|r| {
-                let sum_rho = r[dim];
-                r[..dim].iter().map(|v| v / (cfg.lambda + sum_rho)).collect()
-            });
-            z = comm.broadcast_root(z_new_root.as_deref());
-
-            // --- 3. Dual update (Eq. 6c) and penalty adaptation, all local.
-            for i in 0..dim {
-                y[i] += rho * (z[i] - x[i]);
-            }
-            rho = match cfg.penalty {
-                PenaltyRule::Fixed => rho,
-                PenaltyRule::ResidualBalancing { mu, tau } => {
-                    let primal = vector::distance(&x, &z);
-                    // Dual residual of consensus ADMM: ρ‖z^{k+1} − z^k‖ —
-                    // approximate z^k by the spectral snapshot-free previous
-                    // anchor, here we use ‖y^{k+1} − y^k‖ = ρ‖z − x‖ proxy on
-                    // the worker; use the standard ρ·‖x − z‖ pair.
-                    let dual = rho * vector::distance(&z, &spectral_state.z0);
-                    spectral_state.z0 = z.clone();
-                    residual_balancing_update(rho, primal, dual, mu, tau)
-                }
-                PenaltyRule::Spectral(spec_cfg) => spectral_update(&spec_cfg, &mut spectral_state, k, rho, &x, &yhat, &z, &y),
-            };
-
-            // --- 4. Instrumentation: global objective, consensus residual,
-            //        optional test accuracy (not charged as compute).
-            self.record_iteration(comm, &local, test, &z, k, rho, rho, &mut history, wall_start);
-
+            worker.consensus_update(comm, k);
+            let handles = worker.start_instrumentation(comm, test);
             if cfg.consensus_tol > 0.0 {
-                let residual = comm.allreduce_scalar_max(vector::distance(&x, &z));
+                // Early stopping consumes the residual immediately — no
+                // overlap on this configuration.
+                let record = worker.finish_instrumentation(comm, handles, k, wall_start);
+                let residual = record.consensus_residual.unwrap_or(f64::INFINITY);
+                history.push(record);
                 if residual < cfg.consensus_tol {
                     break;
                 }
+            } else {
+                pending = Some((k, handles));
             }
+        }
+        if let Some((kp, h)) = pending.take() {
+            let record = worker.finish_instrumentation(comm, h, kp, wall_start);
+            history.push(record);
         }
 
         NewtonAdmmOutput {
-            z,
+            z: worker.z.clone(),
             history,
             comm_stats: comm.stats(),
-            final_rho: rho,
-            local_x: x,
+            final_rho: worker.rho,
+            local_x: worker.x,
         }
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn record_iteration(
-        &self,
-        comm: &mut dyn Communicator,
-        local: &SoftmaxCrossEntropy,
-        test: Option<&Dataset>,
-        z: &[f64],
-        iteration: usize,
-        _rho_unused: f64,
-        rho: f64,
-        history: &mut RunHistory,
-        wall_start: Instant,
-    ) {
-        // Global objective F(z) = Σ_i f_i(z) + λ‖z‖²/2, and the mean penalty,
-        // folded into a single instrumentation allreduce.
-        let local_loss = local.value(z);
-        let reduced = comm.allreduce_sum(&[local_loss, rho]);
-        let objective = reduced[0] + 0.5 * self.config.lambda * vector::norm2_sq(z);
-        let mean_rho = reduced[1] / comm.size() as f64;
-        let mut record = IterationRecord::new(iteration, comm.elapsed(), wall_start.elapsed().as_secs_f64(), objective)
-            .with_mean_rho(mean_rho)
-            .with_comm_bytes(comm.stats().bytes_sent);
-        if self.config.record_accuracy {
-            if let Some(test_set) = test {
-                let acc = if comm.is_root() { local.accuracy(test_set, z) } else { 0.0 };
-                let acc = comm.allreduce_scalar_max(acc);
-                record = record.with_accuracy(acc);
-            }
-        }
-        history.push(record);
     }
 
     /// Convenience wrapper: spawns a simulated cluster with one rank per
@@ -217,6 +355,7 @@ impl NewtonAdmm {
         let mut rhos = vec![cfg.rho0; n];
         let mut states: Vec<SpectralState> = (0..n).map(|_| SpectralState::new(dim)).collect();
         let mut workspaces: Vec<Workspace> = (0..n).map(|_| Workspace::new()).collect();
+        let mut yhats = vec![vec![0.0; dim]; n];
         // One augmented wrapper per worker, re-anchored in place each outer
         // iteration (cloning the shard-holding objective every iteration
         // would dominate the hot loop).
@@ -239,19 +378,16 @@ impl NewtonAdmm {
         for k in 1..=cfg.max_iters {
             let mut numerator = vec![0.0; dim];
             let mut sum_rho = 0.0;
-            let mut yhats = Vec::with_capacity(n);
             for w in 0..n {
                 augs[w].set_anchor(&z, &ys[w], rhos[w]);
                 for _ in 0..cfg.newton_steps_per_iter {
                     newton.step_ws(&augs[w], &mut xs[w], &mut workspaces[w]);
                 }
-                let mut yhat = ys[w].clone();
                 for i in 0..dim {
-                    yhat[i] += rhos[w] * (z[i] - xs[w][i]);
+                    yhats[w][i] = ys[w][i] + rhos[w] * (z[i] - xs[w][i]);
                     numerator[i] += rhos[w] * xs[w][i] - ys[w][i];
                 }
                 sum_rho += rhos[w];
-                yhats.push(yhat);
             }
             for zi in numerator.iter_mut() {
                 *zi /= cfg.lambda + sum_rho;
@@ -266,7 +402,7 @@ impl NewtonAdmm {
                     PenaltyRule::ResidualBalancing { mu, tau } => {
                         let primal = vector::distance(&xs[w], &z);
                         let dual = rhos[w] * vector::distance(&z, &states[w].z0);
-                        states[w].z0 = z.clone();
+                        states[w].z0.copy_from_slice(&z);
                         residual_balancing_update(rhos[w], primal, dual, mu, tau)
                     }
                     PenaltyRule::Spectral(spec_cfg) => {
@@ -343,7 +479,9 @@ mod tests {
         let scale = vector::norm2(&reference.z).max(1.0);
         assert!(dist / scale < 1e-8, "distributed z deviates from reference by {dist}");
         // And so must the recorded objective values.
+        assert_eq!(reference.history.len(), distributed.history.len());
         for (a, b) in reference.history.records.iter().zip(&distributed.history.records) {
+            assert_eq!(a.iteration, b.iteration);
             assert!((a.objective - b.objective).abs() < 1e-6 * (1.0 + a.objective.abs()));
         }
     }
@@ -358,6 +496,17 @@ mod tests {
         let early = residuals[1];
         let late = *residuals.last().unwrap();
         assert!(late < early, "consensus residual should shrink: {early} -> {late}");
+    }
+
+    #[test]
+    fn distributed_records_the_consensus_residual_too() {
+        let (train, _) = small_dataset(80, 3, 6, 3);
+        let (shards, _) = partition_strong(&train, 2);
+        let cluster = Cluster::new(2, NetworkModel::ideal());
+        let out = NewtonAdmm::new(quick_config(6)).run_cluster(&cluster, &shards, None);
+        let residuals: Vec<f64> = out.history.records.iter().filter_map(|r| r.consensus_residual).collect();
+        assert_eq!(residuals.len(), 7, "every distributed record carries the residual");
+        assert!(residuals[1] > 0.0);
     }
 
     #[test]
@@ -427,10 +576,38 @@ mod tests {
         assert!(out.comm_stats.collectives > 0);
         assert!(out.comm_stats.bytes_sent > 0.0);
         assert!(out.comm_stats.compute_time > 0.0);
-        // One reduce + one broadcast per iteration plus two instrumentation
-        // scalar allreduces per recorded iteration: at most ~5 collectives
-        // per iteration.
-        assert!(out.comm_stats.collectives <= 6 * 6);
+        // One reduce + one broadcast per iteration plus one fused split-phase
+        // instrumentation allreduce per recorded iteration (and one for
+        // iteration 0): exactly 3 per iteration + 1.
+        assert_eq!(out.comm_stats.collectives, 3 * 5 + 1);
+        // The breakdown attributes them to the right kinds.
+        use nadmm_cluster::CollectiveKind;
+        assert_eq!(out.comm_stats.kind(CollectiveKind::Reduce).count, 5);
+        assert_eq!(out.comm_stats.kind(CollectiveKind::Broadcast).count, 5);
+        assert_eq!(out.comm_stats.kind(CollectiveKind::Allreduce).count, 6);
+    }
+
+    #[test]
+    fn overlap_makes_instrumentation_cheaper_not_wronger() {
+        // The same run on the same cluster must produce identical iterates
+        // whether instrumentation overlaps (consensus_tol == 0) or blocks
+        // (consensus_tol > 0 with an unreachably small tolerance).
+        let (train, _) = small_dataset(90, 3, 8, 9);
+        let (shards, _) = partition_strong(&train, 3);
+        let cluster = Cluster::new(3, NetworkModel::ethernet_10g());
+        let overlapped = NewtonAdmm::new(quick_config(6)).run_cluster(&cluster, &shards, None);
+        let blocking_cfg = NewtonAdmmConfig {
+            consensus_tol: 1e-300,
+            ..quick_config(6)
+        };
+        let blocking = NewtonAdmm::new(blocking_cfg).run_cluster(&cluster, &shards, None);
+        assert_eq!(overlapped.z, blocking.z, "overlap must not change the math");
+        for (a, b) in overlapped.history.records.iter().zip(&blocking.history.records) {
+            assert!((a.objective - b.objective).abs() < 1e-12 * (1.0 + a.objective.abs()));
+        }
+        // Overlap hides instrumentation time behind the next solve, so the
+        // overlapped run cannot be slower.
+        assert!(overlapped.history.total_sim_time() <= blocking.history.total_sim_time() + 1e-12);
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub mod driver;
 pub mod penalty;
 
 pub use config::NewtonAdmmConfig;
-pub use driver::{NewtonAdmm, NewtonAdmmOutput};
+pub use driver::{AdmmWorker, InstrumentationHandles, NewtonAdmm, NewtonAdmmOutput};
 pub use penalty::{PenaltyRule, SpectralConfig, SpectralState};
 
 #[cfg(test)]

@@ -8,7 +8,6 @@
 //! estimates never destabilise the run. Residual balancing (He et al. 2000)
 //! and a fixed penalty are provided as ablation baselines.
 
-use nadmm_linalg::vector;
 use serde::{Deserialize, Serialize};
 
 /// How the per-worker penalty ρ_i is adapted across outer iterations.
@@ -93,12 +92,22 @@ impl SpectralState {
 }
 
 /// A safeguarded Barzilai–Borwein curvature estimate from one secant pair
-/// `(Δprimal, Δdual)`: returns `(estimate, correlation)` or `None` when the
-/// pair is degenerate.
-fn bb_estimate(d_primal: &[f64], d_dual: &[f64]) -> Option<(f64, f64)> {
-    let pp = vector::norm2_sq(d_primal);
-    let dd = vector::norm2_sq(d_dual);
-    let pd = vector::dot(d_primal, d_dual);
+/// `(Δprimal, Δdual)`, where the deltas are given implicitly as
+/// `(primal − primal0, dual − dual0)`: returns `(estimate, correlation)` or
+/// `None` when the pair is degenerate. Streams the three inner products in
+/// one pass without materialising the difference vectors — the ADMM outer
+/// iteration is allocation-free once warm, penalty adaptation included.
+fn bb_estimate_delta(primal: &[f64], primal0: &[f64], dual: &[f64], dual0: &[f64]) -> Option<(f64, f64)> {
+    let mut pp = 0.0;
+    let mut dd = 0.0;
+    let mut pd = 0.0;
+    for i in 0..primal.len() {
+        let dp = primal[i] - primal0[i];
+        let dq = dual[i] - dual0[i];
+        pp += dp * dp;
+        dd += dq * dq;
+        pd += dp * dq;
+    }
     if pp <= 1e-24 || dd <= 1e-24 || pd <= 1e-24 {
         return None;
     }
@@ -132,15 +141,10 @@ pub fn spectral_update(
     if iteration == 0 || !iteration.is_multiple_of(config.update_every) {
         return rho;
     }
-    let dx = vector::sub(x, &state.x0);
-    let dyhat = vector::sub(yhat, &state.yhat0);
-    let dz = vector::sub(z, &state.z0);
-    let dy = vector::sub(y, &state.y0);
-
     // α̂: curvature of the local subproblem seen through (Δx, Δŷ).
-    let alpha = bb_estimate(&dx, &dyhat);
+    let alpha = bb_estimate_delta(x, &state.x0, yhat, &state.yhat0);
     // β̂: curvature of the consensus update seen through (Δz, Δy).
-    let beta = bb_estimate(&dz, &dy);
+    let beta = bb_estimate_delta(z, &state.z0, y, &state.y0);
 
     let mut new_rho = rho;
     let eps = config.correlation_threshold;
@@ -157,12 +161,12 @@ pub fn spectral_update(
     new_rho = new_rho.clamp(rho / bound, rho * bound);
     new_rho = new_rho.clamp(config.rho_min, config.rho_max);
 
-    // Refresh the snapshot.
+    // Refresh the snapshot in place (the state vectors are already sized).
     state.snapshot_iter = iteration;
-    state.x0 = x.to_vec();
-    state.yhat0 = yhat.to_vec();
-    state.z0 = z.to_vec();
-    state.y0 = y.to_vec();
+    state.x0.copy_from_slice(x);
+    state.yhat0.copy_from_slice(yhat);
+    state.z0.copy_from_slice(z);
+    state.y0.copy_from_slice(y);
 
     new_rho
 }
@@ -206,10 +210,11 @@ mod tests {
         // correlation is 1.
         let dp = vec![1.0, -2.0, 0.5];
         let dd: Vec<f64> = dp.iter().map(|v| 3.0 * v).collect();
-        let (est, cor) = bb_estimate(&dp, &dd).unwrap();
+        let zero = vec![0.0; 3];
+        let (est, cor) = bb_estimate_delta(&dp, &zero, &dd, &zero).unwrap();
         assert!((est - 3.0).abs() < 1e-12);
         assert!((cor - 1.0).abs() < 1e-12);
-        assert!(bb_estimate(&[0.0, 0.0, 0.0], &dd).is_none());
+        assert!(bb_estimate_delta(&zero, &zero, &dd, &zero).is_none());
     }
 
     #[test]

@@ -163,10 +163,7 @@ impl Objective for Quadratic {
 
     fn prepare_hvp(&self, _x: &[f64], _ws: &mut Workspace) -> crate::traits::HvpState {
         // The Hessian is constant: no per-x state needed.
-        crate::traits::HvpState {
-            bufs: Vec::new(),
-            dims: (self.dim(), 0),
-        }
+        crate::traits::HvpState::empty((self.dim(), 0))
     }
 
     fn hvp_prepared_into(&self, _state: &crate::traits::HvpState, v: &[f64], out: &mut [f64], ws: &mut Workspace) {

@@ -126,10 +126,7 @@ impl Objective for RidgeRegression {
 
     fn prepare_hvp(&self, _x: &[f64], _ws: &mut Workspace) -> HvpState {
         // The Gauss-Newton Hessian AᵀA + λI is constant in x.
-        HvpState {
-            bufs: Vec::new(),
-            dims: (self.dim(), 0),
-        }
+        HvpState::empty((self.dim(), 0))
     }
 
     fn hvp_prepared_into(&self, _state: &HvpState, v: &[f64], out: &mut [f64], ws: &mut Workspace) {

@@ -241,14 +241,11 @@ impl Objective for SoftmaxCrossEntropy {
         ws.release(logz);
         let n = probs.rows();
         let c1 = probs.cols();
-        HvpState {
-            bufs: vec![probs.into_vec()],
-            dims: (n, c1),
-        }
+        HvpState::with_buf(probs.into_vec(), (n, c1))
     }
 
     fn hvp_prepared_into(&self, state: &HvpState, v: &[f64], out: &mut [f64], ws: &mut Workspace) {
-        self.hvp_core(&state.bufs[0], v, out, ws);
+        self.hvp_core(state.buf(0), v, out, ws);
     }
 
     fn cost_value_grad(&self) -> OpCost {

@@ -59,17 +59,60 @@ pub type HvpOperator<'a> = Box<dyn Fn(&[f64]) -> Vec<f64> + Send + Sync + 'a>;
 /// Opaque per-`x` state for repeated Hessian-vector products, produced by
 /// [`Objective::prepare_hvp`] and consumed by [`Objective::hvp_prepared_into`].
 ///
-/// The buffers come from (and return to) a [`Workspace`], so one Newton step
-/// costs one `prepare_hvp` and `m` allocation-free products for its `m` CG
-/// iterations. The interpretation of `bufs`/`dims` is private to the
-/// objective that created the state.
-#[derive(Debug)]
+/// The buffers come from (and return to) a [`Workspace`], and the state
+/// itself holds them in a fixed two-slot inline array — no heap shell — so
+/// `prepare_hvp` allocates **nothing** once the pool is warm (the
+/// zero-allocation proofs in the bench crate depend on this). The
+/// interpretation of the buffers and `dims` is private to the objective that
+/// created the state.
+#[derive(Debug, Default)]
 pub struct HvpState {
     /// Pooled buffers owned by this state (returned via
-    /// [`Objective::release_hvp`]).
-    pub bufs: Vec<Vec<f64>>,
+    /// [`Objective::release_hvp`]); at most two, held inline.
+    bufs: [Option<Vec<f64>>; 2],
     /// Implementation-defined shape information.
     pub dims: (usize, usize),
+}
+
+impl HvpState {
+    /// A state with no pooled buffers (objectives whose HVP needs no per-`x`
+    /// scratch, like quadratics).
+    pub fn empty(dims: (usize, usize)) -> Self {
+        Self {
+            bufs: [None, None],
+            dims,
+        }
+    }
+
+    /// A state owning one pooled buffer.
+    pub fn with_buf(buf: Vec<f64>, dims: (usize, usize)) -> Self {
+        Self {
+            bufs: [Some(buf), None],
+            dims,
+        }
+    }
+
+    /// A state owning two pooled buffers.
+    pub fn with_bufs(first: Vec<f64>, second: Vec<f64>, dims: (usize, usize)) -> Self {
+        Self {
+            bufs: [Some(first), Some(second)],
+            dims,
+        }
+    }
+
+    /// Borrows pooled buffer `i`.
+    ///
+    /// # Panics
+    /// Panics if slot `i` is empty.
+    pub fn buf(&self, i: usize) -> &[f64] {
+        self.bufs[i].as_deref().expect("HvpState buffer slot is empty")
+    }
+
+    /// Consumes the state, yielding its pooled buffers (for
+    /// [`Objective::release_hvp`]).
+    pub fn into_bufs(self) -> impl Iterator<Item = Vec<f64>> {
+        self.bufs.into_iter().flatten()
+    }
 }
 
 /// A twice-differentiable finite-sum objective `F(x) = Σ_i f_i(x) + g(x)`.
@@ -158,21 +201,18 @@ pub trait Objective: Sync + Send {
     fn prepare_hvp(&self, x: &[f64], ws: &mut Workspace) -> HvpState {
         let mut snapshot = ws.acquire(x.len());
         snapshot.copy_from_slice(x);
-        HvpState {
-            bufs: vec![snapshot],
-            dims: (x.len(), 0),
-        }
+        HvpState::with_buf(snapshot, (x.len(), 0))
     }
 
     /// Allocation-free Hessian-vector product at the point captured by
     /// `state`.
     fn hvp_prepared_into(&self, state: &HvpState, v: &[f64], out: &mut [f64], ws: &mut Workspace) {
-        self.hessian_vec_into(&state.bufs[0], v, out, ws);
+        self.hessian_vec_into(state.buf(0), v, out, ws);
     }
 
     /// Returns a prepared-HVP state's buffers to the workspace pool.
     fn release_hvp(&self, state: HvpState, ws: &mut Workspace) {
-        for buf in state.bufs {
+        for buf in state.into_bufs() {
             ws.release(buf);
         }
     }

@@ -1,6 +1,8 @@
 //! Strong- and weak-scaling demo: how the average epoch time of Newton-ADMM
 //! and GIANT changes with the number of simulated workers (a miniature of the
-//! paper's Figure 2), and how a slower interconnect changes the picture.
+//! paper's Figure 2), how a slower interconnect changes the picture, and
+//! where each solver's communication time goes (per-collective breakdown
+//! with the algorithm the crossover rule selected).
 //!
 //! Run with:
 //! ```text
@@ -8,6 +10,18 @@
 //! ```
 
 use newton_admm_repro::prelude::*;
+
+/// Renders a solver's per-collective-kind communication breakdown.
+fn breakdown_table(solver: &str, stats: &CommStats) -> TextTable {
+    let mut t = TextTable::new(
+        format!("{solver} — communication breakdown (rank 0)"),
+        &["collective", "count", "bytes sent", "sim seconds", "algorithm"],
+    );
+    for row in stats.breakdown_rows() {
+        t.add_row(&row);
+    }
+    t
+}
 
 fn epoch_times(network: NetworkModel, workers: usize, train: &Dataset, weak_per_worker: Option<usize>) -> (f64, f64) {
     let lambda = 1e-5;
@@ -72,4 +86,28 @@ fn main() {
         ]);
     }
     println!("{}", nets.to_text());
+
+    // Where does communication time go? Per-collective breakdown of an
+    // 8-worker run, including which algorithm the payload-size crossover
+    // rule picked for each collective kind.
+    let workers = 8;
+    let (shards, _) = partition_strong(&train, workers);
+    let cluster = Cluster::new(workers, NetworkModel::infiniband_100g());
+    let lambda = 1e-5;
+    let iters = 5;
+    let admm = NewtonAdmm::new(NewtonAdmmConfig::default().with_lambda(lambda).with_max_iters(iters))
+        .run_cluster(&cluster, &shards, None);
+    let giant = Giant::new(GiantConfig {
+        max_iters: iters,
+        lambda,
+        ..Default::default()
+    })
+    .run_cluster(&cluster, &shards, None);
+    println!("{}", breakdown_table("newton-admm", &admm.comm_stats).to_text());
+    println!("{}", breakdown_table("giant", &giant.comm_stats).to_text());
+    println!(
+        "newton-admm comm fraction: {:.1}%   giant comm fraction: {:.1}%",
+        100.0 * admm.comm_stats.comm_fraction(),
+        100.0 * giant.comm_stats.comm_fraction()
+    );
 }

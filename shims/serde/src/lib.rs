@@ -200,6 +200,24 @@ impl<T: Serialize, const N: usize> Serialize for [T; N] {
     }
 }
 
+impl<T: Deserialize + Copy + Default, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(items) => {
+                if items.len() != N {
+                    return Err(DeError(format!("expected array of length {N}, got {}", items.len())));
+                }
+                let mut out = [T::default(); N];
+                for (slot, item) in out.iter_mut().zip(items) {
+                    *slot = T::from_value(item)?;
+                }
+                Ok(out)
+            }
+            other => Err(DeError::expected("sequence", other)),
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Helpers used by the derive-generated code
 // ---------------------------------------------------------------------------

@@ -33,7 +33,10 @@ pub mod prelude {
     pub use nadmm_baselines::{
         AideConfig, DaneConfig, Disco, DiscoConfig, Giant, GiantConfig, InexactDane, SyncSgd, SyncSgdConfig,
     };
-    pub use nadmm_cluster::{Cluster, Communicator, NetworkModel, SingleProcessComm};
+    pub use nadmm_cluster::{
+        Cluster, CollectiveAlgorithm, CollectiveKind, CollectiveSelector, CommStats, Communicator, NetworkModel,
+        SingleProcessComm,
+    };
     pub use nadmm_data::{partition_strong, partition_weak, Dataset, DatasetKind, SyntheticConfig};
     pub use nadmm_device::{Device, DeviceSpec, Workspace};
     pub use nadmm_metrics::{relative_objective, IterationRecord, RunHistory, TextTable};
