@@ -2,7 +2,7 @@
 
 use nadmm_cluster::{CommStats, Communicator};
 use nadmm_data::Dataset;
-use nadmm_device::{Device, DeviceSpec, Workspace};
+use nadmm_device::{Device, DeviceSpec, Workspace, WorkspaceStats};
 use nadmm_linalg::vector;
 use nadmm_metrics::{IterationRecord, RunHistory};
 use nadmm_objective::{Objective, OpCost, SoftmaxCrossEntropy};
@@ -17,6 +17,8 @@ pub struct DistributedRun {
     pub history: RunHistory,
     /// Communication counters of the rank that produced this output.
     pub comm_stats: CommStats,
+    /// Device-workspace pool counters of the rank that produced this output.
+    pub workspace: WorkspaceStats,
 }
 
 /// Builds the local objective for a shard in the *sum* formulation: the shard

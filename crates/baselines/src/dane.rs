@@ -21,10 +21,12 @@ use nadmm_device::{Device, DeviceSpec};
 use nadmm_linalg::{gen, vector};
 use nadmm_metrics::RunHistory;
 use nadmm_objective::{Objective, SoftmaxCrossEntropy};
+use nadmm_solver::validate::{require_non_negative, require_nonzero, require_positive, require_unit_coefficient, ConfigError};
+use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 /// InexactDANE configuration.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct DaneConfig {
     /// Number of outer iterations.
     pub max_iters: usize,
@@ -64,8 +66,21 @@ impl Default for DaneConfig {
     }
 }
 
+impl DaneConfig {
+    /// Rejects zero iteration budgets and invalid SVRG parameters.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        require_nonzero("DaneConfig", "max_iters", self.max_iters)?;
+        require_non_negative("DaneConfig", "lambda", self.lambda)?;
+        require_positive("DaneConfig", "eta", self.eta)?;
+        require_non_negative("DaneConfig", "mu", self.mu)?;
+        require_nonzero("DaneConfig", "svrg_iters", self.svrg_iters)?;
+        require_nonzero("DaneConfig", "svrg_batch", self.svrg_batch)?;
+        require_positive("DaneConfig", "svrg_step", self.svrg_step)
+    }
+}
+
 /// AIDE configuration: InexactDANE plus the catalyst parameters.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct AideConfig {
     /// The inner InexactDANE configuration.
     pub dane: DaneConfig,
@@ -82,6 +97,15 @@ impl Default for AideConfig {
             tau: 1.0,
             zeta: 0.5,
         }
+    }
+}
+
+impl AideConfig {
+    /// Rejects an invalid inner DANE config or catalyst constants.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.dane.validate()?;
+        require_non_negative("AideConfig", "tau", self.tau)?;
+        require_unit_coefficient("AideConfig", "zeta", self.zeta)
     }
 }
 
@@ -128,6 +152,11 @@ impl InexactDane {
     /// Creates a solver with the given configuration.
     pub fn new(config: DaneConfig) -> Self {
         Self { config }
+    }
+
+    /// The solver configuration.
+    pub fn config(&self) -> &DaneConfig {
+        &self.config
     }
 
     /// Solves the DANE subproblem approximately with SVRG and returns the new
@@ -213,6 +242,19 @@ impl InexactDane {
         self.run_with_catalyst(comm, shard, test, None)
     }
 
+    /// Runs AIDE (catalyst-accelerated InexactDANE) inside one rank of a
+    /// communicator. The inner DANE configuration is `self.config()`; `aide`
+    /// supplies the catalyst parameters.
+    pub fn run_distributed_aide(
+        &self,
+        comm: &mut dyn Communicator,
+        shard: &Dataset,
+        test: Option<&Dataset>,
+        aide: &AideConfig,
+    ) -> DistributedRun {
+        self.run_with_catalyst(comm, shard, test, Some(aide))
+    }
+
     fn run_with_catalyst(
         &self,
         comm: &mut dyn Communicator,
@@ -274,20 +316,28 @@ impl InexactDane {
             w,
             history,
             comm_stats: comm.stats(),
+            workspace: ws.stats(),
         }
     }
 
     /// Convenience wrapper spawning one rank per shard (InexactDANE).
+    ///
+    /// Superseded by the experiment layer (`nadmm-experiment`): build an
+    /// `Experiment` with `SolverSpec::InexactDane` instead.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the `nadmm-experiment` builder (`SolverSpec::InexactDane`) instead"
+    )]
     pub fn run_cluster(&self, cluster: &Cluster, shards: &[Dataset], test: Option<&Dataset>) -> DistributedRun {
-        assert_eq!(cluster.size(), shards.len(), "need exactly one shard per rank");
-        let mut outputs = cluster.run(|comm| {
-            let shard = &shards[comm.rank()];
-            self.run_distributed(comm, shard, test)
-        });
+        let mut outputs = cluster.run_sharded(shards, |comm, shard| self.run_distributed(comm, shard, test));
         outputs.swap_remove(0)
     }
 
     /// Runs AIDE (accelerated InexactDANE) on a cluster.
+    ///
+    /// Superseded by the experiment layer (`nadmm-experiment`): build an
+    /// `Experiment` with `SolverSpec::Aide` instead.
+    #[deprecated(since = "0.1.0", note = "use the `nadmm-experiment` builder (`SolverSpec::Aide`) instead")]
     pub fn run_cluster_aide(
         &self,
         cluster: &Cluster,
@@ -295,16 +345,13 @@ impl InexactDane {
         test: Option<&Dataset>,
         aide: &AideConfig,
     ) -> DistributedRun {
-        assert_eq!(cluster.size(), shards.len(), "need exactly one shard per rank");
-        let mut outputs = cluster.run(|comm| {
-            let shard = &shards[comm.rank()];
-            self.run_with_catalyst(comm, shard, test, Some(aide))
-        });
+        let mut outputs = cluster.run_sharded(shards, |comm, shard| self.run_distributed_aide(comm, shard, test, aide));
         outputs.swap_remove(0)
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the deprecated `run_cluster*` wrappers stay under test
 mod tests {
     use super::*;
     use crate::common::local_objective;

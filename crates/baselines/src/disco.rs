@@ -14,10 +14,12 @@ use nadmm_device::{Device, DeviceSpec, Workspace};
 use nadmm_linalg::vector;
 use nadmm_metrics::RunHistory;
 use nadmm_objective::Objective;
+use nadmm_solver::validate::{require_non_negative, require_nonzero, ConfigError};
+use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 /// DiSCO configuration.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct DiscoConfig {
     /// Number of outer (damped Newton) iterations.
     pub max_iters: usize,
@@ -43,6 +45,16 @@ impl Default for DiscoConfig {
     }
 }
 
+impl DiscoConfig {
+    /// Rejects zero iteration budgets and negative tolerances.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        require_nonzero("DiscoConfig", "max_iters", self.max_iters)?;
+        require_non_negative("DiscoConfig", "lambda", self.lambda)?;
+        require_nonzero("DiscoConfig", "cg_iters", self.cg_iters)?;
+        require_non_negative("DiscoConfig", "cg_tolerance", self.cg_tolerance)
+    }
+}
+
 /// The DiSCO solver.
 #[derive(Debug, Clone, Default)]
 pub struct Disco {
@@ -53,6 +65,11 @@ impl Disco {
     /// Creates a solver with the given configuration.
     pub fn new(config: DiscoConfig) -> Self {
         Self { config }
+    }
+
+    /// The solver configuration.
+    pub fn config(&self) -> &DiscoConfig {
+        &self.config
     }
 
     /// Runs DiSCO inside one rank of a communicator.
@@ -131,21 +148,23 @@ impl Disco {
             w,
             history,
             comm_stats: comm.stats(),
+            workspace: ws.stats(),
         }
     }
 
     /// Convenience wrapper spawning one rank per shard.
+    ///
+    /// Superseded by the experiment layer (`nadmm-experiment`): build an
+    /// `Experiment` with `SolverSpec::Disco` instead.
+    #[deprecated(since = "0.1.0", note = "use the `nadmm-experiment` builder (`SolverSpec::Disco`) instead")]
     pub fn run_cluster(&self, cluster: &Cluster, shards: &[Dataset], test: Option<&Dataset>) -> DistributedRun {
-        assert_eq!(cluster.size(), shards.len(), "need exactly one shard per rank");
-        let mut outputs = cluster.run(|comm| {
-            let shard = &shards[comm.rank()];
-            self.run_distributed(comm, shard, test)
-        });
+        let mut outputs = cluster.run_sharded(shards, |comm, shard| self.run_distributed(comm, shard, test));
         outputs.swap_remove(0)
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the deprecated `run_cluster` wrapper stays under test
 mod tests {
     use super::*;
     use nadmm_cluster::NetworkModel;

@@ -19,11 +19,13 @@ use nadmm_device::{Device, DeviceSpec, Workspace};
 use nadmm_linalg::vector;
 use nadmm_metrics::RunHistory;
 use nadmm_objective::Objective;
+use nadmm_solver::validate::{require_non_negative, require_nonzero, require_open_unit, ConfigError};
 use nadmm_solver::{conjugate_gradient_into, CgConfig};
+use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 /// GIANT configuration.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct GiantConfig {
     /// Number of outer iterations (epochs).
     pub max_iters: usize,
@@ -61,6 +63,18 @@ impl Default for GiantConfig {
     }
 }
 
+impl GiantConfig {
+    /// Rejects zero iteration budgets and out-of-range constants.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        require_nonzero("GiantConfig", "max_iters", self.max_iters)?;
+        require_non_negative("GiantConfig", "lambda", self.lambda)?;
+        require_nonzero("GiantConfig", "line_search_steps", self.line_search_steps)?;
+        require_open_unit("GiantConfig", "armijo_beta", self.armijo_beta)?;
+        require_non_negative("GiantConfig", "grad_tol", self.grad_tol)?;
+        self.cg.validate()
+    }
+}
+
 /// The GIANT solver.
 #[derive(Debug, Clone, Default)]
 pub struct Giant {
@@ -71,6 +85,11 @@ impl Giant {
     /// Creates a solver with the given configuration.
     pub fn new(config: GiantConfig) -> Self {
         Self { config }
+    }
+
+    /// The solver configuration.
+    pub fn config(&self) -> &GiantConfig {
+        &self.config
     }
 
     /// Runs GIANT inside one rank of a communicator; every rank must call
@@ -167,22 +186,24 @@ impl Giant {
             w,
             history,
             comm_stats: comm.stats(),
+            workspace: ws.stats(),
         }
     }
 
     /// Convenience wrapper spawning one rank per shard and returning the
     /// master's output.
+    ///
+    /// Superseded by the experiment layer (`nadmm-experiment`): build an
+    /// `Experiment` with `SolverSpec::Giant` instead.
+    #[deprecated(since = "0.1.0", note = "use the `nadmm-experiment` builder (`SolverSpec::Giant`) instead")]
     pub fn run_cluster(&self, cluster: &Cluster, shards: &[Dataset], test: Option<&Dataset>) -> DistributedRun {
-        assert_eq!(cluster.size(), shards.len(), "need exactly one shard per rank");
-        let mut outputs = cluster.run(|comm| {
-            let shard = &shards[comm.rank()];
-            self.run_distributed(comm, shard, test)
-        });
+        let mut outputs = cluster.run_sharded(shards, |comm, shard| self.run_distributed(comm, shard, test));
         outputs.swap_remove(0)
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the deprecated `run_cluster` wrapper stays under test
 mod tests {
     use super::*;
     use nadmm_cluster::NetworkModel;

@@ -36,6 +36,7 @@ pub use newton_exact::{reference_optimum, ReferenceOptimum};
 pub use sgd::{SyncSgd, SyncSgdConfig};
 
 #[cfg(test)]
+#[allow(deprecated)] // the deprecated `run_cluster` wrapper stays under test
 mod tests {
     use super::*;
     use nadmm_cluster::{Cluster, NetworkModel};

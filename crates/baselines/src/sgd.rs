@@ -14,10 +14,12 @@ use nadmm_device::{Device, DeviceSpec};
 use nadmm_linalg::{gen, vector};
 use nadmm_metrics::RunHistory;
 use nadmm_objective::{Objective, SoftmaxCrossEntropy};
+use nadmm_solver::validate::{require_non_negative, require_nonzero, require_positive, require_unit_coefficient, ConfigError};
+use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 /// Synchronous SGD configuration.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SyncSgdConfig {
     /// Number of epochs (full passes over each local shard).
     pub epochs: usize,
@@ -50,6 +52,17 @@ impl Default for SyncSgdConfig {
     }
 }
 
+impl SyncSgdConfig {
+    /// Rejects zero budgets and out-of-range step/momentum values.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        require_nonzero("SyncSgdConfig", "epochs", self.epochs)?;
+        require_non_negative("SyncSgdConfig", "lambda", self.lambda)?;
+        require_nonzero("SyncSgdConfig", "batch_size", self.batch_size)?;
+        require_positive("SyncSgdConfig", "step_size", self.step_size)?;
+        require_unit_coefficient("SyncSgdConfig", "momentum", self.momentum)
+    }
+}
+
 /// The distributed synchronous SGD solver.
 #[derive(Debug, Clone, Default)]
 pub struct SyncSgd {
@@ -60,6 +73,11 @@ impl SyncSgd {
     /// Creates a solver with the given configuration.
     pub fn new(config: SyncSgdConfig) -> Self {
         Self { config }
+    }
+
+    /// The solver configuration.
+    pub fn config(&self) -> &SyncSgdConfig {
+        &self.config
     }
 
     /// Runs synchronous SGD inside one rank of a communicator.
@@ -118,22 +136,37 @@ impl SyncSgd {
             w,
             history,
             comm_stats: comm.stats(),
+            workspace: ws.stats(),
         }
     }
 
     /// Convenience wrapper spawning one rank per shard.
+    ///
+    /// Superseded by the experiment layer (`nadmm-experiment`): build an
+    /// `Experiment` with `SolverSpec::SyncSgd` instead.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the `nadmm-experiment` builder (`SolverSpec::SyncSgd`) instead"
+    )]
     pub fn run_cluster(&self, cluster: &Cluster, shards: &[Dataset], test: Option<&Dataset>) -> DistributedRun {
-        assert_eq!(cluster.size(), shards.len(), "need exactly one shard per rank");
-        let mut outputs = cluster.run(|comm| {
-            let shard = &shards[comm.rank()];
-            self.run_distributed(comm, shard, test)
-        });
+        let mut outputs = cluster.run_sharded(shards, |comm, shard| self.run_distributed(comm, shard, test));
         outputs.swap_remove(0)
     }
 
     /// Runs the paper's protocol of grid-searching the step size and
     /// reporting the best run (by final objective). `grid` is the list of
     /// candidate step sizes.
+    ///
+    /// Superseded by the experiment layer (`nadmm-experiment`): build an
+    /// `Experiment` with `SolverSpec::SyncSgdGrid` instead.
+    ///
+    /// # Panics
+    /// Panics if the grid is empty or no candidate produces a finite
+    /// objective.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the `nadmm-experiment` builder (`SolverSpec::SyncSgdGrid`) instead"
+    )]
     pub fn run_cluster_best_of_grid(
         &self,
         cluster: &Cluster,
@@ -148,7 +181,8 @@ impl SyncSgd {
                 step_size: step,
                 ..self.config
             };
-            let run = SyncSgd::new(cfg).run_cluster(cluster, shards, test);
+            let mut outputs = cluster.run_sharded(shards, |comm, shard| SyncSgd::new(cfg).run_distributed(comm, shard, test));
+            let run = outputs.swap_remove(0);
             let candidate_obj = run.history.final_objective().unwrap_or(f64::INFINITY);
             let is_better = best
                 .as_ref()
@@ -164,6 +198,7 @@ impl SyncSgd {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the deprecated `run_cluster*` wrappers stay under test
 mod tests {
     use super::*;
     use nadmm_cluster::NetworkModel;

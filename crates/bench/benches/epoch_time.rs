@@ -2,6 +2,9 @@
 //! iteration vs one GIANT outer iteration on the same simulated cluster
 //! (this is the real-time analogue of the simulated Figure 2).
 
+// This bench predates the experiment layer and keeps exercising the legacy
+// per-solver wrappers directly.
+#![allow(deprecated)]
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nadmm_baselines::{Giant, GiantConfig};
 use nadmm_cluster::{Cluster, NetworkModel};

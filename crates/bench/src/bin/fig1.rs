@@ -9,6 +9,9 @@
 //! cargo run --release -p nadmm-bench --bin fig1
 //! ```
 
+// These figure-reproduction scripts predate the experiment layer and keep
+// exercising the legacy per-solver wrappers directly.
+#![allow(deprecated)]
 use nadmm_baselines::{AideConfig, DaneConfig, Giant, GiantConfig, InexactDane};
 use nadmm_bench::{bench_dataset, paper_cluster, strong_shards};
 use nadmm_data::DatasetKind;

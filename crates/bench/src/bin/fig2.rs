@@ -5,6 +5,9 @@
 //! cargo run --release -p nadmm-bench --bin fig2
 //! ```
 
+// These figure-reproduction scripts predate the experiment layer and keep
+// exercising the legacy per-solver wrappers directly.
+#![allow(deprecated)]
 use nadmm_baselines::{Giant, GiantConfig};
 use nadmm_bench::{bench_dataset, paper_cluster, strong_shards, weak_shards, WORKER_SWEEP};
 use nadmm_data::{Dataset, DatasetKind};

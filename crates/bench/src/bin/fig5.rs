@@ -6,6 +6,9 @@
 //! cargo run --release -p nadmm-bench --bin fig5
 //! ```
 
+// These figure-reproduction scripts predate the experiment layer and keep
+// exercising the legacy per-solver wrappers directly.
+#![allow(deprecated)]
 use nadmm_baselines::{Giant, GiantConfig};
 use nadmm_bench::{bench_dataset, paper_cluster, weak_shards};
 use nadmm_data::DatasetKind;

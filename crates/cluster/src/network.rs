@@ -146,7 +146,7 @@ impl CollectiveAlgorithm {
 }
 
 /// How a communicator picks the algorithm for each collective.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum CollectiveSelector {
     /// Pick the cheapest algorithm for the payload size (crossover rule).
     #[default]

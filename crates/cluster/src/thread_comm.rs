@@ -687,6 +687,23 @@ impl Cluster {
         });
         results.into_iter().map(|r| r.expect("rank produced no result")).collect()
     }
+
+    /// Runs `f` on every rank, handing rank `i` the `i`-th shard. This is the
+    /// one copy of the "spawn ranks, hand off shards, collect in rank order"
+    /// scaffolding that the experiment layer and the per-solver convenience
+    /// wrappers share.
+    ///
+    /// # Panics
+    /// Panics if the shard count does not match the cluster size.
+    pub fn run_sharded<S, T, F>(&self, shards: &[S], f: F) -> Vec<T>
+    where
+        S: Sync,
+        T: Send,
+        F: Fn(&mut ThreadComm, &S) -> T + Sync,
+    {
+        assert_eq!(self.size, shards.len(), "need exactly one shard per rank");
+        self.run(|comm| f(comm, &shards[comm.rank()]))
+    }
 }
 
 #[cfg(test)]

@@ -2,11 +2,13 @@
 
 use crate::penalty::PenaltyRule;
 use nadmm_device::DeviceSpec;
+use nadmm_solver::validate::{require_non_negative, require_nonzero, require_positive, ConfigError};
 use nadmm_solver::{CgConfig, LineSearchConfig, NewtonConfig};
+use serde::{Deserialize, Serialize};
 
 /// Full configuration of a Newton-ADMM run (paper Algorithm 2 parameters plus
 /// the simulated-hardware knobs).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct NewtonAdmmConfig {
     /// Number of outer ADMM iterations (the paper's "epochs": one pass over
     /// the local shard per outer iteration).
@@ -57,6 +59,19 @@ impl Default for NewtonAdmmConfig {
 }
 
 impl NewtonAdmmConfig {
+    /// Rejects nonsense parameters (`rho0 <= 0`, `lambda < 0`, zero
+    /// iteration budgets, invalid penalty constants) before a run starts.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        require_nonzero("NewtonAdmmConfig", "max_iters", self.max_iters)?;
+        require_non_negative("NewtonAdmmConfig", "lambda", self.lambda)?;
+        require_nonzero("NewtonAdmmConfig", "newton_steps_per_iter", self.newton_steps_per_iter)?;
+        require_positive("NewtonAdmmConfig", "rho0", self.rho0)?;
+        require_non_negative("NewtonAdmmConfig", "consensus_tol", self.consensus_tol)?;
+        self.cg.validate()?;
+        self.line_search.validate()?;
+        self.penalty.validate()
+    }
+
     /// The Newton-CG configuration each worker uses on its subproblem.
     pub fn newton_config(&self) -> NewtonConfig {
         NewtonConfig {

@@ -15,7 +15,7 @@ use crate::config::NewtonAdmmConfig;
 use crate::penalty::{residual_balancing_update, spectral_update, PenaltyRule, SpectralState};
 use nadmm_cluster::{Cluster, CollectiveHandle, CommStats, Communicator};
 use nadmm_data::Dataset;
-use nadmm_device::{Device, Workspace};
+use nadmm_device::{Device, Workspace, WorkspaceStats};
 use nadmm_linalg::vector;
 use nadmm_metrics::{IterationRecord, RunHistory};
 use nadmm_objective::{Objective, ProximalAugmented, SoftmaxCrossEntropy};
@@ -36,6 +36,9 @@ pub struct NewtonAdmmOutput {
     pub final_rho: f64,
     /// Final local iterate `x_i` of this rank.
     pub local_x: Vec<f64>,
+    /// Device-workspace pool counters of this rank (zero-allocation proof
+    /// material: a warm run shows `pool_misses == 0`).
+    pub workspace: WorkspaceStats,
 }
 
 /// In-flight split-phase instrumentation of one outer iteration: a single
@@ -318,6 +321,7 @@ impl NewtonAdmm {
             history,
             comm_stats: comm.stats(),
             final_rho: worker.rho,
+            workspace: worker.workspace_stats(),
             local_x: worker.x,
         }
     }
@@ -326,14 +330,19 @@ impl NewtonAdmm {
     /// shard, runs [`NewtonAdmm::run_distributed`] on each, and returns the
     /// master rank's output.
     ///
+    /// Superseded by the experiment layer (`nadmm-experiment`): build an
+    /// `Experiment` with `SolverSpec::NewtonAdmm` instead, which validates
+    /// the configuration, owns the rank spawning, and returns a structured
+    /// `RunReport`.
+    ///
     /// # Panics
-    /// Panics if `shards` is empty.
+    /// Panics if the shard count does not match the cluster size.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the `nadmm-experiment` builder (`SolverSpec::NewtonAdmm`) instead"
+    )]
     pub fn run_cluster(&self, cluster: &Cluster, shards: &[Dataset], test: Option<&Dataset>) -> NewtonAdmmOutput {
-        assert_eq!(cluster.size(), shards.len(), "need exactly one shard per rank");
-        let mut outputs = cluster.run(|comm| {
-            let shard = &shards[comm.rank()];
-            self.run_distributed(comm, shard, test)
-        });
+        let mut outputs = cluster.run_sharded(shards, |comm, shard| self.run_distributed(comm, shard, test));
         outputs.swap_remove(0)
     }
 
@@ -424,12 +433,14 @@ impl NewtonAdmm {
             history,
             comm_stats: CommStats::default(),
             final_rho: rhos.iter().sum::<f64>() / n as f64,
+            workspace: workspaces[0].stats(),
             local_x: xs.swap_remove(0),
         }
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the deprecated `run_cluster` wrapper stays under test
 mod tests {
     use super::*;
     use crate::penalty::SpectralConfig;

@@ -8,6 +8,7 @@
 //! estimates never destabilise the run. Residual balancing (He et al. 2000)
 //! and a fixed penalty are provided as ablation baselines.
 
+use nadmm_solver::validate::{require_nonzero, require_open_unit, require_positive, ConfigError};
 use serde::{Deserialize, Serialize};
 
 /// How the per-worker penalty ρ_i is adapted across outer iterations.
@@ -30,6 +31,20 @@ pub enum PenaltyRule {
 impl Default for PenaltyRule {
     fn default() -> Self {
         PenaltyRule::Spectral(SpectralConfig::default())
+    }
+}
+
+impl PenaltyRule {
+    /// Rejects invalid adaptation constants.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        match self {
+            PenaltyRule::Fixed => Ok(()),
+            PenaltyRule::ResidualBalancing { mu, tau } => {
+                require_positive("PenaltyRule::ResidualBalancing", "mu", *mu)?;
+                require_positive("PenaltyRule::ResidualBalancing", "tau", *tau)
+            }
+            PenaltyRule::Spectral(cfg) => cfg.validate(),
+        }
     }
 }
 
@@ -59,6 +74,25 @@ impl Default for SpectralConfig {
             rho_min: 1e-6,
             rho_max: 1e6,
         }
+    }
+}
+
+impl SpectralConfig {
+    /// Rejects invalid safeguard constants and inverted ρ bounds.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        require_open_unit("SpectralConfig", "correlation_threshold", self.correlation_threshold)?;
+        require_nonzero("SpectralConfig", "update_every", self.update_every)?;
+        require_positive("SpectralConfig", "safeguard", self.safeguard)?;
+        require_positive("SpectralConfig", "rho_min", self.rho_min)?;
+        require_positive("SpectralConfig", "rho_max", self.rho_max)?;
+        if self.rho_min > self.rho_max {
+            return Err(ConfigError::new(
+                "SpectralConfig",
+                "rho_min",
+                format!("rho_min ({}) must not exceed rho_max ({})", self.rho_min, self.rho_max),
+            ));
+        }
+        Ok(())
     }
 }
 

@@ -21,6 +21,7 @@ pub mod partition;
 pub mod synthetic;
 
 pub use dataset::Dataset;
+pub use libsvm::{parse_libsvm, read_libsvm, LibsvmError};
 pub use partition::{partition_strong, partition_weak, PartitionPlan};
 pub use synthetic::{DatasetKind, SyntheticConfig};
 

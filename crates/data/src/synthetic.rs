@@ -51,7 +51,7 @@ impl DatasetKind {
 }
 
 /// Configuration of a synthetic dataset generator.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SyntheticConfig {
     /// Which paper dataset this mimics.
     pub kind: DatasetKind,

@@ -15,10 +15,11 @@
 //! callers must fill or overwrite it.
 
 use crate::buffer::DeviceBuffer;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Counters describing pool behaviour since the last reset.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct WorkspaceStats {
     /// Buffers handed out in total.
     pub acquires: u64,

@@ -1,0 +1,200 @@
+//! Structured run reports.
+//!
+//! Every solver run through the experiment layer produces one [`RunReport`]:
+//! the full per-iteration history plus the headline numbers (final
+//! objective/accuracy, simulated and wall time), the per-collective-kind
+//! communication breakdown, and the device-workspace pool counters. Reports
+//! serialize to JSON through the serde shims, which is what the
+//! `scenario_runner` example archives and the CI smoke job validates.
+
+use nadmm_cluster::CommStats;
+use nadmm_device::WorkspaceStats;
+use nadmm_metrics::RunHistory;
+use serde::{Deserialize, Serialize};
+
+/// The unified result of one solver run on one dataset/cluster combination.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Solver name (e.g. `"newton-admm"`, `"giant"`).
+    pub solver: String,
+    /// Dataset name (e.g. `"mnist-like/train"`).
+    pub dataset: String,
+    /// Number of cluster ranks the run used.
+    pub num_workers: usize,
+    /// Final global objective value, if any iterations were recorded.
+    pub final_objective: Option<f64>,
+    /// Final test accuracy in `[0, 1]`, when a test set was supplied.
+    pub final_accuracy: Option<f64>,
+    /// Total simulated cluster time of the run, in seconds.
+    pub total_sim_time_sec: f64,
+    /// Real wall-clock seconds the reproduction spent on the run.
+    pub wall_time_sec: f64,
+    /// Final mean penalty parameter (ADMM-family solvers only).
+    pub final_rho: Option<f64>,
+    /// Final global iterate (consensus `z` for ADMM, averaged `w` for the
+    /// baselines).
+    pub final_w: Vec<f64>,
+    /// Per-iteration records.
+    pub history: RunHistory,
+    /// Communication counters of the master rank, with the per-kind
+    /// breakdown.
+    pub comm_stats: CommStats,
+    /// Device-workspace pool counters of the master rank.
+    pub workspace: WorkspaceStats,
+}
+
+impl RunReport {
+    /// Assembles a report from a run's history and counters. The headline
+    /// fields (`final_objective`, `total_sim_time_sec`, …) are derived from
+    /// the history.
+    pub fn from_parts(
+        history: RunHistory,
+        comm_stats: CommStats,
+        workspace: WorkspaceStats,
+        final_w: Vec<f64>,
+        final_rho: Option<f64>,
+    ) -> Self {
+        Self {
+            solver: history.solver.clone(),
+            dataset: history.dataset.clone(),
+            num_workers: history.num_workers,
+            final_objective: history.final_objective(),
+            final_accuracy: history.final_accuracy(),
+            total_sim_time_sec: history.total_sim_time(),
+            wall_time_sec: history.records.last().map(|r| r.wall_time_sec).unwrap_or(0.0),
+            final_rho,
+            final_w,
+            history,
+            comm_stats,
+            workspace,
+        }
+    }
+
+    /// Serializes the report as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("RunReport serializes")
+    }
+
+    /// Parses a report back from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Checks the structural invariants every well-formed report satisfies
+    /// (the CI smoke job runs this on the scenario runner's output):
+    /// at least one iteration record, finite objectives, accuracies inside
+    /// `[0, 1]`, non-decreasing simulated time, and headline fields that
+    /// agree with the history they were derived from.
+    pub fn validate_schema(&self) -> Result<(), String> {
+        if self.solver.is_empty() {
+            return Err("solver name is empty".into());
+        }
+        if self.num_workers == 0 {
+            return Err("num_workers must be at least 1".into());
+        }
+        if self.history.is_empty() {
+            return Err("history has no iteration records".into());
+        }
+        if self.history.solver != self.solver || self.history.num_workers != self.num_workers {
+            return Err("headline fields disagree with the embedded history".into());
+        }
+        if self.final_objective != self.history.final_objective() {
+            return Err("final_objective does not match the last record".into());
+        }
+        if !self.final_objective.unwrap_or(0.0).is_finite() {
+            return Err("final objective is not finite".into());
+        }
+        let mut prev_sim = f64::NEG_INFINITY;
+        for r in &self.history.records {
+            if !r.objective.is_finite() {
+                return Err(format!("iteration {} has a non-finite objective", r.iteration));
+            }
+            if r.sim_time_sec < prev_sim || !r.sim_time_sec.is_finite() || r.sim_time_sec < 0.0 {
+                return Err(format!("iteration {} breaks simulated-time monotonicity", r.iteration));
+            }
+            prev_sim = r.sim_time_sec;
+            if let Some(acc) = r.test_accuracy {
+                if !(0.0..=1.0).contains(&acc) {
+                    return Err(format!("iteration {} accuracy {acc} outside [0, 1]", r.iteration));
+                }
+            }
+        }
+        if self.final_w.iter().any(|v| !v.is_finite()) {
+            return Err("final iterate contains non-finite values".into());
+        }
+        if self.comm_stats.bytes_sent < 0.0 || self.comm_stats.comm_time < 0.0 {
+            return Err("communication counters are negative".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nadmm_metrics::IterationRecord;
+
+    fn report() -> RunReport {
+        let mut h = RunHistory::new("newton-admm", "mnist-like/train", 4);
+        h.push(IterationRecord::new(0, 0.0, 0.01, 2.3).with_accuracy(0.1));
+        h.push(IterationRecord::new(1, 0.5, 0.02, 1.1).with_accuracy(0.6).with_mean_rho(1.5));
+        RunReport::from_parts(
+            h,
+            CommStats::default(),
+            WorkspaceStats::default(),
+            vec![0.5, -0.25],
+            Some(1.5),
+        )
+    }
+
+    #[test]
+    fn headline_fields_derive_from_the_history() {
+        let r = report();
+        assert_eq!(r.solver, "newton-admm");
+        assert_eq!(r.num_workers, 4);
+        assert_eq!(r.final_objective, Some(1.1));
+        assert_eq!(r.final_accuracy, Some(0.6));
+        assert_eq!(r.total_sim_time_sec, 0.5);
+        assert_eq!(r.wall_time_sec, 0.02);
+    }
+
+    #[test]
+    fn json_round_trip_preserves_the_report() {
+        let r = report();
+        let back = RunReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn schema_validation_accepts_a_good_report() {
+        assert_eq!(report().validate_schema(), Ok(()));
+    }
+
+    #[test]
+    fn schema_validation_rejects_corruption() {
+        let mut r = report();
+        r.history.records[1].objective = f64::NAN;
+        r.final_objective = Some(f64::NAN);
+        assert!(r.validate_schema().is_err());
+
+        let mut r = report();
+        r.history.records.clear();
+        assert!(r.validate_schema().is_err());
+
+        let mut r = report();
+        r.final_objective = Some(0.0);
+        assert!(r.validate_schema().unwrap_err().contains("final_objective"));
+
+        let mut r = report();
+        r.history.records[1].sim_time_sec = -1.0;
+        assert!(r.validate_schema().is_err());
+
+        let mut r = report();
+        r.history.records[0].test_accuracy = Some(1.5);
+        assert!(r.validate_schema().is_err());
+
+        let mut r = report();
+        r.final_w[0] = f64::INFINITY;
+        assert!(r.validate_schema().is_err());
+    }
+}

@@ -1,0 +1,103 @@
+//! JSON scenario specs: a whole experiment in one committed file.
+//!
+//! A [`ScenarioSpec`] is the serializable mirror of an [`Experiment`]:
+//! data + partition + cluster + solvers, plus a name for reporting. The
+//! `scenario_runner` example executes one end-to-end
+//! (`scenarios/smoke.json` is the CI-gated instance), and
+//! [`ScenarioSpec::run`] is the library entry the example is built on.
+
+use crate::experiment::{Experiment, ExperimentError};
+use crate::report::RunReport;
+use crate::spec::{ClusterSpec, DataSpec, PartitionSpec, SolverSpec};
+use serde::{Deserialize, Serialize};
+
+/// A complete, serializable experiment description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Scenario name, used in reports and logs.
+    pub name: String,
+    /// Where the `(train, test)` datasets come from.
+    pub data: DataSpec,
+    /// How the training set is sharded across ranks.
+    pub partition: PartitionSpec,
+    /// The simulated cluster to run on.
+    pub cluster: ClusterSpec,
+    /// The solvers to compare, in run order.
+    pub solvers: Vec<SolverSpec>,
+}
+
+impl ScenarioSpec {
+    /// Serializes the scenario as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("ScenarioSpec serializes")
+    }
+
+    /// Parses a scenario from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Converts the scenario into a runnable [`Experiment`].
+    pub fn to_experiment(&self) -> Experiment {
+        Experiment::new()
+            .with_data_spec(self.data.clone())
+            .with_partition(self.partition)
+            .with_cluster(self.cluster)
+            .with_solvers(self.solvers.iter().cloned())
+    }
+
+    /// Validates and runs the scenario, returning one report per solver.
+    pub fn run(&self) -> Result<Vec<RunReport>, ExperimentError> {
+        self.to_experiment().run()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nadmm_cluster::NetworkModel;
+    use nadmm_data::SyntheticConfig;
+    use newton_admm::NewtonAdmmConfig;
+
+    fn tiny_scenario() -> ScenarioSpec {
+        ScenarioSpec {
+            name: "unit-tiny".into(),
+            data: DataSpec::Synthetic {
+                config: SyntheticConfig::mnist_like()
+                    .with_train_size(40)
+                    .with_test_size(10)
+                    .with_num_features(5)
+                    .with_num_classes(3),
+                seed: 2,
+            },
+            partition: PartitionSpec::Strong,
+            // A finite fabric: the infinite-bandwidth `ideal()` model has no
+            // JSON form (infinity is not a JSON number).
+            cluster: ClusterSpec::new(2, NetworkModel::infiniband_100g()),
+            solvers: vec![SolverSpec::NewtonAdmm(
+                NewtonAdmmConfig::default().with_max_iters(2).with_lambda(1e-3),
+            )],
+        }
+    }
+
+    #[test]
+    fn scenarios_round_trip_through_json() {
+        let scenario = tiny_scenario();
+        let back = ScenarioSpec::from_json(&scenario.to_json()).unwrap();
+        assert_eq!(back, scenario);
+    }
+
+    #[test]
+    fn a_parsed_scenario_runs_end_to_end() {
+        let json = tiny_scenario().to_json();
+        let reports = ScenarioSpec::from_json(&json).unwrap().run().unwrap();
+        assert_eq!(reports.len(), 1);
+        reports[0].validate_schema().unwrap();
+    }
+
+    #[test]
+    fn malformed_json_is_rejected() {
+        assert!(ScenarioSpec::from_json("{\"name\": 3}").is_err());
+        assert!(ScenarioSpec::from_json("not json at all").is_err());
+    }
+}

@@ -1,0 +1,513 @@
+//! Declarative experiment specs: data, partitioning, cluster, and solvers.
+//!
+//! Every spec type serializes to JSON through the serde shims, so a whole
+//! experiment — which dataset, how it is sharded, what cluster it runs on,
+//! and which solver configurations to compare — can live in a committed
+//! scenario file (see `scenarios/smoke.json`) and be executed by the
+//! `scenario_runner` example.
+
+use crate::solver::{Aide, Solver};
+use nadmm_baselines::{AideConfig, DaneConfig, Disco, DiscoConfig, Giant, GiantConfig, InexactDane, SyncSgd, SyncSgdConfig};
+use nadmm_cluster::{Cluster, CollectiveSelector, NetworkModel};
+use nadmm_data::{partition_strong, partition_weak, read_libsvm, Dataset, PartitionPlan, SyntheticConfig};
+use nadmm_device::DeviceSpec;
+use nadmm_solver::validate::{require_nonzero, require_positive, ConfigError};
+use newton_admm::{NewtonAdmm, NewtonAdmmConfig};
+use serde::{Deserialize, Serialize};
+
+/// Where an experiment's `(train, test)` datasets come from.
+///
+/// In-memory datasets are supported through
+/// [`Experiment::with_data`](crate::Experiment::with_data) rather than a
+/// spec variant: a materialized dataset has no canonical JSON form.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DataSpec {
+    /// Generate a synthetic dataset pair from a preset and a seed.
+    Synthetic {
+        /// The generator configuration (one of the paper's four analogues,
+        /// possibly with overridden sizes).
+        config: SyntheticConfig,
+        /// RNG seed of the generator.
+        seed: u64,
+    },
+    /// Read LIBSVM-format files from disk (the channel for the paper's real
+    /// datasets when available).
+    Libsvm {
+        /// Path of the training file.
+        train_path: String,
+        /// Optional path of the test file.
+        test_path: Option<String>,
+    },
+}
+
+impl DataSpec {
+    /// Short human-readable description of the source.
+    pub fn describe(&self) -> String {
+        match self {
+            DataSpec::Synthetic { config, seed } => {
+                format!("synthetic {} (seed {seed})", config.kind.paper_name())
+            }
+            DataSpec::Libsvm { train_path, .. } => format!("libsvm {train_path}"),
+        }
+    }
+
+    /// Rejects empty sizes/paths before any generation or file IO happens.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        match self {
+            DataSpec::Synthetic { config, .. } => {
+                require_nonzero("SyntheticConfig", "train_size", config.train_size)?;
+                require_nonzero("SyntheticConfig", "num_features", config.num_features)?;
+                require_nonzero("SyntheticConfig", "num_classes", config.num_classes)
+            }
+            DataSpec::Libsvm { train_path, .. } => {
+                if train_path.is_empty() {
+                    Err(ConfigError::new("DataSpec::Libsvm", "train_path", "must not be empty"))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// Materializes the datasets. The test set is `None` when the spec does
+    /// not define one (`test_size == 0` / no test path).
+    pub fn load(&self) -> Result<(Dataset, Option<Dataset>), crate::ExperimentError> {
+        match self {
+            DataSpec::Synthetic { config, seed } => {
+                let (train, test) = config.generate(*seed);
+                let test = (config.test_size > 0).then_some(test);
+                Ok((train, test))
+            }
+            DataSpec::Libsvm { train_path, test_path } => {
+                let train = read_libsvm(train_path).map_err(|e| crate::ExperimentError::Data(e.to_string()))?;
+                let test = match test_path {
+                    Some(p) => Some(read_libsvm(p).map_err(|e| crate::ExperimentError::Data(e.to_string()))?),
+                    None => None,
+                };
+                Ok((train, test))
+            }
+        }
+    }
+}
+
+/// How the training set is split across ranks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PartitionSpec {
+    /// Strong scaling: the whole dataset split evenly across the ranks.
+    Strong,
+    /// Weak scaling: every rank gets exactly `per_worker` samples.
+    Weak {
+        /// Samples per rank.
+        per_worker: usize,
+    },
+}
+
+impl PartitionSpec {
+    /// Splits `data` into one shard per rank, returning an error (instead of
+    /// panicking) when the dataset is too small for the requested layout.
+    pub fn apply(&self, data: &Dataset, ranks: usize) -> Result<(Vec<Dataset>, PartitionPlan), crate::ExperimentError> {
+        let n = data.num_samples();
+        match self {
+            PartitionSpec::Strong => {
+                if ranks > n {
+                    return Err(crate::ExperimentError::Partition(format!(
+                        "cannot split {n} samples across {ranks} ranks"
+                    )));
+                }
+                Ok(partition_strong(data, ranks))
+            }
+            PartitionSpec::Weak { per_worker } => {
+                if *per_worker == 0 {
+                    return Err(crate::ExperimentError::Partition("per_worker must be at least 1".into()));
+                }
+                if ranks * per_worker > n {
+                    return Err(crate::ExperimentError::Partition(format!(
+                        "weak scaling needs {} samples but the dataset has {n}",
+                        ranks * per_worker
+                    )));
+                }
+                Ok(partition_weak(data, ranks, *per_worker))
+            }
+        }
+    }
+}
+
+/// The simulated cluster an experiment runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Number of ranks (workers).
+    pub ranks: usize,
+    /// Interconnect cost model.
+    pub network: NetworkModel,
+    /// Collective-algorithm selection rule (`Auto` = payload-size crossover).
+    pub collectives: CollectiveSelector,
+    /// Optional cluster-wide accelerator override: when set, it replaces the
+    /// `device` field of every solver configuration in the experiment, so a
+    /// scenario file states its hardware exactly once.
+    pub device: Option<DeviceSpec>,
+}
+
+impl ClusterSpec {
+    /// A `ranks`-node cluster over `network` with automatic collective
+    /// selection and per-solver device settings.
+    pub fn new(ranks: usize, network: NetworkModel) -> Self {
+        Self {
+            ranks,
+            network,
+            collectives: CollectiveSelector::Auto,
+            device: None,
+        }
+    }
+
+    /// Builder-style override of the collective-selection rule.
+    pub fn with_collectives(mut self, selector: CollectiveSelector) -> Self {
+        self.collectives = selector;
+        self
+    }
+
+    /// Builder-style cluster-wide accelerator override.
+    pub fn with_device(mut self, device: DeviceSpec) -> Self {
+        self.device = Some(device);
+        self
+    }
+
+    /// Rejects an empty cluster or a degenerate network model. An *infinite*
+    /// bandwidth (the `ideal()` model) is valid for in-memory experiments,
+    /// but note it has no JSON form — scenario files must use finite
+    /// fabrics.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        require_nonzero("ClusterSpec", "ranks", self.ranks)?;
+        if self.network.bandwidth.is_nan() || self.network.bandwidth <= 0.0 {
+            return Err(ConfigError::new(
+                "ClusterSpec",
+                "network.bandwidth",
+                format!("must be positive, got {}", self.network.bandwidth),
+            ));
+        }
+        if !self.network.latency.is_finite() || self.network.latency < 0.0 {
+            return Err(ConfigError::new(
+                "ClusterSpec",
+                "network.latency",
+                format!("must be a non-negative finite number, got {}", self.network.latency),
+            ));
+        }
+        if let Some(device) = &self.device {
+            validate_device("ClusterSpec", device)?;
+        }
+        Ok(())
+    }
+
+    /// Builds the simulated cluster.
+    pub fn build(&self) -> Cluster {
+        Cluster::new(self.ranks, self.network).with_collectives(self.collectives)
+    }
+}
+
+impl Default for ClusterSpec {
+    /// Four ranks on the paper's 100 Gbps Infiniband fabric.
+    fn default() -> Self {
+        Self::new(4, NetworkModel::infiniband_100g())
+    }
+}
+
+/// Rejects degenerate accelerator models (negative/NaN latencies, zero
+/// throughputs). Infinite *bandwidths* are permitted — `cpu_like()` models a
+/// host executor with no PCIe hop — mirroring the network-model rule.
+/// `DeviceSpec` lives below the validation layer, so the experiment crate
+/// checks it wherever a spec can carry one (cluster override and every
+/// solver config).
+pub fn validate_device(config: &str, device: &DeviceSpec) -> Result<(), ConfigError> {
+    let positive = [
+        ("device.flops_per_sec", device.flops_per_sec),
+        ("device.mem_bandwidth", device.mem_bandwidth),
+        ("device.pcie_bandwidth", device.pcie_bandwidth),
+    ];
+    for (field, value) in positive {
+        if value.is_nan() || value <= 0.0 {
+            return Err(ConfigError::new(config, field, format!("must be positive, got {value}")));
+        }
+    }
+    let latencies = [
+        ("device.launch_latency", device.launch_latency),
+        ("device.pcie_latency", device.pcie_latency),
+    ];
+    for (field, value) in latencies {
+        if !value.is_finite() || value < 0.0 {
+            return Err(ConfigError::new(
+                config,
+                field,
+                format!("must be a non-negative finite number, got {value}"),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// A solver plus its full typed configuration — the unit an experiment
+/// sweeps over. The AIDE acceleration and the SGD step-size grid search are
+/// first-class variants, absorbing the old `run_cluster_aide` and
+/// `run_cluster_best_of_grid` entry points.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SolverSpec {
+    /// The paper's method.
+    NewtonAdmm(NewtonAdmmConfig),
+    /// GIANT (Wang et al.).
+    Giant(GiantConfig),
+    /// InexactDANE (Reddi et al.).
+    InexactDane(DaneConfig),
+    /// AIDE: catalyst-accelerated InexactDANE.
+    Aide(AideConfig),
+    /// DiSCO (Zhang & Lin).
+    Disco(DiscoConfig),
+    /// Synchronous minibatch SGD with a fixed step size.
+    SyncSgd(SyncSgdConfig),
+    /// The paper's SGD protocol: grid-search the step size, report the best
+    /// run by final objective.
+    SyncSgdGrid {
+        /// Configuration shared by every candidate (its `step_size` is
+        /// replaced by each grid value in turn).
+        base: SyncSgdConfig,
+        /// Candidate step sizes.
+        grid: Vec<f64>,
+    },
+}
+
+impl SolverSpec {
+    /// The solver's stable name (matches `RunHistory::solver`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SolverSpec::NewtonAdmm(_) => "newton-admm",
+            SolverSpec::Giant(_) => "giant",
+            SolverSpec::InexactDane(_) => "inexact-dane",
+            SolverSpec::Aide(_) => "aide",
+            SolverSpec::Disco(_) => "disco",
+            SolverSpec::SyncSgd(_) => "sync-sgd",
+            SolverSpec::SyncSgdGrid { .. } => "sync-sgd",
+        }
+    }
+
+    /// Validates the embedded configuration — including its device model —
+    /// and, for the grid variant, the grid itself.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        match self {
+            SolverSpec::NewtonAdmm(c) => {
+                c.validate()?;
+                validate_device("NewtonAdmmConfig", &c.device)
+            }
+            SolverSpec::Giant(c) => {
+                c.validate()?;
+                validate_device("GiantConfig", &c.device)
+            }
+            SolverSpec::InexactDane(c) => {
+                c.validate()?;
+                validate_device("DaneConfig", &c.device)
+            }
+            SolverSpec::Aide(c) => {
+                c.validate()?;
+                validate_device("DaneConfig", &c.dane.device)
+            }
+            SolverSpec::Disco(c) => {
+                c.validate()?;
+                validate_device("DiscoConfig", &c.device)
+            }
+            SolverSpec::SyncSgd(c) => {
+                c.validate()?;
+                validate_device("SyncSgdConfig", &c.device)
+            }
+            SolverSpec::SyncSgdGrid { base, grid } => {
+                base.validate()?;
+                validate_device("SyncSgdConfig", &base.device)?;
+                if grid.is_empty() {
+                    return Err(ConfigError::new("SolverSpec::SyncSgdGrid", "grid", "must not be empty"));
+                }
+                for &step in grid {
+                    require_positive("SolverSpec::SyncSgdGrid", "grid", step)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Replaces the embedded configuration's device with the cluster-wide
+    /// override.
+    pub fn with_device(&self, device: DeviceSpec) -> Self {
+        let mut spec = self.clone();
+        match &mut spec {
+            SolverSpec::NewtonAdmm(c) => c.device = device,
+            SolverSpec::Giant(c) => c.device = device,
+            SolverSpec::InexactDane(c) => c.device = device,
+            SolverSpec::Aide(c) => c.dane.device = device,
+            SolverSpec::Disco(c) => c.device = device,
+            SolverSpec::SyncSgd(c) => c.device = device,
+            SolverSpec::SyncSgdGrid { base, .. } => base.device = device,
+        }
+        spec
+    }
+
+    /// Instantiates the solver behind the [`Solver`] trait. Returns `None`
+    /// for [`SolverSpec::SyncSgdGrid`], which is not a single per-rank run —
+    /// the experiment runner resolves it into one run per grid candidate.
+    pub fn build(&self) -> Option<Box<dyn Solver>> {
+        match self {
+            SolverSpec::NewtonAdmm(c) => Some(Box::new(NewtonAdmm::new(*c))),
+            SolverSpec::Giant(c) => Some(Box::new(Giant::new(*c))),
+            SolverSpec::InexactDane(c) => Some(Box::new(InexactDane::new(*c))),
+            SolverSpec::Aide(c) => Some(Box::new(Aide::new(*c))),
+            SolverSpec::Disco(c) => Some(Box::new(Disco::new(*c))),
+            SolverSpec::SyncSgd(c) => Some(Box::new(SyncSgd::new(*c))),
+            SolverSpec::SyncSgdGrid { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_buildable_spec_names_itself_consistently() {
+        let specs = [
+            SolverSpec::NewtonAdmm(NewtonAdmmConfig::default()),
+            SolverSpec::Giant(GiantConfig::default()),
+            SolverSpec::InexactDane(DaneConfig::default()),
+            SolverSpec::Aide(AideConfig::default()),
+            SolverSpec::Disco(DiscoConfig::default()),
+            SolverSpec::SyncSgd(SyncSgdConfig::default()),
+        ];
+        for spec in specs {
+            spec.validate().unwrap();
+            let solver = spec.build().unwrap();
+            assert_eq!(solver.name(), spec.name());
+        }
+    }
+
+    #[test]
+    fn the_grid_variant_is_resolved_by_the_runner_not_build() {
+        let spec = SolverSpec::SyncSgdGrid {
+            base: SyncSgdConfig::default(),
+            grid: vec![0.1, 1.0],
+        };
+        spec.validate().unwrap();
+        assert!(spec.build().is_none());
+        assert_eq!(spec.name(), "sync-sgd");
+    }
+
+    #[test]
+    fn grid_validation_rejects_empty_and_nonpositive_grids() {
+        let base = SyncSgdConfig::default();
+        assert!(SolverSpec::SyncSgdGrid { base, grid: vec![] }.validate().is_err());
+        assert!(SolverSpec::SyncSgdGrid {
+            base,
+            grid: vec![0.1, -1.0]
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn cluster_spec_builds_a_matching_cluster() {
+        let spec = ClusterSpec::new(3, NetworkModel::ethernet_10g())
+            .with_collectives(CollectiveSelector::Force(nadmm_cluster::CollectiveAlgorithm::Ring));
+        spec.validate().unwrap();
+        let cluster = spec.build();
+        assert_eq!(cluster.size(), 3);
+        assert_eq!(cluster.network(), NetworkModel::ethernet_10g());
+        assert_eq!(
+            cluster.selector(),
+            CollectiveSelector::Force(nadmm_cluster::CollectiveAlgorithm::Ring)
+        );
+    }
+
+    #[test]
+    fn cluster_device_override_rewrites_every_variant() {
+        let slow = DeviceSpec::cpu_like();
+        for spec in [
+            SolverSpec::NewtonAdmm(NewtonAdmmConfig::default()),
+            SolverSpec::Giant(GiantConfig::default()),
+            SolverSpec::InexactDane(DaneConfig::default()),
+            SolverSpec::Aide(AideConfig::default()),
+            SolverSpec::Disco(DiscoConfig::default()),
+            SolverSpec::SyncSgd(SyncSgdConfig::default()),
+            SolverSpec::SyncSgdGrid {
+                base: SyncSgdConfig::default(),
+                grid: vec![0.1],
+            },
+        ] {
+            let overridden = spec.with_device(slow);
+            let device = match &overridden {
+                SolverSpec::NewtonAdmm(c) => c.device,
+                SolverSpec::Giant(c) => c.device,
+                SolverSpec::InexactDane(c) => c.device,
+                SolverSpec::Aide(c) => c.dane.device,
+                SolverSpec::Disco(c) => c.device,
+                SolverSpec::SyncSgd(c) => c.device,
+                SolverSpec::SyncSgdGrid { base, .. } => base.device,
+            };
+            assert_eq!(device, slow);
+        }
+    }
+
+    #[test]
+    fn degenerate_device_models_are_rejected_before_running() {
+        let bad_latency = DeviceSpec {
+            launch_latency: -1e-3,
+            ..DeviceSpec::tesla_p100()
+        };
+        let err = SolverSpec::NewtonAdmm(NewtonAdmmConfig {
+            device: bad_latency,
+            ..Default::default()
+        })
+        .validate()
+        .unwrap_err();
+        assert_eq!(err.field, "device.launch_latency");
+
+        let nan_flops = DeviceSpec {
+            flops_per_sec: f64::NAN,
+            ..DeviceSpec::tesla_p100()
+        };
+        let err = ClusterSpec::default().with_device(nan_flops).validate().unwrap_err();
+        assert_eq!(err.field, "device.flops_per_sec");
+
+        // The infinite-PCIe host model stays valid (mirrors ideal networks).
+        validate_device("test", &DeviceSpec::cpu_like()).unwrap();
+    }
+
+    #[test]
+    fn partition_spec_errors_instead_of_panicking() {
+        let (train, _) = SyntheticConfig::mnist_like()
+            .with_train_size(10)
+            .with_test_size(2)
+            .with_num_features(4)
+            .generate(1);
+        assert!(PartitionSpec::Strong.apply(&train, 11).is_err());
+        assert!(PartitionSpec::Weak { per_worker: 6 }.apply(&train, 2).is_err());
+        assert!(PartitionSpec::Weak { per_worker: 0 }.apply(&train, 2).is_err());
+        let (shards, plan) = PartitionSpec::Weak { per_worker: 5 }.apply(&train, 2).unwrap();
+        assert_eq!(shards.len(), 2);
+        assert_eq!(plan.total_samples(), 10);
+    }
+
+    #[test]
+    fn synthetic_data_spec_loads_and_honours_zero_test_size() {
+        let spec = DataSpec::Synthetic {
+            config: SyntheticConfig::higgs_like()
+                .with_train_size(30)
+                .with_test_size(0)
+                .with_num_features(4),
+            seed: 3,
+        };
+        spec.validate().unwrap();
+        let (train, test) = spec.load().unwrap();
+        assert_eq!(train.num_samples(), 30);
+        assert!(test.is_none());
+    }
+
+    #[test]
+    fn libsvm_data_spec_surfaces_io_errors() {
+        let spec = DataSpec::Libsvm {
+            train_path: "/nonexistent/file.svm".into(),
+            test_path: None,
+        };
+        assert!(spec.load().is_err());
+    }
+}

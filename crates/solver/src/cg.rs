@@ -29,6 +29,14 @@ impl Default for CgConfig {
     }
 }
 
+impl CgConfig {
+    /// Rejects a zero iteration budget or a negative/non-finite tolerance.
+    pub fn validate(&self) -> Result<(), crate::validate::ConfigError> {
+        crate::validate::require_nonzero("CgConfig", "max_iters", self.max_iters)?;
+        crate::validate::require_non_negative("CgConfig", "tolerance", self.tolerance)
+    }
+}
+
 /// Result of a CG solve.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CgResult {

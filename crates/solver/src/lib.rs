@@ -17,12 +17,14 @@ pub mod first_order;
 pub mod linesearch;
 pub mod newton;
 pub mod trace;
+pub mod validate;
 
 pub use cg::{conjugate_gradient, conjugate_gradient_into, CgConfig, CgResult, CgStats};
 pub use first_order::{FirstOrderConfig, FirstOrderMethod, FirstOrderResult};
 pub use linesearch::{armijo_backtracking, armijo_backtracking_ws, LineSearchConfig, LineSearchResult};
 pub use newton::{NewtonCg, NewtonConfig, NewtonResult, NewtonStepStats};
 pub use trace::{ConvergenceTrace, TraceEntry};
+pub use validate::ConfigError;
 
 #[cfg(test)]
 mod tests {

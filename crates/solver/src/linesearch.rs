@@ -41,6 +41,17 @@ impl Default for LineSearchConfig {
     }
 }
 
+impl LineSearchConfig {
+    /// Rejects non-positive steps, out-of-range constants, and a zero
+    /// backtracking budget.
+    pub fn validate(&self) -> Result<(), crate::validate::ConfigError> {
+        crate::validate::require_positive("LineSearchConfig", "initial_step", self.initial_step)?;
+        crate::validate::require_open_unit("LineSearchConfig", "beta", self.beta)?;
+        crate::validate::require_open_unit("LineSearchConfig", "shrink", self.shrink)?;
+        crate::validate::require_nonzero("LineSearchConfig", "max_iters", self.max_iters)
+    }
+}
+
 /// Result of a line search.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LineSearchResult {

@@ -39,6 +39,17 @@ impl Default for NewtonConfig {
     }
 }
 
+impl NewtonConfig {
+    /// Rejects a zero iteration budget, a negative tolerance, or invalid
+    /// CG/line-search sub-configurations.
+    pub fn validate(&self) -> Result<(), crate::validate::ConfigError> {
+        crate::validate::require_nonzero("NewtonConfig", "max_iters", self.max_iters)?;
+        crate::validate::require_non_negative("NewtonConfig", "grad_tol", self.grad_tol)?;
+        self.cg.validate()?;
+        self.line_search.validate()
+    }
+}
+
 /// Result of a Newton-CG run.
 #[derive(Debug, Clone)]
 pub struct NewtonResult {

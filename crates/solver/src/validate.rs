@@ -1,0 +1,132 @@
+//! Shared configuration validation.
+//!
+//! Every config type of the workspace (solver, Newton-ADMM, baselines,
+//! experiment specs) exposes a `validate()` returning [`ConfigError`] so the
+//! experiment layer can reject nonsense parameters (`rho0 <= 0`,
+//! `lambda < 0`, zero iteration budgets, …) *before* spawning cluster ranks,
+//! instead of silently producing a meaningless run.
+
+use serde::{Deserialize, Serialize};
+
+/// A rejected configuration field: which config type, which field, and why.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfigError {
+    /// Name of the configuration type (e.g. `"NewtonAdmmConfig"`).
+    pub config: String,
+    /// Name of the offending field (e.g. `"rho0"`).
+    pub field: String,
+    /// What was wrong with the value.
+    pub message: String,
+}
+
+impl ConfigError {
+    /// Creates an error for `config.field` with the given message.
+    pub fn new(config: impl Into<String>, field: impl Into<String>, message: impl Into<String>) -> Self {
+        Self {
+            config: config.into(),
+            field: field.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid {}.{}: {}", self.config, self.field, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Requires a strictly positive, finite float.
+pub fn require_positive(config: &str, field: &str, value: f64) -> Result<(), ConfigError> {
+    if value > 0.0 && value.is_finite() {
+        Ok(())
+    } else {
+        Err(ConfigError::new(
+            config,
+            field,
+            format!("must be a positive finite number, got {value}"),
+        ))
+    }
+}
+
+/// Requires a non-negative, finite float.
+pub fn require_non_negative(config: &str, field: &str, value: f64) -> Result<(), ConfigError> {
+    if value >= 0.0 && value.is_finite() {
+        Ok(())
+    } else {
+        Err(ConfigError::new(
+            config,
+            field,
+            format!("must be a non-negative finite number, got {value}"),
+        ))
+    }
+}
+
+/// Requires a non-zero iteration/size budget.
+pub fn require_nonzero(config: &str, field: &str, value: usize) -> Result<(), ConfigError> {
+    if value > 0 {
+        Ok(())
+    } else {
+        Err(ConfigError::new(config, field, "must be at least 1, got 0"))
+    }
+}
+
+/// Requires a value in the open unit interval `(0, 1)`.
+pub fn require_open_unit(config: &str, field: &str, value: f64) -> Result<(), ConfigError> {
+    if value > 0.0 && value < 1.0 {
+        Ok(())
+    } else {
+        Err(ConfigError::new(
+            config,
+            field,
+            format!("must lie strictly between 0 and 1, got {value}"),
+        ))
+    }
+}
+
+/// Requires a value in the half-open unit interval `[0, 1)`.
+pub fn require_unit_coefficient(config: &str, field: &str, value: f64) -> Result<(), ConfigError> {
+    if (0.0..1.0).contains(&value) {
+        Ok(())
+    } else {
+        Err(ConfigError::new(config, field, format!("must lie in [0, 1), got {value}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_accept_and_reject() {
+        assert!(require_positive("C", "f", 1.0).is_ok());
+        assert!(require_positive("C", "f", 0.0).is_err());
+        assert!(require_positive("C", "f", f64::NAN).is_err());
+        assert!(require_non_negative("C", "f", 0.0).is_ok());
+        assert!(require_non_negative("C", "f", -1.0).is_err());
+        assert!(require_nonzero("C", "f", 1).is_ok());
+        assert!(require_nonzero("C", "f", 0).is_err());
+        assert!(require_open_unit("C", "f", 0.5).is_ok());
+        assert!(require_open_unit("C", "f", 1.0).is_err());
+        assert!(require_unit_coefficient("C", "f", 0.0).is_ok());
+        assert!(require_unit_coefficient("C", "f", 1.0).is_err());
+    }
+
+    #[test]
+    fn display_names_the_config_and_field() {
+        let e = require_positive("NewtonAdmmConfig", "rho0", -1.0).unwrap_err();
+        let text = e.to_string();
+        assert!(text.contains("NewtonAdmmConfig"));
+        assert!(text.contains("rho0"));
+    }
+
+    #[test]
+    fn config_error_round_trips_through_json() {
+        let e = ConfigError::new("GiantConfig", "max_iters", "must be at least 1, got 0");
+        let json = serde_json::to_string(&e).unwrap();
+        let back: ConfigError = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
+    }
+}

@@ -2,7 +2,8 @@
 //! and GIANT changes with the number of simulated workers (a miniature of the
 //! paper's Figure 2), how a slower interconnect changes the picture, and
 //! where each solver's communication time goes (per-collective breakdown
-//! with the algorithm the crossover rule selected).
+//! with the algorithm the crossover rule selected). Every run goes through
+//! the experiment builder; only the cluster/partition specs vary.
 //!
 //! Run with:
 //! ```text
@@ -23,22 +24,37 @@ fn breakdown_table(solver: &str, stats: &CommStats) -> TextTable {
     t
 }
 
-fn epoch_times(network: NetworkModel, workers: usize, train: &Dataset, weak_per_worker: Option<usize>) -> (f64, f64) {
+/// One Newton-ADMM + one GIANT run on the given cluster/partition layout,
+/// returning the two average epoch times (and the full reports for the
+/// breakdown section).
+fn run_pair(network: NetworkModel, workers: usize, train: &Dataset, weak_per_worker: Option<usize>) -> (RunReport, RunReport) {
     let lambda = 1e-5;
     let iters = 5;
-    let shards = match weak_per_worker {
-        Some(per) => partition_weak(train, workers, per).0,
-        None => partition_strong(train, workers).0,
+    let partition = match weak_per_worker {
+        Some(per_worker) => PartitionSpec::Weak { per_worker },
+        None => PartitionSpec::Strong,
     };
-    let cluster = Cluster::new(workers, network);
-    let admm = NewtonAdmm::new(NewtonAdmmConfig::default().with_lambda(lambda).with_max_iters(iters))
-        .run_cluster(&cluster, &shards, None);
-    let giant = Giant::new(GiantConfig {
-        max_iters: iters,
-        lambda,
-        ..Default::default()
-    })
-    .run_cluster(&cluster, &shards, None);
+    let mut reports = Experiment::new()
+        .with_data(train.clone(), None)
+        .with_partition(partition)
+        .with_cluster(ClusterSpec::new(workers, network))
+        .with_solver(SolverSpec::NewtonAdmm(
+            NewtonAdmmConfig::default().with_lambda(lambda).with_max_iters(iters),
+        ))
+        .with_solver(SolverSpec::Giant(GiantConfig {
+            max_iters: iters,
+            lambda,
+            ..Default::default()
+        }))
+        .run()
+        .expect("scaling run");
+    let giant = reports.remove(1);
+    let admm = reports.remove(0);
+    (admm, giant)
+}
+
+fn epoch_times(network: NetworkModel, workers: usize, train: &Dataset, weak_per_worker: Option<usize>) -> (f64, f64) {
+    let (admm, giant) = run_pair(network, workers, train, weak_per_worker);
     (admm.history.avg_epoch_time(), giant.history.avg_epoch_time())
 }
 
@@ -89,20 +105,8 @@ fn main() {
 
     // Where does communication time go? Per-collective breakdown of an
     // 8-worker run, including which algorithm the payload-size crossover
-    // rule picked for each collective kind.
-    let workers = 8;
-    let (shards, _) = partition_strong(&train, workers);
-    let cluster = Cluster::new(workers, NetworkModel::infiniband_100g());
-    let lambda = 1e-5;
-    let iters = 5;
-    let admm = NewtonAdmm::new(NewtonAdmmConfig::default().with_lambda(lambda).with_max_iters(iters))
-        .run_cluster(&cluster, &shards, None);
-    let giant = Giant::new(GiantConfig {
-        max_iters: iters,
-        lambda,
-        ..Default::default()
-    })
-    .run_cluster(&cluster, &shards, None);
+    // rule picked for each collective kind — straight off the RunReports.
+    let (admm, giant) = run_pair(NetworkModel::infiniband_100g(), 8, &train, None);
     println!("{}", breakdown_table("newton-admm", &admm.comm_stats).to_text());
     println!("{}", breakdown_table("giant", &giant.comm_stats).to_text());
     println!(

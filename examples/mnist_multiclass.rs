@@ -1,6 +1,6 @@
 //! Compare Newton-ADMM with GIANT, InexactDANE and synchronous SGD on the
 //! synthetic MNIST analogue — a miniature version of the paper's Figure 1 /
-//! Figure 4 workload that finishes in well under a minute.
+//! Figure 4 workload, expressed as one declarative experiment.
 //!
 //! Run with:
 //! ```text
@@ -10,50 +10,48 @@
 use newton_admm_repro::prelude::*;
 
 fn main() {
-    let workers = 4;
     let lambda = 1e-5;
-    let (train, test) = SyntheticConfig::mnist_like()
-        .with_train_size(1_600)
-        .with_test_size(400)
-        .with_num_features(48)
-        .generate(7);
-    let (shards, _) = partition_strong(&train, workers);
-    let cluster = Cluster::new(workers, NetworkModel::infiniband_100g());
     let iters = 20;
 
-    // Newton-ADMM (the paper's method).
-    let admm = NewtonAdmm::new(NewtonAdmmConfig::default().with_lambda(lambda).with_max_iters(iters)).run_cluster(
-        &cluster,
-        &shards,
-        Some(&test),
-    );
-
-    // GIANT with the same CG budget and line-search length.
-    let giant = Giant::new(GiantConfig {
-        max_iters: iters,
-        lambda,
-        ..Default::default()
-    })
-    .run_cluster(&cluster, &shards, Some(&test));
-
-    // InexactDANE (few iterations — its epoch time is the point).
-    let dane = InexactDane::new(DaneConfig {
-        max_iters: 5,
-        lambda,
-        svrg_iters: 60,
-        svrg_step: 1e-3,
-        ..Default::default()
-    })
-    .run_cluster(&cluster, &shards, Some(&test));
-
-    // Synchronous SGD, batch size 128, best step size from a small grid.
-    let sgd = SyncSgd::new(SyncSgdConfig {
-        epochs: iters,
-        lambda,
-        batch_size: 128,
-        ..Default::default()
-    })
-    .run_cluster_best_of_grid(&cluster, &shards, Some(&test), &[1e-2, 1e-1, 1.0, 10.0]);
+    let reports = Experiment::new()
+        .with_data_spec(DataSpec::Synthetic {
+            config: SyntheticConfig::mnist_like()
+                .with_train_size(1_600)
+                .with_test_size(400)
+                .with_num_features(48),
+            seed: 7,
+        })
+        .with_cluster(ClusterSpec::new(4, NetworkModel::infiniband_100g()))
+        // Newton-ADMM (the paper's method).
+        .with_solver(SolverSpec::NewtonAdmm(
+            NewtonAdmmConfig::default().with_lambda(lambda).with_max_iters(iters),
+        ))
+        // GIANT with the same CG budget and line-search length.
+        .with_solver(SolverSpec::Giant(GiantConfig {
+            max_iters: iters,
+            lambda,
+            ..Default::default()
+        }))
+        // InexactDANE (few iterations — its epoch time is the point).
+        .with_solver(SolverSpec::InexactDane(DaneConfig {
+            max_iters: 5,
+            lambda,
+            svrg_iters: 60,
+            svrg_step: 1e-3,
+            ..Default::default()
+        }))
+        // Synchronous SGD, batch size 128, best step size from a small grid.
+        .with_solver(SolverSpec::SyncSgdGrid {
+            base: SyncSgdConfig {
+                epochs: iters,
+                lambda,
+                batch_size: 128,
+                ..Default::default()
+            },
+            grid: vec![1e-2, 1e-1, 1.0, 10.0],
+        })
+        .run()
+        .expect("comparison runs");
 
     let mut table = TextTable::new(
         "MNIST-like, 4 workers: objective / accuracy / time",
@@ -66,29 +64,23 @@ fn main() {
             "bytes/worker",
         ],
     );
-    let rows: Vec<(&RunHistory, f64)> = vec![
-        (&admm.history, admm.comm_stats.bytes_sent),
-        (&giant.history, giant.comm_stats.bytes_sent),
-        (&dane.history, dane.comm_stats.bytes_sent),
-        (&sgd.history, sgd.comm_stats.bytes_sent),
-    ];
-    for (run, bytes) in rows {
+    for r in &reports {
         table.add_row(&[
-            run.solver.clone(),
-            format!("{:.4}", run.final_objective().unwrap()),
-            run.final_accuracy().map(|a| format!("{:.1}%", 100.0 * a)).unwrap_or_default(),
-            format!("{:.3}", 1e3 * run.avg_epoch_time()),
-            format!("{:.4}", run.total_sim_time()),
-            format!("{bytes:.0}"),
+            r.solver.clone(),
+            format!("{:.4}", r.final_objective.unwrap()),
+            r.final_accuracy.map(|a| format!("{:.1}%", 100.0 * a)).unwrap_or_default(),
+            format!("{:.3}", 1e3 * r.history.avg_epoch_time()),
+            format!("{:.4}", r.total_sim_time_sec),
+            format!("{:.0}", r.comm_stats.bytes_sent),
         ]);
     }
     println!("{}", table.to_text());
 
     println!(
         "Newton-ADMM reached objective {:.4} in {:.3}s simulated time; GIANT reached {:.4} in {:.3}s.",
-        admm.history.final_objective().unwrap(),
-        admm.history.total_sim_time(),
-        giant.history.final_objective().unwrap(),
-        giant.history.total_sim_time(),
+        reports[0].final_objective.unwrap(),
+        reports[0].total_sim_time_sec,
+        reports[1].final_objective.unwrap(),
+        reports[1].total_sim_time_sec,
     );
 }

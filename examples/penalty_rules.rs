@@ -1,6 +1,7 @@
 //! Ablation of the ADMM penalty-selection rule: fixed ρ vs residual balancing
 //! vs the paper's spectral (ACADMM) rule, on an ill-conditioned CIFAR-10-like
-//! problem where the choice matters most.
+//! problem where the choice matters most. The three variants are three
+//! `SolverSpec::NewtonAdmm` entries of one experiment.
 //!
 //! Run with:
 //! ```text
@@ -13,19 +14,34 @@ fn main() {
     let workers = 4;
     let lambda = 1e-5;
     let iters = 25;
-    let (train, test) = SyntheticConfig::cifar10_like()
-        .with_train_size(1_200)
-        .with_test_size(300)
-        .with_num_features(64)
-        .generate(17);
-    let (shards, _) = partition_strong(&train, workers);
-    let cluster = Cluster::new(workers, NetworkModel::infiniband_100g());
 
     let rules: Vec<(&str, PenaltyRule)> = vec![
         ("fixed rho=1", PenaltyRule::Fixed),
         ("residual balancing", PenaltyRule::ResidualBalancing { mu: 10.0, tau: 2.0 }),
         ("spectral (paper)", PenaltyRule::Spectral(SpectralConfig::default())),
     ];
+
+    let reports = Experiment::new()
+        .with_data_spec(DataSpec::Synthetic {
+            config: SyntheticConfig::cifar10_like()
+                .with_train_size(1_200)
+                .with_test_size(300)
+                .with_num_features(64),
+            seed: 17,
+        })
+        .with_cluster(ClusterSpec::new(workers, NetworkModel::infiniband_100g()))
+        .with_solvers(rules.iter().map(|(_, rule)| {
+            SolverSpec::NewtonAdmm(
+                NewtonAdmmConfig::default()
+                    .with_lambda(lambda)
+                    .with_max_iters(iters)
+                    .with_penalty(*rule),
+            )
+        }))
+        .run()
+        .expect("ablation runs");
+
+    let best_drop = reports.iter().map(|r| r.final_objective.unwrap()).fold(f64::MAX, f64::min);
 
     let mut table = TextTable::new(
         format!("Penalty-rule ablation on cifar10-like ({workers} workers, {iters} iterations)"),
@@ -37,35 +53,20 @@ fn main() {
             "iters to 90% of best drop",
         ],
     );
-
-    let mut best_drop = f64::MAX;
-    let mut runs = Vec::new();
-    for (name, rule) in &rules {
-        let cfg = NewtonAdmmConfig::default()
-            .with_lambda(lambda)
-            .with_max_iters(iters)
-            .with_penalty(*rule);
-        let out = NewtonAdmm::new(cfg).run_cluster(&cluster, &shards, Some(&test));
-        best_drop = best_drop.min(out.history.final_objective().unwrap());
-        runs.push((name.to_string(), out));
-    }
-
-    for (name, out) in &runs {
-        let first = out.history.records[0].objective;
+    for ((name, _), report) in rules.iter().zip(&reports) {
+        let first = report.history.records[0].objective;
         let target = first - 0.9 * (first - best_drop);
-        let iters_to_target = out
+        let iters_to_target = report
             .history
             .iterations_to_objective(target)
             .map(|i| i.to_string())
             .unwrap_or_else(|| "-".to_string());
         table.add_row(&[
-            name.clone(),
-            format!("{:.4}", out.history.final_objective().unwrap()),
-            out.history
-                .final_accuracy()
-                .map(|a| format!("{:.1}%", 100.0 * a))
-                .unwrap_or_default(),
-            out.history
+            name.to_string(),
+            format!("{:.4}", report.final_objective.unwrap()),
+            report.final_accuracy.map(|a| format!("{:.1}%", 100.0 * a)).unwrap_or_default(),
+            report
+                .history
                 .records
                 .last()
                 .and_then(|r| r.mean_rho)

@@ -1,5 +1,6 @@
 //! Quickstart: train a multiclass classifier with distributed Newton-ADMM on
-//! a synthetic MNIST-like dataset and print the convergence history.
+//! a synthetic MNIST-like dataset, using the declarative experiment API, and
+//! print the convergence history.
 //!
 //! Run with:
 //! ```text
@@ -9,42 +10,50 @@
 use newton_admm_repro::prelude::*;
 
 fn main() {
-    // 1. Generate a synthetic MNIST-like dataset (10 classes, 784 features in
-    //    the paper; scaled down here so the example finishes in seconds).
-    let (train, test) = SyntheticConfig::mnist_like()
-        .with_train_size(2_000)
-        .with_test_size(400)
-        .with_num_features(64)
-        .generate(42);
-    println!(
-        "dataset: {} train samples, {} features, {} classes",
-        train.num_samples(),
-        train.num_features(),
-        train.num_classes()
-    );
+    // 1. Describe the data: a synthetic MNIST-like dataset (10 classes, 784
+    //    features in the paper; scaled down so the example finishes in
+    //    seconds).
+    let data = DataSpec::Synthetic {
+        config: SyntheticConfig::mnist_like()
+            .with_train_size(2_000)
+            .with_test_size(400)
+            .with_num_features(64),
+        seed: 42,
+    };
 
-    // 2. Split the data across 4 simulated workers (strong scaling).
-    let workers = 4;
-    let (shards, plan) = partition_strong(&train, workers);
-    println!("partition: {:?} samples per worker ({})", plan.samples_per_worker, plan.mode);
+    // 2. Describe the cluster: 4 simulated workers with P100-class
+    //    accelerators on a 100 Gbps interconnect, strong-scaling partition.
+    let cluster = ClusterSpec::new(4, NetworkModel::infiniband_100g());
 
     // 3. Configure Newton-ADMM exactly as the paper's Figure 1: λ = 1e-5,
     //    10 CG iterations, spectral penalty selection.
     let config = NewtonAdmmConfig::default().with_lambda(1e-5).with_max_iters(30);
-    let solver = NewtonAdmm::new(config);
 
-    // 4. Run on a simulated 4-node cluster with a 100 Gbps interconnect and
-    //    P100-class accelerators.
-    let cluster = Cluster::new(workers, NetworkModel::infiniband_100g());
-    let out = solver.run_cluster(&cluster, &shards, Some(&test));
+    // 4. Compose and run the experiment. The builder validates every config,
+    //    generates and partitions the data, and spawns the cluster.
+    let report = Experiment::new()
+        .with_data_spec(data)
+        .with_partition(PartitionSpec::Strong)
+        .with_cluster(cluster)
+        .with_solver(SolverSpec::NewtonAdmm(config))
+        .run()
+        .expect("experiment runs")
+        .remove(0);
 
-    // 5. Report the convergence history.
+    println!(
+        "dataset: {} ({} workers, {} iterations recorded)",
+        report.dataset,
+        report.num_workers,
+        report.history.len()
+    );
+
+    // 5. Report the convergence history from the structured RunReport.
     let mut table = TextTable::new(
         "Newton-ADMM on mnist-like (4 workers)",
         &["iter", "objective", "test acc", "sim time (s)"],
     );
-    for r in &out.history.records {
-        if r.iteration % 5 == 0 || r.iteration == out.history.records.len() - 1 {
+    for r in &report.history.records {
+        if r.iteration % 5 == 0 || r.iteration == report.history.records.len() - 1 {
             table.add_row(&[
                 r.iteration.to_string(),
                 format!("{:.4}", r.objective),
@@ -56,9 +65,9 @@ fn main() {
     println!("{}", table.to_text());
     println!(
         "final objective {:.4}, final accuracy {:.1}%, avg epoch time {:.2} ms, {} bytes sent per worker",
-        out.history.final_objective().unwrap(),
-        100.0 * out.history.final_accuracy().unwrap(),
-        1e3 * out.history.avg_epoch_time(),
-        out.comm_stats.bytes_sent
+        report.final_objective.unwrap(),
+        100.0 * report.final_accuracy.unwrap(),
+        1e3 * report.history.avg_epoch_time(),
+        report.comm_stats.bytes_sent,
     );
 }

@@ -1,0 +1,108 @@
+//! Executes a JSON scenario spec end-to-end: parse → validate → run every
+//! solver → write the `RunReport`s as JSON → re-read and schema-check them.
+//!
+//! This is the CI smoke entry point (`scenarios/smoke.json`): any parse
+//! failure, run failure, or schema-invalid report exits non-zero.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example scenario_runner -- scenarios/smoke.json [--out PATH]
+//! ```
+
+use newton_admm_repro::prelude::*;
+use std::process::ExitCode;
+
+fn run(scenario_path: &str, out_path: &str) -> Result<(), String> {
+    let json = std::fs::read_to_string(scenario_path).map_err(|e| format!("cannot read {scenario_path}: {e}"))?;
+    let scenario = ScenarioSpec::from_json(&json).map_err(|e| format!("cannot parse {scenario_path}: {e}"))?;
+    println!(
+        "scenario `{}`: {} on {} ranks, {} solver(s)",
+        scenario.name,
+        scenario.data.describe(),
+        scenario.cluster.ranks,
+        scenario.solvers.len()
+    );
+
+    let reports = scenario.run().map_err(|e| format!("scenario failed: {e}"))?;
+
+    // Archive the reports, then *re-read the file* and validate what was
+    // actually written — the schema gate must see the bytes on disk.
+    let serialized = serde_json::to_string_pretty(&reports).map_err(|e| format!("cannot serialize reports: {e}"))?;
+    if let Some(parent) = std::path::Path::new(out_path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+        }
+    }
+    std::fs::write(out_path, &serialized).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    let reread = std::fs::read_to_string(out_path).map_err(|e| format!("cannot re-read {out_path}: {e}"))?;
+    let parsed: Vec<RunReport> = serde_json::from_str(&reread).map_err(|e| format!("emitted report JSON does not parse: {e}"))?;
+    if parsed.len() != scenario.solvers.len() {
+        return Err(format!(
+            "expected {} reports, the file holds {}",
+            scenario.solvers.len(),
+            parsed.len()
+        ));
+    }
+    for report in &parsed {
+        report
+            .validate_schema()
+            .map_err(|e| format!("schema-invalid report for `{}`: {e}", report.solver))?;
+    }
+
+    let mut table = TextTable::new(
+        format!(
+            "scenario `{}` — {} validated report(s) → {out_path}",
+            scenario.name,
+            parsed.len()
+        ),
+        &["solver", "final objective", "test acc", "sim time (s)", "collectives"],
+    );
+    for r in &parsed {
+        table.add_row(&[
+            r.solver.clone(),
+            format!("{:.4}", r.final_objective.unwrap()),
+            r.final_accuracy.map(|a| format!("{:.1}%", 100.0 * a)).unwrap_or_default(),
+            format!("{:.5}", r.total_sim_time_sec),
+            r.comm_stats.collectives.to_string(),
+        ]);
+    }
+    println!("{}", table.to_text());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scenario_path: Option<String> = None;
+    let mut out_path = "target/scenario_report.json".to_string();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => match it.next() {
+                Some(p) => out_path = p,
+                None => {
+                    eprintln!("--out requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            flag if flag.starts_with('-') => {
+                eprintln!("unknown flag `{flag}`\nusage: scenario_runner [SCENARIO.json] [--out REPORT.json]");
+                return ExitCode::FAILURE;
+            }
+            path => {
+                if let Some(first) = &scenario_path {
+                    eprintln!("unexpected extra argument `{path}` (scenario is already `{first}`)");
+                    return ExitCode::FAILURE;
+                }
+                scenario_path = Some(path.to_string());
+            }
+        }
+    }
+    let scenario_path = scenario_path.unwrap_or_else(|| "scenarios/smoke.json".to_string());
+    match run(&scenario_path, &out_path) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("scenario_runner: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

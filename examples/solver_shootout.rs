@@ -1,7 +1,7 @@
-//! Single-node solver shoot-out on the four synthetic dataset analogues:
-//! inexact Newton-CG against full-batch first-order methods, reproducing the
-//! paper's motivating claim that second-order methods need far fewer
-//! iterations to reach a good objective value.
+//! Distributed solver shoot-out: every solver of the workspace — Newton-ADMM
+//! and the paper's four baselines (plus AIDE and the SGD grid protocol) —
+//! runs on one shared problem instance through a single `Experiment`, a
+//! miniature of the paper's Figure 1/4 matrix.
 //!
 //! Run with:
 //! ```text
@@ -11,73 +11,73 @@
 use newton_admm_repro::prelude::*;
 
 fn main() {
-    let configs = [
-        SyntheticConfig::higgs_like()
-            .with_train_size(1_000)
-            .with_test_size(200)
-            .with_num_features(28),
-        SyntheticConfig::mnist_like()
-            .with_train_size(800)
-            .with_test_size(200)
-            .with_num_features(64),
-        SyntheticConfig::cifar10_like()
-            .with_train_size(600)
-            .with_test_size(150)
-            .with_num_features(96),
-        SyntheticConfig::e18_like()
-            .with_train_size(600)
-            .with_test_size(150)
-            .with_num_features(256),
-    ];
-    let iterations = 15;
+    let iters = 15;
     let lambda = 1e-4;
+    let solvers = vec![
+        SolverSpec::NewtonAdmm(NewtonAdmmConfig::default().with_lambda(lambda).with_max_iters(iters)),
+        SolverSpec::Giant(GiantConfig {
+            max_iters: iters,
+            lambda,
+            ..Default::default()
+        }),
+        SolverSpec::InexactDane(DaneConfig {
+            max_iters: 5,
+            lambda,
+            svrg_iters: 60,
+            ..Default::default()
+        }),
+        SolverSpec::Aide(AideConfig {
+            dane: DaneConfig {
+                max_iters: 5,
+                lambda,
+                svrg_iters: 60,
+                ..Default::default()
+            },
+            tau: 0.5,
+            zeta: 0.5,
+        }),
+        SolverSpec::Disco(DiscoConfig {
+            max_iters: iters,
+            lambda,
+            ..Default::default()
+        }),
+        SolverSpec::SyncSgdGrid {
+            base: SyncSgdConfig {
+                epochs: iters,
+                lambda,
+                batch_size: 128,
+                ..Default::default()
+            },
+            grid: vec![1e-2, 1e-1, 1.0, 10.0],
+        },
+    ];
+
+    let reports = Experiment::new()
+        .with_data_spec(DataSpec::Synthetic {
+            config: SyntheticConfig::mnist_like()
+                .with_train_size(1_600)
+                .with_test_size(400)
+                .with_num_features(48),
+            seed: 3,
+        })
+        .with_cluster(ClusterSpec::new(4, NetworkModel::infiniband_100g()))
+        .with_solvers(solvers)
+        .run()
+        .expect("shoot-out runs");
 
     let mut table = TextTable::new(
-        format!("Single-node solvers after {iterations} iterations (objective | test accuracy)"),
-        &["dataset", "newton-cg", "gradient descent", "adam"],
+        "Solver shoot-out on mnist-like (4 workers): objective | accuracy | avg epoch | rounds/iter",
+        &["solver", "final objective", "test acc", "avg epoch (ms)", "collectives"],
     );
-
-    for cfg in configs {
-        let (train, test) = cfg.generate(3);
-        let obj = SoftmaxCrossEntropy::new(&train, lambda);
-        let x0 = vec![0.0; obj.dim()];
-
-        let newton = NewtonCg::new(NewtonConfig {
-            max_iters: iterations,
-            ..Default::default()
-        })
-        .minimize(&obj, &x0);
-        let gd = nadmm_solver::first_order::minimize(
-            &obj,
-            &x0,
-            &FirstOrderConfig {
-                method: FirstOrderMethod::GradientDescent,
-                step_size: 1e-4,
-                max_iters: iterations,
-                ..Default::default()
-            },
-        );
-        let adam = nadmm_solver::first_order::minimize(
-            &obj,
-            &x0,
-            &FirstOrderConfig {
-                method: FirstOrderMethod::Adam,
-                step_size: 0.05,
-                max_iters: iterations,
-                ..Default::default()
-            },
-        );
-
-        let fmt = |value: f64, x: &[f64]| format!("{:.3} | {:.1}%", value, 100.0 * obj.accuracy(&test, x));
+    for r in &reports {
         table.add_row(&[
-            cfg.kind.paper_name().to_string(),
-            fmt(newton.value, &newton.x),
-            fmt(gd.value, &gd.x),
-            fmt(adam.value, &adam.x),
+            r.solver.clone(),
+            format!("{:.4}", r.final_objective.unwrap()),
+            r.final_accuracy.map(|a| format!("{:.1}%", 100.0 * a)).unwrap_or_default(),
+            format!("{:.3}", 1e3 * r.history.avg_epoch_time()),
+            r.comm_stats.collectives.to_string(),
         ]);
     }
     println!("{}", table.to_text());
-    println!(
-        "Newton-CG dominates at equal iteration counts — the motivation for making second-order methods cheap per iteration."
-    );
+    println!("Newton-ADMM reaches a competitive objective with the fewest communication rounds per iteration.");
 }

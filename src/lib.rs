@@ -22,6 +22,7 @@ pub use nadmm_baselines as baselines;
 pub use nadmm_cluster as cluster;
 pub use nadmm_data as data;
 pub use nadmm_device as device;
+pub use nadmm_experiment as experiment;
 pub use nadmm_linalg as linalg;
 pub use nadmm_metrics as metrics;
 pub use nadmm_objective as objective;
@@ -39,6 +40,10 @@ pub mod prelude {
     };
     pub use nadmm_data::{partition_strong, partition_weak, Dataset, DatasetKind, SyntheticConfig};
     pub use nadmm_device::{Device, DeviceSpec, Workspace};
+    pub use nadmm_experiment::{
+        ClusterSpec, ConfigError, DataSpec, Experiment, ExperimentError, PartitionSpec, RunReport, ScenarioSpec, Solver,
+        SolverSpec,
+    };
     pub use nadmm_metrics::{relative_objective, IterationRecord, RunHistory, TextTable};
     pub use nadmm_objective::{BinaryLogistic, Objective, SoftmaxCrossEntropy};
     pub use nadmm_solver::{CgConfig, FirstOrderConfig, FirstOrderMethod, LineSearchConfig, NewtonCg, NewtonConfig};

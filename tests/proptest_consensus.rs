@@ -40,7 +40,9 @@ proptest! {
         let cfg = NewtonAdmmConfig::default().with_lambda(1e-3).with_max_iters(4);
         let reference = NewtonAdmm::new(cfg).run_reference(&shards, None);
         let cluster = Cluster::new(workers, NetworkModel::infiniband_100g());
-        let distributed = NewtonAdmm::new(cfg).run_cluster(&cluster, &shards, None);
+        let distributed = cluster
+            .run_sharded(&shards, |comm, shard| NewtonAdmm::new(cfg).run_distributed(comm, shard, None))
+            .swap_remove(0);
         let dist: f64 = reference.z.iter().zip(&distributed.z).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
         let scale: f64 = reference.z.iter().map(|v| v * v).sum::<f64>().sqrt().max(1.0);
         prop_assert!(dist / scale < 1e-7, "distributed z deviates by {dist}");
