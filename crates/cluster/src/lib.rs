@@ -36,12 +36,14 @@
 pub mod comm;
 pub mod network;
 pub mod stats;
+pub mod straggler;
 pub mod thread_comm;
 pub mod workspace;
 
 pub use comm::{CollectiveHandle, Communicator, SingleProcessComm, ROOT_RANK};
 pub use network::{CollectiveAlgorithm, CollectiveKind, CollectiveSelector, NetworkModel, COLLECTIVE_ALGO_ENV};
 pub use stats::{CommStats, KindStats};
+pub use straggler::{SlowRank, StragglerModel};
 pub use thread_comm::{Cluster, ThreadComm};
 pub use workspace::{CommWorkspace, CommWorkspaceStats};
 

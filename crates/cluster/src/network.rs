@@ -166,14 +166,34 @@ impl CollectiveSelector {
     }
 
     /// Reads the [`COLLECTIVE_ALGO_ENV`] override, defaulting to `Auto` when
-    /// unset or unparseable.
+    /// the variable is unset.
+    ///
+    /// # Panics
+    /// Panics when the variable is set to an unparseable value, naming the
+    /// bad value and the accepted spellings. A typo in
+    /// `NADMM_COLLECTIVE_ALGO` used to silently fall back to `Auto`, which
+    /// turns an intended ablation into a wrong experiment — failing loudly
+    /// is the only safe behaviour.
     pub fn from_env() -> Self {
-        std::env::var(COLLECTIVE_ALGO_ENV)
-            .ok()
-            .and_then(|v| Self::parse(&v))
-            .unwrap_or_default()
+        match std::env::var(COLLECTIVE_ALGO_ENV) {
+            Ok(raw) => Self::parse_env_value(&raw),
+            Err(std::env::VarError::NotPresent) => Self::default(),
+            Err(std::env::VarError::NotUnicode(raw)) => {
+                panic!("{COLLECTIVE_ALGO_ENV} is set to a non-UTF-8 value ({raw:?}); {ACCEPTED_SPELLINGS}")
+            }
+        }
+    }
+
+    /// Parses the value of the [`COLLECTIVE_ALGO_ENV`] override, panicking
+    /// with the accepted spellings when it does not name a selection.
+    pub fn parse_env_value(raw: &str) -> Self {
+        Self::parse(raw)
+            .unwrap_or_else(|| panic!("{COLLECTIVE_ALGO_ENV}='{raw}' does not name a collective selection; {ACCEPTED_SPELLINGS}"))
     }
 }
+
+/// The spellings [`CollectiveSelector::parse`] accepts, for error messages.
+const ACCEPTED_SPELLINGS: &str = "accepted values: auto, naive (star), tree (binomial), ring, rhd (halving-doubling, butterfly)";
 
 /// α+β cost model of the interconnect.
 ///
@@ -530,6 +550,27 @@ mod tests {
         for algo in CollectiveAlgorithm::ALL {
             assert_eq!(CollectiveAlgorithm::parse(algo.name()), Some(algo));
         }
+    }
+
+    #[test]
+    fn env_value_parsing_accepts_every_spelling() {
+        assert_eq!(CollectiveSelector::parse_env_value("auto"), CollectiveSelector::Auto);
+        assert_eq!(
+            CollectiveSelector::parse_env_value("Ring"),
+            CollectiveSelector::Force(CollectiveAlgorithm::Ring)
+        );
+        for algo in CollectiveAlgorithm::ALL {
+            assert_eq!(
+                CollectiveSelector::parse_env_value(algo.name()),
+                CollectiveSelector::Force(algo)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not name a collective selection")]
+    fn unparseable_env_value_panics_loudly_instead_of_falling_back_to_auto() {
+        CollectiveSelector::parse_env_value("rinf"); // a typo of "ring"
     }
 
     #[test]

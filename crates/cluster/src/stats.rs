@@ -48,6 +48,17 @@ pub struct CommStats {
     pub comm_time: f64,
     /// Simulated seconds spent in local compute (as charged by the caller).
     pub compute_time: f64,
+    /// Simulated seconds this rank spent idle at *blocking* collectives,
+    /// waiting for later-arriving ranks before the transfer could start.
+    /// A fast rank in a heterogeneous fleet accumulates a large value here;
+    /// the slowest rank accumulates (nearly) none. Split-phase collectives
+    /// are excluded: their wait is deliberately overlapped with compute, so
+    /// attributing it as idle time would double-count.
+    pub idle_wait_time: f64,
+    /// Largest per-round arrival skew (latest minus earliest rank arrival,
+    /// in simulated seconds) observed across every rendezvous this rank
+    /// participated in — the headline "how uneven is this fleet" number.
+    pub max_round_skew: f64,
     /// Per-collective-kind breakdown, indexed by [`CollectiveKind::index`].
     pub per_kind: [KindStats; CollectiveKind::COUNT],
 }
@@ -82,6 +93,16 @@ impl CommStats {
     /// Records local compute time.
     pub fn record_compute(&mut self, time: f64) {
         self.compute_time += time;
+    }
+
+    /// Records the straggler accounting of one rendezvous round: `wait` is
+    /// how long this rank sat idle before the last rank arrived, `skew` is
+    /// the round's arrival spread (latest − earliest).
+    pub fn record_skew(&mut self, wait: f64, skew: f64) {
+        self.idle_wait_time += wait.max(0.0);
+        if skew > self.max_round_skew {
+            self.max_round_skew = skew;
+        }
     }
 
     /// Total simulated time attributable to this rank.
@@ -144,6 +165,18 @@ mod tests {
         assert_eq!(s.comm_fraction(), 0.0);
         assert_eq!(s.total_time(), 0.0);
         assert!(s.breakdown_rows().is_empty());
+        assert_eq!(s.idle_wait_time, 0.0);
+        assert_eq!(s.max_round_skew, 0.0);
+    }
+
+    #[test]
+    fn skew_accumulates_waits_and_keeps_the_worst_round() {
+        let mut s = CommStats::default();
+        s.record_skew(0.5, 0.7);
+        s.record_skew(0.25, 0.3);
+        s.record_skew(-1.0, 0.0); // negative waits are clamped, not subtracted
+        assert!((s.idle_wait_time - 0.75).abs() < 1e-12);
+        assert_eq!(s.max_round_skew, 0.7);
     }
 
     #[test]

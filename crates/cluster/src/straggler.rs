@@ -1,0 +1,208 @@
+//! Deterministic straggler model: per-rank compute slowdowns.
+//!
+//! Real clusters are never perfectly homogeneous — background daemons, bad
+//! NICs, thermal throttling, or simply older cards make some ranks slower
+//! than others, and the consensus-Newton literature (Tutunov et al.,
+//! ADMM-Softmax) hinges on how methods behave under that uneven per-worker
+//! progress. A [`StragglerModel`] assigns every rank a multiplicative
+//! *compute scale* from two deterministic sources:
+//!
+//! 1. **Seeded jitter**: rank `r` draws a factor in `[1, 1 + jitter]` from a
+//!    splitmix64 hash of `(seed, r)` — the same seed always produces the
+//!    same fleet, so straggler runs are exactly reproducible.
+//! 2. **Designated slow ranks**: explicit `(rank, factor)` overrides
+//!    multiplied on top, for controlled sweeps ("one rank at 8×").
+//!
+//! The scale multiplies the simulated time of every
+//! [`Communicator::advance_compute`](crate::Communicator::advance_compute)
+//! call on that rank; communication costs are *not* scaled (the fabric is
+//! shared). A disabled model ([`StragglerModel::none`], the default) gives
+//! every rank a scale of exactly `1.0`, and since `dt * 1.0 == dt` in IEEE
+//! arithmetic the simulation is bit-identical to a run without any model.
+
+use serde::{Deserialize, Serialize};
+
+/// An explicit per-rank slowdown override.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlowRank {
+    /// The rank to slow down.
+    pub rank: usize,
+    /// Multiplicative compute-slowdown factor (`2.0` = twice as slow; values
+    /// in `(0, 1)` model a *faster* rank).
+    pub factor: f64,
+}
+
+/// A seeded, deterministic per-rank compute-slowdown model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StragglerModel {
+    /// Width of the random per-rank jitter: every rank's base scale is drawn
+    /// uniformly (and deterministically, from `seed`) in `[1, 1 + jitter]`.
+    /// `0.0` disables the jitter.
+    pub jitter: f64,
+    /// Seed of the jitter draw. Two runs with the same seed see the same
+    /// fleet.
+    pub seed: u64,
+    /// Explicit slowdowns multiplied on top of the jitter.
+    pub slow_ranks: Vec<SlowRank>,
+}
+
+impl StragglerModel {
+    /// The disabled model: no jitter, no slow ranks, every scale exactly 1.
+    pub fn none() -> Self {
+        Self {
+            jitter: 0.0,
+            seed: 0,
+            slow_ranks: Vec::new(),
+        }
+    }
+
+    /// A model with only seeded jitter.
+    pub fn jitter(jitter: f64, seed: u64) -> Self {
+        Self {
+            jitter,
+            seed,
+            slow_ranks: Vec::new(),
+        }
+    }
+
+    /// Builder-style designated slow rank.
+    pub fn with_slow_rank(mut self, rank: usize, factor: f64) -> Self {
+        self.slow_ranks.push(SlowRank { rank, factor });
+        self
+    }
+
+    /// Whether the model changes anything at all.
+    pub fn is_disabled(&self) -> bool {
+        self.jitter == 0.0 && self.slow_ranks.iter().all(|s| s.factor == 1.0)
+    }
+
+    /// The compute scale of one rank: `(1 + jitter·u(seed, rank)) · Π factor`
+    /// over the matching [`SlowRank`] entries, with `u` a deterministic
+    /// uniform draw in `[0, 1)`.
+    pub fn scale_for(&self, rank: usize) -> f64 {
+        let mut scale = if self.jitter == 0.0 {
+            1.0
+        } else {
+            1.0 + self.jitter * unit_uniform(self.seed, rank as u64)
+        };
+        for slow in &self.slow_ranks {
+            if slow.rank == rank {
+                scale *= slow.factor;
+            }
+        }
+        scale
+    }
+
+    /// The per-rank scales of an `n`-rank cluster.
+    pub fn scales(&self, n: usize) -> Vec<f64> {
+        (0..n).map(|r| self.scale_for(r)).collect()
+    }
+
+    /// Rejects non-finite/negative jitter, non-positive or non-finite
+    /// factors, and slow ranks outside `0..ranks`. Returns a human-readable
+    /// message naming the offending field.
+    pub fn validate(&self, ranks: usize) -> Result<(), String> {
+        if !self.jitter.is_finite() || self.jitter < 0.0 {
+            return Err(format!(
+                "StragglerModel.jitter must be a non-negative finite number, got {}",
+                self.jitter
+            ));
+        }
+        for slow in &self.slow_ranks {
+            if !slow.factor.is_finite() || slow.factor <= 0.0 {
+                return Err(format!(
+                    "StragglerModel.slow_ranks[rank {}].factor must be positive and finite, got {}",
+                    slow.rank, slow.factor
+                ));
+            }
+            if slow.rank >= ranks {
+                return Err(format!(
+                    "StragglerModel.slow_ranks names rank {} but the cluster has only {ranks} ranks",
+                    slow.rank
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for StragglerModel {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// splitmix64: the standard 64-bit finalizer, used here as a stateless
+/// deterministic hash of `(seed, rank)`.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// Deterministic uniform draw in `[0, 1)` from `(seed, stream)`.
+fn unit_uniform(seed: u64, stream: u64) -> f64 {
+    let bits = splitmix64(seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(stream));
+    // Top 53 bits → uniform double in [0, 1).
+    (bits >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_model_is_exactly_one_everywhere() {
+        let m = StragglerModel::none();
+        assert!(m.is_disabled());
+        for r in 0..16 {
+            assert_eq!(m.scale_for(r), 1.0);
+        }
+        assert_eq!(m.scales(4), vec![1.0; 4]);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let a = StragglerModel::jitter(0.25, 7);
+        let b = StragglerModel::jitter(0.25, 7);
+        let c = StragglerModel::jitter(0.25, 8);
+        for r in 0..32 {
+            let s = a.scale_for(r);
+            assert_eq!(s, b.scale_for(r), "same seed must give the same fleet");
+            assert!((1.0..1.25).contains(&s), "scale {s} outside [1, 1.25)");
+        }
+        assert_ne!(a.scales(8), c.scales(8), "different seeds should differ");
+    }
+
+    #[test]
+    fn slow_ranks_multiply_on_top() {
+        let m = StragglerModel::none().with_slow_rank(2, 4.0);
+        assert_eq!(m.scale_for(0), 1.0);
+        assert_eq!(m.scale_for(2), 4.0);
+        assert!(!m.is_disabled());
+        let jittered = StragglerModel::jitter(0.1, 1).with_slow_rank(2, 4.0);
+        assert_eq!(jittered.scale_for(2), jittered.scale_for(2));
+        assert!(jittered.scale_for(2) >= 4.0);
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        assert!(StragglerModel::jitter(-0.1, 0).validate(4).is_err());
+        assert!(StragglerModel::jitter(f64::NAN, 0).validate(4).is_err());
+        assert!(StragglerModel::none().with_slow_rank(1, 0.0).validate(4).is_err());
+        assert!(StragglerModel::none().with_slow_rank(1, f64::INFINITY).validate(4).is_err());
+        assert!(StragglerModel::none().with_slow_rank(4, 2.0).validate(4).is_err());
+        assert!(StragglerModel::none().with_slow_rank(3, 2.0).validate(4).is_ok());
+    }
+
+    #[test]
+    fn unit_uniform_is_in_range() {
+        for s in 0..50u64 {
+            for r in 0..8u64 {
+                let u = unit_uniform(s, r);
+                assert!((0.0..1.0).contains(&u));
+            }
+        }
+    }
+}

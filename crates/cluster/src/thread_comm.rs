@@ -17,6 +17,7 @@
 use crate::comm::{CollectiveHandle, Communicator, ROOT_RANK};
 use crate::network::{CollectiveKind, CollectiveSelector, NetworkModel};
 use crate::stats::CommStats;
+use crate::straggler::StragglerModel;
 use crate::workspace::{CommWorkspace, CommWorkspaceStats};
 use parking_lot::{Condvar, Mutex};
 use std::sync::Arc;
@@ -66,6 +67,7 @@ struct RoundState {
     /// Per-rank simulated arrival times.
     times: Vec<f64>,
     max_time: f64,
+    min_time: f64,
     /// The finalized output (reduction / root payload / concatenation).
     result: Vec<f64>,
 }
@@ -94,6 +96,7 @@ impl Rendezvous {
                 lens: vec![0; n],
                 times: vec![0.0; n],
                 max_time: 0.0,
+                min_time: 0.0,
                 result: Vec::new(),
             }),
             cv: Condvar::new(),
@@ -154,7 +157,10 @@ impl Rendezvous {
     /// fixed rank order — which is what makes every cost-model algorithm
     /// bit-identical by construction.
     fn finalize(st: &mut RoundState, n: usize) {
+        // Completion is governed by the *latest* arrival — a straggling rank
+        // delays everyone — and the max−min spread is the round's skew.
         st.max_time = st.times.iter().fold(0.0, |a, &b| a.max(b));
+        st.min_time = st.times.iter().fold(f64::INFINITY, |a, &b| a.min(b));
         let RoundState {
             ref mut result,
             ref slots,
@@ -204,13 +210,13 @@ impl Rendezvous {
 
     /// Blocks until the round is complete, hands the state to `read`, and
     /// departs; the last rank to depart opens the next round. Returns the
-    /// read result and the latest simulated arrival time of the round.
+    /// read result and the round's arrival-time summary.
     ///
     /// A `read` that detects a collective-order violation returns `Err`; the
     /// rendezvous is then poisoned (so every other rank panics instead of
     /// deadlocking in a round that can never drain) before this rank panics
     /// with the violation message.
-    fn collect<R>(&self, _rank: usize, _my_round: u64, read: impl FnOnce(&RoundState) -> Result<R, String>) -> (R, f64) {
+    fn collect<R>(&self, _rank: usize, _my_round: u64, read: impl FnOnce(&RoundState) -> Result<R, String>) -> (R, RoundTiming) {
         let mut st = self.state.lock();
         while !st.complete && !st.poisoned {
             self.cv.wait(&mut st);
@@ -226,7 +232,10 @@ impl Rendezvous {
                 panic!("{violation}");
             }
         };
-        let max_time = st.max_time;
+        let timing = RoundTiming {
+            max_time: st.max_time,
+            min_time: st.min_time,
+        };
         st.departed += 1;
         if st.departed == self.n {
             st.arrived = 0;
@@ -235,8 +244,18 @@ impl Rendezvous {
             st.round += 1;
             self.cv.notify_all();
         }
-        (out, max_time)
+        (out, timing)
     }
+}
+
+/// Arrival-time summary of one completed rendezvous round: the latest and
+/// earliest per-rank arrival on the simulated clocks. The latest arrival
+/// gates completion (a straggler delays everyone); the spread is the round
+/// skew surfaced through [`CommStats`].
+#[derive(Debug, Clone, Copy)]
+struct RoundTiming {
+    max_time: f64,
+    min_time: f64,
 }
 
 /// Communicator handle owned by one simulated rank (one thread).
@@ -249,6 +268,9 @@ pub struct ThreadComm {
     /// Number of rendezvous rounds this rank has entered.
     rounds: u64,
     elapsed: f64,
+    /// Multiplicative straggler factor applied to every compute charge
+    /// (exactly 1.0 on homogeneous clusters, which multiplies bit-exactly).
+    compute_scale: f64,
     stats: CommStats,
     pool: CommWorkspace,
 }
@@ -256,7 +278,14 @@ pub struct ThreadComm {
 const F64_BYTES: f64 = std::mem::size_of::<f64>() as f64;
 
 impl ThreadComm {
-    fn new(rank: usize, size: usize, network: NetworkModel, selector: CollectiveSelector, rendezvous: Arc<Rendezvous>) -> Self {
+    fn new(
+        rank: usize,
+        size: usize,
+        network: NetworkModel,
+        selector: CollectiveSelector,
+        compute_scale: f64,
+        rendezvous: Arc<Rendezvous>,
+    ) -> Self {
         Self {
             rank,
             size,
@@ -265,6 +294,7 @@ impl ThreadComm {
             rendezvous,
             rounds: 0,
             elapsed: 0.0,
+            compute_scale,
             stats: CommStats::default(),
             pool: CommWorkspace::new(),
         }
@@ -278,6 +308,12 @@ impl ThreadComm {
     /// The collective-algorithm selection rule in effect.
     pub fn selector(&self) -> CollectiveSelector {
         self.selector
+    }
+
+    /// The straggler compute-slowdown factor of this rank (1.0 when no
+    /// straggler model is configured).
+    pub fn straggler_scale(&self) -> f64 {
+        self.compute_scale
     }
 
     /// Pool counters of the communication workspace (staging buffers for the
@@ -298,12 +334,17 @@ impl ThreadComm {
     }
 
     /// Charges one completed blocking collective: the rank's clock advances
-    /// to `max(arrivals) + cost`, and the elapsed wall (including straggler
-    /// wait) is recorded against `kind`.
-    fn bill_blocking(&mut self, kind: CollectiveKind, cost_bytes: f64, sent: f64, received: f64, max_time: f64) {
+    /// to `max(arrivals) + cost` — collectives complete at the *latest*
+    /// arrival, so a straggling rank delays everyone — and the elapsed wall
+    /// (including the straggler wait) is recorded against `kind`. The wait
+    /// itself (`max(arrivals) − my arrival`) and the round's arrival spread
+    /// feed the idle-wait/skew counters of [`CommStats`].
+    fn bill_blocking(&mut self, kind: CollectiveKind, cost_bytes: f64, sent: f64, received: f64, timing: RoundTiming) {
         let (algo, cost) = self.network.select(kind, self.size, cost_bytes, self.selector);
         let start = self.elapsed;
-        let finish = max_time + cost;
+        self.stats
+            .record_skew(timing.max_time - start, timing.max_time - timing.min_time);
+        let finish = timing.max_time + cost;
         if finish > self.elapsed {
             self.elapsed = finish;
         }
@@ -311,17 +352,28 @@ impl ThreadComm {
     }
 
     /// Shared implementation of the split-phase element-wise allreduces.
+    /// Round skew is recorded at start; idle wait is not (a split-phase
+    /// collective's wait is deliberately overlapped with compute).
     fn start_elementwise(&mut self, op: RoundOp, data: &[f64]) -> CollectiveHandle {
         let bytes = data.len() as f64 * F64_BYTES;
         let (algo, cost) = self.network.select(CollectiveKind::Allreduce, self.size, bytes, self.selector);
         let my_round = self.begin_round();
         self.rendezvous.deposit(self.rank, my_round, op, data, self.elapsed);
         let mut result = self.pool.acquire(data.len());
-        let ((), max_time) = self.rendezvous.collect(self.rank, my_round, |st| {
+        let ((), timing) = self.rendezvous.collect(self.rank, my_round, |st| {
             result.copy_from_slice(&st.result);
             Ok(())
         });
-        CollectiveHandle::new(result, max_time + cost, CollectiveKind::Allreduce, algo, bytes, bytes, false)
+        self.stats.record_skew(0.0, timing.max_time - timing.min_time);
+        CollectiveHandle::new(
+            result,
+            timing.max_time + cost,
+            CollectiveKind::Allreduce,
+            algo,
+            bytes,
+            bytes,
+            false,
+        )
     }
 }
 
@@ -338,8 +390,8 @@ impl Communicator for ThreadComm {
         let my_round = self.begin_round();
         self.rendezvous
             .deposit(self.rank, my_round, RoundOp::Barrier, &[], self.elapsed);
-        let ((), max_time) = self.rendezvous.collect(self.rank, my_round, |_| Ok(()));
-        self.bill_blocking(CollectiveKind::Barrier, 0.0, 0.0, 0.0, max_time);
+        let ((), timing) = self.rendezvous.collect(self.rank, my_round, |_| Ok(()));
+        self.bill_blocking(CollectiveKind::Barrier, 0.0, 0.0, 0.0, timing);
     }
 
     fn allgather(&mut self, data: &[f64]) -> Vec<Vec<f64>> {
@@ -347,13 +399,13 @@ impl Communicator for ThreadComm {
         let my_round = self.begin_round();
         self.rendezvous
             .deposit(self.rank, my_round, RoundOp::Concat, data, self.elapsed);
-        let (contributions, max_time) = self.rendezvous.collect(self.rank, my_round, |st| Ok(st.slots.to_vec()));
+        let (contributions, timing) = self.rendezvous.collect(self.rank, my_round, |st| Ok(st.slots.to_vec()));
         self.bill_blocking(
             CollectiveKind::Allgather,
             bytes,
             bytes,
             bytes * (self.size as f64 - 1.0),
-            max_time,
+            timing,
         );
         contributions
     }
@@ -379,11 +431,11 @@ impl Communicator for ThreadComm {
         let my_round = self.begin_round();
         self.rendezvous
             .deposit(self.rank, my_round, RoundOp::Concat, data, self.elapsed);
-        let (contributions, max_time) = self.rendezvous.collect(self.rank, my_round, |st| {
+        let (contributions, timing) = self.rendezvous.collect(self.rank, my_round, |st| {
             Ok(if is_root { Some(st.slots.to_vec()) } else { None })
         });
         let received = if is_root { bytes * (self.size as f64 - 1.0) } else { 0.0 };
-        self.bill_blocking(CollectiveKind::Gather, bytes, bytes, received, max_time);
+        self.bill_blocking(CollectiveKind::Gather, bytes, bytes, received, timing);
         contributions
     }
 
@@ -397,10 +449,10 @@ impl Communicator for ThreadComm {
         let my_round = self.begin_round();
         self.rendezvous
             .deposit(self.rank, my_round, RoundOp::CopyRoot, payload, self.elapsed);
-        let (root_data, max_time) = self.rendezvous.collect(self.rank, my_round, |st| Ok(st.result.to_vec()));
+        let (root_data, timing) = self.rendezvous.collect(self.rank, my_round, |st| Ok(st.result.to_vec()));
         let bytes = root_data.len() as f64 * F64_BYTES;
         let received = if self.rank == ROOT_RANK { 0.0 } else { bytes };
-        self.bill_blocking(CollectiveKind::Broadcast, bytes, sent, received, max_time);
+        self.bill_blocking(CollectiveKind::Broadcast, bytes, sent, received, timing);
         root_data
     }
 
@@ -427,7 +479,7 @@ impl Communicator for ThreadComm {
         let my_round = self.begin_round();
         self.rendezvous
             .deposit(self.rank, my_round, RoundOp::CopyRoot, &flat, self.elapsed);
-        let ((mine, avg_bytes), max_time) = self.rendezvous.collect(self.rank, my_round, |st| {
+        let ((mine, avg_bytes), timing) = self.rendezvous.collect(self.rank, my_round, |st| {
             let root_flat = &st.result;
             let lengths: Vec<usize> = root_flat[..size].iter().map(|&l| l as usize).collect();
             let avg_bytes = lengths.iter().sum::<usize>() as f64 / size as f64 * F64_BYTES;
@@ -442,7 +494,7 @@ impl Communicator for ThreadComm {
         } else {
             mine.len() as f64 * F64_BYTES
         };
-        self.bill_blocking(CollectiveKind::Scatter, avg_bytes, sent, received, max_time);
+        self.bill_blocking(CollectiveKind::Scatter, avg_bytes, sent, received, timing);
         mine
     }
 
@@ -455,22 +507,22 @@ impl Communicator for ThreadComm {
         let bytes = buf.len() as f64 * F64_BYTES;
         let my_round = self.begin_round();
         self.rendezvous.deposit(self.rank, my_round, RoundOp::Sum, buf, self.elapsed);
-        let ((), max_time) = self.rendezvous.collect(self.rank, my_round, |st| {
+        let ((), timing) = self.rendezvous.collect(self.rank, my_round, |st| {
             buf.copy_from_slice(&st.result);
             Ok(())
         });
-        self.bill_blocking(CollectiveKind::Allreduce, bytes, bytes, bytes, max_time);
+        self.bill_blocking(CollectiveKind::Allreduce, bytes, bytes, bytes, timing);
     }
 
     fn allreduce_max_into(&mut self, buf: &mut [f64]) {
         let bytes = buf.len() as f64 * F64_BYTES;
         let my_round = self.begin_round();
         self.rendezvous.deposit(self.rank, my_round, RoundOp::Max, buf, self.elapsed);
-        let ((), max_time) = self.rendezvous.collect(self.rank, my_round, |st| {
+        let ((), timing) = self.rendezvous.collect(self.rank, my_round, |st| {
             buf.copy_from_slice(&st.result);
             Ok(())
         });
-        self.bill_blocking(CollectiveKind::Allreduce, bytes, bytes, bytes, max_time);
+        self.bill_blocking(CollectiveKind::Allreduce, bytes, bytes, bytes, timing);
     }
 
     fn reduce_sum_root_into(&mut self, buf: &mut [f64]) -> bool {
@@ -478,14 +530,14 @@ impl Communicator for ThreadComm {
         let is_root = self.rank == ROOT_RANK;
         let my_round = self.begin_round();
         self.rendezvous.deposit(self.rank, my_round, RoundOp::Sum, buf, self.elapsed);
-        let ((), max_time) = self.rendezvous.collect(self.rank, my_round, |st| {
+        let ((), timing) = self.rendezvous.collect(self.rank, my_round, |st| {
             if is_root {
                 buf.copy_from_slice(&st.result);
             }
             Ok(())
         });
         let received = if is_root { bytes * (self.size as f64 - 1.0) } else { 0.0 };
-        self.bill_blocking(CollectiveKind::Reduce, bytes, bytes, received, max_time);
+        self.bill_blocking(CollectiveKind::Reduce, bytes, bytes, received, timing);
         is_root
     }
 
@@ -496,7 +548,7 @@ impl Communicator for ThreadComm {
         let my_round = self.begin_round();
         self.rendezvous
             .deposit(self.rank, my_round, RoundOp::CopyRoot, payload, self.elapsed);
-        let (bytes, max_time) = self.rendezvous.collect(self.rank, my_round, |st| {
+        let (bytes, timing) = self.rendezvous.collect(self.rank, my_round, |st| {
             if st.result.len() != buf.len() {
                 // Returning Err poisons the rendezvous so the other ranks
                 // panic too instead of deadlocking in an undrainable round.
@@ -513,7 +565,7 @@ impl Communicator for ThreadComm {
             Ok(st.result.len() as f64 * F64_BYTES)
         });
         let received = if rank == ROOT_RANK { 0.0 } else { bytes };
-        self.bill_blocking(CollectiveKind::Broadcast, bytes, sent, received, max_time);
+        self.bill_blocking(CollectiveKind::Broadcast, bytes, sent, received, timing);
     }
 
     fn allgather_into(&mut self, data: &[f64], out: &mut [f64]) {
@@ -528,7 +580,7 @@ impl Communicator for ThreadComm {
         let my_round = self.begin_round();
         self.rendezvous
             .deposit(self.rank, my_round, RoundOp::Concat, data, self.elapsed);
-        let ((), max_time) = self.rendezvous.collect(self.rank, my_round, |st| {
+        let ((), timing) = self.rendezvous.collect(self.rank, my_round, |st| {
             if let Some(bad) = (0..st.lens.len()).find(|&r| st.lens[r] != expected) {
                 return Err(format!(
                     "collective-order violation: rank {bad} contributed {} elements to allgather_into, \
@@ -544,7 +596,7 @@ impl Communicator for ThreadComm {
             bytes,
             bytes,
             bytes * (self.size as f64 - 1.0),
-            max_time,
+            timing,
         );
     }
 
@@ -598,7 +650,10 @@ impl Communicator for ThreadComm {
     }
 
     fn advance_compute(&mut self, dt: f64) {
-        let dt = dt.max(0.0);
+        // The straggler factor scales compute only; communication costs are
+        // charged unscaled (the fabric is shared). On a homogeneous cluster
+        // the scale is exactly 1.0 and `dt * 1.0 == dt` bit-for-bit.
+        let dt = dt.max(0.0) * self.compute_scale;
         self.elapsed += dt;
         self.stats.record_compute(dt);
     }
@@ -618,6 +673,9 @@ pub struct Cluster {
     size: usize,
     network: NetworkModel,
     selector: CollectiveSelector,
+    /// Per-rank compute scales resolved from the straggler model (empty =
+    /// homogeneous, every rank at exactly 1.0).
+    scales: Vec<f64>,
 }
 
 impl Cluster {
@@ -634,6 +692,7 @@ impl Cluster {
             size,
             network,
             selector: CollectiveSelector::from_env(),
+            scales: Vec::new(),
         }
     }
 
@@ -641,6 +700,27 @@ impl Cluster {
     pub fn with_collectives(mut self, selector: CollectiveSelector) -> Self {
         self.selector = selector;
         self
+    }
+
+    /// Attaches a deterministic straggler model: every rank's compute
+    /// charges are multiplied by its resolved scale, so slow ranks arrive
+    /// late at collectives and (because completion is the max over
+    /// arrivals) delay everyone.
+    ///
+    /// # Panics
+    /// Panics if the model fails [`StragglerModel::validate`] for this
+    /// cluster size.
+    pub fn with_straggler(mut self, model: &StragglerModel) -> Self {
+        if let Err(msg) = model.validate(self.size) {
+            panic!("invalid straggler model: {msg}");
+        }
+        self.scales = model.scales(self.size);
+        self
+    }
+
+    /// The compute scale of one rank (1.0 when no straggler model is set).
+    pub fn rank_scale(&self, rank: usize) -> f64 {
+        self.scales.get(rank).copied().unwrap_or(1.0)
     }
 
     /// Number of ranks.
@@ -674,10 +754,11 @@ impl Cluster {
                 let rendezvous = Arc::clone(&rendezvous);
                 let network = self.network;
                 let selector = self.selector;
+                let scale = self.rank_scale(rank);
                 let size = self.size;
                 let f = &f;
                 handles.push(scope.spawn(move || {
-                    let mut comm = ThreadComm::new(rank, size, network, selector, rendezvous);
+                    let mut comm = ThreadComm::new(rank, size, network, selector, scale, rendezvous);
                     *slot = Some(f(&mut comm));
                 }));
             }
@@ -1080,5 +1161,87 @@ mod tests {
     #[should_panic]
     fn zero_rank_cluster_is_rejected() {
         Cluster::new(0, NetworkModel::ideal());
+    }
+
+    #[test]
+    fn a_designated_slow_rank_delays_every_rank() {
+        let model = StragglerModel::none().with_slow_rank(1, 4.0);
+        let results = cluster(3).with_straggler(&model).run(|comm| {
+            comm.advance_compute(1.0);
+            comm.barrier();
+            (comm.straggler_scale(), comm.elapsed(), comm.stats())
+        });
+        assert_eq!(results[0].0, 1.0);
+        assert_eq!(results[1].0, 4.0);
+        for (rank, (_, elapsed, stats)) in results.iter().enumerate() {
+            assert!(
+                *elapsed >= 4.0,
+                "rank {rank} finished at {elapsed}, before the 4× straggler arrived"
+            );
+            if rank == 1 {
+                assert!(stats.idle_wait_time < 1e-9, "the slowest rank never waits");
+            } else {
+                assert!(
+                    (stats.idle_wait_time - 3.0).abs() < 1e-9,
+                    "rank {rank} should wait 3 s for the straggler, waited {}",
+                    stats.idle_wait_time
+                );
+            }
+            assert!(
+                (stats.max_round_skew - 3.0).abs() < 1e-9,
+                "round skew should be 3 s, got {}",
+                stats.max_round_skew
+            );
+        }
+    }
+
+    #[test]
+    fn zero_jitter_straggler_model_is_bit_identical_to_no_model() {
+        let payload: Vec<f64> = (0..512).map(|i| (i as f64 * 0.61).cos()).collect();
+        let run = |cluster: Cluster| {
+            cluster.run(|comm| {
+                let mut buf = payload.clone();
+                for v in buf.iter_mut() {
+                    *v *= comm.rank() as f64 + 0.5;
+                }
+                comm.advance_compute(1e-3 * (comm.rank() as f64 + 1.0));
+                comm.allreduce_sum_into(&mut buf);
+                (buf, comm.elapsed(), comm.stats())
+            })
+        };
+        let plain = run(cluster(4));
+        let modeled = run(cluster(4).with_straggler(&StragglerModel::none()));
+        for ((a_buf, a_t, a_s), (b_buf, b_t, b_s)) in plain.iter().zip(&modeled) {
+            assert_eq!(a_buf, b_buf);
+            assert_eq!(a_t.to_bits(), b_t.to_bits());
+            assert_eq!(a_s, b_s);
+        }
+    }
+
+    #[test]
+    fn jittered_fleets_are_reproducible_for_a_fixed_seed() {
+        let model = StragglerModel::jitter(0.5, 1234).with_slow_rank(2, 2.0);
+        let run = || {
+            cluster(4).with_straggler(&model).run(|comm| {
+                comm.advance_compute(0.25);
+                comm.barrier();
+                (comm.elapsed(), comm.stats())
+            })
+        };
+        let a = run();
+        let b = run();
+        for ((at, astats), (bt, bstats)) in a.iter().zip(&b) {
+            assert_eq!(at.to_bits(), bt.to_bits());
+            assert_eq!(astats, bstats);
+        }
+        // And the fleet is genuinely uneven: someone waited.
+        assert!(a.iter().any(|(_, s)| s.idle_wait_time > 0.0));
+        assert!(a[0].1.max_round_skew > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid straggler model")]
+    fn out_of_range_slow_rank_is_rejected_at_construction() {
+        cluster(2).with_straggler(&StragglerModel::none().with_slow_rank(5, 2.0));
     }
 }

@@ -6,6 +6,25 @@ use nadmm_solver::validate::{require_non_negative, require_nonzero, require_posi
 use nadmm_solver::{CgConfig, LineSearchConfig, NewtonConfig};
 use serde::{Deserialize, Serialize};
 
+/// Rank-dropout fault injection: simulates a worker crashing mid-run.
+///
+/// From iteration `at_iter` onward, rank `rank` stops doing local work and
+/// contributes **zero weight** to every consensus round, so the z-update's
+/// average is automatically re-weighted over the surviving ranks (the dead
+/// rank's `ρ_i x_i − y_i` and `ρ_i` terms vanish from the sums). The dead
+/// rank's thread keeps participating in the collective *data path* — exactly
+/// like an MPI job whose failed rank is replaced by a zero-contributing
+/// stub — so the run completes and reports how well the fleet tolerated the
+/// loss. The master rank (0) performs the z-update and cannot be dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DropoutSpec {
+    /// The rank that dies (must not be the master rank 0).
+    pub rank: usize,
+    /// First outer iteration the rank is dead for (1-based; iteration
+    /// numbers match the run history).
+    pub at_iter: usize,
+}
+
 /// Full configuration of a Newton-ADMM run (paper Algorithm 2 parameters plus
 /// the simulated-hardware knobs).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -36,6 +55,20 @@ pub struct NewtonAdmmConfig {
     /// Whether to evaluate (and record) test accuracy each iteration when a
     /// test set is provided.
     pub record_accuracy: bool,
+    /// Bounded-staleness consensus mode: a per-iteration deadline (simulated
+    /// seconds) on each rank's local Newton work. A rank whose solve passes
+    /// the deadline stops after the current Newton step and joins the
+    /// consensus round with however inexact a local iterate it has — on a
+    /// straggling rank that can mean contributing a solution still anchored
+    /// at the previous round's consensus vector. This is exactly the
+    /// inexactness Newton-ADMM tolerates and exact-averaging methods do not;
+    /// at least one Newton step always runs, so staleness is bounded by one
+    /// round. `None` (the default) runs every configured step —
+    /// bit-identical to the synchronous path.
+    pub staleness_deadline_sec: Option<f64>,
+    /// Rank-dropout fault injection (`None` = no faults, bit-identical to
+    /// the fault-free path).
+    pub dropout: Option<DropoutSpec>,
 }
 
 impl Default for NewtonAdmmConfig {
@@ -54,6 +87,8 @@ impl Default for NewtonAdmmConfig {
             consensus_tol: 0.0,
             device: DeviceSpec::tesla_p100(),
             record_accuracy: true,
+            staleness_deadline_sec: None,
+            dropout: None,
         }
     }
 }
@@ -67,6 +102,25 @@ impl NewtonAdmmConfig {
         require_nonzero("NewtonAdmmConfig", "newton_steps_per_iter", self.newton_steps_per_iter)?;
         require_positive("NewtonAdmmConfig", "rho0", self.rho0)?;
         require_non_negative("NewtonAdmmConfig", "consensus_tol", self.consensus_tol)?;
+        if let Some(deadline) = self.staleness_deadline_sec {
+            if !deadline.is_finite() || deadline <= 0.0 {
+                return Err(ConfigError::new(
+                    "NewtonAdmmConfig",
+                    "staleness_deadline_sec",
+                    format!("must be positive and finite when set, got {deadline}"),
+                ));
+            }
+        }
+        if let Some(dropout) = self.dropout {
+            if dropout.rank == 0 {
+                return Err(ConfigError::new(
+                    "NewtonAdmmConfig",
+                    "dropout.rank",
+                    "the master rank (0) performs the z-update and cannot be dropped",
+                ));
+            }
+            require_nonzero("NewtonAdmmConfig", "dropout.at_iter", dropout.at_iter)?;
+        }
         self.cg.validate()?;
         self.line_search.validate()?;
         self.penalty.validate()
@@ -105,6 +159,19 @@ impl NewtonAdmmConfig {
         self.penalty = rule;
         self
     }
+
+    /// Builder-style bounded-staleness deadline (simulated seconds of local
+    /// Newton work per outer iteration).
+    pub fn with_staleness_deadline(mut self, seconds: f64) -> Self {
+        self.staleness_deadline_sec = Some(seconds);
+        self
+    }
+
+    /// Builder-style rank-dropout fault injection.
+    pub fn with_dropout(mut self, rank: usize, at_iter: usize) -> Self {
+        self.dropout = Some(DropoutSpec { rank, at_iter });
+        self
+    }
 }
 
 #[cfg(test)]
@@ -136,5 +203,27 @@ mod tests {
         let n = c.newton_config();
         assert_eq!(n.max_iters, 1);
         assert_eq!(n.cg.max_iters, 30);
+    }
+
+    #[test]
+    fn heterogeneity_knobs_default_off_and_validate() {
+        let c = NewtonAdmmConfig::default();
+        assert_eq!(c.staleness_deadline_sec, None);
+        assert_eq!(c.dropout, None);
+        c.validate().unwrap();
+
+        let c = NewtonAdmmConfig::default().with_staleness_deadline(1e-3).with_dropout(2, 5);
+        c.validate().unwrap();
+        assert_eq!(c.staleness_deadline_sec, Some(1e-3));
+        assert_eq!(c.dropout, Some(DropoutSpec { rank: 2, at_iter: 5 }));
+
+        let bad = NewtonAdmmConfig::default().with_staleness_deadline(0.0);
+        assert_eq!(bad.validate().unwrap_err().field, "staleness_deadline_sec");
+        let bad = NewtonAdmmConfig::default().with_staleness_deadline(f64::INFINITY);
+        assert_eq!(bad.validate().unwrap_err().field, "staleness_deadline_sec");
+        let bad = NewtonAdmmConfig::default().with_dropout(0, 3);
+        assert_eq!(bad.validate().unwrap_err().field, "dropout.rank");
+        let bad = NewtonAdmmConfig::default().with_dropout(1, 0);
+        assert_eq!(bad.validate().unwrap_err().field, "dropout.at_iter");
     }
 }

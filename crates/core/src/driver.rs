@@ -39,6 +39,10 @@ pub struct NewtonAdmmOutput {
     /// Device-workspace pool counters of this rank (zero-allocation proof
     /// material: a warm run shows `pool_misses == 0`).
     pub workspace: WorkspaceStats,
+    /// Number of Newton steps this rank *shed* to meet the bounded-staleness
+    /// deadline (0 when the mode is off or the rank always finished in
+    /// time).
+    pub shed_newton_steps: u64,
 }
 
 /// In-flight split-phase instrumentation of one outer iteration: a single
@@ -74,6 +78,10 @@ pub struct AdmmWorker {
     payload: Vec<f64>,
     rho: f64,
     spectral: SpectralState,
+    /// Whether this rank has been killed by the dropout fault injection.
+    dead: bool,
+    /// Newton steps shed to meet the bounded-staleness deadline.
+    shed_newton_steps: u64,
 }
 
 impl AdmmWorker {
@@ -106,6 +114,8 @@ impl AdmmWorker {
             payload: vec![0.0; dim + 1],
             rho: config.rho0,
             spectral: SpectralState::new(dim),
+            dead: false,
+            shed_newton_steps: 0,
         }
     }
 
@@ -124,6 +134,22 @@ impl AdmmWorker {
         self.rho
     }
 
+    /// Whether this rank has been killed by the dropout fault injection.
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// Kills (or revives) this rank; dead ranks contribute zero weight to
+    /// every consensus round. Driven by [`NewtonAdmmConfig::dropout`].
+    pub fn set_dead(&mut self, dead: bool) {
+        self.dead = dead;
+    }
+
+    /// Newton steps shed so far to meet the bounded-staleness deadline.
+    pub fn shed_newton_steps(&self) -> u64 {
+        self.shed_newton_steps
+    }
+
     /// Pool counters of the device workspace (for the zero-allocation
     /// proofs).
     pub fn workspace_stats(&self) -> nadmm_device::WorkspaceStats {
@@ -139,13 +165,46 @@ impl AdmmWorker {
     /// ADMM-augmented local objective (Eq. 6a / Algorithm 1). The simulated
     /// time of the actual kernel launches (GEMMs, softmax rows, HVPs,
     /// line-search values) is billed to this rank's clock.
+    ///
+    /// With [`NewtonAdmmConfig::staleness_deadline_sec`] set, each rank
+    /// stops after the Newton step that crosses the deadline on its own
+    /// simulated clock (which includes any straggler slowdown): a slow rank
+    /// sheds steps instead of stalling the fleet, joining the consensus
+    /// round with a less-exact — *staler* — local iterate. At least one step
+    /// always runs, so a rank's contribution is never more than one
+    /// consensus round stale. A dead rank does nothing.
     pub fn local_solve(&mut self, comm: &mut dyn Communicator) {
-        self.aug.set_anchor(&self.z, &self.y, self.rho);
-        let compute_start = self.device.elapsed();
-        for _ in 0..self.cfg.newton_steps_per_iter {
-            self.newton.step_ws(&self.aug, &mut self.x, &mut self.ws);
+        if self.dead {
+            return;
         }
-        comm.advance_compute(self.device.elapsed() - compute_start);
+        self.aug.set_anchor(&self.z, &self.y, self.rho);
+        match self.cfg.staleness_deadline_sec {
+            None => {
+                // Synchronous mode: one compute charge for the whole solve
+                // (kept exactly as-is so the disabled path is bit-identical).
+                let compute_start = self.device.elapsed();
+                for _ in 0..self.cfg.newton_steps_per_iter {
+                    self.newton.step_ws(&self.aug, &mut self.x, &mut self.ws);
+                }
+                comm.advance_compute(self.device.elapsed() - compute_start);
+            }
+            Some(deadline) => {
+                let iter_start = comm.elapsed();
+                let mut mark = self.device.elapsed();
+                for step in 0..self.cfg.newton_steps_per_iter {
+                    self.newton.step_ws(&self.aug, &mut self.x, &mut self.ws);
+                    let now = self.device.elapsed();
+                    // Charged per step so the deadline sees the rank's
+                    // *scaled* clock (straggler slowdowns included).
+                    comm.advance_compute(now - mark);
+                    mark = now;
+                    if comm.elapsed() - iter_start >= deadline {
+                        self.shed_newton_steps += (self.cfg.newton_steps_per_iter - step - 1) as u64;
+                        break;
+                    }
+                }
+            }
+        }
     }
 
     /// Steps 2–3 of outer iteration `k`: one round of communication
@@ -154,6 +213,18 @@ impl AdmmWorker {
     /// followed by the local dual update (Eq. 6c) and penalty adaptation.
     pub fn consensus_update(&mut self, comm: &mut dyn Communicator, k: usize) {
         let dim = self.dim;
+        if self.dead {
+            // A dead rank contributes zero weight: its `ρ_i x_i − y_i` and
+            // `ρ_i` terms vanish from the reduce, so the z-update's average
+            // is re-weighted over the surviving ranks automatically. The
+            // collective data path is still exercised (every rank must call
+            // every collective), and the dead rank's `z` keeps tracking the
+            // survivors' consensus through the broadcast.
+            self.payload.fill(0.0);
+            comm.reduce_sum_root_into(&mut self.payload);
+            comm.broadcast_root_into(&mut self.z);
+            return;
+        }
         // Intermediate dual ŷ_i (uses the *old* consensus iterate) — needed
         // by the spectral penalty estimator.
         for i in 0..dim {
@@ -209,8 +280,16 @@ impl AdmmWorker {
     /// (max). The local evaluations are instrumentation and not billed as
     /// solver compute.
     pub fn start_instrumentation(&mut self, comm: &mut dyn Communicator, test: Option<&Dataset>) -> InstrumentationHandles {
-        let loss = self.local.value_ws(&self.z, &mut self.ws);
         let has_accuracy = self.cfg.record_accuracy && test.is_some();
+        if self.dead {
+            // A dead rank's shard has left the problem: it contributes zero
+            // loss, penalty, and residual, so the recorded objective is the
+            // survivors' objective (plus regulariser) and `mean_rho`
+            // averages dead ranks as 0.
+            let handle = comm.start_allreduce_sum_max(&[0.0, 0.0, 0.0, 0.0], 3);
+            return InstrumentationHandles { handle, has_accuracy };
+        }
+        let loss = self.local.value_ws(&self.z, &mut self.ws);
         // Only the root contributes a non-zero accuracy, so the *sum* equals
         // the root's measurement — no extra collective needed.
         let acc = match test {
@@ -289,6 +368,11 @@ impl NewtonAdmm {
 
         let mut pending: Option<(usize, InstrumentationHandles)> = None;
         for k in 1..=cfg.max_iters {
+            if let Some(dropout) = cfg.dropout {
+                if comm.rank() == dropout.rank && k >= dropout.at_iter {
+                    worker.set_dead(true);
+                }
+            }
             worker.local_solve(comm);
             // The previous iteration's instrumentation has been in flight
             // during the solve above; settle it now.
@@ -322,6 +406,7 @@ impl NewtonAdmm {
             comm_stats: comm.stats(),
             final_rho: worker.rho,
             workspace: worker.workspace_stats(),
+            shed_newton_steps: worker.shed_newton_steps,
             local_x: worker.x,
         }
     }
@@ -349,7 +434,9 @@ impl NewtonAdmm {
     /// Sequential single-process reference implementation of Algorithm 2,
     /// mathematically identical to the distributed path but with no
     /// communicator and no simulated timing (sim time = iteration index).
-    /// Used by the tests to validate the distributed execution.
+    /// Used by the tests to validate the distributed execution. The
+    /// heterogeneity knobs (`staleness_deadline_sec`, `dropout`) are
+    /// time/fault behaviours of the distributed path and are ignored here.
     pub fn run_reference(&self, shards: &[Dataset], test: Option<&Dataset>) -> NewtonAdmmOutput {
         assert!(!shards.is_empty(), "need at least one shard");
         let cfg = &self.config;
@@ -434,6 +521,7 @@ impl NewtonAdmm {
             comm_stats: CommStats::default(),
             final_rho: rhos.iter().sum::<f64>() / n as f64,
             workspace: workspaces[0].stats(),
+            shed_newton_steps: 0,
             local_x: xs.swap_remove(0),
         }
     }
@@ -634,6 +722,106 @@ mod tests {
         let cluster = Cluster::new(2, NetworkModel::ideal());
         let out = NewtonAdmm::new(cfg).run_cluster(&cluster, &shards, None);
         assert!(out.history.len() < 101, "should stop well before 100 iterations");
+    }
+
+    #[test]
+    fn disabled_heterogeneity_knobs_are_bit_identical_to_the_synchronous_path() {
+        let (train, test) = small_dataset(90, 3, 8, 11);
+        let (shards, _) = partition_strong(&train, 3);
+        let cluster = Cluster::new(3, NetworkModel::infiniband_100g());
+        let base = NewtonAdmm::new(quick_config(5)).run_cluster(&cluster, &shards, Some(&test));
+        // `None` knobs are the *same* config, so run the explicit struct to
+        // prove the defaults are the disabled values.
+        let cfg = NewtonAdmmConfig {
+            staleness_deadline_sec: None,
+            dropout: None,
+            ..quick_config(5)
+        };
+        let explicit = NewtonAdmm::new(cfg).run_cluster(&cluster, &shards, Some(&test));
+        assert_eq!(base.z, explicit.z);
+        assert_eq!(base.shed_newton_steps, 0);
+        for (a, b) in base.history.records.iter().zip(&explicit.history.records) {
+            assert_eq!(a.objective.to_bits(), b.objective.to_bits());
+            assert_eq!(a.sim_time_sec.to_bits(), b.sim_time_sec.to_bits());
+        }
+    }
+
+    #[test]
+    fn staleness_deadline_sheds_steps_on_a_straggler_and_bounds_its_iteration_time() {
+        let (train, _) = small_dataset(120, 3, 8, 12);
+        let (shards, _) = partition_strong(&train, 4);
+        let slow = nadmm_cluster::StragglerModel::none().with_slow_rank(3, 8.0);
+        let cluster = Cluster::new(4, NetworkModel::infiniband_100g()).with_straggler(&slow);
+        let mut cfg = quick_config(6);
+        cfg.newton_steps_per_iter = 4;
+
+        // Measure a fast rank's synchronous per-iteration compute to pick a
+        // deadline that fits all 4 steps at 1× but not at 8×.
+        let sync = NewtonAdmm::new(cfg).run_cluster(&cluster, &shards, None);
+        let per_iter = sync.comm_stats.compute_time / 6.0;
+        let deadline = per_iter * 1.5;
+
+        let stale_cfg = NewtonAdmmConfig {
+            staleness_deadline_sec: Some(deadline),
+            ..cfg
+        };
+        let outputs = cluster.run_sharded(&shards, |comm, shard| {
+            NewtonAdmm::new(stale_cfg).run_distributed(comm, shard, None)
+        });
+        assert_eq!(outputs[0].shed_newton_steps, 0, "fast ranks meet the deadline");
+        assert!(
+            outputs[3].shed_newton_steps > 0,
+            "the 8× rank must shed Newton steps to meet the deadline"
+        );
+        // Shedding bounds the fleet's iteration time: the stale run is
+        // faster than the synchronous run on the same straggled cluster.
+        assert!(
+            outputs[0].history.total_sim_time() < sync.history.total_sim_time(),
+            "bounded staleness should beat full synchronisation under a straggler: {} vs {}",
+            outputs[0].history.total_sim_time(),
+            sync.history.total_sim_time()
+        );
+        // And the math still converges.
+        let first = outputs[0].history.records[0].objective;
+        let last = outputs[0].history.final_objective().unwrap();
+        assert!(last < first, "stale run must still make progress: {first} -> {last}");
+    }
+
+    #[test]
+    fn rank_dropout_reweights_the_consensus_over_survivors() {
+        let (train, _) = small_dataset(120, 3, 8, 13);
+        let (shards, _) = partition_strong(&train, 4);
+        let cluster = Cluster::new(4, NetworkModel::ideal());
+        let drop_at = 3;
+        let cfg = NewtonAdmmConfig {
+            dropout: Some(crate::config::DropoutSpec {
+                rank: 2,
+                at_iter: drop_at,
+            }),
+            ..quick_config(40)
+        };
+        let outputs = cluster.run_sharded(&shards, |comm, shard| NewtonAdmm::new(cfg).run_distributed(comm, shard, None));
+        // Every rank (including the dead one) reports the same consensus.
+        for out in &outputs[1..] {
+            assert_eq!(out.z, outputs[0].z);
+        }
+        // The surviving fleet re-weights its average over ranks {0, 1, 3},
+        // so the consensus must head towards the *survivors'* optimum, away
+        // from the full-fleet optimum that includes the dead shard.
+        let survivors: Vec<Dataset> = [0usize, 1, 3].iter().map(|&r| shards[r].clone()).collect();
+        let survivors_opt = NewtonAdmm::new(quick_config(60)).run_reference(&survivors, None);
+        let full_opt = NewtonAdmm::new(quick_config(60)).run_reference(&shards, None);
+        let to_survivors = vector::distance(&outputs[0].z, &survivors_opt.z);
+        let to_full = vector::distance(&outputs[0].z, &full_opt.z);
+        assert!(
+            to_survivors < to_full,
+            "post-dropout consensus should be closer to the survivors' optimum \
+             ({to_survivors}) than to the full-fleet optimum ({to_full})"
+        );
+        // The run must not have collapsed: objective still finite & improving.
+        let hist = &outputs[0].history;
+        assert!(hist.final_objective().unwrap().is_finite());
+        assert!(hist.final_objective().unwrap() < hist.records[0].objective);
     }
 
     #[test]

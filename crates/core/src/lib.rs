@@ -31,7 +31,7 @@ pub mod config;
 pub mod driver;
 pub mod penalty;
 
-pub use config::NewtonAdmmConfig;
+pub use config::{DropoutSpec, NewtonAdmmConfig};
 pub use driver::{AdmmWorker, InstrumentationHandles, NewtonAdmm, NewtonAdmmOutput};
 pub use penalty::{PenaltyRule, SpectralConfig, SpectralState};
 

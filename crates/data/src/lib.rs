@@ -21,7 +21,10 @@ pub mod partition;
 pub mod synthetic;
 
 pub use dataset::Dataset;
-pub use libsvm::{parse_libsvm, read_libsvm, LibsvmError};
+pub use libsvm::{
+    parse_libsvm, parse_libsvm_pair, parse_libsvm_with_schema, read_libsvm, read_libsvm_pair, read_libsvm_with_schema,
+    LibsvmError, LibsvmSchema,
+};
 pub use partition::{partition_strong, partition_weak, PartitionPlan};
 pub use synthetic::{DatasetKind, SyntheticConfig};
 

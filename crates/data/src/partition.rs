@@ -65,7 +65,12 @@ pub fn partition_strong(data: &Dataset, num_workers: usize) -> (Vec<Dataset>, Pa
 /// samples.
 pub fn partition_weak(data: &Dataset, num_workers: usize, per_worker: usize) -> (Vec<Dataset>, PartitionPlan) {
     assert!(num_workers > 0, "need at least one worker");
-    let needed = num_workers * per_worker;
+    // An unchecked multiply would wrap in release builds, letting an absurd
+    // request slip past the size check below and panic later with an
+    // unrelated slicing error.
+    let needed = num_workers
+        .checked_mul(per_worker)
+        .unwrap_or_else(|| panic!("weak scaling with {num_workers} workers × {per_worker} samples/worker overflows usize"));
     assert!(
         data.num_samples() >= needed,
         "weak scaling needs {needed} samples but the dataset has {}",
@@ -131,6 +136,13 @@ mod tests {
     fn weak_partition_requires_enough_samples() {
         let d = dataset(10);
         partition_weak(&d, 4, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows usize")]
+    fn weak_partition_rejects_overflowing_requests_loudly() {
+        let d = dataset(10);
+        partition_weak(&d, usize::MAX / 2, 3);
     }
 
     #[test]

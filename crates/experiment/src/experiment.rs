@@ -2,11 +2,12 @@
 //! cluster, and solvers, then run everything through one code path.
 
 use crate::report::RunReport;
-use crate::solver::run_solver_on;
+use crate::solver::{run_rank_solvers_on, run_solver_on, Solver};
 use crate::spec::{ClusterSpec, DataSpec, PartitionSpec, SolverSpec};
-use nadmm_baselines::{SyncSgd, SyncSgdConfig};
+use nadmm_baselines::SyncSgdConfig;
 use nadmm_cluster::Cluster;
 use nadmm_data::Dataset;
+use nadmm_device::DeviceSpec;
 use nadmm_solver::ConfigError;
 
 /// Why an experiment could not run.
@@ -156,6 +157,23 @@ impl Experiment {
         }
         for solver in &self.solvers {
             solver.validate()?;
+            // Cross-spec check only the experiment can do: fault injection
+            // must name a rank that exists on this cluster.
+            if let SolverSpec::NewtonAdmm(c) = solver {
+                if let Some(dropout) = c.dropout {
+                    if dropout.rank >= self.cluster.ranks {
+                        return Err(ConfigError::new(
+                            "NewtonAdmmConfig",
+                            "dropout.rank",
+                            format!(
+                                "names rank {} but the cluster has only {} ranks",
+                                dropout.rank, self.cluster.ranks
+                            ),
+                        )
+                        .into());
+                    }
+                }
+            }
         }
         Ok(())
     }
@@ -180,13 +198,14 @@ impl Experiment {
         };
         let (shards, _plan) = self.partition.apply(train, self.cluster.ranks)?;
         let cluster = self.cluster.build();
+        let rank_devices = self.cluster.rank_devices.as_deref();
         let mut reports = Vec::with_capacity(self.solvers.len());
         for spec in &self.solvers {
             let spec = match self.cluster.device {
                 Some(device) => spec.with_device(device),
                 None => spec.clone(),
             };
-            reports.push(run_spec_on(&cluster, &spec, &shards, test)?);
+            reports.push(run_spec_on(&cluster, &spec, &shards, test, rank_devices)?);
         }
         Ok(reports)
     }
@@ -200,21 +219,39 @@ impl Default for Experiment {
 
 /// Runs one solver spec on a cluster: a single run for ordinary specs, one
 /// run per candidate (keeping the best by final objective) for the SGD grid.
+/// With `rank_devices` set, every run instantiates one solver per rank so
+/// rank `i` computes on `rank_devices[i]` (a heterogeneous fleet).
 pub fn run_spec_on(
     cluster: &Cluster,
     spec: &SolverSpec,
     shards: &[Dataset],
     test: Option<&Dataset>,
+    rank_devices: Option<&[DeviceSpec]>,
 ) -> Result<RunReport, ExperimentError> {
+    let run_one = |spec: &SolverSpec| -> RunReport {
+        match rank_devices {
+            None => {
+                let solver = spec.build().expect("every non-grid spec builds a solver");
+                run_solver_on(cluster, solver.as_ref(), shards, test)
+            }
+            Some(devices) => {
+                let solvers: Vec<Box<dyn Solver>> = devices
+                    .iter()
+                    .map(|d| spec.with_device(*d).build().expect("every non-grid spec builds a solver"))
+                    .collect();
+                run_rank_solvers_on(cluster, &solvers, shards, test)
+            }
+        }
+    };
     match spec {
         SolverSpec::SyncSgdGrid { base, grid } => {
             let mut best: Option<RunReport> = None;
             for &step in grid {
-                let candidate = SyncSgd::new(SyncSgdConfig {
+                let candidate = SolverSpec::SyncSgd(SyncSgdConfig {
                     step_size: step,
                     ..*base
                 });
-                let report = run_solver_on(cluster, &candidate, shards, test);
+                let report = run_one(&candidate);
                 let objective = report.final_objective.unwrap_or(f64::INFINITY);
                 let is_better = best
                     .as_ref()
@@ -227,10 +264,7 @@ pub fn run_spec_on(
             }
             best.ok_or(ExperimentError::GridDiverged)
         }
-        other => {
-            let solver = other.build().expect("every non-grid spec builds a solver");
-            Ok(run_solver_on(cluster, solver.as_ref(), shards, test))
-        }
+        other => Ok(run_one(other)),
     }
 }
 
@@ -343,6 +377,76 @@ mod tests {
             .run()
             .unwrap();
         assert!(grid_best <= tiny[0].final_objective.unwrap() + 1e-12);
+    }
+
+    #[test]
+    fn per_rank_devices_make_the_fleet_heterogeneous() {
+        use nadmm_device::DeviceSpec;
+        let cfg = NewtonAdmmConfig::default().with_max_iters(2).with_lambda(1e-3);
+        let run_with = |cluster: ClusterSpec| {
+            Experiment::new()
+                .with_data_spec(tiny_data_spec())
+                .with_cluster(cluster)
+                .with_solver(SolverSpec::NewtonAdmm(cfg))
+                .run()
+                .unwrap()
+                .remove(0)
+        };
+        let homogeneous = run_with(ClusterSpec::new(2, NetworkModel::infiniband_100g()));
+        let hetero = run_with(
+            ClusterSpec::new(2, NetworkModel::infiniband_100g())
+                .with_rank_devices([DeviceSpec::tesla_p100(), DeviceSpec::cpu_like()]),
+        );
+        // The math is device-independent…
+        assert_eq!(homogeneous.final_w, hetero.final_w);
+        // …but the slow rank shows up in the fleet's skew summary.
+        // (Identical devices still show a little imbalance — different
+        // shards converge differently — but mixing a CPU in dwarfs it.)
+        let homo_skew = homogeneous.rank_skew.as_ref().unwrap();
+        let hetero_skew = hetero.rank_skew.as_ref().unwrap();
+        assert!(
+            hetero_skew.compute_imbalance() > 2.0 * homo_skew.compute_imbalance(),
+            "a cpu-like rank should be far slower than a P100 rank: imbalance {} vs homogeneous {}",
+            hetero_skew.compute_imbalance(),
+            homo_skew.compute_imbalance()
+        );
+        assert!(
+            hetero_skew.max_idle_wait_sec > 0.0,
+            "the fast rank must wait for the slow one"
+        );
+        // Direct plumbing proof: rank 1's device changed, so its simulated
+        // compute time changed. (The *fleet* time need not: it is governed
+        // by the slowest rank, the P100 in both runs.)
+        assert_ne!(hetero_skew.per_rank_compute_sec[1], homo_skew.per_rank_compute_sec[1]);
+        assert_eq!(hetero_skew.per_rank_compute_sec[0], homo_skew.per_rank_compute_sec[0]);
+    }
+
+    #[test]
+    fn straggled_experiments_slow_the_whole_fleet_deterministically() {
+        use nadmm_cluster::StragglerModel;
+        let cfg = NewtonAdmmConfig::default().with_max_iters(2).with_lambda(1e-3);
+        let run_with = |cluster: ClusterSpec| {
+            Experiment::new()
+                .with_data_spec(tiny_data_spec())
+                .with_cluster(cluster)
+                .with_solver(SolverSpec::NewtonAdmm(cfg))
+                .run()
+                .unwrap()
+                .remove(0)
+        };
+        let base = run_with(ClusterSpec::new(2, NetworkModel::infiniband_100g()));
+        let spec =
+            ClusterSpec::new(2, NetworkModel::infiniband_100g()).with_straggler(StragglerModel::none().with_slow_rank(1, 4.0));
+        let slow_a = run_with(spec.clone());
+        let slow_b = run_with(spec);
+        assert_eq!(base.final_w, slow_a.final_w, "stragglers change time, never math");
+        assert!(slow_a.total_sim_time_sec > base.total_sim_time_sec);
+        assert_eq!(
+            slow_a.total_sim_time_sec.to_bits(),
+            slow_b.total_sim_time_sec.to_bits(),
+            "same seed, same fleet, same simulated times"
+        );
+        assert_eq!(slow_a.rank_skew, slow_b.rank_skew);
     }
 
     #[test]

@@ -36,9 +36,9 @@ pub mod solver;
 pub mod spec;
 
 pub use experiment::{run_spec_on, Experiment, ExperimentError};
-pub use report::RunReport;
+pub use report::{non_finite_path, to_finite_json_pretty, NonFiniteJsonError, RankSkew, RunReport};
 pub use scenario::ScenarioSpec;
-pub use solver::{run_solver_on, Aide, Solver};
+pub use solver::{run_rank_solvers_on, run_solver_on, Aide, Solver};
 pub use spec::{validate_device, ClusterSpec, DataSpec, PartitionSpec, SolverSpec};
 
 // Re-exported so downstream users of the experiment API can name the shared

@@ -10,7 +10,113 @@
 use nadmm_cluster::CommStats;
 use nadmm_device::WorkspaceStats;
 use nadmm_metrics::RunHistory;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
+
+/// JSON has no representation for NaN/±∞, so serializing a report or spec
+/// containing one can only produce garbage (`null` where a number belongs).
+/// This error names the offending field instead.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NonFiniteJsonError {
+    /// Dotted path of the first non-finite field (e.g.
+    /// `cluster.network.bandwidth`).
+    pub path: String,
+}
+
+impl std::fmt::Display for NonFiniteJsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cannot serialize to JSON: `{}` is not finite (JSON has no NaN/Infinity; \
+             use finite hardware models — e.g. a real fabric instead of NetworkModel::ideal())",
+            self.path
+        )
+    }
+}
+
+impl std::error::Error for NonFiniteJsonError {}
+
+/// Finds the first non-finite number in a serialized value tree, returning
+/// its dotted field path. Used to fail loudly *before* writing JSON that
+/// would not round-trip.
+pub fn non_finite_path(v: &Value) -> Option<String> {
+    fn walk(v: &Value, path: &str) -> Option<String> {
+        match v {
+            Value::Num(n) if !n.is_finite() => Some(path.to_string()),
+            Value::Seq(items) => items
+                .iter()
+                .enumerate()
+                .find_map(|(i, item)| walk(item, &format!("{path}[{i}]"))),
+            Value::Map(entries) => entries.iter().find_map(|(k, val)| {
+                let child = if path.is_empty() { k.clone() } else { format!("{path}.{k}") };
+                walk(val, &child)
+            }),
+            _ => None,
+        }
+    }
+    walk(v, "")
+}
+
+/// Serializes any value as pretty JSON, returning [`NonFiniteJsonError`]
+/// instead of emitting `null`s for non-finite numbers.
+pub fn to_finite_json_pretty<T: Serialize>(value: &T) -> Result<String, NonFiniteJsonError> {
+    let tree = value.to_value();
+    match non_finite_path(&tree) {
+        Some(path) => Err(NonFiniteJsonError { path }),
+        None => Ok(serde_json::to_string_pretty(&tree).expect("finite value tree serializes")),
+    }
+}
+
+/// Per-rank skew summary of one distributed run: how uneven the fleet's
+/// progress was, taken from every rank's communication counters (the
+/// headline numbers for straggler experiments).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RankSkew {
+    /// Largest per-rank simulated compute time.
+    pub max_compute_sec: f64,
+    /// Smallest per-rank simulated compute time.
+    pub min_compute_sec: f64,
+    /// The most any single rank spent idle at blocking collectives waiting
+    /// for slower ranks.
+    pub max_idle_wait_sec: f64,
+    /// Largest single-round arrival skew observed anywhere in the fleet.
+    pub max_round_skew_sec: f64,
+    /// Per-rank simulated compute seconds, in rank order.
+    pub per_rank_compute_sec: Vec<f64>,
+    /// Per-rank idle-wait seconds, in rank order.
+    pub per_rank_idle_wait_sec: Vec<f64>,
+}
+
+impl RankSkew {
+    /// Summarizes the per-rank communication counters of one run.
+    pub fn from_rank_stats(stats: &[CommStats]) -> Self {
+        let compute: Vec<f64> = stats.iter().map(|s| s.compute_time).collect();
+        let idle: Vec<f64> = stats.iter().map(|s| s.idle_wait_time).collect();
+        let min_compute = compute.iter().copied().fold(f64::INFINITY, f64::min);
+        Self {
+            max_compute_sec: compute.iter().fold(0.0, |a, &b| a.max(b)),
+            min_compute_sec: if min_compute.is_finite() { min_compute } else { 0.0 },
+            max_idle_wait_sec: idle.iter().fold(0.0, |a, &b| a.max(b)),
+            max_round_skew_sec: stats.iter().map(|s| s.max_round_skew).fold(0.0, f64::max),
+            per_rank_compute_sec: compute,
+            per_rank_idle_wait_sec: idle,
+        }
+    }
+
+    /// Ratio of the slowest to the fastest rank's compute time: 1.0 for a
+    /// perfectly homogeneous fleet (or when no compute ran anywhere), and
+    /// `f64::INFINITY` when some rank computed while another computed
+    /// nothing at all (e.g. a rank dead from the first iteration) — the
+    /// maximally imbalanced fleet must not masquerade as a homogeneous one.
+    pub fn compute_imbalance(&self) -> f64 {
+        if self.min_compute_sec > 0.0 {
+            self.max_compute_sec / self.min_compute_sec
+        } else if self.max_compute_sec > 0.0 {
+            f64::INFINITY
+        } else {
+            1.0
+        }
+    }
+}
 
 /// The unified result of one solver run on one dataset/cluster combination.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -41,6 +147,10 @@ pub struct RunReport {
     pub comm_stats: CommStats,
     /// Device-workspace pool counters of the master rank.
     pub workspace: WorkspaceStats,
+    /// Per-rank skew summary (filled by the experiment runner, which sees
+    /// every rank's counters; `None` for reports assembled from a single
+    /// rank's output).
+    pub rank_skew: Option<RankSkew>,
 }
 
 impl RunReport {
@@ -67,12 +177,22 @@ impl RunReport {
             history,
             comm_stats,
             workspace,
+            rank_skew: None,
         }
     }
 
-    /// Serializes the report as pretty JSON.
-    pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("RunReport serializes")
+    /// Builder-style per-rank skew summary.
+    pub fn with_rank_skew(mut self, skew: RankSkew) -> Self {
+        self.rank_skew = Some(skew);
+        self
+    }
+
+    /// Serializes the report as pretty JSON. Non-finite values anywhere in
+    /// the report are a loud [`NonFiniteJsonError`] naming the field — JSON
+    /// would render them as `null` and the report would no longer
+    /// round-trip.
+    pub fn to_json(&self) -> Result<String, NonFiniteJsonError> {
+        to_finite_json_pretty(self)
     }
 
     /// Parses a report back from JSON.
@@ -125,6 +245,20 @@ impl RunReport {
         if self.comm_stats.bytes_sent < 0.0 || self.comm_stats.comm_time < 0.0 {
             return Err("communication counters are negative".into());
         }
+        if let Some(skew) = &self.rank_skew {
+            let scalars = [
+                skew.max_compute_sec,
+                skew.min_compute_sec,
+                skew.max_idle_wait_sec,
+                skew.max_round_skew_sec,
+            ];
+            if scalars.iter().any(|v| !v.is_finite() || *v < 0.0) {
+                return Err("rank skew contains negative or non-finite values".into());
+            }
+            if skew.per_rank_compute_sec.len() != self.num_workers || skew.per_rank_idle_wait_sec.len() != self.num_workers {
+                return Err("rank skew vectors disagree with num_workers".into());
+            }
+        }
         Ok(())
     }
 }
@@ -161,8 +295,56 @@ mod tests {
     #[test]
     fn json_round_trip_preserves_the_report() {
         let r = report();
-        let back = RunReport::from_json(&r.to_json()).unwrap();
+        let back = RunReport::from_json(&r.to_json().unwrap()).unwrap();
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn json_round_trip_preserves_rank_skew() {
+        let mut a = CommStats::default();
+        a.record_compute(1.0);
+        a.record_skew(0.5, 0.75);
+        let mut b = CommStats::default();
+        b.record_compute(2.0);
+        let mut r = report();
+        r.num_workers = 2;
+        r.history.num_workers = 2;
+        let r = r.with_rank_skew(RankSkew::from_rank_stats(&[a, b]));
+        r.validate_schema().unwrap();
+        let skew = r.rank_skew.as_ref().unwrap();
+        assert_eq!(skew.max_compute_sec, 2.0);
+        assert_eq!(skew.min_compute_sec, 1.0);
+        assert_eq!(skew.max_idle_wait_sec, 0.5);
+        assert_eq!(skew.max_round_skew_sec, 0.75);
+        assert_eq!(skew.compute_imbalance(), 2.0);
+        let back = RunReport::from_json(&r.to_json().unwrap()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn compute_imbalance_distinguishes_dead_ranks_from_homogeneous_fleets() {
+        let mut busy = CommStats::default();
+        busy.record_compute(1.0);
+        let idle = CommStats::default();
+        // One rank computed, one never did: maximal imbalance, not 1.0.
+        assert_eq!(RankSkew::from_rank_stats(&[busy, idle]).compute_imbalance(), f64::INFINITY);
+        // Nobody computed at all: trivially homogeneous.
+        assert_eq!(RankSkew::from_rank_stats(&[idle, idle]).compute_imbalance(), 1.0);
+    }
+
+    #[test]
+    fn non_finite_values_are_a_loud_serialization_error_not_null_garbage() {
+        let mut r = report();
+        r.comm_stats.comm_time = f64::INFINITY;
+        let err = r.to_json().unwrap_err();
+        assert_eq!(err.path, "comm_stats.comm_time");
+        assert!(format!("{err}").contains("comm_stats.comm_time"));
+
+        let mut r = report();
+        r.final_w[1] = f64::NAN;
+        assert_eq!(r.to_json().unwrap_err().path, "final_w[1]");
+
+        assert!(report().to_json().is_ok());
     }
 
     #[test]

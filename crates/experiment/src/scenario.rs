@@ -7,7 +7,7 @@
 //! [`ScenarioSpec::run`] is the library entry the example is built on.
 
 use crate::experiment::{Experiment, ExperimentError};
-use crate::report::RunReport;
+use crate::report::{non_finite_path, to_finite_json_pretty, NonFiniteJsonError, RunReport};
 use crate::spec::{ClusterSpec, DataSpec, PartitionSpec, SolverSpec};
 use serde::{Deserialize, Serialize};
 
@@ -27,9 +27,12 @@ pub struct ScenarioSpec {
 }
 
 impl ScenarioSpec {
-    /// Serializes the scenario as pretty JSON.
-    pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("ScenarioSpec serializes")
+    /// Serializes the scenario as pretty JSON. Non-finite hardware models
+    /// (e.g. `NetworkModel::ideal()`'s infinite bandwidth) have no JSON
+    /// form; they are a loud [`NonFiniteJsonError`] naming the field instead
+    /// of `null` garbage that cannot be parsed back.
+    pub fn to_json(&self) -> Result<String, NonFiniteJsonError> {
+        to_finite_json_pretty(self)
     }
 
     /// Parses a scenario from JSON.
@@ -37,17 +40,44 @@ impl ScenarioSpec {
         serde_json::from_str(s)
     }
 
+    /// Validates the scenario: everything [`Experiment::validate`] checks,
+    /// plus JSON-serializability — a *scenario* is an on-disk artifact, so
+    /// non-finite hardware fields (fine for in-memory experiments) are
+    /// rejected up front here.
+    pub fn validate(&self) -> Result<(), ExperimentError> {
+        self.require_finite()?;
+        self.to_experiment().validate()
+    }
+
+    /// The scenario-specific half of [`ScenarioSpec::validate`]: rejects
+    /// fields JSON cannot represent.
+    fn require_finite(&self) -> Result<(), ExperimentError> {
+        if let Some(path) = non_finite_path(&serde::Serialize::to_value(self)) {
+            return Err(ExperimentError::Config(nadmm_solver::ConfigError::new(
+                "ScenarioSpec",
+                path,
+                "must be finite: scenario files serialize to JSON, which has no NaN/Infinity \
+                 (use a finite fabric/device model instead of the ideal() presets)",
+            )));
+        }
+        Ok(())
+    }
+
     /// Converts the scenario into a runnable [`Experiment`].
     pub fn to_experiment(&self) -> Experiment {
         Experiment::new()
             .with_data_spec(self.data.clone())
             .with_partition(self.partition)
-            .with_cluster(self.cluster)
+            .with_cluster(self.cluster.clone())
             .with_solvers(self.solvers.iter().cloned())
     }
 
     /// Validates and runs the scenario, returning one report per solver.
+    /// (The experiment is built and validated once: only the finiteness
+    /// check is scenario-specific, everything else happens inside
+    /// [`Experiment::run`].)
     pub fn run(&self) -> Result<Vec<RunReport>, ExperimentError> {
+        self.require_finite()?;
         self.to_experiment().run()
     }
 }
@@ -83,16 +113,38 @@ mod tests {
     #[test]
     fn scenarios_round_trip_through_json() {
         let scenario = tiny_scenario();
-        let back = ScenarioSpec::from_json(&scenario.to_json()).unwrap();
+        let back = ScenarioSpec::from_json(&scenario.to_json().unwrap()).unwrap();
         assert_eq!(back, scenario);
     }
 
     #[test]
     fn a_parsed_scenario_runs_end_to_end() {
-        let json = tiny_scenario().to_json();
+        let json = tiny_scenario().to_json().unwrap();
         let reports = ScenarioSpec::from_json(&json).unwrap().run().unwrap();
         assert_eq!(reports.len(), 1);
         reports[0].validate_schema().unwrap();
+        // The runner annotates every report with the fleet's skew summary.
+        let skew = reports[0].rank_skew.as_ref().expect("experiment runs carry rank skew");
+        assert_eq!(skew.per_rank_compute_sec.len(), 2);
+    }
+
+    #[test]
+    fn non_finite_hardware_is_rejected_up_front() {
+        let mut scenario = tiny_scenario();
+        scenario.cluster.network = NetworkModel::ideal();
+        // Serialization names the field…
+        let err = scenario.to_json().unwrap_err();
+        assert_eq!(err.path, "cluster.network.bandwidth");
+        // …and validation rejects it before any rank spawns.
+        let err = scenario.validate().unwrap_err();
+        match err {
+            crate::ExperimentError::Config(e) => {
+                assert_eq!(e.config, "ScenarioSpec");
+                assert_eq!(e.field, "cluster.network.bandwidth");
+            }
+            other => panic!("expected a config error, got {other:?}"),
+        }
+        assert!(scenario.run().is_err());
     }
 
     #[test]

@@ -7,9 +7,9 @@
 //! experiment layer owns the rank spawning ([`crate::run_solver_on`]), so
 //! the per-solver `run_cluster` wrappers are no longer needed.
 
-use crate::report::RunReport;
+use crate::report::{RankSkew, RunReport};
 use nadmm_baselines::{AideConfig, Disco, Giant, InexactDane, SyncSgd};
-use nadmm_cluster::{Cluster, Communicator};
+use nadmm_cluster::{Cluster, CommStats, Communicator};
 use nadmm_data::Dataset;
 use nadmm_solver::ConfigError;
 use newton_admm::NewtonAdmm;
@@ -33,15 +33,43 @@ pub trait Solver: Send + Sync {
 }
 
 /// Runs a solver on every rank of a cluster (one shard per rank) and returns
-/// the master rank's report. This is the single copy of the spawn/hand-off/
-/// collect scaffolding that used to be duplicated across the five
-/// `run_cluster` wrappers.
+/// the master rank's report, annotated with the fleet's per-rank skew
+/// summary. This is the single copy of the spawn/hand-off/collect
+/// scaffolding that used to be duplicated across the five `run_cluster`
+/// wrappers.
 ///
 /// # Panics
 /// Panics if the shard count does not match the cluster size.
 pub fn run_solver_on(cluster: &Cluster, solver: &dyn Solver, shards: &[Dataset], test: Option<&Dataset>) -> RunReport {
-    let mut reports = cluster.run_sharded(shards, |comm, shard| solver.run(comm, shard, test));
-    reports.swap_remove(0)
+    let reports = cluster.run_sharded(shards, |comm, shard| solver.run(comm, shard, test));
+    master_with_skew(reports)
+}
+
+/// Runs one solver *instance per rank* — a heterogeneous fleet where each
+/// rank's solver carries its own `DeviceSpec` — and returns the master's
+/// skew-annotated report. All instances must implement the same algorithm;
+/// only hardware models may differ.
+///
+/// # Panics
+/// Panics if the solver or shard counts do not match the cluster size.
+pub fn run_rank_solvers_on(
+    cluster: &Cluster,
+    solvers: &[Box<dyn Solver>],
+    shards: &[Dataset],
+    test: Option<&Dataset>,
+) -> RunReport {
+    assert_eq!(solvers.len(), cluster.size(), "need exactly one solver instance per rank");
+    let reports = cluster.run_sharded(shards, |comm, shard| solvers[comm.rank()].run(comm, shard, test));
+    master_with_skew(reports)
+}
+
+/// Keeps the master rank's report and folds every rank's communication
+/// counters into its [`RankSkew`] summary.
+fn master_with_skew(mut reports: Vec<RunReport>) -> RunReport {
+    let stats: Vec<CommStats> = reports.iter().map(|r| r.comm_stats).collect();
+    let mut master = reports.swap_remove(0);
+    master.rank_skew = Some(RankSkew::from_rank_stats(&stats));
+    master
 }
 
 impl Solver for NewtonAdmm {

@@ -8,8 +8,8 @@
 
 use crate::solver::{Aide, Solver};
 use nadmm_baselines::{AideConfig, DaneConfig, Disco, DiscoConfig, Giant, GiantConfig, InexactDane, SyncSgd, SyncSgdConfig};
-use nadmm_cluster::{Cluster, CollectiveSelector, NetworkModel};
-use nadmm_data::{partition_strong, partition_weak, read_libsvm, Dataset, PartitionPlan, SyntheticConfig};
+use nadmm_cluster::{Cluster, CollectiveSelector, NetworkModel, StragglerModel};
+use nadmm_data::{partition_strong, partition_weak, read_libsvm, read_libsvm_pair, Dataset, PartitionPlan, SyntheticConfig};
 use nadmm_device::DeviceSpec;
 use nadmm_solver::validate::{require_nonzero, require_positive, ConfigError};
 use newton_admm::{NewtonAdmm, NewtonAdmmConfig};
@@ -78,14 +78,22 @@ impl DataSpec {
                 let test = (config.test_size > 0).then_some(test);
                 Ok((train, test))
             }
-            DataSpec::Libsvm { train_path, test_path } => {
-                let train = read_libsvm(train_path).map_err(|e| crate::ExperimentError::Data(e.to_string()))?;
-                let test = match test_path {
-                    Some(p) => Some(read_libsvm(p).map_err(|e| crate::ExperimentError::Data(e.to_string()))?),
-                    None => None,
-                };
-                Ok((train, test))
-            }
+            DataSpec::Libsvm { train_path, test_path } => match test_path {
+                // A paired load parses both splits under one shared schema
+                // (dims = union of the two files, label map = the train
+                // split), so the two always agree dimensionally — per-file
+                // inference used to let a sparse test split come out with
+                // fewer features or a different label mapping.
+                Some(p) => {
+                    let (train, test) =
+                        read_libsvm_pair(train_path, p).map_err(|e| crate::ExperimentError::Data(e.to_string()))?;
+                    Ok((train, Some(test)))
+                }
+                None => {
+                    let train = read_libsvm(train_path).map_err(|e| crate::ExperimentError::Data(e.to_string()))?;
+                    Ok((train, None))
+                }
+            },
         }
     }
 }
@@ -120,10 +128,14 @@ impl PartitionSpec {
                 if *per_worker == 0 {
                     return Err(crate::ExperimentError::Partition("per_worker must be at least 1".into()));
                 }
-                if ranks * per_worker > n {
+                let needed = ranks.checked_mul(*per_worker).ok_or_else(|| {
+                    crate::ExperimentError::Partition(format!(
+                        "weak scaling with {ranks} ranks × {per_worker} samples/worker overflows usize"
+                    ))
+                })?;
+                if needed > n {
                     return Err(crate::ExperimentError::Partition(format!(
-                        "weak scaling needs {} samples but the dataset has {n}",
-                        ranks * per_worker
+                        "weak scaling needs {needed} samples but the dataset has {n}"
                     )));
                 }
                 Ok(partition_weak(data, ranks, *per_worker))
@@ -133,7 +145,7 @@ impl PartitionSpec {
 }
 
 /// The simulated cluster an experiment runs on.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ClusterSpec {
     /// Number of ranks (workers).
     pub ranks: usize,
@@ -145,17 +157,26 @@ pub struct ClusterSpec {
     /// `device` field of every solver configuration in the experiment, so a
     /// scenario file states its hardware exactly once.
     pub device: Option<DeviceSpec>,
+    /// Optional *per-rank* accelerator overrides (one entry per rank, in
+    /// rank order): a heterogeneous fleet mixing device generations. Mutually
+    /// exclusive with `device`.
+    pub rank_devices: Option<Vec<DeviceSpec>>,
+    /// Optional deterministic straggler model: per-rank multiplicative
+    /// compute slowdowns (seeded jitter and/or designated slow ranks).
+    pub straggler: Option<StragglerModel>,
 }
 
 impl ClusterSpec {
     /// A `ranks`-node cluster over `network` with automatic collective
-    /// selection and per-solver device settings.
+    /// selection, per-solver device settings, and homogeneous rank speeds.
     pub fn new(ranks: usize, network: NetworkModel) -> Self {
         Self {
             ranks,
             network,
             collectives: CollectiveSelector::Auto,
             device: None,
+            rank_devices: None,
+            straggler: None,
         }
     }
 
@@ -171,7 +192,20 @@ impl ClusterSpec {
         self
     }
 
-    /// Rejects an empty cluster or a degenerate network model. An *infinite*
+    /// Builder-style per-rank accelerator overrides (one entry per rank).
+    pub fn with_rank_devices(mut self, devices: impl IntoIterator<Item = DeviceSpec>) -> Self {
+        self.rank_devices = Some(devices.into_iter().collect());
+        self
+    }
+
+    /// Builder-style straggler model.
+    pub fn with_straggler(mut self, model: StragglerModel) -> Self {
+        self.straggler = Some(model);
+        self
+    }
+
+    /// Rejects an empty cluster, a degenerate network model, malformed
+    /// per-rank device lists, and invalid straggler models. An *infinite*
     /// bandwidth (the `ideal()` model) is valid for in-memory experiments,
     /// but note it has no JSON form — scenario files must use finite
     /// fabrics.
@@ -194,12 +228,44 @@ impl ClusterSpec {
         if let Some(device) = &self.device {
             validate_device("ClusterSpec", device)?;
         }
+        if let Some(devices) = &self.rank_devices {
+            if self.device.is_some() {
+                return Err(ConfigError::new(
+                    "ClusterSpec",
+                    "rank_devices",
+                    "cannot combine a cluster-wide `device` override with per-rank `rank_devices`",
+                ));
+            }
+            if devices.len() != self.ranks {
+                return Err(ConfigError::new(
+                    "ClusterSpec",
+                    "rank_devices",
+                    format!(
+                        "need exactly one device per rank: got {} for {} ranks",
+                        devices.len(),
+                        self.ranks
+                    ),
+                ));
+            }
+            for device in devices {
+                validate_device("ClusterSpec", device)?;
+            }
+        }
+        if let Some(model) = &self.straggler {
+            if let Err(msg) = model.validate(self.ranks) {
+                return Err(ConfigError::new("ClusterSpec", "straggler", msg));
+            }
+        }
         Ok(())
     }
 
-    /// Builds the simulated cluster.
+    /// Builds the simulated cluster (straggler model included).
     pub fn build(&self) -> Cluster {
-        Cluster::new(self.ranks, self.network).with_collectives(self.collectives)
+        let cluster = Cluster::new(self.ranks, self.network).with_collectives(self.collectives);
+        match &self.straggler {
+            Some(model) => cluster.with_straggler(model),
+            None => cluster,
+        }
     }
 }
 
@@ -473,6 +539,36 @@ mod tests {
     }
 
     #[test]
+    fn heterogeneous_cluster_specs_validate_and_build() {
+        let spec = ClusterSpec::new(2, NetworkModel::infiniband_100g())
+            .with_rank_devices([DeviceSpec::tesla_p100(), DeviceSpec::tesla_v100()])
+            .with_straggler(StragglerModel::jitter(0.2, 5).with_slow_rank(1, 4.0));
+        spec.validate().unwrap();
+        let cluster = spec.build();
+        assert_eq!(cluster.rank_scale(0), StragglerModel::jitter(0.2, 5).scale_for(0));
+        assert!(cluster.rank_scale(1) >= 4.0);
+
+        // One device per rank, exactly.
+        let bad = ClusterSpec::new(3, NetworkModel::infiniband_100g()).with_rank_devices([DeviceSpec::tesla_p100()]);
+        assert_eq!(bad.validate().unwrap_err().field, "rank_devices");
+        // Per-rank and cluster-wide overrides are mutually exclusive.
+        let bad = ClusterSpec::new(1, NetworkModel::infiniband_100g())
+            .with_device(DeviceSpec::tesla_p100())
+            .with_rank_devices([DeviceSpec::tesla_v100()]);
+        assert_eq!(bad.validate().unwrap_err().field, "rank_devices");
+        // Degenerate per-rank devices are caught like every other device.
+        let bad = ClusterSpec::new(1, NetworkModel::infiniband_100g()).with_rank_devices([DeviceSpec {
+            flops_per_sec: f64::NAN,
+            ..DeviceSpec::tesla_p100()
+        }]);
+        assert_eq!(bad.validate().unwrap_err().field, "device.flops_per_sec");
+        // Straggler models are validated against the rank count.
+        let bad =
+            ClusterSpec::new(2, NetworkModel::infiniband_100g()).with_straggler(StragglerModel::none().with_slow_rank(7, 2.0));
+        assert_eq!(bad.validate().unwrap_err().field, "straggler");
+    }
+
+    #[test]
     fn partition_spec_errors_instead_of_panicking() {
         let (train, _) = SyntheticConfig::mnist_like()
             .with_train_size(10)
@@ -500,6 +596,42 @@ mod tests {
         let (train, test) = spec.load().unwrap();
         assert_eq!(train.num_samples(), 30);
         assert!(test.is_none());
+    }
+
+    #[test]
+    fn weak_partition_overflow_is_an_error_not_a_wrap() {
+        let (train, _) = SyntheticConfig::mnist_like()
+            .with_train_size(10)
+            .with_test_size(0)
+            .with_num_features(4)
+            .generate(1);
+        let err = PartitionSpec::Weak {
+            per_worker: usize::MAX / 2,
+        }
+        .apply(&train, 3)
+        .unwrap_err();
+        assert!(format!("{err}").contains("overflows"), "{err}");
+    }
+
+    #[test]
+    fn libsvm_pair_specs_load_with_a_shared_schema() {
+        let dir = std::env::temp_dir();
+        let train_path = dir.join("nadmm_spec_pair_train.svm");
+        let test_path = dir.join("nadmm_spec_pair_test.svm");
+        // The test split misses feature 4 and labels 1 and 2.
+        std::fs::write(&train_path, "1 1:0.5 4:1.0\n2 2:2.0\n3 3:0.25\n").unwrap();
+        std::fs::write(&test_path, "3 1:1.0\n3 2:0.5\n").unwrap();
+        let spec = DataSpec::Libsvm {
+            train_path: train_path.to_string_lossy().into_owned(),
+            test_path: Some(test_path.to_string_lossy().into_owned()),
+        };
+        let (train, test) = spec.load().unwrap();
+        let test = test.unwrap();
+        assert_eq!(train.num_features(), test.num_features());
+        assert_eq!(train.num_classes(), test.num_classes());
+        assert_eq!(test.labels(), &[2, 2]);
+        std::fs::remove_file(&train_path).ok();
+        std::fs::remove_file(&test_path).ok();
     }
 
     #[test]

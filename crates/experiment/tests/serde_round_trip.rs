@@ -4,7 +4,7 @@
 //! rely on).
 
 use nadmm_baselines::{AideConfig, DaneConfig, DiscoConfig, GiantConfig, SyncSgdConfig};
-use nadmm_cluster::{CollectiveAlgorithm, CollectiveSelector, NetworkModel};
+use nadmm_cluster::{CollectiveAlgorithm, CollectiveSelector, NetworkModel, SlowRank, StragglerModel};
 use nadmm_data::SyntheticConfig;
 use nadmm_device::DeviceSpec;
 use nadmm_experiment::{ClusterSpec, DataSpec, PartitionSpec, ScenarioSpec, SolverSpec};
@@ -63,6 +63,8 @@ fn newton_admm_config_round_trips() {
         device: DeviceSpec::tesla_v100(),
         ..Default::default()
     });
+    // The heterogeneity knobs round-trip both disabled (None) and enabled.
+    round_trip(&NewtonAdmmConfig::default().with_staleness_deadline(2.5e-4).with_dropout(3, 7));
 }
 
 #[test]
@@ -124,6 +126,14 @@ fn experiment_specs_round_trip() {
             .with_collectives(CollectiveSelector::Force(CollectiveAlgorithm::Ring))
             .with_device(DeviceSpec::tesla_v100()),
     );
+    // Heterogeneous fleets: per-rank devices and straggler models.
+    round_trip(&StragglerModel::jitter(0.25, 99).with_slow_rank(1, 4.0));
+    round_trip(&SlowRank { rank: 2, factor: 8.0 });
+    round_trip(
+        &ClusterSpec::new(2, NetworkModel::infiniband_100g())
+            .with_rank_devices([DeviceSpec::tesla_p100(), DeviceSpec::tesla_v100()])
+            .with_straggler(StragglerModel::jitter(0.1, 3)),
+    );
 }
 
 #[test]
@@ -160,9 +170,17 @@ fn golden_scenario() -> ScenarioSpec {
             seed: 42,
         },
         partition: PartitionSpec::Strong,
-        cluster: ClusterSpec::new(4, NetworkModel::infiniband_100g()),
+        // The golden cluster pins the heterogeneity schema too: a straggler
+        // model with one designated slow rank.
+        cluster: ClusterSpec::new(4, NetworkModel::infiniband_100g())
+            .with_straggler(StragglerModel::jitter(0.0, 42).with_slow_rank(3, 2.0)),
         solvers: vec![
-            SolverSpec::NewtonAdmm(NewtonAdmmConfig::default().with_max_iters(2).with_lambda(1e-3)),
+            SolverSpec::NewtonAdmm(
+                NewtonAdmmConfig::default()
+                    .with_max_iters(2)
+                    .with_lambda(1e-3)
+                    .with_staleness_deadline(1e-3),
+            ),
             SolverSpec::Giant(GiantConfig {
                 max_iters: 2,
                 lambda: 1e-3,
@@ -212,7 +230,7 @@ fn golden_scenario_file_matches_the_schema_exactly() {
     // bytes (catches schema drift: renamed fields, reordered variants,
     // changed number formatting).
     assert_eq!(
-        golden_scenario().to_json().trim(),
+        golden_scenario().to_json().expect("golden scenario is finite").trim(),
         committed.trim(),
         "JSON schema drifted — regenerate tests/golden/scenario.json if the change is intentional"
     );
@@ -230,6 +248,6 @@ fn scenario_specs_round_trip() {
 fn regenerate_golden_when_requested() {
     if std::env::var("NADMM_REGEN_GOLDEN").ok().as_deref() == Some("1") {
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/scenario.json");
-        std::fs::write(path, golden_scenario().to_json() + "\n").expect("golden file writes");
+        std::fs::write(path, golden_scenario().to_json().expect("golden scenario is finite") + "\n").expect("golden file writes");
     }
 }

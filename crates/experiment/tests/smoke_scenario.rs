@@ -100,6 +100,10 @@ fn smoke_scenario_runs_and_reports_validate() {
 #[test]
 fn regenerate_smoke_scenario_when_requested() {
     if std::env::var("NADMM_REGEN_GOLDEN").ok().as_deref() == Some("1") {
-        std::fs::write(SMOKE_PATH, smoke_scenario().to_json() + "\n").expect("smoke scenario writes");
+        std::fs::write(
+            SMOKE_PATH,
+            smoke_scenario().to_json().expect("smoke scenario is finite") + "\n",
+        )
+        .expect("smoke scenario writes");
     }
 }

@@ -6,13 +6,18 @@
 //!
 //! Run with:
 //! ```text
-//! cargo run --release --example scenario_runner -- scenarios/smoke.json [--out PATH]
+//! cargo run --release --example scenario_runner -- scenarios/smoke.json [--out PATH] [--deterministic]
 //! ```
+//!
+//! `--deterministic` zeroes the host wall-clock fields of every report
+//! before writing, so two runs of the same scenario with the same seeds
+//! emit **byte-identical** files — the CI heterogeneity job diffs exactly
+//! that.
 
 use newton_admm_repro::prelude::*;
 use std::process::ExitCode;
 
-fn run(scenario_path: &str, out_path: &str) -> Result<(), String> {
+fn run(scenario_path: &str, out_path: &str, deterministic: bool) -> Result<(), String> {
     let json = std::fs::read_to_string(scenario_path).map_err(|e| format!("cannot read {scenario_path}: {e}"))?;
     let scenario = ScenarioSpec::from_json(&json).map_err(|e| format!("cannot parse {scenario_path}: {e}"))?;
     println!(
@@ -23,7 +28,18 @@ fn run(scenario_path: &str, out_path: &str) -> Result<(), String> {
         scenario.solvers.len()
     );
 
-    let reports = scenario.run().map_err(|e| format!("scenario failed: {e}"))?;
+    let mut reports = scenario.run().map_err(|e| format!("scenario failed: {e}"))?;
+    if deterministic {
+        // Everything in a report is a deterministic function of the
+        // scenario except the host wall clock; zero it so same-seed runs
+        // are byte-identical.
+        for report in reports.iter_mut() {
+            report.wall_time_sec = 0.0;
+            for record in report.history.records.iter_mut() {
+                record.wall_time_sec = 0.0;
+            }
+        }
+    }
 
     // Archive the reports, then *re-read the file* and validate what was
     // actually written — the schema gate must see the bytes on disk.
@@ -55,7 +71,14 @@ fn run(scenario_path: &str, out_path: &str) -> Result<(), String> {
             scenario.name,
             parsed.len()
         ),
-        &["solver", "final objective", "test acc", "sim time (s)", "collectives"],
+        &[
+            "solver",
+            "final objective",
+            "test acc",
+            "sim time (s)",
+            "collectives",
+            "rank imbalance",
+        ],
     );
     for r in &parsed {
         table.add_row(&[
@@ -64,6 +87,10 @@ fn run(scenario_path: &str, out_path: &str) -> Result<(), String> {
             r.final_accuracy.map(|a| format!("{:.1}%", 100.0 * a)).unwrap_or_default(),
             format!("{:.5}", r.total_sim_time_sec),
             r.comm_stats.collectives.to_string(),
+            r.rank_skew
+                .as_ref()
+                .map(|s| format!("{:.2}×", s.compute_imbalance()))
+                .unwrap_or_default(),
         ]);
     }
     println!("{}", table.to_text());
@@ -74,6 +101,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scenario_path: Option<String> = None;
     let mut out_path = "target/scenario_report.json".to_string();
+    let mut deterministic = false;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -84,8 +112,9 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--deterministic" => deterministic = true,
             flag if flag.starts_with('-') => {
-                eprintln!("unknown flag `{flag}`\nusage: scenario_runner [SCENARIO.json] [--out REPORT.json]");
+                eprintln!("unknown flag `{flag}`\nusage: scenario_runner [SCENARIO.json] [--out REPORT.json] [--deterministic]");
                 return ExitCode::FAILURE;
             }
             path => {
@@ -98,7 +127,7 @@ fn main() -> ExitCode {
         }
     }
     let scenario_path = scenario_path.unwrap_or_else(|| "scenarios/smoke.json".to_string());
-    match run(&scenario_path, &out_path) {
+    match run(&scenario_path, &out_path, deterministic) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("scenario_runner: {e}");

@@ -155,6 +155,21 @@ fn intern(s: &str) -> &'static str {
     leaked
 }
 
+impl Serialize for Value {
+    /// A value tree serializes to itself (the real serde_json offers the
+    /// same via `Value: Serialize`) — callers can pre-build and inspect a
+    /// tree, then hand it to the writer.
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 impl<T: Serialize> Serialize for Option<T> {
     fn to_value(&self) -> Value {
         match self {

@@ -36,18 +36,18 @@ pub mod prelude {
     };
     pub use nadmm_cluster::{
         Cluster, CollectiveAlgorithm, CollectiveKind, CollectiveSelector, CommStats, Communicator, NetworkModel,
-        SingleProcessComm,
+        SingleProcessComm, SlowRank, StragglerModel,
     };
     pub use nadmm_data::{partition_strong, partition_weak, Dataset, DatasetKind, SyntheticConfig};
     pub use nadmm_device::{Device, DeviceSpec, Workspace};
     pub use nadmm_experiment::{
-        ClusterSpec, ConfigError, DataSpec, Experiment, ExperimentError, PartitionSpec, RunReport, ScenarioSpec, Solver,
-        SolverSpec,
+        ClusterSpec, ConfigError, DataSpec, Experiment, ExperimentError, NonFiniteJsonError, PartitionSpec, RankSkew, RunReport,
+        ScenarioSpec, Solver, SolverSpec,
     };
     pub use nadmm_metrics::{relative_objective, IterationRecord, RunHistory, TextTable};
     pub use nadmm_objective::{BinaryLogistic, Objective, SoftmaxCrossEntropy};
     pub use nadmm_solver::{CgConfig, FirstOrderConfig, FirstOrderMethod, LineSearchConfig, NewtonCg, NewtonConfig};
-    pub use newton_admm::{NewtonAdmm, NewtonAdmmConfig, PenaltyRule, SpectralConfig};
+    pub use newton_admm::{DropoutSpec, NewtonAdmm, NewtonAdmmConfig, PenaltyRule, SpectralConfig};
 }
 
 #[cfg(test)]

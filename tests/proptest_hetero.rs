@@ -1,0 +1,125 @@
+//! Property tests for the heterogeneity machinery: a "heterogeneous" cluster
+//! that is secretly homogeneous must be **bit-identical** to the plain path,
+//! seeded straggler fleets must be exactly reproducible, and the weak
+//! partition arithmetic must be overflow-safe.
+
+use newton_admm_repro::prelude::*;
+use proptest::prelude::*;
+
+fn tiny_experiment(workers: usize, seed: u64, cluster: ClusterSpec) -> RunReport {
+    Experiment::new()
+        .with_data_spec(DataSpec::Synthetic {
+            config: SyntheticConfig::mnist_like()
+                .with_train_size(workers * 24)
+                .with_test_size(12)
+                .with_num_features(6)
+                .with_num_classes(3),
+            seed,
+        })
+        .with_cluster(cluster)
+        .with_solver(SolverSpec::NewtonAdmm(
+            NewtonAdmmConfig::default().with_max_iters(3).with_lambda(1e-3),
+        ))
+        .run()
+        .expect("tiny experiment runs")
+        .remove(0)
+}
+
+fn assert_reports_bit_identical(a: &RunReport, b: &RunReport) {
+    assert_eq!(a.final_w, b.final_w, "iterates differ");
+    assert_eq!(a.comm_stats, b.comm_stats, "comm stats differ");
+    assert_eq!(a.history.records.len(), b.history.records.len());
+    for (ra, rb) in a.history.records.iter().zip(&b.history.records) {
+        assert_eq!(ra.iteration, rb.iteration);
+        assert_eq!(ra.objective.to_bits(), rb.objective.to_bits(), "objective differs");
+        assert_eq!(ra.sim_time_sec.to_bits(), rb.sim_time_sec.to_bits(), "sim time differs");
+        assert_eq!(
+            ra.test_accuracy.map(f64::to_bits),
+            rb.test_accuracy.map(f64::to_bits),
+            "accuracy differs"
+        );
+        assert_eq!(
+            ra.consensus_residual.map(f64::to_bits),
+            rb.consensus_residual.map(f64::to_bits),
+            "residual differs"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// A cluster with a zero-jitter straggler model and identical per-rank
+    /// `DeviceSpec`s is the homogeneous cluster: every record, iterate, and
+    /// communication counter must be bit-identical to the plain path.
+    #[test]
+    fn degenerate_heterogeneity_is_bit_identical_to_the_homogeneous_path(
+        workers in 1usize..5,
+        seed in 0u64..1000,
+        straggler_seed in 0u64..1000,
+    ) {
+        let homogeneous = tiny_experiment(
+            workers,
+            seed,
+            ClusterSpec::new(workers, NetworkModel::infiniband_100g()),
+        );
+        let degenerate = tiny_experiment(
+            workers,
+            seed,
+            ClusterSpec::new(workers, NetworkModel::infiniband_100g())
+                .with_straggler(StragglerModel::jitter(0.0, straggler_seed))
+                .with_rank_devices(vec![DeviceSpec::tesla_p100(); workers]),
+        );
+        assert_reports_bit_identical(&homogeneous, &degenerate);
+    }
+
+    /// Two runs of the same straggled experiment with the same seeds produce
+    /// bit-identical reports (modulo the host wall clock).
+    #[test]
+    fn fixed_seed_straggler_runs_are_reproducible(
+        workers in 2usize..5,
+        seed in 0u64..1000,
+        jitter_milli in 1usize..500,
+        slow_factor_tenths in 10usize..80,
+    ) {
+        let jitter = jitter_milli as f64 / 1000.0;
+        let factor = slow_factor_tenths as f64 / 10.0;
+        let cluster = ClusterSpec::new(workers, NetworkModel::infiniband_100g())
+            .with_straggler(StragglerModel::jitter(jitter, seed).with_slow_rank(workers - 1, factor));
+        let a = tiny_experiment(workers, seed, cluster.clone());
+        let b = tiny_experiment(workers, seed, cluster);
+        assert_reports_bit_identical(&a, &b);
+        assert_eq!(a.rank_skew, b.rank_skew, "skew summaries must be reproducible");
+        // And the straggler genuinely showed up (unless the jittered fleet
+        // happens to be nearly uniform, the slow rank dominates compute).
+        let skew = a.rank_skew.expect("experiment reports carry rank skew");
+        let per_rank = &skew.per_rank_compute_sec;
+        prop_assert!(per_rank[workers - 1] > per_rank[0], "designated slow rank must be slower");
+    }
+
+    /// `partition_weak` covers every requested sample exactly once for any
+    /// feasible geometry, and overflowing geometries panic loudly instead of
+    /// wrapping into nonsense.
+    #[test]
+    fn weak_partition_is_exact_or_loud(
+        workers in 1usize..7,
+        per_worker in 1usize..9,
+    ) {
+        let n = workers * per_worker + 3;
+        let (train, _) = SyntheticConfig::higgs_like()
+            .with_train_size(n)
+            .with_test_size(0)
+            .with_num_features(3)
+            .generate(1);
+        let (shards, plan) = partition_weak(&train, workers, per_worker);
+        prop_assert_eq!(shards.len(), workers);
+        prop_assert!(shards.iter().all(|s| s.num_samples() == per_worker));
+        prop_assert_eq!(plan.total_samples(), workers * per_worker);
+
+        // The overflow guard: a product past usize::MAX must panic with the
+        // dedicated message, not wrap into a tiny `needed`.
+        let huge = usize::MAX / 2 + 1;
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| partition_weak(&train, huge, 3)));
+        prop_assert!(result.is_err(), "overflowing weak partition must panic");
+    }
+}
