@@ -21,7 +21,7 @@ use std::hint::black_box;
 static ALLOC: CountingAllocator = CountingAllocator;
 
 fn smoke() -> bool {
-    std::env::var("NADMM_BENCH_SMOKE").map(|v| v != "0").unwrap_or(false)
+    nadmm_bench::smoke_mode()
 }
 
 /// Payload sizes (in f64 elements) spanning the tree/ring crossover: the

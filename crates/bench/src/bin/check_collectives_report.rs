@@ -10,23 +10,9 @@
 //! cargo run --release -p nadmm-bench --bin check_collectives_report
 //! ```
 
-use nadmm_bench::report::report_path;
+use nadmm_bench::report::{num, report_path, str_field};
 use serde::Value;
 use serde_json::parse_value;
-
-fn num(v: &Value, key: &str) -> Option<f64> {
-    match v.get(key) {
-        Some(Value::Num(n)) => Some(*n),
-        _ => None,
-    }
-}
-
-fn str_field<'a>(v: &'a Value, key: &str) -> Option<&'a str> {
-    match v.get(key) {
-        Some(Value::Str(s)) => Some(s),
-        _ => None,
-    }
-}
 
 fn fail(msg: &str) -> ! {
     eprintln!("check_collectives_report: FAIL: {msg}");

@@ -1,0 +1,87 @@
+//! CI gate for the serving bench: asserts that `BENCH_kernels.json`
+//! contains the `serve` section, that every recorded batch size of the
+//! modeled predict throughput is present, that batch-32 serves at least 4×
+//! the rows-per-second of batch-1 (the batching scheduler's load-bearing
+//! property), and that the warm-path allocation counters recorded by the
+//! bench are zero.
+//!
+//! ```text
+//! NADMM_BENCH_SMOKE=1 cargo bench -p nadmm-bench --bench serve
+//! cargo run --release -p nadmm-bench --bin check_serve_report
+//! ```
+
+use nadmm_bench::report::{num, report_path, str_field};
+use serde::Value;
+use serde_json::parse_value;
+
+/// The modeled batch sizes the bench must record.
+const REQUIRED_BATCHES: [usize; 4] = [1, 8, 32, 128];
+
+/// The batch-32 vs batch-1 rows/sec ratio the report must show (the same
+/// gate `examples/serve_bench.rs` applies end-to-end).
+const REQUIRED_SPEEDUP: f64 = nadmm_serve::BATCH_SPEEDUP_GATE;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("check_serve_report: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let path = report_path();
+    let text =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| fail(&format!("cannot read {path}: {e} (run the serve bench first)")));
+    let rows = match parse_value(&text) {
+        Ok(Value::Seq(rows)) => rows,
+        other => fail(&format!("{path} is not a JSON array: {other:?}")),
+    };
+
+    let serve: Vec<&Value> = rows.iter().filter(|r| str_field(r, "group") == Some("serve")).collect();
+    if serve.is_empty() {
+        fail("no `serve` section in the report");
+    }
+
+    // Modeled per-batch throughput: every required batch size present, with
+    // a positive rows-per-second figure.
+    let mut rows_per_sec: Vec<(usize, f64)> = Vec::new();
+    let mut alloc_rows = 0;
+    for row in &serve {
+        let id = str_field(row, "id").unwrap_or("");
+        if let Some(rest) = id.strip_prefix("predict_modeled/batch") {
+            let batch: usize = rest.parse().unwrap_or(0);
+            let ops = num(row, "ops_per_sec").unwrap_or(f64::NAN);
+            if !(ops.is_finite() && ops > 0.0) {
+                fail(&format!("{id} records a non-positive modeled throughput ({ops})"));
+            }
+            rows_per_sec.push((batch, ops));
+        } else if id.ends_with("_warm_allocs") {
+            let allocs = num(row, "allocs_per_iter").unwrap_or(f64::NAN);
+            if allocs != 0.0 {
+                fail(&format!("{id} recorded {allocs} allocations (expected 0)"));
+            }
+            alloc_rows += 1;
+        }
+    }
+    for required in REQUIRED_BATCHES {
+        if !rows_per_sec.iter().any(|(b, _)| *b == required) {
+            fail(&format!("no modeled throughput recorded for batch size {required}"));
+        }
+    }
+    if alloc_rows == 0 {
+        fail("no warm-path allocation counters recorded");
+    }
+
+    let at = |batch: usize| rows_per_sec.iter().find(|(b, _)| *b == batch).map(|(_, ops)| *ops).unwrap();
+    let speedup = at(32) / at(1);
+    if speedup < REQUIRED_SPEEDUP {
+        fail(&format!(
+            "batch-32 modeled throughput is only {speedup:.2}× batch-1 (gate: ≥ {REQUIRED_SPEEDUP}×) — \
+             {:.0} vs {:.0} rows/s",
+            at(32),
+            at(1)
+        ));
+    }
+    println!(
+        "check_serve_report: OK ({} serve rows, {alloc_rows} zero-alloc counters, batch-32 speedup {speedup:.1}×)",
+        serve.len()
+    );
+}

@@ -52,6 +52,24 @@ pub fn report_path() -> String {
     format!("{}/../../{}", env!("CARGO_MANIFEST_DIR"), DEFAULT_REPORT_PATH)
 }
 
+/// Reads a numeric field of a parsed report row (shared by the
+/// `check_*_report` CI gate binaries).
+pub fn num(v: &Value, key: &str) -> Option<f64> {
+    match v.get(key) {
+        Some(Value::Num(n)) => Some(*n),
+        _ => None,
+    }
+}
+
+/// Reads a string field of a parsed report row (shared by the
+/// `check_*_report` CI gate binaries).
+pub fn str_field<'a>(v: &'a Value, key: &str) -> Option<&'a str> {
+    match v.get(key) {
+        Some(Value::Str(s)) => Some(s),
+        _ => None,
+    }
+}
+
 fn key_of(v: &Value) -> Option<(String, String)> {
     let group = match v.get("group") {
         Some(Value::Str(s)) => s.clone(),

@@ -3,18 +3,22 @@
 //! Uses the counting global allocator to assert that, after warm-up
 //! populates the workspace pools, (a) a full CG solve (including every
 //! Hessian-vector product through the softmax objective and the Device
-//! kernels) and (b) a **full distributed ADMM outer iteration** — local
+//! kernels), (b) a **full distributed ADMM outer iteration** — local
 //! Newton solve, in-place reduce/broadcast consensus round, penalty
-//! adaptation, and the split-phase instrumentation allreduce — perform
-//! **zero** heap allocations on every rank, and that the device and
-//! communication pools report zero misses.
+//! adaptation, and the split-phase instrumentation allreduce — and (c) a
+//! **batched inference call** (`InferenceSession::predict_batch_into` and
+//! its top-k variant, the serving engine's hot path) perform **zero** heap
+//! allocations, and that the device and communication pools report zero
+//! misses.
 
 use nadmm_bench::alloc_counter::{count_allocations, CountingAllocator};
 use nadmm_cluster::{Cluster, Communicator, NetworkModel};
 use nadmm_data::{partition_strong, SyntheticConfig};
+use nadmm_device::DeviceSpec;
 use nadmm_device::Workspace;
 use nadmm_linalg::gen;
 use nadmm_objective::{Objective, ProximalAugmented, SoftmaxCrossEntropy};
+use nadmm_serve::{InferenceSession, ModelArtifact, Provenance};
 use nadmm_solver::{conjugate_gradient_into, CgConfig, NewtonCg, NewtonConfig};
 use newton_admm::{AdmmWorker, NewtonAdmmConfig};
 use std::time::Instant;
@@ -163,6 +167,53 @@ fn warm_distributed_admm_outer_iteration_is_allocation_free() {
         );
         assert_eq!(comm_pool.outstanding, 0, "rank {rank}: leaked collective handles");
     }
+}
+
+#[test]
+fn warm_batched_predict_performs_zero_heap_allocations() {
+    // The ISSUE-5 acceptance criterion: the serving engine's hot path — a
+    // warm `predict_batch_into` call (batched GEMM margins + argmax decode)
+    // and the top-k/softmax variant — makes zero heap allocations once the
+    // session's pool has seen the batch size.
+    let (features, classes, batch) = (24usize, 10usize, 32usize);
+    let artifact = ModelArtifact::new(
+        features,
+        classes,
+        (0..classes).map(|c| format!("class-{c}")).collect(),
+        (0..(classes - 1) * features).map(|i| ((i as f64) * 0.37).sin()).collect(),
+        Provenance::default(),
+    )
+    .unwrap();
+    let mut session = InferenceSession::new(&artifact, DeviceSpec::tesla_p100()).unwrap();
+    let rows: Vec<f64> = (0..batch * features).map(|i| ((i as f64) * 0.13).cos()).collect();
+    let mut preds = vec![0usize; batch];
+    let k = 3usize;
+    let mut topk_classes = vec![0usize; batch * k];
+    let mut topk_probs = vec![0.0f64; batch * k];
+
+    // Warm-up: one call of each shape populates the pool.
+    session.predict_batch_into(&rows, &mut preds);
+    session.predict_topk_into(&rows, k, &mut topk_classes, &mut topk_probs);
+    session.reset_workspace_stats();
+
+    let (argmax_allocs, timing) = count_allocations(|| session.predict_batch_into(&rows, &mut preds));
+    assert_eq!(timing.batch, batch);
+    assert!(timing.sim_seconds > 0.0, "the device model must bill the batch");
+    assert_eq!(
+        argmax_allocs, 0,
+        "warm predict_batch_into made {argmax_allocs} heap allocations (expected zero)"
+    );
+
+    let (topk_allocs, _) = count_allocations(|| session.predict_topk_into(&rows, k, &mut topk_classes, &mut topk_probs));
+    assert_eq!(
+        topk_allocs, 0,
+        "warm predict_topk_into made {topk_allocs} heap allocations (expected zero)"
+    );
+
+    let pool = session.workspace_stats();
+    assert_eq!(pool.pool_misses, 0, "warm predict missed the pool: {pool:?}");
+    assert!(pool.pool_hits > 0, "predict must actually draw from the pool");
+    assert_eq!(pool.outstanding, 0, "every pooled buffer must be returned");
 }
 
 #[test]

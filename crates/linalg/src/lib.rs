@@ -39,9 +39,12 @@ use std::sync::OnceLock;
 /// [`set_par_threshold`] overrides it.
 pub const DEFAULT_PAR_THRESHOLD: usize = 16 * 1024;
 
+/// Environment variable overriding the rayon cutover threshold.
+pub const PAR_THRESHOLD_ENV: &str = "NADMM_PAR_THRESHOLD";
+
 static PAR_THRESHOLD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 static PAR_THRESHOLD_OVERRIDDEN: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
-static PAR_THRESHOLD_ENV: OnceLock<usize> = OnceLock::new();
+static PAR_THRESHOLD_ENV_VALUE: OnceLock<usize> = OnceLock::new();
 
 /// Threshold (in number of scalar elements touched) below which kernels run
 /// sequentially instead of paying rayon's fork/join overhead.
@@ -57,12 +60,31 @@ pub fn par_threshold() -> usize {
     if PAR_THRESHOLD_OVERRIDDEN.load(Ordering::Relaxed) {
         return PAR_THRESHOLD_OVERRIDE.load(Ordering::Relaxed);
     }
-    *PAR_THRESHOLD_ENV.get_or_init(|| {
-        std::env::var("NADMM_PAR_THRESHOLD")
-            .ok()
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(DEFAULT_PAR_THRESHOLD)
+    *PAR_THRESHOLD_ENV_VALUE.get_or_init(|| match std::env::var(PAR_THRESHOLD_ENV) {
+        Ok(raw) => parse_par_threshold_env(&raw),
+        Err(std::env::VarError::NotPresent) => DEFAULT_PAR_THRESHOLD,
+        Err(std::env::VarError::NotUnicode(raw)) => {
+            panic!("{PAR_THRESHOLD_ENV} is set to a non-UTF-8 value ({raw:?}); {PAR_THRESHOLD_ACCEPTED}")
+        }
     })
+}
+
+/// The values [`PAR_THRESHOLD_ENV`] accepts, for error messages.
+const PAR_THRESHOLD_ACCEPTED: &str =
+    "accepted values: a non-negative element count (0 forces the parallel kernels, 18446744073709551615 disables them)";
+
+/// Parses a [`PAR_THRESHOLD_ENV`] value.
+///
+/// # Panics
+/// Panics when the value is not a non-negative integer, naming the variable,
+/// the bad value, and the accepted values. A garbled threshold used to fall
+/// back silently to the default, which turns an intended sequential/parallel
+/// ablation into a wrong experiment — failing loudly is the only safe
+/// behaviour (the `NADMM_COLLECTIVE_ALGO` parser applies the same rule).
+pub fn parse_par_threshold_env(raw: &str) -> usize {
+    raw.trim()
+        .parse()
+        .unwrap_or_else(|_| panic!("{PAR_THRESHOLD_ENV}='{raw}' is not a valid threshold; {PAR_THRESHOLD_ACCEPTED}"))
 }
 
 /// Overrides the rayon cutover threshold at runtime (process-wide). Passing
@@ -98,6 +120,21 @@ mod tests {
         assert!((forced_par - forced_seq).abs() < 1e-9 * forced_seq.abs().max(1.0));
         reset_par_threshold();
         assert_eq!(par_threshold(), before);
+    }
+
+    #[test]
+    fn par_threshold_env_values_parse_or_panic_loudly() {
+        assert_eq!(parse_par_threshold_env("0"), 0);
+        assert_eq!(parse_par_threshold_env(" 16384 "), 16 * 1024);
+        assert_eq!(parse_par_threshold_env("18446744073709551615"), usize::MAX);
+        for bad in ["", "garbage", "-1", "1.5", "0x10"] {
+            let err = std::panic::catch_unwind(|| parse_par_threshold_env(bad)).unwrap_err();
+            let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+            assert!(
+                msg.contains("NADMM_PAR_THRESHOLD") && msg.contains("accepted values"),
+                "panic for {bad:?} must name the variable and the accepted values: {msg}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,636 @@
+//! Versioned model artifacts: the `.nadmm` binary format.
+//!
+//! A trained iterate used to die inside `RunReport::final_w`; a
+//! [`ModelArtifact`] gives it a life after training. The artifact carries
+//! everything inference needs (weights, dimensions, label names) plus the
+//! training provenance (solver, dataset, scenario hash, final
+//! objective/accuracy), and persists as two files:
+//!
+//! * **`<path>` (binary, checksummed)** — the load-bearing half. Layout, all
+//!   integers little-endian:
+//!
+//!   ```text
+//!   offset size  field
+//!   0      8     magic  b"NADMMART"
+//!   8      4     format version (u32, currently 1)
+//!   12     8     num_features  (u64)
+//!   20     8     num_classes   (u64)
+//!   28     8     label count   (u64, == num_classes)
+//!          …     per label: byte length (u32) + UTF-8 bytes
+//!          8     weight count  (u64, == (num_classes − 1) · num_features)
+//!          …     weights (f64 bit patterns, row-major (C−1) × p)
+//!   end−8  8     FNV-1a 64 checksum of every preceding byte
+//!   ```
+//!
+//! * **`<path>.json` (sidecar)** — the human-readable provenance. Written on
+//!   every save; a *missing* sidecar downgrades to empty provenance (the
+//!   binary alone fully determines inference), but a present-and-garbled one
+//!   is a loud [`ArtifactError::SidecarInvalid`].
+//!
+//! Every malformed-input path is a distinct [`ArtifactError`] variant —
+//! truncation, bad magic, future versions, checksum mismatches, and
+//! dimension inconsistencies each name exactly what went wrong.
+
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// Magic bytes opening every `.nadmm` file.
+pub const ARTIFACT_MAGIC: [u8; 8] = *b"NADMMART";
+
+/// The format version this build writes and the newest it can read.
+pub const ARTIFACT_VERSION: u32 = 1;
+
+/// Why an artifact could not be saved or loaded.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArtifactError {
+    /// The file could not be read or written.
+    Io {
+        /// Path of the offending file.
+        path: String,
+        /// Operating-system error text.
+        message: String,
+    },
+    /// The file does not open with [`ARTIFACT_MAGIC`] — not an artifact.
+    BadMagic {
+        /// The first bytes actually found.
+        found: Vec<u8>,
+    },
+    /// The file's format version is newer than this build understands.
+    UnsupportedVersion {
+        /// Version recorded in the file.
+        found: u32,
+        /// Newest version this build reads.
+        supported: u32,
+    },
+    /// The file ends before a field it promises.
+    Truncated {
+        /// What was being read when the bytes ran out.
+        reading: &'static str,
+        /// Bytes the field needed.
+        needed: usize,
+        /// Bytes actually remaining.
+        remaining: usize,
+    },
+    /// The trailing checksum does not match the file contents.
+    ChecksumMismatch {
+        /// Checksum stored in the file.
+        stored: u64,
+        /// Checksum computed over the file's bytes.
+        computed: u64,
+    },
+    /// Internally inconsistent dimensions (or dimensions that do not match
+    /// what a caller requires).
+    DimMismatch {
+        /// What was being checked (e.g. `"weight count"`).
+        what: &'static str,
+        /// The value the format/ caller requires.
+        expected: usize,
+        /// The value actually found.
+        found: usize,
+    },
+    /// A value field is structurally invalid (e.g. fewer than two classes).
+    Invalid {
+        /// Description of the violated invariant.
+        message: String,
+    },
+    /// The provenance sidecar exists but cannot be parsed.
+    SidecarInvalid {
+        /// Path of the sidecar file.
+        path: String,
+        /// Parse error text.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArtifactError::Io { path, message } => write!(f, "artifact io error on `{path}`: {message}"),
+            ArtifactError::BadMagic { found } => {
+                write!(
+                    f,
+                    "not a .nadmm artifact: file opens with {found:?}, expected {ARTIFACT_MAGIC:?}"
+                )
+            }
+            ArtifactError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "artifact format version {found} is newer than the newest supported version {supported}"
+            ),
+            ArtifactError::Truncated {
+                reading,
+                needed,
+                remaining,
+            } => write!(
+                f,
+                "artifact truncated while reading {reading}: needed {needed} bytes, {remaining} remain"
+            ),
+            ArtifactError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "artifact checksum mismatch: file stores {stored:#018x}, contents hash to {computed:#018x} (corrupt file)"
+            ),
+            ArtifactError::DimMismatch { what, expected, found } => {
+                write!(f, "artifact dimension mismatch: {what} must be {expected}, found {found}")
+            }
+            ArtifactError::Invalid { message } => write!(f, "invalid artifact: {message}"),
+            ArtifactError::SidecarInvalid { path, message } => {
+                write!(f, "artifact sidecar `{path}` is unreadable: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+/// Where a model came from: recorded at save time, carried in the JSON
+/// sidecar, and reported by serving tools so a deployed model can always be
+/// traced back to the run that produced it.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Provenance {
+    /// Solver that trained the model (e.g. `"newton-admm"`).
+    pub solver: String,
+    /// Dataset the model was trained on.
+    pub dataset: String,
+    /// FNV-1a 64 hash of the scenario JSON (hex), when trained from one.
+    pub scenario_hash: Option<String>,
+    /// Final training objective.
+    pub final_objective: Option<f64>,
+    /// Final test accuracy recorded at training time (the serving engine
+    /// reproduces this exactly on the same held-out rows).
+    pub final_accuracy: Option<f64>,
+    /// Outer iterations the training run executed.
+    pub iterations: usize,
+}
+
+/// A persisted multiclass linear model: the downstream half of the paper's
+/// pipeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelArtifact {
+    /// Number of input features `p`.
+    pub num_features: usize,
+    /// Number of classes `C` (class `C − 1` is the implicit reference class
+    /// with weights pinned at zero, matching the training parameterisation).
+    pub num_classes: usize,
+    /// Human-readable class names, one per class index.
+    pub label_names: Vec<String>,
+    /// Flat weights, row-major `(C − 1) × p` — exactly `RunReport::final_w`.
+    pub weights: Vec<f64>,
+    /// Training provenance (lives in the JSON sidecar on disk).
+    pub provenance: Provenance,
+}
+
+/// FNV-1a 64-bit hash (the artifact checksum; also used for scenario
+/// fingerprints). Stable, dependency-free, and plenty for integrity checks —
+/// this guards against corruption, not adversaries.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Sequential little-endian reader over the artifact bytes, with every
+/// out-of-bytes condition reported as a typed [`ArtifactError::Truncated`].
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize, reading: &'static str) -> Result<&'a [u8], ArtifactError> {
+        let remaining = self.bytes.len() - self.pos;
+        if n > remaining {
+            return Err(ArtifactError::Truncated {
+                reading,
+                needed: n,
+                remaining,
+            });
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u32(&mut self, reading: &'static str) -> Result<u32, ArtifactError> {
+        Ok(u32::from_le_bytes(self.take(4, reading)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self, reading: &'static str) -> Result<u64, ArtifactError> {
+        Ok(u64::from_le_bytes(self.take(8, reading)?.try_into().unwrap()))
+    }
+}
+
+impl ModelArtifact {
+    /// Assembles an artifact, checking the dimensional invariants the binary
+    /// format promises.
+    pub fn new(
+        num_features: usize,
+        num_classes: usize,
+        label_names: Vec<String>,
+        weights: Vec<f64>,
+        provenance: Provenance,
+    ) -> Result<Self, ArtifactError> {
+        let artifact = Self {
+            num_features,
+            num_classes,
+            label_names,
+            weights,
+            provenance,
+        };
+        artifact.check_dims()?;
+        Ok(artifact)
+    }
+
+    /// Dimension of the weight vector, `(C − 1) · p`.
+    pub fn weight_dim(&self) -> usize {
+        (self.num_classes - 1) * self.num_features
+    }
+
+    fn check_dims(&self) -> Result<(), ArtifactError> {
+        if self.num_classes < 2 {
+            return Err(ArtifactError::Invalid {
+                message: format!("need at least two classes, got {}", self.num_classes),
+            });
+        }
+        if self.num_features == 0 {
+            return Err(ArtifactError::Invalid {
+                message: "need at least one feature".into(),
+            });
+        }
+        if self.label_names.len() != self.num_classes {
+            return Err(ArtifactError::DimMismatch {
+                what: "label count",
+                expected: self.num_classes,
+                found: self.label_names.len(),
+            });
+        }
+        if self.weights.len() != self.weight_dim() {
+            return Err(ArtifactError::DimMismatch {
+                what: "weight count",
+                expected: self.weight_dim(),
+                found: self.weights.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Serializes the binary half (magic, version, dims, labels, weights,
+    /// trailing checksum).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.weights.len() * 8);
+        out.extend_from_slice(&ARTIFACT_MAGIC);
+        out.extend_from_slice(&ARTIFACT_VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.num_features as u64).to_le_bytes());
+        out.extend_from_slice(&(self.num_classes as u64).to_le_bytes());
+        out.extend_from_slice(&(self.label_names.len() as u64).to_le_bytes());
+        for name in &self.label_names {
+            out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+            out.extend_from_slice(name.as_bytes());
+        }
+        out.extend_from_slice(&(self.weights.len() as u64).to_le_bytes());
+        for w in &self.weights {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        let checksum = fnv1a64(&out);
+        out.extend_from_slice(&checksum.to_le_bytes());
+        out
+    }
+
+    /// Parses the binary half, validating magic, version, checksum, and
+    /// every dimensional invariant. The inverse of [`ModelArtifact::to_bytes`]
+    /// up to the sidecar-only provenance (left empty here).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ArtifactError> {
+        let mut r = Reader { bytes, pos: 0 };
+        let magic = r.take(ARTIFACT_MAGIC.len(), "magic")?;
+        if magic != ARTIFACT_MAGIC {
+            return Err(ArtifactError::BadMagic { found: magic.to_vec() });
+        }
+        let version = r.u32("format version")?;
+        if version > ARTIFACT_VERSION {
+            return Err(ArtifactError::UnsupportedVersion {
+                found: version,
+                supported: ARTIFACT_VERSION,
+            });
+        }
+        // Integrity before structure: the checksum covers everything except
+        // its own trailing 8 bytes, so a flipped bit anywhere (weights
+        // included) is a checksum error, not a confusing parse error.
+        if bytes.len() < r.pos + 8 {
+            return Err(ArtifactError::Truncated {
+                reading: "checksum",
+                needed: 8,
+                remaining: bytes.len().saturating_sub(r.pos),
+            });
+        }
+        let body = &bytes[..bytes.len() - 8];
+        let stored = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap());
+        let computed = fnv1a64(body);
+        if stored != computed {
+            return Err(ArtifactError::ChecksumMismatch { stored, computed });
+        }
+        let mut r = Reader { bytes: body, pos: r.pos };
+        let num_features = r.u64("num_features")? as usize;
+        let num_classes = r.u64("num_classes")? as usize;
+        let label_count = r.u64("label count")? as usize;
+        if label_count != num_classes {
+            return Err(ArtifactError::DimMismatch {
+                what: "label count",
+                expected: num_classes,
+                found: label_count,
+            });
+        }
+        let mut label_names = Vec::with_capacity(label_count.min(1 << 16));
+        for _ in 0..label_count {
+            let len = r.u32("label length")? as usize;
+            let raw = r.take(len, "label bytes")?;
+            let name = std::str::from_utf8(raw)
+                .map_err(|e| ArtifactError::Invalid {
+                    message: format!("label is not UTF-8: {e}"),
+                })?
+                .to_string();
+            label_names.push(name);
+        }
+        let weight_count = r.u64("weight count")? as usize;
+        let mut weights = Vec::with_capacity(weight_count.min(1 << 24));
+        for _ in 0..weight_count {
+            let raw = r.take(8, "weight values")?;
+            weights.push(f64::from_le_bytes(raw.try_into().unwrap()));
+        }
+        if r.pos != body.len() {
+            return Err(ArtifactError::Invalid {
+                message: format!("{} trailing bytes after the weight block", body.len() - r.pos),
+            });
+        }
+        Self::new(num_features, num_classes, label_names, weights, Provenance::default())
+    }
+
+    /// Path of the provenance sidecar for an artifact at `path`.
+    pub fn sidecar_path(path: impl AsRef<Path>) -> String {
+        format!("{}.json", path.as_ref().display())
+    }
+
+    /// Writes the binary artifact to `path` and the provenance sidecar to
+    /// `<path>.json`.
+    ///
+    /// Both halves are staged as `*.tmp` files and renamed into place only
+    /// after every write succeeded, so a failed write (disk full,
+    /// permissions) never clobbers an existing artifact — in particular it
+    /// cannot leave a *new* binary paired with a *stale* sidecar, which
+    /// would load cleanly with the wrong provenance. (The residual window
+    /// is a same-directory rename failing between the two renames, which
+    /// the OS makes far rarer than a failed write.)
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), ArtifactError> {
+        self.check_dims()?;
+        let path = path.as_ref();
+        let io_err = |p: &str, e: std::io::Error| ArtifactError::Io {
+            path: p.to_string(),
+            message: e.to_string(),
+        };
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).map_err(|e| io_err(&parent.display().to_string(), e))?;
+            }
+        }
+        let sidecar = Self::sidecar_path(path);
+        let json = nadmm_experiment::to_finite_json_pretty(&self.provenance).map_err(|e| ArtifactError::Invalid {
+            message: format!("provenance does not serialize: {e}"),
+        })?;
+        let binary_tmp = format!("{}.tmp", path.display());
+        let sidecar_tmp = format!("{sidecar}.tmp");
+        let staged = (|| -> Result<(), ArtifactError> {
+            std::fs::write(&binary_tmp, self.to_bytes()).map_err(|e| io_err(&binary_tmp, e))?;
+            std::fs::write(&sidecar_tmp, json).map_err(|e| io_err(&sidecar_tmp, e))
+        })();
+        if let Err(e) = staged {
+            std::fs::remove_file(&binary_tmp).ok();
+            std::fs::remove_file(&sidecar_tmp).ok();
+            return Err(e);
+        }
+        // Publish the sidecar first so the load-bearing binary lands last;
+        // if either rename fails the caller gets an Err and knows the pair
+        // on disk is not the one it asked for.
+        std::fs::rename(&sidecar_tmp, &sidecar).map_err(|e| io_err(&sidecar, e))?;
+        std::fs::rename(&binary_tmp, path).map_err(|e| io_err(&path.display().to_string(), e))
+    }
+
+    /// Loads an artifact from `path`, validating checksum, version, and
+    /// dimensions, and attaching the sidecar provenance when present. A
+    /// missing sidecar yields empty provenance; an unparseable one is a
+    /// loud [`ArtifactError::SidecarInvalid`].
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, ArtifactError> {
+        let path = path.as_ref();
+        let bytes = std::fs::read(path).map_err(|e| ArtifactError::Io {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        })?;
+        let mut artifact = Self::from_bytes(&bytes)?;
+        let sidecar = Self::sidecar_path(path);
+        match std::fs::read_to_string(&sidecar) {
+            Ok(text) => {
+                artifact.provenance = serde_json::from_str(&text).map_err(|e| ArtifactError::SidecarInvalid {
+                    path: sidecar,
+                    message: e.to_string(),
+                })?;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => {
+                return Err(ArtifactError::Io {
+                    path: sidecar,
+                    message: e.to_string(),
+                })
+            }
+        }
+        Ok(artifact)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn artifact() -> ModelArtifact {
+        ModelArtifact::new(
+            3,
+            3,
+            vec!["ant".into(), "bee".into(), "other".into()],
+            vec![0.5, -1.25, 3.0, 0.0, 2.5, -0.125],
+            Provenance {
+                solver: "newton-admm".into(),
+                dataset: "unit".into(),
+                scenario_hash: Some("deadbeef".into()),
+                final_objective: Some(1.5),
+                final_accuracy: Some(0.875),
+                iterations: 7,
+            },
+        )
+        .unwrap()
+    }
+
+    fn temp_path(tag: &str) -> String {
+        std::env::temp_dir()
+            .join(format!("nadmm_artifact_{tag}_{}.nadmm", std::process::id()))
+            .display()
+            .to_string()
+    }
+
+    #[test]
+    fn byte_round_trip_is_exact() {
+        let a = artifact();
+        let mut b = ModelArtifact::from_bytes(&a.to_bytes()).unwrap();
+        assert_eq!(b.provenance, Provenance::default(), "provenance lives in the sidecar");
+        b.provenance = a.provenance.clone();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn save_load_round_trips_including_provenance() {
+        let path = temp_path("roundtrip");
+        let a = artifact();
+        a.save(&path).unwrap();
+        let b = ModelArtifact::load(&path).unwrap();
+        assert_eq!(a, b);
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(ModelArtifact::sidecar_path(&path)).ok();
+    }
+
+    #[test]
+    fn failed_saves_never_clobber_the_existing_pair() {
+        let path = temp_path("atomic");
+        let a = artifact();
+        a.save(&path).unwrap();
+        assert!(!std::path::Path::new(&format!("{path}.tmp")).exists(), "no staging residue");
+        // Force the sidecar stage to fail: a directory squats on its tmp
+        // path, so fs::write errors after the binary was already staged.
+        let sidecar_tmp = format!("{}.tmp", ModelArtifact::sidecar_path(&path));
+        std::fs::create_dir_all(&sidecar_tmp).unwrap();
+        let mut b = a.clone();
+        b.weights[0] = 42.0;
+        b.provenance.solver = "other-solver".into();
+        match b.save(&path) {
+            Err(ArtifactError::Io { .. }) => {}
+            other => panic!("expected Io from the staged write, got {other:?}"),
+        }
+        // The old pair is fully intact — weights *and* provenance — and the
+        // staged binary was cleaned up.
+        assert_eq!(ModelArtifact::load(&path).unwrap(), a);
+        assert!(
+            !std::path::Path::new(&format!("{path}.tmp")).exists(),
+            "staged binary must be removed after a failed save"
+        );
+        std::fs::remove_dir(&sidecar_tmp).ok();
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(ModelArtifact::sidecar_path(&path)).ok();
+    }
+
+    #[test]
+    fn missing_sidecar_degrades_to_empty_provenance() {
+        let path = temp_path("nosidecar");
+        let a = artifact();
+        a.save(&path).unwrap();
+        std::fs::remove_file(ModelArtifact::sidecar_path(&path)).unwrap();
+        let b = ModelArtifact::load(&path).unwrap();
+        assert_eq!(b.provenance, Provenance::default());
+        assert_eq!(b.weights, a.weights);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn garbled_sidecar_is_a_loud_typed_error() {
+        let path = temp_path("badsidecar");
+        artifact().save(&path).unwrap();
+        std::fs::write(ModelArtifact::sidecar_path(&path), "{not json").unwrap();
+        match ModelArtifact::load(&path) {
+            Err(ArtifactError::SidecarInvalid { .. }) => {}
+            other => panic!("expected SidecarInvalid, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(ModelArtifact::sidecar_path(&path)).ok();
+    }
+
+    #[test]
+    fn bad_magic_is_detected() {
+        let mut bytes = artifact().to_bytes();
+        bytes[0] = b'X';
+        match ModelArtifact::from_bytes(&bytes) {
+            Err(ArtifactError::BadMagic { found }) => assert_eq!(found[0], b'X'),
+            other => panic!("expected BadMagic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn future_versions_are_refused_by_name() {
+        let mut bytes = artifact().to_bytes();
+        bytes[8..12].copy_from_slice(&(ARTIFACT_VERSION + 1).to_le_bytes());
+        match ModelArtifact::from_bytes(&bytes) {
+            Err(ArtifactError::UnsupportedVersion { found, supported }) => {
+                assert_eq!(found, ARTIFACT_VERSION + 1);
+                assert_eq!(supported, ARTIFACT_VERSION);
+            }
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn any_flipped_payload_byte_is_a_checksum_error() {
+        let good = artifact().to_bytes();
+        // Flip one byte in the weights block and one in the trailing checksum.
+        for &pos in &[good.len() - 20, good.len() - 4] {
+            let mut bytes = good.clone();
+            bytes[pos] ^= 0x40;
+            match ModelArtifact::from_bytes(&bytes) {
+                Err(ArtifactError::ChecksumMismatch { stored, computed }) => assert_ne!(stored, computed),
+                other => panic!("flipping byte {pos} should be a checksum mismatch, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_names_the_missing_field() {
+        let good = artifact().to_bytes();
+        match ModelArtifact::from_bytes(&good[..6]) {
+            Err(ArtifactError::Truncated { reading, .. }) => assert_eq!(reading, "magic"),
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+        match ModelArtifact::from_bytes(&good[..14]) {
+            Err(ArtifactError::Truncated { reading, .. }) => assert_eq!(reading, "checksum"),
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dimension_lies_are_loud() {
+        assert!(matches!(
+            ModelArtifact::new(3, 3, vec!["a".into(); 2], vec![0.0; 6], Provenance::default()),
+            Err(ArtifactError::DimMismatch { what: "label count", .. })
+        ));
+        assert!(matches!(
+            ModelArtifact::new(3, 3, vec!["a".into(); 3], vec![0.0; 5], Provenance::default()),
+            Err(ArtifactError::DimMismatch {
+                what: "weight count",
+                expected: 6,
+                found: 5
+            })
+        ));
+        assert!(matches!(
+            ModelArtifact::new(3, 1, vec!["a".into()], vec![], Provenance::default()),
+            Err(ArtifactError::Invalid { .. })
+        ));
+    }
+
+    #[test]
+    fn io_failures_carry_the_path() {
+        match ModelArtifact::load("/nonexistent/deep/model.nadmm") {
+            Err(ArtifactError::Io { path, .. }) => assert!(path.contains("model.nadmm")),
+            other => panic!("expected Io, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+}

@@ -1,0 +1,120 @@
+//! Multi-model registry: named inference sessions behind one lookup.
+//!
+//! A serving deployment rarely hosts one model; the registry keys loaded
+//! [`InferenceSession`]s by artifact name so the batching scheduler can
+//! route each request to its model. Entries keep insertion order, which is
+//! the deterministic per-model order serving reports use.
+
+use crate::artifact::{ArtifactError, ModelArtifact};
+use crate::session::InferenceSession;
+use nadmm_device::DeviceSpec;
+use std::path::Path;
+
+/// Named inference sessions, in insertion order.
+#[derive(Debug, Default)]
+pub struct ModelRegistry {
+    entries: Vec<(String, InferenceSession)>,
+}
+
+impl ModelRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) a session under `name`, returning the
+    /// previous session when one existed.
+    pub fn insert(&mut self, name: impl Into<String>, session: InferenceSession) -> Option<InferenceSession> {
+        let name = name.into();
+        if let Some(pos) = self.entries.iter().position(|(n, _)| *n == name) {
+            let (_, old) = std::mem::replace(&mut self.entries[pos], (name, session));
+            Some(old)
+        } else {
+            self.entries.push((name, session));
+            None
+        }
+    }
+
+    /// Loads an artifact from disk and registers it under `name` on a device
+    /// of the given spec.
+    pub fn load(&mut self, name: impl Into<String>, path: impl AsRef<Path>, device: DeviceSpec) -> Result<(), ArtifactError> {
+        let artifact = ModelArtifact::load(path)?;
+        let session = InferenceSession::new(&artifact, device)?;
+        self.insert(name, session);
+        Ok(())
+    }
+
+    /// The session registered under `name`.
+    pub fn get_mut(&mut self, name: &str) -> Option<&mut InferenceSession> {
+        self.entries.iter_mut().find(|(n, _)| n == name).map(|(_, s)| s)
+    }
+
+    /// Registered names, in insertion order.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::Provenance;
+
+    fn artifact(bias: f64) -> ModelArtifact {
+        ModelArtifact::new(
+            2,
+            3,
+            vec!["a".into(), "b".into(), "c".into()],
+            vec![bias; 4],
+            Provenance::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn insertion_order_is_preserved_and_names_resolve() {
+        let mut reg = ModelRegistry::new();
+        reg.insert(
+            "beta",
+            InferenceSession::new(&artifact(0.1), DeviceSpec::tesla_p100()).unwrap(),
+        );
+        reg.insert(
+            "alpha",
+            InferenceSession::new(&artifact(0.2), DeviceSpec::tesla_p100()).unwrap(),
+        );
+        assert_eq!(reg.names(), vec!["beta", "alpha"]);
+        assert_eq!(reg.len(), 2);
+        assert!(reg.get_mut("alpha").is_some());
+        assert!(reg.get_mut("missing").is_none());
+    }
+
+    #[test]
+    fn reinsertion_replaces_and_returns_the_old_session() {
+        let mut reg = ModelRegistry::new();
+        reg.insert("m", InferenceSession::new(&artifact(0.1), DeviceSpec::tesla_p100()).unwrap());
+        let old = reg.insert("m", InferenceSession::new(&artifact(0.2), DeviceSpec::tesla_p100()).unwrap());
+        assert!(old.is_some());
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn load_round_trips_through_disk() {
+        let path = std::env::temp_dir().join(format!("nadmm_registry_{}.nadmm", std::process::id()));
+        artifact(0.5).save(&path).unwrap();
+        let mut reg = ModelRegistry::new();
+        reg.load("disk", &path, DeviceSpec::tesla_p100()).unwrap();
+        assert_eq!(reg.names(), vec!["disk"]);
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(ModelArtifact::sidecar_path(&path)).ok();
+    }
+}

@@ -1,0 +1,318 @@
+//! Structured serving reports.
+//!
+//! A [`ServeReport`] is to the serving simulator what `RunReport` is to a
+//! training run: the headline numbers (throughput, tail latency), the full
+//! per-model breakdown (batch-occupancy histogram, queue depths), and the
+//! same non-finite JSON hygiene — serializing a report containing NaN/∞ is a
+//! loud typed error naming the field, never `null` garbage.
+
+use nadmm_experiment::{to_finite_json_pretty, NonFiniteJsonError};
+use serde::{Deserialize, Serialize};
+
+/// Latency distribution of served requests, in simulated seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Mean request latency.
+    pub mean_sec: f64,
+    /// Median request latency.
+    pub p50_sec: f64,
+    /// 95th-percentile request latency.
+    pub p95_sec: f64,
+    /// 99th-percentile request latency.
+    pub p99_sec: f64,
+    /// Worst request latency.
+    pub max_sec: f64,
+}
+
+impl LatencySummary {
+    /// Summarizes a set of latencies (nearest-rank percentiles). `samples`
+    /// need not be sorted; an empty set is all zeros.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return Self {
+                mean_sec: 0.0,
+                p50_sec: 0.0,
+                p95_sec: 0.0,
+                p99_sec: 0.0,
+                max_sec: 0.0,
+            };
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies must be comparable"));
+        let pick = |q: f64| {
+            let rank = (q * sorted.len() as f64).ceil() as usize;
+            sorted[rank.clamp(1, sorted.len()) - 1]
+        };
+        Self {
+            mean_sec: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            p50_sec: pick(0.50),
+            p95_sec: pick(0.95),
+            p99_sec: pick(0.99),
+            max_sec: *sorted.last().unwrap(),
+        }
+    }
+
+    fn validate(&self, context: &str) -> Result<(), String> {
+        let fields = [
+            ("mean_sec", self.mean_sec),
+            ("p50_sec", self.p50_sec),
+            ("p95_sec", self.p95_sec),
+            ("p99_sec", self.p99_sec),
+            ("max_sec", self.max_sec),
+        ];
+        for (name, v) in fields {
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("{context}.{name} must be non-negative and finite, got {v}"));
+            }
+        }
+        if self.p50_sec > self.p95_sec || self.p95_sec > self.p99_sec || self.p99_sec > self.max_sec {
+            return Err(format!(
+                "{context}: percentiles must be non-decreasing (p50 ≤ p95 ≤ p99 ≤ max)"
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One bar of the batch-occupancy histogram: how many dispatched batches
+/// carried exactly `occupancy` requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OccupancyBucket {
+    /// Requests in the batch.
+    pub occupancy: usize,
+    /// Batches dispatched at that occupancy.
+    pub batches: u64,
+}
+
+/// Serving statistics of one model in the registry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelServeStats {
+    /// Registry name of the model.
+    pub model: String,
+    /// Requests this model served.
+    pub requests: u64,
+    /// Batches dispatched.
+    pub batches: u64,
+    /// Served requests per simulated second (over the model's active span).
+    pub throughput_rps: f64,
+    /// Request latency distribution (arrival → batch completion).
+    pub latency: LatencySummary,
+    /// Histogram of batch occupancies (only occupancies that occurred).
+    pub batch_occupancy: Vec<OccupancyBucket>,
+    /// Mean requests per dispatched batch.
+    pub mean_batch_occupancy: f64,
+    /// Deepest the model's request queue ever got (measured at dispatch).
+    pub max_queue_depth: u64,
+    /// Mean queue depth at dispatch instants.
+    pub mean_queue_depth: f64,
+    /// Simulated seconds the device spent serving batches.
+    pub busy_sec: f64,
+    /// First arrival → last completion, simulated seconds.
+    pub span_sec: f64,
+}
+
+/// The structured result of one serving-simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeReport {
+    /// Scenario name (from the `ServeSpec`).
+    pub scenario: String,
+    /// Requests served across every model.
+    pub total_requests: u64,
+    /// Longest per-model span (first arrival → last completion).
+    pub sim_duration_sec: f64,
+    /// Aggregate served requests per simulated second.
+    pub throughput_rps: f64,
+    /// Aggregate latency distribution over every request.
+    pub latency: LatencySummary,
+    /// Per-model breakdowns, in registry order.
+    pub per_model: Vec<ModelServeStats>,
+    /// Real wall-clock seconds the simulation took (zeroed by
+    /// `--deterministic` runs; everything else in the report is a pure
+    /// function of the spec).
+    pub wall_time_sec: f64,
+}
+
+impl ServeReport {
+    /// Serializes as pretty JSON; non-finite values anywhere are a loud
+    /// [`NonFiniteJsonError`] naming the field.
+    pub fn to_json(&self) -> Result<String, NonFiniteJsonError> {
+        to_finite_json_pretty(self)
+    }
+
+    /// Parses a report back from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Structural invariants every well-formed serving report satisfies
+    /// (the CI serve-smoke job runs this on the emitted file).
+    pub fn validate_schema(&self) -> Result<(), String> {
+        if self.scenario.is_empty() {
+            return Err("scenario name is empty".into());
+        }
+        if self.total_requests == 0 {
+            return Err("report covers zero requests".into());
+        }
+        if self.per_model.is_empty() {
+            return Err("report has no per-model stats".into());
+        }
+        if !self.sim_duration_sec.is_finite() || self.sim_duration_sec <= 0.0 {
+            return Err(format!("sim_duration_sec must be positive, got {}", self.sim_duration_sec));
+        }
+        if !self.throughput_rps.is_finite() || self.throughput_rps <= 0.0 {
+            return Err(format!("throughput_rps must be positive, got {}", self.throughput_rps));
+        }
+        if !self.wall_time_sec.is_finite() || self.wall_time_sec < 0.0 {
+            return Err("wall_time_sec must be non-negative and finite".into());
+        }
+        self.latency.validate("latency")?;
+        let mut request_sum = 0u64;
+        for m in &self.per_model {
+            if m.model.is_empty() {
+                return Err("per-model entry with an empty model name".into());
+            }
+            if m.batches == 0 || m.requests == 0 {
+                return Err(format!("model `{}` served no batches/requests", m.model));
+            }
+            if m.requests < m.batches {
+                return Err(format!("model `{}` reports more batches than requests", m.model));
+            }
+            m.latency.validate(&format!("per_model[{}].latency", m.model))?;
+            let hist_batches: u64 = m.batch_occupancy.iter().map(|b| b.batches).sum();
+            if hist_batches != m.batches {
+                return Err(format!(
+                    "model `{}` occupancy histogram covers {hist_batches} batches, expected {}",
+                    m.model, m.batches
+                ));
+            }
+            let hist_requests: u64 = m.batch_occupancy.iter().map(|b| b.occupancy as u64 * b.batches).sum();
+            if hist_requests != m.requests {
+                return Err(format!(
+                    "model `{}` occupancy histogram covers {hist_requests} requests, expected {}",
+                    m.model, m.requests
+                ));
+            }
+            if m.batch_occupancy.iter().any(|b| b.occupancy == 0) {
+                return Err(format!("model `{}` records an empty batch", m.model));
+            }
+            let scalars = [
+                ("throughput_rps", m.throughput_rps),
+                ("mean_batch_occupancy", m.mean_batch_occupancy),
+                ("mean_queue_depth", m.mean_queue_depth),
+                ("busy_sec", m.busy_sec),
+                ("span_sec", m.span_sec),
+            ];
+            for (name, v) in scalars {
+                if !v.is_finite() || v < 0.0 {
+                    return Err(format!(
+                        "model `{}`: {name} must be non-negative and finite, got {v}",
+                        m.model
+                    ));
+                }
+            }
+            if m.busy_sec > m.span_sec + 1e-12 {
+                return Err(format!(
+                    "model `{}` busier than its span: {} > {}",
+                    m.model, m.busy_sec, m.span_sec
+                ));
+            }
+            request_sum += m.requests;
+        }
+        if request_sum != self.total_requests {
+            return Err(format!(
+                "per-model requests sum to {request_sum}, headline says {}",
+                self.total_requests
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> ServeReport {
+        ServeReport {
+            scenario: "unit".into(),
+            total_requests: 10,
+            sim_duration_sec: 2.0,
+            throughput_rps: 5.0,
+            latency: LatencySummary::from_samples(&[0.1, 0.2, 0.3, 0.4]),
+            per_model: vec![ModelServeStats {
+                model: "m0".into(),
+                requests: 10,
+                batches: 4,
+                throughput_rps: 5.0,
+                latency: LatencySummary::from_samples(&[0.1, 0.2, 0.3, 0.4]),
+                batch_occupancy: vec![
+                    OccupancyBucket {
+                        occupancy: 2,
+                        batches: 3,
+                    },
+                    OccupancyBucket {
+                        occupancy: 4,
+                        batches: 1,
+                    },
+                ],
+                mean_batch_occupancy: 2.5,
+                max_queue_depth: 4,
+                mean_queue_depth: 2.5,
+                busy_sec: 1.5,
+                span_sec: 2.0,
+            }],
+            wall_time_sec: 0.01,
+        }
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank_and_ordered() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = LatencySummary::from_samples(&samples);
+        assert_eq!(s.p50_sec, 50.0);
+        assert_eq!(s.p95_sec, 95.0);
+        assert_eq!(s.p99_sec, 99.0);
+        assert_eq!(s.max_sec, 100.0);
+        assert!((s.mean_sec - 50.5).abs() < 1e-12);
+        let one = LatencySummary::from_samples(&[0.25]);
+        assert_eq!(one.p50_sec, 0.25);
+        assert_eq!(one.p99_sec, 0.25);
+    }
+
+    #[test]
+    fn json_round_trip_preserves_the_report() {
+        let r = report();
+        r.validate_schema().unwrap();
+        let back = ServeReport::from_json(&r.to_json().unwrap()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn non_finite_fields_are_loud_errors() {
+        let mut r = report();
+        r.latency.p99_sec = f64::INFINITY;
+        let err = r.to_json().unwrap_err();
+        assert_eq!(err.path, "latency.p99_sec");
+    }
+
+    #[test]
+    fn schema_validation_rejects_inconsistent_reports() {
+        let mut r = report();
+        r.total_requests = 11;
+        assert!(r.validate_schema().unwrap_err().contains("sum to 10"));
+
+        let mut r = report();
+        r.per_model[0].batch_occupancy[0].batches = 2;
+        assert!(r.validate_schema().is_err());
+
+        let mut r = report();
+        r.latency.p50_sec = 9.0;
+        assert!(r.validate_schema().unwrap_err().contains("non-decreasing"));
+
+        let mut r = report();
+        r.per_model[0].busy_sec = 99.0;
+        assert!(r.validate_schema().unwrap_err().contains("busier"));
+
+        assert!(report().validate_schema().is_ok());
+    }
+}

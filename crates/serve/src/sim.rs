@@ -1,0 +1,610 @@
+//! The serving simulator: seeded arrivals → batching scheduler → report.
+//!
+//! [`run_serve`] drives a [`ModelRegistry`] with the traffic a
+//! [`ServeSpec`] describes and returns a structured [`ServeReport`]. The
+//! scheduler implements the standard dynamic-batching policy: a batch
+//! dispatches when `max_batch` requests are queued **or** the oldest queued
+//! request has waited `max_queue_delay_sec`, whichever comes first (and
+//! never before the device is free). Each model serves on its own device
+//! replica; with several models, requests round-robin across them.
+//!
+//! Everything is deterministic: arrivals come from seeded splitmix64
+//! streams, request features are a pure function of `(request_seed, id)`,
+//! and service times come from the session's `DeviceSpec` cost model — so
+//! the same spec always produces the byte-identical report (the CI
+//! serve-smoke job diffs exactly that).
+
+use crate::registry::ModelRegistry;
+use crate::report::{LatencySummary, ModelServeStats, OccupancyBucket, ServeReport};
+use crate::scenario::{ArrivalSpec, ServeSpec};
+use crate::session::InferenceSession;
+use nadmm_experiment::ConfigError;
+use std::time::Instant;
+
+/// Why a serving simulation could not run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The spec failed validation.
+    Config(ConfigError),
+    /// The spec names a model the registry does not hold.
+    UnknownModel(String),
+    /// The registry holds no models at all.
+    EmptyRegistry,
+    /// The arrival process routes zero requests to a served model (fewer
+    /// open-loop requests / closed-loop clients than served models), which
+    /// would make the report schema-invalid or silently drop the model.
+    NoTraffic(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Config(e) => write!(f, "{e}"),
+            ServeError::UnknownModel(name) => write!(f, "serve spec names model `{name}` but the registry does not hold it"),
+            ServeError::EmptyRegistry => write!(f, "cannot serve from an empty model registry"),
+            ServeError::NoTraffic(name) => write!(
+                f,
+                "the arrival process routes no requests to model `{name}`: \
+                 need at least one request (open loop) or client (closed loop) per served model"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<ConfigError> for ServeError {
+    fn from(e: ConfigError) -> Self {
+        ServeError::Config(e)
+    }
+}
+
+/// splitmix64 step — the same mixing constants as the cluster crate's
+/// straggler model, but deliberately a local copy: serving must not depend
+/// on the cluster simulation at runtime, and the two streams never need to
+/// agree (each is seeded independently).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Uniform draw in the open interval `(0, 1)`.
+fn uniform01(state: &mut u64) -> f64 {
+    ((splitmix64(state) >> 11) as f64 + 0.5) / (1u64 << 53) as f64
+}
+
+/// Fills one request's feature row as a pure function of `(seed, id)` —
+/// independent of batching, so rebatching the same traffic serves the same
+/// feature vectors.
+fn fill_request_row(row: &mut [f64], seed: u64, id: u64) {
+    let mut state = seed ^ 0x5851_f42d_4c95_7f2d_u64.wrapping_mul(id.wrapping_add(1));
+    for v in row.iter_mut() {
+        *v = 2.0 * uniform01(&mut state) - 1.0;
+    }
+}
+
+/// A queued request: arrival time plus the global request id its features
+/// derive from.
+#[derive(Debug, Clone, Copy)]
+struct Request {
+    arrival: f64,
+    id: u64,
+}
+
+/// Raw counters one simulated server accumulates.
+struct ServerMetrics {
+    latencies: Vec<f64>,
+    occupancy: Vec<u64>,
+    depth_sum: u64,
+    depth_max: u64,
+    busy_sec: f64,
+    first_arrival: f64,
+    last_completion: f64,
+}
+
+impl ServerMetrics {
+    fn new(max_batch: usize) -> Self {
+        Self {
+            latencies: Vec::new(),
+            occupancy: vec![0; max_batch],
+            depth_sum: 0,
+            depth_max: 0,
+            busy_sec: 0.0,
+            first_arrival: f64::INFINITY,
+            last_completion: 0.0,
+        }
+    }
+
+    fn into_stats(self, model: &str) -> ModelServeStats {
+        let requests = self.latencies.len() as u64;
+        let batches: u64 = self.occupancy.iter().sum();
+        let span = (self.last_completion - self.first_arrival).max(0.0);
+        ModelServeStats {
+            model: model.to_string(),
+            requests,
+            batches,
+            throughput_rps: if span > 0.0 { requests as f64 / span } else { 0.0 },
+            latency: LatencySummary::from_samples(&self.latencies),
+            batch_occupancy: self
+                .occupancy
+                .iter()
+                .enumerate()
+                .filter(|(_, &count)| count > 0)
+                .map(|(i, &count)| OccupancyBucket {
+                    occupancy: i + 1,
+                    batches: count,
+                })
+                .collect(),
+            mean_batch_occupancy: if batches > 0 { requests as f64 / batches as f64 } else { 0.0 },
+            max_queue_depth: self.depth_max,
+            mean_queue_depth: if batches > 0 {
+                self.depth_sum as f64 / batches as f64
+            } else {
+                0.0
+            },
+            busy_sec: self.busy_sec,
+            span_sec: span,
+        }
+    }
+}
+
+/// One simulated single-device server wrapping an [`InferenceSession`],
+/// reusing one feature buffer and one prediction buffer across every batch.
+struct Server<'a> {
+    session: &'a mut InferenceSession,
+    rows: Vec<f64>,
+    preds: Vec<usize>,
+    request_seed: u64,
+    server_free: f64,
+    metrics: ServerMetrics,
+}
+
+impl<'a> Server<'a> {
+    fn new(session: &'a mut InferenceSession, max_batch: usize, request_seed: u64) -> Self {
+        let p = session.num_features();
+        Self {
+            session,
+            rows: vec![0.0; max_batch * p],
+            preds: vec![0usize; max_batch],
+            request_seed,
+            server_free: 0.0,
+            metrics: ServerMetrics::new(max_batch),
+        }
+    }
+
+    /// Serves one batch starting at `start`; returns the completion time.
+    fn serve_batch(&mut self, batch: &[Request], start: f64, queue_depth: usize) -> f64 {
+        let p = self.session.num_features();
+        for (bi, req) in batch.iter().enumerate() {
+            fill_request_row(&mut self.rows[bi * p..(bi + 1) * p], self.request_seed, req.id);
+        }
+        let timing = self
+            .session
+            .predict_batch_into(&self.rows[..batch.len() * p], &mut self.preds[..batch.len()]);
+        let completion = start + timing.sim_seconds;
+        for req in batch {
+            self.metrics.latencies.push(completion - req.arrival);
+            self.metrics.first_arrival = self.metrics.first_arrival.min(req.arrival);
+        }
+        self.metrics.occupancy[batch.len() - 1] += 1;
+        self.metrics.depth_sum += queue_depth as u64;
+        self.metrics.depth_max = self.metrics.depth_max.max(queue_depth as u64);
+        self.metrics.busy_sec += timing.sim_seconds;
+        self.metrics.last_completion = completion;
+        self.server_free = completion;
+        completion
+    }
+}
+
+/// Open-loop serving: a fixed, pre-generated arrival sequence (sorted).
+fn simulate_open_loop(server: &mut Server<'_>, arrivals: &[Request], max_batch: usize, max_delay: f64) {
+    let n = arrivals.len();
+    let mut i = 0;
+    while i < n {
+        let a0 = arrivals[i].arrival;
+        let earliest = server.server_free.max(a0);
+        let deadline = earliest.max(a0 + max_delay);
+        let mut j = i + 1;
+        while j < n && j - i < max_batch && arrivals[j].arrival <= deadline {
+            j += 1;
+        }
+        let filled = j - i == max_batch;
+        let start = if filled {
+            earliest.max(arrivals[j - 1].arrival)
+        } else {
+            deadline
+        };
+        // Queue depth at dispatch: everything arrived but not yet served.
+        let mut depth = j - i;
+        let mut k = j;
+        while k < n && arrivals[k].arrival <= start {
+            depth += 1;
+            k += 1;
+        }
+        server.serve_batch(&arrivals[i..j], start, depth);
+        i = j;
+    }
+}
+
+/// Closed-loop serving: `clients` callers, each waiting for its response,
+/// thinking, then asking again. `id_base` offsets the request-id stream so
+/// different models draw disjoint feature vectors.
+fn simulate_closed_loop(
+    server: &mut Server<'_>,
+    clients: usize,
+    think: f64,
+    per_client: usize,
+    max_batch: usize,
+    max_delay: f64,
+    id_base: u64,
+) {
+    // `next_issue[c]` is the time client `c` will issue its next request
+    // (None while a request is in flight or the client is done).
+    let mut next_issue: Vec<Option<f64>> = vec![Some(0.0); clients];
+    let mut remaining = vec![per_client; clients];
+    let mut issued = vec![0u64; clients];
+    let mut queue: Vec<(Request, usize)> = Vec::new();
+    let total = clients * per_client;
+    let mut served = 0;
+
+    let issue = |queue: &mut Vec<(Request, usize)>,
+                 next_issue: &mut Vec<Option<f64>>,
+                 remaining: &mut Vec<usize>,
+                 issued: &mut Vec<u64>,
+                 c: usize| {
+        let t = next_issue[c].take().expect("issuing an idle client");
+        let id = id_base + (c * per_client) as u64 + issued[c];
+        issued[c] += 1;
+        remaining[c] -= 1;
+        queue.push((Request { arrival: t, id }, c));
+    };
+
+    while served < total {
+        if queue.is_empty() {
+            // Wake the earliest idle client (ties: lowest client index).
+            let c = (0..clients)
+                .filter(|&c| next_issue[c].is_some())
+                .min_by(|&a, &b| next_issue[a].partial_cmp(&next_issue[b]).unwrap().then(a.cmp(&b)))
+                .expect("requests remain but no client is idle or queued");
+            issue(&mut queue, &mut next_issue, &mut remaining, &mut issued, c);
+        }
+        let a0 = queue.iter().map(|(r, _)| r.arrival).fold(f64::INFINITY, f64::min);
+        let earliest = server.server_free.max(a0);
+        let deadline = earliest.max(a0 + max_delay);
+        // Clients whose next request lands inside the batching window join it.
+        loop {
+            let candidate = (0..clients)
+                .filter(|&c| next_issue[c].map(|t| t <= deadline).unwrap_or(false))
+                .min_by(|&a, &b| next_issue[a].partial_cmp(&next_issue[b]).unwrap().then(a.cmp(&b)));
+            match candidate {
+                Some(c) => issue(&mut queue, &mut next_issue, &mut remaining, &mut issued, c),
+                None => break,
+            }
+        }
+        queue.sort_by(|(a, ca), (b, cb)| a.arrival.partial_cmp(&b.arrival).unwrap().then(ca.cmp(cb)));
+        // Take the earliest requests inside the window, up to max_batch.
+        let eligible = queue.iter().take_while(|(r, _)| r.arrival <= deadline).count();
+        let take = eligible.min(max_batch);
+        debug_assert!(take > 0, "the window always contains the oldest request");
+        let filled = take == max_batch;
+        let start = if filled {
+            earliest.max(queue[take - 1].0.arrival)
+        } else {
+            deadline
+        };
+        let depth = queue.iter().filter(|(r, _)| r.arrival <= start).count();
+        let batch: Vec<Request> = queue[..take].iter().map(|(r, _)| *r).collect();
+        let completion = server.serve_batch(&batch, start, depth);
+        for (_, c) in queue.drain(..take) {
+            served += 1;
+            if remaining[c] > 0 {
+                next_issue[c] = Some(completion + think);
+            }
+        }
+    }
+}
+
+/// Runs the serving simulation a [`ServeSpec`] describes against a
+/// [`ModelRegistry`], returning the structured report.
+pub fn run_serve(spec: &ServeSpec, registry: &mut ModelRegistry) -> Result<ServeReport, ServeError> {
+    spec.validate()?;
+    if registry.is_empty() {
+        return Err(ServeError::EmptyRegistry);
+    }
+    let model_names: Vec<String> = match &spec.models {
+        Some(names) => {
+            for name in names {
+                if registry.get_mut(name).is_none() {
+                    return Err(ServeError::UnknownModel(name.clone()));
+                }
+            }
+            names.clone()
+        }
+        None => registry.names().iter().map(|s| s.to_string()).collect(),
+    };
+    let wall_start = Instant::now();
+    let num_models = model_names.len();
+    let max_batch = spec.batching.max_batch;
+    let max_delay = spec.batching.max_queue_delay_sec;
+
+    // Round-robin routing gives model `i` zero traffic when the process
+    // supplies fewer request streams than there are served models — the
+    // report would be schema-invalid (open loop) or silently missing a
+    // model (closed loop), so refuse up front naming the starved model.
+    let streams = match &spec.arrival {
+        ArrivalSpec::OpenLoopPoisson { num_requests, .. } => *num_requests,
+        ArrivalSpec::ClosedLoop { clients, .. } => *clients,
+    };
+    if streams < num_models {
+        return Err(ServeError::NoTraffic(model_names[streams].clone()));
+    }
+
+    // Open-loop arrivals are one global seeded Poisson stream, round-robined
+    // across models, so adding a model re-routes traffic without changing
+    // the traffic itself.
+    let global_arrivals: Option<Vec<Request>> = match &spec.arrival {
+        ArrivalSpec::OpenLoopPoisson {
+            rate_per_sec,
+            num_requests,
+            seed,
+        } => {
+            let mut state = *seed;
+            let mut t = 0.0;
+            Some(
+                (0..*num_requests)
+                    .map(|id| {
+                        t += -uniform01(&mut state).ln() / rate_per_sec;
+                        Request {
+                            arrival: t,
+                            id: id as u64,
+                        }
+                    })
+                    .collect(),
+            )
+        }
+        ArrivalSpec::ClosedLoop { .. } => None,
+    };
+
+    let mut per_model = Vec::with_capacity(num_models);
+    let mut all_latencies = Vec::new();
+    for (mi, name) in model_names.iter().enumerate() {
+        let session = registry.get_mut(name).expect("model names were checked above");
+        let mut server = Server::new(session, max_batch, spec.request_seed);
+        match &spec.arrival {
+            ArrivalSpec::OpenLoopPoisson { .. } => {
+                let arrivals: Vec<Request> = global_arrivals
+                    .as_ref()
+                    .unwrap()
+                    .iter()
+                    .filter(|r| (r.id as usize) % num_models == mi)
+                    .copied()
+                    .collect();
+                simulate_open_loop(&mut server, &arrivals, max_batch, max_delay);
+            }
+            ArrivalSpec::ClosedLoop {
+                clients,
+                think_time_sec,
+                requests_per_client,
+            } => {
+                // Clients round-robin across models; each model runs its own
+                // closed loop over its share of the clients (at least one —
+                // the NoTraffic gate above guarantees clients ≥ models).
+                let my_clients = (*clients + num_models - 1 - mi) / num_models;
+                debug_assert!(my_clients > 0, "NoTraffic gate must have fired");
+                let id_base = (mi * *clients * *requests_per_client) as u64;
+                simulate_closed_loop(
+                    &mut server,
+                    my_clients,
+                    *think_time_sec,
+                    *requests_per_client,
+                    max_batch,
+                    max_delay,
+                    id_base,
+                );
+            }
+        }
+        all_latencies.extend_from_slice(&server.metrics.latencies);
+        per_model.push(server.metrics.into_stats(name));
+    }
+
+    let total_requests: u64 = per_model.iter().map(|m| m.requests).sum();
+    let sim_duration_sec = per_model.iter().map(|m| m.span_sec).fold(0.0, f64::max);
+    Ok(ServeReport {
+        scenario: spec.name.clone(),
+        total_requests,
+        sim_duration_sec,
+        throughput_rps: if sim_duration_sec > 0.0 {
+            total_requests as f64 / sim_duration_sec
+        } else {
+            0.0
+        },
+        latency: LatencySummary::from_samples(&all_latencies),
+        per_model,
+        wall_time_sec: wall_start.elapsed().as_secs_f64(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::{ModelArtifact, Provenance};
+    use crate::scenario::BatchingSpec;
+    use nadmm_device::DeviceSpec;
+
+    fn registry_with(names: &[&str]) -> ModelRegistry {
+        let artifact = ModelArtifact::new(
+            6,
+            4,
+            (0..4).map(|c| format!("class-{c}")).collect(),
+            (0..18).map(|i| ((i as f64) * 0.61).cos()).collect(),
+            Provenance::default(),
+        )
+        .unwrap();
+        let mut reg = ModelRegistry::new();
+        for name in names {
+            reg.insert(*name, InferenceSession::new(&artifact, DeviceSpec::tesla_p100()).unwrap());
+        }
+        reg
+    }
+
+    fn open_loop_spec(rate: f64, n: usize, max_batch: usize) -> ServeSpec {
+        ServeSpec {
+            name: "sim-unit".into(),
+            arrival: ArrivalSpec::OpenLoopPoisson {
+                rate_per_sec: rate,
+                num_requests: n,
+                seed: 11,
+            },
+            batching: BatchingSpec {
+                max_batch,
+                max_queue_delay_sec: 200e-6,
+            },
+            device: DeviceSpec::tesla_p100(),
+            request_seed: 23,
+            models: None,
+        }
+    }
+
+    #[test]
+    fn open_loop_reports_validate_and_cover_every_request() {
+        let mut reg = registry_with(&["m0"]);
+        let report = run_serve(&open_loop_spec(20_000.0, 200, 16), &mut reg).unwrap();
+        report.validate_schema().unwrap();
+        assert_eq!(report.total_requests, 200);
+        assert_eq!(report.per_model.len(), 1);
+        assert!(report.latency.p50_sec <= report.latency.p99_sec);
+        assert!(report.throughput_rps > 0.0);
+    }
+
+    #[test]
+    fn a_trickle_serves_batches_of_one_and_a_flood_fills_batches() {
+        let mut reg = registry_with(&["m0"]);
+        // 10 req/s against a ~30 µs service time: every batch is size 1.
+        let trickle = run_serve(&open_loop_spec(10.0, 40, 16), &mut reg).unwrap();
+        assert_eq!(trickle.per_model[0].batch_occupancy.len(), 1);
+        assert_eq!(trickle.per_model[0].batch_occupancy[0].occupancy, 1);
+
+        // A flood far beyond the per-request service rate saturates batches.
+        let mut reg = registry_with(&["m0"]);
+        let flood = run_serve(&open_loop_spec(2_000_000.0, 400, 16), &mut reg).unwrap();
+        assert!(
+            flood.per_model[0].mean_batch_occupancy > 8.0,
+            "flood mean occupancy {}",
+            flood.per_model[0].mean_batch_occupancy
+        );
+        assert!(flood.throughput_rps > trickle.throughput_rps * 4.0);
+    }
+
+    #[test]
+    fn same_spec_same_report_bit_for_bit() {
+        let spec = open_loop_spec(100_000.0, 300, 8);
+        let mut reg = registry_with(&["m0"]);
+        let mut a = run_serve(&spec, &mut reg).unwrap();
+        let mut reg = registry_with(&["m0"]);
+        let mut b = run_serve(&spec, &mut reg).unwrap();
+        a.wall_time_sec = 0.0;
+        b.wall_time_sec = 0.0;
+        assert_eq!(a, b, "the simulation must be a pure function of the spec");
+        assert_eq!(a.to_json().unwrap(), b.to_json().unwrap());
+    }
+
+    #[test]
+    fn closed_loop_serves_every_client_request() {
+        let mut reg = registry_with(&["m0"]);
+        let spec = ServeSpec {
+            arrival: ArrivalSpec::ClosedLoop {
+                clients: 7,
+                think_time_sec: 50e-6,
+                requests_per_client: 5,
+            },
+            ..open_loop_spec(1.0, 1, 4)
+        };
+        let report = run_serve(&spec, &mut reg).unwrap();
+        report.validate_schema().unwrap();
+        assert_eq!(report.total_requests, 35);
+        // 7 clients with a 4-wide batcher: multi-request batches must form.
+        assert!(report.per_model[0].mean_batch_occupancy > 1.0);
+        assert!(report.per_model[0].max_queue_depth >= 2);
+    }
+
+    #[test]
+    fn multi_model_registries_split_traffic_and_report_per_model() {
+        let mut reg = registry_with(&["alpha", "beta"]);
+        let report = run_serve(&open_loop_spec(50_000.0, 100, 8), &mut reg).unwrap();
+        report.validate_schema().unwrap();
+        assert_eq!(report.per_model.len(), 2);
+        assert_eq!(report.per_model[0].model, "alpha");
+        assert_eq!(report.per_model[1].model, "beta");
+        assert_eq!(report.per_model[0].requests, 50);
+        assert_eq!(report.per_model[1].requests, 50);
+    }
+
+    #[test]
+    fn model_selection_and_bad_names_are_typed_errors() {
+        let mut reg = registry_with(&["alpha", "beta"]);
+        let mut spec = open_loop_spec(50_000.0, 60, 8);
+        spec.models = Some(vec!["beta".into()]);
+        let report = run_serve(&spec, &mut reg).unwrap();
+        assert_eq!(report.per_model.len(), 1);
+        assert_eq!(report.per_model[0].model, "beta");
+        assert_eq!(report.total_requests, 60);
+
+        spec.models = Some(vec!["gamma".into()]);
+        assert_eq!(
+            run_serve(&spec, &mut reg).unwrap_err(),
+            ServeError::UnknownModel("gamma".into())
+        );
+        let mut empty = ModelRegistry::new();
+        assert_eq!(
+            run_serve(&open_loop_spec(1.0, 1, 1), &mut empty).unwrap_err(),
+            ServeError::EmptyRegistry
+        );
+    }
+
+    #[test]
+    fn starving_a_model_of_traffic_is_a_typed_error() {
+        // Open loop: 2 requests round-robined over 3 models starves `m2`.
+        let mut reg = registry_with(&["m0", "m1", "m2"]);
+        let mut spec = open_loop_spec(1000.0, 2, 4);
+        assert_eq!(run_serve(&spec, &mut reg).unwrap_err(), ServeError::NoTraffic("m2".into()));
+
+        // Closed loop: 1 client over 3 models starves `m1`.
+        spec.arrival = ArrivalSpec::ClosedLoop {
+            clients: 1,
+            think_time_sec: 0.0,
+            requests_per_client: 5,
+        };
+        assert_eq!(run_serve(&spec, &mut reg).unwrap_err(), ServeError::NoTraffic("m1".into()));
+
+        // Exactly one stream per model is fine and reports every model.
+        spec.arrival = ArrivalSpec::ClosedLoop {
+            clients: 3,
+            think_time_sec: 0.0,
+            requests_per_client: 2,
+        };
+        let report = run_serve(&spec, &mut reg).unwrap();
+        report.validate_schema().unwrap();
+        assert_eq!(report.per_model.len(), 3);
+    }
+
+    #[test]
+    fn tighter_queue_delay_trades_throughput_for_latency() {
+        let run_with_delay = |delay: f64| {
+            let mut reg = registry_with(&["m0"]);
+            let mut spec = open_loop_spec(150_000.0, 400, 32);
+            spec.batching.max_queue_delay_sec = delay;
+            run_serve(&spec, &mut reg).unwrap()
+        };
+        let eager = run_with_delay(0.0);
+        let patient = run_with_delay(500e-6);
+        assert!(
+            patient.per_model[0].mean_batch_occupancy > eager.per_model[0].mean_batch_occupancy,
+            "waiting longer must fill batches more: {} vs {}",
+            patient.per_model[0].mean_batch_occupancy,
+            eager.per_model[0].mean_batch_occupancy
+        );
+    }
+}

@@ -6,18 +6,24 @@
 //!
 //! Run with:
 //! ```text
-//! cargo run --release --example scenario_runner -- scenarios/smoke.json [--out PATH] [--deterministic]
+//! cargo run --release --example scenario_runner -- scenarios/smoke.json \
+//!     [--out PATH] [--save-model MODEL.nadmm] [--deterministic]
 //! ```
 //!
 //! `--deterministic` zeroes the host wall-clock fields of every report
 //! before writing, so two runs of the same scenario with the same seeds
 //! emit **byte-identical** files — the CI heterogeneity job diffs exactly
 //! that.
+//!
+//! `--save-model PATH` additionally persists the *first* solver's trained
+//! iterate as a versioned `.nadmm` model artifact (plus its provenance
+//! sidecar `PATH.json`), ready for `examples/serve_bench.rs` or any
+//! `nadmm_serve::ModelRegistry` to reload and serve.
 
 use newton_admm_repro::prelude::*;
 use std::process::ExitCode;
 
-fn run(scenario_path: &str, out_path: &str, deterministic: bool) -> Result<(), String> {
+fn run(scenario_path: &str, out_path: &str, save_model: Option<&str>, deterministic: bool) -> Result<(), String> {
     let json = std::fs::read_to_string(scenario_path).map_err(|e| format!("cannot read {scenario_path}: {e}"))?;
     let scenario = ScenarioSpec::from_json(&json).map_err(|e| format!("cannot parse {scenario_path}: {e}"))?;
     println!(
@@ -29,6 +35,23 @@ fn run(scenario_path: &str, out_path: &str, deterministic: bool) -> Result<(), S
     );
 
     let mut reports = scenario.run().map_err(|e| format!("scenario failed: {e}"))?;
+    if let Some(model_path) = save_model {
+        // Export the first solver's trained iterate as a versioned model
+        // artifact; any dimension lie or unwritable path is a hard failure.
+        let artifact = artifact_for_scenario(&scenario, &reports[0])
+            .map_err(|e| format!("cannot build a model artifact from `{}`: {e}", reports[0].solver))?;
+        artifact
+            .save(model_path)
+            .map_err(|e| format!("cannot save the model artifact: {e}"))?;
+        println!(
+            "saved `{}` model ({} features × {} classes, scenario {}) → {model_path} (+ sidecar {})",
+            artifact.provenance.solver,
+            artifact.num_features,
+            artifact.num_classes,
+            artifact.provenance.scenario_hash.as_deref().unwrap_or("?"),
+            ModelArtifact::sidecar_path(model_path),
+        );
+    }
     if deterministic {
         // Everything in a report is a deterministic function of the
         // scenario except the host wall clock; zero it so same-seed runs
@@ -101,6 +124,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scenario_path: Option<String> = None;
     let mut out_path = "target/scenario_report.json".to_string();
+    let mut save_model: Option<String> = None;
     let mut deterministic = false;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -112,9 +136,18 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--save-model" => match it.next() {
+                Some(p) => save_model = Some(p),
+                None => {
+                    eprintln!("--save-model requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--deterministic" => deterministic = true,
             flag if flag.starts_with('-') => {
-                eprintln!("unknown flag `{flag}`\nusage: scenario_runner [SCENARIO.json] [--out REPORT.json] [--deterministic]");
+                eprintln!(
+                    "unknown flag `{flag}`\nusage: scenario_runner [SCENARIO.json] [--out REPORT.json] [--save-model MODEL.nadmm] [--deterministic]"
+                );
                 return ExitCode::FAILURE;
             }
             path => {
@@ -127,7 +160,7 @@ fn main() -> ExitCode {
         }
     }
     let scenario_path = scenario_path.unwrap_or_else(|| "scenarios/smoke.json".to_string());
-    match run(&scenario_path, &out_path, deterministic) {
+    match run(&scenario_path, &out_path, save_model.as_deref(), deterministic) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("scenario_runner: {e}");

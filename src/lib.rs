@@ -26,6 +26,7 @@ pub use nadmm_experiment as experiment;
 pub use nadmm_linalg as linalg;
 pub use nadmm_metrics as metrics;
 pub use nadmm_objective as objective;
+pub use nadmm_serve as serve;
 pub use nadmm_solver as solver;
 pub use newton_admm as core;
 
@@ -46,6 +47,10 @@ pub mod prelude {
     };
     pub use nadmm_metrics::{relative_objective, IterationRecord, RunHistory, TextTable};
     pub use nadmm_objective::{BinaryLogistic, Objective, SoftmaxCrossEntropy};
+    pub use nadmm_serve::{
+        artifact_for_scenario, run_serve, scenario_fingerprint, ArrivalSpec, ArtifactError, BatchingSpec, InferenceSession,
+        ModelArtifact, ModelRegistry, Provenance, ServeReport, ServeSpec, ServingScenario,
+    };
     pub use nadmm_solver::{CgConfig, FirstOrderConfig, FirstOrderMethod, LineSearchConfig, NewtonCg, NewtonConfig};
     pub use newton_admm::{DropoutSpec, NewtonAdmm, NewtonAdmmConfig, PenaltyRule, SpectralConfig};
 }
