@@ -40,6 +40,10 @@ pub struct CollectiveHandle {
     pub(crate) algo: CollectiveAlgorithm,
     pub(crate) sent_bytes: f64,
     pub(crate) recv_bytes: f64,
+    /// Full-width (pre-compression) byte counters recorded at `wait`; equal
+    /// to the wire counters unless the payload was compressed.
+    pub(crate) logical_sent_bytes: f64,
+    pub(crate) logical_recv_bytes: f64,
     /// Whether the starting call already billed clock/stats (true for the
     /// blocking fallback; the real split-phase engine bills at `wait`).
     pub(crate) billed: bool,
@@ -64,8 +68,19 @@ impl CollectiveHandle {
             algo,
             sent_bytes,
             recv_bytes,
+            logical_sent_bytes: sent_bytes,
+            logical_recv_bytes: recv_bytes,
             billed,
         }
+    }
+
+    /// Overrides the full-width (pre-compression) byte counters billed at
+    /// `wait`. [`CollectiveHandle::new`] defaults them to the wire counters,
+    /// which is correct for uncompressed payloads.
+    pub fn with_logical_bytes(mut self, sent: f64, received: f64) -> Self {
+        self.logical_sent_bytes = sent;
+        self.logical_recv_bytes = received;
+        self
     }
 
     /// Number of elements of the eventual result.

@@ -41,7 +41,9 @@ pub mod thread_comm;
 pub mod workspace;
 
 pub use comm::{CollectiveHandle, Communicator, SingleProcessComm, ROOT_RANK};
-pub use network::{CollectiveAlgorithm, CollectiveKind, CollectiveSelector, NetworkModel, COLLECTIVE_ALGO_ENV};
+pub use network::{
+    CollectiveAlgorithm, CollectiveKind, CollectiveSelector, Compression, NetworkModel, COLLECTIVE_ALGO_ENV, COMPRESSION_ENV,
+};
 pub use stats::{CommStats, KindStats};
 pub use straggler::{SlowRank, StragglerModel};
 pub use thread_comm::{Cluster, ThreadComm};

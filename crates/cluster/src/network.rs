@@ -22,6 +22,10 @@ use serde::{Deserialize, Serialize};
 /// (`naive`, `tree`, `ring`, `rhd`, or `auto`).
 pub const COLLECTIVE_ALGO_ENV: &str = "NADMM_COLLECTIVE_ALGO";
 
+/// Environment variable overriding the wire compression of collective
+/// payloads (`none`, `f16`, or `bf16`).
+pub const COMPRESSION_ENV: &str = "NADMM_COMPRESSION";
+
 /// The collective operations the communicator layer charges for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum CollectiveKind {
@@ -194,6 +198,143 @@ impl CollectiveSelector {
 
 /// The spellings [`CollectiveSelector::parse`] accepts, for error messages.
 const ACCEPTED_SPELLINGS: &str = "accepted values: auto, naive (star), tree (binomial), ring, rhd (halving-doubling, butterfly)";
+
+/// Wire compression applied to collective payloads (gradient/parameter
+/// compression).
+///
+/// Under compression every rank rounds its contribution through the reduced
+/// wire format before it is exchanged — exactly the compress→send→decompress
+/// pipeline of gradient-compression allreduce — and the reduction itself runs
+/// at full width on the decompressed values, so the *result* is always a
+/// full-width `f64` vector. Every rank observes the identical compressed
+/// payloads (including its own contribution), which keeps the consensus
+/// state bit-identical across ranks.
+///
+/// The on-wire footprint is what the network model sees: payload bytes are
+/// billed at [`Compression::wire_bytes_per_element`], so compressed
+/// collectives cost less and their tree↔ring crossover payloads shift
+/// accordingly. [`Compression::None`] bills the full 8 bytes per `f64` and
+/// leaves every payload untouched — bit-identical to the uncompressed
+/// communicator by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Compression {
+    /// Full-width `f64` on the wire (the default; bit-identical data path).
+    #[default]
+    None,
+    /// IEEE 754 binary16 on the wire: 2 bytes per element, ~3 decimal digits.
+    F16,
+    /// bfloat16 on the wire: 2 bytes per element, f32's exponent range at
+    /// ~2 decimal digits.
+    Bf16,
+}
+
+impl Compression {
+    /// All policies, for exhaustive tests.
+    pub const ALL: [Compression; 3] = [Compression::None, Compression::F16, Compression::Bf16];
+
+    /// The spellings [`Compression::parse`] accepts, for error messages.
+    pub const ACCEPTED_SPELLINGS: &'static str = "none (off, f64), f16 (fp16, half), bf16 (bfloat16)";
+
+    /// Short name used in reports, specs, and the env override.
+    pub fn name(self) -> &'static str {
+        match self {
+            Compression::None => "none",
+            Compression::F16 => "f16",
+            Compression::Bf16 => "bf16",
+        }
+    }
+
+    /// Parses a [`Compression::name`] or one of its aliases
+    /// (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "none" | "off" | "f64" => Some(Compression::None),
+            "f16" | "fp16" | "half" => Some(Compression::F16),
+            "bf16" | "bfloat16" => Some(Compression::Bf16),
+            _ => None,
+        }
+    }
+
+    /// Bytes one payload element occupies on the simulated wire (8 for the
+    /// uncompressed `f64` path, 2 for the half-precision formats). This is
+    /// the size the network model bills and the crossover rule sees.
+    pub fn wire_bytes_per_element(self) -> f64 {
+        match self {
+            Compression::None => 8.0,
+            Compression::F16 | Compression::Bf16 => 2.0,
+        }
+    }
+
+    /// Rounds one value through the wire format (identity for
+    /// [`Compression::None`]).
+    pub fn round(self, x: f64) -> f64 {
+        match self {
+            Compression::None => x,
+            Compression::F16 => nadmm_linalg::half::round_f16(x),
+            Compression::Bf16 => nadmm_linalg::half::round_bf16(x),
+        }
+    }
+
+    /// Whether payloads cross the wire untouched.
+    pub fn is_identity(self) -> bool {
+        self == Compression::None
+    }
+
+    /// Reads the [`COMPRESSION_ENV`] override, defaulting to
+    /// [`Compression::None`] when the variable is unset.
+    ///
+    /// # Panics
+    /// Panics when the variable is set to an unparseable value, naming the
+    /// bad value and the accepted spellings — a typo must not silently run
+    /// the uncompressed experiment (the `NADMM_COLLECTIVE_ALGO` parser
+    /// applies the same rule).
+    pub fn from_env() -> Self {
+        match std::env::var(COMPRESSION_ENV) {
+            Ok(raw) => Self::parse_env_value(&raw),
+            Err(std::env::VarError::NotPresent) => Self::default(),
+            Err(std::env::VarError::NotUnicode(raw)) => {
+                panic!(
+                    "{COMPRESSION_ENV} is set to a non-UTF-8 value ({raw:?}); accepted values: {}",
+                    Self::ACCEPTED_SPELLINGS
+                )
+            }
+        }
+    }
+
+    /// Parses the value of the [`COMPRESSION_ENV`] override, panicking with
+    /// the accepted spellings when it does not name a policy.
+    pub fn parse_env_value(raw: &str) -> Self {
+        Self::parse(raw).unwrap_or_else(|| {
+            panic!(
+                "{COMPRESSION_ENV}='{raw}' does not name a compression policy; accepted values: {}",
+                Self::ACCEPTED_SPELLINGS
+            )
+        })
+    }
+}
+
+impl Serialize for Compression {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.name().to_string())
+    }
+}
+
+impl Deserialize for Compression {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        match v {
+            // Pre-compression specs omit the field entirely; the shim hands
+            // deserializers `Null` for missing keys.
+            serde::Value::Null => Ok(Compression::default()),
+            serde::Value::Str(s) => Compression::parse(s).ok_or_else(|| {
+                serde::DeError(format!(
+                    "`{s}` does not name a compression policy; accepted values: {}",
+                    Compression::ACCEPTED_SPELLINGS
+                ))
+            }),
+            other => Err(serde::DeError::expected("compression string", other)),
+        }
+    }
+}
 
 /// α+β cost model of the interconnect.
 ///
@@ -571,6 +712,57 @@ mod tests {
     #[should_panic(expected = "does not name a collective selection")]
     fn unparseable_env_value_panics_loudly_instead_of_falling_back_to_auto() {
         CollectiveSelector::parse_env_value("rinf"); // a typo of "ring"
+    }
+
+    #[test]
+    fn compression_parsing_accepts_every_spelling() {
+        for c in Compression::ALL {
+            assert_eq!(Compression::parse(c.name()), Some(c));
+        }
+        assert_eq!(Compression::parse("off"), Some(Compression::None));
+        assert_eq!(Compression::parse("F64"), Some(Compression::None));
+        assert_eq!(Compression::parse("FP16"), Some(Compression::F16));
+        assert_eq!(Compression::parse("half"), Some(Compression::F16));
+        assert_eq!(Compression::parse("BFloat16"), Some(Compression::Bf16));
+        assert_eq!(Compression::parse("gzip"), None);
+        assert_eq!(Compression::parse_env_value(" bf16 "), Compression::Bf16);
+    }
+
+    #[test]
+    fn compression_wire_bytes_and_rounding() {
+        assert_eq!(Compression::None.wire_bytes_per_element(), 8.0);
+        assert_eq!(Compression::F16.wire_bytes_per_element(), 2.0);
+        assert_eq!(Compression::Bf16.wire_bytes_per_element(), 2.0);
+        assert!(Compression::None.is_identity());
+        assert!(!Compression::F16.is_identity());
+        let x = 1.0 / 3.0;
+        assert_eq!(Compression::None.round(x).to_bits(), x.to_bits());
+        for c in [Compression::F16, Compression::Bf16] {
+            let r = c.round(x);
+            assert_ne!(r.to_bits(), x.to_bits(), "{} must actually quantize", c.name());
+            assert!((r - x).abs() < 0.01);
+            // Rounding is idempotent: the wire format is a fixed point.
+            assert_eq!(c.round(r).to_bits(), r.to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not name a compression policy")]
+    fn unparseable_compression_env_value_panics_loudly() {
+        Compression::parse_env_value("f8"); // not a supported wire format
+    }
+
+    #[test]
+    fn compression_serde_round_trips_and_defaults_to_none() {
+        for c in Compression::ALL {
+            let v = c.to_value();
+            assert_eq!(Compression::from_value(&v).unwrap(), c);
+        }
+        // A spec written before wire compression existed has no key at all:
+        // the shim hands `Null`, which must decode as the uncompressed path.
+        assert_eq!(Compression::from_value(&serde::Value::Null).unwrap(), Compression::None);
+        let err = Compression::from_value(&serde::Value::Str("gzip".into())).unwrap_err();
+        assert!(err.0.contains("bfloat16"), "error must list accepted spellings: {}", err.0);
     }
 
     #[test]

@@ -40,10 +40,18 @@ impl KindStats {
 pub struct CommStats {
     /// Number of collective operations this rank participated in.
     pub collectives: u64,
-    /// Total payload bytes this rank contributed to collectives.
+    /// Total *on-wire* payload bytes this rank contributed to collectives
+    /// (after any [`crate::Compression`]; equal to the logical counters when
+    /// compression is off).
     pub bytes_sent: f64,
-    /// Total payload bytes this rank received from collectives.
+    /// Total *on-wire* payload bytes this rank received from collectives.
     pub bytes_received: f64,
+    /// Total full-width (`f64`, pre-compression) payload bytes this rank
+    /// contributed — the logical volume the solver asked to move. The gap to
+    /// [`CommStats::bytes_sent`] is what wire compression saved.
+    pub logical_bytes_sent: f64,
+    /// Total full-width payload bytes this rank received.
+    pub logical_bytes_received: f64,
     /// Simulated seconds spent inside communication calls.
     pub comm_time: f64,
     /// Simulated seconds spent in local compute (as charged by the caller).
@@ -66,23 +74,62 @@ pub struct CommStats {
 impl CommStats {
     /// Records one collective with the given sent/received payload and cost,
     /// without a kind attribution (legacy callers; prefer
-    /// [`CommStats::record_collective`]).
+    /// [`CommStats::record_collective`]). The payload is taken as
+    /// uncompressed (logical counters advance by the same amounts).
     pub fn record(&mut self, sent: f64, received: f64, time: f64) {
+        self.record_wire(sent, received, sent, received, time);
+    }
+
+    /// Records one collective whose on-wire payload differs from the logical
+    /// (full-width) payload because of wire compression.
+    pub fn record_wire(&mut self, sent: f64, received: f64, logical_sent: f64, logical_received: f64, time: f64) {
         self.collectives += 1;
         self.bytes_sent += sent;
         self.bytes_received += received;
+        self.logical_bytes_sent += logical_sent;
+        self.logical_bytes_received += logical_received;
         self.comm_time += time;
     }
 
-    /// Records one collective of a known kind executed by a known algorithm.
+    /// Records one collective of a known kind executed by a known algorithm
+    /// (uncompressed payload).
     pub fn record_collective(&mut self, kind: CollectiveKind, algo: CollectiveAlgorithm, sent: f64, received: f64, time: f64) {
-        self.record(sent, received, time);
+        self.record_collective_wire(kind, algo, sent, received, sent, received, time);
+    }
+
+    /// Records one collective of a known kind and algorithm whose on-wire
+    /// bytes differ from the logical bytes (compressed payload). The
+    /// per-kind breakdown tracks the on-wire volume (what the network
+    /// actually carried).
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_collective_wire(
+        &mut self,
+        kind: CollectiveKind,
+        algo: CollectiveAlgorithm,
+        sent: f64,
+        received: f64,
+        logical_sent: f64,
+        logical_received: f64,
+        time: f64,
+    ) {
+        self.record_wire(sent, received, logical_sent, logical_received, time);
         let k = &mut self.per_kind[kind.index()];
         k.count += 1;
         k.bytes_sent += sent;
         k.bytes_received += received;
         k.seconds += time;
         k.algo_counts[algo.index()] += 1;
+    }
+
+    /// On-wire fraction of the logical sent volume: 1.0 when nothing was
+    /// compressed (or nothing was sent), 0.25 when every payload went over
+    /// the wire as f16/bf16.
+    pub fn wire_fraction(&self) -> f64 {
+        if self.logical_bytes_sent > 0.0 {
+            self.bytes_sent / self.logical_bytes_sent
+        } else {
+            1.0
+        }
     }
 
     /// The breakdown entry for one collective kind.
@@ -157,6 +204,38 @@ mod tests {
         assert!((s.comm_time - 0.75).abs() < 1e-12);
         assert!((s.total_time() - 1.0).abs() < 1e-12);
         assert!((s.comm_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uncompressed_records_keep_logical_and_wire_counters_equal() {
+        let mut s = CommStats::default();
+        s.record(100.0, 200.0, 0.5);
+        s.record_collective(CollectiveKind::Allreduce, CollectiveAlgorithm::Ring, 80.0, 80.0, 1e-4);
+        assert_eq!(s.logical_bytes_sent, s.bytes_sent);
+        assert_eq!(s.logical_bytes_received, s.bytes_received);
+        assert_eq!(s.wire_fraction(), 1.0);
+    }
+
+    #[test]
+    fn compressed_records_track_wire_and_logical_volume_separately() {
+        let mut s = CommStats::default();
+        // 100 f64 elements sent as f16: 800 logical bytes, 200 on the wire.
+        s.record_collective_wire(
+            CollectiveKind::Allreduce,
+            CollectiveAlgorithm::Ring,
+            200.0,
+            200.0,
+            800.0,
+            800.0,
+            1e-4,
+        );
+        assert_eq!(s.bytes_sent, 200.0);
+        assert_eq!(s.logical_bytes_sent, 800.0);
+        assert_eq!(s.bytes_received, 200.0);
+        assert_eq!(s.logical_bytes_received, 800.0);
+        assert_eq!(s.wire_fraction(), 0.25);
+        // The per-kind breakdown carries the on-wire volume.
+        assert_eq!(s.kind(CollectiveKind::Allreduce).bytes_sent, 200.0);
     }
 
     #[test]

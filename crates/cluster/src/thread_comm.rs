@@ -15,7 +15,7 @@
 //! one failure mode a consensus solver cannot afford.
 
 use crate::comm::{CollectiveHandle, Communicator, ROOT_RANK};
-use crate::network::{CollectiveKind, CollectiveSelector, NetworkModel};
+use crate::network::{CollectiveKind, CollectiveSelector, Compression, NetworkModel};
 use crate::stats::CommStats;
 use crate::straggler::StragglerModel;
 use crate::workspace::{CommWorkspace, CommWorkspaceStats};
@@ -264,6 +264,7 @@ pub struct ThreadComm {
     size: usize,
     network: NetworkModel,
     selector: CollectiveSelector,
+    compression: Compression,
     rendezvous: Arc<Rendezvous>,
     /// Number of rendezvous rounds this rank has entered.
     rounds: u64,
@@ -283,6 +284,7 @@ impl ThreadComm {
         size: usize,
         network: NetworkModel,
         selector: CollectiveSelector,
+        compression: Compression,
         compute_scale: f64,
         rendezvous: Arc<Rendezvous>,
     ) -> Self {
@@ -291,6 +293,7 @@ impl ThreadComm {
             size,
             network,
             selector,
+            compression,
             rendezvous,
             rounds: 0,
             elapsed: 0.0,
@@ -308,6 +311,11 @@ impl ThreadComm {
     /// The collective-algorithm selection rule in effect.
     pub fn selector(&self) -> CollectiveSelector {
         self.selector
+    }
+
+    /// The wire-compression policy collective payloads go through.
+    pub fn compression(&self) -> Compression {
+        self.compression
     }
 
     /// The straggler compute-slowdown factor of this rank (1.0 when no
@@ -333,13 +341,54 @@ impl ThreadComm {
         r
     }
 
+    /// Bytes one payload element occupies on the simulated wire (8 without
+    /// compression, 2 under f16/bf16). The network model — algorithm
+    /// selection, crossover payloads, billed volume — sees this size.
+    fn wire_bpe(&self) -> f64 {
+        self.compression.wire_bytes_per_element()
+    }
+
+    /// Deposits `data` as this rank's contribution, rounding every element
+    /// through the wire format first when compression is on — the
+    /// compress→send→decompress pipeline. Every rank then observes the
+    /// identical compressed payloads (including its own), which keeps
+    /// consensus state bit-identical across ranks. The staging buffer comes
+    /// from the pooled workspace, so warm compressed rounds stay
+    /// allocation-free; with [`Compression::None`] the slice is deposited
+    /// untouched — bit-identical to the uncompressed communicator.
+    fn deposit_payload(&mut self, my_round: u64, op: RoundOp, data: &[f64]) {
+        if self.compression.is_identity() {
+            self.rendezvous.deposit(self.rank, my_round, op, data, self.elapsed);
+        } else {
+            let compression = self.compression;
+            let mut staged = self.pool.acquire(data.len());
+            for (w, &v) in staged.iter_mut().zip(data) {
+                *w = compression.round(v);
+            }
+            self.rendezvous.deposit(self.rank, my_round, op, &staged, self.elapsed);
+            self.pool.release(staged);
+        }
+    }
+
     /// Charges one completed blocking collective: the rank's clock advances
     /// to `max(arrivals) + cost` — collectives complete at the *latest*
     /// arrival, so a straggling rank delays everyone — and the elapsed wall
     /// (including the straggler wait) is recorded against `kind`. The wait
     /// itself (`max(arrivals) − my arrival`) and the round's arrival spread
     /// feed the idle-wait/skew counters of [`CommStats`].
-    fn bill_blocking(&mut self, kind: CollectiveKind, cost_bytes: f64, sent: f64, received: f64, timing: RoundTiming) {
+    /// `cost_bytes`, `sent`, and `received` are *on-wire* (post-compression)
+    /// volumes; `logical_sent`/`logical_received` the full-width ones.
+    #[allow(clippy::too_many_arguments)]
+    fn bill_blocking(
+        &mut self,
+        kind: CollectiveKind,
+        cost_bytes: f64,
+        sent: f64,
+        received: f64,
+        logical_sent: f64,
+        logical_received: f64,
+        timing: RoundTiming,
+    ) {
         let (algo, cost) = self.network.select(kind, self.size, cost_bytes, self.selector);
         let start = self.elapsed;
         self.stats
@@ -348,17 +397,26 @@ impl ThreadComm {
         if finish > self.elapsed {
             self.elapsed = finish;
         }
-        self.stats.record_collective(kind, algo, sent, received, self.elapsed - start);
+        self.stats.record_collective_wire(
+            kind,
+            algo,
+            sent,
+            received,
+            logical_sent,
+            logical_received,
+            self.elapsed - start,
+        );
     }
 
     /// Shared implementation of the split-phase element-wise allreduces.
     /// Round skew is recorded at start; idle wait is not (a split-phase
     /// collective's wait is deliberately overlapped with compute).
     fn start_elementwise(&mut self, op: RoundOp, data: &[f64]) -> CollectiveHandle {
-        let bytes = data.len() as f64 * F64_BYTES;
-        let (algo, cost) = self.network.select(CollectiveKind::Allreduce, self.size, bytes, self.selector);
+        let logical = data.len() as f64 * F64_BYTES;
+        let wire = data.len() as f64 * self.wire_bpe();
+        let (algo, cost) = self.network.select(CollectiveKind::Allreduce, self.size, wire, self.selector);
         let my_round = self.begin_round();
-        self.rendezvous.deposit(self.rank, my_round, op, data, self.elapsed);
+        self.deposit_payload(my_round, op, data);
         let mut result = self.pool.acquire(data.len());
         let ((), timing) = self.rendezvous.collect(self.rank, my_round, |st| {
             result.copy_from_slice(&st.result);
@@ -370,10 +428,11 @@ impl ThreadComm {
             timing.max_time + cost,
             CollectiveKind::Allreduce,
             algo,
-            bytes,
-            bytes,
+            wire,
+            wire,
             false,
         )
+        .with_logical_bytes(logical, logical)
     }
 }
 
@@ -391,20 +450,23 @@ impl Communicator for ThreadComm {
         self.rendezvous
             .deposit(self.rank, my_round, RoundOp::Barrier, &[], self.elapsed);
         let ((), timing) = self.rendezvous.collect(self.rank, my_round, |_| Ok(()));
-        self.bill_blocking(CollectiveKind::Barrier, 0.0, 0.0, 0.0, timing);
+        self.bill_blocking(CollectiveKind::Barrier, 0.0, 0.0, 0.0, 0.0, 0.0, timing);
     }
 
     fn allgather(&mut self, data: &[f64]) -> Vec<Vec<f64>> {
-        let bytes = data.len() as f64 * F64_BYTES;
+        let logical = data.len() as f64 * F64_BYTES;
+        let wire = data.len() as f64 * self.wire_bpe();
+        let peers = self.size as f64 - 1.0;
         let my_round = self.begin_round();
-        self.rendezvous
-            .deposit(self.rank, my_round, RoundOp::Concat, data, self.elapsed);
+        self.deposit_payload(my_round, RoundOp::Concat, data);
         let (contributions, timing) = self.rendezvous.collect(self.rank, my_round, |st| Ok(st.slots.to_vec()));
         self.bill_blocking(
             CollectiveKind::Allgather,
-            bytes,
-            bytes,
-            bytes * (self.size as f64 - 1.0),
+            wire,
+            wire,
+            wire * peers,
+            logical,
+            logical * peers,
             timing,
         );
         contributions
@@ -426,16 +488,29 @@ impl Communicator for ThreadComm {
     }
 
     fn gather_root(&mut self, data: &[f64]) -> Option<Vec<Vec<f64>>> {
-        let bytes = data.len() as f64 * F64_BYTES;
+        let logical = data.len() as f64 * F64_BYTES;
+        let wire = data.len() as f64 * self.wire_bpe();
+        let peers = self.size as f64 - 1.0;
         let is_root = self.rank == ROOT_RANK;
         let my_round = self.begin_round();
-        self.rendezvous
-            .deposit(self.rank, my_round, RoundOp::Concat, data, self.elapsed);
+        self.deposit_payload(my_round, RoundOp::Concat, data);
         let (contributions, timing) = self.rendezvous.collect(self.rank, my_round, |st| {
             Ok(if is_root { Some(st.slots.to_vec()) } else { None })
         });
-        let received = if is_root { bytes * (self.size as f64 - 1.0) } else { 0.0 };
-        self.bill_blocking(CollectiveKind::Gather, bytes, bytes, received, timing);
+        let (received, logical_received) = if is_root {
+            (wire * peers, logical * peers)
+        } else {
+            (0.0, 0.0)
+        };
+        self.bill_blocking(
+            CollectiveKind::Gather,
+            wire,
+            wire,
+            received,
+            logical,
+            logical_received,
+            timing,
+        );
         contributions
     }
 
@@ -445,20 +520,36 @@ impl Communicator for ThreadComm {
         } else {
             &[]
         };
-        let sent = payload.len() as f64 * F64_BYTES;
+        let sent = payload.len() as f64 * self.wire_bpe();
+        let logical_sent = payload.len() as f64 * F64_BYTES;
         let my_round = self.begin_round();
-        self.rendezvous
-            .deposit(self.rank, my_round, RoundOp::CopyRoot, payload, self.elapsed);
+        // The root's payload is compressed at deposit, so every rank —
+        // including the root, whose return value also comes from the
+        // rendezvous result — observes the identical wire-format values.
+        self.deposit_payload(my_round, RoundOp::CopyRoot, payload);
         let (root_data, timing) = self.rendezvous.collect(self.rank, my_round, |st| Ok(st.result.to_vec()));
-        let bytes = root_data.len() as f64 * F64_BYTES;
-        let received = if self.rank == ROOT_RANK { 0.0 } else { bytes };
-        self.bill_blocking(CollectiveKind::Broadcast, bytes, sent, received, timing);
+        let wire = root_data.len() as f64 * self.wire_bpe();
+        let logical = root_data.len() as f64 * F64_BYTES;
+        let (received, logical_received) = if self.rank == ROOT_RANK { (0.0, 0.0) } else { (wire, logical) };
+        self.bill_blocking(
+            CollectiveKind::Broadcast,
+            wire,
+            sent,
+            received,
+            logical_sent,
+            logical_received,
+            timing,
+        );
         root_data
     }
 
     fn scatter_root(&mut self, parts: Option<&[Vec<f64>]>) -> Vec<f64> {
         // The root flattens its per-rank payloads with a length header so the
-        // rendezvous only ever carries flat f64 vectors.
+        // rendezvous only ever carries flat f64 vectors. Under compression
+        // only the payload section is rounded through the wire format — the
+        // length header must survive exactly (every small integer does fit
+        // f16, but the framing must not depend on that).
+        let compression = self.compression;
         let flat = if self.rank == ROOT_RANK {
             let parts = parts.expect("root must provide scatter parts");
             assert_eq!(parts.len(), self.size, "scatter_root: need one part per rank");
@@ -467,13 +558,20 @@ impl Communicator for ThreadComm {
                 flat.push(p.len() as f64);
             }
             for p in parts {
-                flat.extend_from_slice(p);
+                flat.extend(p.iter().map(|&v| compression.round(v)));
             }
             flat
         } else {
             Vec::new()
         };
-        let sent = flat.len() as f64 * F64_BYTES;
+        let wire_bpe = self.wire_bpe();
+        let (sent, logical_sent) = if self.rank == ROOT_RANK {
+            let headers = self.size as f64 * F64_BYTES;
+            let payload = (flat.len() - self.size) as f64;
+            (headers + payload * wire_bpe, headers + payload * F64_BYTES)
+        } else {
+            (0.0, 0.0)
+        };
         let size = self.size;
         let rank = self.rank;
         let my_round = self.begin_round();
@@ -482,19 +580,27 @@ impl Communicator for ThreadComm {
         let ((mine, avg_bytes), timing) = self.rendezvous.collect(self.rank, my_round, |st| {
             let root_flat = &st.result;
             let lengths: Vec<usize> = root_flat[..size].iter().map(|&l| l as usize).collect();
-            let avg_bytes = lengths.iter().sum::<usize>() as f64 / size as f64 * F64_BYTES;
+            let avg_bytes = lengths.iter().sum::<usize>() as f64 / size as f64 * wire_bpe;
             let mut offset = size;
             for l in lengths.iter().take(rank) {
                 offset += l;
             }
             Ok((root_flat[offset..offset + lengths[rank]].to_vec(), avg_bytes))
         });
-        let received = if self.rank == ROOT_RANK {
-            0.0
+        let (received, logical_received) = if self.rank == ROOT_RANK {
+            (0.0, 0.0)
         } else {
-            mine.len() as f64 * F64_BYTES
+            (mine.len() as f64 * wire_bpe, mine.len() as f64 * F64_BYTES)
         };
-        self.bill_blocking(CollectiveKind::Scatter, avg_bytes, sent, received, timing);
+        self.bill_blocking(
+            CollectiveKind::Scatter,
+            avg_bytes,
+            sent,
+            received,
+            logical_sent,
+            logical_received,
+            timing,
+        );
         mine
     }
 
@@ -504,51 +610,72 @@ impl Communicator for ThreadComm {
     // ------------------------------------------------------------------
 
     fn allreduce_sum_into(&mut self, buf: &mut [f64]) {
-        let bytes = buf.len() as f64 * F64_BYTES;
+        let logical = buf.len() as f64 * F64_BYTES;
+        let wire = buf.len() as f64 * self.wire_bpe();
         let my_round = self.begin_round();
-        self.rendezvous.deposit(self.rank, my_round, RoundOp::Sum, buf, self.elapsed);
+        self.deposit_payload(my_round, RoundOp::Sum, buf);
         let ((), timing) = self.rendezvous.collect(self.rank, my_round, |st| {
             buf.copy_from_slice(&st.result);
             Ok(())
         });
-        self.bill_blocking(CollectiveKind::Allreduce, bytes, bytes, bytes, timing);
+        self.bill_blocking(CollectiveKind::Allreduce, wire, wire, wire, logical, logical, timing);
     }
 
     fn allreduce_max_into(&mut self, buf: &mut [f64]) {
-        let bytes = buf.len() as f64 * F64_BYTES;
+        let logical = buf.len() as f64 * F64_BYTES;
+        let wire = buf.len() as f64 * self.wire_bpe();
         let my_round = self.begin_round();
-        self.rendezvous.deposit(self.rank, my_round, RoundOp::Max, buf, self.elapsed);
+        self.deposit_payload(my_round, RoundOp::Max, buf);
         let ((), timing) = self.rendezvous.collect(self.rank, my_round, |st| {
             buf.copy_from_slice(&st.result);
             Ok(())
         });
-        self.bill_blocking(CollectiveKind::Allreduce, bytes, bytes, bytes, timing);
+        self.bill_blocking(CollectiveKind::Allreduce, wire, wire, wire, logical, logical, timing);
     }
 
     fn reduce_sum_root_into(&mut self, buf: &mut [f64]) -> bool {
-        let bytes = buf.len() as f64 * F64_BYTES;
+        let logical = buf.len() as f64 * F64_BYTES;
+        let wire = buf.len() as f64 * self.wire_bpe();
+        let peers = self.size as f64 - 1.0;
         let is_root = self.rank == ROOT_RANK;
         let my_round = self.begin_round();
-        self.rendezvous.deposit(self.rank, my_round, RoundOp::Sum, buf, self.elapsed);
+        self.deposit_payload(my_round, RoundOp::Sum, buf);
         let ((), timing) = self.rendezvous.collect(self.rank, my_round, |st| {
             if is_root {
                 buf.copy_from_slice(&st.result);
             }
             Ok(())
         });
-        let received = if is_root { bytes * (self.size as f64 - 1.0) } else { 0.0 };
-        self.bill_blocking(CollectiveKind::Reduce, bytes, bytes, received, timing);
+        let (received, logical_received) = if is_root {
+            (wire * peers, logical * peers)
+        } else {
+            (0.0, 0.0)
+        };
+        self.bill_blocking(
+            CollectiveKind::Reduce,
+            wire,
+            wire,
+            received,
+            logical,
+            logical_received,
+            timing,
+        );
         is_root
     }
 
     fn broadcast_root_into(&mut self, buf: &mut [f64]) {
         let rank = self.rank;
-        let payload: &[f64] = if rank == ROOT_RANK { buf } else { &[] };
-        let sent = payload.len() as f64 * F64_BYTES;
+        let is_root = rank == ROOT_RANK;
+        let payload: &[f64] = if is_root { buf } else { &[] };
+        let sent = payload.len() as f64 * self.wire_bpe();
+        let logical_sent = payload.len() as f64 * F64_BYTES;
+        // Under compression the root must read back its own compressed
+        // payload too: its buffer holds full-width values the other ranks
+        // will never see, and broadcast leaves every rank bit-identical.
+        let root_copies = !self.compression.is_identity();
         let my_round = self.begin_round();
-        self.rendezvous
-            .deposit(self.rank, my_round, RoundOp::CopyRoot, payload, self.elapsed);
-        let (bytes, timing) = self.rendezvous.collect(self.rank, my_round, |st| {
+        self.deposit_payload(my_round, RoundOp::CopyRoot, payload);
+        let ((), timing) = self.rendezvous.collect(self.rank, my_round, |st| {
             if st.result.len() != buf.len() {
                 // Returning Err poisons the rendezvous so the other ranks
                 // panic too instead of deadlocking in an undrainable round.
@@ -559,13 +686,23 @@ impl Communicator for ThreadComm {
                     st.result.len()
                 ));
             }
-            if rank != ROOT_RANK {
+            if !is_root || root_copies {
                 buf.copy_from_slice(&st.result);
             }
-            Ok(st.result.len() as f64 * F64_BYTES)
+            Ok(())
         });
-        let received = if rank == ROOT_RANK { 0.0 } else { bytes };
-        self.bill_blocking(CollectiveKind::Broadcast, bytes, sent, received, timing);
+        let wire = buf.len() as f64 * self.wire_bpe();
+        let logical = buf.len() as f64 * F64_BYTES;
+        let (received, logical_received) = if is_root { (0.0, 0.0) } else { (wire, logical) };
+        self.bill_blocking(
+            CollectiveKind::Broadcast,
+            wire,
+            sent,
+            received,
+            logical_sent,
+            logical_received,
+            timing,
+        );
     }
 
     fn allgather_into(&mut self, data: &[f64], out: &mut [f64]) {
@@ -574,12 +711,13 @@ impl Communicator for ThreadComm {
             data.len() * self.size,
             "allgather_into: output buffer must hold size() * data.len() elements"
         );
-        let bytes = data.len() as f64 * F64_BYTES;
+        let logical = data.len() as f64 * F64_BYTES;
+        let wire = data.len() as f64 * self.wire_bpe();
+        let peers = self.size as f64 - 1.0;
         let rank = self.rank;
         let expected = data.len();
         let my_round = self.begin_round();
-        self.rendezvous
-            .deposit(self.rank, my_round, RoundOp::Concat, data, self.elapsed);
+        self.deposit_payload(my_round, RoundOp::Concat, data);
         let ((), timing) = self.rendezvous.collect(self.rank, my_round, |st| {
             if let Some(bad) = (0..st.lens.len()).find(|&r| st.lens[r] != expected) {
                 return Err(format!(
@@ -593,9 +731,11 @@ impl Communicator for ThreadComm {
         });
         self.bill_blocking(
             CollectiveKind::Allgather,
-            bytes,
-            bytes,
-            bytes * (self.size as f64 - 1.0),
+            wire,
+            wire,
+            wire * peers,
+            logical,
+            logical * peers,
             timing,
         );
     }
@@ -638,11 +778,13 @@ impl Communicator for ThreadComm {
             self.elapsed = handle.complete_at;
         }
         if !handle.billed {
-            self.stats.record_collective(
+            self.stats.record_collective_wire(
                 handle.kind,
                 handle.algo,
                 handle.sent_bytes,
                 handle.recv_bytes,
+                handle.logical_sent_bytes,
+                handle.logical_recv_bytes,
                 self.elapsed - start,
             );
         }
@@ -673,6 +815,7 @@ pub struct Cluster {
     size: usize,
     network: NetworkModel,
     selector: CollectiveSelector,
+    compression: Compression,
     /// Per-rank compute scales resolved from the straggler model (empty =
     /// homogeneous, every rank at exactly 1.0).
     scales: Vec<f64>,
@@ -682,7 +825,9 @@ impl Cluster {
     /// Creates a cluster description with `size` ranks over `network`. The
     /// collective-algorithm selection defaults to the `NADMM_COLLECTIVE_ALGO`
     /// environment override, falling back to automatic payload-size
-    /// crossover selection.
+    /// crossover selection; wire compression defaults to the
+    /// `NADMM_COMPRESSION` override, falling back to the uncompressed `f64`
+    /// path.
     ///
     /// # Panics
     /// Panics if `size == 0`.
@@ -692,6 +837,7 @@ impl Cluster {
             size,
             network,
             selector: CollectiveSelector::from_env(),
+            compression: Compression::from_env(),
             scales: Vec::new(),
         }
     }
@@ -699,6 +845,12 @@ impl Cluster {
     /// Overrides the collective-algorithm selection rule.
     pub fn with_collectives(mut self, selector: CollectiveSelector) -> Self {
         self.selector = selector;
+        self
+    }
+
+    /// Overrides the wire-compression policy collective payloads go through.
+    pub fn with_compression(mut self, compression: Compression) -> Self {
+        self.compression = compression;
         self
     }
 
@@ -738,6 +890,11 @@ impl Cluster {
         self.selector
     }
 
+    /// The wire-compression policy ranks will apply to collective payloads.
+    pub fn compression(&self) -> Compression {
+        self.compression
+    }
+
     /// Runs `f` on every rank (each on its own thread) and returns the
     /// results in rank order. The closure receives a mutable [`ThreadComm`]
     /// implementing [`Communicator`].
@@ -754,11 +911,12 @@ impl Cluster {
                 let rendezvous = Arc::clone(&rendezvous);
                 let network = self.network;
                 let selector = self.selector;
+                let compression = self.compression;
                 let scale = self.rank_scale(rank);
                 let size = self.size;
                 let f = &f;
                 handles.push(scope.spawn(move || {
-                    let mut comm = ThreadComm::new(rank, size, network, selector, scale, rendezvous);
+                    let mut comm = ThreadComm::new(rank, size, network, selector, compression, scale, rendezvous);
                     *slot = Some(f(&mut comm));
                 }));
             }
@@ -1243,5 +1401,170 @@ mod tests {
     #[should_panic(expected = "invalid straggler model")]
     fn out_of_range_slow_rank_is_rejected_at_construction() {
         cluster(2).with_straggler(&StragglerModel::none().with_slow_rank(5, 2.0));
+    }
+
+    #[test]
+    fn explicit_none_compression_is_bit_identical_to_default() {
+        let payload: Vec<f64> = (0..512).map(|i| (i as f64 * 0.43).sin()).collect();
+        let run = |cluster: Cluster| {
+            cluster.run(|comm| {
+                let mut buf = payload.clone();
+                for v in buf.iter_mut() {
+                    *v += comm.rank() as f64 * 0.125;
+                }
+                comm.allreduce_sum_into(&mut buf);
+                comm.broadcast_root_into(&mut buf);
+                (buf, comm.elapsed(), comm.stats())
+            })
+        };
+        let default = run(cluster(4));
+        let explicit = run(cluster(4).with_compression(Compression::None));
+        for ((a_buf, a_t, a_s), (b_buf, b_t, b_s)) in default.iter().zip(&explicit) {
+            assert_eq!(a_buf, b_buf);
+            assert_eq!(a_t.to_bits(), b_t.to_bits());
+            assert_eq!(a_s, b_s);
+            // Without compression the wire carries the full logical volume.
+            assert_eq!(a_s.bytes_sent, a_s.logical_bytes_sent);
+            assert_eq!(a_s.bytes_received, a_s.logical_bytes_received);
+            assert_eq!(a_s.wire_fraction(), 1.0);
+        }
+    }
+
+    #[test]
+    fn compressed_allreduce_quarters_wire_bytes_and_stays_within_f16_tolerance() {
+        let len = 256usize;
+        let payload: Vec<f64> = (0..len).map(|i| 2.0 + (i as f64 * 0.37).sin()).collect();
+        let exact = cluster(4).run(|comm| {
+            let mut buf = payload.clone();
+            for v in buf.iter_mut() {
+                *v *= comm.rank() as f64 + 1.0;
+            }
+            comm.allreduce_sum_into(&mut buf);
+            buf
+        });
+        for compression in [Compression::F16, Compression::Bf16] {
+            let rel = match compression {
+                Compression::F16 => nadmm_linalg::half::F16_RELATIVE_ERROR,
+                _ => nadmm_linalg::half::BF16_RELATIVE_ERROR,
+            };
+            let results = cluster(4).with_compression(compression).run(|comm| {
+                let mut buf = payload.clone();
+                for v in buf.iter_mut() {
+                    *v *= comm.rank() as f64 + 1.0;
+                }
+                comm.allreduce_sum_into(&mut buf);
+                (buf, comm.stats())
+            });
+            for (rank, (buf, stats)) in results.iter().enumerate() {
+                for (i, (&got, &want)) in buf.iter().zip(&exact[0]).enumerate() {
+                    // Each rank's contribution is quantized once before the
+                    // full-width reduction, so the worst-case element error
+                    // is the sum of the per-contribution rounding errors.
+                    let bound: f64 = (1..=4).map(|r| (payload[i] * r as f64).abs() * rel).sum();
+                    assert!(
+                        (got - want).abs() <= bound,
+                        "{} rank {rank} element {i}: {got} vs {want} (bound {bound})",
+                        compression.name()
+                    );
+                }
+                // 256 f64 elements: 2048 logical bytes, 512 on the wire —
+                // a quarter, comfortably under the "at most half" criterion.
+                assert_eq!(stats.logical_bytes_sent, len as f64 * 8.0);
+                assert_eq!(stats.bytes_sent, len as f64 * 2.0);
+                assert_eq!(stats.wire_fraction(), 0.25);
+            }
+        }
+    }
+
+    #[test]
+    fn compressed_broadcast_leaves_every_rank_bit_identical_including_the_root() {
+        // 0.1 is not representable in f16: the root's full-width buffer must
+        // be overwritten with the wire-format values everyone else received.
+        let results = cluster(3).with_compression(Compression::F16).run(|comm| {
+            let mut buf = vec![0.1, 0.2, 0.3, 1.0 / 3.0];
+            comm.broadcast_root_into(&mut buf);
+            buf
+        });
+        let expected: Vec<f64> = [0.1, 0.2, 0.3, 1.0 / 3.0]
+            .iter()
+            .map(|&v| nadmm_linalg::half::round_f16(v))
+            .collect();
+        assert_ne!(expected[0].to_bits(), 0.1f64.to_bits(), "0.1 must actually quantize");
+        for (rank, buf) in results.iter().enumerate() {
+            for (got, want) in buf.iter().zip(&expected) {
+                assert_eq!(got.to_bits(), want.to_bits(), "rank {rank} deviated from the wire payload");
+            }
+        }
+    }
+
+    #[test]
+    fn compressed_scatter_keeps_framing_exact_and_quantizes_payloads() {
+        let results = cluster(3).with_compression(Compression::F16).run(|comm| {
+            if comm.is_root() {
+                let parts = vec![vec![0.1], vec![0.2, 0.3], vec![1.0 / 3.0, 2.0 / 3.0, 1.0]];
+                (comm.scatter_root(Some(&parts)), comm.stats())
+            } else {
+                (comm.scatter_root(None), comm.stats())
+            }
+        });
+        let q = nadmm_linalg::half::round_f16;
+        assert_eq!(results[0].0, vec![q(0.1)]);
+        assert_eq!(results[1].0, vec![q(0.2), q(0.3)]);
+        assert_eq!(results[2].0, vec![q(1.0 / 3.0), q(2.0 / 3.0), q(1.0)]);
+        // The root's sent volume: 3 exact f64 length headers plus 6 payload
+        // elements at 2 wire bytes each.
+        assert_eq!(results[0].1.bytes_sent, 3.0 * 8.0 + 6.0 * 2.0);
+        assert_eq!(results[0].1.logical_bytes_sent, 3.0 * 8.0 + 6.0 * 8.0);
+    }
+
+    #[test]
+    fn compressed_collectives_cost_less_on_the_simulated_network() {
+        let run = |compression| {
+            Cluster::new(4, NetworkModel::ethernet_10g())
+                .with_compression(compression)
+                .run(|comm| {
+                    let mut buf = vec![1.0; 100_000];
+                    comm.allreduce_sum_into(&mut buf);
+                    comm.elapsed()
+                })[0]
+        };
+        let full = run(Compression::None);
+        let half = run(Compression::F16);
+        assert!(
+            half < full * 0.5,
+            "f16 wire payloads must cut the bandwidth-bound allreduce cost: {half} vs {full}"
+        );
+    }
+
+    #[test]
+    fn compressed_split_phase_bills_the_compressed_tail_and_stays_zero_alloc() {
+        let results = cluster(4).with_compression(Compression::F16).run(|comm| {
+            let data = vec![1.0; 100_000];
+            let mut out = vec![0.0; 100_000];
+            let mut elapsed_first = 0.0;
+            for i in 0..5 {
+                let h = comm.start_allreduce_sum(&data);
+                comm.wait_into(h, &mut out);
+                if i == 0 {
+                    elapsed_first = comm.elapsed();
+                }
+            }
+            (out[0], elapsed_first, comm.comm_pool_stats(), comm.stats())
+        });
+        let expected = NetworkModel::infiniband_100g().allreduce(4, 100_000.0 * 2.0);
+        for (v, elapsed, pool, stats) in results {
+            assert_eq!(v, 4.0, "1.0 is f16-exact, so the compressed sum is exact");
+            assert!(
+                (elapsed - expected).abs() < 1e-12,
+                "split-phase tail must be billed at the wire size: {elapsed} vs {expected}"
+            );
+            // Each compressed split-phase op stages once and holds one
+            // result buffer; only the very first acquire may allocate.
+            assert_eq!(pool.acquires, 10);
+            assert_eq!(pool.pool_misses, 1, "warm compressed collectives must not allocate");
+            assert_eq!(pool.outstanding, 0);
+            assert_eq!(stats.bytes_sent, 5.0 * 100_000.0 * 2.0);
+            assert_eq!(stats.logical_bytes_sent, 5.0 * 100_000.0 * 8.0);
+        }
     }
 }

@@ -14,7 +14,7 @@
 //!    allreduce: power-of-two rank counts dodge the remainder-fold penalty,
 //!    exactly as on real fabrics.)
 
-use nadmm_cluster::{Cluster, CollectiveAlgorithm, CollectiveKind, CollectiveSelector, Communicator, NetworkModel};
+use nadmm_cluster::{Cluster, CollectiveAlgorithm, CollectiveKind, CollectiveSelector, Communicator, Compression, NetworkModel};
 use proptest::prelude::*;
 
 /// One deterministic pseudo-random payload per (rank, length, seed).
@@ -157,6 +157,57 @@ proptest! {
                     "auto selection worse than {:?} for {:?}",
                     algo, kind
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn compressed_allreduce_matches_the_full_width_path_within_tolerance(
+        n in 2usize..10,
+        len in 1usize..96,
+        seed in 0u64..1000,
+    ) {
+        let run = |compression: Compression| {
+            Cluster::new(n, NetworkModel::infiniband_100g())
+                .with_compression(compression)
+                .run(|comm| {
+                    let mut sum = payload(comm.rank(), len, seed);
+                    comm.allreduce_sum_into(&mut sum);
+                    (sum, comm.stats())
+                })
+        };
+        let exact = run(Compression::None);
+        // Explicit `None` must be *exactly* the uncompressed path (same
+        // bits), and its wire volume the full logical volume.
+        for (rank, (sum, stats)) in exact.iter().enumerate() {
+            let reference = run(Compression::None);
+            prop_assert_eq!(&reference[rank].0, sum);
+            prop_assert_eq!(stats.bytes_sent, stats.logical_bytes_sent);
+        }
+        for compression in [Compression::F16, Compression::Bf16] {
+            let rel = match compression {
+                Compression::F16 => nadmm_linalg::half::F16_RELATIVE_ERROR,
+                _ => nadmm_linalg::half::BF16_RELATIVE_ERROR,
+            };
+            let compressed = run(compression);
+            for (rank, (sum, stats)) in compressed.iter().enumerate() {
+                // Every rank's contribution is quantized once before the
+                // full-width reduction: the element-wise error is bounded by
+                // the sum of per-contribution relative errors (plus a tiny
+                // absolute floor for subnormal wire values).
+                for (i, (&got, &want)) in sum.iter().zip(&exact[rank].0).enumerate() {
+                    let bound: f64 = (0..n)
+                        .map(|r| payload(r, len, seed)[i].abs() * rel + 1e-7)
+                        .sum();
+                    prop_assert!(
+                        (got - want).abs() <= bound,
+                        "{} rank {} element {}: {} vs {} (bound {})",
+                        compression.name(), rank, i, got, want, bound
+                    );
+                }
+                // The wire carried a quarter of the logical volume.
+                prop_assert_eq!(stats.bytes_sent, stats.logical_bytes_sent / 4.0);
+                prop_assert_eq!(stats.logical_bytes_sent, exact[rank].1.bytes_sent);
             }
         }
     }

@@ -39,7 +39,7 @@ pub mod workspace;
 pub use buffer::DeviceBuffer;
 pub use clock::SimClock;
 pub use device::{Device, DeviceStats};
-pub use spec::DeviceSpec;
+pub use spec::{DeviceSpec, Precision};
 pub use workspace::{Workspace, WorkspaceStats};
 
 #[cfg(test)]

@@ -8,7 +8,7 @@
 
 use crate::solver::{Aide, Solver};
 use nadmm_baselines::{AideConfig, DaneConfig, Disco, DiscoConfig, Giant, GiantConfig, InexactDane, SyncSgd, SyncSgdConfig};
-use nadmm_cluster::{Cluster, CollectiveSelector, NetworkModel, StragglerModel};
+use nadmm_cluster::{Cluster, CollectiveSelector, Compression, NetworkModel, StragglerModel};
 use nadmm_data::{partition_strong, partition_weak, read_libsvm, read_libsvm_pair, Dataset, PartitionPlan, SyntheticConfig};
 use nadmm_device::DeviceSpec;
 use nadmm_solver::validate::{require_nonzero, require_positive, ConfigError};
@@ -153,6 +153,10 @@ pub struct ClusterSpec {
     pub network: NetworkModel,
     /// Collective-algorithm selection rule (`Auto` = payload-size crossover).
     pub collectives: CollectiveSelector,
+    /// Wire compression of collective payloads (`None` = full-width `f64`,
+    /// bit-identical to the uncompressed communicator). Scenario files
+    /// written before this field existed simply omit it and get `None`.
+    pub compression: Compression,
     /// Optional cluster-wide accelerator override: when set, it replaces the
     /// `device` field of every solver configuration in the experiment, so a
     /// scenario file states its hardware exactly once.
@@ -174,6 +178,7 @@ impl ClusterSpec {
             ranks,
             network,
             collectives: CollectiveSelector::Auto,
+            compression: Compression::None,
             device: None,
             rank_devices: None,
             straggler: None,
@@ -183,6 +188,12 @@ impl ClusterSpec {
     /// Builder-style override of the collective-selection rule.
     pub fn with_collectives(mut self, selector: CollectiveSelector) -> Self {
         self.collectives = selector;
+        self
+    }
+
+    /// Builder-style override of the collective wire compression.
+    pub fn with_compression(mut self, compression: Compression) -> Self {
+        self.compression = compression;
         self
     }
 
@@ -261,7 +272,9 @@ impl ClusterSpec {
 
     /// Builds the simulated cluster (straggler model included).
     pub fn build(&self) -> Cluster {
-        let cluster = Cluster::new(self.ranks, self.network).with_collectives(self.collectives);
+        let cluster = Cluster::new(self.ranks, self.network)
+            .with_collectives(self.collectives)
+            .with_compression(self.compression);
         match &self.straggler {
             Some(model) => cluster.with_straggler(model),
             None => cluster,
@@ -473,7 +486,8 @@ mod tests {
     #[test]
     fn cluster_spec_builds_a_matching_cluster() {
         let spec = ClusterSpec::new(3, NetworkModel::ethernet_10g())
-            .with_collectives(CollectiveSelector::Force(nadmm_cluster::CollectiveAlgorithm::Ring));
+            .with_collectives(CollectiveSelector::Force(nadmm_cluster::CollectiveAlgorithm::Ring))
+            .with_compression(Compression::F16);
         spec.validate().unwrap();
         let cluster = spec.build();
         assert_eq!(cluster.size(), 3);
@@ -482,6 +496,10 @@ mod tests {
             cluster.selector(),
             CollectiveSelector::Force(nadmm_cluster::CollectiveAlgorithm::Ring)
         );
+        assert_eq!(cluster.compression(), Compression::F16);
+        // The default spec stays on the bit-identical uncompressed path.
+        assert_eq!(ClusterSpec::default().compression, Compression::None);
+        assert_eq!(ClusterSpec::default().build().compression(), Compression::None);
     }
 
     #[test]

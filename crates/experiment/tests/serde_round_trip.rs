@@ -4,7 +4,7 @@
 //! rely on).
 
 use nadmm_baselines::{AideConfig, DaneConfig, DiscoConfig, GiantConfig, SyncSgdConfig};
-use nadmm_cluster::{CollectiveAlgorithm, CollectiveSelector, NetworkModel, SlowRank, StragglerModel};
+use nadmm_cluster::{CollectiveAlgorithm, CollectiveSelector, Compression, NetworkModel, SlowRank, StragglerModel};
 use nadmm_data::SyntheticConfig;
 use nadmm_device::DeviceSpec;
 use nadmm_experiment::{ClusterSpec, DataSpec, PartitionSpec, ScenarioSpec, SolverSpec};
@@ -126,6 +126,17 @@ fn experiment_specs_round_trip() {
             .with_collectives(CollectiveSelector::Force(CollectiveAlgorithm::Ring))
             .with_device(DeviceSpec::tesla_v100()),
     );
+    // Compressed collectives round-trip in every policy, and scenario files
+    // written before the `compression` key existed still parse (missing key
+    // → `Compression::None`).
+    for compression in [Compression::None, Compression::F16, Compression::Bf16] {
+        round_trip(&ClusterSpec::new(4, NetworkModel::ethernet_10g()).with_compression(compression));
+    }
+    let with_key = serde_json::to_string(&ClusterSpec::new(4, NetworkModel::ethernet_10g())).expect("serializes");
+    let without_key = with_key.replace("\"compression\":\"none\",", "");
+    assert_ne!(with_key, without_key, "the compression key must appear in serialized form");
+    let legacy: ClusterSpec = serde_json::from_str(&without_key).expect("pre-compression scenario files still parse");
+    assert_eq!(legacy.compression, Compression::None);
     // Heterogeneous fleets: per-rank devices and straggler models.
     round_trip(&StragglerModel::jitter(0.25, 99).with_slow_rank(1, 4.0));
     round_trip(&SlowRank { rank: 2, factor: 8.0 });

@@ -17,11 +17,15 @@
 //! * [`vector`] — BLAS-1 style slice kernels (`dot`, `axpy`, norms, …),
 //! * [`reduce`] — numerically-stable reductions (log-sum-exp, softmax rows),
 //! * [`gen`] — random matrix/vector generation with controllable spectra
-//!   (used by the tests and the synthetic dataset generators).
+//!   (used by the tests and the synthetic dataset generators),
+//! * [`half`] — hand-rolled f16/bf16 conversions and symmetric i8
+//!   quantization (the reduced-precision seam: device pack kernels,
+//!   compressed collectives, and artifact v2 weight blocks all use these).
 
 pub mod dense;
 pub mod error;
 pub mod gen;
+pub mod half;
 pub mod matrix;
 pub mod reduce;
 pub mod sparse;

@@ -6,39 +6,261 @@
 //! training provenance (solver, dataset, scenario hash, final
 //! objective/accuracy), and persists as two files:
 //!
-//! * **`<path>` (binary, checksummed)** — the load-bearing half. Layout, all
-//!   integers little-endian:
+//! * **`<path>` (binary, checksummed)** — the load-bearing half. Version-2
+//!   layout, all integers little-endian:
 //!
 //!   ```text
 //!   offset size  field
 //!   0      8     magic  b"NADMMART"
-//!   8      4     format version (u32, currently 1)
+//!   8      4     format version (u32, currently 2)
 //!   12     8     num_features  (u64)
 //!   20     8     num_classes   (u64)
 //!   28     8     label count   (u64, == num_classes)
 //!          …     per label: byte length (u32) + UTF-8 bytes
-//!          8     weight count  (u64, == (num_classes − 1) · num_features)
-//!          …     weights (f64 bit patterns, row-major (C−1) × p)
+//!          8     tensor count  (u64, ≥ 1; the `"weights"` tensor is required)
+//!          …     per tensor:
+//!                  name length (u32) + UTF-8 name bytes
+//!                  encoding tag (u8: 0=f64 1=f32 2=f16 3=bf16 4=qi8)
+//!                  element count (u64)
+//!                  [qi8 only] block scale (f64 bit pattern)
+//!                  payload (count × bytes-per-element, per the encoding)
 //!   end−8  8     FNV-1a 64 checksum of every preceding byte
 //!   ```
+//!
+//!   Version-1 files (a single implicit f64 weight block, no tensor table)
+//!   still load bit-for-bit through the same entry points; only versions
+//!   *newer* than [`ARTIFACT_VERSION`] are refused.
 //!
 //! * **`<path>.json` (sidecar)** — the human-readable provenance. Written on
 //!   every save; a *missing* sidecar downgrades to empty provenance (the
 //!   binary alone fully determines inference), but a present-and-garbled one
-//!   is a loud [`ArtifactError::SidecarInvalid`].
+//!   is a loud [`ArtifactError::SidecarInvalid`]. Since format v2 the
+//!   sidecar also mirrors the binary checksum
+//!   ([`Provenance::binary_checksum`]), so a binary paired with the *wrong*
+//!   sidecar — the provenance-swap window the v1 format could not detect —
+//!   is a typed [`ArtifactError::SidecarChecksumMismatch`].
 //!
 //! Every malformed-input path is a distinct [`ArtifactError`] variant —
-//! truncation, bad magic, future versions, checksum mismatches, and
-//! dimension inconsistencies each name exactly what went wrong.
+//! truncation, bad magic, future versions, checksum mismatches, unknown
+//! tensor encodings, and dimension inconsistencies each name exactly what
+//! went wrong.
+//!
+//! Reduced-precision storage is per tensor: [`TensorEncoding`] picks the
+//! on-disk width (f64/f32/f16/bf16 or symmetric i8 with a block scale), and
+//! the in-memory values are always the *decoded* `f64`s — applying an
+//! encoding through [`ModelArtifact::with_weight_encoding`] rounds the
+//! values immediately, so what you hold is exactly what a save→load round
+//! trip returns, and [`crate::InferenceSession`] decodes once at load and
+//! serves from the same zero-allocation batched path.
 
-use serde::{Deserialize, Serialize};
+use nadmm_linalg::half;
+use serde::{DeError, Deserialize, Serialize, Value};
 use std::path::Path;
 
 /// Magic bytes opening every `.nadmm` file.
 pub const ARTIFACT_MAGIC: [u8; 8] = *b"NADMMART";
 
 /// The format version this build writes and the newest it can read.
-pub const ARTIFACT_VERSION: u32 = 1;
+pub const ARTIFACT_VERSION: u32 = 2;
+
+/// Name of the required weight tensor in the version-2 tensor table.
+pub const WEIGHTS_TENSOR: &str = "weights";
+
+/// How a tensor's values are stored on disk. In memory every tensor is
+/// `f64`; the encoding decides the wire width and the rounding applied when
+/// the encoding is attached (so in-memory values always equal their decoded
+/// on-disk form).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TensorEncoding {
+    /// Full-width f64 bit patterns (8 bytes/element, bit-exact).
+    #[default]
+    F64,
+    /// IEEE binary32 (4 bytes/element).
+    F32,
+    /// IEEE binary16 (2 bytes/element).
+    F16,
+    /// bfloat16 (2 bytes/element).
+    Bf16,
+    /// Symmetric i8 against a per-tensor block scale `max|v|/127`
+    /// (1 byte/element + one f64 scale per tensor). Requires finite values.
+    QuantizedI8,
+}
+
+impl TensorEncoding {
+    /// Every encoding, in tag order.
+    pub const ALL: [TensorEncoding; 5] = [
+        TensorEncoding::F64,
+        TensorEncoding::F32,
+        TensorEncoding::F16,
+        TensorEncoding::Bf16,
+        TensorEncoding::QuantizedI8,
+    ];
+
+    /// The spellings [`TensorEncoding::parse`] accepts, for error messages.
+    pub const ACCEPTED_SPELLINGS: &'static str =
+        "f64 (full, none), f32 (fp32, single), f16 (fp16, half), bf16 (bfloat16), qi8 (int8, i8)";
+
+    /// Canonical lowercase name (also the serialized form).
+    pub fn name(self) -> &'static str {
+        match self {
+            TensorEncoding::F64 => "f64",
+            TensorEncoding::F32 => "f32",
+            TensorEncoding::F16 => "f16",
+            TensorEncoding::Bf16 => "bf16",
+            TensorEncoding::QuantizedI8 => "qi8",
+        }
+    }
+
+    /// Parses a user spelling (CLI flags, config files), case-insensitive.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "f64" | "full" | "none" => Some(TensorEncoding::F64),
+            "f32" | "fp32" | "single" => Some(TensorEncoding::F32),
+            "f16" | "fp16" | "half" => Some(TensorEncoding::F16),
+            "bf16" | "bfloat16" => Some(TensorEncoding::Bf16),
+            "qi8" | "int8" | "i8" => Some(TensorEncoding::QuantizedI8),
+            _ => None,
+        }
+    }
+
+    /// The on-disk tag byte.
+    pub fn tag(self) -> u8 {
+        match self {
+            TensorEncoding::F64 => 0,
+            TensorEncoding::F32 => 1,
+            TensorEncoding::F16 => 2,
+            TensorEncoding::Bf16 => 3,
+            TensorEncoding::QuantizedI8 => 4,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Option<Self> {
+        TensorEncoding::ALL.into_iter().find(|e| e.tag() == tag)
+    }
+
+    /// Bytes one element occupies on disk (the qi8 block scale is billed
+    /// separately, once per tensor).
+    pub fn bytes_per_element(self) -> usize {
+        match self {
+            TensorEncoding::F64 => 8,
+            TensorEncoding::F32 => 4,
+            TensorEncoding::F16 | TensorEncoding::Bf16 => 2,
+            TensorEncoding::QuantizedI8 => 1,
+        }
+    }
+
+    /// Rounds values through this encoding in place — exactly what a
+    /// save→load round trip does to them. Idempotent: rounding already
+    /// rounded values changes nothing (for qi8 the recomputed block scale
+    /// reproduces itself because the extreme magnitude maps onto ±127).
+    pub fn round_values(self, values: &mut [f64]) {
+        match self {
+            TensorEncoding::F64 => {}
+            TensorEncoding::F32 => values.iter_mut().for_each(|v| *v = half::round_f32(*v)),
+            TensorEncoding::F16 => values.iter_mut().for_each(|v| *v = half::round_f16(*v)),
+            TensorEncoding::Bf16 => values.iter_mut().for_each(|v| *v = half::round_bf16(*v)),
+            TensorEncoding::QuantizedI8 => {
+                let scale = half::quantize_scale(values);
+                values
+                    .iter_mut()
+                    .for_each(|v| *v = half::dequantize_i8(half::quantize_i8(*v, scale), scale));
+            }
+        }
+    }
+
+    /// Appends the encoded payload of `values` (for qi8: block scale first).
+    fn encode_payload(self, values: &[f64], out: &mut Vec<u8>) {
+        match self {
+            TensorEncoding::F64 => values.iter().for_each(|v| out.extend_from_slice(&v.to_le_bytes())),
+            TensorEncoding::F32 => values.iter().for_each(|v| out.extend_from_slice(&(*v as f32).to_le_bytes())),
+            TensorEncoding::F16 => values
+                .iter()
+                .for_each(|v| out.extend_from_slice(&half::f32_to_f16_bits(*v as f32).to_le_bytes())),
+            TensorEncoding::Bf16 => values
+                .iter()
+                .for_each(|v| out.extend_from_slice(&half::f32_to_bf16_bits(*v as f32).to_le_bytes())),
+            TensorEncoding::QuantizedI8 => {
+                let scale = half::quantize_scale(values);
+                out.extend_from_slice(&scale.to_le_bytes());
+                values.iter().for_each(|v| out.push(half::quantize_i8(*v, scale) as u8));
+            }
+        }
+    }
+
+    /// Reads `count` encoded elements back into `f64`s.
+    fn decode_payload(self, count: usize, r: &mut Reader<'_>) -> Result<Vec<f64>, ArtifactError> {
+        let mut values = Vec::with_capacity(count.min(1 << 24));
+        match self {
+            TensorEncoding::F64 => {
+                for _ in 0..count {
+                    let raw = r.take(8, "tensor values")?;
+                    values.push(f64::from_le_bytes(raw.try_into().unwrap()));
+                }
+            }
+            TensorEncoding::F32 => {
+                for _ in 0..count {
+                    let raw = r.take(4, "tensor values")?;
+                    values.push(f32::from_le_bytes(raw.try_into().unwrap()) as f64);
+                }
+            }
+            TensorEncoding::F16 => {
+                for _ in 0..count {
+                    let raw = r.take(2, "tensor values")?;
+                    values.push(half::f16_bits_to_f32(u16::from_le_bytes(raw.try_into().unwrap())) as f64);
+                }
+            }
+            TensorEncoding::Bf16 => {
+                for _ in 0..count {
+                    let raw = r.take(2, "tensor values")?;
+                    values.push(half::bf16_bits_to_f32(u16::from_le_bytes(raw.try_into().unwrap())) as f64);
+                }
+            }
+            TensorEncoding::QuantizedI8 => {
+                let scale = f64::from_le_bytes(r.take(8, "tensor scale")?.try_into().unwrap());
+                for _ in 0..count {
+                    let raw = r.take(1, "tensor values")?;
+                    values.push(half::dequantize_i8(raw[0] as i8, scale));
+                }
+            }
+        }
+        Ok(values)
+    }
+}
+
+impl Serialize for TensorEncoding {
+    fn to_value(&self) -> Value {
+        Value::Str(self.name().to_string())
+    }
+}
+
+impl Deserialize for TensorEncoding {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            // Missing key: files written before encodings existed are f64.
+            Value::Null => Ok(TensorEncoding::F64),
+            Value::Str(s) => TensorEncoding::parse(s).ok_or_else(|| {
+                DeError(format!(
+                    "`{s}` does not name a tensor encoding; accepted values: {}",
+                    TensorEncoding::ACCEPTED_SPELLINGS
+                ))
+            }),
+            other => Err(DeError::expected("tensor encoding string", other)),
+        }
+    }
+}
+
+/// An auxiliary named tensor carried alongside the weights (calibration
+/// statistics, per-class thresholds, embedding tables…). Values are held
+/// decoded (`f64`); `encoding` picks the on-disk width.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NamedTensor {
+    /// Unique tensor name (must not be [`WEIGHTS_TENSOR`]).
+    pub name: String,
+    /// On-disk storage width.
+    pub encoding: TensorEncoding,
+    /// Decoded values (already rounded through `encoding`).
+    pub values: Vec<f64>,
+}
 
 /// Why an artifact could not be saved or loaded.
 #[derive(Debug, Clone, PartialEq)]
@@ -100,6 +322,19 @@ pub enum ArtifactError {
         /// Parse error text.
         message: String,
     },
+    /// A tensor carries an encoding tag this build does not know.
+    UnknownEncoding {
+        /// The tag byte actually found.
+        found: u8,
+    },
+    /// The sidecar's mirrored binary checksum does not match the binary it
+    /// sits next to — the two halves come from different saves.
+    SidecarChecksumMismatch {
+        /// Checksum the sidecar claims (hex).
+        sidecar: String,
+        /// Checksum the binary actually carries (hex).
+        binary: String,
+    },
 }
 
 impl std::fmt::Display for ArtifactError {
@@ -135,6 +370,17 @@ impl std::fmt::Display for ArtifactError {
             ArtifactError::SidecarInvalid { path, message } => {
                 write!(f, "artifact sidecar `{path}` is unreadable: {message}")
             }
+            ArtifactError::UnknownEncoding { found } => {
+                write!(
+                    f,
+                    "artifact tensor uses unknown encoding tag {found} (known: 0=f64 1=f32 2=f16 3=bf16 4=qi8)"
+                )
+            }
+            ArtifactError::SidecarChecksumMismatch { sidecar, binary } => write!(
+                f,
+                "artifact sidecar mirrors binary checksum {sidecar} but the binary carries {binary} — \
+                 the sidecar belongs to a different save of this artifact"
+            ),
         }
     }
 }
@@ -159,6 +405,10 @@ pub struct Provenance {
     pub final_accuracy: Option<f64>,
     /// Outer iterations the training run executed.
     pub iterations: usize,
+    /// Hex FNV-1a 64 checksum of the binary half, mirrored here at save
+    /// time so a binary paired with the wrong sidecar is detected at load.
+    /// `None` in sidecars written before format v2 (then no check runs).
+    pub binary_checksum: Option<String>,
 }
 
 /// A persisted multiclass linear model: the downstream half of the paper's
@@ -172,8 +422,14 @@ pub struct ModelArtifact {
     pub num_classes: usize,
     /// Human-readable class names, one per class index.
     pub label_names: Vec<String>,
-    /// Flat weights, row-major `(C − 1) × p` — exactly `RunReport::final_w`.
+    /// Flat weights, row-major `(C − 1) × p` — exactly `RunReport::final_w`
+    /// when the encoding is f64, its rounded image otherwise.
     pub weights: Vec<f64>,
+    /// On-disk storage width of the weight tensor. The in-memory `weights`
+    /// are always already rounded through it.
+    pub weight_encoding: TensorEncoding,
+    /// Auxiliary named tensors stored after the weights, in order.
+    pub extra_tensors: Vec<NamedTensor>,
     /// Training provenance (lives in the JSON sidecar on disk).
     pub provenance: Provenance,
 }
@@ -221,6 +477,27 @@ impl<'a> Reader<'a> {
     }
 }
 
+/// Reads a length-prefixed UTF-8 string (labels, tensor names).
+fn read_string(r: &mut Reader<'_>, len_field: &'static str, bytes_field: &'static str) -> Result<String, ArtifactError> {
+    let len = r.u32(len_field)? as usize;
+    let raw = r.take(len, bytes_field)?;
+    Ok(std::str::from_utf8(raw)
+        .map_err(|e| ArtifactError::Invalid {
+            message: format!("{bytes_field} are not UTF-8: {e}"),
+        })?
+        .to_string())
+}
+
+/// Rejects bytes left over after the last promised field.
+fn check_trailing(r: &Reader<'_>, body_len: usize) -> Result<(), ArtifactError> {
+    if r.pos != body_len {
+        return Err(ArtifactError::Invalid {
+            message: format!("{} trailing bytes after the last tensor block", body_len - r.pos),
+        });
+    }
+    Ok(())
+}
+
 impl ModelArtifact {
     /// Assembles an artifact, checking the dimensional invariants the binary
     /// format promises.
@@ -236,10 +513,51 @@ impl ModelArtifact {
             num_classes,
             label_names,
             weights,
+            weight_encoding: TensorEncoding::F64,
+            extra_tensors: Vec::new(),
             provenance,
         };
         artifact.check_dims()?;
         Ok(artifact)
+    }
+
+    /// Stores the weights under `encoding`, rounding the in-memory values
+    /// through it immediately — the artifact you hold equals what a
+    /// save→load round trip returns. Rejects non-finite weights for
+    /// [`TensorEncoding::QuantizedI8`] (the block scale would be NaN/∞).
+    pub fn with_weight_encoding(mut self, encoding: TensorEncoding) -> Result<Self, ArtifactError> {
+        Self::check_encodable(WEIGHTS_TENSOR, encoding, &self.weights)?;
+        self.weight_encoding = encoding;
+        encoding.round_values(&mut self.weights);
+        Ok(self)
+    }
+
+    /// Attaches an auxiliary named tensor (rounded through its encoding
+    /// immediately). Names must be unique and must not shadow
+    /// [`WEIGHTS_TENSOR`].
+    pub fn with_tensor(
+        mut self,
+        name: impl Into<String>,
+        encoding: TensorEncoding,
+        mut values: Vec<f64>,
+    ) -> Result<Self, ArtifactError> {
+        let name = name.into();
+        Self::check_encodable(&name, encoding, &values)?;
+        encoding.round_values(&mut values);
+        self.extra_tensors.push(NamedTensor { name, encoding, values });
+        self.check_dims()?;
+        Ok(self)
+    }
+
+    fn check_encodable(name: &str, encoding: TensorEncoding, values: &[f64]) -> Result<(), ArtifactError> {
+        if encoding == TensorEncoding::QuantizedI8 {
+            if let Some(bad) = values.iter().find(|v| !v.is_finite()) {
+                return Err(ArtifactError::Invalid {
+                    message: format!("tensor `{name}` holds non-finite value {bad}, which i8 quantization cannot scale"),
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Dimension of the weight vector, `(C − 1) · p`.
@@ -272,13 +590,35 @@ impl ModelArtifact {
                 found: self.weights.len(),
             });
         }
+        for (i, tensor) in self.extra_tensors.iter().enumerate() {
+            if tensor.name.is_empty() || tensor.name == WEIGHTS_TENSOR {
+                return Err(ArtifactError::Invalid {
+                    message: format!(
+                        "extra tensor name `{}` is reserved (must be non-empty and not `{WEIGHTS_TENSOR}`)",
+                        tensor.name
+                    ),
+                });
+            }
+            if self.extra_tensors[..i].iter().any(|t| t.name == tensor.name) {
+                return Err(ArtifactError::Invalid {
+                    message: format!("tensor `{}` appears twice — names must be unique", tensor.name),
+                });
+            }
+        }
         Ok(())
     }
 
-    /// Serializes the binary half (magic, version, dims, labels, weights,
-    /// trailing checksum).
+    /// Serializes the binary half (magic, version, dims, labels, tensor
+    /// table, trailing checksum). Always writes the current format version.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(64 + self.weights.len() * 8);
+        let mut out = Vec::with_capacity(
+            64 + self.weights.len() * self.weight_encoding.bytes_per_element()
+                + self
+                    .extra_tensors
+                    .iter()
+                    .map(|t| 16 + t.name.len() + t.values.len() * t.encoding.bytes_per_element())
+                    .sum::<usize>(),
+        );
         out.extend_from_slice(&ARTIFACT_MAGIC);
         out.extend_from_slice(&ARTIFACT_VERSION.to_le_bytes());
         out.extend_from_slice(&(self.num_features as u64).to_le_bytes());
@@ -288,18 +628,37 @@ impl ModelArtifact {
             out.extend_from_slice(&(name.len() as u32).to_le_bytes());
             out.extend_from_slice(name.as_bytes());
         }
-        out.extend_from_slice(&(self.weights.len() as u64).to_le_bytes());
-        for w in &self.weights {
-            out.extend_from_slice(&w.to_le_bytes());
+        out.extend_from_slice(&(1 + self.extra_tensors.len() as u64).to_le_bytes());
+        let weights_tensor = [(WEIGHTS_TENSOR, self.weight_encoding, &self.weights)];
+        let tensors = weights_tensor
+            .into_iter()
+            .chain(self.extra_tensors.iter().map(|t| (t.name.as_str(), t.encoding, &t.values)));
+        for (name, encoding, values) in tensors {
+            out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+            out.extend_from_slice(name.as_bytes());
+            out.push(encoding.tag());
+            out.extend_from_slice(&(values.len() as u64).to_le_bytes());
+            encoding.encode_payload(values, &mut out);
         }
         let checksum = fnv1a64(&out);
         out.extend_from_slice(&checksum.to_le_bytes());
         out
     }
 
+    /// The FNV-1a 64 checksum [`ModelArtifact::to_bytes`] appends (and
+    /// [`ModelArtifact::save`] mirrors into the sidecar), as lowercase hex.
+    pub fn binary_checksum_hex(&self) -> String {
+        let bytes = self.to_bytes();
+        format!("{:016x}", u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap()))
+    }
+
     /// Parses the binary half, validating magic, version, checksum, and
-    /// every dimensional invariant. The inverse of [`ModelArtifact::to_bytes`]
-    /// up to the sidecar-only provenance (left empty here).
+    /// every dimensional invariant. Reads both the current version-2 tensor
+    /// table and the version-1 single-weight-block layout (bit-for-bit);
+    /// only versions newer than [`ARTIFACT_VERSION`] are refused. The
+    /// inverse of [`ModelArtifact::to_bytes`] up to the sidecar-only
+    /// provenance (left empty here). All tensor payloads decode to `f64`
+    /// here, once — serving never touches encoded bytes again.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, ArtifactError> {
         let mut r = Reader { bytes, pos: 0 };
         let magic = r.take(ARTIFACT_MAGIC.len(), "magic")?;
@@ -342,27 +701,52 @@ impl ModelArtifact {
         }
         let mut label_names = Vec::with_capacity(label_count.min(1 << 16));
         for _ in 0..label_count {
-            let len = r.u32("label length")? as usize;
-            let raw = r.take(len, "label bytes")?;
-            let name = std::str::from_utf8(raw)
-                .map_err(|e| ArtifactError::Invalid {
-                    message: format!("label is not UTF-8: {e}"),
-                })?
-                .to_string();
-            label_names.push(name);
+            label_names.push(read_string(&mut r, "label length", "label bytes")?);
         }
-        let weight_count = r.u64("weight count")? as usize;
-        let mut weights = Vec::with_capacity(weight_count.min(1 << 24));
-        for _ in 0..weight_count {
-            let raw = r.take(8, "weight values")?;
-            weights.push(f64::from_le_bytes(raw.try_into().unwrap()));
+        if version <= 1 {
+            // v1 body: one implicit f64 weight block, no tensor table.
+            let weight_count = r.u64("weight count")? as usize;
+            let weights = TensorEncoding::F64.decode_payload(weight_count, &mut r)?;
+            check_trailing(&r, body.len())?;
+            return Self::new(num_features, num_classes, label_names, weights, Provenance::default());
         }
-        if r.pos != body.len() {
+        let tensor_count = r.u64("tensor count")? as usize;
+        let mut weights: Option<(TensorEncoding, Vec<f64>)> = None;
+        let mut extra_tensors = Vec::with_capacity(tensor_count.saturating_sub(1).min(1 << 12));
+        for _ in 0..tensor_count {
+            let name = read_string(&mut r, "tensor name length", "tensor name bytes")?;
+            let tag = r.take(1, "tensor encoding tag")?[0];
+            let encoding = TensorEncoding::from_tag(tag).ok_or(ArtifactError::UnknownEncoding { found: tag })?;
+            let count = r.u64("tensor element count")? as usize;
+            let values = encoding.decode_payload(count, &mut r)?;
+            if name == WEIGHTS_TENSOR {
+                if weights.is_some() {
+                    return Err(ArtifactError::Invalid {
+                        message: format!("tensor `{WEIGHTS_TENSOR}` appears twice"),
+                    });
+                }
+                weights = Some((encoding, values));
+            } else {
+                extra_tensors.push(NamedTensor { name, encoding, values });
+            }
+        }
+        check_trailing(&r, body.len())?;
+        let Some((weight_encoding, weights)) = weights else {
             return Err(ArtifactError::Invalid {
-                message: format!("{} trailing bytes after the weight block", body.len() - r.pos),
+                message: format!("artifact has no `{WEIGHTS_TENSOR}` tensor among its {tensor_count} tensor(s)"),
             });
-        }
-        Self::new(num_features, num_classes, label_names, weights, Provenance::default())
+        };
+        let artifact = Self {
+            num_features,
+            num_classes,
+            label_names,
+            weights,
+            weight_encoding,
+            extra_tensors,
+            provenance: Provenance::default(),
+        };
+        artifact.check_dims()?;
+        Ok(artifact)
     }
 
     /// Path of the provenance sidecar for an artifact at `path`.
@@ -393,13 +777,21 @@ impl ModelArtifact {
             }
         }
         let sidecar = Self::sidecar_path(path);
-        let json = nadmm_experiment::to_finite_json_pretty(&self.provenance).map_err(|e| ArtifactError::Invalid {
+        // Mirror the binary checksum into the sidecar so a mismatched
+        // binary/sidecar pairing is detected at load.
+        let bytes = self.to_bytes();
+        let mut provenance = self.provenance.clone();
+        provenance.binary_checksum = Some(format!(
+            "{:016x}",
+            u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap())
+        ));
+        let json = nadmm_experiment::to_finite_json_pretty(&provenance).map_err(|e| ArtifactError::Invalid {
             message: format!("provenance does not serialize: {e}"),
         })?;
         let binary_tmp = format!("{}.tmp", path.display());
         let sidecar_tmp = format!("{sidecar}.tmp");
         let staged = (|| -> Result<(), ArtifactError> {
-            std::fs::write(&binary_tmp, self.to_bytes()).map_err(|e| io_err(&binary_tmp, e))?;
+            std::fs::write(&binary_tmp, &bytes).map_err(|e| io_err(&binary_tmp, e))?;
             std::fs::write(&sidecar_tmp, json).map_err(|e| io_err(&sidecar_tmp, e))
         })();
         if let Err(e) = staged {
@@ -428,10 +820,23 @@ impl ModelArtifact {
         let sidecar = Self::sidecar_path(path);
         match std::fs::read_to_string(&sidecar) {
             Ok(text) => {
-                artifact.provenance = serde_json::from_str(&text).map_err(|e| ArtifactError::SidecarInvalid {
+                let provenance: Provenance = serde_json::from_str(&text).map_err(|e| ArtifactError::SidecarInvalid {
                     path: sidecar,
                     message: e.to_string(),
                 })?;
+                // v2 sidecars mirror the binary checksum; a mismatch means
+                // the two halves come from different saves. v1 sidecars
+                // (no mirror) skip the check.
+                if let Some(mirror) = &provenance.binary_checksum {
+                    let actual = format!("{:016x}", u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap()));
+                    if *mirror != actual {
+                        return Err(ArtifactError::SidecarChecksumMismatch {
+                            sidecar: mirror.clone(),
+                            binary: actual,
+                        });
+                    }
+                }
+                artifact.provenance = provenance;
             }
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
             Err(e) => {
@@ -462,6 +867,7 @@ mod tests {
                 final_objective: Some(1.5),
                 final_accuracy: Some(0.875),
                 iterations: 7,
+                binary_checksum: None,
             },
         )
         .unwrap()
@@ -483,13 +889,21 @@ mod tests {
         assert_eq!(a, b);
     }
 
+    /// What `load` should return for a freshly saved artifact: identical up
+    /// to the checksum mirror `save` stamps into the sidecar.
+    fn with_mirror(a: &ModelArtifact) -> ModelArtifact {
+        let mut expected = a.clone();
+        expected.provenance.binary_checksum = Some(a.binary_checksum_hex());
+        expected
+    }
+
     #[test]
     fn save_load_round_trips_including_provenance() {
         let path = temp_path("roundtrip");
         let a = artifact();
         a.save(&path).unwrap();
         let b = ModelArtifact::load(&path).unwrap();
-        assert_eq!(a, b);
+        assert_eq!(b, with_mirror(&a));
         std::fs::remove_file(&path).ok();
         std::fs::remove_file(ModelArtifact::sidecar_path(&path)).ok();
     }
@@ -513,7 +927,7 @@ mod tests {
         }
         // The old pair is fully intact — weights *and* provenance — and the
         // staged binary was cleaned up.
-        assert_eq!(ModelArtifact::load(&path).unwrap(), a);
+        assert_eq!(ModelArtifact::load(&path).unwrap(), with_mirror(&a));
         assert!(
             !std::path::Path::new(&format!("{path}.tmp")).exists(),
             "staged binary must be removed after a failed save"
@@ -624,6 +1038,164 @@ mod tests {
             Err(ArtifactError::Io { path, .. }) => assert!(path.contains("model.nadmm")),
             other => panic!("expected Io, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn encoded_tensors_round_trip_through_bytes() {
+        let a = artifact()
+            .with_weight_encoding(TensorEncoding::F16)
+            .unwrap()
+            .with_tensor("calibration", TensorEncoding::QuantizedI8, vec![0.5, -1.0, 0.25, 2.0])
+            .unwrap()
+            .with_tensor("thresholds", TensorEncoding::F32, vec![0.1, 0.9])
+            .unwrap();
+        let b = ModelArtifact::from_bytes(&a.to_bytes()).unwrap();
+        assert_eq!(b.weight_encoding, TensorEncoding::F16);
+        assert_eq!(b.weights, a.weights, "pre-rounded values round-trip bit-for-bit");
+        assert_eq!(b.extra_tensors, a.extra_tensors);
+        assert_eq!(b.label_names, a.label_names);
+    }
+
+    #[test]
+    fn with_weight_encoding_rounds_the_in_memory_values() {
+        let a = artifact().with_weight_encoding(TensorEncoding::F16).unwrap();
+        let expected: Vec<f64> = artifact().weights.iter().map(|&w| half::round_f16(w)).collect();
+        assert_eq!(a.weights, expected);
+        // 0.1-style values actually quantize (the rounding is not a no-op
+        // in general), while the artifact fixture's dyadic values survive.
+        assert_ne!(half::round_f16(0.1), 0.1);
+    }
+
+    #[test]
+    fn reduced_encodings_shrink_the_file() {
+        let wide = ModelArtifact::new(
+            64,
+            3,
+            vec!["a".into(), "b".into(), "c".into()],
+            (0..128).map(|i| (i as f64 * 0.37).sin()).collect(),
+            Provenance::default(),
+        )
+        .unwrap();
+        let f64_bytes = wide.to_bytes().len();
+        let f16_bytes = wide.clone().with_weight_encoding(TensorEncoding::F16).unwrap().to_bytes().len();
+        let qi8_bytes = wide
+            .clone()
+            .with_weight_encoding(TensorEncoding::QuantizedI8)
+            .unwrap()
+            .to_bytes()
+            .len();
+        assert_eq!(f64_bytes - f16_bytes, 128 * 6, "f16 drops 6 bytes per weight");
+        assert_eq!(
+            f64_bytes - qi8_bytes,
+            128 * 7 - 8,
+            "qi8 drops 7 bytes per weight, plus one block scale"
+        );
+        assert!(
+            (f16_bytes as f64) < 0.5 * f64_bytes as f64,
+            "f16 artifact must be under half the f64 size: {f16_bytes} vs {f64_bytes}"
+        );
+    }
+
+    #[test]
+    fn quantized_round_trips_are_idempotent() {
+        let a = artifact().with_weight_encoding(TensorEncoding::QuantizedI8).unwrap();
+        let b = ModelArtifact::from_bytes(&a.to_bytes()).unwrap();
+        assert_eq!(b.weights, a.weights, "decode(encode(·)) must be exact on pre-rounded values");
+        let c = b.clone().with_weight_encoding(TensorEncoding::QuantizedI8).unwrap();
+        assert_eq!(
+            c.weights, b.weights,
+            "re-quantizing reproduces the same block scale and codes"
+        );
+    }
+
+    #[test]
+    fn quantization_rejects_non_finite_weights() {
+        let mut a = artifact();
+        a.weights[1] = f64::INFINITY;
+        match a.with_weight_encoding(TensorEncoding::QuantizedI8) {
+            Err(ArtifactError::Invalid { message }) => assert!(message.contains("non-finite"), "{message}"),
+            other => panic!("expected Invalid for non-finite weights, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_encoding_tags_are_typed() {
+        let mut bytes = artifact().to_bytes();
+        // The weights tensor's tag byte sits right after its name bytes.
+        let name_at = bytes
+            .windows(WEIGHTS_TENSOR.len())
+            .position(|w| w == WEIGHTS_TENSOR.as_bytes())
+            .unwrap();
+        let tag_at = name_at + WEIGHTS_TENSOR.len();
+        assert_eq!(bytes[tag_at], TensorEncoding::F64.tag());
+        bytes[tag_at] = 9;
+        let body_len = bytes.len() - 8;
+        let checksum = fnv1a64(&bytes[..body_len]);
+        bytes[body_len..].copy_from_slice(&checksum.to_le_bytes());
+        match ModelArtifact::from_bytes(&bytes) {
+            Err(ArtifactError::UnknownEncoding { found: 9 }) => {}
+            other => panic!("expected UnknownEncoding, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_or_reserved_tensor_names_are_rejected() {
+        let a = artifact().with_tensor("calib", TensorEncoding::F64, vec![1.0]).unwrap();
+        assert!(matches!(
+            a.clone().with_tensor("calib", TensorEncoding::F16, vec![2.0]),
+            Err(ArtifactError::Invalid { .. })
+        ));
+        assert!(matches!(
+            a.with_tensor(WEIGHTS_TENSOR, TensorEncoding::F64, vec![3.0]),
+            Err(ArtifactError::Invalid { .. })
+        ));
+    }
+
+    #[test]
+    fn mismatched_sidecar_is_a_typed_checksum_error() {
+        let path_a = temp_path("mismatch_a");
+        let path_b = temp_path("mismatch_b");
+        let a = artifact();
+        let mut b = artifact();
+        b.weights[0] = 99.0;
+        a.save(&path_a).unwrap();
+        b.save(&path_b).unwrap();
+        // Pair a's binary with b's sidecar: both halves are individually
+        // valid, but they come from different saves.
+        std::fs::copy(ModelArtifact::sidecar_path(&path_b), ModelArtifact::sidecar_path(&path_a)).unwrap();
+        match ModelArtifact::load(&path_a) {
+            Err(ArtifactError::SidecarChecksumMismatch { sidecar, binary }) => {
+                assert_eq!(sidecar, b.binary_checksum_hex());
+                assert_eq!(binary, a.binary_checksum_hex());
+            }
+            other => panic!("expected SidecarChecksumMismatch, got {other:?}"),
+        }
+        for p in [&path_a, &path_b] {
+            std::fs::remove_file(p).ok();
+            std::fs::remove_file(ModelArtifact::sidecar_path(p)).ok();
+        }
+    }
+
+    #[test]
+    fn encoding_spellings_parse_and_serde_round_trips() {
+        for (spelling, expected) in [
+            ("f64", TensorEncoding::F64),
+            ("NONE", TensorEncoding::F64),
+            ("fp32", TensorEncoding::F32),
+            (" half ", TensorEncoding::F16),
+            ("bfloat16", TensorEncoding::Bf16),
+            ("int8", TensorEncoding::QuantizedI8),
+        ] {
+            assert_eq!(TensorEncoding::parse(spelling), Some(expected), "{spelling}");
+        }
+        assert_eq!(TensorEncoding::parse("f8"), None);
+        for encoding in TensorEncoding::ALL {
+            assert_eq!(TensorEncoding::from_value(&encoding.to_value()), Ok(encoding));
+            assert_eq!(TensorEncoding::from_tag(encoding.tag()), Some(encoding));
+        }
+        assert_eq!(TensorEncoding::from_value(&Value::Null), Ok(TensorEncoding::F64));
+        let err = TensorEncoding::from_value(&Value::Str("f8".into())).unwrap_err();
+        assert!(err.0.contains("bfloat16"), "error must list accepted spellings: {}", err.0);
     }
 
     #[test]

@@ -10,7 +10,11 @@
 //! * **Artifacts** ([`ModelArtifact`]) — the versioned, checksummed
 //!   `.nadmm` binary format plus a JSON provenance sidecar; every
 //!   corruption mode (truncation, bit flips, future versions, dimension
-//!   lies) is a distinct typed [`ArtifactError`].
+//!   lies, unknown tensor encodings, mismatched binary/sidecar pairs) is a
+//!   distinct typed [`ArtifactError`]. Format v2 stores a table of named
+//!   tensors with per-tensor [`TensorEncoding`]s (f64/f32/f16/bf16 or
+//!   scaled i8), mirrors the binary checksum into the sidecar, and still
+//!   loads v1 files bit-for-bit.
 //! * **Inference** ([`InferenceSession`], [`ModelRegistry`]) — batched
 //!   softmax forward passes through the zero-allocation `Workspace` engine,
 //!   with argmax/top-k decoding that reproduces training-time predictions
@@ -38,7 +42,10 @@ pub mod sim;
 /// `examples/serve_bench.rs` and the `check_serve_report` CI gate.
 pub const BATCH_SPEEDUP_GATE: f64 = 4.0;
 
-pub use artifact::{fnv1a64, ArtifactError, ModelArtifact, Provenance, ARTIFACT_MAGIC, ARTIFACT_VERSION};
+pub use artifact::{
+    fnv1a64, ArtifactError, ModelArtifact, NamedTensor, Provenance, TensorEncoding, ARTIFACT_MAGIC, ARTIFACT_VERSION,
+    WEIGHTS_TENSOR,
+};
 pub use registry::ModelRegistry;
 pub use report::{LatencySummary, ModelServeStats, OccupancyBucket, ServeReport};
 pub use scenario::{artifact_for_scenario, scenario_fingerprint, ArrivalSpec, BatchingSpec, ServeSpec, ServingScenario};

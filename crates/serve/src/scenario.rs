@@ -241,6 +241,7 @@ pub fn artifact_for_scenario(scenario: &ScenarioSpec, report: &RunReport) -> Res
         final_objective: report.final_objective,
         final_accuracy: report.final_accuracy,
         iterations: report.history.len(),
+        binary_checksum: None,
     };
     ModelArtifact::new(
         train.num_features(),

@@ -11,8 +11,13 @@
 //!    format documentation promises for that region of the file.
 //! 3. **Checksum totality** — a flipped bit in the checksummed body is
 //!    *always* a `ChecksumMismatch`, regardless of where it lands.
+//! 4. **Reduced precision** — f16/bf16/f32 weight encodings round-trip the
+//!    attach-time-rounded values bit-for-bit, and scaled-i8 quantization is
+//!    both error-bounded (≤ half a quantization step) and idempotent, over
+//!    the same adversarial bit patterns.
 
-use nadmm_serve::{fnv1a64, ArtifactError, ModelArtifact, Provenance, ARTIFACT_MAGIC, ARTIFACT_VERSION};
+use nadmm_linalg::half::quantize_scale;
+use nadmm_serve::{fnv1a64, ArtifactError, ModelArtifact, Provenance, TensorEncoding, ARTIFACT_MAGIC, ARTIFACT_VERSION};
 use proptest::prelude::*;
 
 /// Pool of label fragments covering ASCII, unicode, and the empty string.
@@ -69,7 +74,73 @@ proptest! {
         prop_assert_eq!(loaded.num_classes, artifact.num_classes);
         prop_assert_eq!(&loaded.label_names, &artifact.label_names);
         prop_assert_eq!(weights_bits(&loaded), weights_bits(&artifact), "weights must round-trip bit-for-bit");
-        prop_assert_eq!(loaded.provenance, artifact.provenance);
+        // `save` mirrors the binary checksum into the sidecar, so the loaded
+        // provenance is the original plus the mirror.
+        let expected_provenance = Provenance {
+            binary_checksum: Some(artifact.binary_checksum_hex()),
+            ..artifact.provenance.clone()
+        };
+        prop_assert_eq!(loaded.provenance, expected_provenance);
+    }
+
+    #[test]
+    fn reduced_precision_artifacts_round_trip_exactly(
+        features in 1usize..24,
+        classes in 2usize..8,
+        weight_seed in 0u64..1_000_000,
+        encoding_idx in 0usize..3,
+    ) {
+        // Rounding happens when the encoding is attached, so save→load must
+        // reproduce the (already rounded) in-memory weights bit-for-bit —
+        // including values that overflow f16 to infinity.
+        let encoding = [TensorEncoding::F16, TensorEncoding::Bf16, TensorEncoding::F32][encoding_idx];
+        let artifact = build_artifact(features, classes, weight_seed, 0)
+            .with_weight_encoding(encoding)
+            .map_err(|e| format!("attach failed: {e}"))?;
+        let path = temp_path("reduced", weight_seed ^ (encoding_idx as u64) << 48 ^ (features as u64) << 32);
+        artifact.save(&path).map_err(|e| format!("save failed: {e}"))?;
+        let loaded = ModelArtifact::load(&path).map_err(|e| format!("load failed: {e}"))?;
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(ModelArtifact::sidecar_path(&path)).ok();
+        prop_assert_eq!(loaded.weight_encoding, encoding, "the encoding tag must survive");
+        prop_assert_eq!(
+            weights_bits(&loaded),
+            weights_bits(&artifact),
+            "rounded {} weights must round-trip bit-for-bit", encoding.name()
+        );
+    }
+
+    #[test]
+    fn i8_quantization_is_error_bounded_and_idempotent(
+        features in 1usize..24,
+        classes in 2usize..8,
+        weight_seed in 0u64..1_000_000,
+    ) {
+        let original = build_artifact(features, classes, weight_seed, 5);
+        let quantized = original
+            .clone()
+            .with_weight_encoding(TensorEncoding::QuantizedI8)
+            .map_err(|e| format!("qi8 attach failed: {e}"))?;
+        // Error bound: scale = max|w|/127, nearest-integer rounding never
+        // moves a value by more than half a step (tiny slack for the f64
+        // division itself).
+        let scale = quantize_scale(&original.weights);
+        let bound = scale * (0.5 + 1e-9);
+        for (&q, &w) in quantized.weights.iter().zip(&original.weights) {
+            prop_assert!(
+                (q - w).abs() <= bound,
+                "|{q} - {w}| exceeds half a quantization step ({bound})"
+            );
+        }
+        // Idempotent: re-quantizing the dequantized values (scale included)
+        // reproduces them exactly, so save→load is bit-identical too.
+        let twice = quantized
+            .clone()
+            .with_weight_encoding(TensorEncoding::QuantizedI8)
+            .map_err(|e| format!("second qi8 attach failed: {e}"))?;
+        prop_assert_eq!(weights_bits(&twice), weights_bits(&quantized), "re-quantization must be the identity");
+        let reparsed = ModelArtifact::from_bytes(&quantized.to_bytes()).map_err(|e| format!("reparse failed: {e}"))?;
+        prop_assert_eq!(weights_bits(&reparsed), weights_bits(&quantized), "qi8 bytes must round-trip bit-for-bit");
     }
 
     #[test]

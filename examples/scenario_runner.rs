@@ -7,7 +7,7 @@
 //! Run with:
 //! ```text
 //! cargo run --release --example scenario_runner -- scenarios/smoke.json \
-//!     [--out PATH] [--save-model MODEL.nadmm] [--deterministic]
+//!     [--out PATH] [--save-model MODEL.nadmm] [--precision f16] [--deterministic]
 //! ```
 //!
 //! `--deterministic` zeroes the host wall-clock fields of every report
@@ -19,11 +19,22 @@
 //! iterate as a versioned `.nadmm` model artifact (plus its provenance
 //! sidecar `PATH.json`), ready for `examples/serve_bench.rs` or any
 //! `nadmm_serve::ModelRegistry` to reload and serve.
+//!
+//! `--precision ENC` (requires `--save-model`) stores the weights in a
+//! reduced encoding — `f32`, `f16`, `bf16`, or `qi8` — shrinking the
+//! artifact up to 8× at a bounded accuracy cost. The default `f64` keeps
+//! the trained iterate bit-for-bit.
 
 use newton_admm_repro::prelude::*;
 use std::process::ExitCode;
 
-fn run(scenario_path: &str, out_path: &str, save_model: Option<&str>, deterministic: bool) -> Result<(), String> {
+fn run(
+    scenario_path: &str,
+    out_path: &str,
+    save_model: Option<&str>,
+    precision: TensorEncoding,
+    deterministic: bool,
+) -> Result<(), String> {
     let json = std::fs::read_to_string(scenario_path).map_err(|e| format!("cannot read {scenario_path}: {e}"))?;
     let scenario = ScenarioSpec::from_json(&json).map_err(|e| format!("cannot parse {scenario_path}: {e}"))?;
     println!(
@@ -39,15 +50,18 @@ fn run(scenario_path: &str, out_path: &str, save_model: Option<&str>, determinis
         // Export the first solver's trained iterate as a versioned model
         // artifact; any dimension lie or unwritable path is a hard failure.
         let artifact = artifact_for_scenario(&scenario, &reports[0])
-            .map_err(|e| format!("cannot build a model artifact from `{}`: {e}", reports[0].solver))?;
+            .map_err(|e| format!("cannot build a model artifact from `{}`: {e}", reports[0].solver))?
+            .with_weight_encoding(precision)
+            .map_err(|e| format!("cannot encode the weights as {}: {e}", precision.name()))?;
         artifact
             .save(model_path)
             .map_err(|e| format!("cannot save the model artifact: {e}"))?;
         println!(
-            "saved `{}` model ({} features × {} classes, scenario {}) → {model_path} (+ sidecar {})",
+            "saved `{}` model ({} features × {} classes, {} weights, scenario {}) → {model_path} (+ sidecar {})",
             artifact.provenance.solver,
             artifact.num_features,
             artifact.num_classes,
+            artifact.weight_encoding.name(),
             artifact.provenance.scenario_hash.as_deref().unwrap_or("?"),
             ModelArtifact::sidecar_path(model_path),
         );
@@ -125,6 +139,7 @@ fn main() -> ExitCode {
     let mut scenario_path: Option<String> = None;
     let mut out_path = "target/scenario_report.json".to_string();
     let mut save_model: Option<String> = None;
+    let mut precision: Option<TensorEncoding> = None;
     let mut deterministic = false;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -143,10 +158,26 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--precision" => match it.next() {
+                Some(value) => match TensorEncoding::parse(&value) {
+                    Some(enc) => precision = Some(enc),
+                    None => {
+                        eprintln!(
+                            "--precision got unknown encoding `{value}`; accepted: {}",
+                            TensorEncoding::ACCEPTED_SPELLINGS
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                },
+                None => {
+                    eprintln!("--precision requires an encoding: {}", TensorEncoding::ACCEPTED_SPELLINGS);
+                    return ExitCode::FAILURE;
+                }
+            },
             "--deterministic" => deterministic = true,
             flag if flag.starts_with('-') => {
                 eprintln!(
-                    "unknown flag `{flag}`\nusage: scenario_runner [SCENARIO.json] [--out REPORT.json] [--save-model MODEL.nadmm] [--deterministic]"
+                    "unknown flag `{flag}`\nusage: scenario_runner [SCENARIO.json] [--out REPORT.json] [--save-model MODEL.nadmm] [--precision ENC] [--deterministic]"
                 );
                 return ExitCode::FAILURE;
             }
@@ -159,8 +190,13 @@ fn main() -> ExitCode {
             }
         }
     }
+    if precision.is_some() && save_model.is_none() {
+        eprintln!("--precision only affects the saved artifact; pass --save-model PATH as well");
+        return ExitCode::FAILURE;
+    }
     let scenario_path = scenario_path.unwrap_or_else(|| "scenarios/smoke.json".to_string());
-    match run(&scenario_path, &out_path, save_model.as_deref(), deterministic) {
+    let precision = precision.unwrap_or(TensorEncoding::F64);
+    match run(&scenario_path, &out_path, save_model.as_deref(), precision, deterministic) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("scenario_runner: {e}");

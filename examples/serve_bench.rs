@@ -84,7 +84,12 @@ fn run(scenario_path: &str, out_path: &str, deterministic: bool) -> Result<(), S
         .save(&scenario.artifact_path)
         .map_err(|e| format!("cannot save the model artifact: {e}"))?;
     let loaded = ModelArtifact::load(&scenario.artifact_path).map_err(|e| format!("cannot reload the artifact: {e}"))?;
-    if loaded != artifact {
+    // `save()` stamps the binary checksum into the sidecar, so the loaded
+    // provenance carries the mirror; everything else must round-trip
+    // bit-identically.
+    let mut expected = artifact.clone();
+    expected.provenance.binary_checksum = Some(artifact.binary_checksum_hex());
+    if loaded != expected {
         return Err("reloaded artifact differs from the saved one (round trip must be bit-identical)".into());
     }
     println!(

@@ -36,7 +36,7 @@ pub mod prelude {
         AideConfig, DaneConfig, Disco, DiscoConfig, Giant, GiantConfig, InexactDane, SyncSgd, SyncSgdConfig,
     };
     pub use nadmm_cluster::{
-        Cluster, CollectiveAlgorithm, CollectiveKind, CollectiveSelector, CommStats, Communicator, NetworkModel,
+        Cluster, CollectiveAlgorithm, CollectiveKind, CollectiveSelector, CommStats, Communicator, Compression, NetworkModel,
         SingleProcessComm, SlowRank, StragglerModel,
     };
     pub use nadmm_data::{partition_strong, partition_weak, Dataset, DatasetKind, SyntheticConfig};
@@ -49,7 +49,7 @@ pub mod prelude {
     pub use nadmm_objective::{BinaryLogistic, Objective, SoftmaxCrossEntropy};
     pub use nadmm_serve::{
         artifact_for_scenario, run_serve, scenario_fingerprint, ArrivalSpec, ArtifactError, BatchingSpec, InferenceSession,
-        ModelArtifact, ModelRegistry, Provenance, ServeReport, ServeSpec, ServingScenario,
+        ModelArtifact, ModelRegistry, NamedTensor, Provenance, ServeReport, ServeSpec, ServingScenario, TensorEncoding,
     };
     pub use nadmm_solver::{CgConfig, FirstOrderConfig, FirstOrderMethod, LineSearchConfig, NewtonCg, NewtonConfig};
     pub use newton_admm::{DropoutSpec, NewtonAdmm, NewtonAdmmConfig, PenaltyRule, SpectralConfig};
