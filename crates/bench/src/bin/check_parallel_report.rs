@@ -1,0 +1,81 @@
+//! CI gate for the parallel bench: asserts that `BENCH_kernels.json`
+//! contains the `parallel` section and — **only when the run recorded at
+//! least 4 worker threads** — that the pooled `gemm_nt` and `dot` kernels
+//! clear 2× the forced-sequential throughput. On smaller runners the
+//! speedup gate is skipped honestly (a 1-core container cannot speed
+//! anything up, and faking the number would poison the recorded perf
+//! trajectory); the section's presence, the recorded thread count, and the
+//! dispatch-overhead row are still required.
+//!
+//! ```text
+//! NADMM_BENCH_SMOKE=1 cargo bench -p nadmm-bench --bench parallel
+//! cargo run --release -p nadmm-bench --bin check_parallel_report
+//! ```
+
+use nadmm_bench::report::{num, report_path, str_field};
+use serde::Value;
+use serde_json::parse_value;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("check_parallel_report: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let path = report_path();
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e} (run the parallel bench first)")));
+    let rows = match parse_value(&text) {
+        Ok(Value::Seq(rows)) => rows,
+        other => fail(&format!("{path} is not a JSON array: {other:?}")),
+    };
+
+    let parallel: Vec<&Value> = rows.iter().filter(|r| str_field(r, "group") == Some("parallel")).collect();
+    if parallel.is_empty() {
+        fail("no `parallel` section in the report");
+    }
+    let row = |prefix: &str, field: &str| -> Option<f64> {
+        parallel
+            .iter()
+            .find(|r| str_field(r, "id").is_some_and(|id| id.starts_with(prefix)))
+            .and_then(|r| num(r, field))
+    };
+
+    let threads = row("meta/threads", "ns_per_iter").unwrap_or_else(|| fail("no meta/threads row"));
+    let dispatch_ns = row("dispatch_overhead/ns", "ns_per_iter").unwrap_or_else(|| fail("no dispatch_overhead/ns row"));
+    if !dispatch_ns.is_finite() || dispatch_ns < 0.0 {
+        fail(&format!("dispatch overhead {dispatch_ns}ns is not a sane measurement"));
+    }
+
+    let mut checked = 0;
+    for kernel in ["dot", "gemm_nt"] {
+        let pooled = row(&format!("{kernel}/pooled/"), "ops_per_sec").unwrap_or_else(|| fail(&format!("no {kernel}/pooled row")));
+        let seq = row(&format!("{kernel}/seq/"), "ops_per_sec").unwrap_or_else(|| fail(&format!("no {kernel}/seq row")));
+        if !(pooled.is_finite() && seq.is_finite() && pooled > 0.0 && seq > 0.0) {
+            fail(&format!(
+                "{kernel}: non-finite or zero throughput (pooled={pooled}, seq={seq})"
+            ));
+        }
+        let speedup = pooled / seq;
+        if threads >= 4.0 {
+            if speedup < 2.0 {
+                fail(&format!(
+                    "{kernel}: pooled {pooled:.0} ops/s is only {speedup:.2}× sequential's {seq:.0} ops/s \
+                     at {threads} threads (gate: ≥2× at ≥4 threads)"
+                ));
+            }
+            checked += 1;
+        }
+        println!("check_parallel_report: {kernel}: {speedup:.2}× pooled-vs-seq at {threads} threads");
+    }
+    if threads < 4.0 {
+        println!(
+            "check_parallel_report: SKIP speedup gate — run recorded {threads} threads (< 4); \
+             a small runner cannot demonstrate parallel speedup, so only the section's presence \
+             and sanity were checked"
+        );
+    } else {
+        println!("check_parallel_report: OK ({checked} kernels cleared the 2× gate)");
+    }
+    println!("check_parallel_report: dispatch overhead {dispatch_ns:.0}ns/region");
+}

@@ -234,3 +234,51 @@ fn workspace_pool_hits_after_warmup_in_minimize() {
         "second minimize run must be served entirely from the pool"
     );
 }
+
+#[test]
+fn forced_thread_pool_dispatch_performs_zero_heap_allocations() {
+    // The work-sharing pool's dispatch path must be allocation-free: the job
+    // is published as a raw fat pointer in a pre-existing slot (no boxing),
+    // chunk indices come from an atomic counter, and `det::fold` keeps its
+    // partials in a stack-allocated slot array. Force every kernel through
+    // the pool (`par_threshold = 0`) at an oversubscribed width and assert
+    // the dispatcher thread allocates nothing. The allocation counter is
+    // per-thread, but the dispatcher *participates* in chunk execution, so
+    // this also proves the (shared) chunk closures of the BLAS-1/2/3 warm
+    // paths allocate nothing.
+    let mut rng = gen::seeded_rng(3);
+    let a = nadmm_linalg::gen::gaussian_matrix(64, 48, &mut rng);
+    let b = nadmm_linalg::gen::gaussian_matrix(32, 48, &mut rng);
+    let x = gen::gaussian_vector(48, &mut rng);
+    let mut y = vec![0.0; 64];
+    let mut out = nadmm_linalg::DenseMatrix::zeros(64, 32);
+    let mut z = gen::gaussian_vector(48, &mut rng);
+
+    rayon::set_num_threads(4);
+    nadmm_linalg::set_par_threshold(0);
+    // Warm-up dispatch spawns the (lazily created) worker threads.
+    let warm = nadmm_linalg::vector::dot(&x, &z);
+    a.matvec_into(&x, &mut y).unwrap();
+    a.gemm_nt_into(&b, &mut out).unwrap();
+
+    let (allocs, checksum) = count_allocations(|| {
+        let mut acc = 0.0;
+        for _ in 0..8 {
+            acc += nadmm_linalg::vector::dot(&x, &z);
+            acc += nadmm_linalg::vector::norm_inf(&z);
+            nadmm_linalg::vector::axpy(0.5, &x, &mut z);
+            acc += nadmm_linalg::vector::axpy_dot(-0.25, &x, &mut z);
+            a.matvec_into(&x, &mut y).unwrap();
+            a.gemm_nt_into(&b, &mut out).unwrap();
+            acc += y[0] + out.get(0, 0);
+        }
+        acc
+    });
+    nadmm_linalg::reset_par_threshold();
+    rayon::reset_num_threads();
+    assert!(checksum.is_finite() && warm.is_finite());
+    assert_eq!(
+        allocs, 0,
+        "forced-pool warm kernels made {allocs} heap allocations on the dispatcher (expected zero)"
+    );
+}

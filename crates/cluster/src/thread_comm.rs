@@ -13,6 +13,17 @@
 //! across ranks) poison the rendezvous and panic **loudly**, naming the
 //! offending rank and the expected payload — a silent wrong answer is the
 //! one failure mode a consensus solver cannot afford.
+//!
+//! # Oversubscription policy
+//!
+//! Each simulated rank is a host thread, but there is only **one**
+//! process-wide compute pool (the `rayon` shim's work-sharing pool). When a
+//! rank reaches a parallel kernel while another rank holds the pool, its
+//! dispatch attempt fails the pool's `try_lock` and the rank simply runs
+//! the region **inline on its own thread** — same canonical chunk order,
+//! same bits, no queueing and no deadlock. Oversubscription therefore
+//! degrades throughput gracefully (ranks compute concurrently with each
+//! other, sequentially within themselves) and never changes results.
 
 use crate::comm::{CollectiveHandle, Communicator, ROOT_RANK};
 use crate::network::{CollectiveKind, CollectiveSelector, Compression, NetworkModel};

@@ -567,4 +567,36 @@ mod tests {
         assert_eq!(d2.elapsed(), 0.0);
         assert_eq!(d2.stats(), DeviceStats::default());
     }
+
+    #[test]
+    fn device_kernels_are_bit_identical_across_pool_widths() {
+        // The device's compute path runs on the shared linalg kernels, so
+        // the objective's forward pass (gemm_nt + softmax rows) must be
+        // bit-invariant to the pool width and the par-threshold cutover —
+        // the solver-level determinism guarantee starts here.
+        let mut rng = nadmm_linalg::gen::seeded_rng(19);
+        let x = Matrix::Dense(nadmm_linalg::gen::gaussian_matrix(40, 12, &mut rng));
+        let w = nadmm_linalg::gen::gaussian_matrix(5, 12, &mut rng);
+        let run = || {
+            let d = Device::new(DeviceSpec::cpu_like());
+            let mut margins = DenseMatrix::zeros(40, 5);
+            d.gemm_nt_into(&x, &w, &mut margins);
+            let logz = d.softmax_rows(&mut margins);
+            let mut out: Vec<u64> = margins.as_slice().iter().map(|v| v.to_bits()).collect();
+            out.extend(logz.iter().map(|v| v.to_bits()));
+            out
+        };
+        rayon::set_num_threads(1);
+        nadmm_linalg::set_par_threshold(usize::MAX);
+        let reference = run();
+        for width in [2, 3, 8] {
+            rayon::set_num_threads(width);
+            for threshold in [0, usize::MAX] {
+                nadmm_linalg::set_par_threshold(threshold);
+                assert_eq!(run(), reference, "width={width} threshold={threshold}");
+            }
+        }
+        nadmm_linalg::reset_par_threshold();
+        rayon::reset_num_threads();
+    }
 }

@@ -1,9 +1,15 @@
 //! Row-major dense matrix with rayon-parallel kernels.
+//!
+//! Every kernel is bit-identical across thread counts and across the
+//! `NADMM_PAR_THRESHOLD` cutover: gather-style kernels (`Ax`, `A·Bᵀ`) write
+//! each output element from the same row arithmetic on both paths, and
+//! scatter-style kernels (`Aᵀx`, `AᵀB`) reduce through the canonical chunk
+//! layout via [`crate::scatter_rows`].
 
 use crate::error::{LinalgError, Result};
 use crate::vector;
+use crate::vector::SendMutPtr;
 
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// A row-major dense matrix of `f64` values.
@@ -221,15 +227,15 @@ impl DenseMatrix {
                 y.len()
             )));
         }
-        if self.data.len() < crate::par_threshold() {
-            for (i, yi) in y.iter_mut().enumerate() {
+        let yp = SendMutPtr(y.as_mut_ptr());
+        rayon::det::run(self.rows, 1, self.data.len() >= crate::par_threshold(), |s, e| {
+            // SAFETY: canonical chunks are disjoint row ranges, so each
+            // closure call owns its span of `y` exclusively.
+            let yc = unsafe { std::slice::from_raw_parts_mut(yp.get().add(s), e - s) };
+            for (i, yi) in (s..e).zip(yc) {
                 *yi = vector::dot(self.row(i), x);
             }
-        } else {
-            y.par_iter_mut().enumerate().for_each(|(i, yi)| {
-                *yi = vector::dot_kernel(self.row(i), x);
-            });
-        }
+        });
         Ok(())
     }
 
@@ -244,8 +250,9 @@ impl DenseMatrix {
     }
 
     /// In-place transposed matrix–vector product `y = Aᵀ x` (the core that
-    /// [`DenseMatrix::t_matvec`] wraps). The sequential path below the
-    /// parallel threshold accumulates directly into `y` with no scratch.
+    /// [`DenseMatrix::t_matvec`] wraps). Reduces through the canonical row
+    /// chunking (see [`crate::scatter_rows`]); the single-chunk case
+    /// accumulates directly into `y` with no scratch.
     ///
     /// # Errors
     /// Returns [`LinalgError::ShapeMismatch`] if `x.len() != rows` or
@@ -260,38 +267,18 @@ impl DenseMatrix {
                 y.len()
             )));
         }
-        if self.data.len() < crate::par_threshold() {
-            vector::fill(y, 0.0);
-            for (i, &xi) in x.iter().enumerate() {
-                vector::axpy(xi, self.row(i), y);
-            }
-            Ok(())
-        } else {
-            // Parallel over row chunks with thread-local accumulators.
-            let cols = self.cols;
-            let chunk = (self.rows / rayon::current_num_threads().max(1)).max(64);
-            let acc = self
-                .data
-                .par_chunks(chunk * cols)
-                .enumerate()
-                .map(|(ci, block)| {
-                    let mut acc = vec![0.0; cols];
-                    let base = ci * chunk;
-                    for (r, row) in block.chunks_exact(cols).enumerate() {
-                        vector::axpy(x[base + r], row, &mut acc);
-                    }
-                    acc
-                })
-                .reduce(
-                    || vec![0.0; cols],
-                    |mut a, b| {
-                        vector::add_assign(&mut a, &b);
-                        a
-                    },
-                );
-            y.copy_from_slice(&acc);
-            Ok(())
-        }
+        crate::scatter_rows(
+            self.rows,
+            crate::ROW_CHUNK,
+            self.data.len() >= crate::par_threshold(),
+            y,
+            |dst, s, e| {
+                for (i, &xi) in (s..e).zip(&x[s..e]) {
+                    vector::axpy(xi, self.row(i), dst);
+                }
+            },
+        );
+        Ok(())
     }
 
     /// General matrix–matrix product `C = A · B`.
@@ -307,13 +294,22 @@ impl DenseMatrix {
         }
         let mut out = DenseMatrix::zeros(self.rows, b.cols);
         let bcols = b.cols;
-        out.data.par_chunks_mut(bcols).enumerate().for_each(|(i, out_row)| {
-            let arow = self.row(i);
-            for (k, &aik) in arow.iter().enumerate() {
-                if aik != 0.0 {
-                    let brow = b.row(k);
-                    for (j, bv) in brow.iter().enumerate() {
-                        out_row[j] += aik * bv;
+        if out.data.is_empty() {
+            return Ok(out);
+        }
+        let use_pool = self.data.len().max(b.data.len()).max(out.data.len()) >= crate::par_threshold();
+        let op = SendMutPtr(out.data.as_mut_ptr());
+        rayon::det::run(self.rows, 1, use_pool, |s, e| {
+            // SAFETY: canonical chunks are disjoint row ranges of `out`.
+            let block = unsafe { std::slice::from_raw_parts_mut(op.get().add(s * bcols), (e - s) * bcols) };
+            for (i, out_row) in (s..e).zip(block.chunks_exact_mut(bcols)) {
+                let arow = self.row(i);
+                for (k, &aik) in arow.iter().enumerate() {
+                    if aik != 0.0 {
+                        let brow = b.row(k);
+                        for (j, bv) in brow.iter().enumerate() {
+                            out_row[j] += aik * bv;
+                        }
                     }
                 }
             }
@@ -346,10 +342,19 @@ impl DenseMatrix {
             )));
         }
         let brows = b.rows;
-        out.data.par_chunks_mut(brows).enumerate().for_each(|(i, out_row)| {
-            let arow = self.row(i);
-            for (j, oj) in out_row.iter_mut().enumerate() {
-                *oj = vector::dot_kernel(arow, b.row(j));
+        if out.data.is_empty() {
+            return Ok(());
+        }
+        let use_pool = self.data.len().max(b.data.len()).max(out.data.len()) >= crate::par_threshold();
+        let op = SendMutPtr(out.data.as_mut_ptr());
+        rayon::det::run(self.rows, 1, use_pool, |s, e| {
+            // SAFETY: canonical chunks are disjoint row ranges of `out`.
+            let block = unsafe { std::slice::from_raw_parts_mut(op.get().add(s * brows), (e - s) * brows) };
+            for (i, out_row) in (s..e).zip(block.chunks_exact_mut(brows)) {
+                let arow = self.row(i);
+                for (j, oj) in out_row.iter_mut().enumerate() {
+                    *oj = vector::dot(arow, b.row(j));
+                }
             }
         });
         Ok(())
@@ -366,9 +371,10 @@ impl DenseMatrix {
     }
 
     /// In-place `C = Aᵀ · B` writing into a pre-sized `out` (the core that
-    /// [`DenseMatrix::gemm_tn`] wraps). Below the parallel threshold the
-    /// accumulation runs directly into `out` with no scratch allocations —
-    /// this is the gradient/HVP reduction kernel of the solver hot loop.
+    /// [`DenseMatrix::gemm_tn`] wraps). Reduces through the canonical row
+    /// chunking (see [`crate::scatter_rows`]); the single-chunk case — which
+    /// covers the solver hot loop's gradient/HVP reductions — accumulates
+    /// directly into `out` with no scratch allocations.
     ///
     /// # Errors
     /// Returns [`LinalgError::ShapeMismatch`] if `A.rows != B.rows` or `out`
@@ -380,53 +386,27 @@ impl DenseMatrix {
                 self.rows, self.cols, b.rows, b.cols, out.rows, out.cols
             )));
         }
-        let m = self.cols;
         let n = b.cols;
-        if self.data.len().max(b.data.len()) < crate::par_threshold() {
-            vector::fill(&mut out.data, 0.0);
-            for r in 0..self.rows {
-                let arow = self.row(r);
-                let brow = b.row(r);
-                for (k, &av) in arow.iter().enumerate() {
-                    if av != 0.0 {
-                        let dst = &mut out.data[k * n..(k + 1) * n];
-                        for (j, bv) in brow.iter().enumerate() {
-                            dst[j] += av * bv;
-                        }
-                    }
-                }
-            }
-            return Ok(());
-        }
-        let nthreads = rayon::current_num_threads().max(1);
-        let chunk = (self.rows / nthreads).max(64);
-        let row_ranges: Vec<(usize, usize)> = (0..self.rows).step_by(chunk).map(|s| (s, (s + chunk).min(self.rows))).collect();
-        let acc = row_ranges
-            .into_par_iter()
-            .map(|(s, e)| {
-                let mut local = vec![0.0; m * n];
+        crate::scatter_rows(
+            self.rows,
+            crate::ROW_CHUNK,
+            self.data.len().max(b.data.len()) >= crate::par_threshold(),
+            &mut out.data,
+            |dst, s, e| {
                 for r in s..e {
                     let arow = self.row(r);
                     let brow = b.row(r);
                     for (k, &av) in arow.iter().enumerate() {
                         if av != 0.0 {
-                            let dst = &mut local[k * n..(k + 1) * n];
+                            let row_dst = &mut dst[k * n..(k + 1) * n];
                             for (j, bv) in brow.iter().enumerate() {
-                                dst[j] += av * bv;
+                                row_dst[j] += av * bv;
                             }
                         }
                     }
                 }
-                local
-            })
-            .reduce(
-                || vec![0.0; m * n],
-                |mut a, bvec| {
-                    vector::add_assign(&mut a, &bvec);
-                    a
-                },
-            );
-        out.data.copy_from_slice(&acc);
+            },
+        );
         Ok(())
     }
 

@@ -41,7 +41,13 @@ use std::sync::OnceLock;
 
 /// Default rayon cutover threshold when neither the environment variable nor
 /// [`set_par_threshold`] overrides it.
-pub const DEFAULT_PAR_THRESHOLD: usize = 16 * 1024;
+///
+/// Tuned from the `parallel` bench: one pooled dispatch costs ~1.5µs with
+/// workers engaged (`dispatch_overhead/ns` in `BENCH_kernels.json`), and the
+/// sequential `dot` kernel moves ~2 elements/ns, so a region needs ~32k
+/// scalar elements before the launch overhead falls under ~10% of the
+/// region's work. Below this, inline execution wins at any width.
+pub const DEFAULT_PAR_THRESHOLD: usize = 32 * 1024;
 
 /// Environment variable overriding the rayon cutover threshold.
 pub const PAR_THRESHOLD_ENV: &str = "NADMM_PAR_THRESHOLD";
@@ -102,6 +108,52 @@ pub fn set_par_threshold(threshold: usize) {
 /// default resolution.
 pub fn reset_par_threshold() {
     PAR_THRESHOLD_OVERRIDDEN.store(false, Ordering::Relaxed);
+}
+
+/// Canonical row granularity for scatter-style kernels (`Aᵀx`, `AᵀB`): rows
+/// are cut into chunks of multiples of this many rows, each chunk reduced
+/// into its own partial accumulator.
+pub(crate) const ROW_CHUNK: usize = 256;
+
+/// Shared scatter-accumulate driver for `Aᵀx` / `AᵀB`-shaped kernels:
+/// `eval_into(dst, s, e)` must *accumulate* the contribution of rows `s..e`
+/// into `dst`. The canonical contract: each chunk of the
+/// [`rayon::det::layout`] for `(items, grain)` produces a partial starting
+/// from exact zeros, and partials fold into `out` left-to-right in chunk
+/// order — so bits never depend on the thread count or the threshold. The
+/// single-chunk case accumulates straight into `out` with no scratch (the
+/// zero-allocation warm path; bitwise the same because `out` is zero-filled
+/// exactly like a fresh partial).
+pub(crate) fn scatter_rows<E>(items: usize, grain: usize, use_pool: bool, out: &mut [f64], eval_into: E)
+where
+    E: Fn(&mut [f64], usize, usize) + Sync,
+{
+    let (_, num_chunks) = rayon::det::layout(items, grain);
+    vector::fill(out, 0.0);
+    if num_chunks == 0 {
+        return;
+    }
+    if num_chunks == 1 {
+        eval_into(out, 0, items);
+        return;
+    }
+    let width = out.len();
+    let acc = rayon::det::fold(
+        items,
+        grain,
+        use_pool,
+        |s, e| {
+            let mut local = vec![0.0; width];
+            eval_into(&mut local, s, e);
+            local
+        },
+        |mut a, b| {
+            vector::add_assign(&mut a, &b);
+            a
+        },
+    )
+    .expect("scatter_rows: non-empty input must yield a partial");
+    out.copy_from_slice(&acc);
 }
 
 #[cfg(test)]

@@ -7,8 +7,6 @@
 //! These helpers implement exactly that formulation (with the implicit 0
 //! margin of the reference class) plus generic log-sum-exp / softmax kernels.
 
-use rayon::prelude::*;
-
 /// Log-sum-exp over the given values *including an implicit extra zero term*:
 /// computes `log(1 + Σ exp(v_i))` stably, following the paper's Eq. (9)–(10).
 pub fn log1p_sum_exp(values: &[f64]) -> f64 {
@@ -69,13 +67,18 @@ pub fn softmax_in_place(values: &mut [f64]) {
     }
 }
 
-/// Parallel sum of per-row results of `f` over `0..n`.
+/// Parallel sum of per-row results of `f` over `0..n`, reduced in the
+/// canonical chunk order (bit-identical across thread counts and across the
+/// `NADMM_PAR_THRESHOLD` cutover).
 pub fn par_sum_over(n: usize, f: impl Fn(usize) -> f64 + Sync + Send) -> f64 {
-    if n < 4096 {
-        (0..n).map(f).sum()
-    } else {
-        (0..n).into_par_iter().map(f).sum()
-    }
+    rayon::det::fold(
+        n,
+        crate::vector::REDUCE_CHUNK,
+        n >= crate::par_threshold(),
+        |s, e| (s..e).map(&f).sum::<f64>(),
+        |a, b| a + b,
+    )
+    .unwrap_or(0.0)
 }
 
 /// Index of the maximum element; ties broken by the lowest index. Returns

@@ -9,7 +9,7 @@
 use crate::dense::DenseMatrix;
 use crate::error::{LinalgError, Result};
 use crate::vector;
-use rayon::prelude::*;
+use crate::vector::SendMutPtr;
 use serde::{Deserialize, Serialize};
 
 /// Compressed sparse row matrix.
@@ -172,9 +172,14 @@ impl CsrMatrix {
                 y.len()
             )));
         }
-        y.par_iter_mut().enumerate().for_each(|(i, yi)| {
-            let (cols, vals) = self.row(i);
-            *yi = vector::gather_dot(cols, vals, x);
+        let yp = SendMutPtr(y.as_mut_ptr());
+        rayon::det::run(self.rows, 1, self.nnz() >= crate::par_threshold(), |s, e| {
+            // SAFETY: canonical chunks are disjoint row ranges of `y`.
+            let yc = unsafe { std::slice::from_raw_parts_mut(yp.get().add(s), e - s) };
+            for (i, yi) in (s..e).zip(yc) {
+                let (cols, vals) = self.row(i);
+                *yi = vector::gather_dot(cols, vals, x);
+            }
         });
         Ok(())
     }
@@ -190,8 +195,9 @@ impl CsrMatrix {
     }
 
     /// In-place transposed sparse matrix–vector product `y = Aᵀ x` (the core
-    /// that [`CsrMatrix::t_matvec`] wraps). Below the parallel threshold the
-    /// scatter runs directly into `y` with no scratch allocations.
+    /// that [`CsrMatrix::t_matvec`] wraps). Reduces through the canonical row
+    /// chunking (see [`crate::scatter_rows`]); the single-chunk case scatters
+    /// directly into `y` with no scratch allocations.
     ///
     /// # Errors
     /// Returns [`LinalgError::ShapeMismatch`] if `x.len() != rows` or
@@ -206,43 +212,22 @@ impl CsrMatrix {
                 y.len()
             )));
         }
-        if self.nnz() < crate::par_threshold() {
-            vector::fill(y, 0.0);
-            for (i, &xi) in x.iter().enumerate() {
-                let (cols, vals) = self.row(i);
-                if xi != 0.0 {
-                    for (&c, &v) in cols.iter().zip(vals) {
-                        y[c] += v * xi;
-                    }
-                }
-            }
-            return Ok(());
-        }
-        let nthreads = rayon::current_num_threads().max(1);
-        let chunk = (self.rows / nthreads).max(256);
-        let ranges: Vec<(usize, usize)> = (0..self.rows).step_by(chunk).map(|s| (s, (s + chunk).min(self.rows))).collect();
-        let acc = ranges
-            .into_par_iter()
-            .map(|(s, e)| {
-                let mut acc = vec![0.0; self.cols];
-                for (i, &xi) in x.iter().enumerate().take(e).skip(s) {
-                    let (cols, vals) = self.row(i);
+        crate::scatter_rows(
+            self.rows,
+            crate::ROW_CHUNK,
+            self.nnz() >= crate::par_threshold(),
+            y,
+            |dst, s, e| {
+                for (i, &xi) in (s..e).zip(&x[s..e]) {
                     if xi != 0.0 {
+                        let (cols, vals) = self.row(i);
                         for (&c, &v) in cols.iter().zip(vals) {
-                            acc[c] += v * xi;
+                            dst[c] += v * xi;
                         }
                     }
                 }
-                acc
-            })
-            .reduce(
-                || vec![0.0; self.cols],
-                |mut a, b| {
-                    vector::add_assign(&mut a, &b);
-                    a
-                },
-            );
-        y.copy_from_slice(&acc);
+            },
+        );
         Ok(())
     }
 
@@ -276,10 +261,19 @@ impl CsrMatrix {
             )));
         }
         let brows = b.rows();
-        out.as_mut_slice().par_chunks_mut(brows).enumerate().for_each(|(i, out_row)| {
-            let (cols, vals) = self.row(i);
-            for (j, oj) in out_row.iter_mut().enumerate() {
-                *oj = vector::gather_dot(cols, vals, b.row(j));
+        if out.as_slice().is_empty() {
+            return Ok(());
+        }
+        let use_pool = self.nnz().max(b.len()).max(out.len()) >= crate::par_threshold();
+        let op = SendMutPtr(out.as_mut_slice().as_mut_ptr());
+        rayon::det::run(self.rows, 1, use_pool, |s, e| {
+            // SAFETY: canonical chunks are disjoint row ranges of `out`.
+            let block = unsafe { std::slice::from_raw_parts_mut(op.get().add(s * brows), (e - s) * brows) };
+            for (i, out_row) in (s..e).zip(block.chunks_exact_mut(brows)) {
+                let (cols, vals) = self.row(i);
+                for (j, oj) in out_row.iter_mut().enumerate() {
+                    *oj = vector::gather_dot(cols, vals, b.row(j));
+                }
             }
         });
         Ok(())
@@ -298,8 +292,9 @@ impl CsrMatrix {
     }
 
     /// In-place `C = Mᵀ · A`, writing into a pre-sized dense `out` (the core
-    /// that [`CsrMatrix::gemm_tn_from_dense`] wraps). Below the parallel
-    /// threshold the scatter runs directly into `out` with no scratch.
+    /// that [`CsrMatrix::gemm_tn_from_dense`] wraps). Reduces through the
+    /// canonical row chunking (see [`crate::scatter_rows`]); the single-chunk
+    /// case scatters directly into `out` with no scratch.
     ///
     /// # Errors
     /// Returns [`LinalgError::ShapeMismatch`] if `M.rows != A.rows` or `out`
@@ -316,52 +311,26 @@ impl CsrMatrix {
                 out.cols()
             )));
         }
-        let k = m.cols();
-        if self.nnz().max(m.len()) < crate::par_threshold() {
-            vector::fill(out.as_mut_slice(), 0.0);
-            for i in 0..self.rows {
-                let (cols, vals) = self.row(i);
-                let mrow = m.row(i);
-                for (c_idx, &mv) in mrow.iter().enumerate() {
-                    if mv != 0.0 {
-                        let dst = &mut out.as_mut_slice()[c_idx * self.cols..(c_idx + 1) * self.cols];
-                        for (&c, &v) in cols.iter().zip(vals) {
-                            dst[c] += mv * v;
-                        }
-                    }
-                }
-            }
-            return Ok(());
-        }
-        let nthreads = rayon::current_num_threads().max(1);
-        let chunk = (self.rows / nthreads).max(256);
-        let ranges: Vec<(usize, usize)> = (0..self.rows).step_by(chunk).map(|s| (s, (s + chunk).min(self.rows))).collect();
-        let acc = ranges
-            .into_par_iter()
-            .map(|(s, e)| {
-                let mut local = vec![0.0; k * self.cols];
+        crate::scatter_rows(
+            self.rows,
+            crate::ROW_CHUNK,
+            self.nnz().max(m.len()) >= crate::par_threshold(),
+            out.as_mut_slice(),
+            |dst, s, e| {
                 for i in s..e {
                     let (cols, vals) = self.row(i);
                     let mrow = m.row(i);
                     for (c_idx, &mv) in mrow.iter().enumerate() {
                         if mv != 0.0 {
-                            let dst = &mut local[c_idx * self.cols..(c_idx + 1) * self.cols];
+                            let row_dst = &mut dst[c_idx * self.cols..(c_idx + 1) * self.cols];
                             for (&c, &v) in cols.iter().zip(vals) {
-                                dst[c] += mv * v;
+                                row_dst[c] += mv * v;
                             }
                         }
                     }
                 }
-                local
-            })
-            .reduce(
-                || vec![0.0; k * self.cols],
-                |mut a, b| {
-                    vector::add_assign(&mut a, &b);
-                    a
-                },
-            );
-        out.as_mut_slice().copy_from_slice(&acc);
+            },
+        );
         Ok(())
     }
 

@@ -1,13 +1,36 @@
 //! BLAS-1 style kernels over `&[f64]` slices.
 //!
-//! All kernels have a sequential fast path for small inputs and a
-//! rayon-parallel path above [`crate::par_threshold()`] elements (runtime-configurable via `NADMM_PAR_THRESHOLD` or [`crate::set_par_threshold`]). Results are
-//! deterministic for the sequential path; the parallel reductions use a
-//! tree-shaped order which may differ from the sequential order by the usual
-//! floating-point round-off, which is acceptable for the optimizers built on
-//! top of them.
+//! All kernels run inline below [`crate::par_threshold()`] elements
+//! (runtime-configurable via `NADMM_PAR_THRESHOLD` or
+//! [`crate::set_par_threshold`]) and on the shared thread pool above it.
+//! Every reduction states its combine order once through the canonical chunk
+//! layout in [`rayon::det`] — a pure function of the input length, never of
+//! the thread count — and both the inline and pooled paths fold partials in
+//! that same chunk order. The threshold and `NADMM_THREADS` therefore change
+//! cost, never bits.
 
 use rayon::prelude::*;
+
+/// Canonical granularity (elements) for BLAS-1 reductions: large enough that
+/// a chunk amortizes dispatch, small enough to spread across workers.
+pub(crate) const REDUCE_CHUNK: usize = 4096;
+
+/// Raw mutable base pointer smuggled into a `Sync` chunk closure. Sound
+/// because canonical chunks are disjoint index ranges, so concurrent chunk
+/// bodies touch disjoint memory.
+pub(crate) struct SendMutPtr(pub(crate) *mut f64);
+unsafe impl Send for SendMutPtr {}
+unsafe impl Sync for SendMutPtr {}
+
+impl SendMutPtr {
+    /// Accessor (rather than direct field access) so closures capture the
+    /// `Sync` wrapper, not the raw pointer field (edition-2021 closures
+    /// capture individual fields).
+    #[inline]
+    pub(crate) fn get(&self) -> *mut f64 {
+        self.0
+    }
+}
 
 /// Unrolled sequential dot kernel: eight independent accumulators break the
 /// floating-point add dependency chain, which is the difference between
@@ -43,14 +66,14 @@ pub(crate) fn dot_kernel(x: &[f64], y: &[f64]) -> f64 {
 /// Panics if `x.len() != y.len()`.
 pub fn dot(x: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.len(), y.len(), "dot: length mismatch {} vs {}", x.len(), y.len());
-    if x.len() < crate::par_threshold() {
-        dot_kernel(x, y)
-    } else {
-        x.par_chunks(4096)
-            .zip(y.par_chunks(4096))
-            .map(|(cx, cy)| dot_kernel(cx, cy))
-            .sum()
-    }
+    rayon::det::fold(
+        x.len(),
+        REDUCE_CHUNK,
+        x.len() >= crate::par_threshold(),
+        |s, e| dot_kernel(&x[s..e], &y[s..e]),
+        |a, b| a + b,
+    )
+    .unwrap_or(0.0)
 }
 
 /// Unrolled gather-dot for sparse rows: `Σ values[i] · x[indices[i]]`.
@@ -85,11 +108,14 @@ pub fn norm2_sq(x: &[f64]) -> f64 {
 
 /// Infinity norm `‖x‖_∞`.
 pub fn norm_inf(x: &[f64]) -> f64 {
-    if x.len() < crate::par_threshold() {
-        x.iter().fold(0.0_f64, |acc, v| acc.max(v.abs()))
-    } else {
-        x.par_iter().map(|v| v.abs()).reduce(|| 0.0, f64::max)
-    }
+    rayon::det::fold(
+        x.len(),
+        REDUCE_CHUNK,
+        x.len() >= crate::par_threshold(),
+        |s, e| x[s..e].iter().fold(0.0_f64, |acc, v| acc.max(v.abs())),
+        f64::max,
+    )
+    .unwrap_or(0.0)
 }
 
 /// `y ← a·x + y` (classic AXPY).
@@ -107,43 +133,59 @@ pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
     }
 }
 
+/// One canonical chunk of [`axpy_dot`]: fused update + four-accumulator
+/// squared sum over a contiguous range.
+#[inline]
+fn axpy_dot_chunk(a: f64, x: &[f64], y: &mut [f64]) -> f64 {
+    let mut acc = [0.0f64; 4];
+    let mut yc = y.chunks_exact_mut(4);
+    let mut xc = x.chunks_exact(4);
+    for (cy, cx) in (&mut yc).zip(&mut xc) {
+        cy[0] += a * cx[0];
+        cy[1] += a * cx[1];
+        cy[2] += a * cx[2];
+        cy[3] += a * cx[3];
+        acc[0] += cy[0] * cy[0];
+        acc[1] += cy[1] * cy[1];
+        acc[2] += cy[2] * cy[2];
+        acc[3] += cy[3] * cy[3];
+    }
+    let mut tail = 0.0;
+    for (yi, xi) in yc.into_remainder().iter_mut().zip(xc.remainder()) {
+        *yi += a * xi;
+        tail += *yi * *yi;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+}
+
 /// Fused AXPY + squared norm: `y ← a·x + y`, returning `‖y‖₂²` of the
 /// updated `y` in the same pass. This is the CG residual-update kernel
 /// (`r ← r − α·Ap; ‖r‖²`) fused so the hot loop touches `r` once instead of
-/// twice. The sum uses four unrolled accumulators, so its rounding differs
-/// from the unfused [`axpy`] + [`norm2_sq`] pair by the usual reassociation
-/// noise; every CG path in the workspace routes through this one kernel, so
-/// solver results stay bit-identical across the allocating and in-place
-/// entry points.
+/// twice. The sum uses four unrolled accumulators per canonical chunk, so
+/// its rounding differs from the unfused [`axpy`] + [`norm2_sq`] pair by the
+/// usual reassociation noise; every CG path in the workspace routes through
+/// this one kernel, and the fused form runs on both sides of the parallel
+/// threshold, so solver results stay bit-identical across entry points,
+/// thresholds, and thread counts.
 ///
 /// # Panics
 /// Panics if `x.len() != y.len()`.
 pub fn axpy_dot(a: f64, x: &[f64], y: &mut [f64]) -> f64 {
     assert_eq!(x.len(), y.len(), "axpy_dot: length mismatch {} vs {}", x.len(), y.len());
-    if x.len() < crate::par_threshold() {
-        let mut acc = [0.0f64; 4];
-        let mut yc = y.chunks_exact_mut(4);
-        let mut xc = x.chunks_exact(4);
-        for (cy, cx) in (&mut yc).zip(&mut xc) {
-            cy[0] += a * cx[0];
-            cy[1] += a * cx[1];
-            cy[2] += a * cx[2];
-            cy[3] += a * cx[3];
-            acc[0] += cy[0] * cy[0];
-            acc[1] += cy[1] * cy[1];
-            acc[2] += cy[2] * cy[2];
-            acc[3] += cy[3] * cy[3];
-        }
-        let mut tail = 0.0;
-        for (yi, xi) in yc.into_remainder().iter_mut().zip(xc.remainder()) {
-            *yi += a * xi;
-            tail += *yi * *yi;
-        }
-        (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
-    } else {
-        axpy(a, x, y);
-        norm2_sq(y)
-    }
+    let yp = SendMutPtr(y.as_mut_ptr());
+    rayon::det::fold(
+        x.len(),
+        REDUCE_CHUNK,
+        x.len() >= crate::par_threshold(),
+        |s, e| {
+            // SAFETY: canonical chunks are disjoint, so each closure call
+            // owns its sub-slice of `y` exclusively.
+            let yc = unsafe { std::slice::from_raw_parts_mut(yp.get().add(s), e - s) };
+            axpy_dot_chunk(a, &x[s..e], yc)
+        },
+        |p, q| p + q,
+    )
+    .unwrap_or(0.0)
 }
 
 /// `y ← a·x + b·y`.
@@ -214,11 +256,14 @@ pub fn copy(src: &[f64], dst: &mut [f64]) {
 
 /// Sum of all elements.
 pub fn sum(x: &[f64]) -> f64 {
-    if x.len() < crate::par_threshold() {
-        x.iter().sum()
-    } else {
-        x.par_iter().sum()
-    }
+    rayon::det::fold(
+        x.len(),
+        REDUCE_CHUNK,
+        x.len() >= crate::par_threshold(),
+        |s, e| x[s..e].iter().sum::<f64>(),
+        |a, b| a + b,
+    )
+    .unwrap_or(0.0)
 }
 
 /// Arithmetic mean of all elements; `0.0` for an empty slice.

@@ -1,0 +1,179 @@
+//! Bit-identity proofs for the execution engine: every kernel must produce
+//! the **same bits** regardless of how many pool workers execute it and
+//! regardless of which side of the `NADMM_PAR_THRESHOLD` cutover it lands
+//! on. This is the determinism contract of the canonical-chunk combine
+//! order (`rayon::det`): chunk layout depends only on `(items, grain)`,
+//! partials combine left-to-right in chunk order, and the sequential
+//! fallback folds in exactly the same association.
+//!
+//! The tests sweep widths {1, 2, 3, 8} (non-power-of-two included) crossed
+//! with thresholds {0 = always pooled, MAX = always inline} and compare
+//! `f64::to_bits` of every output element against the width-1/inline
+//! reference. Shapes include empty, single-element, non-power-of-two, and
+//! multi-chunk (> one `ROW_CHUNK` / `REDUCE_CHUNK`) cases.
+
+use nadmm_linalg::{gen, vector, CsrMatrix, DenseMatrix};
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// Thread widths under test: sequential, even, odd, and oversubscribed
+/// relative to the container.
+const WIDTHS: [usize; 4] = [1, 2, 3, 8];
+
+/// Both sides of the par-threshold cutover: 0 forces every kernel through
+/// the pool dispatch path, `usize::MAX` forces the inline fold.
+const THRESHOLDS: [usize; 2] = [0, usize::MAX];
+
+/// Pool width and par-threshold are process-wide; the test binary runs test
+/// functions on concurrent threads, so every sweep holds this lock.
+static ENGINE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `f` under every (width, threshold) combination and asserts the
+/// returned bit-vector is identical to the width=1/inline reference.
+fn assert_bits_invariant(label: &str, f: impl Fn() -> Vec<u64>) {
+    let _guard = ENGINE_LOCK.lock().unwrap();
+    rayon::set_num_threads(1);
+    nadmm_linalg::set_par_threshold(usize::MAX);
+    let reference = f();
+    for &width in &WIDTHS {
+        rayon::set_num_threads(width);
+        for &threshold in &THRESHOLDS {
+            nadmm_linalg::set_par_threshold(threshold);
+            let got = f();
+            assert_eq!(
+                got, reference,
+                "{label}: bits diverged at width={width} threshold={threshold}"
+            );
+        }
+    }
+    nadmm_linalg::reset_par_threshold();
+    rayon::reset_num_threads();
+}
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Sparsifies a dense matrix (~half the entries zeroed, deterministically).
+fn sparsify(d: &DenseMatrix) -> CsrMatrix {
+    let mut m = d.clone();
+    for i in 0..m.rows() {
+        for j in 0..m.cols() {
+            if (i * 31 + j * 17) % 2 == 0 {
+                m.set(i, j, 0.0);
+            }
+        }
+    }
+    CsrMatrix::from_dense(&m)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn dense_kernels_are_bit_identical_across_widths(
+        rows in 1usize..40, cols in 1usize..24, bcols in 1usize..12, seed in 0u64..1000,
+    ) {
+        let mut rng = gen::seeded_rng(seed);
+        let a = gen::gaussian_matrix(rows, cols, &mut rng);
+        let b = gen::gaussian_matrix(bcols, cols, &mut rng); // for gemm_nt: A·Bᵀ
+        let c = gen::gaussian_matrix(cols, bcols, &mut rng); // for matmul: A·C
+        let x = gen::gaussian_vector(cols, &mut rng);
+        let y = gen::gaussian_vector(rows, &mut rng);
+        assert_bits_invariant("dense matvec", || bits(&a.matvec(&x).unwrap()));
+        assert_bits_invariant("dense t_matvec", || bits(&a.t_matvec(&y).unwrap()));
+        assert_bits_invariant("dense gemm_nt", || bits(a.gemm_nt(&b).unwrap().as_slice()));
+        assert_bits_invariant("dense gemm_tn", || bits(a.gemm_tn(&a).unwrap().as_slice()));
+        assert_bits_invariant("dense matmul", || bits(a.matmul(&c).unwrap().as_slice()));
+    }
+
+    #[test]
+    fn sparse_kernels_are_bit_identical_across_widths(
+        rows in 1usize..40, cols in 1usize..24, bcols in 1usize..12, seed in 0u64..1000,
+    ) {
+        let mut rng = gen::seeded_rng(seed);
+        let d = gen::gaussian_matrix(rows, cols, &mut rng);
+        let s = sparsify(&d);
+        let b = gen::gaussian_matrix(bcols, cols, &mut rng);
+        let m = gen::gaussian_matrix(rows, bcols, &mut rng);
+        let x = gen::gaussian_vector(cols, &mut rng);
+        let y = gen::gaussian_vector(rows, &mut rng);
+        assert_bits_invariant("sparse matvec", || bits(&s.matvec(&x).unwrap()));
+        assert_bits_invariant("sparse t_matvec", || bits(&s.t_matvec(&y).unwrap()));
+        assert_bits_invariant("sparse gemm_nt", || bits(s.gemm_nt(&b).unwrap().as_slice()));
+        assert_bits_invariant("sparse gemm_tn_from_dense", || {
+            bits(s.gemm_tn_from_dense(&m).unwrap().as_slice())
+        });
+    }
+
+    #[test]
+    fn blas1_kernels_are_bit_identical_across_widths(n in 1usize..200, seed in 0u64..1000) {
+        let mut rng = gen::seeded_rng(seed);
+        let x = gen::gaussian_vector(n, &mut rng);
+        let y = gen::gaussian_vector(n, &mut rng);
+        let a = 1.25;
+        assert_bits_invariant("dot", || vec![vector::dot(&x, &y).to_bits()]);
+        assert_bits_invariant("norm_inf", || vec![vector::norm_inf(&x).to_bits()]);
+        assert_bits_invariant("sum", || vec![vector::sum(&x).to_bits()]);
+        assert_bits_invariant("axpy", || {
+            let mut z = y.clone();
+            vector::axpy(a, &x, &mut z);
+            bits(&z)
+        });
+        assert_bits_invariant("axpy_dot", || {
+            let mut z = y.clone();
+            let d = vector::axpy_dot(a, &x, &mut z);
+            let mut out = bits(&z);
+            out.push(d.to_bits());
+            out
+        });
+        assert_bits_invariant("scale", || {
+            let mut z = x.clone();
+            vector::scale(a, &mut z);
+            bits(&z)
+        });
+        assert_bits_invariant("par_sum_over", || {
+            vec![nadmm_linalg::reduce::par_sum_over(n, |i| x[i] * x[i]).to_bits()]
+        });
+    }
+}
+
+#[test]
+fn empty_and_single_element_inputs_are_invariant() {
+    let empty: Vec<f64> = vec![];
+    let one = [std::f64::consts::PI];
+    assert_bits_invariant("dot empty", || vec![vector::dot(&empty, &empty).to_bits()]);
+    assert_bits_invariant("sum empty", || vec![vector::sum(&empty).to_bits()]);
+    assert_bits_invariant("norm_inf empty", || vec![vector::norm_inf(&empty).to_bits()]);
+    assert_bits_invariant("dot single", || vec![vector::dot(&one, &one).to_bits()]);
+    assert_bits_invariant("par_sum_over zero rows", || {
+        vec![nadmm_linalg::reduce::par_sum_over(0, |_| 1.0).to_bits()]
+    });
+    let a = DenseMatrix::zeros(0, 3);
+    let x: Vec<f64> = vec![1.0, 2.0, 3.0];
+    assert_bits_invariant("matvec zero rows", || bits(&a.matvec(&x).unwrap()));
+    assert_bits_invariant("t_matvec zero rows", || bits(&a.t_matvec(&[]).unwrap()));
+}
+
+/// A scatter kernel big enough to span several `ROW_CHUNK = 256` chunks, so
+/// the multi-partial combine path (not just the single-chunk fast path) is
+/// exercised, and a reduction long enough to span several
+/// `REDUCE_CHUNK = 4096` chunks.
+#[test]
+fn multi_chunk_shapes_are_bit_identical_across_widths() {
+    let mut rng = gen::seeded_rng(42);
+    let a = gen::gaussian_matrix(700, 9, &mut rng);
+    let y = gen::gaussian_vector(700, &mut rng);
+    assert_bits_invariant("t_matvec multi-chunk", || bits(&a.t_matvec(&y).unwrap()));
+    let s = sparsify(&a);
+    assert_bits_invariant("sparse t_matvec multi-chunk", || bits(&s.t_matvec(&y).unwrap()));
+
+    let n = 300_000usize; // ~73 REDUCE_CHUNKs — more chunks than MAX_SLOTS pre-rounding
+    let x: Vec<f64> = (0..n)
+        .map(|i| ((i.wrapping_mul(2654435761)) % 1000) as f64 * 1e-3 - 0.5)
+        .collect();
+    let z: Vec<f64> = (0..n).map(|i| ((i.wrapping_mul(40503)) % 997) as f64 * 1e-3).collect();
+    assert_bits_invariant("dot multi-chunk", || vec![vector::dot(&x, &z).to_bits()]);
+    assert_bits_invariant("sum multi-chunk", || vec![vector::sum(&x).to_bits()]);
+    assert_bits_invariant("norm_inf multi-chunk", || vec![vector::norm_inf(&x).to_bits()]);
+}

@@ -29,6 +29,17 @@ impl<T> Mutex<T> {
         }
     }
 
+    /// Attempts the lock without blocking; `None` means another thread holds
+    /// it. Matches parking_lot's `try_lock` (modulo its `Option` vs our
+    /// poison-recovering behaviour, which is invisible to callers).
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::Poisoned(poisoned)) => Some(poisoned.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     pub fn into_inner(self) -> T {
         match self.inner.into_inner() {
             Ok(v) => v,
@@ -96,6 +107,16 @@ mod tests {
         let m = Mutex::new(5);
         *m.lock() += 1;
         assert_eq!(*m.lock(), 6);
+    }
+
+    #[test]
+    fn try_lock_reports_contention() {
+        let m = Mutex::new(1);
+        let g = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(g);
+        let g2 = m.try_lock().expect("uncontended try_lock must succeed");
+        assert_eq!(*g2, 1);
     }
 
     #[test]

@@ -1,0 +1,201 @@
+//! The canonical-chunk determinism contract.
+//!
+//! **This module is a workspace extension, not part of real rayon's API.**
+//! It exists so the kernels in `nadmm-linalg` can state their reduction
+//! order once and get the same bits from the sequential fallback, the
+//! width-1 pool, and an N-thread pool. If real rayon ever replaces this
+//! shim, the kernels keep compiling only if these helpers move with them
+//! (they depend on nothing but `std` and [`crate::pool`]).
+//!
+//! ## The contract
+//!
+//! A reduction over `items` elements with granularity `grain` is split into
+//! at most [`MAX_SLOTS`] contiguous chunks whose layout is a **pure function
+//! of `(items, grain)`** — never of the thread count, the pool width, or
+//! which thread runs which chunk ([`layout`]). Each chunk is evaluated
+//! left-to-right internally, and chunk results are combined left-to-right in
+//! chunk-index order. Parallel execution only changes *who* evaluates a
+//! chunk, never the association of the combine tree, so results are
+//! bit-identical under `NADMM_THREADS ∈ {1, …, 64}` and under any
+//! `NADMM_PAR_THRESHOLD`.
+
+use crate::pool;
+use std::cell::UnsafeCell;
+
+/// Maximum number of chunks a canonical reduction is split into. 64 chunks
+/// saturate [`pool::MAX_THREADS`] workers while keeping the partial-result
+/// slots small enough to live on the dispatcher's stack (no heap allocation
+/// on the warm path).
+pub const MAX_SLOTS: usize = 64;
+
+/// Canonical chunk layout: returns `(chunk_len, num_chunks)` for a reduction
+/// over `items` elements that must only be cut at multiples of `grain`.
+/// Pure in `(items, grain)`; `num_chunks <= MAX_SLOTS` always holds.
+pub fn layout(items: usize, grain: usize) -> (usize, usize) {
+    if items == 0 {
+        return (0, 0);
+    }
+    let grain = grain.max(1);
+    let units = items.div_ceil(grain);
+    let chunk_len = units.div_ceil(MAX_SLOTS) * grain;
+    let num_chunks = items.div_ceil(chunk_len);
+    (chunk_len, num_chunks)
+}
+
+/// Fixed-capacity partial-result slots living on the dispatcher's stack.
+/// Each chunk index writes only its own slot, so concurrent writes are
+/// disjoint by construction.
+struct Slots<T>([UnsafeCell<Option<T>>; MAX_SLOTS]);
+
+// SAFETY: every slot is written by exactly one chunk index and read only
+// after the pool job completed (a happens-before edge via the pool's state
+// mutex), so the cells are never aliased mutably.
+unsafe impl<T: Send> Sync for Slots<T> {}
+
+impl<T> Slots<T> {
+    fn new() -> Self {
+        Self([const { UnsafeCell::new(None) }; MAX_SLOTS])
+    }
+
+    /// SAFETY: each index must be written at most once, by one thread.
+    unsafe fn put(&self, i: usize, v: T) {
+        *self.0[i].get() = Some(v);
+    }
+
+    /// SAFETY: only call after all writers finished.
+    unsafe fn take(&self, i: usize) -> T {
+        (*self.0[i].get()).take().expect("canonical chunk slot never filled")
+    }
+}
+
+/// Canonically folds `eval` over `0..items`: `eval(start, end)` is called
+/// once per chunk of the [`layout`] for `(items, grain)`, and the results
+/// are combined left-to-right in chunk order. Returns `None` when
+/// `items == 0`.
+///
+/// `use_pool = false` runs everything inline with the **same association**,
+/// so a `NADMM_PAR_THRESHOLD` gate in the caller changes cost, never bits.
+pub fn fold<T, E, C>(items: usize, grain: usize, use_pool: bool, eval: E, mut combine: C) -> Option<T>
+where
+    T: Send,
+    E: Fn(usize, usize) -> T + Sync,
+    C: FnMut(T, T) -> T,
+{
+    // Resolve the width unconditionally: a garbage `NADMM_THREADS` must
+    // panic loudly on the first kernel call, not only once a region happens
+    // to clear the par-threshold gate.
+    let width = pool::current_num_threads();
+    let (chunk_len, num_chunks) = layout(items, grain);
+    if num_chunks == 0 {
+        return None;
+    }
+    if !use_pool || num_chunks == 1 || width <= 1 {
+        let mut acc = eval(0, chunk_len.min(items));
+        for c in 1..num_chunks {
+            let s = c * chunk_len;
+            acc = combine(acc, eval(s, (s + chunk_len).min(items)));
+        }
+        return Some(acc);
+    }
+    let slots = Slots::<T>::new();
+    pool::run(num_chunks, &|c| {
+        let s = c * chunk_len;
+        let v = eval(s, (s + chunk_len).min(items));
+        unsafe { slots.put(c, v) };
+    });
+    let mut acc = unsafe { slots.take(0) };
+    for c in 1..num_chunks {
+        acc = combine(acc, unsafe { slots.take(c) });
+    }
+    Some(acc)
+}
+
+/// Runs `eval(start, end)` over every chunk of the [`layout`] for
+/// `(items, grain)`, in any order (the side-effect form of [`fold`] for
+/// element-wise kernels whose writes are disjoint).
+pub fn run<E>(items: usize, grain: usize, use_pool: bool, eval: E)
+where
+    E: Fn(usize, usize) + Sync,
+{
+    let width = pool::current_num_threads();
+    let (chunk_len, num_chunks) = layout(items, grain);
+    if num_chunks == 0 {
+        return;
+    }
+    if !use_pool || num_chunks == 1 || width <= 1 {
+        for c in 0..num_chunks {
+            let s = c * chunk_len;
+            eval(s, (s + chunk_len).min(items));
+        }
+        return;
+    }
+    pool::run(num_chunks, &|c| {
+        let s = c * chunk_len;
+        eval(s, (s + chunk_len).min(items));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_is_pure_and_bounded() {
+        for items in [0usize, 1, 2, 63, 64, 65, 4096, 4097, 100_000, 1_000_000] {
+            for grain in [1usize, 7, 256, 4096] {
+                let (chunk_len, num_chunks) = layout(items, grain);
+                assert_eq!((chunk_len, num_chunks), layout(items, grain));
+                if items == 0 {
+                    assert_eq!(num_chunks, 0);
+                    continue;
+                }
+                assert!(num_chunks <= MAX_SLOTS, "items={items} grain={grain}");
+                assert!(chunk_len % grain.max(1) == 0 || num_chunks == 1);
+                // Chunks cover exactly [0, items).
+                assert!(chunk_len * (num_chunks - 1) < items);
+                assert!(chunk_len * num_chunks >= items);
+            }
+        }
+    }
+
+    #[test]
+    fn fold_is_bit_identical_inline_and_pooled() {
+        let _w = crate::pool::TEST_WIDTH_LOCK.lock();
+        let xs: Vec<f64> = (0..100_000).map(|i| ((i * 37) % 1013) as f64 * 0.123 - 40.0).collect();
+        let eval = |s: usize, e: usize| xs[s..e].iter().sum::<f64>();
+        let inline = fold(xs.len(), 4096, false, eval, |a, b| a + b).unwrap();
+        for threads in [1usize, 2, 3, 8] {
+            crate::pool::set_num_threads(threads);
+            let pooled = fold(xs.len(), 4096, true, eval, |a, b| a + b).unwrap();
+            assert_eq!(
+                pooled.to_bits(),
+                inline.to_bits(),
+                "threads={threads}: pooled fold must be bit-identical to inline"
+            );
+        }
+        crate::pool::reset_num_threads();
+    }
+
+    #[test]
+    fn fold_empty_is_none_and_single_chunk_is_flat() {
+        assert_eq!(fold(0, 16, true, |_, _| 1.0f64, |a, b| a + b), None);
+        // items <= grain: one chunk, eval sees the whole range.
+        let got = fold(10, 4096, true, |s, e| (s, e), |a, _| a).unwrap();
+        assert_eq!(got, (0, 10));
+    }
+
+    #[test]
+    fn run_covers_every_index_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let _w = crate::pool::TEST_WIDTH_LOCK.lock();
+        crate::pool::set_num_threads(4);
+        let hits: Vec<AtomicUsize> = (0..10_000).map(|_| AtomicUsize::new(0)).collect();
+        run(hits.len(), 1, true, |s, e| {
+            for h in &hits[s..e] {
+                h.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        crate::pool::reset_num_threads();
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+}

@@ -1,0 +1,462 @@
+//! Parallel iterators over slices, chunks and ranges, driven by the pool.
+//!
+//! The design mirrors rayon's split between *indexed* parallel iterators and
+//! plain ones: a [`Producer`] gives random access to its items (slices,
+//! chunks, ranges, and their `map`/`zip`/`enumerate` compositions), and the
+//! consumers (`for_each`, `sum`, `reduce`, …) drive it through the canonical
+//! chunk layout in [`crate::det`]. `filter` loses random access — exactly
+//! like losing `IndexedParallelIterator` in rayon — and returns a
+//! [`FilterIter`] with the reduced consumer set.
+
+use crate::det;
+use std::cell::UnsafeCell;
+use std::marker::PhantomData;
+
+/// Random access to the items of a parallel iterator.
+///
+/// # Safety
+/// Implementations must tolerate `get` being called from multiple threads
+/// for *distinct* indices concurrently. Callers must call `get` at most once
+/// per index per traversal (producers may hand out `&mut` references or move
+/// values out).
+#[allow(clippy::len_without_is_empty)]
+pub unsafe trait Producer: Sync {
+    type Item;
+    fn len(&self) -> usize;
+    /// # Safety
+    /// `i < self.len()`, and each index is fetched at most once per
+    /// traversal, never concurrently with the same index.
+    unsafe fn get(&self, i: usize) -> Self::Item;
+}
+
+/// A parallel iterator: a producer plus the minimum chunk granularity fed to
+/// the canonical layout (`with_min_len`).
+pub struct ParIter<P> {
+    p: P,
+    min_len: usize,
+}
+
+impl<P: Producer> ParIter<P> {
+    pub(crate) fn new(p: P) -> Self {
+        ParIter { p, min_len: 1 }
+    }
+
+    pub fn map<B, F: Fn(P::Item) -> B + Sync>(self, f: F) -> ParIter<Map<P, F>> {
+        ParIter {
+            p: Map { p: self.p, f },
+            min_len: self.min_len,
+        }
+    }
+
+    pub fn zip<Q: Producer>(self, other: ParIter<Q>) -> ParIter<Zip<P, Q>> {
+        ParIter {
+            p: Zip { a: self.p, b: other.p },
+            min_len: self.min_len.max(other.min_len),
+        }
+    }
+
+    pub fn enumerate(self) -> ParIter<Enumerate<P>> {
+        ParIter {
+            p: Enumerate { p: self.p },
+            min_len: self.min_len,
+        }
+    }
+
+    /// Sets the minimum number of items a chunk may hold. This genuinely
+    /// bounds the canonical layout's granularity (chunk boundaries fall on
+    /// multiples of the largest `with_min_len` seen), matching rayon's
+    /// contract that splits never go below `min_len` items.
+    pub fn with_min_len(mut self, len: usize) -> Self {
+        self.min_len = self.min_len.max(len.max(1));
+        self
+    }
+
+    pub fn filter<F: Fn(&P::Item) -> bool + Sync>(self, pred: F) -> FilterIter<P, F> {
+        FilterIter {
+            p: self.p,
+            pred,
+            min_len: self.min_len,
+        }
+    }
+
+    pub fn for_each<F: Fn(P::Item) + Sync>(self, f: F) {
+        let p = self.p;
+        det::run(p.len(), self.min_len, true, |s, e| {
+            for i in s..e {
+                f(unsafe { p.get(i) });
+            }
+        });
+    }
+
+    /// Canonical-order sum: chunk partials are combined left-to-right in
+    /// chunk-index order, so the bits never depend on the pool width.
+    pub fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<P::Item> + std::ops::Add<Output = S>,
+    {
+        let p = self.p;
+        det::fold(
+            p.len(),
+            self.min_len,
+            true,
+            |s, e| (s..e).map(|i| unsafe { p.get(i) }).sum::<S>(),
+            |a, b| a + b,
+        )
+        .unwrap_or_else(|| std::iter::empty::<P::Item>().sum())
+    }
+
+    /// Rayon-style reduce with an identity constructor; chunk partials fold
+    /// left-to-right in chunk-index order.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> P::Item
+    where
+        P::Item: Send,
+        ID: Fn() -> P::Item + Sync,
+        OP: Fn(P::Item, P::Item) -> P::Item + Sync,
+    {
+        let p = self.p;
+        det::fold(
+            p.len(),
+            self.min_len,
+            true,
+            |s, e| {
+                let mut acc = identity();
+                for i in s..e {
+                    acc = op(acc, unsafe { p.get(i) });
+                }
+                acc
+            },
+            &op,
+        )
+        .unwrap_or_else(&identity)
+    }
+
+    /// Sequential in-order collect (collection construction cannot be
+    /// parallelized without intermediate allocations anyway).
+    pub fn collect<C: FromIterator<P::Item>>(self) -> C {
+        let p = self.p;
+        (0..p.len()).map(|i| unsafe { p.get(i) }).collect()
+    }
+
+    pub fn max_by<F: FnMut(&P::Item, &P::Item) -> std::cmp::Ordering>(self, mut f: F) -> Option<P::Item> {
+        let p = self.p;
+        (0..p.len()).map(|i| unsafe { p.get(i) }).max_by(|a, b| f(a, b))
+    }
+
+    /// Folds each canonical chunk into its own accumulator (cloned from
+    /// `init`) and yields the per-chunk accumulators as a new parallel
+    /// iterator — one accumulator per chunk, matching rayon's
+    /// one-accumulator-per-split semantics (the old shim collapsed to
+    /// exactly one, which silently changed reduction shapes).
+    pub fn fold_with<T, F>(self, init: T, f: F) -> ParIter<VecProducer<T>>
+    where
+        T: Clone + Send,
+        F: Fn(T, P::Item) -> T + Sync,
+    {
+        let p = self.p;
+        let items = p.len();
+        let (chunk_len, num_chunks) = det::layout(items, self.min_len);
+        // Accumulators are cloned on this thread (rayon's `T: Clone + Send`
+        // bound, no `Sync` needed) and seeded into the slots up front.
+        let slots = VecSlots((0..num_chunks).map(|_| UnsafeCell::new(Some(init.clone()))).collect());
+        let (slots_ref, p_ref, f_ref) = (&slots, &p, &f);
+        crate::pool::run(num_chunks, &move |c| {
+            let s = c * chunk_len;
+            let e = (s + chunk_len).min(items);
+            let mut acc = unsafe { (*slots_ref.0[c].get()).take().expect("fold_with seed missing") };
+            for i in s..e {
+                acc = f_ref(acc, unsafe { p_ref.get(i) });
+            }
+            unsafe { *slots_ref.0[c].get() = Some(acc) };
+        });
+        ParIter::new(VecProducer { slots: slots.0 })
+    }
+}
+
+/// Heap-backed one-write-per-slot cells (for `fold_with`, whose chunk count
+/// is only known at run time).
+struct VecSlots<T>(Vec<UnsafeCell<Option<T>>>);
+
+// SAFETY: each cell is written by exactly one chunk index; reads happen
+// after the pool job completes.
+unsafe impl<T: Send> Sync for VecSlots<T> {}
+
+/// Producer over values moved out of a vector (each index taken once).
+pub struct VecProducer<T> {
+    slots: Vec<UnsafeCell<Option<T>>>,
+}
+
+unsafe impl<T: Send> Sync for VecProducer<T> {}
+
+unsafe impl<T: Send> Producer for VecProducer<T> {
+    type Item = T;
+    fn len(&self) -> usize {
+        self.slots.len()
+    }
+    unsafe fn get(&self, i: usize) -> T {
+        (*self.slots[i].get()).take().expect("fold_with accumulator taken twice")
+    }
+}
+
+pub struct SliceProducer<'a, T> {
+    ptr: *const T,
+    len: usize,
+    _m: PhantomData<&'a [T]>,
+}
+
+unsafe impl<T: Sync> Sync for SliceProducer<'_, T> {}
+
+unsafe impl<'a, T: Sync> Producer for SliceProducer<'a, T> {
+    type Item = &'a T;
+    fn len(&self) -> usize {
+        self.len
+    }
+    unsafe fn get(&self, i: usize) -> &'a T {
+        &*self.ptr.add(i)
+    }
+}
+
+pub struct SliceMutProducer<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _m: PhantomData<&'a mut [T]>,
+}
+
+unsafe impl<T: Send> Sync for SliceMutProducer<'_, T> {}
+
+unsafe impl<'a, T: Send> Producer for SliceMutProducer<'a, T> {
+    type Item = &'a mut T;
+    fn len(&self) -> usize {
+        self.len
+    }
+    unsafe fn get(&self, i: usize) -> &'a mut T {
+        // SAFETY: distinct indices yield disjoint references, and the
+        // Producer contract forbids fetching an index twice.
+        &mut *self.ptr.add(i)
+    }
+}
+
+pub struct ChunksProducer<'a, T> {
+    ptr: *const T,
+    len: usize,
+    chunk: usize,
+    _m: PhantomData<&'a [T]>,
+}
+
+unsafe impl<T: Sync> Sync for ChunksProducer<'_, T> {}
+
+unsafe impl<'a, T: Sync> Producer for ChunksProducer<'a, T> {
+    type Item = &'a [T];
+    fn len(&self) -> usize {
+        self.len.div_ceil(self.chunk)
+    }
+    unsafe fn get(&self, i: usize) -> &'a [T] {
+        let s = i * self.chunk;
+        std::slice::from_raw_parts(self.ptr.add(s), self.chunk.min(self.len - s))
+    }
+}
+
+pub struct ChunksMutProducer<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    chunk: usize,
+    _m: PhantomData<&'a mut [T]>,
+}
+
+unsafe impl<T: Send> Sync for ChunksMutProducer<'_, T> {}
+
+unsafe impl<'a, T: Send> Producer for ChunksMutProducer<'a, T> {
+    type Item = &'a mut [T];
+    fn len(&self) -> usize {
+        self.len.div_ceil(self.chunk)
+    }
+    unsafe fn get(&self, i: usize) -> &'a mut [T] {
+        let s = i * self.chunk;
+        std::slice::from_raw_parts_mut(self.ptr.add(s), self.chunk.min(self.len - s))
+    }
+}
+
+pub struct RangeProducer {
+    start: usize,
+    len: usize,
+}
+
+unsafe impl Producer for RangeProducer {
+    type Item = usize;
+    fn len(&self) -> usize {
+        self.len
+    }
+    unsafe fn get(&self, i: usize) -> usize {
+        self.start + i
+    }
+}
+
+pub struct Map<P, F> {
+    p: P,
+    f: F,
+}
+
+unsafe impl<B, P: Producer, F: Fn(P::Item) -> B + Sync> Producer for Map<P, F> {
+    type Item = B;
+    fn len(&self) -> usize {
+        self.p.len()
+    }
+    unsafe fn get(&self, i: usize) -> B {
+        (self.f)(self.p.get(i))
+    }
+}
+
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+unsafe impl<A: Producer, B: Producer> Producer for Zip<A, B> {
+    type Item = (A::Item, B::Item);
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+    unsafe fn get(&self, i: usize) -> Self::Item {
+        (self.a.get(i), self.b.get(i))
+    }
+}
+
+pub struct Enumerate<P> {
+    p: P,
+}
+
+unsafe impl<P: Producer> Producer for Enumerate<P> {
+    type Item = (usize, P::Item);
+    fn len(&self) -> usize {
+        self.p.len()
+    }
+    unsafe fn get(&self, i: usize) -> Self::Item {
+        (i, self.p.get(i))
+    }
+}
+
+/// A filtered parallel iterator. Filtering loses random access (like losing
+/// `IndexedParallelIterator` in rayon), so only the streaming consumers are
+/// available.
+pub struct FilterIter<P, F> {
+    p: P,
+    pred: F,
+    min_len: usize,
+}
+
+impl<P: Producer, F: Fn(&P::Item) -> bool + Sync> FilterIter<P, F> {
+    pub fn for_each<G: Fn(P::Item) + Sync>(self, g: G) {
+        let (p, pred) = (self.p, self.pred);
+        det::run(p.len(), self.min_len, true, |s, e| {
+            for i in s..e {
+                let item = unsafe { p.get(i) };
+                if pred(&item) {
+                    g(item);
+                }
+            }
+        });
+    }
+
+    pub fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<P::Item> + std::ops::Add<Output = S>,
+    {
+        let (p, pred) = (self.p, self.pred);
+        det::fold(
+            p.len(),
+            self.min_len,
+            true,
+            |s, e| (s..e).map(|i| unsafe { p.get(i) }).filter(|item| pred(item)).sum::<S>(),
+            |a, b| a + b,
+        )
+        .unwrap_or_else(|| std::iter::empty::<P::Item>().sum())
+    }
+
+    pub fn count(self) -> usize {
+        let (p, pred) = (self.p, self.pred);
+        det::fold(
+            p.len(),
+            self.min_len,
+            true,
+            |s, e| (s..e).filter(|&i| pred(&unsafe { p.get(i) })).count(),
+            |a, b| a + b,
+        )
+        .unwrap_or(0)
+    }
+
+    pub fn collect<C: FromIterator<P::Item>>(self) -> C {
+        let (p, pred) = (self.p, self.pred);
+        (0..p.len()).map(|i| unsafe { p.get(i) }).filter(|item| pred(item)).collect()
+    }
+}
+
+/// `.par_iter()` / `.par_chunks()` on slices.
+pub trait ParallelSliceRef<T> {
+    fn par_iter(&self) -> ParIter<SliceProducer<'_, T>>;
+    fn par_chunks(&self, chunk: usize) -> ParIter<ChunksProducer<'_, T>>;
+}
+
+impl<T: Sync> ParallelSliceRef<T> for [T] {
+    fn par_iter(&self) -> ParIter<SliceProducer<'_, T>> {
+        ParIter::new(SliceProducer {
+            ptr: self.as_ptr(),
+            len: self.len(),
+            _m: PhantomData,
+        })
+    }
+
+    fn par_chunks(&self, chunk: usize) -> ParIter<ChunksProducer<'_, T>> {
+        assert!(chunk != 0, "par_chunks: chunk size must be non-zero");
+        // The chunk size is also the natural granularity floor: the layout
+        // never cuts inside a user-requested chunk.
+        ParIter::new(ChunksProducer {
+            ptr: self.as_ptr(),
+            len: self.len(),
+            chunk,
+            _m: PhantomData,
+        })
+    }
+}
+
+/// `.par_iter_mut()` / `.par_chunks_mut()` on slices.
+pub trait ParallelSliceMutRef<T> {
+    fn par_iter_mut(&mut self) -> ParIter<SliceMutProducer<'_, T>>;
+    fn par_chunks_mut(&mut self, chunk: usize) -> ParIter<ChunksMutProducer<'_, T>>;
+}
+
+impl<T: Send> ParallelSliceMutRef<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIter<SliceMutProducer<'_, T>> {
+        ParIter::new(SliceMutProducer {
+            ptr: self.as_mut_ptr(),
+            len: self.len(),
+            _m: PhantomData,
+        })
+    }
+
+    fn par_chunks_mut(&mut self, chunk: usize) -> ParIter<ChunksMutProducer<'_, T>> {
+        assert!(chunk != 0, "par_chunks_mut: chunk size must be non-zero");
+        ParIter::new(ChunksMutProducer {
+            ptr: self.as_mut_ptr(),
+            len: self.len(),
+            chunk,
+            _m: PhantomData,
+        })
+    }
+}
+
+/// `.into_par_iter()` on index ranges.
+pub trait IntoParallelIterator {
+    type Item;
+    type Producer: Producer<Item = Self::Item>;
+    fn into_par_iter(self) -> ParIter<Self::Producer>;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Producer = RangeProducer;
+    fn into_par_iter(self) -> ParIter<RangeProducer> {
+        ParIter::new(RangeProducer {
+            start: self.start,
+            len: self.end.saturating_sub(self.start),
+        })
+    }
+}

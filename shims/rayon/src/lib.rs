@@ -1,126 +1,83 @@
-//! Offline stand-in for `rayon`.
+//! Offline stand-in for `rayon`, backed by a real work-sharing thread pool.
 //!
 //! The build environment has no access to crates.io, so this shim provides
-//! the exact parallel-iterator API surface the workspace uses, executed
-//! *sequentially*. The kernels in `nadmm-linalg` keep their
-//! threshold-dispatch structure, so swapping the real rayon back in is a
-//! one-line change in the workspace manifest; until then, determinism is
-//! total (the "parallel" reduction order equals the sequential order).
+//! the parallel-iterator API surface the workspace uses — but, unlike a toy
+//! shim, the combinators genuinely execute on a process-wide pool of
+//! pre-spawned workers ([`mod@pool` internals]: chunk indices distributed by
+//! an atomic counter, workers parked on a condvar between jobs, zero heap
+//! allocations per dispatch).
+//!
+//! ## Determinism
+//!
+//! Parallel execution does **not** cost reproducibility: every reduction is
+//! split by the canonical chunk layout in [`det`] — a pure function of the
+//! problem size and granularity, never of the thread count — and partial
+//! results combine left-to-right in chunk-index order. Results are therefore
+//! bit-identical under `NADMM_THREADS ∈ {1, …, 64}`, under any
+//! `NADMM_PAR_THRESHOLD`, and whether a region ran on the pool or inline.
+//!
+//! ## Extensions beyond rayon's API
+//!
+//! [`det`], [`set_num_threads`]/[`reset_num_threads`] (rayon configures
+//! width via `ThreadPoolBuilder`), and the [`THREADS_ENV`] environment knob
+//! are workspace extensions; everything else matches rayon's shapes so
+//! swapping the real crate back in stays a near-one-line manifest change.
 
-/// Number of worker threads the pool would use (the machine's parallelism).
-pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-}
+pub mod det;
+mod iter;
+mod pool;
 
-/// Sequential iterator wrapper exposing the rayon combinator names.
-pub struct SeqIter<I>(pub I);
-
-impl<I: Iterator> SeqIter<I> {
-    pub fn map<B, F: FnMut(I::Item) -> B>(self, f: F) -> SeqIter<std::iter::Map<I, F>> {
-        SeqIter(self.0.map(f))
-    }
-
-    pub fn enumerate(self) -> SeqIter<std::iter::Enumerate<I>> {
-        SeqIter(self.0.enumerate())
-    }
-
-    pub fn zip<J: Iterator>(self, other: SeqIter<J>) -> SeqIter<std::iter::Zip<I, J>> {
-        SeqIter(self.0.zip(other.0))
-    }
-
-    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
-        self.0.for_each(f)
-    }
-
-    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
-        self.0.sum()
-    }
-
-    /// Rayon-style reduce with an identity constructor.
-    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
-    where
-        ID: Fn() -> I::Item,
-        OP: Fn(I::Item, I::Item) -> I::Item,
-    {
-        self.0.fold(identity(), op)
-    }
-
-    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
-        self.0.collect()
-    }
-
-    pub fn filter<P: FnMut(&I::Item) -> bool>(self, p: P) -> SeqIter<std::iter::Filter<I, P>> {
-        SeqIter(self.0.filter(p))
-    }
-
-    pub fn with_min_len(self, _len: usize) -> Self {
-        self
-    }
-
-    pub fn max_by<F: FnMut(&I::Item, &I::Item) -> std::cmp::Ordering>(self, f: F) -> Option<I::Item> {
-        self.0.max_by(f)
-    }
-
-    pub fn fold_with<T: Clone, F: FnMut(T, I::Item) -> T>(self, init: T, f: F) -> SeqIter<std::iter::Once<T>> {
-        SeqIter(std::iter::once(self.0.fold(init, f)))
-    }
-}
-
-/// `.par_iter()` / `.par_iter_mut()` on slices.
-pub trait ParallelSliceRef<T> {
-    fn par_iter(&self) -> SeqIter<std::slice::Iter<'_, T>>;
-    fn par_chunks(&self, chunk: usize) -> SeqIter<std::slice::Chunks<'_, T>>;
-}
-
-pub trait ParallelSliceMutRef<T> {
-    fn par_iter_mut(&mut self) -> SeqIter<std::slice::IterMut<'_, T>>;
-    fn par_chunks_mut(&mut self, chunk: usize) -> SeqIter<std::slice::ChunksMut<'_, T>>;
-}
-
-impl<T> ParallelSliceRef<T> for [T] {
-    fn par_iter(&self) -> SeqIter<std::slice::Iter<'_, T>> {
-        SeqIter(self.iter())
-    }
-    fn par_chunks(&self, chunk: usize) -> SeqIter<std::slice::Chunks<'_, T>> {
-        SeqIter(self.chunks(chunk))
-    }
-}
-
-impl<T> ParallelSliceMutRef<T> for [T] {
-    fn par_iter_mut(&mut self) -> SeqIter<std::slice::IterMut<'_, T>> {
-        SeqIter(self.iter_mut())
-    }
-    fn par_chunks_mut(&mut self, chunk: usize) -> SeqIter<std::slice::ChunksMut<'_, T>> {
-        SeqIter(self.chunks_mut(chunk))
-    }
-}
-
-/// `.into_par_iter()` on anything iterable (ranges, vectors, ...).
-pub trait IntoParallelIterator {
-    type Item;
-    type Iter: Iterator<Item = Self::Item>;
-    fn into_par_iter(self) -> SeqIter<Self::Iter>;
-}
-
-impl<I: IntoIterator> IntoParallelIterator for I {
-    type Item = I::Item;
-    type Iter = I::IntoIter;
-    fn into_par_iter(self) -> SeqIter<Self::Iter> {
-        SeqIter(self.into_iter())
-    }
-}
+pub use iter::{FilterIter, IntoParallelIterator, ParIter, ParallelSliceMutRef, ParallelSliceRef, Producer};
+pub use pool::{current_num_threads, parse_threads_env, reset_num_threads, set_num_threads, MAX_THREADS, THREADS_ENV};
 
 pub mod prelude {
-    pub use crate::{IntoParallelIterator, ParallelSliceMutRef, ParallelSliceRef};
+    pub use crate::iter::{IntoParallelIterator, ParallelSliceMutRef, ParallelSliceRef};
 }
 
-/// Runs the two closures (sequentially here) and returns both results.
-pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+/// Runs the two closures — potentially in parallel on the pool — and returns
+/// both results. Sequential semantics (`a` before `b`) are preserved whenever
+/// the pool is busy or width-1.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
 where
-    A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
 {
-    (a(), b())
+    use std::cell::UnsafeCell;
+
+    struct Cells<A, B, RA, RB> {
+        a: UnsafeCell<Option<A>>,
+        b: UnsafeCell<Option<B>>,
+        ra: UnsafeCell<Option<RA>>,
+        rb: UnsafeCell<Option<RB>>,
+    }
+    // SAFETY: chunk 0 touches only (a, ra) and chunk 1 only (b, rb); the
+    // results are read after the pool job completed.
+    unsafe impl<A: Send, B: Send, RA: Send, RB: Send> Sync for Cells<A, B, RA, RB> {}
+
+    let cells = Cells {
+        a: UnsafeCell::new(Some(oper_a)),
+        b: UnsafeCell::new(Some(oper_b)),
+        ra: UnsafeCell::new(None),
+        rb: UnsafeCell::new(None),
+    };
+    let cells_ref = &cells;
+    pool::run(2, &move |i| unsafe {
+        if i == 0 {
+            let f = (*cells_ref.a.get()).take().expect("join closure taken twice");
+            *cells_ref.ra.get() = Some(f());
+        } else {
+            let g = (*cells_ref.b.get()).take().expect("join closure taken twice");
+            *cells_ref.rb.get() = Some(g());
+        }
+    });
+    unsafe {
+        (
+            (*cells.ra.get()).take().expect("join result missing"),
+            (*cells.rb.get()).take().expect("join result missing"),
+        )
+    }
 }
 
 #[cfg(test)]
@@ -157,5 +114,78 @@ mod tests {
     #[test]
     fn thread_count_positive() {
         assert!(super::current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn combinators_are_bit_identical_across_widths() {
+        let _w = crate::pool::TEST_WIDTH_LOCK.lock();
+        let v: Vec<f64> = (0..50_000).map(|i| (i as f64).sin()).collect();
+        crate::pool::set_num_threads(1);
+        let base: f64 = v.par_iter().map(|x| x * 1.000001).sum();
+        for threads in [2usize, 3, 8] {
+            crate::pool::set_num_threads(threads);
+            let got: f64 = v.par_iter().map(|x| x * 1.000001).sum();
+            assert_eq!(got.to_bits(), base.to_bits(), "threads={threads}");
+        }
+        crate::pool::reset_num_threads();
+    }
+
+    #[test]
+    fn fold_with_yields_one_accumulator_per_canonical_chunk() {
+        let _w = crate::pool::TEST_WIDTH_LOCK.lock();
+        crate::pool::set_num_threads(4);
+        let v: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        // grain 100 over 1000 items → 10 canonical chunks, so fold_with must
+        // yield 10 accumulators (the old shim collapsed to exactly one).
+        let partials: Vec<f64> = v.par_iter().with_min_len(100).fold_with(0.0f64, |acc, x| acc + x).collect();
+        crate::pool::reset_num_threads();
+        let (_, num_chunks) = crate::det::layout(v.len(), 100);
+        assert_eq!(partials.len(), num_chunks);
+        assert_eq!(partials.iter().sum::<f64>(), 499_500.0);
+    }
+
+    #[test]
+    fn with_min_len_bounds_chunk_granularity() {
+        // 1000 items with min_len 300 → ceil(1000/300)=4 units → chunks of
+        // 300: no accumulator may cover fewer than min(300, remainder) items.
+        let v: Vec<usize> = (0..1000).collect();
+        let counts: Vec<usize> = v.par_iter().with_min_len(300).fold_with(0usize, |acc, _| acc + 1).collect();
+        assert!(counts.len() <= 4);
+        let tail = *counts.last().unwrap();
+        assert!(counts[..counts.len() - 1].iter().all(|&c| c >= 300), "{counts:?}");
+        assert!(tail >= 1);
+        assert_eq!(counts.iter().sum::<usize>(), 1000);
+    }
+
+    #[test]
+    fn filter_consumers_match_sequential() {
+        let v: Vec<i64> = (-500..500).collect();
+        let s: i64 = v.par_iter().map(|&x| x).filter(|&x| x % 3 == 0).sum();
+        let expect: i64 = (-500..500).filter(|x| x % 3 == 0).sum();
+        assert_eq!(s, expect);
+        let n = v.par_iter().filter(|&&x| x > 0).count();
+        assert_eq!(n, 499);
+        let collected: Vec<i64> = v.par_iter().map(|&x| x).filter(|&x| x.abs() < 3).collect();
+        assert_eq!(collected, vec![-2, -1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let _w = crate::pool::TEST_WIDTH_LOCK.lock();
+        crate::pool::set_num_threads(2);
+        let (a, b) = super::join(|| 6 * 7, || "right".to_string());
+        crate::pool::reset_num_threads();
+        assert_eq!(a, 42);
+        assert_eq!(b, "right");
+    }
+
+    #[test]
+    fn max_by_and_zip_match_sequential() {
+        let a = [1.0f64, -9.0, 3.5, 2.0];
+        let b = [0.5f64, 2.0, 1.0, 10.0];
+        let m = a.par_iter().map(|x| x.abs()).max_by(|x, y| x.partial_cmp(y).unwrap());
+        assert_eq!(m, Some(9.0));
+        let dot: f64 = a.par_iter().zip(b.par_iter()).map(|(x, y)| x * y).sum();
+        assert_eq!(dot, 1.0 * 0.5 - 9.0 * 2.0 + 3.5 * 1.0 + 2.0 * 10.0);
     }
 }
