@@ -204,6 +204,26 @@ pub trait Communicator {
         buf.copy_from_slice(&out);
     }
 
+    /// A dead rank's stand-in for [`Communicator::reduce_sum_root_into`]:
+    /// contributes `len` exact zeros without owning a buffer. Billing and
+    /// results are identical to reducing an explicit zero-filled buffer (the
+    /// default does exactly that); implementations may skip the payload
+    /// entirely — a tombstone — as long as reports stay bit-identical.
+    /// Returns whether this rank is the root (whose reduced result is
+    /// discarded; a dead rank never reads it).
+    fn reduce_sum_root_tombstone(&mut self, len: usize) -> bool {
+        let mut zeros = vec![0.0; len];
+        self.reduce_sum_root_into(&mut zeros)
+    }
+
+    /// A dead rank's stand-in for [`Communicator::start_allreduce_sum_max`]:
+    /// contributes `len` exact zeros (summed over the first `sum_len`,
+    /// maxed over the rest) without owning a buffer.
+    fn start_allreduce_sum_max_tombstone(&mut self, len: usize, sum_len: usize) -> CollectiveHandle {
+        let zeros = vec![0.0; len];
+        self.start_allreduce_sum_max(&zeros, sum_len)
+    }
+
     /// Allgather into a caller buffer: `out` (length `size() * data.len()`)
     /// receives every rank's contribution concatenated in rank order.
     fn allgather_into(&mut self, data: &[f64], out: &mut [f64]) {

@@ -38,6 +38,7 @@ pub mod network;
 pub mod stats;
 pub mod straggler;
 pub mod thread_comm;
+pub mod transport;
 pub mod workspace;
 
 pub use comm::{CollectiveHandle, Communicator, SingleProcessComm, ROOT_RANK};
@@ -46,7 +47,10 @@ pub use network::{
 };
 pub use stats::{CommStats, KindStats};
 pub use straggler::{SlowRank, StragglerModel};
-pub use thread_comm::{Cluster, ThreadComm};
+pub use thread_comm::{Cluster, ClusterComm, ThreadComm};
+pub use transport::tcp::{reserve_loopback_peers, TcpTransport};
+pub use transport::thread::{ThreadFabric, ThreadTransport};
+pub use transport::{Transport, TransportKind, TransportSpec, TRANSPORT_ENV};
 pub use workspace::{CommWorkspace, CommWorkspaceStats};
 
 #[cfg(test)]

@@ -167,6 +167,81 @@ impl CommStats {
         }
     }
 
+    /// Exact size of the fixed little-endian layout written by
+    /// [`CommStats::to_le_bytes`].
+    pub const LE_BYTES: usize = 9 * 8 + CollectiveKind::COUNT * (8 * (1 + 3 + CollectiveAlgorithm::COUNT));
+
+    /// Serialises the counters into a fixed little-endian byte layout
+    /// (fields in declaration order, `f64` via its IEEE bit pattern) — the
+    /// transport side channel the multi-process stats gather uses. Clears
+    /// `out` first; capacity is kept.
+    pub fn to_le_bytes(&self, out: &mut Vec<u8>) {
+        out.clear();
+        out.extend_from_slice(&self.collectives.to_le_bytes());
+        for v in [
+            self.bytes_sent,
+            self.bytes_received,
+            self.logical_bytes_sent,
+            self.logical_bytes_received,
+            self.comm_time,
+            self.compute_time,
+            self.idle_wait_time,
+            self.max_round_skew,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        for k in &self.per_kind {
+            out.extend_from_slice(&k.count.to_le_bytes());
+            for v in [k.bytes_sent, k.bytes_received, k.seconds] {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            for c in &k.algo_counts {
+                out.extend_from_slice(&c.to_le_bytes());
+            }
+        }
+        debug_assert_eq!(out.len(), Self::LE_BYTES);
+    }
+
+    /// Reverses [`CommStats::to_le_bytes`] bit-exactly. Errors (with a
+    /// description) on a size mismatch rather than guessing.
+    pub fn from_le_bytes(bytes: &[u8]) -> Result<Self, String> {
+        if bytes.len() != Self::LE_BYTES {
+            return Err(format!(
+                "CommStats: expected exactly {} serialized bytes, got {}",
+                Self::LE_BYTES,
+                bytes.len()
+            ));
+        }
+        let mut at = 0usize;
+        let mut next_u64 = || {
+            let v = u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap());
+            at += 8;
+            v
+        };
+        let mut s = CommStats {
+            collectives: next_u64(),
+            bytes_sent: f64::from_bits(next_u64()),
+            bytes_received: f64::from_bits(next_u64()),
+            logical_bytes_sent: f64::from_bits(next_u64()),
+            logical_bytes_received: f64::from_bits(next_u64()),
+            comm_time: f64::from_bits(next_u64()),
+            compute_time: f64::from_bits(next_u64()),
+            idle_wait_time: f64::from_bits(next_u64()),
+            max_round_skew: f64::from_bits(next_u64()),
+            per_kind: [KindStats::default(); CollectiveKind::COUNT],
+        };
+        for k in s.per_kind.iter_mut() {
+            k.count = next_u64();
+            k.bytes_sent = f64::from_bits(next_u64());
+            k.bytes_received = f64::from_bits(next_u64());
+            k.seconds = f64::from_bits(next_u64());
+            for c in k.algo_counts.iter_mut() {
+                *c = next_u64();
+            }
+        }
+        Ok(s)
+    }
+
     /// Pre-formatted rows for a "where does communication time go" table:
     /// `[kind, count, bytes sent, seconds, dominant algorithm]` for every
     /// kind that ran at least once.
@@ -284,5 +359,38 @@ mod tests {
     fn dominant_algorithm_is_none_when_kind_never_ran() {
         let s = KindStats::default();
         assert_eq!(s.dominant_algorithm(), None);
+    }
+
+    #[test]
+    fn le_bytes_round_trip_is_bit_exact() {
+        let mut s = CommStats::default();
+        s.record_collective_wire(
+            CollectiveKind::Allreduce,
+            CollectiveAlgorithm::Ring,
+            200.0,
+            200.0,
+            800.0,
+            800.0,
+            1e-4,
+        );
+        s.record_collective(CollectiveKind::Broadcast, CollectiveAlgorithm::BinomialTree, 0.0, 40.0, 2e-5);
+        s.record_compute(0.125);
+        s.record_skew(0.5, 0.7);
+        // Adversarial values must survive bit-exactly too.
+        s.max_round_skew = f64::MIN_POSITIVE / 2.0; // subnormal
+        s.idle_wait_time = -0.0;
+        let mut bytes = Vec::new();
+        s.to_le_bytes(&mut bytes);
+        assert_eq!(bytes.len(), CommStats::LE_BYTES);
+        let back = CommStats::from_le_bytes(&bytes).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.idle_wait_time.to_bits(), s.idle_wait_time.to_bits());
+        assert_eq!(back.max_round_skew.to_bits(), s.max_round_skew.to_bits());
+    }
+
+    #[test]
+    fn le_bytes_rejects_wrong_sizes() {
+        let err = CommStats::from_le_bytes(&[0u8; 3]).unwrap_err();
+        assert!(err.contains("expected exactly"), "got: {err}");
     }
 }

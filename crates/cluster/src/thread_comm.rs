@@ -1,18 +1,26 @@
-//! Thread-backed communicator: one OS thread per simulated rank, collectives
-//! implemented over a generation-counted, buffer-reusing rendezvous.
+//! The collective engine over a pluggable [`Transport`], plus the simulated
+//! thread-backed cluster.
 //!
-//! The rendezvous is the *data path* shared by every collective algorithm:
-//! ranks deposit their contribution into per-rank slots, the last arrival
-//! reduces/concatenates them into a shared result buffer (in fixed rank
-//! order, so results are bit-identical regardless of which cost-model
-//! algorithm is selected), and every rank copies out what it needs. All
-//! staging buffers are reused across rounds, so a warm collective performs
-//! zero heap allocations.
+//! Collectives run a *root-coordinated round protocol* over byte frames
+//! ([`crate::transport::wire`]): every rank sends its contribution to rank 0,
+//! rank 0 folds the contributions **in fixed rank order** (which is what
+//! makes every cost-model algorithm bit-identical by construction) and
+//! replies with the reduced result and the round's arrival-time summary.
+//! The engine is transport-agnostic — the in-process
+//! [`crate::transport::thread::ThreadFabric`] and the multi-process
+//! [`crate::transport::tcp::TcpTransport`] carry identical frames — and all
+//! *billing* is driven by the network cost model and logical payload sizes,
+//! never by transport wall time, so a scenario produces byte-identical
+//! reports on either backend.
+//!
+//! All engine scratch (frame buffers, the fold accumulator, length tables)
+//! is reused across rounds, so a warm collective performs zero heap
+//! allocations on the thread backend.
 //!
 //! Collective-order violations (mismatched operation or payload length
-//! across ranks) poison the rendezvous and panic **loudly**, naming the
-//! offending rank and the expected payload — a silent wrong answer is the
-//! one failure mode a consensus solver cannot afford.
+//! across ranks) poison the transport and panic **loudly** on every rank,
+//! naming the offending rank and the expected payload — a silent wrong
+//! answer is the one failure mode a consensus solver cannot afford.
 //!
 //! # Oversubscription policy
 //!
@@ -29,237 +37,12 @@ use crate::comm::{CollectiveHandle, Communicator, ROOT_RANK};
 use crate::network::{CollectiveKind, CollectiveSelector, Compression, NetworkModel};
 use crate::stats::CommStats;
 use crate::straggler::StragglerModel;
+use crate::transport::thread::ThreadFabric;
+use crate::transport::wire::{self, RoundOp, ANY_LEN};
+use crate::transport::Transport;
 use crate::workspace::{CommWorkspace, CommWorkspaceStats};
-use parking_lot::{Condvar, Mutex};
-use std::sync::Arc;
 
-/// What the last arrival computes into the shared result buffer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum RoundOp {
-    /// No payload; synchronisation only.
-    Barrier,
-    /// Element-wise sum of all contributions (uniform length).
-    Sum,
-    /// Element-wise max of all contributions (uniform length).
-    Max,
-    /// Mixed reduction (uniform length): element-wise sum over the first
-    /// `sum_len` elements, element-wise max over the rest — the classic
-    /// "user-defined MPI op" trick that packs several instrumentation
-    /// reductions into one collective.
-    SumMax {
-        /// Number of leading elements reduced by sum.
-        sum_len: usize,
-    },
-    /// The root's contribution verbatim (broadcast/scatter source).
-    CopyRoot,
-    /// All contributions concatenated in rank order (lengths may differ).
-    Concat,
-}
-
-const POISONED: &str = "collective rendezvous poisoned: a peer rank violated the collective order (see its panic message)";
-
-/// Shared state of the current rendezvous round.
-struct RoundState {
-    /// Completed-round counter; a rank may only enter round `k` once every
-    /// rank has departed round `k−1`.
-    round: u64,
-    arrived: usize,
-    departed: usize,
-    complete: bool,
-    poisoned: bool,
-    op: RoundOp,
-    first_rank: usize,
-    expected_len: usize,
-    /// Per-rank contributions (cleared and refilled each round; capacity is
-    /// kept, so warm rounds never allocate).
-    slots: Vec<Vec<f64>>,
-    /// Per-rank contribution lengths of the current round.
-    lens: Vec<usize>,
-    /// Per-rank simulated arrival times.
-    times: Vec<f64>,
-    max_time: f64,
-    min_time: f64,
-    /// The finalized output (reduction / root payload / concatenation).
-    result: Vec<f64>,
-}
-
-/// A reusable all-to-all rendezvous shared by every rank of a cluster.
-struct Rendezvous {
-    n: usize,
-    state: Mutex<RoundState>,
-    cv: Condvar,
-}
-
-impl Rendezvous {
-    fn new(n: usize) -> Self {
-        Self {
-            n,
-            state: Mutex::new(RoundState {
-                round: 0,
-                arrived: 0,
-                departed: 0,
-                complete: false,
-                poisoned: false,
-                op: RoundOp::Barrier,
-                first_rank: 0,
-                expected_len: 0,
-                slots: (0..n).map(|_| Vec::new()).collect(),
-                lens: vec![0; n],
-                times: vec![0.0; n],
-                max_time: 0.0,
-                min_time: 0.0,
-                result: Vec::new(),
-            }),
-            cv: Condvar::new(),
-        }
-    }
-
-    /// Deposits `contribution` for `rank` into round `my_round` and returns
-    /// immediately (the caller must follow up with [`Rendezvous::collect`]).
-    /// Blocks only until the previous round has fully drained.
-    ///
-    /// # Panics
-    /// Panics (and poisons the rendezvous, so every other rank panics too
-    /// instead of deadlocking) when this rank's operation or payload length
-    /// disagrees with what the first arrival of the round established.
-    fn deposit(&self, rank: usize, my_round: u64, op: RoundOp, contribution: &[f64], time: f64) {
-        let mut st = self.state.lock();
-        while st.round != my_round && !st.poisoned {
-            self.cv.wait(&mut st);
-        }
-        if st.poisoned {
-            panic!("{POISONED}");
-        }
-        if st.arrived == 0 {
-            st.op = op;
-            st.first_rank = rank;
-            st.expected_len = contribution.len();
-        } else {
-            if st.op != op {
-                let (first, first_op) = (st.first_rank, st.op);
-                st.poisoned = true;
-                self.cv.notify_all();
-                panic!("collective-order violation: rank {rank} entered {op:?} while rank {first} is executing {first_op:?}");
-            }
-            if matches!(op, RoundOp::Sum | RoundOp::Max | RoundOp::SumMax { .. }) && contribution.len() != st.expected_len {
-                let (first, expected) = (st.first_rank, st.expected_len);
-                st.poisoned = true;
-                self.cv.notify_all();
-                panic!(
-                    "collective-order violation: rank {rank} contributed {} elements to {op:?}, \
-                     expected {expected} (as contributed by rank {first})",
-                    contribution.len()
-                );
-            }
-        }
-        let slot = &mut st.slots[rank];
-        slot.clear();
-        slot.extend_from_slice(contribution);
-        st.lens[rank] = contribution.len();
-        st.times[rank] = time;
-        st.arrived += 1;
-        if st.arrived == self.n {
-            Self::finalize(&mut st, self.n);
-            self.cv.notify_all();
-        }
-    }
-
-    /// Reduces/concatenates the deposited slots into the shared result, in
-    /// fixed rank order — which is what makes every cost-model algorithm
-    /// bit-identical by construction.
-    fn finalize(st: &mut RoundState, n: usize) {
-        // Completion is governed by the *latest* arrival — a straggling rank
-        // delays everyone — and the max−min spread is the round's skew.
-        st.max_time = st.times.iter().fold(0.0, |a, &b| a.max(b));
-        st.min_time = st.times.iter().fold(f64::INFINITY, |a, &b| a.min(b));
-        let RoundState {
-            ref mut result,
-            ref slots,
-            op,
-            ..
-        } = *st;
-        result.clear();
-        match op {
-            RoundOp::Barrier => {}
-            RoundOp::Sum => {
-                result.extend_from_slice(&slots[0]);
-                for slot in &slots[1..n] {
-                    for (acc, v) in result.iter_mut().zip(slot) {
-                        *acc += v;
-                    }
-                }
-            }
-            RoundOp::Max => {
-                result.extend_from_slice(&slots[0]);
-                for slot in &slots[1..n] {
-                    for (acc, v) in result.iter_mut().zip(slot) {
-                        *acc = acc.max(*v);
-                    }
-                }
-            }
-            RoundOp::SumMax { sum_len } => {
-                result.extend_from_slice(&slots[0]);
-                for slot in &slots[1..n] {
-                    for (i, (acc, v)) in result.iter_mut().zip(slot).enumerate() {
-                        if i < sum_len {
-                            *acc += v;
-                        } else {
-                            *acc = acc.max(*v);
-                        }
-                    }
-                }
-            }
-            RoundOp::CopyRoot => result.extend_from_slice(&slots[ROOT_RANK]),
-            RoundOp::Concat => {
-                for slot in &slots[..n] {
-                    result.extend_from_slice(slot);
-                }
-            }
-        }
-        st.complete = true;
-    }
-
-    /// Blocks until the round is complete, hands the state to `read`, and
-    /// departs; the last rank to depart opens the next round. Returns the
-    /// read result and the round's arrival-time summary.
-    ///
-    /// A `read` that detects a collective-order violation returns `Err`; the
-    /// rendezvous is then poisoned (so every other rank panics instead of
-    /// deadlocking in a round that can never drain) before this rank panics
-    /// with the violation message.
-    fn collect<R>(&self, _rank: usize, _my_round: u64, read: impl FnOnce(&RoundState) -> Result<R, String>) -> (R, RoundTiming) {
-        let mut st = self.state.lock();
-        while !st.complete && !st.poisoned {
-            self.cv.wait(&mut st);
-        }
-        if st.poisoned {
-            panic!("{POISONED}");
-        }
-        let out = match read(&st) {
-            Ok(out) => out,
-            Err(violation) => {
-                st.poisoned = true;
-                self.cv.notify_all();
-                panic!("{violation}");
-            }
-        };
-        let timing = RoundTiming {
-            max_time: st.max_time,
-            min_time: st.min_time,
-        };
-        st.departed += 1;
-        if st.departed == self.n {
-            st.arrived = 0;
-            st.departed = 0;
-            st.complete = false;
-            st.round += 1;
-            self.cv.notify_all();
-        }
-        (out, timing)
-    }
-}
-
-/// Arrival-time summary of one completed rendezvous round: the latest and
+/// Arrival-time summary of one completed collective round: the latest and
 /// earliest per-rank arrival on the simulated clocks. The latest arrival
 /// gates completion (a straggler delays everyone); the spread is the round
 /// skew surfaced through [`CommStats`].
@@ -269,15 +52,42 @@ struct RoundTiming {
     min_time: f64,
 }
 
-/// Communicator handle owned by one simulated rank (one thread).
-pub struct ThreadComm {
+/// What one rank puts into a collective round.
+enum Give<'a> {
+    /// A payload of elements (possibly empty — barriers, non-root gathers).
+    Data(&'a [f64]),
+    /// A dead rank's contribution: `len` logical elements, all exact zeros,
+    /// no payload bytes on the wire. Valid for the element-wise reductions.
+    Tombstone(usize),
+    /// No payload; the rank expects the root's result. `Some(len)` asserts
+    /// the expected element count (in-place broadcast), `None` accepts any
+    /// (allocating broadcast/scatter).
+    Expect(Option<usize>),
+}
+
+/// Reusable engine scratch: every buffer keeps its capacity across rounds,
+/// so a warm collective allocates nothing.
+#[derive(Default)]
+struct Scratch {
+    /// Outgoing frame bytes.
+    tx: Vec<u8>,
+    /// Incoming frame bytes.
+    rx: Vec<u8>,
+    /// The round's result elements (on the root: the fold accumulator).
+    acc: Vec<f64>,
+    /// Per-rank contribution lengths of the round.
+    lens: Vec<u64>,
+}
+
+/// Communicator handle owned by one rank, layered over a boxed transport.
+pub struct ClusterComm {
     rank: usize,
     size: usize,
     network: NetworkModel,
     selector: CollectiveSelector,
     compression: Compression,
-    rendezvous: Arc<Rendezvous>,
-    /// Number of rendezvous rounds this rank has entered.
+    transport: Box<dyn Transport>,
+    /// Number of collective rounds this rank has entered.
     rounds: u64,
     elapsed: f64,
     /// Multiplicative straggler factor applied to every compute charge
@@ -285,32 +95,37 @@ pub struct ThreadComm {
     compute_scale: f64,
     stats: CommStats,
     pool: CommWorkspace,
+    scratch: Scratch,
 }
+
+/// The historical name of the engine, kept for the thread-backed call sites.
+pub type ThreadComm = ClusterComm;
 
 const F64_BYTES: f64 = std::mem::size_of::<f64>() as f64;
 
-impl ThreadComm {
+impl ClusterComm {
     fn new(
-        rank: usize,
         size: usize,
         network: NetworkModel,
         selector: CollectiveSelector,
         compression: Compression,
         compute_scale: f64,
-        rendezvous: Arc<Rendezvous>,
+        transport: Box<dyn Transport>,
     ) -> Self {
+        assert_eq!(transport.size(), size, "transport size disagrees with the cluster size");
         Self {
-            rank,
+            rank: transport.rank(),
             size,
             network,
             selector,
             compression,
-            rendezvous,
+            transport,
             rounds: 0,
             elapsed: 0.0,
             compute_scale,
             stats: CommStats::default(),
             pool: CommWorkspace::new(),
+            scratch: Scratch::default(),
         }
     }
 
@@ -335,6 +150,11 @@ impl ThreadComm {
         self.compute_scale
     }
 
+    /// Short name of the transport backend underneath ("thread", "tcp").
+    pub fn transport_backend(&self) -> &'static str {
+        self.transport.backend()
+    }
+
     /// Pool counters of the communication workspace (staging buffers for the
     /// split-phase handles). Used by the zero-allocation proofs.
     pub fn comm_pool_stats(&self) -> CommWorkspaceStats {
@@ -344,6 +164,49 @@ impl ThreadComm {
     /// Resets the communication-workspace counters (buffers are kept).
     pub fn reset_comm_pool_stats(&mut self) {
         self.pool.reset_stats();
+    }
+
+    /// Tears the engine down, handing back the transport (and its cached
+    /// connections) for the next run on the same fabric.
+    pub fn into_transport(self) -> Box<dyn Transport> {
+        self.transport
+    }
+
+    /// Gathers every rank's [`CommStats`] at the root, in rank order
+    /// (`None` elsewhere). This is a transport-level side channel — nothing
+    /// is billed on the simulated clocks — used by the multi-process run to
+    /// reconstruct the cluster-wide skew summary the in-process path reads
+    /// directly from its per-rank results.
+    pub fn gather_comm_stats(&mut self) -> Option<Vec<CommStats>> {
+        if self.size == 1 {
+            return Some(vec![self.stats]);
+        }
+        if self.rank == ROOT_RANK {
+            let mut all = Vec::with_capacity(self.size);
+            all.push(self.stats);
+            let mut rx = std::mem::take(&mut self.scratch.rx);
+            for peer in 1..self.size {
+                self.transport.recv_into(peer, &mut rx);
+                let stats = match wire::decode(&rx) {
+                    Ok(wire::Frame::Raw { bytes }) => CommStats::from_le_bytes(bytes)
+                        .unwrap_or_else(|e| panic!("stats gather: rank {peer} sent undecodable stats: {e}")),
+                    Ok(wire::Frame::Error { message }) => panic!("{message}"),
+                    Ok(other) => panic!("stats gather: rank {peer} sent an unexpected {other:?}"),
+                    Err(e) => panic!("stats gather: corrupt frame from rank {peer}: {e}"),
+                };
+                all.push(stats);
+            }
+            self.scratch.rx = rx;
+            Some(all)
+        } else {
+            let mut bytes = Vec::new();
+            self.stats.to_le_bytes(&mut bytes);
+            let mut tx = std::mem::take(&mut self.scratch.tx);
+            wire::encode_raw(&mut tx, &bytes);
+            self.transport.send(ROOT_RANK, &tx);
+            self.scratch.tx = tx;
+            None
+        }
     }
 
     fn begin_round(&mut self) -> u64 {
@@ -359,26 +222,292 @@ impl ThreadComm {
         self.compression.wire_bytes_per_element()
     }
 
-    /// Deposits `data` as this rank's contribution, rounding every element
-    /// through the wire format first when compression is on — the
-    /// compress→send→decompress pipeline. Every rank then observes the
-    /// identical compressed payloads (including its own), which keeps
-    /// consensus state bit-identical across ranks. The staging buffer comes
-    /// from the pooled workspace, so warm compressed rounds stay
-    /// allocation-free; with [`Compression::None`] the slice is deposited
-    /// untouched — bit-identical to the uncompressed communicator.
-    fn deposit_payload(&mut self, my_round: u64, op: RoundOp, data: &[f64]) {
-        if self.compression.is_identity() {
-            self.rendezvous.deposit(self.rank, my_round, op, data, self.elapsed);
-        } else {
-            let compression = self.compression;
-            let mut staged = self.pool.acquire(data.len());
-            for (w, &v) in staged.iter_mut().zip(data) {
-                *w = compression.round(v);
+    /// Poisons the transport with `msg` (so peers blocked in a receive
+    /// panic too instead of deadlocking in a round that can never
+    /// complete) and panics with it.
+    fn poison_and_panic(&mut self, msg: String) -> ! {
+        self.transport.poison(&msg);
+        panic!("{msg}");
+    }
+
+    /// Runs one collective round: contributes `give`, synchronises with
+    /// every rank through the root, and leaves the round's result in
+    /// `scratch.acc` and the per-rank contribution lengths in
+    /// `scratch.lens`. With `compress`, payload elements are rounded
+    /// through the wire format first (staged in the pooled workspace) — the
+    /// compress→send→decompress pipeline; every rank then observes the
+    /// identical compressed values, including its own.
+    ///
+    /// The root folds contributions in fixed rank order with the same
+    /// arithmetic regardless of the selected cost-model algorithm, and a
+    /// tombstone folds exactly like an explicit all-zeros payload —
+    /// bit-identity by construction in both cases.
+    fn run_round(&mut self, op: RoundOp, give: Give<'_>, compress: bool) -> RoundTiming {
+        let my_round = self.begin_round();
+        let my_time = self.elapsed;
+        // Stage the outgoing payload through the wire format if requested
+        // (pooled, so warm compressed rounds stay allocation-free).
+        let staged = match give {
+            Give::Data(data) if compress && !self.compression.is_identity() => {
+                let compression = self.compression;
+                let mut s = self.pool.acquire(data.len());
+                for (w, &v) in s.iter_mut().zip(data) {
+                    *w = compression.round(v);
+                }
+                Some(s)
             }
-            self.rendezvous.deposit(self.rank, my_round, op, &staged, self.elapsed);
-            self.pool.release(staged);
+            _ => None,
+        };
+        let payload: &[f64] = match (&staged, &give) {
+            (Some(s), _) => s,
+            (None, Give::Data(data)) => data,
+            (None, _) => &[],
+        };
+        let (len_field, tombstone): (u64, bool) = match give {
+            Give::Data(_) => (payload.len() as u64, false),
+            Give::Tombstone(len) => (len as u64, true),
+            Give::Expect(Some(len)) => (len as u64, false),
+            Give::Expect(None) => (ANY_LEN, false),
+        };
+        let timing = if self.rank == ROOT_RANK {
+            self.root_round(my_round, op, payload, len_field, tombstone, my_time)
+        } else {
+            self.peer_round(my_round, op, payload, len_field, tombstone, my_time)
+        };
+        if let Some(s) = staged {
+            self.pool.release(s);
         }
+        timing
+    }
+
+    /// The root's side of a round: seed the fold with its own contribution,
+    /// fold every peer's contribution in rank order, reply with the result.
+    fn root_round(
+        &mut self,
+        my_round: u64,
+        op: RoundOp,
+        payload: &[f64],
+        len_field: u64,
+        tombstone: bool,
+        my_time: f64,
+    ) -> RoundTiming {
+        let n = self.size;
+        let Scratch {
+            ref mut acc,
+            ref mut lens,
+            ..
+        } = self.scratch;
+        acc.clear();
+        lens.clear();
+        // Seed in rank order: the root's own contribution is slot 0. A
+        // tombstone seeds explicit zeros — the identical bits a dead rank
+        // used to deposit.
+        if tombstone {
+            acc.extend(std::iter::repeat_n(0.0, len_field as usize));
+            lens.push(len_field);
+        } else {
+            acc.extend_from_slice(payload);
+            lens.push(payload.len() as u64);
+        }
+        let root_len = acc.len();
+        // Completion is governed by the *latest* arrival — a straggling rank
+        // delays everyone — and the max−min spread is the round's skew. The
+        // folds mirror the rank-order iteration of the former in-process
+        // rendezvous bit for bit.
+        let mut max_time = 0.0f64.max(my_time);
+        let mut min_time = f64::INFINITY.min(my_time);
+        let mut rx = std::mem::take(&mut self.scratch.rx);
+        let mut violation: Option<String> = None;
+        'peers: for peer in 1..n {
+            self.transport.recv_into(peer, &mut rx);
+            let frame = match wire::decode(&rx) {
+                Ok(f) => f,
+                Err(e) => {
+                    violation = Some(format!("collective protocol violation: corrupt frame from rank {peer}: {e}"));
+                    break 'peers;
+                }
+            };
+            let (round, peer_op, peer_tomb, time, len, peer_payload) = match frame {
+                wire::Frame::Contribution {
+                    round,
+                    op,
+                    tombstone,
+                    time,
+                    len,
+                    payload,
+                } => (round, op, tombstone, time, len, payload),
+                wire::Frame::Error { message } => {
+                    let message = message.to_string();
+                    self.scratch.rx = rx;
+                    self.poison_and_panic(message);
+                }
+                other => {
+                    violation = Some(format!(
+                        "collective protocol violation: rank {peer} sent {other:?} where a contribution was expected"
+                    ));
+                    break 'peers;
+                }
+            };
+            if round != my_round {
+                violation = Some(format!(
+                    "collective-order violation: rank {peer} is in collective round {round} while rank 0 is in round {my_round}"
+                ));
+                break 'peers;
+            }
+            if peer_op != op {
+                violation = Some(format!(
+                    "collective-order violation: rank {peer} entered {peer_op:?} while rank 0 is executing {op:?}"
+                ));
+                break 'peers;
+            }
+            if peer_tomb && !matches!(op, RoundOp::Sum | RoundOp::Max | RoundOp::SumMax { .. }) {
+                violation = Some(format!(
+                    "collective protocol violation: rank {peer} sent a tombstone for {op:?}"
+                ));
+                break 'peers;
+            }
+            let contributed = if peer_tomb { len as usize } else { peer_payload.count() };
+            match op {
+                RoundOp::Sum | RoundOp::Max | RoundOp::SumMax { .. } => {
+                    if contributed != root_len {
+                        violation = Some(format!(
+                            "collective-order violation: rank {peer} contributed {contributed} elements to {op:?}, \
+                             expected {root_len} (as contributed by rank 0)"
+                        ));
+                        break 'peers;
+                    }
+                }
+                RoundOp::CopyRoot => {
+                    if len != ANY_LEN && len as usize != root_len {
+                        violation = Some(format!(
+                            "collective-order violation: rank {peer} supplied a broadcast buffer of {len} elements \
+                             but the root broadcast {root_len}"
+                        ));
+                        break 'peers;
+                    }
+                }
+                RoundOp::Barrier | RoundOp::Concat => {}
+            }
+            let acc = &mut self.scratch.acc;
+            match op {
+                RoundOp::Barrier | RoundOp::CopyRoot => {}
+                RoundOp::Sum => {
+                    if peer_tomb {
+                        for a in acc.iter_mut() {
+                            *a += 0.0;
+                        }
+                    } else {
+                        for (i, a) in acc.iter_mut().enumerate() {
+                            *a += peer_payload.get(i);
+                        }
+                    }
+                }
+                RoundOp::Max => {
+                    if peer_tomb {
+                        for a in acc.iter_mut() {
+                            *a = a.max(0.0);
+                        }
+                    } else {
+                        for (i, a) in acc.iter_mut().enumerate() {
+                            *a = a.max(peer_payload.get(i));
+                        }
+                    }
+                }
+                RoundOp::SumMax { sum_len } => {
+                    for (i, a) in acc.iter_mut().enumerate() {
+                        let v = if peer_tomb { 0.0 } else { peer_payload.get(i) };
+                        if i < sum_len {
+                            *a += v;
+                        } else {
+                            *a = a.max(v);
+                        }
+                    }
+                }
+                RoundOp::Concat => peer_payload.extend_into(acc),
+            }
+            self.scratch
+                .lens
+                .push(if peer_tomb { len } else { peer_payload.count() as u64 });
+            max_time = max_time.max(time);
+            min_time = min_time.min(time);
+        }
+        self.scratch.rx = rx;
+        if let Some(msg) = violation {
+            self.poison_and_panic(msg);
+        }
+        // Reply with the folded result (peers that contributed after a
+        // violation never get one — they panic on the poison notice).
+        let mut tx = std::mem::take(&mut self.scratch.tx);
+        wire::encode_result(&mut tx, my_round, max_time, min_time, &self.scratch.lens, &self.scratch.acc);
+        for peer in 1..n {
+            self.transport.send(peer, &tx);
+        }
+        self.scratch.tx = tx;
+        RoundTiming { max_time, min_time }
+    }
+
+    /// A non-root rank's side of a round: contribute to the root, block on
+    /// its result frame.
+    fn peer_round(
+        &mut self,
+        my_round: u64,
+        op: RoundOp,
+        payload: &[f64],
+        len_field: u64,
+        tombstone: bool,
+        my_time: f64,
+    ) -> RoundTiming {
+        let mut tx = std::mem::take(&mut self.scratch.tx);
+        wire::encode_contribution(&mut tx, my_round, op, tombstone, my_time, len_field, payload);
+        self.transport.send(ROOT_RANK, &tx);
+        self.scratch.tx = tx;
+        let mut rx = std::mem::take(&mut self.scratch.rx);
+        self.transport.recv_into(ROOT_RANK, &mut rx);
+        let timing = match wire::decode(&rx) {
+            Ok(wire::Frame::Result {
+                round,
+                max_time,
+                min_time,
+                lens,
+                payload,
+            }) => {
+                if round != my_round {
+                    let msg = format!(
+                        "collective-order violation: rank {} received the result of round {round} while in round {my_round}",
+                        self.rank
+                    );
+                    self.scratch.rx = rx;
+                    self.poison_and_panic(msg);
+                }
+                let acc = &mut self.scratch.acc;
+                acc.clear();
+                payload.extend_into(acc);
+                self.scratch.lens.clear();
+                for i in 0..lens.count() {
+                    self.scratch.lens.push(lens.get(i));
+                }
+                RoundTiming { max_time, min_time }
+            }
+            // The root (or a peer, relayed by its poison) hit a violation:
+            // re-panic with the original message on this rank too.
+            Ok(wire::Frame::Error { message }) => {
+                let message = message.to_string();
+                self.scratch.rx = rx;
+                panic!("{message}");
+            }
+            Ok(other) => {
+                let msg = format!("collective protocol violation: rank 0 sent {other:?} where a round result was expected");
+                self.scratch.rx = rx;
+                self.poison_and_panic(msg);
+            }
+            Err(e) => {
+                let msg = format!("collective protocol violation: corrupt frame from rank 0: {e}");
+                self.scratch.rx = rx;
+                self.poison_and_panic(msg);
+            }
+        };
+        self.scratch.rx = rx;
+        timing
     }
 
     /// Charges one completed blocking collective: the rank's clock advances
@@ -422,17 +551,13 @@ impl ThreadComm {
     /// Shared implementation of the split-phase element-wise allreduces.
     /// Round skew is recorded at start; idle wait is not (a split-phase
     /// collective's wait is deliberately overlapped with compute).
-    fn start_elementwise(&mut self, op: RoundOp, data: &[f64]) -> CollectiveHandle {
-        let logical = data.len() as f64 * F64_BYTES;
-        let wire = data.len() as f64 * self.wire_bpe();
+    fn start_elementwise(&mut self, op: RoundOp, give: Give<'_>, len: usize) -> CollectiveHandle {
+        let logical = len as f64 * F64_BYTES;
+        let wire = len as f64 * self.wire_bpe();
         let (algo, cost) = self.network.select(CollectiveKind::Allreduce, self.size, wire, self.selector);
-        let my_round = self.begin_round();
-        self.deposit_payload(my_round, op, data);
-        let mut result = self.pool.acquire(data.len());
-        let ((), timing) = self.rendezvous.collect(self.rank, my_round, |st| {
-            result.copy_from_slice(&st.result);
-            Ok(())
-        });
+        let timing = self.run_round(op, give, true);
+        let mut result = self.pool.acquire(len);
+        result.copy_from_slice(&self.scratch.acc);
         self.stats.record_skew(0.0, timing.max_time - timing.min_time);
         CollectiveHandle::new(
             result,
@@ -445,9 +570,38 @@ impl ThreadComm {
         )
         .with_logical_bytes(logical, logical)
     }
+
+    /// A dead rank's replacement for [`Communicator::reduce_sum_root_into`]:
+    /// contributes `len` exact zeros as an empty tombstone frame — no
+    /// payload staged, copied, or sent — with billing identical to an
+    /// explicit zero-filled buffer, so reports stay bit-identical. Returns
+    /// whether this rank is the root (whose reduced result is discarded; a
+    /// tombstoning root has no buffer to fill).
+    fn reduce_sum_root_tombstone_impl(&mut self, len: usize) -> bool {
+        let logical = len as f64 * F64_BYTES;
+        let wire = len as f64 * self.wire_bpe();
+        let peers = self.size as f64 - 1.0;
+        let is_root = self.rank == ROOT_RANK;
+        let timing = self.run_round(RoundOp::Sum, Give::Tombstone(len), false);
+        let (received, logical_received) = if is_root {
+            (wire * peers, logical * peers)
+        } else {
+            (0.0, 0.0)
+        };
+        self.bill_blocking(
+            CollectiveKind::Reduce,
+            wire,
+            wire,
+            received,
+            logical,
+            logical_received,
+            timing,
+        );
+        is_root
+    }
 }
 
-impl Communicator for ThreadComm {
+impl Communicator for ClusterComm {
     fn rank(&self) -> usize {
         self.rank
     }
@@ -457,10 +611,7 @@ impl Communicator for ThreadComm {
     }
 
     fn barrier(&mut self) {
-        let my_round = self.begin_round();
-        self.rendezvous
-            .deposit(self.rank, my_round, RoundOp::Barrier, &[], self.elapsed);
-        let ((), timing) = self.rendezvous.collect(self.rank, my_round, |_| Ok(()));
+        let timing = self.run_round(RoundOp::Barrier, Give::Data(&[]), false);
         self.bill_blocking(CollectiveKind::Barrier, 0.0, 0.0, 0.0, 0.0, 0.0, timing);
     }
 
@@ -468,9 +619,14 @@ impl Communicator for ThreadComm {
         let logical = data.len() as f64 * F64_BYTES;
         let wire = data.len() as f64 * self.wire_bpe();
         let peers = self.size as f64 - 1.0;
-        let my_round = self.begin_round();
-        self.deposit_payload(my_round, RoundOp::Concat, data);
-        let (contributions, timing) = self.rendezvous.collect(self.rank, my_round, |st| Ok(st.slots.to_vec()));
+        let timing = self.run_round(RoundOp::Concat, Give::Data(data), true);
+        let mut contributions = Vec::with_capacity(self.size);
+        let mut offset = 0usize;
+        for r in 0..self.size {
+            let len = self.scratch.lens[r] as usize;
+            contributions.push(self.scratch.acc[offset..offset + len].to_vec());
+            offset += len;
+        }
         self.bill_blocking(
             CollectiveKind::Allgather,
             wire,
@@ -503,11 +659,19 @@ impl Communicator for ThreadComm {
         let wire = data.len() as f64 * self.wire_bpe();
         let peers = self.size as f64 - 1.0;
         let is_root = self.rank == ROOT_RANK;
-        let my_round = self.begin_round();
-        self.deposit_payload(my_round, RoundOp::Concat, data);
-        let (contributions, timing) = self.rendezvous.collect(self.rank, my_round, |st| {
-            Ok(if is_root { Some(st.slots.to_vec()) } else { None })
-        });
+        let timing = self.run_round(RoundOp::Concat, Give::Data(data), true);
+        let contributions = if is_root {
+            let mut all = Vec::with_capacity(self.size);
+            let mut offset = 0usize;
+            for r in 0..self.size {
+                let len = self.scratch.lens[r] as usize;
+                all.push(self.scratch.acc[offset..offset + len].to_vec());
+                offset += len;
+            }
+            Some(all)
+        } else {
+            None
+        };
         let (received, logical_received) = if is_root {
             (wire * peers, logical * peers)
         } else {
@@ -526,22 +690,23 @@ impl Communicator for ThreadComm {
     }
 
     fn broadcast_root(&mut self, data: Option<&[f64]>) -> Vec<f64> {
-        let payload: &[f64] = if self.rank == ROOT_RANK {
+        let is_root = self.rank == ROOT_RANK;
+        let payload: &[f64] = if is_root {
             data.expect("root must provide broadcast data")
         } else {
             &[]
         };
         let sent = payload.len() as f64 * self.wire_bpe();
         let logical_sent = payload.len() as f64 * F64_BYTES;
-        let my_round = self.begin_round();
-        // The root's payload is compressed at deposit, so every rank —
-        // including the root, whose return value also comes from the
-        // rendezvous result — observes the identical wire-format values.
-        self.deposit_payload(my_round, RoundOp::CopyRoot, payload);
-        let (root_data, timing) = self.rendezvous.collect(self.rank, my_round, |st| Ok(st.result.to_vec()));
+        // The root's payload is compressed at staging, so every rank —
+        // including the root, whose return value also comes from the round
+        // result — observes the identical wire-format values.
+        let give = if is_root { Give::Data(payload) } else { Give::Expect(None) };
+        let timing = self.run_round(RoundOp::CopyRoot, give, true);
+        let root_data = self.scratch.acc.to_vec();
         let wire = root_data.len() as f64 * self.wire_bpe();
         let logical = root_data.len() as f64 * F64_BYTES;
-        let (received, logical_received) = if self.rank == ROOT_RANK { (0.0, 0.0) } else { (wire, logical) };
+        let (received, logical_received) = if is_root { (0.0, 0.0) } else { (wire, logical) };
         self.bill_blocking(
             CollectiveKind::Broadcast,
             wire,
@@ -556,12 +721,14 @@ impl Communicator for ThreadComm {
 
     fn scatter_root(&mut self, parts: Option<&[Vec<f64>]>) -> Vec<f64> {
         // The root flattens its per-rank payloads with a length header so the
-        // rendezvous only ever carries flat f64 vectors. Under compression
-        // only the payload section is rounded through the wire format — the
+        // round only ever carries flat f64 vectors. Under compression only
+        // the payload section is rounded through the wire format — the
         // length header must survive exactly (every small integer does fit
-        // f16, but the framing must not depend on that).
+        // f16, but the framing must not depend on that) — which is why the
+        // flat vector is pre-rounded here and the round runs uncompressed.
         let compression = self.compression;
-        let flat = if self.rank == ROOT_RANK {
+        let is_root = self.rank == ROOT_RANK;
+        let flat = if is_root {
             let parts = parts.expect("root must provide scatter parts");
             assert_eq!(parts.len(), self.size, "scatter_root: need one part per rank");
             let mut flat = Vec::with_capacity(self.size + parts.iter().map(|p| p.len()).sum::<usize>());
@@ -576,29 +743,27 @@ impl Communicator for ThreadComm {
             Vec::new()
         };
         let wire_bpe = self.wire_bpe();
-        let (sent, logical_sent) = if self.rank == ROOT_RANK {
+        let (sent, logical_sent) = if is_root {
             let headers = self.size as f64 * F64_BYTES;
             let payload = (flat.len() - self.size) as f64;
             (headers + payload * wire_bpe, headers + payload * F64_BYTES)
         } else {
             (0.0, 0.0)
         };
-        let size = self.size;
-        let rank = self.rank;
-        let my_round = self.begin_round();
-        self.rendezvous
-            .deposit(self.rank, my_round, RoundOp::CopyRoot, &flat, self.elapsed);
-        let ((mine, avg_bytes), timing) = self.rendezvous.collect(self.rank, my_round, |st| {
-            let root_flat = &st.result;
+        let give = if is_root { Give::Data(&flat) } else { Give::Expect(None) };
+        let timing = self.run_round(RoundOp::CopyRoot, give, false);
+        let (mine, avg_bytes) = {
+            let root_flat = &self.scratch.acc;
+            let size = self.size;
             let lengths: Vec<usize> = root_flat[..size].iter().map(|&l| l as usize).collect();
             let avg_bytes = lengths.iter().sum::<usize>() as f64 / size as f64 * wire_bpe;
             let mut offset = size;
-            for l in lengths.iter().take(rank) {
+            for l in lengths.iter().take(self.rank) {
                 offset += l;
             }
-            Ok((root_flat[offset..offset + lengths[rank]].to_vec(), avg_bytes))
-        });
-        let (received, logical_received) = if self.rank == ROOT_RANK {
+            (root_flat[offset..offset + lengths[self.rank]].to_vec(), avg_bytes)
+        };
+        let (received, logical_received) = if is_root {
             (0.0, 0.0)
         } else {
             (mine.len() as f64 * wire_bpe, mine.len() as f64 * F64_BYTES)
@@ -617,30 +782,22 @@ impl Communicator for ThreadComm {
 
     // ------------------------------------------------------------------
     // In-place hot-path collectives: zero heap allocations once the
-    // rendezvous buffers are warm.
+    // engine scratch is warm.
     // ------------------------------------------------------------------
 
     fn allreduce_sum_into(&mut self, buf: &mut [f64]) {
         let logical = buf.len() as f64 * F64_BYTES;
         let wire = buf.len() as f64 * self.wire_bpe();
-        let my_round = self.begin_round();
-        self.deposit_payload(my_round, RoundOp::Sum, buf);
-        let ((), timing) = self.rendezvous.collect(self.rank, my_round, |st| {
-            buf.copy_from_slice(&st.result);
-            Ok(())
-        });
+        let timing = self.run_round(RoundOp::Sum, Give::Data(buf), true);
+        buf.copy_from_slice(&self.scratch.acc);
         self.bill_blocking(CollectiveKind::Allreduce, wire, wire, wire, logical, logical, timing);
     }
 
     fn allreduce_max_into(&mut self, buf: &mut [f64]) {
         let logical = buf.len() as f64 * F64_BYTES;
         let wire = buf.len() as f64 * self.wire_bpe();
-        let my_round = self.begin_round();
-        self.deposit_payload(my_round, RoundOp::Max, buf);
-        let ((), timing) = self.rendezvous.collect(self.rank, my_round, |st| {
-            buf.copy_from_slice(&st.result);
-            Ok(())
-        });
+        let timing = self.run_round(RoundOp::Max, Give::Data(buf), true);
+        buf.copy_from_slice(&self.scratch.acc);
         self.bill_blocking(CollectiveKind::Allreduce, wire, wire, wire, logical, logical, timing);
     }
 
@@ -649,14 +806,10 @@ impl Communicator for ThreadComm {
         let wire = buf.len() as f64 * self.wire_bpe();
         let peers = self.size as f64 - 1.0;
         let is_root = self.rank == ROOT_RANK;
-        let my_round = self.begin_round();
-        self.deposit_payload(my_round, RoundOp::Sum, buf);
-        let ((), timing) = self.rendezvous.collect(self.rank, my_round, |st| {
-            if is_root {
-                buf.copy_from_slice(&st.result);
-            }
-            Ok(())
-        });
+        let timing = self.run_round(RoundOp::Sum, Give::Data(buf), true);
+        if is_root {
+            buf.copy_from_slice(&self.scratch.acc);
+        }
         let (received, logical_received) = if is_root {
             (wire * peers, logical * peers)
         } else {
@@ -675,33 +828,25 @@ impl Communicator for ThreadComm {
     }
 
     fn broadcast_root_into(&mut self, buf: &mut [f64]) {
-        let rank = self.rank;
-        let is_root = rank == ROOT_RANK;
-        let payload: &[f64] = if is_root { buf } else { &[] };
-        let sent = payload.len() as f64 * self.wire_bpe();
-        let logical_sent = payload.len() as f64 * F64_BYTES;
+        let is_root = self.rank == ROOT_RANK;
+        let sent = if is_root { buf.len() as f64 * self.wire_bpe() } else { 0.0 };
+        let logical_sent = if is_root { buf.len() as f64 * F64_BYTES } else { 0.0 };
         // Under compression the root must read back its own compressed
         // payload too: its buffer holds full-width values the other ranks
         // will never see, and broadcast leaves every rank bit-identical.
         let root_copies = !self.compression.is_identity();
-        let my_round = self.begin_round();
-        self.deposit_payload(my_round, RoundOp::CopyRoot, payload);
-        let ((), timing) = self.rendezvous.collect(self.rank, my_round, |st| {
-            if st.result.len() != buf.len() {
-                // Returning Err poisons the rendezvous so the other ranks
-                // panic too instead of deadlocking in an undrainable round.
-                return Err(format!(
-                    "collective-order violation: rank {rank} supplied a broadcast buffer of {} elements \
-                     but the root broadcast {}",
-                    buf.len(),
-                    st.result.len()
-                ));
-            }
-            if !is_root || root_copies {
-                buf.copy_from_slice(&st.result);
-            }
-            Ok(())
-        });
+        // Non-root ranks assert their buffer length on the contribution
+        // frame; the root validates it against its payload and poisons the
+        // round on a mismatch, so every rank panics instead of deadlocking.
+        let give = if is_root {
+            Give::Data(&*buf)
+        } else {
+            Give::Expect(Some(buf.len()))
+        };
+        let timing = self.run_round(RoundOp::CopyRoot, give, true);
+        if !is_root || root_copies {
+            buf.copy_from_slice(&self.scratch.acc);
+        }
         let wire = buf.len() as f64 * self.wire_bpe();
         let logical = buf.len() as f64 * F64_BYTES;
         let (received, logical_received) = if is_root { (0.0, 0.0) } else { (wire, logical) };
@@ -726,20 +871,17 @@ impl Communicator for ThreadComm {
         let wire = data.len() as f64 * self.wire_bpe();
         let peers = self.size as f64 - 1.0;
         let rank = self.rank;
-        let expected = data.len();
-        let my_round = self.begin_round();
-        self.deposit_payload(my_round, RoundOp::Concat, data);
-        let ((), timing) = self.rendezvous.collect(self.rank, my_round, |st| {
-            if let Some(bad) = (0..st.lens.len()).find(|&r| st.lens[r] != expected) {
-                return Err(format!(
-                    "collective-order violation: rank {bad} contributed {} elements to allgather_into, \
-                     expected {expected} (as supplied by rank {rank})",
-                    st.lens[bad]
-                ));
-            }
-            out.copy_from_slice(&st.result);
-            Ok(())
-        });
+        let expected = data.len() as u64;
+        let timing = self.run_round(RoundOp::Concat, Give::Data(data), true);
+        if let Some(bad) = (0..self.scratch.lens.len()).find(|&r| self.scratch.lens[r] != expected) {
+            let msg = format!(
+                "collective-order violation: rank {bad} contributed {} elements to allgather_into, \
+                 expected {expected} (as supplied by rank {rank})",
+                self.scratch.lens[bad]
+            );
+            self.poison_and_panic(msg);
+        }
+        out.copy_from_slice(&self.scratch.acc);
         self.bill_blocking(
             CollectiveKind::Allgather,
             wire,
@@ -753,17 +895,17 @@ impl Communicator for ThreadComm {
 
     // ------------------------------------------------------------------
     // Split-phase collectives: the data exchange happens at `start` (the
-    // rendezvous synchronises the threads), but the *simulated clock* is
-    // only advanced at `wait`, so compute issued in between overlaps with
-    // the collective and only the non-overlapped tail is billed.
+    // round synchronises the ranks), but the *simulated clock* is only
+    // advanced at `wait`, so compute issued in between overlaps with the
+    // collective and only the non-overlapped tail is billed.
     // ------------------------------------------------------------------
 
     fn start_allreduce_sum(&mut self, data: &[f64]) -> CollectiveHandle {
-        self.start_elementwise(RoundOp::Sum, data)
+        self.start_elementwise(RoundOp::Sum, Give::Data(data), data.len())
     }
 
     fn start_allreduce_max(&mut self, data: &[f64]) -> CollectiveHandle {
-        self.start_elementwise(RoundOp::Max, data)
+        self.start_elementwise(RoundOp::Max, Give::Data(data), data.len())
     }
 
     fn start_allreduce_sum_max(&mut self, data: &[f64], sum_len: usize) -> CollectiveHandle {
@@ -772,7 +914,19 @@ impl Communicator for ThreadComm {
             "start_allreduce_sum_max: sum_len {sum_len} exceeds payload length {}",
             data.len()
         );
-        self.start_elementwise(RoundOp::SumMax { sum_len }, data)
+        self.start_elementwise(RoundOp::SumMax { sum_len }, Give::Data(data), data.len())
+    }
+
+    fn reduce_sum_root_tombstone(&mut self, len: usize) -> bool {
+        self.reduce_sum_root_tombstone_impl(len)
+    }
+
+    fn start_allreduce_sum_max_tombstone(&mut self, len: usize, sum_len: usize) -> CollectiveHandle {
+        assert!(
+            sum_len <= len,
+            "start_allreduce_sum_max_tombstone: sum_len {sum_len} exceeds payload length {len}"
+        );
+        self.start_elementwise(RoundOp::SumMax { sum_len }, Give::Tombstone(len), len)
     }
 
     fn wait_into(&mut self, handle: CollectiveHandle, out: &mut [f64]) {
@@ -906,33 +1060,68 @@ impl Cluster {
         self.compression
     }
 
+    /// Builds the collective engine of one rank over an arbitrary
+    /// transport — the multi-process entry point: each process connects its
+    /// own [`crate::transport::tcp::TcpTransport`] and runs its rank's
+    /// solver against the resulting communicator. The transport decides the
+    /// rank; the cluster decides the cost model and the rank's straggler
+    /// scale.
+    ///
+    /// # Panics
+    /// Panics if the transport's size disagrees with the cluster's.
+    pub fn connect(&self, transport: Box<dyn Transport>) -> ClusterComm {
+        let rank = transport.rank();
+        ClusterComm::new(
+            self.size,
+            self.network,
+            self.selector,
+            self.compression,
+            self.rank_scale(rank),
+            transport,
+        )
+    }
+
     /// Runs `f` on every rank (each on its own thread) and returns the
     /// results in rank order. The closure receives a mutable [`ThreadComm`]
     /// implementing [`Communicator`].
+    ///
+    /// Any rank's panic poisons the shared fabric first, so ranks blocked
+    /// mid-collective panic too instead of deadlocking, and is then
+    /// propagated with its original message.
     pub fn run<T, F>(&self, f: F) -> Vec<T>
     where
         T: Send,
         F: Fn(&mut ThreadComm) -> T + Sync,
     {
-        let rendezvous = Arc::new(Rendezvous::new(self.size));
+        let fabric = ThreadFabric::new(self.size);
         let mut results: Vec<Option<T>> = (0..self.size).map(|_| None).collect();
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(self.size);
             for (rank, slot) in results.iter_mut().enumerate() {
-                let rendezvous = Arc::clone(&rendezvous);
-                let network = self.network;
-                let selector = self.selector;
-                let compression = self.compression;
-                let scale = self.rank_scale(rank);
-                let size = self.size;
+                let fabric = std::sync::Arc::clone(&fabric);
                 let f = &f;
+                let this = &*self;
                 handles.push(scope.spawn(move || {
-                    let mut comm = ThreadComm::new(rank, size, network, selector, compression, scale, rendezvous);
-                    *slot = Some(f(&mut comm));
+                    let transport = fabric.endpoint(rank);
+                    let mut comm = this.connect(Box::new(transport));
+                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut comm))) {
+                        Ok(out) => *slot = Some(out),
+                        Err(payload) => {
+                            let msg = payload
+                                .downcast_ref::<&str>()
+                                .map(|s| s.to_string())
+                                .or_else(|| payload.downcast_ref::<String>().cloned())
+                                .unwrap_or_else(|| format!("rank {rank} panicked"));
+                            fabric.poison(&msg);
+                            std::panic::resume_unwind(payload);
+                        }
+                    }
                 }));
             }
             for h in handles {
-                h.join().expect("cluster rank panicked");
+                if let Err(payload) = h.join() {
+                    std::panic::resume_unwind(payload);
+                }
             }
         });
         results.into_iter().map(|r| r.expect("rank produced no result")).collect()
@@ -955,7 +1144,6 @@ impl Cluster {
         self.run(|comm| f(comm, &shards[comm.rank()]))
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1577,5 +1765,83 @@ mod tests {
             assert_eq!(stats.bytes_sent, 5.0 * 100_000.0 * 2.0);
             assert_eq!(stats.logical_bytes_sent, 5.0 * 100_000.0 * 8.0);
         }
+    }
+
+    #[test]
+    fn tombstone_contributions_are_bit_identical_to_explicit_zeros() {
+        // A dead rank used to deposit full zero-filled buffers; the
+        // tombstone path must leave every result, clock, and stats counter
+        // with the exact same bits.
+        let run = |rank1_tombstones: bool| {
+            cluster(3).run(move |comm| {
+                let dead = comm.rank() == 1;
+                let mut buf = if dead {
+                    [0.0; 3]
+                } else {
+                    [comm.rank() as f64 + 0.25, -0.5, 1.0 / 3.0]
+                };
+                let is_root = if dead && rank1_tombstones {
+                    comm.reduce_sum_root_tombstone(3)
+                } else {
+                    comm.reduce_sum_root_into(&mut buf)
+                };
+                let h = if dead && rank1_tombstones {
+                    comm.start_allreduce_sum_max_tombstone(4, 3)
+                } else {
+                    let data = if dead {
+                        [0.0; 4]
+                    } else {
+                        [comm.rank() as f64, 2.0, -1.0, 0.75]
+                    };
+                    comm.start_allreduce_sum_max(&data, 3)
+                };
+                let mut out = [0.0; 4];
+                comm.wait_into(h, &mut out);
+                let root_buf = if is_root { Some(buf) } else { None };
+                (root_buf, out, comm.elapsed(), comm.stats())
+            })
+        };
+        let zeros = run(false);
+        let tombstoned = run(true);
+        for (rank, ((a_buf, a_out, a_t, a_s), (b_buf, b_out, b_t, b_s))) in zeros.iter().zip(&tombstoned).enumerate() {
+            assert_eq!(a_buf, b_buf, "rank {rank} root result deviated");
+            for (x, y) in a_out.iter().zip(b_out) {
+                assert_eq!(x.to_bits(), y.to_bits(), "rank {rank} sum-max result deviated");
+            }
+            assert_eq!(a_t.to_bits(), b_t.to_bits(), "rank {rank} clock deviated");
+            assert_eq!(a_s, b_s, "rank {rank} stats deviated");
+        }
+    }
+
+    #[test]
+    fn gather_comm_stats_collects_every_rank_in_order() {
+        let results = cluster(3).run(|comm| {
+            comm.advance_compute(comm.rank() as f64 + 1.0);
+            comm.barrier();
+            let gathered = comm.gather_comm_stats();
+            (comm.rank(), comm.stats(), gathered)
+        });
+        let all: Vec<CommStats> = results.iter().map(|(_, s, _)| *s).collect();
+        for (rank, _, gathered) in &results {
+            if *rank == ROOT_RANK {
+                assert_eq!(gathered.as_ref().unwrap(), &all);
+            } else {
+                assert!(gathered.is_none(), "only the root collects the stats");
+            }
+        }
+    }
+
+    #[test]
+    fn a_transport_outlives_the_engine_and_can_be_reconnected() {
+        let fabric = ThreadFabric::new(1);
+        let c = cluster(1);
+        let mut comm = c.connect(Box::new(fabric.endpoint(0)));
+        assert_eq!(comm.transport_backend(), "thread");
+        comm.barrier();
+        let transport = comm.into_transport();
+        let mut comm = c.connect(transport);
+        comm.barrier();
+        assert_eq!(comm.rank(), 0);
+        assert_eq!(comm.stats().collectives, 1, "a reconnected engine starts fresh");
     }
 }

@@ -217,11 +217,11 @@ impl AdmmWorker {
             // A dead rank contributes zero weight: its `ρ_i x_i − y_i` and
             // `ρ_i` terms vanish from the reduce, so the z-update's average
             // is re-weighted over the surviving ranks automatically. The
-            // collective data path is still exercised (every rank must call
-            // every collective), and the dead rank's `z` keeps tracking the
+            // contribution is a tombstone — an op-tagged empty frame billed
+            // exactly like an explicit zero payload, skipping the staging
+            // and fold work — and the dead rank's `z` keeps tracking the
             // survivors' consensus through the broadcast.
-            self.payload.fill(0.0);
-            comm.reduce_sum_root_into(&mut self.payload);
+            comm.reduce_sum_root_tombstone(self.payload.len());
             comm.broadcast_root_into(&mut self.z);
             return;
         }
@@ -283,10 +283,11 @@ impl AdmmWorker {
         let has_accuracy = self.cfg.record_accuracy && test.is_some();
         if self.dead {
             // A dead rank's shard has left the problem: it contributes zero
-            // loss, penalty, and residual, so the recorded objective is the
-            // survivors' objective (plus regulariser) and `mean_rho`
+            // loss, penalty, and residual (as a tombstone frame, billed like
+            // the explicit zeros it stands for), so the recorded objective
+            // is the survivors' objective (plus regulariser) and `mean_rho`
             // averages dead ranks as 0.
-            let handle = comm.start_allreduce_sum_max(&[0.0, 0.0, 0.0, 0.0], 3);
+            let handle = comm.start_allreduce_sum_max_tombstone(4, 3);
             return InstrumentationHandles { handle, has_accuracy };
         }
         let loss = self.local.value_ws(&self.z, &mut self.ws);
@@ -822,6 +823,110 @@ mod tests {
         let hist = &outputs[0].history;
         assert!(hist.final_objective().unwrap().is_finite());
         assert!(hist.final_objective().unwrap() < hist.records[0].objective);
+    }
+
+    #[test]
+    fn dropout_tombstones_are_bit_identical_to_explicit_zero_contributions() {
+        // A forwarding communicator that keeps the engine's collectives but
+        // strips the tombstone overrides, so the dead rank walks the
+        // trait-default path: an explicit zero-filled buffer through the
+        // full collective data path — exactly the pre-tombstone behaviour.
+        struct ZeroFill<'a, C: Communicator>(&'a mut C);
+        impl<C: Communicator> Communicator for ZeroFill<'_, C> {
+            fn rank(&self) -> usize {
+                self.0.rank()
+            }
+            fn size(&self) -> usize {
+                self.0.size()
+            }
+            fn barrier(&mut self) {
+                self.0.barrier()
+            }
+            fn allgather(&mut self, data: &[f64]) -> Vec<Vec<f64>> {
+                self.0.allgather(data)
+            }
+            fn allreduce_sum(&mut self, data: &[f64]) -> Vec<f64> {
+                self.0.allreduce_sum(data)
+            }
+            fn reduce_sum_root(&mut self, data: &[f64]) -> Option<Vec<f64>> {
+                self.0.reduce_sum_root(data)
+            }
+            fn gather_root(&mut self, data: &[f64]) -> Option<Vec<Vec<f64>>> {
+                self.0.gather_root(data)
+            }
+            fn broadcast_root(&mut self, data: Option<&[f64]>) -> Vec<f64> {
+                self.0.broadcast_root(data)
+            }
+            fn scatter_root(&mut self, parts: Option<&[Vec<f64>]>) -> Vec<f64> {
+                self.0.scatter_root(parts)
+            }
+            fn allreduce_sum_into(&mut self, buf: &mut [f64]) {
+                self.0.allreduce_sum_into(buf)
+            }
+            fn allreduce_max_into(&mut self, buf: &mut [f64]) {
+                self.0.allreduce_max_into(buf)
+            }
+            fn reduce_sum_root_into(&mut self, buf: &mut [f64]) -> bool {
+                self.0.reduce_sum_root_into(buf)
+            }
+            fn broadcast_root_into(&mut self, buf: &mut [f64]) {
+                self.0.broadcast_root_into(buf)
+            }
+            fn allgather_into(&mut self, data: &[f64], out: &mut [f64]) {
+                self.0.allgather_into(data, out)
+            }
+            fn start_allreduce_sum(&mut self, data: &[f64]) -> CollectiveHandle {
+                self.0.start_allreduce_sum(data)
+            }
+            fn start_allreduce_max(&mut self, data: &[f64]) -> CollectiveHandle {
+                self.0.start_allreduce_max(data)
+            }
+            fn start_allreduce_sum_max(&mut self, data: &[f64], sum_len: usize) -> CollectiveHandle {
+                self.0.start_allreduce_sum_max(data, sum_len)
+            }
+            fn wait_into(&mut self, handle: CollectiveHandle, out: &mut [f64]) {
+                self.0.wait_into(handle, out)
+            }
+            fn advance_compute(&mut self, dt: f64) {
+                self.0.advance_compute(dt)
+            }
+            fn elapsed(&self) -> f64 {
+                self.0.elapsed()
+            }
+            fn stats(&self) -> CommStats {
+                self.0.stats()
+            }
+            // reduce_sum_root_tombstone / start_allreduce_sum_max_tombstone
+            // deliberately NOT forwarded: the defaults allocate zero-filled
+            // buffers and run them through the collectives above.
+        }
+
+        let (train, _) = small_dataset(120, 3, 8, 13);
+        let (shards, _) = partition_strong(&train, 3);
+        let cluster = Cluster::new(3, NetworkModel::infiniband_100g());
+        let cfg = NewtonAdmmConfig {
+            dropout: Some(crate::config::DropoutSpec { rank: 1, at_iter: 2 }),
+            ..quick_config(8)
+        };
+        let tombstoned = cluster.run_sharded(&shards, |comm, shard| {
+            let out = NewtonAdmm::new(cfg).run_distributed(comm, shard, None);
+            (out, comm.stats())
+        });
+        let zero_filled = cluster.run_sharded(&shards, |comm, shard| {
+            let mut wrapped = ZeroFill(comm);
+            let out = NewtonAdmm::new(cfg).run_distributed(&mut wrapped, shard, None);
+            (out, comm.stats())
+        });
+        for (rank, ((a, a_s), (b, b_s))) in tombstoned.iter().zip(&zero_filled).enumerate() {
+            for (x, y) in a.z.iter().zip(&b.z) {
+                assert_eq!(x.to_bits(), y.to_bits(), "rank {rank} consensus deviated");
+            }
+            for (ra, rb) in a.history.records.iter().zip(&b.history.records) {
+                assert_eq!(ra.objective.to_bits(), rb.objective.to_bits());
+                assert_eq!(ra.sim_time_sec.to_bits(), rb.sim_time_sec.to_bits());
+            }
+            assert_eq!(a_s, b_s, "rank {rank} billing deviated");
+        }
     }
 
     #[test]

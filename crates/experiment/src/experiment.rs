@@ -1,11 +1,11 @@
 //! The [`Experiment`] builder: declaratively compose data, partitioning,
 //! cluster, and solvers, then run everything through one code path.
 
-use crate::report::RunReport;
+use crate::report::{RankSkew, RunReport};
 use crate::solver::{run_rank_solvers_on, run_solver_on, Solver};
 use crate::spec::{ClusterSpec, DataSpec, PartitionSpec, SolverSpec};
 use nadmm_baselines::SyncSgdConfig;
-use nadmm_cluster::Cluster;
+use nadmm_cluster::{Cluster, Communicator, Transport};
 use nadmm_data::Dataset;
 use nadmm_device::DeviceSpec;
 use nadmm_solver::ConfigError;
@@ -209,6 +209,59 @@ impl Experiment {
         }
         Ok(reports)
     }
+
+    /// Runs every solver with this process acting as **one rank** of a
+    /// cluster connected over `transport` (e.g. TCP sockets to peer
+    /// processes started by the launcher). Every rank loads and partitions
+    /// the same data identically and keeps its own shard; collectives run
+    /// over the transport against the same simulated cost models as
+    /// [`Experiment::run`], so the reports are byte-identical to the
+    /// thread-backed ones. Returns `Some(reports)` on rank 0 — the rank
+    /// that gathers every peer's communication counters for the skew
+    /// summary — and `None` on every other rank.
+    pub fn run_with_transport(&self, mut transport: Box<dyn Transport>) -> Result<Option<Vec<RunReport>>, ExperimentError> {
+        self.validate()?;
+        if transport.size() != self.cluster.ranks {
+            return Err(ConfigError::new(
+                "ClusterSpec",
+                "transport",
+                format!(
+                    "connects {} ranks but the cluster declares {}",
+                    transport.size(),
+                    self.cluster.ranks
+                ),
+            )
+            .into());
+        }
+        let loaded;
+        let (train, test): (&Dataset, Option<&Dataset>) = match &self.data {
+            None => return Err(ExperimentError::Data("no data source configured".into())),
+            Some(DataSource::InMemory { train, test }) => (train, test.as_ref()),
+            Some(DataSource::Spec(spec)) => {
+                loaded = spec.load()?;
+                (&loaded.0, loaded.1.as_ref())
+            }
+        };
+        let (shards, _plan) = self.partition.apply(train, self.cluster.ranks)?;
+        let rank = transport.rank();
+        let shard = &shards[rank];
+        let cluster = self.cluster.build();
+        let rank_devices = self.cluster.rank_devices.as_deref();
+        let root = rank == 0;
+        let mut reports = Vec::with_capacity(self.solvers.len());
+        for spec in &self.solvers {
+            let spec = match self.cluster.device {
+                Some(device) => spec.with_device(device),
+                None => spec.clone(),
+            };
+            let (report, reclaimed) = run_spec_over(&cluster, &spec, shard, test, rank_devices, transport)?;
+            transport = reclaimed;
+            if root {
+                reports.push(report.expect("rank 0 gathers every report"));
+            }
+        }
+        Ok(root.then_some(reports))
+    }
 }
 
 impl Default for Experiment {
@@ -266,6 +319,90 @@ pub fn run_spec_on(
         }
         other => Ok(run_one(other)),
     }
+}
+
+/// One-rank counterpart of [`run_spec_on`]: runs one solver spec over an
+/// external transport, reclaiming the transport between candidate runs so a
+/// single connection serves the whole experiment. Rank 0 receives every
+/// peer's communication counters through the transport's stats side channel
+/// and annotates its own report with the fleet's [`RankSkew`] — exactly the
+/// scaffolding [`run_solver_on`] applies to thread-backed runs. Returns
+/// `(Some(report), transport)` on rank 0 and `(None, transport)` elsewhere.
+pub fn run_spec_over(
+    cluster: &Cluster,
+    spec: &SolverSpec,
+    shard: &Dataset,
+    test: Option<&Dataset>,
+    rank_devices: Option<&[DeviceSpec]>,
+    transport: Box<dyn Transport>,
+) -> Result<(Option<RunReport>, Box<dyn Transport>), ExperimentError> {
+    match spec {
+        SolverSpec::SyncSgdGrid { base, grid } => {
+            // Every rank runs every candidate (the collectives need the
+            // whole fleet), but only rank 0 holds reports to select among —
+            // the same best-by-final-objective arithmetic as the
+            // thread-backed grid.
+            let root = transport.rank() == 0;
+            let mut reclaimed = transport;
+            let mut best: Option<RunReport> = None;
+            for &step in grid {
+                let candidate = SolverSpec::SyncSgd(SyncSgdConfig {
+                    step_size: step,
+                    ..*base
+                });
+                let (report, back) = run_candidate_over(cluster, &candidate, shard, test, rank_devices, reclaimed);
+                reclaimed = back;
+                if let Some(report) = report {
+                    let objective = report.final_objective.unwrap_or(f64::INFINITY);
+                    let is_better = best
+                        .as_ref()
+                        .and_then(|b| b.final_objective)
+                        .map(|b| objective < b)
+                        .unwrap_or(true);
+                    if objective.is_finite() && is_better {
+                        best = Some(report);
+                    }
+                }
+            }
+            if root {
+                Ok((Some(best.ok_or(ExperimentError::GridDiverged)?), reclaimed))
+            } else {
+                Ok((None, reclaimed))
+            }
+        }
+        other => Ok(run_candidate_over(cluster, other, shard, test, rank_devices, transport)),
+    }
+}
+
+/// Runs one non-grid candidate over the transport: connect a fresh
+/// communicator (fresh clocks and counters, like each `run_sharded` spawn),
+/// run the solver, gather the fleet's counters at rank 0, and hand the
+/// transport back for the next run.
+fn run_candidate_over(
+    cluster: &Cluster,
+    spec: &SolverSpec,
+    shard: &Dataset,
+    test: Option<&Dataset>,
+    rank_devices: Option<&[DeviceSpec]>,
+    transport: Box<dyn Transport>,
+) -> (Option<RunReport>, Box<dyn Transport>) {
+    let mut comm = cluster.connect(transport);
+    let solver = match rank_devices {
+        None => spec.build().expect("every non-grid spec builds a solver"),
+        Some(devices) => spec
+            .with_device(devices[comm.rank()])
+            .build()
+            .expect("every non-grid spec builds a solver"),
+    };
+    let report = solver.run(&mut comm, shard, test);
+    let gathered = comm.gather_comm_stats();
+    let transport = comm.into_transport();
+    let master = gathered.map(|stats| {
+        let mut master = report;
+        master.rank_skew = Some(RankSkew::from_rank_stats(&stats));
+        master
+    });
+    (master, transport)
 }
 
 #[cfg(test)]

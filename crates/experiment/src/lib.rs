@@ -35,7 +35,7 @@ pub mod scenario;
 pub mod solver;
 pub mod spec;
 
-pub use experiment::{run_spec_on, Experiment, ExperimentError};
+pub use experiment::{run_spec_on, run_spec_over, Experiment, ExperimentError};
 pub use report::{non_finite_path, to_finite_json_pretty, NonFiniteJsonError, RankSkew, RunReport};
 pub use scenario::ScenarioSpec;
 pub use solver::{run_rank_solvers_on, run_solver_on, Aide, Solver};

@@ -80,6 +80,18 @@ impl ScenarioSpec {
         self.require_finite()?;
         self.to_experiment().run()
     }
+
+    /// Validates and runs the scenario with this process as one rank of a
+    /// transport-connected cluster (see
+    /// [`Experiment::run_with_transport`]). Returns `Some(reports)` on
+    /// rank 0 and `None` on every other rank.
+    pub fn run_with_transport(
+        &self,
+        transport: Box<dyn nadmm_cluster::Transport>,
+    ) -> Result<Option<Vec<RunReport>>, ExperimentError> {
+        self.require_finite()?;
+        self.to_experiment().run_with_transport(transport)
+    }
 }
 
 #[cfg(test)]

@@ -8,7 +8,7 @@
 
 use crate::solver::{Aide, Solver};
 use nadmm_baselines::{AideConfig, DaneConfig, Disco, DiscoConfig, Giant, GiantConfig, InexactDane, SyncSgd, SyncSgdConfig};
-use nadmm_cluster::{Cluster, CollectiveSelector, Compression, NetworkModel, StragglerModel};
+use nadmm_cluster::{Cluster, CollectiveSelector, Compression, NetworkModel, StragglerModel, TransportSpec};
 use nadmm_data::{partition_strong, partition_weak, read_libsvm, read_libsvm_pair, Dataset, PartitionPlan, SyntheticConfig};
 use nadmm_device::DeviceSpec;
 use nadmm_solver::validate::{require_nonzero, require_positive, ConfigError};
@@ -168,6 +168,11 @@ pub struct ClusterSpec {
     /// Optional deterministic straggler model: per-rank multiplicative
     /// compute slowdowns (seeded jitter and/or designated slow ranks).
     pub straggler: Option<StragglerModel>,
+    /// Transport backend the cluster's collectives run over: the in-process
+    /// thread fabric (default; pre-transport scenario files decode to it) or
+    /// TCP sockets with per-rank peer addresses. Reports are byte-identical
+    /// across backends — billing is model-driven, never wall-clock.
+    pub transport: TransportSpec,
 }
 
 impl ClusterSpec {
@@ -182,6 +187,7 @@ impl ClusterSpec {
             device: None,
             rank_devices: None,
             straggler: None,
+            transport: TransportSpec::default(),
         }
     }
 
@@ -212,6 +218,12 @@ impl ClusterSpec {
     /// Builder-style straggler model.
     pub fn with_straggler(mut self, model: StragglerModel) -> Self {
         self.straggler = Some(model);
+        self
+    }
+
+    /// Builder-style transport backend override.
+    pub fn with_transport(mut self, transport: TransportSpec) -> Self {
+        self.transport = transport;
         self
     }
 
@@ -266,6 +278,9 @@ impl ClusterSpec {
             if let Err(msg) = model.validate(self.ranks) {
                 return Err(ConfigError::new("ClusterSpec", "straggler", msg));
             }
+        }
+        if let Err(msg) = self.transport.validate(self.ranks) {
+            return Err(ConfigError::new("ClusterSpec", "transport", msg));
         }
         Ok(())
     }
@@ -584,6 +599,41 @@ mod tests {
         let bad =
             ClusterSpec::new(2, NetworkModel::infiniband_100g()).with_straggler(StragglerModel::none().with_slow_rank(7, 2.0));
         assert_eq!(bad.validate().unwrap_err().field, "straggler");
+    }
+
+    #[test]
+    fn transport_specs_round_trip_and_validate_against_the_rank_count() {
+        use serde::{Deserialize, Serialize};
+        // TCP with one peer address per rank round-trips through the value
+        // form scenario files serialize to.
+        let spec = ClusterSpec::new(2, NetworkModel::infiniband_100g()).with_transport(TransportSpec::Tcp {
+            peers: vec!["127.0.0.1:7001".into(), "127.0.0.1:7002".into()],
+        });
+        spec.validate().unwrap();
+        let back = ClusterSpec::from_value(&spec.to_value()).unwrap();
+        assert_eq!(back, spec);
+        // Pre-transport scenario files simply omit the field and decode to
+        // the thread fabric.
+        let legacy = ClusterSpec::default();
+        let mut value = legacy.to_value();
+        if let serde::Value::Map(fields) = &mut value {
+            fields.retain(|(k, _)| k != "transport");
+        } else {
+            panic!("ClusterSpec must serialize to a map");
+        }
+        let decoded = ClusterSpec::from_value(&value).unwrap();
+        assert_eq!(decoded.transport, TransportSpec::Thread);
+        assert_eq!(decoded, legacy);
+        // Peer-list arity must match the rank count.
+        let bad = ClusterSpec::new(3, NetworkModel::infiniband_100g()).with_transport(TransportSpec::Tcp {
+            peers: vec!["127.0.0.1:7001".into()],
+        });
+        assert_eq!(bad.validate().unwrap_err().field, "transport");
+        // Addresses without a port are rejected before any socket opens.
+        let bad = ClusterSpec::new(1, NetworkModel::infiniband_100g()).with_transport(TransportSpec::Tcp {
+            peers: vec!["localhost".into()],
+        });
+        assert_eq!(bad.validate().unwrap_err().field, "transport");
     }
 
     #[test]

@@ -7,13 +7,24 @@
 //! Run with:
 //! ```text
 //! cargo run --release --example scenario_runner -- scenarios/smoke.json \
-//!     [--out PATH] [--save-model MODEL.nadmm] [--precision f16] [--deterministic]
+//!     [--out PATH] [--save-model MODEL.nadmm] [--precision f16] [--deterministic] \
+//!     [--transport thread|tcp] [--rank N --peers host:port,...]
 //! ```
 //!
 //! `--deterministic` zeroes the host wall-clock fields of every report
 //! before writing, so two runs of the same scenario with the same seeds
 //! emit **byte-identical** files — the CI heterogeneity job diffs exactly
 //! that.
+//!
+//! `--transport` selects the collective substrate (flag beats the
+//! `NADMM_TRANSPORT` env var, which beats the scenario's `cluster.transport`
+//! field). `thread` is the in-process simulated cluster. `tcp` runs every
+//! rank as its **own OS process** over loopback sockets: without `--rank`
+//! this process is the launcher — it reserves one port per rank, spawns one
+//! child per rank (`--rank N --peers ...`), and waits for all of them; with
+//! `--rank N` it is rank `N` of the mesh (only rank 0 writes reports).
+//! Billing is model-driven, never wall-clock, so the TCP reports are
+//! byte-identical to the thread ones under `--deterministic`.
 //!
 //! `--save-model PATH` additionally persists the *first* solver's trained
 //! iterate as a versioned `.nadmm` model artifact (plus its provenance
@@ -28,31 +39,149 @@
 use newton_admm_repro::prelude::*;
 use std::process::ExitCode;
 
-fn run(
-    scenario_path: &str,
-    out_path: &str,
-    save_model: Option<&str>,
+/// Everything the CLI resolves before the run starts.
+struct Options {
+    scenario_path: String,
+    out_path: String,
+    save_model: Option<String>,
     precision: TensorEncoding,
     deterministic: bool,
-) -> Result<(), String> {
-    let json = std::fs::read_to_string(scenario_path).map_err(|e| format!("cannot read {scenario_path}: {e}"))?;
-    let scenario = ScenarioSpec::from_json(&json).map_err(|e| format!("cannot parse {scenario_path}: {e}"))?;
+    transport: Option<TransportKind>,
+    rank: Option<usize>,
+    peers: Option<Vec<String>>,
+}
+
+/// Runs the scenario's solvers on this process: on the thread transport all
+/// ranks live here; on TCP this process is exactly one rank of the mesh.
+/// Returns `None` for non-root TCP ranks, which emit no reports.
+fn execute(scenario: &ScenarioSpec, opts: &Options) -> Result<Option<Vec<RunReport>>, String> {
+    let kind = opts
+        .transport
+        .or_else(TransportKind::from_env)
+        .unwrap_or_else(|| scenario.cluster.transport.kind());
+    match kind {
+        TransportKind::Thread => {
+            if opts.rank.is_some() {
+                return Err("--rank only applies to the tcp transport".into());
+            }
+            scenario.run().map(Some).map_err(|e| format!("scenario failed: {e}"))
+        }
+        TransportKind::Tcp => {
+            let rank = opts.rank.expect("the launcher handles rank-less tcp runs");
+            let peers = match (&opts.peers, &scenario.cluster.transport) {
+                (Some(peers), _) => peers.clone(),
+                (None, TransportSpec::Tcp { peers }) => peers.clone(),
+                (None, _) => return Err("tcp rank needs --peers (or peers in the scenario's cluster.transport)".into()),
+            };
+            if peers.len() != scenario.cluster.ranks {
+                return Err(format!(
+                    "got {} peer addresses for {} ranks",
+                    peers.len(),
+                    scenario.cluster.ranks
+                ));
+            }
+            if rank >= peers.len() {
+                return Err(format!("--rank {rank} is outside the {}-rank mesh", peers.len()));
+            }
+            let transport = TcpTransport::connect(rank, &peers).map_err(|e| format!("tcp bootstrap failed: {e}"))?;
+            scenario
+                .run_with_transport(Box::new(transport))
+                .map_err(|e| format!("scenario failed on rank {rank}: {e}"))
+        }
+    }
+}
+
+/// TCP launcher: reserve one loopback port per rank, spawn one child process
+/// per rank with `--rank N --peers ...` (rank 0 keeps the output flags), and
+/// wait for the whole fleet.
+fn launch_tcp_fleet(scenario: &ScenarioSpec, opts: &Options) -> Result<(), String> {
+    let ranks = scenario.cluster.ranks;
+    let peers = match (&opts.peers, &scenario.cluster.transport) {
+        (Some(peers), _) => peers.clone(),
+        (None, TransportSpec::Tcp { peers }) if !peers.is_empty() => peers.clone(),
+        (None, _) => reserve_loopback_peers(ranks).map_err(|e| format!("cannot reserve loopback ports: {e}"))?,
+    };
+    if peers.len() != ranks {
+        return Err(format!("got {} peer addresses for {ranks} ranks", peers.len()));
+    }
+    let exe = std::env::current_exe().map_err(|e| format!("cannot locate this executable: {e}"))?;
+    println!("launching {ranks} tcp ranks on {}", peers.join(", "));
+    let mut children = Vec::with_capacity(ranks);
+    for rank in 0..ranks {
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.arg(&opts.scenario_path)
+            .arg("--transport")
+            .arg("tcp")
+            .arg("--rank")
+            .arg(rank.to_string())
+            .arg("--peers")
+            .arg(peers.join(","));
+        if opts.deterministic {
+            cmd.arg("--deterministic");
+        }
+        if rank == 0 {
+            cmd.arg("--out").arg(&opts.out_path);
+            if let Some(model_path) = &opts.save_model {
+                cmd.arg("--save-model").arg(model_path);
+                cmd.arg("--precision").arg(opts.precision.name());
+            }
+        }
+        let child = cmd.spawn().map_err(|e| format!("cannot spawn rank {rank}: {e}"))?;
+        children.push((rank, child));
+    }
+    let mut failed = Vec::new();
+    for (rank, mut child) in children {
+        match child.wait() {
+            Ok(status) if status.success() => {}
+            Ok(status) => failed.push(format!("rank {rank} exited with {status}")),
+            Err(e) => failed.push(format!("rank {rank} could not be awaited: {e}")),
+        }
+    }
+    if failed.is_empty() {
+        Ok(())
+    } else {
+        Err(failed.join("; "))
+    }
+}
+
+fn run(opts: &Options) -> Result<(), String> {
+    let json = std::fs::read_to_string(&opts.scenario_path).map_err(|e| format!("cannot read {}: {e}", opts.scenario_path))?;
+    let scenario = ScenarioSpec::from_json(&json).map_err(|e| format!("cannot parse {}: {e}", opts.scenario_path))?;
+
+    // A rank-less tcp invocation is the multi-process launcher, not a rank.
+    let kind = opts
+        .transport
+        .or_else(TransportKind::from_env)
+        .unwrap_or_else(|| scenario.cluster.transport.kind());
+    if kind == TransportKind::Tcp && opts.rank.is_none() {
+        return launch_tcp_fleet(&scenario, opts);
+    }
+
     println!(
-        "scenario `{}`: {} on {} ranks, {} solver(s)",
+        "scenario `{}`: {} on {} ranks, {} solver(s) [{} transport]",
         scenario.name,
         scenario.data.describe(),
         scenario.cluster.ranks,
-        scenario.solvers.len()
+        scenario.solvers.len(),
+        kind.name(),
     );
 
-    let mut reports = scenario.run().map_err(|e| format!("scenario failed: {e}"))?;
-    if let Some(model_path) = save_model {
+    let mut reports = match execute(&scenario, opts)? {
+        Some(reports) => reports,
+        None => {
+            // A non-root tcp rank: it contributed to every collective and
+            // has nothing to archive.
+            println!("rank {} finished", opts.rank.unwrap_or(0));
+            return Ok(());
+        }
+    };
+    if let Some(model_path) = &opts.save_model {
         // Export the first solver's trained iterate as a versioned model
         // artifact; any dimension lie or unwritable path is a hard failure.
         let artifact = artifact_for_scenario(&scenario, &reports[0])
             .map_err(|e| format!("cannot build a model artifact from `{}`: {e}", reports[0].solver))?
-            .with_weight_encoding(precision)
-            .map_err(|e| format!("cannot encode the weights as {}: {e}", precision.name()))?;
+            .with_weight_encoding(opts.precision)
+            .map_err(|e| format!("cannot encode the weights as {}: {e}", opts.precision.name()))?;
         artifact
             .save(model_path)
             .map_err(|e| format!("cannot save the model artifact: {e}"))?;
@@ -66,7 +195,7 @@ fn run(
             ModelArtifact::sidecar_path(model_path),
         );
     }
-    if deterministic {
+    if opts.deterministic {
         // Everything in a report is a deterministic function of the
         // scenario except the host wall clock; zero it so same-seed runs
         // are byte-identical.
@@ -81,6 +210,7 @@ fn run(
     // Archive the reports, then *re-read the file* and validate what was
     // actually written — the schema gate must see the bytes on disk.
     let serialized = serde_json::to_string_pretty(&reports).map_err(|e| format!("cannot serialize reports: {e}"))?;
+    let out_path = &opts.out_path;
     if let Some(parent) = std::path::Path::new(out_path).parent() {
         if !parent.as_os_str().is_empty() {
             std::fs::create_dir_all(parent).map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
@@ -141,6 +271,9 @@ fn main() -> ExitCode {
     let mut save_model: Option<String> = None;
     let mut precision: Option<TensorEncoding> = None;
     let mut deterministic = false;
+    let mut transport: Option<TransportKind> = None;
+    let mut rank: Option<usize> = None;
+    let mut peers: Option<Vec<String>> = None;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -175,9 +308,41 @@ fn main() -> ExitCode {
                 }
             },
             "--deterministic" => deterministic = true,
+            "--transport" => match it.next() {
+                Some(value) => match TransportKind::parse(&value) {
+                    Some(kind) => transport = Some(kind),
+                    None => {
+                        eprintln!(
+                            "--transport got unknown backend `{value}`; accepted: {}",
+                            TransportKind::ACCEPTED_SPELLINGS
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                },
+                None => {
+                    eprintln!("--transport requires a backend: {}", TransportKind::ACCEPTED_SPELLINGS);
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--rank" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(r) => rank = Some(r),
+                None => {
+                    eprintln!("--rank requires a rank number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--peers" => match it.next() {
+                Some(list) => peers = Some(list.split(',').map(|s| s.trim().to_string()).collect()),
+                None => {
+                    eprintln!("--peers requires a comma-separated host:port list");
+                    return ExitCode::FAILURE;
+                }
+            },
             flag if flag.starts_with('-') => {
                 eprintln!(
-                    "unknown flag `{flag}`\nusage: scenario_runner [SCENARIO.json] [--out REPORT.json] [--save-model MODEL.nadmm] [--precision ENC] [--deterministic]"
+                    "unknown flag `{flag}`\nusage: scenario_runner [SCENARIO.json] [--out REPORT.json] \
+                     [--save-model MODEL.nadmm] [--precision ENC] [--deterministic] \
+                     [--transport thread|tcp] [--rank N --peers host:port,...]"
                 );
                 return ExitCode::FAILURE;
             }
@@ -194,9 +359,17 @@ fn main() -> ExitCode {
         eprintln!("--precision only affects the saved artifact; pass --save-model PATH as well");
         return ExitCode::FAILURE;
     }
-    let scenario_path = scenario_path.unwrap_or_else(|| "scenarios/smoke.json".to_string());
-    let precision = precision.unwrap_or(TensorEncoding::F64);
-    match run(&scenario_path, &out_path, save_model.as_deref(), precision, deterministic) {
+    let opts = Options {
+        scenario_path: scenario_path.unwrap_or_else(|| "scenarios/smoke.json".to_string()),
+        out_path,
+        save_model,
+        precision: precision.unwrap_or(TensorEncoding::F64),
+        deterministic,
+        transport,
+        rank,
+        peers,
+    };
+    match run(&opts) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("scenario_runner: {e}");

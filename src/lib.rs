@@ -36,8 +36,9 @@ pub mod prelude {
         AideConfig, DaneConfig, Disco, DiscoConfig, Giant, GiantConfig, InexactDane, SyncSgd, SyncSgdConfig,
     };
     pub use nadmm_cluster::{
-        Cluster, CollectiveAlgorithm, CollectiveKind, CollectiveSelector, CommStats, Communicator, Compression, NetworkModel,
-        SingleProcessComm, SlowRank, StragglerModel,
+        reserve_loopback_peers, Cluster, CollectiveAlgorithm, CollectiveKind, CollectiveSelector, CommStats, Communicator,
+        Compression, NetworkModel, SingleProcessComm, SlowRank, StragglerModel, TcpTransport, Transport, TransportKind,
+        TransportSpec, TRANSPORT_ENV,
     };
     pub use nadmm_data::{partition_strong, partition_weak, Dataset, DatasetKind, SyntheticConfig};
     pub use nadmm_device::{Device, DeviceSpec, Workspace};
