@@ -173,7 +173,7 @@ impl Giant {
                 step_values
                     .iter()
                     .enumerate()
-                    .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .min_by(|a, b| a.1.partial_cmp(b.1).expect("line-search step objective is NaN"))
                     .map(|(i, _)| i)
                     .unwrap_or(0)
             });

@@ -23,18 +23,30 @@ thread_local! {
 /// Pass-through system allocator that counts allocation calls per thread.
 pub struct CountingAllocator;
 
+// SAFETY: a pure pass-through to `System` — every call forwards its
+// arguments unchanged, so `System`'s layout/pointer contract is exactly
+// preserved; the counter bump touches only a thread-local Cell and cannot
+// itself allocate (`try_with` returns Err during TLS teardown).
 unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: forwarded verbatim to `System.alloc`; same caller contract.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         let _ = THREAD_ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+        // SAFETY: the caller's layout obligations pass through unchanged.
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: forwarded verbatim to `System.dealloc`; same caller contract.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: ptr/layout come from the caller, who must have obtained
+        // them from `alloc`/`realloc` above — which is `System`.
         unsafe { System.dealloc(ptr, layout) }
     }
 
+    // SAFETY: forwarded verbatim to `System.realloc`; same caller contract.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         let _ = THREAD_ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+        // SAFETY: the caller's pointer/layout obligations pass through
+        // unchanged to the allocator that produced the pointer.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }

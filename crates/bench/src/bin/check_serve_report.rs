@@ -70,7 +70,13 @@ fn main() {
         fail("no warm-path allocation counters recorded");
     }
 
-    let at = |batch: usize| rows_per_sec.iter().find(|(b, _)| *b == batch).map(|(_, ops)| *ops).unwrap();
+    let at = |batch: usize| {
+        rows_per_sec
+            .iter()
+            .find(|(b, _)| *b == batch)
+            .map(|(_, ops)| *ops)
+            .unwrap_or_else(|| fail(&format!("no batch-{batch} throughput row in the serve report")))
+    };
     let speedup = at(32) / at(1);
     if speedup < REQUIRED_SPEEDUP {
         fail(&format!(

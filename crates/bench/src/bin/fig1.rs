@@ -105,7 +105,7 @@ fn main() {
             history.solver.clone(),
             (history.records.len() - 1).to_string(),
             format!("{:.5}", history.avg_epoch_time()),
-            format!("{:.4}", history.final_objective().unwrap()),
+            format!("{:.4}", history.final_objective().expect("fig1 run recorded no objective")),
             history
                 .time_to_objective(target)
                 .map(|t| format!("{t:.4}"))

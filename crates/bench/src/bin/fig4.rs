@@ -69,7 +69,11 @@ fn main() {
             let run = NewtonAdmm::new(cfg).run_cluster(&cluster, &shards, Some(&test));
             let better = best_admm
                 .as_ref()
-                .map(|b| run.history.final_objective().unwrap() < b.history.final_objective().unwrap())
+                .map(|b| {
+                    let ours = run.history.final_objective().expect("rho-sweep run recorded no objective");
+                    let best = b.history.final_objective().expect("best rho-sweep run recorded no objective");
+                    ours < best
+                })
                 .unwrap_or(true);
             if better {
                 best_admm = Some(run);
@@ -100,7 +104,10 @@ fn main() {
                 workers.to_string(),
                 solver_history.solver.clone(),
                 format!("{total:.4}"),
-                format!("{:.4}", solver_history.final_objective().unwrap()),
+                format!(
+                    "{:.4}",
+                    solver_history.final_objective().expect("fig4 run recorded no objective")
+                ),
                 solver_history
                     .final_accuracy()
                     .map(|a| format!("{:.1}%", 100.0 * a))

@@ -67,7 +67,7 @@ fn main() {
                 label.clone(),
                 history.solver.clone(),
                 format!("{:.5}", history.avg_epoch_time()),
-                format!("{:.4}", history.final_objective().unwrap()),
+                format!("{:.4}", history.final_objective().expect("fig5 run recorded no objective")),
                 history
                     .final_accuracy()
                     .map(|a| format!("{:.1}%", 100.0 * a))

@@ -18,9 +18,36 @@
 use nadmm_cluster::{Cluster, NetworkModel};
 use nadmm_data::{partition_strong, partition_weak, Dataset, DatasetKind, SyntheticConfig};
 
-/// Scale factor for experiment sizes, read from `NADMM_SCALE` (default 1.0).
+/// Environment variable scaling experiment sizes (see [`scale_factor`]).
+pub const SCALE_ENV: &str = "NADMM_SCALE";
+
+/// The values [`SCALE_ENV`] accepts, for error messages.
+const SCALE_ACCEPTED: &str = "accepted values: a positive finite number, e.g. NADMM_SCALE=4 or NADMM_SCALE=0.5";
+
+/// Scale factor for experiment sizes, read from [`SCALE_ENV`] (default 1.0).
+///
+/// # Panics
+/// Panics when the variable is set but does not parse as a positive finite
+/// number, naming the variable, the bad value, and the accepted values. The
+/// old parse silently fell back to 1.0 on a typo, which quietly shrank a
+/// scaled run back to the default — the same trap the `NADMM_BENCH_SMOKE`
+/// parser below closes.
 pub fn scale_factor() -> f64 {
-    std::env::var("NADMM_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0)
+    match std::env::var(SCALE_ENV) {
+        Ok(raw) => parse_scale_value(&raw),
+        Err(std::env::VarError::NotPresent) => 1.0,
+        Err(std::env::VarError::NotUnicode(raw)) => {
+            panic!("{SCALE_ENV} is set to a non-UTF-8 value ({raw:?}); {SCALE_ACCEPTED}")
+        }
+    }
+}
+
+/// Parses a [`SCALE_ENV`] value (see [`scale_factor`] for the contract).
+pub fn parse_scale_value(raw: &str) -> f64 {
+    match raw.trim().parse::<f64>() {
+        Ok(v) if v.is_finite() && v > 0.0 => v,
+        _ => panic!("{SCALE_ENV}='{raw}' is not a valid scale factor; {SCALE_ACCEPTED}"),
+    }
 }
 
 /// Environment variable switching the criterion benches into the fast CI
@@ -145,6 +172,20 @@ mod tests {
             let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
             assert!(
                 msg.contains("NADMM_BENCH_SMOKE") && msg.contains("accepted values"),
+                "panic for {bad:?} must name the variable and the accepted values: {msg}"
+            );
+        }
+    }
+
+    #[test]
+    fn scale_values_parse_or_panic_loudly() {
+        assert_eq!(parse_scale_value("4"), 4.0);
+        assert_eq!(parse_scale_value(" 0.5 "), 0.5);
+        for bad in ["", "big", "0", "-2", "inf", "NaN"] {
+            let err = std::panic::catch_unwind(|| parse_scale_value(bad)).unwrap_err();
+            let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+            assert!(
+                msg.contains("NADMM_SCALE") && msg.contains("accepted values"),
                 "panic for {bad:?} must name the variable and the accepted values: {msg}"
             );
         }

@@ -214,7 +214,7 @@ impl CommStats {
         }
         let mut at = 0usize;
         let mut next_u64 = || {
-            let v = u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap());
+            let v = u64::from_le_bytes(bytes[at..at + 8].try_into().expect("stats counter field is 8 bytes"));
             at += 8;
             v
         };

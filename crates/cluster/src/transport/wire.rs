@@ -214,7 +214,7 @@ impl<'a> PayloadView<'a> {
     /// # Panics
     /// Panics if `i >= count()`.
     pub fn get(&self, i: usize) -> f64 {
-        f64::from_le_bytes(self.0[i * 8..i * 8 + 8].try_into().unwrap())
+        f64::from_le_bytes(self.0[i * 8..i * 8 + 8].try_into().expect("f64 payload slice is 8 bytes"))
     }
 
     /// Copies every element into `out`.
@@ -251,7 +251,7 @@ impl<'a> LensView<'a> {
     /// # Panics
     /// Panics if `i >= count()`.
     pub fn get(&self, i: usize) -> u64 {
-        u64::from_le_bytes(self.0[i * 8..i * 8 + 8].try_into().unwrap())
+        u64::from_le_bytes(self.0[i * 8..i * 8 + 8].try_into().expect("u64 payload slice is 8 bytes"))
     }
 }
 
@@ -405,15 +405,21 @@ impl<'a> Reader<'a> {
     }
 
     fn u16(&mut self, field: &'static str) -> Result<u16, WireError> {
-        Ok(u16::from_le_bytes(self.take(2, field)?.try_into().unwrap()))
+        Ok(u16::from_le_bytes(
+            self.take(2, field)?.try_into().expect("take(2) returned 2 bytes"),
+        ))
     }
 
     fn u64(&mut self, field: &'static str) -> Result<u64, WireError> {
-        Ok(u64::from_le_bytes(self.take(8, field)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(
+            self.take(8, field)?.try_into().expect("take(8) returned 8 bytes"),
+        ))
     }
 
     fn f64(&mut self, field: &'static str) -> Result<f64, WireError> {
-        Ok(f64::from_le_bytes(self.take(8, field)?.try_into().unwrap()))
+        Ok(f64::from_le_bytes(
+            self.take(8, field)?.try_into().expect("take(8) returned 8 bytes"),
+        ))
     }
 
     fn rest(&mut self) -> &'a [u8] {
@@ -433,7 +439,7 @@ pub fn decode(frame: &[u8]) -> Result<Frame<'_>, WireError> {
     let magic = r.take(4, "magic")?;
     if magic != WIRE_MAGIC {
         return Err(WireError::BadMagic {
-            found: magic.try_into().unwrap(),
+            found: magic.try_into().expect("take(4) returned 4 bytes of magic"),
         });
     }
     let version = r.u16("version")?;

@@ -72,7 +72,11 @@ impl CsrMatrix {
     pub fn from_raw(rows: usize, cols: usize, indptr: Vec<usize>, indices: Vec<usize>, values: Vec<f64>) -> Self {
         assert_eq!(indptr.len(), rows + 1, "indptr length must be rows+1");
         assert_eq!(indices.len(), values.len(), "indices/values length mismatch");
-        assert_eq!(*indptr.last().unwrap(), indices.len(), "last indptr must equal nnz");
+        assert_eq!(
+            *indptr.last().expect("indptr has rows+1 >= 1 entries"),
+            indices.len(),
+            "last indptr must equal nnz"
+        );
         for w in indptr.windows(2) {
             assert!(w[0] <= w[1], "indptr must be non-decreasing");
         }

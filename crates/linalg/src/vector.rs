@@ -19,7 +19,11 @@ pub(crate) const REDUCE_CHUNK: usize = 4096;
 /// because canonical chunks are disjoint index ranges, so concurrent chunk
 /// bodies touch disjoint memory.
 pub(crate) struct SendMutPtr(pub(crate) *mut f64);
+// SAFETY: the pointer is only dereferenced inside canonical chunk bodies,
+// which write disjoint index ranges (see the struct doc); sharing the wrapper
+// across threads therefore never produces aliasing mutable access.
 unsafe impl Send for SendMutPtr {}
+// SAFETY: as for Send — all access goes through disjoint chunk ranges.
 unsafe impl Sync for SendMutPtr {}
 
 impl SendMutPtr {

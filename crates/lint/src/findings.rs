@@ -1,0 +1,37 @@
+//! Structured lint findings.
+
+use std::fmt;
+
+/// One finding: a rule violation at `file:line`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id (`W01`…`W06`, or `W00` for waiver-hygiene problems).
+    pub rule: &'static str,
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-based line number (0 for file-level findings).
+    pub line: usize,
+    pub message: String,
+}
+
+impl Finding {
+    pub fn new(rule: &'static str, file: &str, line: usize, message: String) -> Self {
+        Self {
+            rule,
+            file: file.to_string(),
+            line,
+            message,
+        }
+    }
+
+    /// Stable sort key: file, then line, then rule.
+    pub fn sort_key(&self) -> (String, usize, &'static str) {
+        (self.file.clone(), self.line, self.rule)
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)
+    }
+}

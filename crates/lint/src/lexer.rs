@@ -1,0 +1,406 @@
+//! A minimal Rust lexer that separates *code* from *comments* and *string
+//! literals*, line by line.
+//!
+//! The rules in [`crate::rules`] only ever pattern-match against the masked
+//! code channel, so `"Instant::now"` inside a string literal, `unsafe` inside
+//! a raw string, or `.unwrap()` inside a doc comment can never produce a
+//! finding. The comment channel is kept per line so the `SAFETY:` audit (W02)
+//! can inspect it, and every string literal is collected so the env-var
+//! inventory (W03) can cross-check `NADMM_*` names against the README.
+//!
+//! Handled syntax: line comments, nested block comments, string literals with
+//! escapes, byte strings, raw strings / raw byte strings with any number of
+//! `#`s (`r"…"`, `r#"…"#`, `br##"…"##`), char and byte-char literals
+//! (disambiguated from lifetimes), and raw identifiers (`r#type` stays code).
+
+/// One source line, split into channels.
+pub struct LexedLine {
+    /// The line's code with comments removed and string/char literal
+    /// *contents* replaced by empty literals (`""` / `''`). Delimiters are
+    /// kept so brace counting and call-shape patterns still work.
+    pub code: String,
+    /// Concatenated comment text that appeared on this line (line comments,
+    /// doc comments, and any block-comment portion crossing this line).
+    pub comment: String,
+    /// True when the line sits inside a `#[cfg(test)]` / `#[test]` region
+    /// (including the attribute line itself). Filled in by a second pass.
+    pub test: bool,
+}
+
+/// A fully lexed source file.
+pub struct Lexed {
+    pub lines: Vec<LexedLine>,
+    /// `(1-based line, contents)` for every string literal, attributed to the
+    /// line the literal *starts* on. Escape sequences are kept raw.
+    pub strings: Vec<(usize, String)>,
+}
+
+/// Lexes `src`, masking literals and comments and marking test regions.
+pub fn lex(src: &str) -> Lexed {
+    let cs: Vec<char> = src.chars().collect();
+    let n = cs.len();
+    let mut lines: Vec<LexedLine> = Vec::new();
+    let mut strings: Vec<(usize, String)> = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut i = 0usize;
+
+    fn flush(lines: &mut Vec<LexedLine>, code: &mut String, comment: &mut String) {
+        lines.push(LexedLine {
+            code: std::mem::take(code),
+            comment: std::mem::take(comment),
+            test: false,
+        });
+    }
+
+    while i < n {
+        let c = cs[i];
+        // Line comment (also covers `///` and `//!`).
+        if c == '/' && i + 1 < n && cs[i + 1] == '/' {
+            i += 2;
+            while i < n && cs[i] != '\n' {
+                comment.push(cs[i]);
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment, possibly nested, possibly spanning lines.
+        if c == '/' && i + 1 < n && cs[i + 1] == '*' {
+            i += 2;
+            let mut depth = 1usize;
+            while i < n && depth > 0 {
+                if cs[i] == '\n' {
+                    flush(&mut lines, &mut code, &mut comment);
+                    i += 1;
+                } else if cs[i] == '/' && i + 1 < n && cs[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if cs[i] == '*' && i + 1 < n && cs[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    comment.push(cs[i]);
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw strings, byte strings, and raw byte strings. `r#ident` (raw
+        // identifier) falls through to plain code below because no quote
+        // follows the hashes.
+        if c == 'r' || c == 'b' {
+            let mut j = i;
+            let mut prefix = String::new();
+            if cs[j] == 'b' {
+                prefix.push('b');
+                j += 1;
+            }
+            let raw = j < n && cs[j] == 'r';
+            if raw {
+                prefix.push('r');
+                j += 1;
+            }
+            let mut hashes = 0usize;
+            if raw {
+                while j < n && cs[j] == '#' {
+                    hashes += 1;
+                    j += 1;
+                }
+            }
+            let quoted = j < n && cs[j] == '"';
+            if quoted && (raw || prefix == "b") {
+                // Opening delimiter. Mask contents, keep delimiters as code.
+                code.push_str(&prefix);
+                for _ in 0..hashes {
+                    code.push('#');
+                }
+                code.push('"');
+                i = j + 1;
+                let start_line = lines.len() + 1;
+                let mut lit = String::new();
+                while i < n {
+                    if cs[i] == '\n' {
+                        lit.push('\n');
+                        flush(&mut lines, &mut code, &mut comment);
+                        i += 1;
+                    } else if cs[i] == '"' {
+                        // In a raw string the closer is `"` + `hashes` `#`s;
+                        // in a plain byte string any unescaped `"` closes.
+                        if raw {
+                            let mut k = 0usize;
+                            while k < hashes && i + 1 + k < n && cs[i + 1 + k] == '#' {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                i += 1 + hashes;
+                                break;
+                            }
+                            lit.push('"');
+                            i += 1;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else if !raw && cs[i] == '\\' {
+                        // `\` + newline is a line continuation: the string
+                        // goes on, but the *source line* still ends here.
+                        if i + 1 < n && cs[i + 1] == '\n' {
+                            flush(&mut lines, &mut code, &mut comment);
+                        } else if i + 1 < n {
+                            lit.push(cs[i + 1]);
+                        }
+                        i += 2;
+                    } else {
+                        lit.push(cs[i]);
+                        i += 1;
+                    }
+                }
+                code.push('"');
+                for _ in 0..hashes {
+                    code.push('#');
+                }
+                strings.push((start_line, lit));
+                continue;
+            }
+            // Not a string start: plain identifier character.
+            code.push(c);
+            i += 1;
+            continue;
+        }
+        // Plain string literal.
+        if c == '"' {
+            code.push('"');
+            i += 1;
+            let start_line = lines.len() + 1;
+            let mut lit = String::new();
+            while i < n {
+                match cs[i] {
+                    '\\' => {
+                        // `\` + newline is a line continuation: the string
+                        // goes on, but the *source line* still ends here.
+                        if i + 1 < n && cs[i + 1] == '\n' {
+                            flush(&mut lines, &mut code, &mut comment);
+                        } else if i + 1 < n {
+                            lit.push(cs[i + 1]);
+                        }
+                        i += 2;
+                    }
+                    '"' => {
+                        i += 1;
+                        break;
+                    }
+                    '\n' => {
+                        lit.push('\n');
+                        flush(&mut lines, &mut code, &mut comment);
+                        i += 1;
+                    }
+                    ch => {
+                        lit.push(ch);
+                        i += 1;
+                    }
+                }
+            }
+            code.push('"');
+            strings.push((start_line, lit));
+            continue;
+        }
+        // Char literal vs lifetime/loop label.
+        if c == '\'' {
+            if i + 1 < n && cs[i + 1] == '\\' {
+                // Escaped char literal: `'\n'`, `'\''`, `'\u{…}'`.
+                i += 2; // past `'` and `\`
+                if i < n {
+                    i += 1; // the escaped character itself (may be `'`)
+                }
+                while i < n && cs[i] != '\'' {
+                    i += 1; // e.g. the rest of `u{1F600}`
+                }
+                i += 1; // closing quote
+                code.push_str("''");
+            } else if i + 2 < n && cs[i + 2] == '\'' && cs[i + 1] != '\'' && cs[i + 1] != '\\' {
+                // Plain char literal `'x'` — a lifetime is never followed by
+                // another `'` one character later.
+                code.push_str("''");
+                i += 3;
+            } else {
+                // Lifetime or loop label.
+                code.push('\'');
+                i += 1;
+            }
+            continue;
+        }
+        if c == '\n' {
+            flush(&mut lines, &mut code, &mut comment);
+            i += 1;
+            continue;
+        }
+        code.push(c);
+        i += 1;
+    }
+    if !code.is_empty() || !comment.is_empty() {
+        flush(&mut lines, &mut code, &mut comment);
+    }
+    mark_test_regions(&mut lines);
+    Lexed { lines, strings }
+}
+
+/// True when `code` carries a test-gating attribute: `#[test]`, or `#[cfg(…)]`
+/// mentioning `test` outside of `not(test)` (a `not(test)` gate compiles the
+/// item *out* of test builds, so it must not arm a test region).
+fn is_test_attr(code: &str) -> bool {
+    if code.contains("#[test]") {
+        return true;
+    }
+    if !code.contains("#[cfg(") {
+        return false;
+    }
+    let scrubbed = code.replace("not(test)", "");
+    contains_word(&scrubbed, "test")
+}
+
+/// True when `pat` occurs in `hay` with non-identifier characters (or the
+/// text boundary) on both sides.
+pub fn contains_word(hay: &str, pat: &str) -> bool {
+    let mut from = 0usize;
+    while let Some(off) = hay[from..].find(pat) {
+        let at = from + off;
+        let left_ok = hay[..at].chars().next_back().is_none_or(|c| !is_ident(c));
+        let right_ok = hay[at + pat.len()..].chars().next().is_none_or(|c| !is_ident(c));
+        if left_ok && right_ok {
+            return true;
+        }
+        from = at + pat.len();
+    }
+    false
+}
+
+pub fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Second pass: mark every line inside a `#[cfg(test)]` / `#[test]` item as
+/// test code by tracking brace depth in the masked code channel. The
+/// attribute line *arms* the tracker; the next `{` opens the region, which
+/// closes when depth returns to the opening level. A `;` before any `{`
+/// (e.g. `#[cfg(test)] mod tests;`) still marks only that line.
+fn mark_test_regions(lines: &mut [LexedLine]) {
+    let mut depth: i64 = 0;
+    let mut armed = false;
+    let mut in_test = false;
+    let mut test_depth: i64 = 0;
+    for line in lines.iter_mut() {
+        if !in_test && is_test_attr(&line.code) {
+            armed = true;
+        }
+        let mut line_is_test = in_test || armed;
+        for ch in line.code.chars() {
+            match ch {
+                '{' => {
+                    if armed && !in_test {
+                        in_test = true;
+                        test_depth = depth;
+                        armed = false;
+                        line_is_test = true;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if in_test && depth == test_depth {
+                        in_test = false;
+                    }
+                }
+                ';' if armed && !in_test => {
+                    armed = false;
+                }
+                _ => {}
+            }
+        }
+        line.test = line_is_test || in_test;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_line_and_block_comments() {
+        let lexed = lex("let x = 1; // Instant::now\n/* unsafe */ let y = 2;\n");
+        assert_eq!(lexed.lines[0].code.trim(), "let x = 1;");
+        assert!(lexed.lines[0].comment.contains("Instant::now"));
+        assert_eq!(lexed.lines[1].code.trim(), "let y = 2;");
+        assert!(lexed.lines[1].comment.contains("unsafe"));
+    }
+
+    #[test]
+    fn nested_block_comment_spans_lines() {
+        let lexed = lex("a /* one /* two */ still\ncomment */ b\n");
+        assert_eq!(lexed.lines[0].code.trim(), "a");
+        assert_eq!(lexed.lines[1].code.trim(), "b");
+        assert!(lexed.lines[1].comment.contains("comment"));
+    }
+
+    #[test]
+    fn masks_strings_and_collects_them() {
+        let lexed = lex("let v = env(\"NADMM_THREADS\");\n");
+        assert_eq!(lexed.lines[0].code, "let v = env(\"\");");
+        assert_eq!(lexed.strings, vec![(1, "NADMM_THREADS".to_string())]);
+    }
+
+    #[test]
+    fn raw_strings_hide_keywords() {
+        let src = "let s = r#\"unsafe { Instant::now() } \"quoted\" \"#;\n";
+        let lexed = lex(src);
+        assert!(!lexed.lines[0].code.contains("unsafe"));
+        assert!(lexed.strings[0].1.contains("unsafe { Instant::now() }"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> char { '\\'' }\nlet c = 'x'; let q = '\"';\n");
+        assert!(lexed.lines[0].code.contains("<'a>"));
+        assert!(lexed.lines[0].code.contains("''"));
+        // The `'\"'` char literal must not open a string.
+        assert!(lexed.strings.is_empty());
+    }
+
+    #[test]
+    fn backslash_newline_continuation_keeps_line_numbers() {
+        let src = "let s = \"one \\\n    two\";\nlet t = after();\n";
+        let lexed = lex(src);
+        // The continuation spans lines 1–2; `after()` must stay on line 3.
+        assert_eq!(lexed.lines.len(), 3);
+        assert!(lexed.lines[2].code.contains("after()"));
+        assert_eq!(lexed.strings[0].0, 1);
+    }
+
+    #[test]
+    fn raw_identifier_stays_code() {
+        let lexed = lex("let r#type = 1;\n");
+        assert_eq!(lexed.lines[0].code, "let r#type = 1;");
+    }
+
+    #[test]
+    fn cfg_test_region_is_marked() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn lib2() {}\n";
+        let lexed = lex(src);
+        let flags: Vec<bool> = lexed.lines.iter().map(|l| l.test).collect();
+        assert_eq!(flags, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn cfg_not_test_does_not_arm() {
+        let src = "#[cfg(not(test))]\nfn real() { x.unwrap(); }\n";
+        let lexed = lex(src);
+        assert!(!lexed.lines[1].test);
+    }
+
+    #[test]
+    fn cfg_test_on_single_statement() {
+        let src = "#[cfg(test)]\nuse helper::thing;\nfn lib() {}\n";
+        let lexed = lex(src);
+        assert!(lexed.lines[1].test);
+        assert!(!lexed.lines[2].test);
+    }
+}

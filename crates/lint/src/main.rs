@@ -1,0 +1,90 @@
+//! `nadmm-lint` binary: lint the workspace, print findings, exit non-zero on
+//! any unwaived finding.
+//!
+//! ```text
+//! nadmm-lint [--root DIR] [--json]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage or hard error (e.g. `lint.json`
+//! does not parse).
+
+use nadmm_lint::lint_workspace;
+use serde_json::Value;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage("--root needs a directory argument"),
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: nadmm-lint [--root DIR] [--json]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let report = match lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("nadmm-lint: error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        let findings = report
+            .findings
+            .iter()
+            .map(|f| {
+                Value::Map(vec![
+                    ("rule".to_string(), Value::Str(f.rule.to_string())),
+                    ("file".to_string(), Value::Str(f.file.clone())),
+                    ("line".to_string(), Value::Num(f.line as f64)),
+                    ("message".to_string(), Value::Str(f.message.clone())),
+                ])
+            })
+            .collect();
+        let doc = Value::Map(vec![
+            ("findings".to_string(), Value::Seq(findings)),
+            ("waived".to_string(), Value::Num(report.waived as f64)),
+            ("files_scanned".to_string(), Value::Num(report.files_scanned as f64)),
+        ]);
+        match serde_json::to_string_pretty(&doc) {
+            Ok(text) => println!("{text}"),
+            Err(e) => {
+                eprintln!("nadmm-lint: error: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        for f in &report.findings {
+            println!("{f}");
+        }
+        println!(
+            "nadmm-lint: {} finding(s), {} waived, {} files scanned",
+            report.findings.len(),
+            report.waived,
+            report.files_scanned
+        );
+    }
+
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("nadmm-lint: {msg}\nusage: nadmm-lint [--root DIR] [--json]");
+    ExitCode::from(2)
+}

@@ -1,0 +1,253 @@
+//! The six workspace rules, evaluated over a lexed file.
+//!
+//! | id  | contract                                                        |
+//! |-----|-----------------------------------------------------------------|
+//! | W01 | wall-clock reads only at waived sites (determinism)             |
+//! | W02 | every `unsafe` needs an adjacent `SAFETY:` / `# Safety` comment |
+//! | W03 | `env::var` only in parse points; `NADMM_*` names documented     |
+//! | W04 | no allocation in warm-path modules                              |
+//! | W05 | no naked `.unwrap()` in non-test library code                   |
+//! | W06 | float reductions in `crates/linalg` go through `rayon::det`     |
+//!
+//! All matching happens on the masked code channel of [`crate::lexer`], so
+//! strings and comments can never trigger a rule.
+
+use crate::config::Config;
+use crate::findings::Finding;
+use crate::lexer::{contains_word, is_ident, lex, LexedLine};
+
+/// How a file participates in the rules, derived from its path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Crate source under `src/` — all rules apply.
+    Library,
+    /// `examples/` — ships to users, so W01/W03 apply, but W05 does not
+    /// (examples may unwrap for brevity).
+    Example,
+    /// Integration tests (`tests/` directories) — only W02 applies.
+    Test,
+    /// `benches/` — only W02 applies (benches measure wall time by design).
+    Bench,
+}
+
+/// Classifies a workspace-relative path (with `/` separators).
+pub fn classify(path: &str) -> FileKind {
+    if path.starts_with("tests/") || path.contains("/tests/") {
+        FileKind::Test
+    } else if path.starts_with("benches/") || path.contains("/benches/") {
+        FileKind::Bench
+    } else if path.starts_with("examples/") || path.contains("/examples/") {
+        FileKind::Example
+    } else {
+        FileKind::Library
+    }
+}
+
+/// Lints one file. `path` must be workspace-relative with `/` separators.
+pub fn lint_file(path: &str, src: &str, cfg: &Config) -> Vec<Finding> {
+    let lexed = lex(src);
+    let kind = classify(path);
+    let shipped = matches!(kind, FileKind::Library | FileKind::Example);
+    let warm = cfg.warm_path_files.iter().any(|f| f == path);
+    let parse_point = cfg.env_parse_points.iter().any(|f| f == path);
+    let mut out = Vec::new();
+
+    for (ix, line) in lexed.lines.iter().enumerate() {
+        let lno = ix + 1;
+        let code = &line.code;
+
+        // W01 — wall-clock discipline.
+        if shipped && !line.test {
+            for pat in ["Instant::now", "SystemTime::now"] {
+                if find_left_bounded(code, pat) {
+                    out.push(Finding::new(
+                        "W01",
+                        path,
+                        lno,
+                        format!(
+                            "`{pat}` reads the wall clock on a shipped path; simulated time \
+                             must come from the device/cluster cost model (waive observability \
+                             fields that `--deterministic` zeroes)"
+                        ),
+                    ));
+                }
+            }
+        }
+
+        // W02 — unsafe audit (applies to every file kind).
+        if contains_word(code, "unsafe") && !safety_adjacent(&lexed.lines, ix) {
+            out.push(Finding::new(
+                "W02",
+                path,
+                lno,
+                "`unsafe` without an adjacent `// SAFETY:` comment stating the \
+                 aliasing/lifetime argument"
+                    .to_string(),
+            ));
+        }
+
+        // W03 — env discipline: reads only at designated parse points.
+        if shipped && !line.test && !parse_point && (code.contains("env::var(") || code.contains("env::var_os(")) {
+            out.push(Finding::new(
+                "W03",
+                path,
+                lno,
+                "`env::var` outside the designated parse-point modules; route \
+                 configuration through a parse point that panics loudly naming the \
+                 variable and accepted spellings"
+                    .to_string(),
+            ));
+        }
+
+        // W04 — warm-path allocation.
+        if warm && !line.test {
+            for pat in ["Vec::new", "vec!", ".to_vec()", ".clone()", "Box::new"] {
+                if find_left_bounded(code, pat) {
+                    out.push(Finding::new(
+                        "W04",
+                        path,
+                        lno,
+                        format!(
+                            "`{pat}` in a warm-path module; warm iterations must reuse \
+                             pooled buffers (see crates/bench/tests/zero_alloc.rs)"
+                        ),
+                    ));
+                }
+            }
+        }
+
+        // W05 — non-test unwrap hygiene.
+        if kind == FileKind::Library && !line.test && code.contains(".unwrap()") {
+            out.push(Finding::new(
+                "W05",
+                path,
+                lno,
+                "`.unwrap()` in non-test library code; use `.expect()` naming the \
+                 offending input, or `unwrap_or_else` with a loud panic"
+                    .to_string(),
+            ));
+        }
+
+        // W06 — float-reduction determinism in the kernel crate.
+        if kind == FileKind::Library && path.starts_with("crates/linalg/") && !line.test {
+            for pat in [".sum::<f64>()", ".sum::<f32>()"] {
+                if code.contains(pat) {
+                    out.push(Finding::new(
+                        "W06",
+                        path,
+                        lno,
+                        format!(
+                            "raw `{pat}` float reduction; the combine order must go \
+                             through `rayon::det`'s canonical chunk layout (waive \
+                             in-chunk sequential reductions)"
+                        ),
+                    ));
+                }
+            }
+            if fold_has_float_seed(code) {
+                out.push(Finding::new(
+                    "W06",
+                    path,
+                    lno,
+                    "`.fold` with a float seed; the combine order must go through \
+                     `rayon::det`'s canonical chunk layout (waive in-chunk sequential \
+                     reductions)"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+
+    // W03 — env inventory: every `NADMM_*` literal in shipped non-test code
+    // must appear in the README, so the docs can never drift from the code.
+    if shipped {
+        if let Some(readme) = &cfg.readme {
+            for (lno, lit) in &lexed.strings {
+                if is_nadmm_var(lit) && !lexed.lines[lno - 1].test && !readme.contains(lit.as_str()) {
+                    out.push(Finding::new(
+                        "W03",
+                        path,
+                        *lno,
+                        format!("env var `{lit}` is referenced here but not documented in README.md"),
+                    ));
+                }
+            }
+        }
+    }
+
+    out
+}
+
+/// True when `pat` occurs in `hay` with a non-identifier character (or the
+/// start of text) immediately to its left. (The right side of our patterns is
+/// always punctuation, so only the left boundary matters.)
+fn find_left_bounded(hay: &str, pat: &str) -> bool {
+    // Patterns starting with punctuation (`.to_vec()`) carry their own
+    // boundary; only identifier-led patterns (`Vec::new`) need the check.
+    let needs_boundary = pat.chars().next().is_some_and(is_ident);
+    let mut from = 0usize;
+    while let Some(off) = hay[from..].find(pat) {
+        let at = from + off;
+        if !needs_boundary || hay[..at].chars().next_back().is_none_or(|c| !is_ident(c)) {
+            return true;
+        }
+        from = at + pat.len();
+    }
+    false
+}
+
+/// True when line `ix` (containing `unsafe`) is covered by a `SAFETY:` (or
+/// rustdoc `# Safety`) comment: on the same line, or reachable by walking up
+/// through blank lines, comment lines, attribute lines, and code lines that
+/// themselves contain `unsafe` (so one comment covers a contiguous group).
+fn safety_adjacent(lines: &[LexedLine], ix: usize) -> bool {
+    fn has_safety(comment: &str) -> bool {
+        comment.contains("SAFETY:") || comment.contains("# Safety")
+    }
+    if has_safety(&lines[ix].comment) {
+        return true;
+    }
+    let mut j = ix;
+    while j > 0 {
+        j -= 1;
+        let l = &lines[j];
+        if has_safety(&l.comment) {
+            return true;
+        }
+        let code = l.code.trim();
+        if code.is_empty() || code.starts_with("#[") || contains_word(code, "unsafe") {
+            continue;
+        }
+        return false;
+    }
+    false
+}
+
+/// Detects `.fold(` whose first argument is a float literal or `f64::`/`f32::`
+/// constant — the seed of an order-sensitive float reduction. `det::fold(` has
+/// no leading `.`, so the canonical helper never matches.
+fn fold_has_float_seed(code: &str) -> bool {
+    let mut from = 0usize;
+    while let Some(off) = code[from..].find(".fold(") {
+        let at = from + off;
+        let arg = code[at + ".fold(".len()..].trim_start();
+        if arg.starts_with("f64::") || arg.starts_with("f32::") {
+            return true;
+        }
+        if arg.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+            let head: String = arg.chars().take_while(|&c| c != ',' && c != ')').collect();
+            if head.contains('.') || head.contains("f64") || head.contains("f32") {
+                return true;
+            }
+        }
+        from = at + ".fold(".len();
+    }
+    false
+}
+
+/// True when `lit` is exactly an env-var name in the workspace namespace:
+/// `NADMM_` followed by uppercase/digit/underscore characters.
+fn is_nadmm_var(lit: &str) -> bool {
+    lit.strip_prefix("NADMM_")
+        .is_some_and(|rest| !rest.is_empty() && rest.chars().all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_'))
+}

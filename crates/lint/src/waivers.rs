@@ -1,0 +1,126 @@
+//! Committed waivers (`lint.json`) and the hygiene rule keeping them honest.
+//!
+//! A waiver suppresses findings with an exact `(rule, file, line)` match.
+//! Waiver problems are themselves findings under rule `W00`: a missing or
+//! empty `reason`, a duplicate entry, or an *orphan* — a waiver whose site no
+//! longer triggers (the code was fixed or moved), so waivers can't rot.
+
+use crate::findings::Finding;
+use serde_json::Value;
+
+/// One entry from `lint.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Waiver {
+    pub rule: String,
+    pub file: String,
+    pub line: usize,
+    pub reason: String,
+}
+
+/// The file name waiver-hygiene findings are attributed to.
+pub const WAIVER_FILE: &str = "lint.json";
+
+/// Parses `lint.json` text. The format is `{"waivers": [{"rule", "file",
+/// "line", "reason"}, …]}`. Malformed *entries* become `W00` findings (so the
+/// binary still exits non-zero with a precise message); a file that is not
+/// JSON at all is a hard error.
+pub fn parse(text: &str) -> Result<(Vec<Waiver>, Vec<Finding>), String> {
+    let root = serde_json::parse_value(text).map_err(|e| format!("lint.json: {e}"))?;
+    let Some(Value::Seq(entries)) = root.get("waivers") else {
+        return Err("lint.json: expected a top-level object with a \"waivers\" array".to_string());
+    };
+    let mut waivers = Vec::new();
+    let mut hygiene = Vec::new();
+    for (ix, entry) in entries.iter().enumerate() {
+        let nth = ix + 1;
+        let field = |key: &str| -> Option<String> {
+            match entry.get(key) {
+                Some(Value::Str(s)) => Some(s.clone()),
+                _ => None,
+            }
+        };
+        let line = match entry.get("line") {
+            Some(Value::Num(n)) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as usize),
+            _ => None,
+        };
+        let (Some(rule), Some(file), Some(line)) = (field("rule"), field("file"), line) else {
+            hygiene.push(Finding::new(
+                "W00",
+                WAIVER_FILE,
+                nth,
+                format!("waiver #{nth} is malformed: needs string \"rule\", string \"file\", and integer \"line\""),
+            ));
+            continue;
+        };
+        let reason = field("reason").unwrap_or_default();
+        if reason.trim().is_empty() {
+            hygiene.push(Finding::new(
+                "W00",
+                WAIVER_FILE,
+                nth,
+                format!("waiver #{nth} ({rule} {file}:{line}) has no reason; every waiver must say why the site is legitimate"),
+            ));
+            continue;
+        }
+        if waivers
+            .iter()
+            .any(|w: &Waiver| w.rule == rule && w.file == file && w.line == line)
+        {
+            hygiene.push(Finding::new(
+                "W00",
+                WAIVER_FILE,
+                nth,
+                format!("waiver #{nth} ({rule} {file}:{line}) duplicates an earlier entry"),
+            ));
+            continue;
+        }
+        waivers.push(Waiver {
+            rule,
+            file,
+            line,
+            reason,
+        });
+    }
+    Ok((waivers, hygiene))
+}
+
+/// Result of applying waivers to raw findings.
+pub struct Applied {
+    /// Findings that survive, plus `W00` findings for orphan waivers.
+    pub findings: Vec<Finding>,
+    /// How many findings the waivers suppressed.
+    pub waived: usize,
+}
+
+/// Applies `waivers` to `findings`; unmatched waivers become `W00` orphans.
+pub fn apply(mut findings: Vec<Finding>, waivers: &[Waiver]) -> Applied {
+    let mut used = vec![false; waivers.len()];
+    let mut waived = 0usize;
+    findings.retain(|f| {
+        match waivers
+            .iter()
+            .position(|w| w.rule == f.rule && w.file == f.file && w.line == f.line)
+        {
+            Some(ix) => {
+                used[ix] = true;
+                waived += 1;
+                false
+            }
+            None => true,
+        }
+    });
+    for (ix, w) in waivers.iter().enumerate() {
+        if !used[ix] {
+            findings.push(Finding::new(
+                "W00",
+                WAIVER_FILE,
+                ix + 1,
+                format!(
+                    "orphan waiver: {} {}:{} no longer triggers — delete the entry (or re-pin its line after an edit)",
+                    w.rule, w.file, w.line
+                ),
+            ));
+        }
+    }
+    Applied { findings, waived }
+}

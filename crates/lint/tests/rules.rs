@@ -1,0 +1,218 @@
+//! Fixture tests: every rule must fire on a minimal positive example and
+//! stay silent on the tricky negatives (raw strings, comment-separated
+//! SAFETY, `#[cfg(test)]` regions). The fixtures live in raw strings, which
+//! doubles as a negative test for the workspace self-scan: this very file is
+//! linted by `nadmm-lint`, and nothing in these fixtures may produce a
+//! finding there.
+
+use nadmm_lint::{lint_file, Config};
+
+const LIB: &str = "crates/x/src/lib.rs";
+
+fn rules_at(path: &str, src: &str, cfg: &Config) -> Vec<(String, usize)> {
+    lint_file(path, src, cfg)
+        .into_iter()
+        .map(|f| (f.rule.to_string(), f.line))
+        .collect()
+}
+
+#[test]
+fn w01_fires_on_wall_clock_reads() {
+    let cfg = Config::bare();
+    let src = "fn t() -> std::time::Instant { std::time::Instant::now() }\n\
+               fn u() -> std::time::SystemTime { std::time::SystemTime::now() }\n";
+    assert_eq!(rules_at(LIB, src, &cfg), vec![("W01".into(), 1), ("W01".into(), 2)]);
+}
+
+#[test]
+fn w01_ignores_strings_comments_tests_and_benches() {
+    let cfg = Config::bare();
+    let src = r##"
+// A comment mentioning Instant::now() is fine.
+fn msg() -> &'static str { "Instant::now" }
+#[cfg(test)]
+mod tests {
+    fn t() { let _ = std::time::Instant::now(); }
+}
+"##;
+    assert_eq!(rules_at(LIB, src, &cfg), vec![]);
+    // Bench and test files may read the clock freely.
+    let clock = "fn t() { let _ = std::time::Instant::now(); }\n";
+    assert_eq!(rules_at("crates/x/benches/b.rs", clock, &cfg), vec![]);
+    assert_eq!(rules_at("crates/x/tests/t.rs", clock, &cfg), vec![]);
+}
+
+#[test]
+fn w02_fires_on_unsafe_without_safety_comment() {
+    let cfg = Config::bare();
+    let src = "fn f(p: *mut u8) { unsafe { *p = 0 }; }\n";
+    assert_eq!(rules_at(LIB, src, &cfg), vec![("W02".into(), 1)]);
+    // Applies to test files too: unsafe in tests still needs an audit trail.
+    assert_eq!(rules_at("crates/x/tests/t.rs", src, &cfg), vec![("W02".into(), 1)]);
+}
+
+#[test]
+fn w02_accepts_adjacent_safety_comments() {
+    let cfg = Config::bare();
+    // Same line, line above, doc-heading form, and a comment separated from
+    // the unsafe line by attributes and blank lines.
+    let src = r##"
+fn a(p: *mut u8) {
+    // SAFETY: p is valid by the caller contract.
+    unsafe { *p = 0 };
+}
+fn b(p: *mut u8) {
+    unsafe { *p = 0 }; // SAFETY: ditto.
+}
+/// # Safety
+/// Caller keeps p valid.
+pub unsafe fn c(p: *mut u8) { *p = 0 }
+// SAFETY: the impl upholds Send because the pointer is never aliased.
+
+#[allow(dead_code)]
+unsafe impl Send for X {}
+struct X(*mut u8);
+"##;
+    assert_eq!(rules_at(LIB, src, &cfg), vec![]);
+}
+
+#[test]
+fn w02_one_comment_covers_a_contiguous_unsafe_group() {
+    let cfg = Config::bare();
+    let src = "\
+// SAFETY: both impls are sound because the pointer is never aliased.
+unsafe impl Send for X {}
+unsafe impl Sync for X {}
+struct X(*mut u8);
+";
+    assert_eq!(rules_at(LIB, src, &cfg), vec![]);
+}
+
+#[test]
+fn w02_ignores_unsafe_inside_raw_strings_and_comments() {
+    let cfg = Config::bare();
+    let src = r##"
+fn f() -> &'static str { r#"unsafe { *p = 0 }"# }
+// unsafe in a comment is not code.
+fn g() -> &'static str { "unsafe" }
+"##;
+    assert_eq!(rules_at(LIB, src, &cfg), vec![]);
+}
+
+#[test]
+fn w02_safety_comment_does_not_leak_past_plain_code() {
+    let cfg = Config::bare();
+    // The SAFETY comment is followed by a *plain* code line before the
+    // unsafe one, so it does not cover it.
+    let src = "\
+// SAFETY: covers only the line below.
+fn setup() {}
+fn f(p: *mut u8) { unsafe { *p = 0 }; }
+";
+    assert_eq!(rules_at(LIB, src, &cfg), vec![("W02".into(), 3)]);
+}
+
+#[test]
+fn w03_restricts_env_reads_to_parse_points() {
+    let mut cfg = Config::bare();
+    cfg.env_parse_points = vec!["crates/x/src/env.rs".to_string()];
+    let src = "fn f() -> Option<String> { std::env::var(\"NADMM_THREADS\").ok() }\n";
+    assert_eq!(rules_at(LIB, src, &cfg), vec![("W03".into(), 1)]);
+    assert_eq!(rules_at("crates/x/src/env.rs", src, &cfg), vec![]);
+}
+
+#[test]
+fn w03_cross_checks_env_inventory_against_readme() {
+    let mut cfg = Config::bare();
+    cfg.env_parse_points = vec![LIB.to_string()];
+    cfg.readme = Some("docs mention `NADMM_THREADS` only".to_string());
+    let src = "const A: &str = \"NADMM_THREADS\";\nconst B: &str = \"NADMM_BRAND_NEW\";\n";
+    assert_eq!(rules_at(LIB, src, &cfg), vec![("W03".into(), 2)]);
+    // Non-NADMM strings and test-only variables never hit the check.
+    let src = "const C: &str = \"PATH\";\n#[cfg(test)]\nmod t { const D: &str = \"NADMM_TEST_ONLY\"; }\n";
+    assert_eq!(rules_at(LIB, src, &cfg), vec![]);
+}
+
+#[test]
+fn w04_denies_allocation_in_warm_path_modules() {
+    let mut cfg = Config::bare();
+    cfg.warm_path_files = vec![LIB.to_string()];
+    let src = "\
+fn f() -> Vec<f64> { Vec::new() }
+fn g() -> Vec<f64> { vec![0.0; 8] }
+fn h(xs: &[f64]) -> Vec<f64> { xs.to_vec() }
+fn i(xs: &Vec<f64>) -> Vec<f64> { xs.clone() }
+fn j() -> Box<f64> { Box::new(0.0) }
+";
+    let got = rules_at(LIB, src, &cfg);
+    assert_eq!(
+        got,
+        vec![
+            ("W04".into(), 1),
+            ("W04".into(), 2),
+            ("W04".into(), 3),
+            ("W04".into(), 4),
+            ("W04".into(), 5)
+        ]
+    );
+    // The same source in a non-warm file is fine.
+    assert_eq!(rules_at("crates/x/src/cold.rs", src, &cfg), vec![]);
+    // Test code inside a warm file is fine too.
+    let test_src = "#[cfg(test)]\nmod t { fn f() -> Vec<f64> { vec![1.0] } }\n";
+    assert_eq!(rules_at(LIB, test_src, &cfg), vec![]);
+}
+
+#[test]
+fn w05_fires_outside_cfg_test_only() {
+    let cfg = Config::bare();
+    let src = r##"
+fn f(x: Option<u8>) -> u8 { x.unwrap() }
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { Some(1u8).unwrap(); }
+}
+"##;
+    assert_eq!(rules_at(LIB, src, &cfg), vec![("W05".into(), 2)]);
+    // Examples and tests may unwrap for brevity.
+    assert_eq!(rules_at("examples/demo.rs", src, &cfg), vec![]);
+    assert_eq!(rules_at("crates/x/tests/t.rs", src, &cfg), vec![]);
+}
+
+#[test]
+fn w05_expect_and_unwrap_or_are_fine() {
+    let cfg = Config::bare();
+    let src = "fn f(x: Option<u8>) -> u8 { x.expect(\"x was checked above\") }\n\
+               fn g(x: Option<u8>) -> u8 { x.unwrap_or(0) }\n\
+               fn h(x: Option<u8>) -> u8 { x.unwrap_or_else(|| 0) }\n";
+    assert_eq!(rules_at(LIB, src, &cfg), vec![]);
+}
+
+#[test]
+fn w06_fires_on_raw_float_reductions_in_linalg() {
+    let cfg = Config::bare();
+    let src = "\
+fn s(xs: &[f64]) -> f64 { xs.iter().sum::<f64>() }
+fn t(xs: &[f32]) -> f32 { xs.iter().sum::<f32>() }
+fn f(xs: &[f64]) -> f64 { xs.iter().fold(0.0_f64, |a, b| a + b) }
+fn m(xs: &[f64]) -> f64 { xs.iter().copied().fold(f64::NEG_INFINITY, f64::max) }
+";
+    let got = rules_at("crates/linalg/src/kernel.rs", src, &cfg);
+    assert_eq!(
+        got,
+        vec![("W06".into(), 1), ("W06".into(), 2), ("W06".into(), 3), ("W06".into(), 4)]
+    );
+    // Outside crates/linalg the rule does not apply.
+    assert_eq!(rules_at("crates/solver/src/cg.rs", src, &cfg), vec![]);
+}
+
+#[test]
+fn w06_ignores_canonical_and_integer_folds() {
+    let cfg = Config::bare();
+    let src = "\
+fn c(xs: &[f64]) -> Option<f64> { det::fold(xs.len(), 1, true, |s, e| xs[s..e].len() as f64, |a, b| a + b) }
+fn n(xs: &[usize]) -> usize { xs.iter().fold(0usize, |a, b| a + b) }
+fn k(xs: &[f64]) -> usize { xs.iter().map(|_| 1usize).sum::<usize>() }
+";
+    assert_eq!(rules_at("crates/linalg/src/kernel.rs", src, &cfg), vec![]);
+}

@@ -1,0 +1,22 @@
+//! The self-test: `nadmm-lint` must run clean on this workspace with the
+//! committed `lint.json` — the same invariant the CI `lint` job enforces,
+//! wired into `cargo test` so it cannot be skipped locally.
+
+use std::path::Path;
+
+#[test]
+fn workspace_lints_clean_with_committed_waivers() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = nadmm_lint::lint_workspace(&root).expect("workspace lint must run");
+    assert!(
+        report.files_scanned > 100,
+        "expected to scan the whole workspace, saw only {} files",
+        report.files_scanned
+    );
+    assert!(
+        report.waived > 0,
+        "the committed lint.json waives real sites; zero waived means it was not loaded"
+    );
+    let rendered: Vec<String> = report.findings.iter().map(|f| f.to_string()).collect();
+    assert!(report.clean(), "nadmm-lint found unwaived findings:\n{}", rendered.join("\n"));
+}

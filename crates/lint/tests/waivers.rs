@@ -1,0 +1,74 @@
+//! Waiver mechanics: matching, reasons, orphans, duplicates, malformed
+//! entries — the `W00` hygiene rule that keeps `lint.json` honest.
+
+use nadmm_lint::findings::Finding;
+use nadmm_lint::waivers;
+
+fn finding(rule: &'static str, file: &str, line: usize) -> Finding {
+    Finding::new(rule, file, line, "x".to_string())
+}
+
+#[test]
+fn waiver_suppresses_exact_site_only() {
+    let text = r#"{"waivers": [
+        {"rule": "W01", "file": "crates/x/src/lib.rs", "line": 3, "reason": "wall-time field zeroed by --deterministic"}
+    ]}"#;
+    let (list, hygiene) = waivers::parse(text).expect("valid lint.json");
+    assert!(hygiene.is_empty());
+    let raw = vec![
+        finding("W01", "crates/x/src/lib.rs", 3),
+        finding("W01", "crates/x/src/lib.rs", 4),
+        finding("W05", "crates/x/src/lib.rs", 3),
+    ];
+    let applied = waivers::apply(raw, &list);
+    assert_eq!(applied.waived, 1);
+    // Line 4 and the W05 at line 3 survive; the waiver itself is not orphan.
+    let rules: Vec<_> = applied.findings.iter().map(|f| (f.rule, f.line)).collect();
+    assert_eq!(rules, vec![("W01", 4), ("W05", 3)]);
+}
+
+#[test]
+fn empty_reason_is_a_finding() {
+    let text = r#"{"waivers": [
+        {"rule": "W01", "file": "a.rs", "line": 1, "reason": "  "}
+    ]}"#;
+    let (list, hygiene) = waivers::parse(text).expect("valid json");
+    assert!(list.is_empty());
+    assert_eq!(hygiene.len(), 1);
+    assert_eq!(hygiene[0].rule, "W00");
+    assert!(hygiene[0].message.contains("no reason"));
+}
+
+#[test]
+fn orphan_waiver_is_a_finding() {
+    let text = r#"{"waivers": [
+        {"rule": "W01", "file": "a.rs", "line": 99, "reason": "was real once"}
+    ]}"#;
+    let (list, hygiene) = waivers::parse(text).expect("valid json");
+    assert!(hygiene.is_empty());
+    let applied = waivers::apply(vec![], &list);
+    assert_eq!(applied.waived, 0);
+    assert_eq!(applied.findings.len(), 1);
+    assert_eq!(applied.findings[0].rule, "W00");
+    assert!(applied.findings[0].message.contains("orphan"));
+}
+
+#[test]
+fn duplicate_and_malformed_entries_are_findings() {
+    let text = r#"{"waivers": [
+        {"rule": "W01", "file": "a.rs", "line": 1, "reason": "ok"},
+        {"rule": "W01", "file": "a.rs", "line": 1, "reason": "again"},
+        {"rule": "W01", "file": "a.rs", "reason": "no line"}
+    ]}"#;
+    let (list, hygiene) = waivers::parse(text).expect("valid json");
+    assert_eq!(list.len(), 1);
+    assert_eq!(hygiene.len(), 2);
+    assert!(hygiene[0].message.contains("duplicates"));
+    assert!(hygiene[1].message.contains("malformed"));
+}
+
+#[test]
+fn unparseable_json_is_a_hard_error() {
+    assert!(waivers::parse("not json").is_err());
+    assert!(waivers::parse(r#"{"waivers": 3}"#).is_err());
+}

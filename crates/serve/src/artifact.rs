@@ -194,29 +194,35 @@ impl TensorEncoding {
             TensorEncoding::F64 => {
                 for _ in 0..count {
                     let raw = r.take(8, "tensor values")?;
-                    values.push(f64::from_le_bytes(raw.try_into().unwrap()));
+                    values.push(f64::from_le_bytes(
+                        raw.try_into().expect("take() returned the requested length"),
+                    ));
                 }
             }
             TensorEncoding::F32 => {
                 for _ in 0..count {
                     let raw = r.take(4, "tensor values")?;
-                    values.push(f32::from_le_bytes(raw.try_into().unwrap()) as f64);
+                    values.push(f32::from_le_bytes(raw.try_into().expect("take() returned the requested length")) as f64);
                 }
             }
             TensorEncoding::F16 => {
                 for _ in 0..count {
                     let raw = r.take(2, "tensor values")?;
-                    values.push(half::f16_bits_to_f32(u16::from_le_bytes(raw.try_into().unwrap())) as f64);
+                    values.push(half::f16_bits_to_f32(u16::from_le_bytes(
+                        raw.try_into().expect("take() returned the requested length"),
+                    )) as f64);
                 }
             }
             TensorEncoding::Bf16 => {
                 for _ in 0..count {
                     let raw = r.take(2, "tensor values")?;
-                    values.push(half::bf16_bits_to_f32(u16::from_le_bytes(raw.try_into().unwrap())) as f64);
+                    values.push(half::bf16_bits_to_f32(u16::from_le_bytes(
+                        raw.try_into().expect("take() returned the requested length"),
+                    )) as f64);
                 }
             }
             TensorEncoding::QuantizedI8 => {
-                let scale = f64::from_le_bytes(r.take(8, "tensor scale")?.try_into().unwrap());
+                let scale = f64::from_le_bytes(r.take(8, "tensor scale")?.try_into().expect("take(8) returned 8 bytes"));
                 for _ in 0..count {
                     let raw = r.take(1, "tensor values")?;
                     values.push(half::dequantize_i8(raw[0] as i8, scale));
@@ -469,11 +475,15 @@ impl<'a> Reader<'a> {
     }
 
     fn u32(&mut self, reading: &'static str) -> Result<u32, ArtifactError> {
-        Ok(u32::from_le_bytes(self.take(4, reading)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(
+            self.take(4, reading)?.try_into().expect("take(4) returned 4 bytes"),
+        ))
     }
 
     fn u64(&mut self, reading: &'static str) -> Result<u64, ArtifactError> {
-        Ok(u64::from_le_bytes(self.take(8, reading)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(
+            self.take(8, reading)?.try_into().expect("take(8) returned 8 bytes"),
+        ))
     }
 }
 
@@ -649,7 +659,10 @@ impl ModelArtifact {
     /// [`ModelArtifact::save`] mirrors into the sidecar), as lowercase hex.
     pub fn binary_checksum_hex(&self) -> String {
         let bytes = self.to_bytes();
-        format!("{:016x}", u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap()))
+        format!(
+            "{:016x}",
+            u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().expect("checksum tail is 8 bytes"))
+        )
     }
 
     /// Parses the binary half, validating magic, version, checksum, and
@@ -683,7 +696,7 @@ impl ModelArtifact {
             });
         }
         let body = &bytes[..bytes.len() - 8];
-        let stored = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap());
+        let stored = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().expect("checksum tail is 8 bytes"));
         let computed = fnv1a64(body);
         if stored != computed {
             return Err(ArtifactError::ChecksumMismatch { stored, computed });
@@ -783,7 +796,7 @@ impl ModelArtifact {
         let mut provenance = self.provenance.clone();
         provenance.binary_checksum = Some(format!(
             "{:016x}",
-            u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap())
+            u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().expect("checksum tail is 8 bytes"))
         ));
         let json = nadmm_experiment::to_finite_json_pretty(&provenance).map_err(|e| ArtifactError::Invalid {
             message: format!("provenance does not serialize: {e}"),
@@ -828,7 +841,10 @@ impl ModelArtifact {
                 // the two halves come from different saves. v1 sidecars
                 // (no mirror) skip the check.
                 if let Some(mirror) = &provenance.binary_checksum {
-                    let actual = format!("{:016x}", u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap()));
+                    let actual = format!(
+                        "{:016x}",
+                        u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().expect("checksum tail is 8 bytes"))
+                    );
                     if *mirror != actual {
                         return Err(ArtifactError::SidecarChecksumMismatch {
                             sidecar: mirror.clone(),

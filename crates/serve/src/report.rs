@@ -48,7 +48,7 @@ impl LatencySummary {
             p50_sec: pick(0.50),
             p95_sec: pick(0.95),
             p99_sec: pick(0.99),
-            max_sec: *sorted.last().unwrap(),
+            max_sec: *sorted.last().expect("latency sample set is non-empty"),
         }
     }
 

@@ -267,7 +267,10 @@ fn simulate_closed_loop(
             // Wake the earliest idle client (ties: lowest client index).
             let c = (0..clients)
                 .filter(|&c| next_issue[c].is_some())
-                .min_by(|&a, &b| next_issue[a].partial_cmp(&next_issue[b]).unwrap().then(a.cmp(&b)))
+                .min_by(|&a, &b| {
+                    let ord = next_issue[a].partial_cmp(&next_issue[b]).expect("client issue time is NaN");
+                    ord.then(a.cmp(&b))
+                })
                 .expect("requests remain but no client is idle or queued");
             issue(&mut queue, &mut next_issue, &mut remaining, &mut issued, c);
         }
@@ -278,13 +281,19 @@ fn simulate_closed_loop(
         loop {
             let candidate = (0..clients)
                 .filter(|&c| next_issue[c].map(|t| t <= deadline).unwrap_or(false))
-                .min_by(|&a, &b| next_issue[a].partial_cmp(&next_issue[b]).unwrap().then(a.cmp(&b)));
+                .min_by(|&a, &b| {
+                    let ord = next_issue[a].partial_cmp(&next_issue[b]).expect("client issue time is NaN");
+                    ord.then(a.cmp(&b))
+                });
             match candidate {
                 Some(c) => issue(&mut queue, &mut next_issue, &mut remaining, &mut issued, c),
                 None => break,
             }
         }
-        queue.sort_by(|(a, ca), (b, cb)| a.arrival.partial_cmp(&b.arrival).unwrap().then(ca.cmp(cb)));
+        queue.sort_by(|(a, ca), (b, cb)| {
+            let ord = a.arrival.partial_cmp(&b.arrival).expect("request arrival time is NaN");
+            ord.then(ca.cmp(cb))
+        });
         // Take the earliest requests inside the window, up to max_batch.
         let eligible = queue.iter().take_while(|(r, _)| r.arrival <= deadline).count();
         let take = eligible.min(max_batch);
@@ -377,7 +386,7 @@ pub fn run_serve(spec: &ServeSpec, registry: &mut ModelRegistry) -> Result<Serve
             ArrivalSpec::OpenLoopPoisson { .. } => {
                 let arrivals: Vec<Request> = global_arrivals
                     .as_ref()
-                    .unwrap()
+                    .expect("open-loop arrivals are pre-generated for OpenLoopPoisson specs")
                     .iter()
                     .filter(|r| (r.id as usize) % num_models == mi)
                     .copied()

@@ -40,7 +40,7 @@ static REGISTRY: Mutex<Vec<Measurement>> = Mutex::new(Vec::new());
 
 /// All measurements recorded so far in this process.
 pub fn measurements() -> Vec<Measurement> {
-    REGISTRY.lock().unwrap().clone()
+    REGISTRY.lock().expect("measurement registry mutex poisoned").clone()
 }
 
 /// Serialises the recorded measurements as a JSON array (ops/sec included).
@@ -112,7 +112,7 @@ impl Bencher {
             best,
             1.0e9 / best.max(1e-9)
         );
-        REGISTRY.lock().unwrap().push(Measurement {
+        REGISTRY.lock().expect("measurement registry mutex poisoned").push(Measurement {
             group: self.group.clone(),
             id: self.id.clone(),
             ns_per_iter: best,

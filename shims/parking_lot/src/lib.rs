@@ -90,6 +90,10 @@ impl Condvar {
 /// Replaces `*dest` through a consuming closure without an intermediate
 /// default value. Aborts the process if `f` panics (the guard would be gone).
 fn take_mut<T>(dest: &mut T, f: impl FnOnce(T) -> T) {
+    // SAFETY: `dest` is momentarily logically uninitialized between the read
+    // and the write; no code can observe it in that window because `f` only
+    // receives the moved value, and a panicking `f` aborts before unwinding
+    // could reach the hole.
     unsafe {
         let old = std::ptr::read(dest);
         let new = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(old))).unwrap_or_else(|_| std::process::abort());

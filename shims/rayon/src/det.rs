@@ -101,10 +101,15 @@ where
     pool::run(num_chunks, &|c| {
         let s = c * chunk_len;
         let v = eval(s, (s + chunk_len).min(items));
+        // SAFETY: the pool passes each chunk index to exactly one job, so
+        // slot c is written exactly once.
         unsafe { slots.put(c, v) };
     });
+    // SAFETY: pool::run returned, so all writers finished (happens-before
+    // via the pool's state mutex); this thread is the only reader.
     let mut acc = unsafe { slots.take(0) };
     for c in 1..num_chunks {
+        // SAFETY: as above — all writers finished, single reader.
         acc = combine(acc, unsafe { slots.take(c) });
     }
     Some(acc)

@@ -83,6 +83,9 @@ impl<P: Producer> ParIter<P> {
         let p = self.p;
         det::run(p.len(), self.min_len, true, |s, e| {
             for i in s..e {
+                // SAFETY: det::run hands each chunk's [s, e) range to exactly
+                // one job, and chunk ranges are disjoint, so every index is
+                // fetched once and never concurrently with itself.
                 f(unsafe { p.get(i) });
             }
         });
@@ -99,6 +102,8 @@ impl<P: Producer> ParIter<P> {
             p.len(),
             self.min_len,
             true,
+            // SAFETY: det::fold evaluates disjoint [s, e) chunk ranges, each
+            // on one thread, so every index is fetched exactly once.
             |s, e| (s..e).map(|i| unsafe { p.get(i) }).sum::<S>(),
             |a, b| a + b,
         )
@@ -121,6 +126,8 @@ impl<P: Producer> ParIter<P> {
             |s, e| {
                 let mut acc = identity();
                 for i in s..e {
+                    // SAFETY: det::fold's chunk ranges are disjoint; each
+                    // index is fetched exactly once, by one thread.
                     acc = op(acc, unsafe { p.get(i) });
                 }
                 acc
@@ -134,11 +141,15 @@ impl<P: Producer> ParIter<P> {
     /// parallelized without intermediate allocations anyway).
     pub fn collect<C: FromIterator<P::Item>>(self) -> C {
         let p = self.p;
+        // SAFETY: a sequential in-order traversal fetches each index exactly
+        // once, on this thread.
         (0..p.len()).map(|i| unsafe { p.get(i) }).collect()
     }
 
     pub fn max_by<F: FnMut(&P::Item, &P::Item) -> std::cmp::Ordering>(self, mut f: F) -> Option<P::Item> {
         let p = self.p;
+        // SAFETY: a sequential in-order traversal fetches each index exactly
+        // once, on this thread.
         (0..p.len()).map(|i| unsafe { p.get(i) }).max_by(|a, b| f(a, b))
     }
 
@@ -162,10 +173,15 @@ impl<P: Producer> ParIter<P> {
         crate::pool::run(num_chunks, &move |c| {
             let s = c * chunk_len;
             let e = (s + chunk_len).min(items);
+            // SAFETY: chunk index c owns slot c exclusively while the job
+            // runs; no other job reads or writes it.
             let mut acc = unsafe { (*slots_ref.0[c].get()).take().expect("fold_with seed missing") };
             for i in s..e {
+                // SAFETY: chunk ranges are disjoint; each index is fetched
+                // exactly once, by this job only.
                 acc = f_ref(acc, unsafe { p_ref.get(i) });
             }
+            // SAFETY: writing back to the same slot this job exclusively owns.
             unsafe { *slots_ref.0[c].get() = Some(acc) };
         });
         ParIter::new(VecProducer { slots: slots.0 })
@@ -185,13 +201,19 @@ pub struct VecProducer<T> {
     slots: Vec<UnsafeCell<Option<T>>>,
 }
 
+// SAFETY: the cells are only touched through `get`, which the Producer
+// contract restricts to one fetch per index, never concurrently.
 unsafe impl<T: Send> Sync for VecProducer<T> {}
 
+// SAFETY: distinct indices address distinct cells, so concurrent `get`s for
+// distinct indices never alias.
 unsafe impl<T: Send> Producer for VecProducer<T> {
     type Item = T;
     fn len(&self) -> usize {
         self.slots.len()
     }
+    // SAFETY: i < len by the trait contract; each index's cell is taken at
+    // most once (a second take is caught by the expect).
     unsafe fn get(&self, i: usize) -> T {
         (*self.slots[i].get()).take().expect("fold_with accumulator taken twice")
     }
@@ -203,13 +225,19 @@ pub struct SliceProducer<'a, T> {
     _m: PhantomData<&'a [T]>,
 }
 
+// SAFETY: the producer only hands out `&T`, which is fine to share across
+// threads for `T: Sync`.
 unsafe impl<T: Sync> Sync for SliceProducer<'_, T> {}
 
+// SAFETY: shared references to distinct (or even the same) elements may be
+// created freely; the pointer stays valid for 'a via the PhantomData borrow.
 unsafe impl<'a, T: Sync> Producer for SliceProducer<'a, T> {
     type Item = &'a T;
     fn len(&self) -> usize {
         self.len
     }
+    // SAFETY: i < len by the trait contract, so the offset pointer stays
+    // inside the borrowed slice.
     unsafe fn get(&self, i: usize) -> &'a T {
         &*self.ptr.add(i)
     }
@@ -221,16 +249,21 @@ pub struct SliceMutProducer<'a, T> {
     _m: PhantomData<&'a mut [T]>,
 }
 
+// SAFETY: the raw pointer is only dereferenced through `get`, whose contract
+// guarantees disjoint indices across threads; `T: Send` lets the resulting
+// `&mut T` cross threads.
 unsafe impl<T: Send> Sync for SliceMutProducer<'_, T> {}
 
+// SAFETY: distinct indices yield disjoint `&mut` references, and the
+// Producer contract forbids fetching an index twice, so no `&mut` aliases.
 unsafe impl<'a, T: Send> Producer for SliceMutProducer<'a, T> {
     type Item = &'a mut T;
     fn len(&self) -> usize {
         self.len
     }
+    // SAFETY: i < len by the trait contract, and one-fetch-per-index makes
+    // the returned `&mut` unique for the traversal.
     unsafe fn get(&self, i: usize) -> &'a mut T {
-        // SAFETY: distinct indices yield disjoint references, and the
-        // Producer contract forbids fetching an index twice.
         &mut *self.ptr.add(i)
     }
 }
@@ -242,13 +275,19 @@ pub struct ChunksProducer<'a, T> {
     _m: PhantomData<&'a [T]>,
 }
 
+// SAFETY: the producer only hands out `&[T]`, shareable across threads for
+// `T: Sync`.
 unsafe impl<T: Sync> Sync for ChunksProducer<'_, T> {}
 
+// SAFETY: chunk i covers [i*chunk, min((i+1)*chunk, len)); shared slices may
+// be created freely while the 'a borrow holds the backing slice alive.
 unsafe impl<'a, T: Sync> Producer for ChunksProducer<'a, T> {
     type Item = &'a [T];
     fn len(&self) -> usize {
         self.len.div_ceil(self.chunk)
     }
+    // SAFETY: i < len() bounds the start below self.len, and the length is
+    // clamped to the slice tail, so the raw-parts slice stays in bounds.
     unsafe fn get(&self, i: usize) -> &'a [T] {
         let s = i * self.chunk;
         std::slice::from_raw_parts(self.ptr.add(s), self.chunk.min(self.len - s))
@@ -262,13 +301,20 @@ pub struct ChunksMutProducer<'a, T> {
     _m: PhantomData<&'a mut [T]>,
 }
 
+// SAFETY: the raw pointer is only dereferenced through `get`, whose contract
+// guarantees each chunk index is fetched once; `T: Send` lets the `&mut [T]`
+// cross threads.
 unsafe impl<T: Send> Sync for ChunksMutProducer<'_, T> {}
 
+// SAFETY: distinct chunk indices cover disjoint element ranges, and
+// one-fetch-per-index means no two `&mut [T]` ever alias.
 unsafe impl<'a, T: Send> Producer for ChunksMutProducer<'a, T> {
     type Item = &'a mut [T];
     fn len(&self) -> usize {
         self.len.div_ceil(self.chunk)
     }
+    // SAFETY: i < len() bounds the start below self.len, the length is
+    // clamped to the slice tail, and disjoint chunks make the `&mut` unique.
     unsafe fn get(&self, i: usize) -> &'a mut [T] {
         let s = i * self.chunk;
         std::slice::from_raw_parts_mut(self.ptr.add(s), self.chunk.min(self.len - s))
@@ -280,11 +326,13 @@ pub struct RangeProducer {
     len: usize,
 }
 
+// SAFETY: producing `start + i` involves no shared state at all.
 unsafe impl Producer for RangeProducer {
     type Item = usize;
     fn len(&self) -> usize {
         self.len
     }
+    // SAFETY: pure arithmetic; nothing to get wrong concurrently.
     unsafe fn get(&self, i: usize) -> usize {
         self.start + i
     }
@@ -295,11 +343,14 @@ pub struct Map<P, F> {
     f: F,
 }
 
+// SAFETY: forwards `get` to the inner producer one-to-one, so the inner
+// producer's contract (distinct indices, one fetch each) is preserved.
 unsafe impl<B, P: Producer, F: Fn(P::Item) -> B + Sync> Producer for Map<P, F> {
     type Item = B;
     fn len(&self) -> usize {
         self.p.len()
     }
+    // SAFETY: same index contract as the caller's, forwarded unchanged.
     unsafe fn get(&self, i: usize) -> B {
         (self.f)(self.p.get(i))
     }
@@ -310,11 +361,14 @@ pub struct Zip<A, B> {
     b: B,
 }
 
+// SAFETY: forwards each index to both inner producers exactly once, so both
+// contracts are preserved; len() is the min, keeping both in bounds.
 unsafe impl<A: Producer, B: Producer> Producer for Zip<A, B> {
     type Item = (A::Item, B::Item);
     fn len(&self) -> usize {
         self.a.len().min(self.b.len())
     }
+    // SAFETY: same index contract as the caller's, forwarded to both sides.
     unsafe fn get(&self, i: usize) -> Self::Item {
         (self.a.get(i), self.b.get(i))
     }
@@ -324,11 +378,14 @@ pub struct Enumerate<P> {
     p: P,
 }
 
+// SAFETY: forwards `get` to the inner producer one-to-one, preserving its
+// contract.
 unsafe impl<P: Producer> Producer for Enumerate<P> {
     type Item = (usize, P::Item);
     fn len(&self) -> usize {
         self.p.len()
     }
+    // SAFETY: same index contract as the caller's, forwarded unchanged.
     unsafe fn get(&self, i: usize) -> Self::Item {
         (i, self.p.get(i))
     }
@@ -348,6 +405,8 @@ impl<P: Producer, F: Fn(&P::Item) -> bool + Sync> FilterIter<P, F> {
         let (p, pred) = (self.p, self.pred);
         det::run(p.len(), self.min_len, true, |s, e| {
             for i in s..e {
+                // SAFETY: det::run's chunk ranges are disjoint; each index
+                // is fetched exactly once, by one thread.
                 let item = unsafe { p.get(i) };
                 if pred(&item) {
                     g(item);
@@ -365,6 +424,8 @@ impl<P: Producer, F: Fn(&P::Item) -> bool + Sync> FilterIter<P, F> {
             p.len(),
             self.min_len,
             true,
+            // SAFETY: det::fold's chunk ranges are disjoint; each index is
+            // fetched exactly once, by one thread.
             |s, e| (s..e).map(|i| unsafe { p.get(i) }).filter(|item| pred(item)).sum::<S>(),
             |a, b| a + b,
         )
@@ -377,6 +438,8 @@ impl<P: Producer, F: Fn(&P::Item) -> bool + Sync> FilterIter<P, F> {
             p.len(),
             self.min_len,
             true,
+            // SAFETY: det::fold's chunk ranges are disjoint; each index is
+            // fetched exactly once, by one thread.
             |s, e| (s..e).filter(|&i| pred(&unsafe { p.get(i) })).count(),
             |a, b| a + b,
         )
@@ -385,6 +448,8 @@ impl<P: Producer, F: Fn(&P::Item) -> bool + Sync> FilterIter<P, F> {
 
     pub fn collect<C: FromIterator<P::Item>>(self) -> C {
         let (p, pred) = (self.p, self.pred);
+        // SAFETY: a sequential in-order traversal fetches each index exactly
+        // once, on this thread.
         (0..p.len()).map(|i| unsafe { p.get(i) }).filter(|item| pred(item)).collect()
     }
 }

@@ -63,6 +63,8 @@ where
         rb: UnsafeCell::new(None),
     };
     let cells_ref = &cells;
+    // SAFETY: chunk 0 and chunk 1 touch disjoint cells, and the pool passes
+    // each chunk index to exactly one job.
     pool::run(2, &move |i| unsafe {
         if i == 0 {
             let f = (*cells_ref.a.get()).take().expect("join closure taken twice");
@@ -72,6 +74,8 @@ where
             *cells_ref.rb.get() = Some(g());
         }
     });
+    // SAFETY: pool::run returned, so both writers finished (happens-before
+    // via the pool's state mutex); this thread is the only reader.
     unsafe {
         (
             (*cells.ra.get()).take().expect("join result missing"),

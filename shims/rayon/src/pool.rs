@@ -177,6 +177,8 @@ fn pull_chunks(f: *const (dyn Fn(usize) + Sync), num_chunks: usize) {
         if i >= num_chunks {
             return;
         }
+        // SAFETY: the dispatcher keeps the closure alive until every worker
+        // has left the job (see `run`), so the raw fat pointer is valid here.
         if catch_unwind(AssertUnwindSafe(|| unsafe { (*f)(i) })).is_err() {
             PANICKED.store(true, Ordering::SeqCst);
         }
@@ -236,9 +238,9 @@ pub fn run(num_chunks: usize, f: &(dyn Fn(usize) + Sync)) {
         return;
     };
     let helpers = (threads - 1).min(num_chunks - 1).min(MAX_THREADS - 1);
-    // Erase the borrow lifetime on the fat pointer. Sound because this frame
-    // outlives the job: it waits below until every worker left the job and
-    // clears the slot before returning.
+    // SAFETY: erasing the borrow lifetime on the fat pointer is sound because
+    // this frame outlives the job: it waits below until every worker left the
+    // job and clears the slot before returning.
     #[allow(clippy::useless_transmute, clippy::missing_transmute_annotations)]
     let f_erased: *const (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(f as *const (dyn Fn(usize) + Sync)) };
     let sh = shared();

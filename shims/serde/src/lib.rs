@@ -146,7 +146,7 @@ fn intern(s: &str) -> &'static str {
     use std::sync::{Mutex, OnceLock};
     static INTERNED: OnceLock<Mutex<Vec<&'static str>>> = OnceLock::new();
     let pool = INTERNED.get_or_init(|| Mutex::new(Vec::new()));
-    let mut pool = pool.lock().unwrap();
+    let mut pool = pool.lock().expect("intern pool mutex poisoned");
     if let Some(existing) = pool.iter().find(|e| **e == s) {
         return existing;
     }

@@ -4,7 +4,11 @@
 //! with escapes, null/bool, arrays, and objects — plus non-finite floats,
 //! which are emitted as `null` like the real serde_json.
 
-use serde::{DeError, Deserialize, Serialize, Value};
+use serde::{DeError, Deserialize, Serialize};
+
+// Real serde_json exposes its own `Value`; the shim's tree lives in `serde`,
+// so re-export it under the name callers expect.
+pub use serde::Value;
 
 /// JSON error (serialization or parsing).
 #[derive(Debug, Clone, PartialEq)]
@@ -291,7 +295,7 @@ impl<'a> Parser<'a> {
                 Some(_) => {
                     // Consume one UTF-8 code point.
                     let rest = std::str::from_utf8(&self.bytes[self.pos..]).map_err(|_| Error("invalid utf-8".into()))?;
-                    let c = rest.chars().next().unwrap();
+                    let c = rest.chars().next().expect("pos < len, so the remainder is non-empty");
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
