@@ -170,6 +170,58 @@ fn warm_distributed_admm_outer_iteration_is_allocation_free() {
 }
 
 #[test]
+fn traced_warm_admm_outer_iteration_is_allocation_free() {
+    // The ISSUE-10 acceptance criterion: arming the span tracer must not
+    // break the zero-alloc contract. Same warm distributed outer iteration
+    // as above, but with a per-rank recorder installed. The ring capacity is
+    // deliberately tiny so warm-up wraps it and the measured iteration runs
+    // entirely on the drop-oldest path — the steady state of a long run.
+    //
+    // `set_enabled` is process-global, but span calls on threads without a
+    // recorder are no-ops, so concurrently running tests stay unaffected.
+    let workers = 2;
+    let (train, _) = SyntheticConfig::mnist_like()
+        .with_train_size(96)
+        .with_test_size(16)
+        .with_num_features(16)
+        .with_num_classes(4)
+        .generate(17);
+    let (shards, _) = partition_strong(&train, workers);
+    let cfg = NewtonAdmmConfig {
+        lambda: 1e-3,
+        ..Default::default()
+    };
+    nadmm_trace::set_enabled(true);
+    let results = Cluster::new(workers, NetworkModel::infiniband_100g()).run(|comm| {
+        nadmm_trace::install_with_capacity(comm.rank(), 256);
+        let shard = &shards[comm.rank()];
+        let mut worker = AdmmWorker::new(&cfg, shard);
+        for k in 1..=3 {
+            worker.outer_iteration(comm, k);
+        }
+        let (allocs, _) = count_allocations(|| {
+            worker.outer_iteration(comm, 4);
+            worker.rho()
+        });
+        let trace = nadmm_trace::uninstall().expect("each rank installed a recorder");
+        (comm.rank(), allocs, trace)
+    });
+    nadmm_trace::set_enabled(false);
+    for (rank, allocs, trace) in results {
+        assert_eq!(
+            allocs, 0,
+            "rank {rank}: traced warm outer iteration made {allocs} heap allocations"
+        );
+        assert!(
+            trace.dropped > 0,
+            "rank {rank}: the tiny ring must wrap during warm-up (got {} events, 0 dropped)",
+            trace.events.len()
+        );
+        assert!(!trace.events.is_empty(), "rank {rank}: the ring kept no events");
+    }
+}
+
+#[test]
 fn warm_batched_predict_performs_zero_heap_allocations() {
     // The ISSUE-5 acceptance criterion: the serving engine's hot path — a
     // warm `predict_batch_into` call (batched GEMM margins + argmax decode)

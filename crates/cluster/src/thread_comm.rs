@@ -34,13 +34,36 @@
 //! other, sequentially within themselves) and never changes results.
 
 use crate::comm::{CollectiveHandle, Communicator, ROOT_RANK};
-use crate::network::{CollectiveKind, CollectiveSelector, Compression, NetworkModel};
+use crate::network::{CollectiveAlgorithm, CollectiveKind, CollectiveSelector, Compression, NetworkModel};
 use crate::stats::CommStats;
 use crate::straggler::StragglerModel;
 use crate::transport::thread::ThreadFabric;
 use crate::transport::wire::{self, RoundOp, ANY_LEN};
 use crate::transport::Transport;
 use crate::workspace::{CommWorkspace, CommWorkspaceStats};
+
+/// The tracer's mirror of [`CollectiveKind`] (keeps `nadmm-trace` a leaf).
+fn trace_kind(kind: CollectiveKind) -> nadmm_trace::CollKind {
+    match kind {
+        CollectiveKind::Barrier => nadmm_trace::CollKind::Barrier,
+        CollectiveKind::Broadcast => nadmm_trace::CollKind::Broadcast,
+        CollectiveKind::Reduce => nadmm_trace::CollKind::Reduce,
+        CollectiveKind::Allreduce => nadmm_trace::CollKind::Allreduce,
+        CollectiveKind::Gather => nadmm_trace::CollKind::Gather,
+        CollectiveKind::Scatter => nadmm_trace::CollKind::Scatter,
+        CollectiveKind::Allgather => nadmm_trace::CollKind::Allgather,
+    }
+}
+
+/// The tracer's mirror of [`CollectiveAlgorithm`].
+fn trace_algo(algo: CollectiveAlgorithm) -> nadmm_trace::CollAlgo {
+    match algo {
+        CollectiveAlgorithm::Naive => nadmm_trace::CollAlgo::Naive,
+        CollectiveAlgorithm::BinomialTree => nadmm_trace::CollAlgo::BinomialTree,
+        CollectiveAlgorithm::Ring => nadmm_trace::CollAlgo::Ring,
+        CollectiveAlgorithm::RecursiveHalvingDoubling => nadmm_trace::CollAlgo::RecursiveHalvingDoubling,
+    }
+}
 
 /// Arrival-time summary of one completed collective round: the latest and
 /// earliest per-rank arrival on the simulated clocks. The latest arrival
@@ -320,6 +343,7 @@ impl ClusterComm {
         let mut violation: Option<String> = None;
         'peers: for peer in 1..n {
             self.transport.recv_into(peer, &mut rx);
+            nadmm_trace::instant(nadmm_trace::Tag::TransportSendRecv);
             let frame = match wire::decode(&rx) {
                 Ok(f) => f,
                 Err(e) => {
@@ -441,6 +465,7 @@ impl ClusterComm {
         wire::encode_result(&mut tx, my_round, max_time, min_time, &self.scratch.lens, &self.scratch.acc);
         for peer in 1..n {
             self.transport.send(peer, &tx);
+            nadmm_trace::instant(nadmm_trace::Tag::TransportSendRecv);
         }
         self.scratch.tx = tx;
         RoundTiming { max_time, min_time }
@@ -460,9 +485,11 @@ impl ClusterComm {
         let mut tx = std::mem::take(&mut self.scratch.tx);
         wire::encode_contribution(&mut tx, my_round, op, tombstone, my_time, len_field, payload);
         self.transport.send(ROOT_RANK, &tx);
+        nadmm_trace::instant(nadmm_trace::Tag::TransportSendRecv);
         self.scratch.tx = tx;
         let mut rx = std::mem::take(&mut self.scratch.rx);
         self.transport.recv_into(ROOT_RANK, &mut rx);
+        nadmm_trace::instant(nadmm_trace::Tag::TransportSendRecv);
         let timing = match wire::decode(&rx) {
             Ok(wire::Frame::Result {
                 round,
@@ -546,6 +573,22 @@ impl ClusterComm {
             logical_received,
             self.elapsed - start,
         );
+        if nadmm_trace::enabled() {
+            // Split the round's billed wall into straggler wait (arrivals
+            // later than this rank) and the collective's own cost, so the
+            // trace clock lands exactly on the billed comm clock.
+            let total = self.elapsed - start;
+            let idle = (timing.max_time - start).clamp(0.0, total);
+            nadmm_trace::sync_to(start);
+            nadmm_trace::span_dur(nadmm_trace::Tag::IdleWait, idle);
+            nadmm_trace::span_dur(
+                nadmm_trace::Tag::CollectiveRound {
+                    kind: trace_kind(kind),
+                    algo: trace_algo(algo),
+                },
+                total - idle,
+            );
+        }
     }
 
     /// Shared implementation of the split-phase element-wise allreduces.
@@ -953,6 +996,18 @@ impl Communicator for ClusterComm {
                 self.elapsed - start,
             );
         }
+        if nadmm_trace::enabled() && self.elapsed > start {
+            // The un-overlapped tail of a split-phase collective: compute
+            // did not fully hide it, so the wait surfaces on the timeline.
+            nadmm_trace::sync_to(start);
+            nadmm_trace::span_dur(
+                nadmm_trace::Tag::CollectiveRound {
+                    kind: trace_kind(handle.kind),
+                    algo: trace_algo(handle.algo),
+                },
+                self.elapsed - start,
+            );
+        }
         self.pool.release(handle.result);
     }
 
@@ -963,6 +1018,10 @@ impl Communicator for ClusterComm {
         let dt = dt.max(0.0) * self.compute_scale;
         self.elapsed += dt;
         self.stats.record_compute(dt);
+        // Re-anchor the trace clock to the billed comm clock: on a straggler
+        // the scaled charge exceeds the raw device time the kernel spans
+        // already advanced, and the forward clamp absorbs the difference.
+        nadmm_trace::sync_to(self.elapsed);
     }
 
     fn elapsed(&self) -> f64 {

@@ -200,6 +200,7 @@ impl AdmmWorker {
                     mark = now;
                     if comm.elapsed() - iter_start >= deadline {
                         self.shed_newton_steps += (self.cfg.newton_steps_per_iter - step - 1) as u64;
+                        nadmm_trace::instant(nadmm_trace::Tag::ShedSteps);
                         break;
                     }
                 }
@@ -243,6 +244,7 @@ impl AdmmWorker {
         for i in 0..dim {
             self.y[i] += self.rho * (self.z[i] - self.x[i]);
         }
+        nadmm_trace::span_begin(nadmm_trace::Tag::PenaltyUpdate);
         self.rho = match self.cfg.penalty {
             PenaltyRule::Fixed => self.rho,
             PenaltyRule::ResidualBalancing { mu, tau } => {
@@ -265,6 +267,7 @@ impl AdmmWorker {
                 &self.y,
             ),
         };
+        nadmm_trace::span_end(nadmm_trace::Tag::PenaltyUpdate);
     }
 
     /// One full outer iteration (local solve + consensus round), without
@@ -369,6 +372,7 @@ impl NewtonAdmm {
 
         let mut pending: Option<(usize, InstrumentationHandles)> = None;
         for k in 1..=cfg.max_iters {
+            nadmm_trace::span_begin(nadmm_trace::Tag::AdmmIteration);
             if let Some(dropout) = cfg.dropout {
                 if comm.rank() == dropout.rank && k >= dropout.at_iter {
                     worker.set_dead(true);
@@ -390,11 +394,13 @@ impl NewtonAdmm {
                 let residual = record.consensus_residual.unwrap_or(f64::INFINITY);
                 history.push(record);
                 if residual < cfg.consensus_tol {
+                    nadmm_trace::span_end(nadmm_trace::Tag::AdmmIteration);
                     break;
                 }
             } else {
                 pending = Some((k, handles));
             }
+            nadmm_trace::span_end(nadmm_trace::Tag::AdmmIteration);
         }
         if let Some((kp, h)) = pending.take() {
             let record = worker.finish_instrumentation(comm, h, kp, wall_start);

@@ -89,6 +89,8 @@ impl Device {
         s.stats.kernels_launched += 1;
         s.stats.flops += flops;
         s.stats.bytes_moved += bytes;
+        drop(s);
+        nadmm_trace::span_dur(nadmm_trace::Tag::KernelLaunch, dt);
     }
 
     /// Charges a kernel like [`Device::charge_kernel`], but with the compute
@@ -101,6 +103,8 @@ impl Device {
         s.stats.kernels_launched += 1;
         s.stats.flops += flops;
         s.stats.bytes_moved += bytes;
+        drop(s);
+        nadmm_trace::span_dur(nadmm_trace::Tag::KernelLaunch, dt);
     }
 
     /// Charges a host→device or device→host transfer of `bytes`.
@@ -110,6 +114,8 @@ impl Device {
         s.clock.advance(dt);
         s.stats.transfers += 1;
         s.stats.transfer_bytes += bytes;
+        drop(s);
+        nadmm_trace::span_dur(nadmm_trace::Tag::KernelLaunch, dt);
     }
 
     /// Uploads host data into a device buffer, charging the transfer.

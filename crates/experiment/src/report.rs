@@ -119,7 +119,12 @@ impl RankSkew {
 }
 
 /// The unified result of one solver run on one dataset/cluster combination.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// `Serialize` is hand-written (not derived) so `trace_profile` is *omitted*
+/// when absent instead of serialized as `null`: reports from runs with
+/// tracing disabled must stay byte-identical to reports produced before the
+/// tracer existed.
+#[derive(Debug, Clone, PartialEq, Deserialize)]
 pub struct RunReport {
     /// Solver name (e.g. `"newton-admm"`, `"giant"`).
     pub solver: String,
@@ -151,6 +156,34 @@ pub struct RunReport {
     /// every rank's counters; `None` for reports assembled from a single
     /// rank's output).
     pub rank_skew: Option<RankSkew>,
+    /// Aggregated span-tracer flat profile (per-rank and merged per-tag
+    /// times), filled by the experiment runner when tracing was enabled for
+    /// the run. `None` — and absent from the JSON — otherwise.
+    pub trace_profile: Option<nadmm_trace::TraceProfile>,
+}
+
+impl Serialize for RunReport {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("solver".to_string(), self.solver.to_value()),
+            ("dataset".to_string(), self.dataset.to_value()),
+            ("num_workers".to_string(), self.num_workers.to_value()),
+            ("final_objective".to_string(), self.final_objective.to_value()),
+            ("final_accuracy".to_string(), self.final_accuracy.to_value()),
+            ("total_sim_time_sec".to_string(), self.total_sim_time_sec.to_value()),
+            ("wall_time_sec".to_string(), self.wall_time_sec.to_value()),
+            ("final_rho".to_string(), self.final_rho.to_value()),
+            ("final_w".to_string(), self.final_w.to_value()),
+            ("history".to_string(), self.history.to_value()),
+            ("comm_stats".to_string(), self.comm_stats.to_value()),
+            ("workspace".to_string(), self.workspace.to_value()),
+            ("rank_skew".to_string(), self.rank_skew.to_value()),
+        ];
+        if let Some(profile) = &self.trace_profile {
+            fields.push(("trace_profile".to_string(), profile.to_value()));
+        }
+        Value::Map(fields)
+    }
 }
 
 impl RunReport {
@@ -178,6 +211,7 @@ impl RunReport {
             comm_stats,
             workspace,
             rank_skew: None,
+            trace_profile: None,
         }
     }
 
@@ -257,6 +291,12 @@ impl RunReport {
             }
             if skew.per_rank_compute_sec.len() != self.num_workers || skew.per_rank_idle_wait_sec.len() != self.num_workers {
                 return Err("rank skew vectors disagree with num_workers".into());
+            }
+        }
+        if let Some(profile) = &self.trace_profile {
+            profile.validate_schema().map_err(|e| format!("trace profile: {e}"))?;
+            if profile.per_rank.len() != self.num_workers {
+                return Err("trace profile does not cover every rank".into());
             }
         }
         Ok(())

@@ -41,8 +41,15 @@ pub trait Solver: Send + Sync {
 /// # Panics
 /// Panics if the shard count does not match the cluster size.
 pub fn run_solver_on(cluster: &Cluster, solver: &dyn Solver, shards: &[Dataset], test: Option<&Dataset>) -> RunReport {
-    let reports = cluster.run_sharded(shards, |comm, shard| solver.run(comm, shard, test));
-    master_with_skew(reports)
+    let outputs = cluster.run_sharded(shards, |comm, shard| {
+        nadmm_trace::install(comm.rank());
+        let report = solver.run(comm, shard, test);
+        (report, nadmm_trace::uninstall())
+    });
+    let (reports, traces): (Vec<_>, Vec<_>) = outputs.into_iter().unzip();
+    let mut master = master_with_skew(reports);
+    attach_trace(&mut master, solver.name(), traces);
+    master
 }
 
 /// Runs one solver *instance per rank* — a heterogeneous fleet where each
@@ -59,8 +66,15 @@ pub fn run_rank_solvers_on(
     test: Option<&Dataset>,
 ) -> RunReport {
     assert_eq!(solvers.len(), cluster.size(), "need exactly one solver instance per rank");
-    let reports = cluster.run_sharded(shards, |comm, shard| solvers[comm.rank()].run(comm, shard, test));
-    master_with_skew(reports)
+    let outputs = cluster.run_sharded(shards, |comm, shard| {
+        nadmm_trace::install(comm.rank());
+        let report = solvers[comm.rank()].run(comm, shard, test);
+        (report, nadmm_trace::uninstall())
+    });
+    let (reports, traces): (Vec<_>, Vec<_>) = outputs.into_iter().unzip();
+    let mut master = master_with_skew(reports);
+    attach_trace(&mut master, solvers[0].name(), traces);
+    master
 }
 
 /// Keeps the master rank's report and folds every rank's communication
@@ -70,6 +84,20 @@ fn master_with_skew(mut reports: Vec<RunReport>) -> RunReport {
     let mut master = reports.swap_remove(0);
     master.rank_skew = Some(RankSkew::from_rank_stats(&stats));
     master
+}
+
+/// When tracing is enabled, folds the per-rank recorder outputs into the
+/// master report's flat profile and deposits the raw spans in the process
+/// sink (one lane per solver run) for the Chrome export. A no-op — and the
+/// report stays byte-identical — when tracing is off: `traces` is then all
+/// `None` because `nadmm_trace::install` never armed a recorder.
+fn attach_trace(master: &mut RunReport, label: &str, traces: Vec<Option<nadmm_trace::RankTrace>>) {
+    let ranks: Vec<nadmm_trace::RankTrace> = traces.into_iter().flatten().collect();
+    if ranks.is_empty() {
+        return;
+    }
+    master.trace_profile = Some(nadmm_trace::profile_from_ranks(&ranks));
+    nadmm_trace::sink_deposit(label, ranks);
 }
 
 impl Solver for NewtonAdmm {

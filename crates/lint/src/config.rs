@@ -38,6 +38,7 @@ impl Config {
             "crates/linalg/src/lib.rs",
             "crates/cluster/src/network.rs",
             "crates/cluster/src/transport/mod.rs",
+            "crates/trace/src/env.rs",
             "crates/bench/src/lib.rs",
             "crates/bench/src/report.rs",
             "shims/rayon/src/pool.rs",

@@ -778,6 +778,7 @@ impl ModelArtifact {
     /// is a same-directory rename failing between the two renames, which
     /// the OS makes far rarer than a failed write.)
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), ArtifactError> {
+        nadmm_trace::instant(nadmm_trace::Tag::ArtifactIo);
         self.check_dims()?;
         let path = path.as_ref();
         let io_err = |p: &str, e: std::io::Error| ArtifactError::Io {
@@ -824,6 +825,7 @@ impl ModelArtifact {
     /// missing sidecar yields empty provenance; an unparseable one is a
     /// loud [`ArtifactError::SidecarInvalid`].
     pub fn load(path: impl AsRef<Path>) -> Result<Self, ArtifactError> {
+        nadmm_trace::instant(nadmm_trace::Tag::ArtifactIo);
         let path = path.as_ref();
         let bytes = std::fs::read(path).map_err(|e| ArtifactError::Io {
             path: path.display().to_string(),

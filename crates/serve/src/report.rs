@@ -7,7 +7,7 @@
 //! loud typed error naming the field, never `null` garbage.
 
 use nadmm_experiment::{to_finite_json_pretty, NonFiniteJsonError};
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 /// Latency distribution of served requests, in simulated seconds.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -112,7 +112,12 @@ pub struct ModelServeStats {
 }
 
 /// The structured result of one serving-simulation run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// `Serialize` is hand-written (not derived) so `trace_profile` is *omitted*
+/// when absent instead of serialized as `null`: reports from runs with
+/// tracing disabled must stay byte-identical to reports produced before the
+/// tracer existed.
+#[derive(Debug, Clone, PartialEq, Deserialize)]
 pub struct ServeReport {
     /// Scenario name (from the `ServeSpec`).
     pub scenario: String,
@@ -130,6 +135,28 @@ pub struct ServeReport {
     /// `--deterministic` runs; everything else in the report is a pure
     /// function of the spec).
     pub wall_time_sec: f64,
+    /// Aggregated span-tracer flat profile, one "rank" per served model in
+    /// registry order, filled when tracing was enabled for the run. `None` —
+    /// and absent from the JSON — otherwise.
+    pub trace_profile: Option<nadmm_trace::TraceProfile>,
+}
+
+impl Serialize for ServeReport {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("scenario".to_string(), self.scenario.to_value()),
+            ("total_requests".to_string(), self.total_requests.to_value()),
+            ("sim_duration_sec".to_string(), self.sim_duration_sec.to_value()),
+            ("throughput_rps".to_string(), self.throughput_rps.to_value()),
+            ("latency".to_string(), self.latency.to_value()),
+            ("per_model".to_string(), self.per_model.to_value()),
+            ("wall_time_sec".to_string(), self.wall_time_sec.to_value()),
+        ];
+        if let Some(profile) = &self.trace_profile {
+            fields.push(("trace_profile".to_string(), profile.to_value()));
+        }
+        Value::Map(fields)
+    }
 }
 
 impl ServeReport {
@@ -224,6 +251,12 @@ impl ServeReport {
                 self.total_requests
             ));
         }
+        if let Some(profile) = &self.trace_profile {
+            profile.validate_schema().map_err(|e| format!("trace profile: {e}"))?;
+            if profile.per_rank.len() != self.per_model.len() {
+                return Err("trace profile does not cover every served model".into());
+            }
+        }
         Ok(())
     }
 }
@@ -262,6 +295,7 @@ mod tests {
                 span_sec: 2.0,
             }],
             wall_time_sec: 0.01,
+            trace_profile: None,
         }
     }
 

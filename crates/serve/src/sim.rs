@@ -181,10 +181,17 @@ impl<'a> Server<'a> {
         for (bi, req) in batch.iter().enumerate() {
             fill_request_row(&mut self.rows[bi * p..(bi + 1) * p], self.request_seed, req.id);
         }
+        nadmm_trace::sync_to(start);
+        nadmm_trace::span_begin(nadmm_trace::Tag::ServeBatch);
         let timing = self
             .session
             .predict_batch_into(&self.rows[..batch.len() * p], &mut self.preds[..batch.len()]);
         let completion = start + timing.sim_seconds;
+        // The device kernels above advanced the trace clock from `start`;
+        // clamp it onto the batch's billed completion so the ServeBatch span
+        // covers exactly [start, completion] with the kernels nested inside.
+        nadmm_trace::sync_to(completion);
+        nadmm_trace::span_end(nadmm_trace::Tag::ServeBatch);
         for req in batch {
             self.metrics.latencies.push(completion - req.arrival);
             self.metrics.first_arrival = self.metrics.first_arrival.min(req.arrival);
@@ -379,7 +386,12 @@ pub fn run_serve(spec: &ServeSpec, registry: &mut ModelRegistry) -> Result<Serve
 
     let mut per_model = Vec::with_capacity(num_models);
     let mut all_latencies = Vec::new();
+    let mut traces = Vec::new();
     for (mi, name) in model_names.iter().enumerate() {
+        // One recorder per served model (each model's simulated timeline
+        // restarts at zero, and the trace clock only moves forward): the
+        // model index plays the role of the rank. No-op when tracing is off.
+        nadmm_trace::install(mi);
         let session = registry.get_mut(name).expect("model names were checked above");
         let mut server = Server::new(session, max_batch, spec.request_seed);
         match &spec.arrival {
@@ -417,7 +429,15 @@ pub fn run_serve(spec: &ServeSpec, registry: &mut ModelRegistry) -> Result<Serve
         }
         all_latencies.extend_from_slice(&server.metrics.latencies);
         per_model.push(server.metrics.into_stats(name));
+        traces.extend(nadmm_trace::uninstall());
     }
+    let trace_profile = if traces.is_empty() {
+        None
+    } else {
+        let profile = nadmm_trace::profile_from_ranks(&traces);
+        nadmm_trace::sink_deposit(&spec.name, traces);
+        Some(profile)
+    };
 
     let total_requests: u64 = per_model.iter().map(|m| m.requests).sum();
     let sim_duration_sec = per_model.iter().map(|m| m.span_sec).fold(0.0, f64::max);
@@ -433,6 +453,7 @@ pub fn run_serve(spec: &ServeSpec, registry: &mut ModelRegistry) -> Result<Serve
         latency: LatencySummary::from_samples(&all_latencies),
         per_model,
         wall_time_sec: wall_start.elapsed().as_secs_f64(),
+        trace_profile,
     })
 }
 

@@ -119,12 +119,14 @@ where
     let mut iterations = 0;
     let mut converged = rs_old.sqrt() <= target;
     while iterations < config.max_iters && !converged {
+        nadmm_trace::span_begin(nadmm_trace::Tag::CgIter);
         apply(&p, &mut ap, ws);
         let p_ap = vector::dot(&p, &ap);
         if p_ap <= 0.0 || !p_ap.is_finite() {
             // Negative curvature or numerical breakdown — stop with the
             // current iterate (for SPD systems this only happens through
             // rounding on nearly singular systems).
+            nadmm_trace::span_end(nadmm_trace::Tag::CgIter);
             break;
         }
         let alpha = rs_old / p_ap;
@@ -135,12 +137,14 @@ where
         if rs_new.sqrt() <= target {
             converged = true;
             rs_old = rs_new;
+            nadmm_trace::span_end(nadmm_trace::Tag::CgIter);
             break;
         }
         let beta = rs_new / rs_old;
         // p = r + beta * p
         vector::axpby(1.0, &r, beta, &mut p);
         rs_old = rs_new;
+        nadmm_trace::span_end(nadmm_trace::Tag::CgIter);
     }
     ws.release(r);
     ws.release(p);

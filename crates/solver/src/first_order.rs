@@ -76,6 +76,15 @@ pub struct FirstOrderResult {
     pub trace: ConvergenceTrace,
 }
 
+impl FirstOrderResult {
+    /// Scrubs the host wall-clock stamps (the trace's `elapsed_sec`), the
+    /// one non-deterministic part of a result — after this, identical runs
+    /// yield identical results. Mirrors the `--deterministic` report path.
+    pub fn zero_wall_clock(&mut self) {
+        self.trace.zero_elapsed();
+    }
+}
+
 /// Runs the configured first-order method on `obj` from `x0`.
 pub fn minimize(obj: &dyn Objective, x0: &[f64], config: &FirstOrderConfig) -> FirstOrderResult {
     assert_eq!(x0.len(), obj.dim(), "initial point has wrong dimension");

@@ -94,6 +94,7 @@ pub fn armijo_backtracking_ws(
     config: &LineSearchConfig,
     ws: &mut Workspace,
 ) -> LineSearchResult {
+    nadmm_trace::span_begin(nadmm_trace::Tag::LineSearch);
     let slope = vector::dot(p, grad);
     let mut alpha = config.initial_step;
     let mut evaluations = 0;
@@ -115,6 +116,7 @@ pub fn armijo_backtracking_ws(
         alpha *= config.shrink;
     }
     ws.release(trial);
+    nadmm_trace::span_end(nadmm_trace::Tag::LineSearch);
     LineSearchResult {
         step: alpha,
         value,

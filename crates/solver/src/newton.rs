@@ -71,6 +71,15 @@ pub struct NewtonResult {
     pub trace: ConvergenceTrace,
 }
 
+impl NewtonResult {
+    /// Scrubs the host wall-clock stamps (the trace's `elapsed_sec`), the
+    /// one non-deterministic part of a result — after this, identical runs
+    /// yield identical results. Mirrors the `--deterministic` report path.
+    pub fn zero_wall_clock(&mut self) {
+        self.trace.zero_elapsed();
+    }
+}
+
 /// The inexact Newton-CG solver (paper Algorithm 1).
 #[derive(Debug, Clone, Default)]
 pub struct NewtonCg {
@@ -123,6 +132,7 @@ impl NewtonCg {
         grad: &[f64],
         ws: &mut Workspace,
     ) -> NewtonStepStats {
+        nadmm_trace::span_begin(nadmm_trace::Tag::NewtonStep);
         let n = x.len();
         let hvp_state = obj.prepare_hvp(x, ws);
         let mut neg_grad = ws.acquire(n);
@@ -142,6 +152,7 @@ impl NewtonCg {
         let ls = armijo_backtracking_ws(obj, x, &direction, fx, grad, &self.config.line_search, ws);
         vector::axpy(ls.step, &direction, x);
         ws.release(direction);
+        nadmm_trace::span_end(nadmm_trace::Tag::NewtonStep);
         NewtonStepStats {
             cg_iterations: cg.iterations,
             line_search_evals: ls.evaluations,

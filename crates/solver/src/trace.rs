@@ -78,6 +78,18 @@ impl ConvergenceTrace {
     pub fn first_iteration_below(&self, threshold: f64) -> Option<usize> {
         self.entries.iter().find(|e| e.value <= threshold).map(|e| e.iteration)
     }
+
+    /// Zeroes every entry's `elapsed_sec`. [`TraceEntry::elapsed_sec`] is
+    /// raw host wall-clock — the *only* non-deterministic field a solver
+    /// result carries — so two identical runs compare unequal until it is
+    /// scrubbed. Deterministic consumers (the `--deterministic` report path
+    /// zeroes its wall fields the same way) call this before comparing or
+    /// serialising traces.
+    pub fn zero_elapsed(&mut self) {
+        for e in &mut self.entries {
+            e.elapsed_sec = 0.0;
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,302 @@
+//! Chrome trace-event export.
+//!
+//! Produces the JSON object format (`{"traceEvents": [...]}`) that
+//! `chrome://tracing` and [Perfetto](https://ui.perfetto.dev) load directly:
+//! one *pid* per rank, one *tid* per solver lane, complete-span (`"X"`) and
+//! instant (`"i"`) events with the tag's layer as the category.
+//!
+//! Timestamps are the **simulated** clock converted to microseconds and
+//! formatted with a fixed number of decimals, and the export is hand-built
+//! and fully ordered (ranks, lanes, then `(ts, -dur, seq)` within a lane),
+//! so in deterministic mode two identical runs produce byte-identical
+//! files. Wall-clock nanoseconds are attached as per-event `args` only in
+//! non-deterministic mode.
+
+use crate::ring::EventKind;
+use crate::{LaneTrace, RankTrace};
+use serde::Value;
+
+/// Escapes a string for direct inclusion in hand-built JSON.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Simulated seconds → trace microseconds, fixed three decimals so the text
+/// form is a pure function of the bits.
+fn us(sec: f64) -> String {
+    format!("{:.3}", sec * 1e6)
+}
+
+fn push_event_lines(out: &mut Vec<String>, lane: &LaneTrace, rank_trace: &RankTrace, deterministic: bool) {
+    let (pid, tid) = (rank_trace.rank, lane.lane);
+    // Spans close in end order; re-order so parents precede children and
+    // timestamps never decrease within the (pid, tid) track.
+    let mut events = rank_trace.events.clone();
+    events.sort_by(|a, b| {
+        a.ts_sec
+            .partial_cmp(&b.ts_sec)
+            .expect("trace timestamps are finite")
+            .then(b.dur_sec.partial_cmp(&a.dur_sec).expect("trace durations are finite"))
+            .then(a.seq.cmp(&b.seq))
+    });
+    let mut end_sec: f64 = 0.0;
+    for e in &events {
+        end_sec = end_sec.max(e.ts_sec + e.dur_sec);
+        let name = escape_json(&e.tag.chrome_name());
+        let cat = e.tag.layer();
+        let args = if deterministic {
+            String::new()
+        } else {
+            format!(",\"args\":{{\"wall_ns\":{}}}", e.wall_ns)
+        };
+        match e.kind {
+            EventKind::Span => out.push(format!(
+                "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\"ts\":{},\"dur\":{}{args}}}",
+                us(e.ts_sec),
+                us(e.dur_sec),
+            )),
+            EventKind::Instant => out.push(format!(
+                "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\"tid\":{tid},\"ts\":{}{args}}}",
+                us(e.ts_sec),
+            )),
+        }
+    }
+    if rank_trace.dropped > 0 {
+        out.push(format!(
+            "{{\"name\":\"trace_ring_dropped\",\"ph\":\"C\",\"pid\":{pid},\"tid\":{tid},\"ts\":{},\"args\":{{\"dropped\":{}}}}}",
+            us(end_sec),
+            rank_trace.dropped,
+        ));
+    }
+}
+
+/// Renders collected lanes as a Chrome trace-event JSON document.
+///
+/// `deterministic` drops the wall-clock `args` so two identical simulated
+/// runs export byte-identical files.
+pub fn export_chrome_trace(lanes: &[LaneTrace], deterministic: bool) -> String {
+    let mut lines: Vec<String> = Vec::new();
+    // Process (rank) metadata first, each pid once across all lanes.
+    let mut pids: Vec<usize> = lanes.iter().flat_map(|l| l.ranks.iter().map(|r| r.rank)).collect();
+    pids.sort_unstable();
+    pids.dedup();
+    for pid in &pids {
+        lines.push(format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"args\":{{\"name\":\"rank {pid}\"}}}}"
+        ));
+        lines.push(format!(
+            "{{\"name\":\"process_sort_index\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"args\":{{\"sort_index\":{pid}}}}}"
+        ));
+    }
+    // Thread (lane) metadata: the solver label, per rank it ran on.
+    for lane in lanes {
+        let label = escape_json(&lane.label);
+        for r in &lane.ranks {
+            lines.push(format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{},\"tid\":{},\"args\":{{\"name\":\"{label}\"}}}}",
+                r.rank, lane.lane,
+            ));
+        }
+    }
+    for lane in lanes {
+        for r in &lane.ranks {
+            push_event_lines(&mut lines, lane, r, deterministic);
+        }
+    }
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    out.push_str(&lines.join(",\n"));
+    out.push_str("\n]}\n");
+    out
+}
+
+/// What [`validate_chrome_value`] learned about a parsed trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChromeStats {
+    /// Span + instant events (metadata and counters excluded).
+    pub event_count: usize,
+    /// Distinct pids (ranks), ascending.
+    pub pids: Vec<usize>,
+    /// Distinct event categories seen on each pid, ascending per pid.
+    pub cats_by_pid: Vec<(usize, Vec<String>)>,
+    /// Distinct categories across the whole file, ascending.
+    pub all_cats: Vec<String>,
+}
+
+fn field<'a>(entries: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn num_field(entries: &[(String, Value)], key: &str) -> Result<f64, String> {
+    match field(entries, key) {
+        Some(Value::Num(n)) if n.is_finite() => Ok(*n),
+        other => Err(format!("event field `{key}` must be a finite number, got {other:?}")),
+    }
+}
+
+fn str_field<'a>(entries: &'a [(String, Value)], key: &str) -> Result<&'a str, String> {
+    match field(entries, key) {
+        Some(Value::Str(s)) => Ok(s),
+        other => Err(format!("event field `{key}` must be a string, got {other:?}")),
+    }
+}
+
+/// Validates a parsed Chrome trace: the object format with a `traceEvents`
+/// array, well-formed `"X"`/`"i"` events, and — per `(pid, tid)` track —
+/// non-decreasing timestamps in file order. Returns summary stats so
+/// callers can assert coverage (which layers appear on which rank).
+pub fn validate_chrome_value(v: &Value) -> Result<ChromeStats, String> {
+    let Value::Map(top) = v else {
+        return Err("chrome trace must be a JSON object".into());
+    };
+    let Some(Value::Seq(events)) = field(top, "traceEvents") else {
+        return Err("chrome trace must have a `traceEvents` array".into());
+    };
+    let mut stats = ChromeStats {
+        event_count: 0,
+        pids: Vec::new(),
+        cats_by_pid: Vec::new(),
+        all_cats: Vec::new(),
+    };
+    let mut last_ts: Vec<((usize, usize), f64)> = Vec::new();
+    for (i, ev) in events.iter().enumerate() {
+        let Value::Map(entries) = ev else {
+            return Err(format!("traceEvents[{i}] is not an object"));
+        };
+        let ph = str_field(entries, "ph").map_err(|e| format!("traceEvents[{i}]: {e}"))?;
+        let pid = num_field(entries, "pid").map_err(|e| format!("traceEvents[{i}]: {e}"))? as usize;
+        let tid = num_field(entries, "tid").map_err(|e| format!("traceEvents[{i}]: {e}"))? as usize;
+        match ph {
+            "M" | "C" => continue,
+            "X" | "i" => {
+                let wrap = |e: String| format!("traceEvents[{i}]: {e}");
+                str_field(entries, "name").map_err(wrap)?;
+                let cat = str_field(entries, "cat").map_err(|e| format!("traceEvents[{i}]: {e}"))?;
+                let ts = num_field(entries, "ts").map_err(|e| format!("traceEvents[{i}]: {e}"))?;
+                if ts < 0.0 {
+                    return Err(format!("traceEvents[{i}]: negative timestamp {ts}"));
+                }
+                if ph == "X" {
+                    let dur = num_field(entries, "dur").map_err(|e| format!("traceEvents[{i}]: {e}"))?;
+                    if dur < 0.0 {
+                        return Err(format!("traceEvents[{i}]: negative duration {dur}"));
+                    }
+                }
+                match last_ts.iter_mut().find(|(k, _)| *k == (pid, tid)) {
+                    Some((_, last)) => {
+                        if ts < *last {
+                            return Err(format!(
+                                "traceEvents[{i}]: timestamp {ts} decreases (previous {last} on pid {pid} tid {tid})"
+                            ));
+                        }
+                        *last = ts;
+                    }
+                    None => last_ts.push(((pid, tid), ts)),
+                }
+                stats.event_count += 1;
+                if !stats.pids.contains(&pid) {
+                    stats.pids.push(pid);
+                    stats.cats_by_pid.push((pid, Vec::new()));
+                }
+                let cats = &mut stats
+                    .cats_by_pid
+                    .iter_mut()
+                    .find(|(p, _)| *p == pid)
+                    .expect("pid was just registered")
+                    .1;
+                if !cats.contains(&cat.to_string()) {
+                    cats.push(cat.to_string());
+                }
+                if !stats.all_cats.contains(&cat.to_string()) {
+                    stats.all_cats.push(cat.to_string());
+                }
+            }
+            other => return Err(format!("traceEvents[{i}]: unknown phase `{other}`")),
+        }
+    }
+    stats.pids.sort_unstable();
+    stats.cats_by_pid.sort_by_key(|(p, _)| *p);
+    for (_, cats) in &mut stats.cats_by_pid {
+        cats.sort();
+    }
+    stats.all_cats.sort();
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::TagAgg;
+    use crate::ring::Event;
+    use crate::tags::{Tag, NUM_TAGS};
+
+    fn span(tag: Tag, ts: f64, dur: f64, seq: u64) -> Event {
+        Event {
+            tag,
+            ts_sec: ts,
+            dur_sec: dur,
+            wall_ns: seq * 10,
+            depth: 0,
+            kind: EventKind::Span,
+            seq,
+        }
+    }
+
+    fn lane(events: Vec<Event>, dropped: u64) -> LaneTrace {
+        LaneTrace {
+            lane: 0,
+            label: "newton-admm".into(),
+            ranks: vec![RankTrace {
+                rank: 0,
+                dropped,
+                events,
+                aggs: [TagAgg::default(); NUM_TAGS],
+            }],
+        }
+    }
+
+    #[test]
+    fn export_is_valid_and_ordered_even_when_close_order_is_not() {
+        // Child closes before parent: export must re-order by start time.
+        let events = vec![span(Tag::CgIter, 1.0, 0.5, 0), span(Tag::NewtonStep, 0.0, 2.0, 1)];
+        let json = export_chrome_trace(&[lane(events, 0)], true);
+        let parsed = serde_json::parse_value(&json).expect("export parses as JSON");
+        let stats = validate_chrome_value(&parsed).expect("export validates");
+        assert_eq!(stats.event_count, 2);
+        assert_eq!(stats.pids, vec![0]);
+        assert_eq!(stats.all_cats, vec!["solver".to_string()]);
+        assert!(!json.contains("wall_ns"), "deterministic export must omit wall time");
+        assert!(json.contains("\"name\":\"NewtonStep\""));
+    }
+
+    #[test]
+    fn non_deterministic_export_carries_wall_time_and_drops() {
+        let json = export_chrome_trace(&[lane(vec![span(Tag::KernelLaunch, 0.0, 1e-6, 0)], 7)], false);
+        assert!(json.contains("wall_ns"));
+        assert!(json.contains("trace_ring_dropped"));
+        assert!(json.contains("\"dropped\":7"));
+        let parsed = serde_json::parse_value(&json).expect("export parses as JSON");
+        validate_chrome_value(&parsed).expect("export validates");
+    }
+
+    #[test]
+    fn validator_rejects_decreasing_timestamps() {
+        let json = "{\"traceEvents\":[\
+            {\"name\":\"a\",\"cat\":\"solver\",\"ph\":\"X\",\"pid\":0,\"tid\":0,\"ts\":5.0,\"dur\":1.0},\
+            {\"name\":\"b\",\"cat\":\"solver\",\"ph\":\"X\",\"pid\":0,\"tid\":0,\"ts\":2.0,\"dur\":1.0}]}";
+        let parsed = serde_json::parse_value(json).expect("test JSON parses");
+        let err = validate_chrome_value(&parsed).expect_err("decreasing ts must fail");
+        assert!(err.contains("decreases"), "unexpected error: {err}");
+    }
+}

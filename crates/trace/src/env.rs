@@ -1,0 +1,29 @@
+//! The single `NADMM_TRACE` parse point.
+//!
+//! All environment lookups for tracing happen here (this module is
+//! registered with lint rule W03), and every failure mode is loud: a set-but
+//! -empty or non-unicode value panics with the variable name instead of
+//! silently disabling the trace the user asked for.
+
+use std::path::PathBuf;
+
+/// Environment variable naming the Chrome-trace output path. The
+/// `scenario_runner --trace PATH` flag takes precedence when both are given.
+pub const TRACE_ENV: &str = "NADMM_TRACE";
+
+/// Reads [`TRACE_ENV`]. `None` means tracing stays off (the default).
+///
+/// # Panics
+/// Panics if the variable is set but empty (or whitespace), or holds
+/// non-unicode bytes — a misconfigured trace request must not silently
+/// produce an untraced run.
+pub fn trace_path_from_env() -> Option<PathBuf> {
+    match std::env::var(TRACE_ENV) {
+        Ok(s) if s.trim().is_empty() => panic!("{TRACE_ENV} is set but empty; set it to the trace output path or unset it"),
+        Ok(s) => Some(PathBuf::from(s)),
+        Err(std::env::VarError::NotPresent) => None,
+        Err(std::env::VarError::NotUnicode(raw)) => {
+            panic!("{TRACE_ENV} holds non-unicode bytes ({raw:?}); set it to a valid output path")
+        }
+    }
+}

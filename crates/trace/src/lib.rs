@@ -1,0 +1,466 @@
+//! # nadmm-trace
+//!
+//! A zero-allocation span tracer for the simulated Newton-ADMM stack:
+//! per-rank recorders writing into pre-allocated ring buffers, exported as
+//! Chrome trace-event JSON (Perfetto-loadable) and as aggregated flat
+//! profiles embedded into run/serve reports.
+//!
+//! ## Design
+//!
+//! * **Off by default, free when off.** Every recording entry point checks
+//!   one relaxed atomic; with tracing disabled the instrumented hot paths do
+//!   no other work, reports stay byte-identical, and the zero-alloc proofs
+//!   are unaffected.
+//! * **Zero allocation once warm.** [`install`] pre-allocates the ring and
+//!   the recorder state; recording a span touches only a thread-local
+//!   fixed-depth frame stack, a fixed-size aggregate table, and the ring
+//!   (drop-oldest with a counter when full). The counting-allocator proof
+//!   in `crates/bench/tests/zero_alloc.rs` pins this.
+//! * **Two clocks.** Events carry the rank's *simulated* clock (what the
+//!   cost models bill — deterministic) and host wall time (diagnostic, only
+//!   exported in non-deterministic mode). Instrumentation advances the
+//!   simulated clock via [`span_dur`] (model-billed costs) and re-anchors it
+//!   at synchronisation points via [`sync_to`]; the clock is forward-clamped
+//!   only, so per-rank timelines are monotone.
+//! * **Exact profiles under drops.** The flat profile aggregates at span
+//!   close, independent of the ring, so drops bound the exported timeline
+//!   but never the per-tag totals.
+//!
+//! Recording is per-thread (one recorder per rank thread, matching the
+//! thread-backed cluster); completed rank traces are deposited into a
+//! process-wide sink keyed by *lane* (one lane per solver run), which the
+//! exporter turns into one Chrome pid per rank and one tid per lane.
+
+pub mod chrome;
+pub mod env;
+pub mod profile;
+pub mod ring;
+pub mod tags;
+
+pub use chrome::{export_chrome_trace, validate_chrome_value, ChromeStats};
+pub use env::{trace_path_from_env, TRACE_ENV};
+pub use profile::{RankProfile, TagAgg, TagProfile, TraceProfile};
+pub use ring::{Event, EventKind, Ring};
+pub use tags::{CollAlgo, CollKind, Tag, NUM_TAGS};
+
+use parking_lot::Mutex;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+/// Default ring capacity (events per rank): large enough to hold the full
+/// timeline of the shipped scenarios, small enough (~4 MiB/rank) to stay
+/// cheap. Override per install with [`install_with_capacity`].
+pub const DEFAULT_RING_CAPACITY: usize = 65_536;
+
+/// Maximum span nesting depth. The instrumented stack is ≤ 5 levels deep
+/// (ADMM iteration → Newton step → CG iteration → kernel); hitting this
+/// bound means runaway instrumentation and panics loudly.
+pub const MAX_DEPTH: usize = 32;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turns tracing on or off process-wide. Off (the default), every recording
+/// entry point is a single relaxed atomic load.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Release);
+}
+
+/// Whether tracing is enabled process-wide.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// One open span on the recorder's fixed-depth stack.
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    tag: Tag,
+    start_sec: f64,
+    /// Simulated seconds already attributed to closed children, subtracted
+    /// from this span's duration to get its self time.
+    child_sec: f64,
+}
+
+const IDLE_FRAME: Frame = Frame {
+    tag: Tag::IdleWait,
+    start_sec: 0.0,
+    child_sec: 0.0,
+};
+
+/// A per-thread (per-rank) span recorder. Normally driven through the
+/// thread-local free functions ([`install`], [`span_begin`], …); the type is
+/// public for tests and benches that want a recorder on the stack.
+#[derive(Debug)]
+pub struct Recorder {
+    rank: usize,
+    ring: Ring,
+    clock_sec: f64,
+    seq: u64,
+    wall_origin: Instant,
+    frames: [Frame; MAX_DEPTH],
+    depth: usize,
+    aggs: [TagAgg; NUM_TAGS],
+}
+
+impl Recorder {
+    /// Creates a recorder for `rank` with its ring pre-allocated at
+    /// `capacity` events. Allocation happens here, never while recording.
+    pub fn new(rank: usize, capacity: usize) -> Self {
+        Self {
+            rank,
+            ring: Ring::new(capacity),
+            clock_sec: 0.0,
+            seq: 0,
+            wall_origin: Instant::now(),
+            frames: [IDLE_FRAME; MAX_DEPTH],
+            depth: 0,
+            aggs: [TagAgg::default(); NUM_TAGS],
+        }
+    }
+
+    /// The rank's simulated clock, in seconds.
+    pub fn clock_sec(&self) -> f64 {
+        self.clock_sec
+    }
+
+    /// Current span nesting depth.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    fn wall_ns(&self) -> u64 {
+        self.wall_origin.elapsed().as_nanos() as u64
+    }
+
+    /// Forward-clamps the simulated clock to `t_sec` (a synchronisation
+    /// point such as the comm clock after a blocking round). Never moves
+    /// the clock backwards, so timelines stay monotone.
+    pub fn sync_to(&mut self, t_sec: f64) {
+        if t_sec > self.clock_sec {
+            self.clock_sec = t_sec;
+        }
+    }
+
+    /// Opens a span at the current simulated clock.
+    ///
+    /// # Panics
+    /// Panics when more than [`MAX_DEPTH`] spans are nested.
+    pub fn begin(&mut self, tag: Tag) {
+        assert!(
+            self.depth < MAX_DEPTH,
+            "trace span stack overflow: more than {MAX_DEPTH} nested spans (opening {tag:?})"
+        );
+        self.frames[self.depth] = Frame {
+            tag,
+            start_sec: self.clock_sec,
+            child_sec: 0.0,
+        };
+        self.depth += 1;
+    }
+
+    /// Closes the innermost open span, which must have been begun with the
+    /// same tag, and records the completed event.
+    ///
+    /// # Panics
+    /// Panics (naming the tag) when no span is open or the innermost open
+    /// span carries a different tag — unbalanced instrumentation is a bug,
+    /// not a recoverable condition.
+    pub fn end(&mut self, tag: Tag) {
+        assert!(self.depth > 0, "span_end({tag:?}) with no open span");
+        self.depth -= 1;
+        let frame = self.frames[self.depth];
+        assert!(
+            frame.tag == tag,
+            "span_end({tag:?}) does not match the innermost open span, begun as {:?}",
+            frame.tag
+        );
+        let dur = (self.clock_sec - frame.start_sec).max(0.0);
+        let self_sec = (dur - frame.child_sec).max(0.0);
+        if self.depth > 0 {
+            self.frames[self.depth - 1].child_sec += dur;
+        }
+        self.aggs[tag.index()].close(dur, self_sec);
+        self.push(tag, frame.start_sec, dur, EventKind::Span);
+    }
+
+    /// Records a complete span of `dur_sec` simulated seconds starting at
+    /// the current clock, and advances the clock past it. This is the form
+    /// the billing seams use: the cost model computes the duration, the
+    /// tracer just transcribes it. The span counts toward the enclosing
+    /// open span's child time (so parents report honest self time).
+    pub fn span_dur(&mut self, tag: Tag, dur_sec: f64) {
+        let dur = dur_sec.max(0.0);
+        let start = self.clock_sec;
+        self.clock_sec += dur;
+        if self.depth > 0 {
+            self.frames[self.depth - 1].child_sec += dur;
+        }
+        self.aggs[tag.index()].close(dur, dur);
+        self.push(tag, start, dur, EventKind::Span);
+    }
+
+    /// Records a zero-duration point event at the current clock.
+    pub fn instant(&mut self, tag: Tag) {
+        self.aggs[tag.index()].close(0.0, 0.0);
+        self.push(tag, self.clock_sec, 0.0, EventKind::Instant);
+    }
+
+    fn push(&mut self, tag: Tag, ts_sec: f64, dur_sec: f64, kind: EventKind) {
+        let event = Event {
+            tag,
+            ts_sec,
+            dur_sec,
+            wall_ns: self.wall_ns(),
+            depth: self.depth as u16,
+            kind,
+            seq: self.seq,
+        };
+        self.seq += 1;
+        self.ring.push(event);
+    }
+
+    /// Consumes the recorder into its collected trace (cold path).
+    ///
+    /// # Panics
+    /// Panics when spans are still open — unbalanced begin/end must not be
+    /// silently truncated into a plausible-looking trace.
+    pub fn finish(self) -> RankTrace {
+        assert!(
+            self.depth == 0,
+            "recorder for rank {} finished with {} open span(s); innermost open span is {:?}",
+            self.rank,
+            self.depth,
+            self.frames[self.depth - 1].tag
+        );
+        RankTrace {
+            rank: self.rank,
+            dropped: self.ring.dropped(),
+            events: self.ring.to_vec_in_order(),
+            aggs: self.aggs,
+        }
+    }
+}
+
+/// The collected trace of one rank: surviving events plus exact aggregates.
+#[derive(Debug, Clone)]
+pub struct RankTrace {
+    /// The rank the recorder ran on.
+    pub rank: usize,
+    /// Events overwritten by the drop-oldest ring.
+    pub dropped: u64,
+    /// Surviving events in recording order.
+    pub events: Vec<Event>,
+    /// Exact per-tag aggregates (unaffected by ring drops).
+    pub aggs: [TagAgg; NUM_TAGS],
+}
+
+/// One solver run's worth of rank traces: a *lane*, exported as one Chrome
+/// tid across every rank pid.
+#[derive(Debug, Clone)]
+pub struct LaneTrace {
+    /// Deposit order — the Chrome tid.
+    pub lane: usize,
+    /// Display label (typically the solver name).
+    pub label: String,
+    /// Per-rank traces, in rank order.
+    pub ranks: Vec<RankTrace>,
+}
+
+thread_local! {
+    // `const` init: installing `None` must not allocate, and the disabled
+    // fast path must not register lazy initialisers.
+    static RECORDER: RefCell<Option<Recorder>> = const { RefCell::new(None) };
+}
+
+/// Installs a recorder on the current thread with the default ring
+/// capacity. No-op unless tracing is [`enabled`].
+pub fn install(rank: usize) {
+    install_with_capacity(rank, DEFAULT_RING_CAPACITY);
+}
+
+/// Installs a recorder on the current thread with an explicit ring
+/// capacity, replacing any previous recorder. No-op unless tracing is
+/// [`enabled`].
+pub fn install_with_capacity(rank: usize, capacity: usize) {
+    if !enabled() {
+        return;
+    }
+    RECORDER.with(|r| {
+        *r.borrow_mut() = Some(Recorder::new(rank, capacity));
+    });
+}
+
+/// Removes the current thread's recorder and returns its collected trace
+/// (`None` when no recorder was installed).
+pub fn uninstall() -> Option<RankTrace> {
+    RECORDER.with(|r| r.borrow_mut().take()).map(Recorder::finish)
+}
+
+#[inline]
+fn with_recorder(f: impl FnOnce(&mut Recorder)) {
+    RECORDER.with(|r| {
+        if let Some(rec) = r.borrow_mut().as_mut() {
+            f(rec);
+        }
+    });
+}
+
+/// Opens a span on the current thread's recorder (no-op when tracing is off
+/// or no recorder is installed — a single atomic load when disabled).
+#[inline]
+pub fn span_begin(tag: Tag) {
+    if !enabled() {
+        return;
+    }
+    with_recorder(|rec| rec.begin(tag));
+}
+
+/// Closes the innermost open span; see [`Recorder::end`] for the loud
+/// unbalanced-instrumentation panics.
+#[inline]
+pub fn span_end(tag: Tag) {
+    if !enabled() {
+        return;
+    }
+    with_recorder(|rec| rec.end(tag));
+}
+
+/// Records a complete model-billed span and advances the simulated clock;
+/// see [`Recorder::span_dur`].
+#[inline]
+pub fn span_dur(tag: Tag, dur_sec: f64) {
+    if !enabled() {
+        return;
+    }
+    with_recorder(|rec| rec.span_dur(tag, dur_sec));
+}
+
+/// Records a point event at the current simulated clock.
+#[inline]
+pub fn instant(tag: Tag) {
+    if !enabled() {
+        return;
+    }
+    with_recorder(|rec| rec.instant(tag));
+}
+
+/// Forward-clamps the current thread's simulated clock to `t_sec`.
+#[inline]
+pub fn sync_to(t_sec: f64) {
+    if !enabled() {
+        return;
+    }
+    with_recorder(|rec| rec.sync_to(t_sec));
+}
+
+static SINK: Mutex<Vec<LaneTrace>> = Mutex::new(Vec::new());
+
+/// Deposits one run's rank traces into the process-wide sink as the next
+/// lane. Lane numbers are assigned in deposit order, which the callers keep
+/// deterministic (runs execute sequentially).
+pub fn sink_deposit(label: &str, ranks: Vec<RankTrace>) {
+    let mut sink = SINK.lock();
+    let lane = sink.len();
+    sink.push(LaneTrace {
+        lane,
+        label: label.to_string(),
+        ranks,
+    });
+}
+
+/// Drains every deposited lane, leaving the sink empty.
+pub fn sink_drain() -> Vec<LaneTrace> {
+    std::mem::take(&mut *SINK.lock())
+}
+
+/// Builds the report-embedded flat profile from collected rank traces
+/// (sorted by rank; exact regardless of ring drops).
+pub fn profile_from_ranks(ranks: &[RankTrace]) -> TraceProfile {
+    let mut rows: Vec<(usize, u64, [TagAgg; NUM_TAGS])> = ranks.iter().map(|r| (r.rank, r.dropped, r.aggs)).collect();
+    rows.sort_by_key(|(rank, _, _)| *rank);
+    TraceProfile::from_rank_aggs(&rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_spans_attribute_self_time_to_the_right_tags() {
+        let mut rec = Recorder::new(0, 64);
+        rec.begin(Tag::NewtonStep);
+        rec.begin(Tag::CgIter);
+        rec.span_dur(Tag::KernelLaunch, 2.0);
+        rec.end(Tag::CgIter);
+        rec.span_dur(Tag::KernelLaunch, 1.0);
+        rec.end(Tag::NewtonStep);
+        let trace = rec.finish();
+        let newton = trace.aggs[Tag::NewtonStep.index()];
+        let cg = trace.aggs[Tag::CgIter.index()];
+        let kernel = trace.aggs[Tag::KernelLaunch.index()];
+        assert_eq!(newton.total_sec, 3.0, "newton span covers both kernels");
+        assert_eq!(newton.self_sec, 0.0, "all newton time is inside children");
+        assert_eq!(cg.total_sec, 2.0);
+        assert_eq!(cg.self_sec, 0.0);
+        assert_eq!(kernel.count, 2);
+        assert_eq!(kernel.total_sec, 3.0);
+        assert_eq!(kernel.self_sec, 3.0);
+        assert_eq!(trace.events.len(), 4);
+    }
+
+    #[test]
+    fn sync_to_never_rewinds_the_clock() {
+        let mut rec = Recorder::new(0, 8);
+        rec.span_dur(Tag::KernelLaunch, 5.0);
+        rec.sync_to(3.0);
+        assert_eq!(rec.clock_sec(), 5.0, "sync_to must not move the clock backwards");
+        rec.sync_to(7.5);
+        assert_eq!(rec.clock_sec(), 7.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "span_end(CgIter) with no open span")]
+    fn end_without_begin_is_loud() {
+        let mut rec = Recorder::new(0, 8);
+        rec.end(Tag::CgIter);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match the innermost open span")]
+    fn mismatched_end_is_loud() {
+        let mut rec = Recorder::new(0, 8);
+        rec.begin(Tag::NewtonStep);
+        rec.end(Tag::LineSearch);
+    }
+
+    #[test]
+    #[should_panic(expected = "open span(s)")]
+    fn finishing_with_open_spans_is_loud() {
+        let mut rec = Recorder::new(0, 8);
+        rec.begin(Tag::AdmmIteration);
+        let _ = rec.finish();
+    }
+
+    #[test]
+    fn disabled_tracing_records_nothing_through_the_free_functions() {
+        assert!(!enabled(), "tracing must default to off");
+        install(0);
+        span_begin(Tag::NewtonStep);
+        span_end(Tag::NewtonStep);
+        assert!(uninstall().is_none(), "install is a no-op while disabled");
+    }
+
+    #[test]
+    fn profile_from_ranks_sorts_by_rank() {
+        let mk = |rank: usize| {
+            let mut rec = Recorder::new(rank, 8);
+            rec.span_dur(Tag::KernelLaunch, 1.0 + rank as f64);
+            rec.finish()
+        };
+        let profile = profile_from_ranks(&[mk(1), mk(0)]);
+        profile.validate_schema().expect("well-formed profile");
+        assert_eq!(profile.per_rank[0].rank, 0);
+        assert_eq!(profile.per_rank[1].rank, 1);
+        assert_eq!(profile.merged[0].count, 2);
+    }
+}

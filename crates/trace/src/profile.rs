@@ -1,0 +1,256 @@
+//! Aggregated flat profiles.
+//!
+//! The recorder keeps one fixed-size [`TagAgg`] slot per [`Tag`] and updates
+//! it at every span close — plain array writes, no allocation — so the
+//! profile is **exact** even when the ring buffer has dropped events: the
+//! ring bounds the exported timeline, never the aggregates.
+//!
+//! Self time is total time minus the time spent in child spans: a
+//! `NewtonStep` span's self time excludes its `CgIter` children, and a
+//! `CgIter`'s excludes its `KernelLaunch` charges, which is what makes the
+//! per-tag breakdown sum to the timeline instead of double-counting.
+
+use crate::tags::{Tag, NUM_TAGS};
+use serde::{Deserialize, Serialize};
+
+/// One flat-profile accumulator slot (internal, fixed-size form).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TagAgg {
+    /// Closed spans / recorded instants.
+    pub count: u64,
+    /// Total simulated seconds across all spans (inclusive of children).
+    pub total_sec: f64,
+    /// Simulated seconds net of child spans.
+    pub self_sec: f64,
+    /// Longest single span, in simulated seconds.
+    pub max_sec: f64,
+}
+
+impl TagAgg {
+    /// Folds one closed span into the slot.
+    pub fn close(&mut self, dur_sec: f64, self_sec: f64) {
+        self.count += 1;
+        self.total_sec += dur_sec;
+        self.self_sec += self_sec;
+        if dur_sec > self.max_sec {
+            self.max_sec = dur_sec;
+        }
+    }
+
+    /// Folds another slot into this one (per-rank → merged).
+    pub fn merge(&mut self, other: &TagAgg) {
+        self.count += other.count;
+        self.total_sec += other.total_sec;
+        self.self_sec += other.self_sec;
+        if other.max_sec > self.max_sec {
+            self.max_sec = other.max_sec;
+        }
+    }
+}
+
+/// One serialized flat-profile row: the per-tag aggregate of one rank (or of
+/// the merged fleet). Only tags that actually recorded events get a row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TagProfile {
+    /// Aggregated tag name (collective rounds of every kind merge into
+    /// `"CollectiveRound"`).
+    pub tag: String,
+    /// Closed spans / recorded instants.
+    pub count: u64,
+    /// Total simulated seconds (inclusive of child spans).
+    pub total_sec: f64,
+    /// Simulated seconds net of child spans.
+    pub self_sec: f64,
+    /// Longest single span, in simulated seconds.
+    pub max_sec: f64,
+}
+
+/// The flat profile of one rank.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RankProfile {
+    /// The rank the recorder was installed on.
+    pub rank: usize,
+    /// Events overwritten in the ring buffer (the aggregates below still
+    /// include them — drops bound the timeline, not the profile).
+    pub dropped_events: u64,
+    /// Per-tag aggregates, in tag-slot order, omitting untouched tags.
+    pub tags: Vec<TagProfile>,
+}
+
+/// The flat profile embedded into a run/serve report: every rank plus the
+/// fleet-wide merge.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceProfile {
+    /// One profile per rank, in rank order.
+    pub per_rank: Vec<RankProfile>,
+    /// All ranks folded together, in tag-slot order.
+    pub merged: Vec<TagProfile>,
+}
+
+/// Converts an aggregate table into serialized rows, skipping empty slots.
+pub fn rows_from_aggs(aggs: &[TagAgg; NUM_TAGS]) -> Vec<TagProfile> {
+    aggs.iter()
+        .enumerate()
+        .filter(|(_, a)| a.count > 0)
+        .map(|(i, a)| TagProfile {
+            tag: Tag::slot_name(i).to_string(),
+            count: a.count,
+            total_sec: a.total_sec,
+            self_sec: a.self_sec,
+            max_sec: a.max_sec,
+        })
+        .collect()
+}
+
+impl TraceProfile {
+    /// Builds the report-embedded profile from per-rank aggregate tables,
+    /// assumed to arrive in rank order.
+    pub fn from_rank_aggs(ranks: &[(usize, u64, [TagAgg; NUM_TAGS])]) -> Self {
+        let mut merged = [TagAgg::default(); NUM_TAGS];
+        let mut per_rank = Vec::with_capacity(ranks.len());
+        for (rank, dropped, aggs) in ranks {
+            for (m, a) in merged.iter_mut().zip(aggs.iter()) {
+                m.merge(a);
+            }
+            per_rank.push(RankProfile {
+                rank: *rank,
+                dropped_events: *dropped,
+                tags: rows_from_aggs(aggs),
+            });
+        }
+        Self {
+            per_rank,
+            merged: rows_from_aggs(&merged),
+        }
+    }
+
+    /// The row for `tag` in one rank's profile, if that tag recorded
+    /// anything there.
+    pub fn rank_tag(&self, rank: usize, tag: &str) -> Option<&TagProfile> {
+        self.per_rank
+            .iter()
+            .find(|r| r.rank == rank)
+            .and_then(|r| r.tags.iter().find(|t| t.tag == tag))
+    }
+
+    /// Structural invariants of a well-formed profile: finite non-negative
+    /// times, `self ≤ total`, `max ≤ total`, positive counts, ranks in
+    /// order, and a merged table consistent with the per-rank ones.
+    pub fn validate_schema(&self) -> Result<(), String> {
+        let check_rows = |rows: &[TagProfile], who: &str| -> Result<(), String> {
+            for row in rows {
+                if row.count == 0 {
+                    return Err(format!("{who}: tag {} has a zero count row", row.tag));
+                }
+                let nums = [row.total_sec, row.self_sec, row.max_sec];
+                if nums.iter().any(|v| !v.is_finite() || *v < 0.0) {
+                    return Err(format!("{who}: tag {} has negative or non-finite times", row.tag));
+                }
+                if row.self_sec > row.total_sec + 1e-9 {
+                    return Err(format!("{who}: tag {} has self time above total", row.tag));
+                }
+                if row.max_sec > row.total_sec + 1e-9 {
+                    return Err(format!("{who}: tag {} has max span above total", row.tag));
+                }
+            }
+            Ok(())
+        };
+        for (i, r) in self.per_rank.iter().enumerate() {
+            if i > 0 && r.rank <= self.per_rank[i - 1].rank {
+                return Err("per-rank profiles are not in increasing rank order".into());
+            }
+            check_rows(&r.tags, &format!("rank {}", r.rank))?;
+        }
+        check_rows(&self.merged, "merged")?;
+        for row in &self.merged {
+            let rank_total: f64 = self
+                .per_rank
+                .iter()
+                .flat_map(|r| r.tags.iter())
+                .filter(|t| t.tag == row.tag)
+                .map(|t| t.total_sec)
+                .sum();
+            if (rank_total - row.total_sec).abs() > 1e-6 * (1.0 + row.total_sec.abs()) {
+                return Err(format!(
+                    "merged tag {} total {} disagrees with per-rank sum {}",
+                    row.tag, row.total_sec, rank_total
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn aggs_with(slots: &[(usize, TagAgg)]) -> [TagAgg; NUM_TAGS] {
+        let mut aggs = [TagAgg::default(); NUM_TAGS];
+        for (i, a) in slots {
+            aggs[*i] = *a;
+        }
+        aggs
+    }
+
+    #[test]
+    fn merged_profile_folds_every_rank() {
+        let a = TagAgg {
+            count: 2,
+            total_sec: 3.0,
+            self_sec: 2.0,
+            max_sec: 2.0,
+        };
+        let b = TagAgg {
+            count: 1,
+            total_sec: 5.0,
+            self_sec: 5.0,
+            max_sec: 5.0,
+        };
+        let profile = TraceProfile::from_rank_aggs(&[
+            (0, 0, aggs_with(&[(Tag::CgIter.index(), a)])),
+            (1, 3, aggs_with(&[(Tag::CgIter.index(), b)])),
+        ]);
+        profile.validate_schema().expect("well-formed profile");
+        assert_eq!(profile.per_rank.len(), 2);
+        assert_eq!(profile.per_rank[1].dropped_events, 3);
+        assert_eq!(profile.merged.len(), 1);
+        let m = &profile.merged[0];
+        assert_eq!(m.tag, "CgIter");
+        assert_eq!(m.count, 3);
+        assert_eq!(m.total_sec, 8.0);
+        assert_eq!(m.max_sec, 5.0);
+        assert_eq!(profile.rank_tag(1, "CgIter").map(|t| t.count), Some(1));
+        assert_eq!(profile.rank_tag(1, "NewtonStep"), None);
+    }
+
+    #[test]
+    fn validation_rejects_inconsistent_merges() {
+        let a = TagAgg {
+            count: 1,
+            total_sec: 1.0,
+            self_sec: 1.0,
+            max_sec: 1.0,
+        };
+        let mut p = TraceProfile::from_rank_aggs(&[(0, 0, aggs_with(&[(0, a)]))]);
+        p.merged[0].total_sec = 9.0;
+        assert!(p.validate_schema().is_err());
+
+        let mut p = TraceProfile::from_rank_aggs(&[(0, 0, aggs_with(&[(0, a)]))]);
+        p.per_rank[0].tags[0].self_sec = 2.0;
+        assert!(p.validate_schema().is_err());
+    }
+
+    #[test]
+    fn profiles_round_trip_through_the_value_tree() {
+        let a = TagAgg {
+            count: 4,
+            total_sec: 2.5,
+            self_sec: 1.25,
+            max_sec: 1.0,
+        };
+        let p = TraceProfile::from_rank_aggs(&[(0, 1, aggs_with(&[(3, a)]))]);
+        let back = TraceProfile::from_value(&p.to_value()).expect("round trip");
+        assert_eq!(back, p);
+    }
+}

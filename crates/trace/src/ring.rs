@@ -1,0 +1,162 @@
+//! The pre-allocated event ring buffer.
+//!
+//! Capacity is fixed at construction; once the ring is full every push
+//! overwrites the **oldest** event and bumps a dropped-events counter, so a
+//! long run keeps the most recent window instead of failing or allocating.
+//! The warm path (`push`) touches only pre-allocated storage — the
+//! counting-allocator proof in `crates/bench/tests/zero_alloc.rs` pins this.
+
+use crate::tags::Tag;
+
+/// Whether a recorded event is a duration span or a point event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A `[ts, ts + dur]` interval on the rank's simulated timeline.
+    Span,
+    /// A point event (`dur == 0`).
+    Instant,
+}
+
+/// One recorded event. Events are stored *completed* — a begin/end span pair
+/// becomes one `Event` when it closes — so the ring holds plain `Copy` rows.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// What the event describes.
+    pub tag: Tag,
+    /// Simulated start time, in seconds on the rank's device/cluster clock.
+    pub ts_sec: f64,
+    /// Simulated duration in seconds (0 for instants).
+    pub dur_sec: f64,
+    /// Host wall-clock nanoseconds since the recorder was installed. Only
+    /// exported in non-deterministic mode.
+    pub wall_ns: u64,
+    /// Nesting depth at which the span was open (0 = top level).
+    pub depth: u16,
+    /// Span or instant.
+    pub kind: EventKind,
+    /// Recording sequence number (export tie-breaker for equal timestamps).
+    pub seq: u64,
+}
+
+/// Fixed-capacity drop-oldest event buffer.
+#[derive(Debug)]
+pub struct Ring {
+    buf: Vec<Event>,
+    capacity: usize,
+    /// Index of the oldest event once the ring is full (also the slot the
+    /// next push overwrites).
+    next: usize,
+    dropped: u64,
+}
+
+impl Ring {
+    /// Creates a ring holding at most `capacity` events. The storage is
+    /// allocated here, once; no push ever allocates.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace ring needs capacity of at least one event");
+        Self {
+            buf: Vec::with_capacity(capacity),
+            capacity,
+            next: 0,
+            dropped: 0,
+        }
+    }
+
+    /// The fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been recorded (or everything was drained).
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// How many events were overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Appends an event; once full, overwrites the oldest and counts it as
+    /// dropped. Never allocates.
+    pub fn push(&mut self, event: Event) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(event);
+        } else {
+            self.buf[self.next] = event;
+            self.next = (self.next + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Copies the surviving events out in recording order, oldest first.
+    /// Cold path (export/collection only) — this allocates.
+    pub fn to_vec_in_order(&self) -> Vec<Event> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        if self.buf.len() < self.capacity {
+            out.extend_from_slice(&self.buf);
+        } else {
+            out.extend_from_slice(&self.buf[self.next..]);
+            out.extend_from_slice(&self.buf[..self.next]);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(seq: u64) -> Event {
+        Event {
+            tag: Tag::CgIter,
+            ts_sec: seq as f64,
+            dur_sec: 0.5,
+            wall_ns: seq,
+            depth: 0,
+            kind: EventKind::Span,
+            seq,
+        }
+    }
+
+    #[test]
+    fn fills_then_drops_oldest() {
+        let mut r = Ring::new(3);
+        assert!(r.is_empty());
+        for s in 0..3 {
+            r.push(event(s));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 0);
+        r.push(event(3));
+        r.push(event(4));
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2, "two pushes past capacity drop two oldest events");
+        let seqs: Vec<u64> = r.to_vec_in_order().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4], "survivors are the most recent window, oldest first");
+    }
+
+    #[test]
+    fn order_is_preserved_before_wrap() {
+        let mut r = Ring::new(8);
+        for s in 0..5 {
+            r.push(event(s));
+        }
+        let seqs: Vec<u64> = r.to_vec_in_order().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one event")]
+    fn zero_capacity_is_rejected() {
+        Ring::new(0);
+    }
+}

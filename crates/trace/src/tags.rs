@@ -1,0 +1,229 @@
+//! The typed span/event vocabulary.
+//!
+//! Tags are a small closed enum so that recording an event never formats or
+//! allocates: the hot path stores the `Copy` tag and the cold export path
+//! turns it into names. The collective tag carries the round's kind and the
+//! cost-model algorithm the network selected, mirrored into trace-local
+//! enums so this crate stays a leaf (no dependency on `nadmm-cluster`).
+
+/// Which collective a [`Tag::CollectiveRound`] span billed. Mirrors
+/// `nadmm_cluster::CollectiveKind` variant for variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollKind {
+    /// Synchronisation only, no payload.
+    Barrier,
+    /// Root's payload delivered to every rank.
+    Broadcast,
+    /// Element-wise reduction landing on the root.
+    Reduce,
+    /// Element-wise reduction available on every rank.
+    Allreduce,
+    /// Per-rank payloads collected at the root.
+    Gather,
+    /// Per-rank payloads distributed from the root.
+    Scatter,
+    /// Per-rank payloads collected on every rank.
+    Allgather,
+}
+
+impl CollKind {
+    /// Lowercase name used in Chrome-trace span names.
+    pub fn name(self) -> &'static str {
+        match self {
+            CollKind::Barrier => "barrier",
+            CollKind::Broadcast => "broadcast",
+            CollKind::Reduce => "reduce",
+            CollKind::Allreduce => "allreduce",
+            CollKind::Gather => "gather",
+            CollKind::Scatter => "scatter",
+            CollKind::Allgather => "allgather",
+        }
+    }
+}
+
+/// Which cost-model algorithm priced the round. Mirrors
+/// `nadmm_cluster::CollectiveAlgorithm` variant for variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollAlgo {
+    /// Star topology through the root.
+    Naive,
+    /// Binomial tree.
+    BinomialTree,
+    /// Ring reduce-scatter + allgather.
+    Ring,
+    /// Recursive halving-doubling butterfly.
+    RecursiveHalvingDoubling,
+}
+
+impl CollAlgo {
+    /// Lowercase name used in Chrome-trace span names.
+    pub fn name(self) -> &'static str {
+        match self {
+            CollAlgo::Naive => "naive",
+            CollAlgo::BinomialTree => "tree",
+            CollAlgo::Ring => "ring",
+            CollAlgo::RecursiveHalvingDoubling => "rhd",
+        }
+    }
+}
+
+/// What a recorded span or instant event describes. One tag per instrumented
+/// hot path; the flat profile has one fixed slot per tag (all collective
+/// kinds share the [`Tag::CollectiveRound`] slot), which is what keeps the
+/// aggregation table a fixed-size array the warm path can update without
+/// allocating.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tag {
+    /// One inexact Newton step (CG solve + line search + iterate update).
+    NewtonStep,
+    /// One conjugate-gradient iteration (one Hessian-vector product).
+    CgIter,
+    /// One Armijo backtracking line search.
+    LineSearch,
+    /// One simulated device kernel launch (billed by the roofline model).
+    KernelLaunch,
+    /// One blocking collective round, with the kind and the cost-model
+    /// algorithm the network selected for it.
+    CollectiveRound {
+        /// The collective that ran.
+        kind: CollKind,
+        /// The algorithm the cost model priced it with.
+        algo: CollAlgo,
+    },
+    /// One transport-level frame send or receive (instant).
+    TransportSendRecv,
+    /// Simulated idle time spent waiting for slower ranks at a blocking
+    /// collective.
+    IdleWait,
+    /// One served inference batch (assembly → predict).
+    ServeBatch,
+    /// One model-artifact save or load (instant; host I/O carries no
+    /// simulated cost).
+    ArtifactIo,
+    /// One ADMM outer iteration (local solve + consensus update).
+    AdmmIteration,
+    /// One penalty-parameter update (fixed/residual-balancing/spectral).
+    PenaltyUpdate,
+    /// Newton steps shed by the bounded-staleness deadline (instant).
+    ShedSteps,
+}
+
+/// Number of flat-profile slots (one per tag; collective kinds share one).
+pub const NUM_TAGS: usize = 12;
+
+impl Tag {
+    /// The tag's flat-profile slot.
+    pub fn index(self) -> usize {
+        match self {
+            Tag::NewtonStep => 0,
+            Tag::CgIter => 1,
+            Tag::LineSearch => 2,
+            Tag::KernelLaunch => 3,
+            Tag::CollectiveRound { .. } => 4,
+            Tag::TransportSendRecv => 5,
+            Tag::IdleWait => 6,
+            Tag::ServeBatch => 7,
+            Tag::ArtifactIo => 8,
+            Tag::AdmmIteration => 9,
+            Tag::PenaltyUpdate => 10,
+            Tag::ShedSteps => 11,
+        }
+    }
+
+    /// The flat-profile name of the slot `index` (the aggregated name:
+    /// collective rounds of every kind share `"CollectiveRound"`).
+    pub fn slot_name(index: usize) -> &'static str {
+        match index {
+            0 => "NewtonStep",
+            1 => "CgIter",
+            2 => "LineSearch",
+            3 => "KernelLaunch",
+            4 => "CollectiveRound",
+            5 => "TransportSendRecv",
+            6 => "IdleWait",
+            7 => "ServeBatch",
+            8 => "ArtifactIo",
+            9 => "AdmmIteration",
+            10 => "PenaltyUpdate",
+            11 => "ShedSteps",
+            other => panic!("Tag::slot_name: no tag slot {other} (have {NUM_TAGS})"),
+        }
+    }
+
+    /// The instrumented layer the tag belongs to — the Chrome-trace event
+    /// category, so Perfetto can filter per layer.
+    pub fn layer(self) -> &'static str {
+        match self {
+            Tag::NewtonStep | Tag::CgIter | Tag::LineSearch => "solver",
+            Tag::KernelLaunch => "device",
+            Tag::CollectiveRound { .. } | Tag::TransportSendRecv | Tag::IdleWait => "cluster",
+            Tag::ServeBatch | Tag::ArtifactIo => "serve",
+            Tag::AdmmIteration | Tag::PenaltyUpdate | Tag::ShedSteps => "core",
+        }
+    }
+
+    /// The Chrome-trace span name. Collective rounds include the kind and
+    /// algorithm (cold path only; the hot path never formats).
+    pub fn chrome_name(self) -> String {
+        match self {
+            Tag::CollectiveRound { kind, algo } => {
+                format!("CollectiveRound({}/{})", kind.name(), algo.name())
+            }
+            other => Tag::slot_name(other.index()).to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [Tag; NUM_TAGS] = [
+        Tag::NewtonStep,
+        Tag::CgIter,
+        Tag::LineSearch,
+        Tag::KernelLaunch,
+        Tag::CollectiveRound {
+            kind: CollKind::Allreduce,
+            algo: CollAlgo::Ring,
+        },
+        Tag::TransportSendRecv,
+        Tag::IdleWait,
+        Tag::ServeBatch,
+        Tag::ArtifactIo,
+        Tag::AdmmIteration,
+        Tag::PenaltyUpdate,
+        Tag::ShedSteps,
+    ];
+
+    #[test]
+    fn indices_are_a_bijection_onto_the_slot_table() {
+        for (i, tag) in ALL.iter().enumerate() {
+            assert_eq!(tag.index(), i);
+            assert!(!Tag::slot_name(i).is_empty());
+        }
+    }
+
+    #[test]
+    fn collective_kinds_share_one_slot() {
+        let a = Tag::CollectiveRound {
+            kind: CollKind::Barrier,
+            algo: CollAlgo::Naive,
+        };
+        let b = Tag::CollectiveRound {
+            kind: CollKind::Allgather,
+            algo: CollAlgo::RecursiveHalvingDoubling,
+        };
+        assert_eq!(a.index(), b.index());
+        assert_eq!(Tag::slot_name(a.index()), "CollectiveRound");
+        assert_ne!(a.chrome_name(), b.chrome_name());
+    }
+
+    #[test]
+    fn every_tag_has_a_layer() {
+        let layers = ["solver", "device", "cluster", "serve", "core"];
+        for tag in ALL {
+            assert!(layers.contains(&tag.layer()), "{tag:?} has unknown layer {}", tag.layer());
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Property tests for the span recorder and the Chrome-trace exporter.
+//!
+//! For *arbitrary* instrumentation sequences — nested begin/end spans,
+//! model-billed `span_dur` spans, instants, and forward clock syncs, over
+//! every tag and adversarial durations — the export must:
+//!
+//! 1. be valid JSON in the Chrome trace-event object format,
+//! 2. keep timestamps non-decreasing within every `(pid, tid)` track,
+//! 3. keep the flat profile schema-valid with totals consistent with the
+//!    recorded durations,
+//!
+//! and the ring must account for every recorded event as either a survivor
+//! or a counted drop — including tiny capacities that force wrap-around.
+//! Sequences are derived deterministically from sampled seeds (the offline
+//! proptest shim has no tuple strategies).
+
+use nadmm_trace::{
+    export_chrome_trace, profile_from_ranks, validate_chrome_value, CollAlgo, CollKind, LaneTrace, Recorder, Tag, MAX_DEPTH,
+};
+use proptest::prelude::*;
+
+/// Tag pool covering every slot, including parameterised collectives.
+const TAGS: [Tag; 13] = [
+    Tag::NewtonStep,
+    Tag::CgIter,
+    Tag::LineSearch,
+    Tag::KernelLaunch,
+    Tag::CollectiveRound {
+        kind: CollKind::Allreduce,
+        algo: CollAlgo::Ring,
+    },
+    Tag::CollectiveRound {
+        kind: CollKind::Broadcast,
+        algo: CollAlgo::BinomialTree,
+    },
+    Tag::TransportSendRecv,
+    Tag::IdleWait,
+    Tag::ServeBatch,
+    Tag::ArtifactIo,
+    Tag::AdmmIteration,
+    Tag::PenaltyUpdate,
+    Tag::ShedSteps,
+];
+
+/// splitmix64: cheap, deterministic stream from a sampled seed.
+fn next_u64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Replays `len` derived ops onto a recorder, tracking the open-span stack
+/// so the sequence is always balanced by construction (begins are closed at
+/// the end). Durations include negatives, which the recorder must clamp.
+fn replay(rec: &mut Recorder, seed: u64, len: usize) {
+    let mut state = seed;
+    let mut stack: Vec<Tag> = Vec::new();
+    for _ in 0..len {
+        let r = next_u64(&mut state);
+        let tag = TAGS[(r >> 8) as usize % TAGS.len()];
+        // Durations in [-1e-3, 9e-3): negative values exercise the clamp.
+        let dur = ((r >> 16) % 10_000) as f64 * 1e-6 - 1e-3;
+        match r % 5 {
+            0 if stack.len() < MAX_DEPTH - 1 => {
+                rec.begin(tag);
+                stack.push(tag);
+            }
+            1 => {
+                if let Some(open) = stack.pop() {
+                    rec.end(open);
+                }
+            }
+            2 => rec.span_dur(tag, dur),
+            3 => rec.instant(tag),
+            _ => rec.sync_to(rec.clock_sec() + dur),
+        }
+    }
+    while let Some(open) = stack.pop() {
+        rec.end(open);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn arbitrary_sequences_export_valid_ordered_chrome_json(
+        seed in 0u64..1_000_000,
+        len in 0usize..200,
+        capacity in 1usize..64,
+        ranks in 1usize..4,
+        det in 0usize..2,
+    ) {
+        let deterministic = det == 1;
+        let mut rank_traces = Vec::new();
+        for rank in 0..ranks {
+            let mut rec = Recorder::new(rank, capacity);
+            replay(&mut rec, seed, len);
+            rank_traces.push(rec.finish());
+        }
+        // Ring accounting: survivors + counted drops == everything recorded,
+        // identically on every rank (the replay is the same).
+        let recorded0 = rank_traces[0].events.len() as u64 + rank_traces[0].dropped;
+        for t in &rank_traces {
+            prop_assert!(t.events.len() <= capacity, "ring exceeded its capacity");
+            prop_assert_eq!(t.events.len() as u64 + t.dropped, recorded0,
+                "identical replay must record identically on every rank");
+        }
+        // Profile invariants hold for arbitrary sequences.
+        let profile = profile_from_ranks(&rank_traces);
+        profile.validate_schema().map_err(|e| format!("profile invalid: {e}"))?;
+
+        let has_events = rank_traces[0].events.is_empty();
+        let lanes = [LaneTrace { lane: 0, label: "prop".into(), ranks: rank_traces }];
+        let json = export_chrome_trace(&lanes, deterministic);
+        let value = serde_json::parse_value(&json)
+            .map_err(|e| format!("export is not valid JSON: {e}"))?;
+        let stats = validate_chrome_value(&value)
+            .map_err(|e| format!("export is not a valid chrome trace: {e}"))?;
+        if !has_events {
+            prop_assert_eq!(stats.pids.len(), ranks, "every rank with events must appear as a pid");
+        }
+        prop_assert_eq!(
+            json.contains("wall_ns"),
+            !deterministic && stats.event_count > 0,
+            "wall time must appear exactly in non-deterministic exports with events"
+        );
+    }
+
+    #[test]
+    fn deterministic_exports_are_byte_identical_across_replays(
+        seed in 0u64..1_000_000,
+        len in 0usize..120,
+        capacity in 1usize..48,
+    ) {
+        let run = || {
+            let mut rec = Recorder::new(0, capacity);
+            replay(&mut rec, seed, len);
+            [LaneTrace { lane: 0, label: "prop".into(), ranks: vec![rec.finish()] }]
+        };
+        let a = export_chrome_trace(&run(), true);
+        let b = export_chrome_trace(&run(), true);
+        prop_assert_eq!(a, b, "same ops must export byte-identically in deterministic mode");
+    }
+
+    #[test]
+    fn billed_time_lands_in_the_profile_totals(
+        seed in 0u64..1_000_000,
+        n in 1usize..64,
+    ) {
+        let mut state = seed;
+        let mut rec = Recorder::new(0, 256);
+        rec.begin(Tag::AdmmIteration);
+        let mut billed = 0.0;
+        for _ in 0..n {
+            let d = (next_u64(&mut state) % 10_000) as f64 * 1e-6;
+            rec.span_dur(Tag::KernelLaunch, d);
+            billed += d;
+        }
+        rec.end(Tag::AdmmIteration);
+        let trace = rec.finish();
+        let kernel = trace.aggs[Tag::KernelLaunch.index()];
+        let admm = trace.aggs[Tag::AdmmIteration.index()];
+        prop_assert_eq!(kernel.count, n as u64);
+        prop_assert!((kernel.total_sec - billed).abs() <= 1e-9, "kernel total must equal the billed sum");
+        prop_assert!((admm.total_sec - billed).abs() <= 1e-9, "parent must cover the billed time");
+        prop_assert!(admm.self_sec <= 1e-9, "all parent time is child time");
+    }
+}

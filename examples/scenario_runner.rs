@@ -35,6 +35,14 @@
 //! reduced encoding — `f32`, `f16`, `bf16`, or `qi8` — shrinking the
 //! artifact up to 8× at a bounded accuracy cost. The default `f64` keeps
 //! the trained iterate bit-for-bit.
+//!
+//! `--trace PATH` (or the `NADMM_TRACE` env var; the flag wins) enables the
+//! span tracer for the run and writes a Chrome trace-event JSON to `PATH` —
+//! load it at `ui.perfetto.dev`. One pid per rank, timestamps on the
+//! *simulated* clock, so with `--deterministic` two runs emit byte-identical
+//! trace files. The reports additionally embed a per-rank flat profile.
+//! Tracing needs every rank in this process: combined with the tcp
+//! transport it is a hard error.
 
 use newton_admm_repro::prelude::*;
 use std::process::ExitCode;
@@ -49,6 +57,7 @@ struct Options {
     transport: Option<TransportKind>,
     rank: Option<usize>,
     peers: Option<Vec<String>>,
+    trace: Option<String>,
 }
 
 /// Runs the scenario's solvers on this process: on the thread transport all
@@ -153,6 +162,16 @@ fn run(opts: &Options) -> Result<(), String> {
         .transport
         .or_else(TransportKind::from_env)
         .unwrap_or_else(|| scenario.cluster.transport.kind());
+    if opts.trace.is_some() {
+        if kind == TransportKind::Tcp {
+            return Err(
+                "--trace / NADMM_TRACE requires the thread transport: the tracer collects every \
+                 rank in this process, and tcp ranks live in their own processes"
+                    .into(),
+            );
+        }
+        newton_admm_repro::trace::set_enabled(true);
+    }
     if kind == TransportKind::Tcp && opts.rank.is_none() {
         return launch_tcp_fleet(&scenario, opts);
     }
@@ -178,13 +197,18 @@ fn run(opts: &Options) -> Result<(), String> {
     if let Some(model_path) = &opts.save_model {
         // Export the first solver's trained iterate as a versioned model
         // artifact; any dimension lie or unwritable path is a hard failure.
+        // The save runs under its own recorder so the ArtifactIo instant
+        // lands in the trace as a dedicated lane (no-op when tracing is off).
         let artifact = artifact_for_scenario(&scenario, &reports[0])
             .map_err(|e| format!("cannot build a model artifact from `{}`: {e}", reports[0].solver))?
             .with_weight_encoding(opts.precision)
             .map_err(|e| format!("cannot encode the weights as {}: {e}", opts.precision.name()))?;
-        artifact
-            .save(model_path)
-            .map_err(|e| format!("cannot save the model artifact: {e}"))?;
+        newton_admm_repro::trace::install(0);
+        let saved = artifact.save(model_path);
+        if let Some(io_trace) = newton_admm_repro::trace::uninstall() {
+            newton_admm_repro::trace::sink_deposit("artifact-io", vec![io_trace]);
+        }
+        saved.map_err(|e| format!("cannot save the model artifact: {e}"))?;
         println!(
             "saved `{}` model ({} features × {} classes, {} weights, scenario {}) → {model_path} (+ sidecar {})",
             artifact.provenance.solver,
@@ -232,6 +256,32 @@ fn run(opts: &Options) -> Result<(), String> {
             .map_err(|e| format!("schema-invalid report for `{}`: {e}", report.solver))?;
     }
 
+    if let Some(trace_path) = &opts.trace {
+        // One lane per solver run (deposited by the experiment layer) plus
+        // the artifact-io lane when a model was saved. Validate the emitted
+        // JSON before calling the run a success — a trace no tool can load
+        // is a bug, not an artifact.
+        let lanes = newton_admm_repro::trace::sink_drain();
+        if lanes.is_empty() {
+            return Err("--trace was set but no trace lanes were recorded".into());
+        }
+        let chrome = export_chrome_trace(&lanes, opts.deterministic);
+        let value = serde_json::parse_value(&chrome).map_err(|e| format!("emitted Chrome trace does not parse as JSON: {e}"))?;
+        let stats = validate_chrome_value(&value).map_err(|e| format!("emitted Chrome trace is malformed: {e}"))?;
+        if let Some(parent) = std::path::Path::new(trace_path).parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+            }
+        }
+        std::fs::write(trace_path, &chrome).map_err(|e| format!("cannot write {trace_path}: {e}"))?;
+        println!(
+            "trace: {} events across {} lane(s)/{} pid(s) → {trace_path} (load at ui.perfetto.dev)",
+            stats.event_count,
+            lanes.len(),
+            stats.pids.len(),
+        );
+    }
+
     let mut table = TextTable::new(
         format!(
             "scenario `{}` — {} validated report(s) → {out_path}",
@@ -274,6 +324,7 @@ fn main() -> ExitCode {
     let mut transport: Option<TransportKind> = None;
     let mut rank: Option<usize> = None;
     let mut peers: Option<Vec<String>> = None;
+    let mut trace: Option<String> = None;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -338,11 +389,18 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--trace" => match it.next() {
+                Some(p) => trace = Some(p),
+                None => {
+                    eprintln!("--trace requires a path for the Chrome trace JSON");
+                    return ExitCode::FAILURE;
+                }
+            },
             flag if flag.starts_with('-') => {
                 eprintln!(
                     "unknown flag `{flag}`\nusage: scenario_runner [SCENARIO.json] [--out REPORT.json] \
                      [--save-model MODEL.nadmm] [--precision ENC] [--deterministic] \
-                     [--transport thread|tcp] [--rank N --peers host:port,...]"
+                     [--transport thread|tcp] [--rank N --peers host:port,...] [--trace TRACE.json]"
                 );
                 return ExitCode::FAILURE;
             }
@@ -368,6 +426,9 @@ fn main() -> ExitCode {
         transport,
         rank,
         peers,
+        // The flag wins over the `NADMM_TRACE` env var (whose single parse
+        // point lives in `nadmm_trace::env`).
+        trace: trace.or_else(|| trace_path_from_env().map(|p| p.display().to_string())),
     };
     match run(&opts) {
         Ok(()) => ExitCode::SUCCESS,

@@ -28,6 +28,7 @@ pub use nadmm_metrics as metrics;
 pub use nadmm_objective as objective;
 pub use nadmm_serve as serve;
 pub use nadmm_solver as solver;
+pub use nadmm_trace as trace;
 pub use newton_admm as core;
 
 /// Commonly used items for examples and quick experiments.
@@ -53,6 +54,9 @@ pub mod prelude {
         ModelArtifact, ModelRegistry, NamedTensor, Provenance, ServeReport, ServeSpec, ServingScenario, TensorEncoding,
     };
     pub use nadmm_solver::{CgConfig, FirstOrderConfig, FirstOrderMethod, LineSearchConfig, NewtonCg, NewtonConfig};
+    pub use nadmm_trace::{
+        export_chrome_trace, trace_path_from_env, validate_chrome_value, ChromeStats, LaneTrace, TraceProfile, TRACE_ENV,
+    };
     pub use newton_admm::{DropoutSpec, NewtonAdmm, NewtonAdmmConfig, PenaltyRule, SpectralConfig};
 }
 
